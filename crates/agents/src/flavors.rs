@@ -1,0 +1,141 @@
+//! Constructors for the four technology agents and their standard rack
+//! shapes.
+//!
+//! Each helper builds a [`fabric_sim::FabricSim`] with the devices that
+//! technology typically serves and wraps it in a [`SimAgent`] speaking the
+//! matching protocol.
+
+use crate::simagent::SimAgent;
+use fabric_sim::topology::{presets, TopologyBuilder};
+use fabric_sim::{FabricConfig, FabricSim};
+use redfish_model::enums::Protocol;
+
+/// Shape parameters shared by the flavor constructors.
+#[derive(Debug, Clone)]
+pub struct RackShape {
+    /// Compute nodes attached to the fabric (initiators).
+    pub compute_nodes: usize,
+    /// Cores per compute node.
+    pub cores_per_node: u32,
+    /// Local DRAM per compute node (GiB).
+    pub node_memory_gib: u64,
+    /// Target devices (appliances/subsystems/GPUs) on the fabric.
+    pub targets: usize,
+    /// Spine switches (leaf count is derived).
+    pub spines: usize,
+    /// Leaf switches.
+    pub leaves: usize,
+}
+
+impl Default for RackShape {
+    fn default() -> Self {
+        RackShape {
+            compute_nodes: 4,
+            cores_per_node: 56,
+            node_memory_gib: 128,
+            targets: 2,
+            spines: 2,
+            leaves: 2,
+        }
+    }
+}
+
+/// A CXL memory-pooling agent: compute nodes + memory appliances
+/// (`capacity_mib` each) on a leaf–spine CXL pod.
+pub fn cxl_agent(fabric_id: &str, shape: &RackShape, capacity_mib: u64, seed: u64) -> SimAgent {
+    let mut devices = presets::compute_nodes(shape.compute_nodes, shape.cores_per_node, shape.node_memory_gib);
+    devices.extend(presets::memory_appliances(shape.targets, capacity_mib));
+    let topo = TopologyBuilder::new()
+        .access_gbps(256.0) // CXL x8 Gen5-class
+        .trunk_gbps(512.0)
+        .leaf_spine(shape.spines, shape.leaves, devices);
+    let sim = FabricSim::new(FabricConfig::new(fabric_id, "CXL", seed), topo);
+    SimAgent::new(sim, Protocol::CXL)
+}
+
+/// An NVMe-oF storage agent: compute nodes + NVMe subsystems
+/// (`capacity_bytes` each) on a leaf–spine storage network.
+pub fn nvmeof_agent(fabric_id: &str, shape: &RackShape, capacity_bytes: u64, seed: u64) -> SimAgent {
+    let mut devices = presets::compute_nodes(shape.compute_nodes, shape.cores_per_node, shape.node_memory_gib);
+    devices.extend(presets::nvme_subsystems(shape.targets, capacity_bytes));
+    let topo = TopologyBuilder::new()
+        .access_gbps(100.0)
+        .trunk_gbps(400.0)
+        .leaf_spine(shape.spines, shape.leaves, devices);
+    let sim = FabricSim::new(FabricConfig::new(fabric_id, "NVMeOverFabrics", seed), topo);
+    SimAgent::new(sim, Protocol::NVMeOverFabrics)
+}
+
+/// An InfiniBand accelerator agent: compute nodes + pooled GPUs on a
+/// leaf–spine EDR fabric.
+pub fn infiniband_agent(fabric_id: &str, shape: &RackShape, gpu_model: &str, seed: u64) -> SimAgent {
+    let mut devices = presets::compute_nodes(shape.compute_nodes, shape.cores_per_node, shape.node_memory_gib);
+    devices.extend(presets::gpus(shape.targets, gpu_model, 40));
+    let topo = TopologyBuilder::new()
+        .access_gbps(100.0) // EDR
+        .trunk_gbps(200.0)
+        .leaf_spine(shape.spines, shape.leaves, devices);
+    let sim = FabricSim::new(FabricConfig::new(fabric_id, "InfiniBand", seed), topo);
+    SimAgent::new(sim, Protocol::InfiniBand)
+}
+
+/// A plain Ethernet agent on a ring (exercises multi-hop routing and
+/// fail-over the hard way).
+pub fn ethernet_agent(fabric_id: &str, shape: &RackShape, seed: u64) -> SimAgent {
+    let mut devices = presets::compute_nodes(shape.compute_nodes, shape.cores_per_node, shape.node_memory_gib);
+    devices.extend(presets::nvme_subsystems(shape.targets, 1 << 40));
+    let ring = (shape.spines + shape.leaves).max(3);
+    let topo = TopologyBuilder::new()
+        .access_gbps(25.0)
+        .trunk_gbps(100.0)
+        .ring(ring, devices);
+    let sim = FabricSim::new(FabricConfig::new(fabric_id, "Ethernet", seed), topo);
+    SimAgent::new(sim, Protocol::Ethernet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofmf_core::agent::Agent;
+
+    #[test]
+    fn flavors_report_their_technology() {
+        let shape = RackShape::default();
+        assert_eq!(cxl_agent("CXL0", &shape, 1 << 20, 1).info().technology, "CXL");
+        assert_eq!(nvmeof_agent("NVME0", &shape, 1 << 40, 1).info().technology, "NVMeOverFabrics");
+        assert_eq!(infiniband_agent("IB0", &shape, "A100", 1).info().technology, "InfiniBand");
+        assert_eq!(ethernet_agent("ETH0", &shape, 1).info().technology, "Ethernet");
+    }
+
+    #[test]
+    fn discovery_produces_device_resources() {
+        let shape = RackShape::default();
+        let a = cxl_agent("CXL0", &shape, 1 << 20, 1);
+        let docs = a.discover();
+        let ids: Vec<String> = docs.iter().map(|(id, _)| id.to_string()).collect();
+        assert!(ids.iter().any(|i| i == "/redfish/v1/Fabrics/CXL0"));
+        assert!(ids.iter().any(|i| i.contains("/Systems/cn00")));
+        assert!(ids.iter().any(|i| i.contains("/Chassis/mem00/MemoryDomains/dom0")));
+        assert!(ids.iter().any(|i| i.contains("/Endpoints/mem00-ep")));
+        // Port docs live under the link's canonical (a-side) switch — the
+        // leaf for both trunk and access links in a leaf-spine build.
+        assert!(ids.iter().any(|i| i.contains("/Switches/leaf0/Ports/")));
+    }
+
+    #[test]
+    fn nvmeof_discovery_publishes_storage_service() {
+        let a = nvmeof_agent("NVME0", &RackShape::default(), 1 << 40, 1);
+        let docs = a.discover();
+        let ids: Vec<String> = docs.iter().map(|(id, _)| id.to_string()).collect();
+        assert!(ids.iter().any(|i| i == "/redfish/v1/StorageServices/nvme00"));
+        assert!(ids.iter().any(|i| i.contains("/StoragePools/pool0")));
+    }
+
+    #[test]
+    fn infiniband_discovery_publishes_gpu_processors() {
+        let a = infiniband_agent("IB0", &RackShape::default(), "A100", 1);
+        let docs = a.discover();
+        let ids: Vec<String> = docs.iter().map(|(id, _)| id.to_string()).collect();
+        assert!(ids.iter().any(|i| i.contains("/Chassis/gpu00/Processors/gpu00")));
+    }
+}

@@ -1,0 +1,28 @@
+//! # ofmf-agents
+//!
+//! Technology-specific OFMF Agents over the [`fabric_sim`] substrate.
+//!
+//! "The Agents … translate between the OFMF and network fabric-specific
+//! providers. These Agents provide access to network fabrics and trigger
+//! them to make the actual changes to their resources in their own
+//! technology-specific manner."
+//!
+//! All four agents share one translation engine ([`simagent::SimAgent`]):
+//! they differ in protocol, in which Redfish device resources they publish
+//! for targets, and in what a `Connect` materializes:
+//!
+//! | Agent | Protocol | Target devices | Connect materializes |
+//! |---|---|---|---|
+//! | [`flavors::cxl_agent`] | CXL | memory appliances → `Chassis` + `MemoryDomain` | a `MemoryChunks` carve + `Connection` |
+//! | [`flavors::nvmeof_agent`] | NVMe-oF | subsystems → `StorageService` + `StoragePool` | a `Volume` (namespace) + `Connection` |
+//! | [`flavors::infiniband_agent`] | InfiniBand | GPUs → `Chassis` + `Processor` | a whole-GPU grant `Connection` |
+//! | [`flavors::ethernet_agent`] | Ethernet | any | a bandwidth-reservation `Connection` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flavors;
+pub mod simagent;
+
+pub use flavors::{cxl_agent, ethernet_agent, infiniband_agent, nvmeof_agent};
+pub use simagent::SimAgent;

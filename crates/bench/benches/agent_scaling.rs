@@ -1,0 +1,92 @@
+//! OFMF-B4: agent fan-out — discovery and zone-apply cost as the number of
+//! managed fabrics grows (the OFMF "is capable of interfacing with multiple
+//! fabric managers by means of a set of agents").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ofmf_agents::flavors::{cxl_agent, RackShape};
+use ofmf_core::agent::AgentOp;
+use ofmf_core::Ofmf;
+use redfish_model::odata::ODataId;
+use serde_json::json;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn rig_with_fabrics(n: usize) -> Arc<Ofmf> {
+    let ofmf = Ofmf::new("agent-bench", HashMap::new(), 1);
+    let shape = RackShape::default();
+    for i in 0..n {
+        ofmf.register_agent(Arc::new(cxl_agent(&format!("CXL{i}"), &shape, 1 << 20, i as u64)))
+            .expect("unique ids");
+    }
+    ofmf
+}
+
+fn bench_registration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agent_registration");
+    group.sample_size(10);
+    for &fabrics in &[1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(fabrics), &fabrics, |b, &fabrics| {
+            b.iter(|| std::hint::black_box(rig_with_fabrics(fabrics)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_zone_apply_across_fabrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zone_apply");
+    group.sample_size(20);
+    for &fabrics in &[1usize, 8, 32] {
+        let ofmf = rig_with_fabrics(fabrics);
+        group.bench_with_input(BenchmarkId::from_parameter(fabrics), &fabrics, |b, &fabrics| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let f = format!("CXL{}", i % fabrics);
+                i += 1;
+                let zones = ODataId::new(&format!("/redfish/v1/Fabrics/{f}/Zones"));
+                let zone = ofmf
+                    .post(
+                        &zones,
+                        &json!({"Links": {"Endpoints": [
+                            {"@odata.id": format!("/redfish/v1/Fabrics/{f}/Endpoints/cn00-ep")},
+                            {"@odata.id": format!("/redfish/v1/Fabrics/{f}/Endpoints/mem00-ep")},
+                        ]}}),
+                    )
+                    .unwrap();
+                ofmf.delete(&zone).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_poll_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poll_cycle");
+    group.sample_size(20);
+    for &fabrics in &[1usize, 8, 32] {
+        let ofmf = rig_with_fabrics(fabrics);
+        group.bench_with_input(BenchmarkId::from_parameter(fabrics), &fabrics, |b, _| {
+            b.iter(|| std::hint::black_box(ofmf.poll()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_probe_route(c: &mut Criterion) {
+    let ofmf = rig_with_fabrics(1);
+    c.bench_function("probe_route", |b| {
+        let op = AgentOp::ProbeRoute {
+            initiator: ODataId::new("/redfish/v1/Fabrics/CXL0/Endpoints/cn00-ep"),
+            target: ODataId::new("/redfish/v1/Fabrics/CXL0/Endpoints/mem00-ep"),
+        };
+        b.iter(|| std::hint::black_box(ofmf.apply("CXL0", &op).unwrap()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_registration,
+    bench_zone_apply_across_fabrics,
+    bench_poll_cycle,
+    bench_probe_route
+);
+criterion_main!(benches);

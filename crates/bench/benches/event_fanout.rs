@@ -1,0 +1,67 @@
+//! OFMF-B2: event fan-out cost versus subscriber count, filtered and
+//! unfiltered — the subscription-based central repository at scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ofmf_core::clock::Clock;
+use ofmf_core::events::EventService;
+use ofmf_core::tree::bootstrap;
+use redfish_model::odata::ODataId;
+use redfish_model::resources::events::EventType;
+use redfish_model::Registry;
+use std::sync::Arc;
+
+fn service_with_subs(n: usize, filtered: bool) -> (EventService, Vec<crossbeam::channel::Receiver<redfish_model::resources::events::Event>>) {
+    let reg = Registry::new();
+    bootstrap(&reg, "bench").unwrap();
+    let svc = EventService::new(Arc::new(Clock::manual())).with_queue_depth(1024);
+    let rxs = (0..n)
+        .map(|i| {
+            let (types, origins) = if filtered {
+                // Half the subscribers filter on a fabric that never fires.
+                if i % 2 == 0 {
+                    (vec![EventType::Alert], vec![ODataId::new("/redfish/v1/Fabrics/CXL0")])
+                } else {
+                    (vec![EventType::Alert], vec![ODataId::new("/redfish/v1/Fabrics/NOPE")])
+                }
+            } else {
+                (vec![], vec![])
+            };
+            let (_, rx) = svc
+                .subscribe(&reg, &format!("channel://s{i}"), types, origins)
+                .unwrap();
+            rx
+        })
+        .collect();
+    (svc, rxs)
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_fanout");
+    let origin = ODataId::new("/redfish/v1/Fabrics/CXL0/Switches/sw0");
+    for &subs in &[1usize, 16, 128, 1024] {
+        group.throughput(Throughput::Elements(subs as u64));
+        group.bench_with_input(BenchmarkId::new("broadcast", subs), &subs, |b, &subs| {
+            let (svc, rxs) = service_with_subs(subs, false);
+            b.iter(|| {
+                svc.publish(EventType::Alert, &origin, "bench", "Warning");
+                // Drain so queues never fill.
+                for rx in &rxs {
+                    while rx.try_recv().is_ok() {}
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("filtered_half", subs), &subs, |b, &subs| {
+            let (svc, rxs) = service_with_subs(subs, true);
+            b.iter(|| {
+                svc.publish(EventType::Alert, &origin, "bench", "Warning");
+                for rx in &rxs {
+                    while rx.try_recv().is_ok() {}
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fanout);
+criterion_main!(benches);

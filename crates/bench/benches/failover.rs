@@ -1,0 +1,103 @@
+//! OFMF-B6: fail-over cost versus fabric size — route recomputation after
+//! a link/switch failure on rings of growing size ("dynamic network
+//! fail-over" per the abstract), plus raw routing throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fabric_sim::device::Device;
+use fabric_sim::failure::Fault;
+use fabric_sim::ids::{LinkId, SwitchId};
+use fabric_sim::routing::route;
+use fabric_sim::topology::{presets, TopologyBuilder};
+use fabric_sim::{FabricConfig, FabricSim};
+use std::collections::BTreeSet;
+
+fn ring_sim(switches: usize) -> FabricSim {
+    let mut devices: Vec<Device> = presets::compute_nodes(2, 8, 16);
+    devices.extend(presets::memory_appliances(2, 1 << 20));
+    let topo = TopologyBuilder::new().ring(switches, devices);
+    FabricSim::new(FabricConfig::new("RING", "CXL", 1), topo)
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    for &switches in &[4usize, 16, 64, 256] {
+        let sim = ring_sim(switches);
+        let from = sim.topology().initiator_endpoints()[0];
+        let to = sim.topology().target_endpoints()[1];
+        group.bench_with_input(BenchmarkId::new("ring", switches), &switches, |b, _| {
+            b.iter(|| std::hint::black_box(route(sim.topology(), from, to).expect("connected")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_failover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("failover_reroute");
+    group.sample_size(20);
+    for &switches in &[4usize, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("ring", switches), &switches, |b, &switches| {
+            b.iter_batched(
+                || {
+                    // Fresh fabric with one live cross-ring connection.
+                    let mut sim = ring_sim(switches);
+                    let members: BTreeSet<_> = (0..sim.topology().endpoints.len() as u32)
+                        .map(fabric_sim::ids::EndpointId)
+                        .collect();
+                    let zone = sim.create_zone("z", members).unwrap();
+                    let from = sim.topology().initiator_endpoints()[0];
+                    let to = sim.topology().target_endpoints()[1];
+                    let conn = sim.connect("c", zone, from, to, 64).unwrap();
+                    // The first trunk on the programmed path.
+                    let link = sim.connection(conn).unwrap().path.links[1];
+                    (sim, link)
+                },
+                |(mut sim, link): (FabricSim, LinkId)| {
+                    std::hint::black_box(sim.inject(Fault::LinkDown(link)))
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_switch_loss_storm(c: &mut Criterion) {
+    // Many connections, one switch dies: cost of re-validating everything.
+    let mut group = c.benchmark_group("switch_loss_storm");
+    group.sample_size(10);
+    for &conns in &[8usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(conns), &conns, |b, &conns| {
+            b.iter_batched(
+                || {
+                    let mut devices: Vec<Device> = presets::compute_nodes(4, 8, 16);
+                    devices.extend(presets::memory_appliances(2, 1 << 30));
+                    let topo = TopologyBuilder::new().leaf_spine(2, 2, devices);
+                    let mut sim = FabricSim::new(FabricConfig::new("LS", "CXL", 1), topo);
+                    let members: BTreeSet<_> = (0..sim.topology().endpoints.len() as u32)
+                        .map(fabric_sim::ids::EndpointId)
+                        .collect();
+                    let zone = sim.create_zone("z", members).unwrap();
+                    let inits = sim.topology().initiator_endpoints();
+                    let targets = sim.topology().target_endpoints();
+                    for i in 0..conns {
+                        sim.connect(
+                            &format!("c{i}"),
+                            zone,
+                            inits[i % inits.len()],
+                            targets[i % targets.len()],
+                            1,
+                        )
+                        .unwrap();
+                    }
+                    sim
+                },
+                |mut sim: FabricSim| std::hint::black_box(sim.inject(Fault::SwitchDown(SwitchId(0)))),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing, bench_failover, bench_switch_loss_storm);
+criterion_main!(benches);

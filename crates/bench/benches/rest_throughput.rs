@@ -1,0 +1,61 @@
+//! OFMF-B5: requests/second through the real HTTP stack (socket → parser →
+//! router → tree → serializer), keep-alive.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ofmf_bench::bench_rig;
+use ofmf_rest::{HttpClient, RestServer, Router};
+use serde_json::json;
+use std::sync::Arc;
+
+fn bench_rest(c: &mut Criterion) {
+    let ofmf = bench_rig(8, 2, 3);
+    let router = Arc::new(Router::new(ofmf, false));
+    let server = RestServer::start("127.0.0.1:0", router, 4).expect("bind");
+    let addr = server.addr();
+
+    let mut group = c.benchmark_group("rest_throughput");
+    group.throughput(Throughput::Elements(1));
+    group.sample_size(30);
+
+    group.bench_function("get_service_root", |b| {
+        let mut client = HttpClient::new(addr);
+        b.iter(|| {
+            let r = client.get("/redfish/v1").unwrap();
+            assert_eq!(r.status, 200);
+        });
+    });
+
+    group.bench_function("get_system", |b| {
+        let mut client = HttpClient::new(addr);
+        b.iter(|| {
+            let r = client.get("/redfish/v1/Systems/cn00").unwrap();
+            assert_eq!(r.status, 200);
+        });
+    });
+
+    group.bench_function("patch_system", |b| {
+        let mut client = HttpClient::new(addr);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let r = client
+                .patch("/redfish/v1/Systems/cn00", &json!({"Oem": {"Bench": i}}))
+                .unwrap();
+            assert_eq!(r.status, 200);
+        });
+    });
+
+    group.bench_function("expand_collection", |b| {
+        let mut client = HttpClient::new(addr);
+        b.iter(|| {
+            let r = client.get("/redfish/v1/Systems?$expand=.").unwrap();
+            assert_eq!(r.status, 200);
+        });
+    });
+
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_rest);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! OFMF-B1: resource-tree operation throughput (GET / PATCH / POST) as the
+//! unified tree grows — the scalability requirement §III-A states ("the
+//! management layer must be scalable to handle … management information
+//! from large numbers of resources").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use redfish_model::odata::ODataId;
+use redfish_model::Registry;
+use serde_json::json;
+
+fn tree_with(n: usize) -> (Registry, Vec<ODataId>) {
+    let reg = Registry::new();
+    let root = ODataId::new("/redfish/v1");
+    reg.create(&root, json!({"Name": "root"})).unwrap();
+    let col = root.child("Systems");
+    reg.create_collection(&col, "#ComputerSystemCollection.ComputerSystemCollection", "Systems")
+        .unwrap();
+    let ids: Vec<ODataId> = (0..n)
+        .map(|i| {
+            let id = col.child(&format!("sys{i:06}"));
+            reg.create(
+                &id,
+                json!({
+                    "@odata.type": "#ComputerSystem.v1_20_0.ComputerSystem",
+                    "Id": format!("sys{i:06}"),
+                    "Name": format!("node {i}"),
+                    "Status": {"State": "Enabled", "Health": "OK"},
+                    "ProcessorSummary": {"Count": 2, "CoreCount": 56},
+                }),
+            )
+            .unwrap();
+            id
+        })
+        .collect();
+    (reg, ids)
+}
+
+fn bench_tree_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_ops");
+    for &size in &[100usize, 1_000, 10_000] {
+        let (reg, ids) = tree_with(size);
+        group.throughput(Throughput::Elements(1));
+
+        group.bench_with_input(BenchmarkId::new("get", size), &size, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let id = &ids[i % ids.len()];
+                i += 1;
+                std::hint::black_box(reg.get(id).unwrap());
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("patch", size), &size, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let id = &ids[i % ids.len()];
+                i += 1;
+                reg.patch(id, &json!({"Oem": {"Bench": i}}), None).unwrap();
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("create_delete", size), &size, |b, _| {
+            let col = ODataId::new("/redfish/v1/Systems");
+            b.iter(|| {
+                let id = col.child("ephemeral");
+                reg.create(&id, json!({"Name": "e"})).unwrap();
+                reg.delete(&id).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_concurrent_readers(c: &mut Criterion) {
+    let (reg, ids) = tree_with(10_000);
+    let reg = std::sync::Arc::new(reg);
+    let mut group = c.benchmark_group("tree_ops_concurrent");
+    for &threads in &[1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("readers", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let reg = std::sync::Arc::clone(&reg);
+                        let ids = &ids;
+                        s.spawn(move || {
+                            for i in 0..100 {
+                                let id = &ids[(t * 131 + i) % ids.len()];
+                                std::hint::black_box(reg.get(id).unwrap());
+                            }
+                        });
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_ops, bench_concurrent_readers);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Regenerates **Fig. `multinode`**: HPL execution times with and without
+//! IOR co-located in the partition, with 95 % confidence intervals, for all
+//! five experiment classes across node counts 1…128.
+//!
+//! Run with: `cargo run --release -p ofmf-bench --bin fig_multinode`
+
+use cluster_sim::experiment::{run, ExperimentClass, ExperimentPlan};
+use cluster_sim::node::NodeSpec;
+use ofmf_bench::print_table;
+
+fn main() {
+    let spec = NodeSpec::thunderx2();
+    let plan = ExperimentPlan::paper(20230615);
+    eprintln!(
+        "running {} classes × {:?} HPL sizes × {} reps ({} for Matching Lustre)…",
+        plan.classes.len(),
+        plan.node_counts,
+        plan.reps,
+        plan.lustre_reps
+    );
+    let t0 = std::time::Instant::now();
+    let results = run(&plan, &spec);
+    eprintln!("sweep finished in {:.1}s\n", t0.elapsed().as_secs_f64());
+
+    println!("Fig. multinode — HPL execution time (seconds, mean [95% CI])\n");
+    let mut rows = Vec::new();
+    for &n in &plan.node_counts {
+        let base = results
+            .iter()
+            .find(|r| r.class == ExperimentClass::HplOnly && r.n == n)
+            .unwrap();
+        for class in ExperimentClass::ALL {
+            let r = results.iter().find(|r| r.class == class && r.n == n).unwrap();
+            rows.push(vec![
+                n.to_string(),
+                class.label().to_string(),
+                format!("{}", r.runtime.n),
+                format!("{:.1}", r.runtime.mean),
+                format!("[{:.1}, {:.1}]", r.runtime.ci_low, r.runtime.ci_high),
+                format!("{:+.1}%", r.runtime.rel_diff(&base.runtime) * 100.0),
+            ]);
+        }
+    }
+    print_table(&["n", "class", "reps", "mean (s)", "95% CI", "vs HPL-Only"], &rows);
+
+    // The paper's headline claims, checked against this run.
+    let at = |c: ExperimentClass, n: usize| {
+        &results.iter().find(|r| r.class == c && r.n == n).unwrap().runtime
+    };
+    println!("\nheadline checks (paper's reported ranges):");
+    let single = at(ExperimentClass::SingleBeeond, 128).rel_diff(at(ExperimentClass::HplOnly, 128));
+    println!(
+        "  Single BeeOND @128 vs HPL-Only:          {:+.1}%   (paper: +7 – +13%)",
+        single * 100.0
+    );
+    let nometa =
+        at(ExperimentClass::MatchingBeeondNoMeta, 128).rel_diff(at(ExperimentClass::HplOnly, 128));
+    println!(
+        "  Matching BeeOND (no meta) @128 vs HPL-Only: {:+.1}%   (paper: +47 – +52%)",
+        nometa * 100.0
+    );
+    let meta_delta = at(ExperimentClass::MatchingBeeond, 128)
+        .rel_diff(at(ExperimentClass::MatchingBeeondNoMeta, 128));
+    let overlap = at(ExperimentClass::MatchingBeeond, 128)
+        .overlaps(at(ExperimentClass::MatchingBeeondNoMeta, 128));
+    println!(
+        "  Matching vs no-meta @128:                {:+.1}%, CIs overlap: {}   (paper: no definitive difference)",
+        meta_delta * 100.0,
+        overlap
+    );
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Fig. `process-layout`**: the five experiment
+//! configurations as an executable plan, rendered as node-role maps.
+
+use cluster_sim::experiment::{ExperimentClass, Layout, NodeRole};
+
+fn role_char(r: NodeRole) -> char {
+    match r {
+        NodeRole::Hpl => 'H',
+        NodeRole::Ior => 'I',
+        NodeRole::Separator => 'S',
+    }
+}
+
+fn main() {
+    println!("Fig. process-layout — experiment configurations (n = 8 HPL nodes)\n");
+    println!("H = HPL node   I = IOR node   S = separator task   *M = BeeOND mgmt/MDS node\n");
+    for class in ExperimentClass::ALL {
+        let l = Layout::build(class, 8);
+        let (k, m) = class.k_m(8);
+        let map: String = l
+            .roles
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let c = role_char(*r);
+                if Some(i) == l.mds_node {
+                    format!("[{c}M]")
+                } else {
+                    format!("[{c} ]")
+                }
+            })
+            .collect();
+        println!("{:26} k={k} m={m:>2}  alloc={:>2}  {}", class.label(), l.allocation_size(), map);
+        println!(
+            "{:26} beeond daemons: {:9} ior target: {}",
+            "",
+            if class.loads_beeond() { "loaded" } else { "none" },
+            match (class.ior_on_beeond(), m) {
+                (_, 0) => "none (control)",
+                (true, _) => "BeeOND (node-local)",
+                (false, _) => "external Lustre",
+            }
+        );
+        println!();
+    }
+}

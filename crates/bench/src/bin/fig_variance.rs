@@ -1,0 +1,71 @@
+//! Regenerates **Fig. `multinode-variance`**: the detailed comparison of
+//! HPL-only (idle BeeOND daemons loaded) against Matching Lustre (IOR
+//! running, but *no* BeeOND daemons) — the paper's surprising
+//! "idle daemons are not free" finding.
+//!
+//! Run with: `cargo run --release -p ofmf-bench --bin fig_variance`
+
+use cluster_sim::experiment::{run, ExperimentClass, ExperimentPlan};
+use cluster_sim::node::NodeSpec;
+use ofmf_bench::print_table;
+
+fn main() {
+    let spec = NodeSpec::thunderx2();
+    let mut plan = ExperimentPlan::paper(77);
+    plan.classes = vec![ExperimentClass::HplOnly, ExperimentClass::MatchingLustre];
+    // The detail figure benefits from more repetitions.
+    plan.reps = 10;
+    plan.lustre_reps = 10;
+    eprintln!("running the detail comparison ({:?} nodes × {} reps)…", plan.node_counts, plan.reps);
+    let results = run(&plan, &spec);
+
+    println!("Fig. multinode-variance — HPL-only (idle daemons) vs Lustre+IOR (no daemons)\n");
+    let mut rows = Vec::new();
+    for &n in &plan.node_counts {
+        let hpl = results
+            .iter()
+            .find(|r| r.class == ExperimentClass::HplOnly && r.n == n)
+            .unwrap();
+        let lustre = results
+            .iter()
+            .find(|r| r.class == ExperimentClass::MatchingLustre && r.n == n)
+            .unwrap();
+        let overhead = hpl.runtime.rel_diff(&lustre.runtime);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.1} [{:.1},{:.1}]", hpl.runtime.mean, hpl.runtime.ci_low, hpl.runtime.ci_high),
+            format!(
+                "{:.1} [{:.1},{:.1}]",
+                lustre.runtime.mean, lustre.runtime.ci_low, lustre.runtime.ci_high
+            ),
+            format!("{:+.2}%", overhead * 100.0),
+            if hpl.runtime.overlaps(&lustre.runtime) { "no".into() } else { "yes".into() },
+        ]);
+    }
+    print_table(
+        &["n", "HPL-only (idle daemons)", "Matching Lustre (no daemons)", "idle-daemon cost", "significant"],
+        &rows,
+    );
+
+    let cost = |n: usize| {
+        let hpl = results
+            .iter()
+            .find(|r| r.class == ExperimentClass::HplOnly && r.n == n)
+            .unwrap();
+        let lustre = results
+            .iter()
+            .find(|r| r.class == ExperimentClass::MatchingLustre && r.n == n)
+            .unwrap();
+        hpl.runtime.rel_diff(&lustre.runtime)
+    };
+    println!("\nheadline checks:");
+    println!(
+        "  idle-daemon overhead @64:  {:+.2}%   (paper: 'likely between 0.9 and 2.5%')",
+        cost(64) * 100.0
+    );
+    println!(
+        "  growth with scale: @8 {:+.2}%  →  @128 {:+.2}%   (paper: 'grows with the size of the job')",
+        cost(8) * 100.0,
+        cost(128) * 100.0
+    );
+}

@@ -1,0 +1,40 @@
+//! Regenerates **Table III**: the IOR invocation, plus the offered write
+//! load it induces on the object-storage daemons.
+
+use cluster_sim::interference::calib;
+use cluster_sim::workload::ior::IorParams;
+use ofmf_bench::print_table;
+
+fn main() {
+    println!("Table III — IOR parameters\n");
+    let p = IorParams::default();
+    let rows = vec![
+        vec!["[srun] -n".into(), "Processes (per node)".into(), p.procs_per_node.to_string()],
+        vec!["-t".into(), "Transfer size (bytes)".into(), p.transfer_bytes.to_string()],
+        vec!["-T".into(), "Maximum run duration (minutes)".into(), p.max_duration_min.to_string()],
+        vec!["-D".into(), "Stonewalling deadline (seconds)".into(), p.stonewall_s.to_string()],
+        vec!["-i".into(), "Test repetitions".into(), p.repetitions.to_string()],
+        vec!["-e".into(), "Sync after each write phase".into(), "enabled".into()],
+        vec!["-C".into(), "Reorder tasks".into(), "enabled".into()],
+        vec!["-w".into(), "Perform write test".into(), "enabled".into()],
+        vec!["-a".into(), "Access method".into(), p.access.into()],
+        vec!["-s".into(), "Number of segments".into(), p.segments.to_string()],
+        vec!["-F".into(), "Use file-per-process".into(), "enabled".into()],
+        vec!["-Y".into(), "Sync after every write".into(), "enabled".into()],
+    ];
+    print_table(&["Parameter", "Description", "Value"], &rows);
+
+    println!("\nequivalent invocation:\n  {}", p.command_line());
+    println!("\ninduced load model:");
+    println!("  per-op latency:        {:.0} µs", calib::WRITE_LATENCY_S * 1e6);
+    println!(
+        "  per-process rate:      {:.0} ops/s",
+        p.ops_per_process_per_s(calib::WRITE_LATENCY_S)
+    );
+    println!(
+        "  per-node offered rate: {:.0} ops/s ({} procs)",
+        p.node_ops_per_s(calib::WRITE_LATENCY_S),
+        p.procs_per_node
+    );
+    println!("  files created per node: {} (file-per-process)", p.files_per_node());
+}

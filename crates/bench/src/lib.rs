@@ -1,0 +1,87 @@
+//! # ofmf-bench
+//!
+//! Harnesses regenerating every table and figure of the supplied paper
+//! text, plus system benchmarks for the OFMF itself (which the paper does
+//! not quantify). See `DESIGN.md` §3 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured records.
+//!
+//! Binaries (tables/figures):
+//!
+//! | target | artifact |
+//! |---|---|
+//! | `table1_profiles` | Table I — performance profiles & isolation |
+//! | `table2_hpl_params` | Table II — HPL parameters by node count |
+//! | `table3_ior_params` | Table III — IOR parameters |
+//! | `fig_process_layout` | Fig. `process-layout` — experiment classes |
+//! | `fig_multinode` | Fig. `multinode` — HPL runtime ±95 % CI |
+//! | `fig_variance` | Fig. `multinode-variance` — idle-daemon overhead |
+//! | `fig_stranded` | Fig. 1 — composable vs static efficiency |
+//!
+//! Criterion benches (OFMF system behaviour + ablations): `tree_ops`,
+//! `event_fanout`, `composition`, `agent_scaling`, `rest_throughput`,
+//! `failover`.
+
+#![forbid(unsafe_code)]
+
+use ofmf_agents::flavors::{cxl_agent, infiniband_agent, nvmeof_agent, RackShape};
+use ofmf_core::Ofmf;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Boot an OFMF with three fabrics at a given rack scale (used by benches).
+pub fn bench_rig(compute_nodes: usize, targets: usize, seed: u64) -> Arc<Ofmf> {
+    let shape = RackShape {
+        compute_nodes,
+        targets,
+        leaves: (compute_nodes / 8).max(2),
+        spines: 2,
+        ..RackShape::default()
+    };
+    let ofmf = Ofmf::new("bench-rig", HashMap::new(), seed);
+    ofmf.register_agent(Arc::new(cxl_agent("CXL0", &shape, 1 << 20, seed ^ 1)))
+        .expect("fresh rig");
+    ofmf.register_agent(Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, seed ^ 2)))
+        .expect("fresh rig");
+    ofmf.register_agent(Arc::new(infiniband_agent("IB0", &shape, "A100", seed ^ 3)))
+        .expect("fresh rig");
+    ofmf
+}
+
+/// Render a simple aligned table to stdout.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let parts: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("| {} |", parts.join(" | "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    println!(
+        "|{}|",
+        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_rig_boots() {
+        let o = bench_rig(8, 2, 1);
+        assert_eq!(o.fabric_ids().len(), 3);
+    }
+}

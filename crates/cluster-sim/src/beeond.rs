@@ -1,0 +1,140 @@
+//! The node-local BeeOND-like parallel filesystem model.
+//!
+//! Role assignment follows the paper's §III-D exactly: "The lowest node in
+//! the allocation became the Mgmt server, the Metadata server, an OST, and
+//! a client. The other nodes in the Slurm allocation became both OST
+//! servers and clients."
+
+use serde::Serialize;
+
+/// Daemon roles a node can host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct NodeRoles {
+    /// Management daemon (`mgmtd`).
+    pub mgmtd: bool,
+    /// Metadata server (`meta`).
+    pub meta: bool,
+    /// Object storage server / target (`storage`).
+    pub ost: bool,
+    /// Client mount (`helperd` + `beeond_mount`).
+    pub client: bool,
+}
+
+/// A BeeOND filesystem instance over an allocation.
+#[derive(Debug, Clone, Serialize)]
+pub struct BeeondFs {
+    /// Allocation nodes, in `SLURM_NODELIST` order.
+    pub nodes: Vec<usize>,
+    /// Per-node roles (same order as `nodes`).
+    pub roles: Vec<NodeRoles>,
+}
+
+impl BeeondFs {
+    /// Assign roles over the allocation per the paper's layout.
+    pub fn assemble(nodes: Vec<usize>) -> BeeondFs {
+        assert!(!nodes.is_empty(), "BeeOND needs at least one node");
+        let lowest = *nodes.iter().min().expect("non-empty");
+        let roles = nodes
+            .iter()
+            .map(|&n| NodeRoles { mgmtd: n == lowest, meta: n == lowest, ost: true, client: true })
+            .collect();
+        BeeondFs { nodes, roles }
+    }
+
+    /// The node hosting mgmtd + metadata.
+    pub fn management_node(&self) -> usize {
+        *self.nodes.iter().min().expect("non-empty")
+    }
+
+    /// All OST nodes (every node, per the paper's first implementation).
+    pub fn ost_nodes(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .zip(&self.roles)
+            .filter(|(_, r)| r.ost)
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// Number of OSTs (stripe width for file-per-process distribution).
+    pub fn ost_count(&self) -> usize {
+        self.roles.iter().filter(|r| r.ost).count()
+    }
+
+    /// Which OST node the `i`-th stripe/file lands on (round-robin, the
+    /// even striping the paper describes).
+    pub fn ost_for(&self, i: usize) -> usize {
+        let osts = self.ost_nodes();
+        osts[i % osts.len()]
+    }
+
+    /// Roles of a specific node, if it belongs to this filesystem.
+    pub fn roles_of(&self, node: usize) -> Option<NodeRoles> {
+        self.nodes
+            .iter()
+            .position(|&n| n == node)
+            .map(|i| self.roles[i])
+    }
+}
+
+/// Daemon overhead parameters while the filesystem is *idle* (no I/O): the
+/// surprising cost the paper measured ("idle BeeOND daemons" costing
+/// 0.9–2.5 % at 64 nodes).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct IdleDaemonModel {
+    /// Housekeeping wakeups per second per daemon-hosting node.
+    pub wakeups_per_s: f64,
+    /// CPU time stolen per wakeup (seconds).
+    pub slice_s: f64,
+}
+
+impl Default for IdleDaemonModel {
+    fn default() -> Self {
+        // See interference::calib for how these pin to the paper's ranges.
+        IdleDaemonModel { wakeups_per_s: 25.0, slice_s: 350e-6 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowest_node_gets_all_management_roles() {
+        let fs = BeeondFs::assemble(vec![4, 5, 6, 7]);
+        assert_eq!(fs.management_node(), 4);
+        let r4 = fs.roles_of(4).unwrap();
+        assert!(r4.mgmtd && r4.meta && r4.ost && r4.client);
+        let r5 = fs.roles_of(5).unwrap();
+        assert!(!r5.mgmtd && !r5.meta && r5.ost && r5.client);
+        assert_eq!(fs.ost_count(), 4);
+    }
+
+    #[test]
+    fn striping_is_round_robin() {
+        let fs = BeeondFs::assemble(vec![0, 1, 2]);
+        assert_eq!(fs.ost_for(0), 0);
+        assert_eq!(fs.ost_for(1), 1);
+        assert_eq!(fs.ost_for(2), 2);
+        assert_eq!(fs.ost_for(3), 0);
+    }
+
+    #[test]
+    fn roles_of_foreign_node_is_none() {
+        let fs = BeeondFs::assemble(vec![0, 1]);
+        assert!(fs.roles_of(9).is_none());
+    }
+
+    #[test]
+    fn single_node_fs_is_everything() {
+        let fs = BeeondFs::assemble(vec![3]);
+        let r = fs.roles_of(3).unwrap();
+        assert!(r.mgmtd && r.meta && r.ost && r.client);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_allocation_panics() {
+        let _ = BeeondFs::assemble(vec![]);
+    }
+}

@@ -1,0 +1,233 @@
+//! A minimal discrete-event simulation engine.
+//!
+//! Models push typed events into a [`Scheduler`]; the [`Engine`] pops them
+//! in time order (FIFO among equal timestamps) and hands them back to the
+//! model. No threads, no wall clock: a simulated second costs whatever the
+//! handler costs.
+
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From whole seconds.
+    pub fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000)
+    }
+
+    /// From fractional seconds (truncating below 1 µs).
+    pub fn from_secs_f64(s: f64) -> SimTime {
+        SimTime((s.max(0.0) * 1e6) as u64)
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub fn plus(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(other.0))
+    }
+}
+
+/// The pending-event queue handed to model handlers.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, EventBox<E>)>>,
+    seq: u64,
+    now: SimTime,
+}
+
+#[derive(Debug)]
+struct EventBox<E>(E);
+
+// Ordering only ever compares (time, seq); the payload must not influence
+// it, so EventBox compares as always-equal.
+impl<E> PartialEq for EventBox<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventBox<E> {}
+impl<E> PartialOrd for EventBox<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventBox<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at` (clamped to now if in the
+    /// past — models cannot rewrite history).
+    pub fn at(&mut self, at: SimTime, event: E) {
+        let t = at.max(self.now);
+        self.heap.push(Reverse((t, self.seq, EventBox(event))));
+        self.seq += 1;
+    }
+
+    /// Schedule `event` after a delay.
+    pub fn after(&mut self, delay: SimTime, event: E) {
+        self.at(self.now.plus(delay), event);
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((t, _, EventBox(e))) = self.heap.pop()?;
+        self.now = t;
+        Some((t, e))
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+/// A simulation model: handles its own event type.
+pub trait Model {
+    /// The event alphabet.
+    type Event;
+
+    /// Handle one event at time `t`, possibly scheduling more.
+    fn handle(&mut self, t: SimTime, event: Self::Event, scheduler: &mut Scheduler<Self::Event>);
+}
+
+/// The driver: runs a model to quiescence or a horizon.
+#[derive(Debug, Default)]
+pub struct Engine;
+
+impl Engine {
+    /// Run until no events remain. Returns the final simulated time and the
+    /// number of events processed.
+    pub fn run<M: Model>(model: &mut M, scheduler: &mut Scheduler<M::Event>) -> (SimTime, usize) {
+        Self::run_until(model, scheduler, SimTime(u64::MAX))
+    }
+
+    /// Run until the queue empties or the next event would exceed `horizon`.
+    pub fn run_until<M: Model>(
+        model: &mut M,
+        scheduler: &mut Scheduler<M::Event>,
+        horizon: SimTime,
+    ) -> (SimTime, usize) {
+        let mut n = 0;
+        while let Some(Reverse((t, _, _))) = scheduler.heap.peek() {
+            if *t > horizon {
+                break;
+            }
+            let (t, e) = scheduler.pop().expect("peeked");
+            model.handle(t, e, scheduler);
+            n += 1;
+        }
+        (scheduler.now(), n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        fired: Vec<(SimTime, u32)>,
+        chain: u32,
+    }
+
+    impl Model for Counter {
+        type Event = u32;
+        fn handle(&mut self, t: SimTime, event: u32, s: &mut Scheduler<u32>) {
+            self.fired.push((t, event));
+            if event == 0 && self.chain > 0 {
+                self.chain -= 1;
+                s.after(SimTime::from_secs(1), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order_fifo_on_ties() {
+        let mut m = Counter { fired: Vec::new(), chain: 0 };
+        let mut s = Scheduler::new();
+        s.at(SimTime::from_secs(5), 1);
+        s.at(SimTime::from_secs(1), 2);
+        s.at(SimTime::from_secs(5), 3); // same time as event 1, scheduled later
+        let (end, n) = Engine::run(&mut m, &mut s);
+        assert_eq!(n, 3);
+        assert_eq!(end, SimTime::from_secs(5));
+        assert_eq!(m.fired.iter().map(|(_, e)| *e).collect::<Vec<_>>(), vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn chained_events_advance_clock() {
+        let mut m = Counter { fired: Vec::new(), chain: 3 };
+        let mut s = Scheduler::new();
+        s.at(SimTime::ZERO, 0);
+        let (end, n) = Engine::run(&mut m, &mut s);
+        assert_eq!(n, 4);
+        assert_eq!(end, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn horizon_stops_early() {
+        let mut m = Counter { fired: Vec::new(), chain: 100 };
+        let mut s = Scheduler::new();
+        s.at(SimTime::ZERO, 0);
+        let (end, _) = Engine::run_until(&mut m, &mut s, SimTime::from_secs(10));
+        assert!(end <= SimTime::from_secs(10));
+        assert!(s.pending() > 0, "later events remain queued");
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        struct PastScheduler;
+        impl Model for PastScheduler {
+            type Event = u8;
+            fn handle(&mut self, t: SimTime, e: u8, s: &mut Scheduler<u8>) {
+                if e == 0 {
+                    // Try to schedule in the past.
+                    s.at(SimTime::ZERO, 1);
+                    assert!(t > SimTime::ZERO);
+                }
+            }
+        }
+        let mut m = PastScheduler;
+        let mut s = Scheduler::new();
+        s.at(SimTime::from_secs(10), 0);
+        let (end, n) = Engine::run(&mut m, &mut s);
+        assert_eq!(n, 2);
+        assert_eq!(end, SimTime::from_secs(10), "clamped event fires at now");
+    }
+
+    #[test]
+    fn simtime_conversions() {
+        assert_eq!(SimTime::from_secs_f64(1.5).0, 1_500_000);
+        assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
+        assert!((SimTime(2_500_000).as_secs_f64() - 2.5).abs() < 1e-12);
+    }
+}

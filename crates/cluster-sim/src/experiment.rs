@@ -1,0 +1,426 @@
+//! The five experiment classes of Fig. `process-layout` and the runner
+//! that regenerates Fig. `multinode` / Fig. `multinode-variance`.
+//!
+//! "An experiment is a multi-node HPL task run in the same compute
+//! allocation with an IOR task of various sizes … placed on non-overlapping
+//! sets of nodes."
+
+use crate::beeond::BeeondFs;
+use crate::interference::{calib, hpl_runtime_s, oss_rho, NodeNoise};
+use crate::node::NodeSpec;
+use crate::stats::Summary;
+use crate::workload::hpl::{derive_params, HplParams};
+use crate::workload::ior::IorParams;
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// The experiment classes, with the paper's `k` (separator tasks) and `m`
+/// (IOR nodes) parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum ExperimentClass {
+    /// `k=0, m=0`: control; BeeOND daemons loaded but idle.
+    HplOnly,
+    /// `k=0, m=n`: IOR targets external Lustre; **no** BeeOND daemons.
+    MatchingLustre,
+    /// `k=0, m=1`: one IOR node over BeeOND.
+    SingleBeeond,
+    /// `k=0, m=n`: n IOR nodes over BeeOND; HPL overlaps the MDS node.
+    MatchingBeeond,
+    /// `k=1, m=n`: as above but a separator task keeps HPL off the MDS
+    /// node.
+    MatchingBeeondNoMeta,
+}
+
+impl ExperimentClass {
+    /// All five classes in the paper's order.
+    pub const ALL: [ExperimentClass; 5] = [
+        ExperimentClass::HplOnly,
+        ExperimentClass::MatchingLustre,
+        ExperimentClass::SingleBeeond,
+        ExperimentClass::MatchingBeeond,
+        ExperimentClass::MatchingBeeondNoMeta,
+    ];
+
+    /// `(k, m)` for an `n`-node HPL task.
+    pub fn k_m(self, n: usize) -> (usize, usize) {
+        match self {
+            ExperimentClass::HplOnly => (0, 0),
+            ExperimentClass::MatchingLustre => (0, n),
+            ExperimentClass::SingleBeeond => (0, 1),
+            ExperimentClass::MatchingBeeond => (0, n),
+            ExperimentClass::MatchingBeeondNoMeta => (1, n),
+        }
+    }
+
+    /// Whether BeeOND daemons are loaded in the allocation.
+    pub fn loads_beeond(self) -> bool {
+        !matches!(self, ExperimentClass::MatchingLustre)
+    }
+
+    /// Whether the IOR task writes to the BeeOND filesystem (vs external
+    /// Lustre or no IOR at all).
+    pub fn ior_on_beeond(self) -> bool {
+        matches!(
+            self,
+            ExperimentClass::SingleBeeond | ExperimentClass::MatchingBeeond | ExperimentClass::MatchingBeeondNoMeta
+        )
+    }
+
+    /// Display name matching the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExperimentClass::HplOnly => "HPL-Only",
+            ExperimentClass::MatchingLustre => "Matching Lustre",
+            ExperimentClass::SingleBeeond => "Single BeeOND",
+            ExperimentClass::MatchingBeeond => "Matching BeeOND",
+            ExperimentClass::MatchingBeeondNoMeta => "Matching BeeOND (no meta)",
+        }
+    }
+}
+
+/// Role of a node in an experiment layout (Fig. `process-layout`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum NodeRole {
+    /// Runs part of the multi-node HPL task.
+    Hpl,
+    /// Runs IOR client processes.
+    Ior,
+    /// Separator task pinning the metadata node away from HPL.
+    Separator,
+}
+
+/// The concrete node layout of one experiment cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct Layout {
+    /// Class.
+    pub class: ExperimentClass,
+    /// HPL node count `n`.
+    pub n: usize,
+    /// Role per allocation node (index = node within the allocation).
+    pub roles: Vec<NodeRole>,
+    /// Index of the BeeOND management/metadata node, if daemons are loaded.
+    pub mds_node: Option<usize>,
+}
+
+impl Layout {
+    /// Build the layout for `class` at HPL size `n`.
+    ///
+    /// The allocation is `k` separator nodes, then `n` HPL nodes, then `m`
+    /// IOR nodes; BeeOND (when loaded) spans the whole allocation with the
+    /// lowest node as management/metadata server — so with `k=0` the first
+    /// HPL node hosts the MDS, and with `k=1` the separator does.
+    pub fn build(class: ExperimentClass, n: usize) -> Layout {
+        let (k, m) = class.k_m(n);
+        let mut roles = Vec::with_capacity(k + n + m);
+        roles.extend(std::iter::repeat(NodeRole::Separator).take(k));
+        roles.extend(std::iter::repeat(NodeRole::Hpl).take(n));
+        roles.extend(std::iter::repeat(NodeRole::Ior).take(m));
+        let mds_node = class.loads_beeond().then_some(0);
+        Layout { class, n, roles, mds_node }
+    }
+
+    /// Total allocation size.
+    pub fn allocation_size(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Indices of the HPL nodes.
+    pub fn hpl_nodes(&self) -> Vec<usize> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == NodeRole::Hpl)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of the IOR nodes.
+    pub fn ior_nodes(&self) -> Vec<usize> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == NodeRole::Ior)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Per-HPL-node noise profiles for this layout.
+    pub fn noise(&self, ior: &IorParams) -> Vec<NodeNoise> {
+        let beeond = self.class.loads_beeond().then(|| BeeondFs::assemble((0..self.allocation_size()).collect()));
+        let per_ost_offered = if self.class.ior_on_beeond() {
+            let m = self.ior_nodes().len() as f64;
+            let total = m * ior.node_ops_per_s(calib::WRITE_LATENCY_S);
+            total / self.allocation_size() as f64
+        } else {
+            0.0
+        };
+        self.hpl_nodes()
+            .iter()
+            .map(|&node| {
+                let mut nn = NodeNoise::default();
+                if let Some(fs) = &beeond {
+                    let roles = fs.roles_of(node).expect("fs spans allocation");
+                    nn.idle_daemons = roles.ost || roles.meta;
+                    if self.class.ior_on_beeond() {
+                        if roles.ost {
+                            nn.oss_rho = oss_rho(per_ost_offered);
+                        }
+                        if roles.meta {
+                            nn.mds_rho = calib::MDS_RHO;
+                        }
+                    }
+                }
+                nn
+            })
+            .collect()
+    }
+}
+
+/// A sweep plan: which classes, which HPL sizes, how many repetitions.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentPlan {
+    /// Classes to run.
+    pub classes: Vec<ExperimentClass>,
+    /// HPL node counts (powers of two).
+    pub node_counts: Vec<usize>,
+    /// Repetitions per cell ("All runs were completed between 7 and 10
+    /// times").
+    pub reps: usize,
+    /// Repetitions for the Matching-Lustre control ("we only ran those
+    /// experiments only three times each").
+    pub lustre_reps: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentPlan {
+    /// The paper's full sweep.
+    pub fn paper(seed: u64) -> ExperimentPlan {
+        ExperimentPlan {
+            classes: ExperimentClass::ALL.to_vec(),
+            node_counts: vec![1, 2, 4, 8, 16, 32, 64, 128],
+            reps: 8,
+            lustre_reps: 3,
+            seed,
+        }
+    }
+
+    /// A fast smoke-scale plan (tests / examples).
+    pub fn smoke(seed: u64) -> ExperimentPlan {
+        ExperimentPlan {
+            classes: ExperimentClass::ALL.to_vec(),
+            node_counts: vec![1, 4, 16],
+            reps: 4,
+            lustre_reps: 3,
+            seed,
+        }
+    }
+}
+
+/// One cell of results.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    /// Class.
+    pub class: ExperimentClass,
+    /// HPL node count.
+    pub n: usize,
+    /// HPL parameters used.
+    pub params: HplParams,
+    /// Runtime summary over repetitions (seconds).
+    pub runtime: Summary,
+}
+
+/// Run the full sweep (parallel over cells and repetitions).
+pub fn run(plan: &ExperimentPlan, spec: &NodeSpec) -> Vec<ExperimentResult> {
+    let ior = IorParams::default();
+    let cells: Vec<(ExperimentClass, usize)> = plan
+        .classes
+        .iter()
+        .flat_map(|&c| plan.node_counts.iter().map(move |&n| (c, n)))
+        .collect();
+    cells
+        .par_iter()
+        .map(|&(class, n)| {
+            let params = derive_params(spec, n);
+            let layout = Layout::build(class, n);
+            let noise = layout.noise(&ior);
+            let reps = if class == ExperimentClass::MatchingLustre { plan.lustre_reps } else { plan.reps };
+            let runtimes: Vec<f64> = (0..reps)
+                .into_par_iter()
+                .map(|r| {
+                    let seed = cell_seed(plan.seed, class, n, r);
+                    hpl_runtime_s(&params, spec, &noise, seed)
+                })
+                .collect();
+            ExperimentResult { class, n, params, runtime: Summary::of(&runtimes) }
+        })
+        .collect()
+}
+
+/// Outcome of one experiment repetition driven through the workload
+/// manager (prolog → payload → epilog), the way the real campaign ran.
+#[derive(Debug, Clone, Serialize)]
+pub struct WlmRun {
+    /// HPL wall time (the measured quantity).
+    pub payload_s: f64,
+    /// Prolog duration (BeeOND assembly when daemons are loaded).
+    pub prolog_s: f64,
+    /// Epilog duration (teardown + XFS reformat when daemons were loaded).
+    pub epilog_s: f64,
+    /// Total allocation occupancy.
+    pub total_s: f64,
+}
+
+/// Run one repetition of `class` at HPL size `n` through the Slurm-like
+/// WLM: allocate `k+n+m` nodes, run the (BeeOND-aware) prolog, the noisy
+/// HPL payload, then the epilog. Uses the lifecycle model for hook times so
+/// occupancy accounting includes the filesystem assembly cost.
+pub fn run_one_via_wlm(class: ExperimentClass, n: usize, spec: &NodeSpec, seed: u64) -> WlmRun {
+    use crate::des::{Engine, Scheduler};
+    use crate::slurm::{JobSpec, Wlm};
+
+    let layout = Layout::build(class, n);
+    let params = derive_params(spec, n);
+    let noise = layout.noise(&IorParams::default());
+    let payload_s = crate::interference::hpl_runtime_s(&params, spec, &noise, seed);
+
+    let alloc = layout.allocation_size();
+    let mut wlm = Wlm::new(alloc, seed);
+    if class.loads_beeond() {
+        wlm.hooks.beeond_prolog_s = crate::lifecycle::assemble_s(alloc, seed ^ 0xA55E);
+        wlm.hooks.beeond_epilog_s = crate::lifecycle::teardown_s(alloc, seed ^ 0x7EAD);
+    }
+    let job = if class.loads_beeond() {
+        JobSpec::with_beeond(alloc, payload_s + 7200.0)
+    } else {
+        JobSpec::plain(alloc, payload_s + 7200.0)
+    };
+    let mut sched = Scheduler::new();
+    let id = wlm.submit(job, payload_s, &mut sched);
+    Engine::run(&mut wlm, &mut sched);
+    let rec = wlm.job(id).expect("submitted");
+    let started = rec.started_at.expect("ran").as_secs_f64();
+    let ended = rec.ended_at.expect("finished").as_secs_f64();
+    let epilog = if class.loads_beeond() { wlm.hooks.beeond_epilog_s } else { wlm.hooks.plain_epilog_s };
+    WlmRun {
+        payload_s: ended - started,
+        prolog_s: started,
+        epilog_s: epilog,
+        total_s: ended - started + started + epilog,
+    }
+}
+
+/// Derive the seed of repetition `r` of a cell — stable no matter the
+/// execution order.
+fn cell_seed(master: u64, class: ExperimentClass, n: usize, r: usize) -> u64 {
+    let c = ExperimentClass::ALL.iter().position(|&x| x == class).unwrap_or(0) as u64;
+    let mut x = master ^ (c << 48) ^ ((n as u64) << 24) ^ r as u64;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeSpec;
+
+    #[test]
+    fn layouts_match_class_definitions() {
+        let l = Layout::build(ExperimentClass::MatchingBeeondNoMeta, 4);
+        assert_eq!(l.allocation_size(), 1 + 4 + 4);
+        assert_eq!(l.roles[0], NodeRole::Separator);
+        assert_eq!(l.hpl_nodes(), vec![1, 2, 3, 4]);
+        assert_eq!(l.ior_nodes(), vec![5, 6, 7, 8]);
+        assert_eq!(l.mds_node, Some(0));
+
+        let l = Layout::build(ExperimentClass::MatchingBeeond, 4);
+        assert_eq!(l.hpl_nodes()[0], 0, "HPL overlaps the MDS node");
+
+        let l = Layout::build(ExperimentClass::MatchingLustre, 4);
+        assert_eq!(l.mds_node, None, "no BeeOND daemons loaded");
+        assert_eq!(l.ior_nodes().len(), 4);
+
+        let l = Layout::build(ExperimentClass::SingleBeeond, 4);
+        assert_eq!(l.ior_nodes().len(), 1);
+    }
+
+    #[test]
+    fn noise_profiles_encode_the_classes() {
+        let ior = IorParams::default();
+        // HPL-only: idle daemons, no OSS load.
+        let noise = Layout::build(ExperimentClass::HplOnly, 4).noise(&ior);
+        assert!(noise.iter().all(|n| n.idle_daemons && n.oss_rho == 0.0));
+        // Lustre: nothing at all.
+        let noise = Layout::build(ExperimentClass::MatchingLustre, 4).noise(&ior);
+        assert!(noise.iter().all(|n| !n.idle_daemons && n.oss_rho == 0.0 && n.mds_rho == 0.0));
+        // Matching: every HPL node loaded, first one also MDS.
+        let noise = Layout::build(ExperimentClass::MatchingBeeond, 4).noise(&ior);
+        assert!(noise.iter().all(|n| n.oss_rho > 0.2));
+        assert!(noise[0].mds_rho > 0.0);
+        assert!(noise[1..].iter().all(|n| n.mds_rho == 0.0));
+        // No-meta: no HPL node carries MDS load.
+        let noise = Layout::build(ExperimentClass::MatchingBeeondNoMeta, 4).noise(&ior);
+        assert!(noise.iter().all(|n| n.mds_rho == 0.0));
+    }
+
+    #[test]
+    fn single_vs_matching_oss_load_ordering() {
+        let ior = IorParams::default();
+        let single = Layout::build(ExperimentClass::SingleBeeond, 8).noise(&ior);
+        let matching = Layout::build(ExperimentClass::MatchingBeeond, 8).noise(&ior);
+        assert!(single[1].oss_rho < matching[1].oss_rho);
+    }
+
+    #[test]
+    fn smoke_sweep_reproduces_the_ordering() {
+        let spec = NodeSpec::thunderx2();
+        let mut plan = ExperimentPlan::smoke(11);
+        plan.node_counts = vec![16];
+        let results = run(&plan, &spec);
+        let mean = |c: ExperimentClass| {
+            results
+                .iter()
+                .find(|r| r.class == c && r.n == 16)
+                .unwrap()
+                .runtime
+                .mean
+        };
+        let lustre = mean(ExperimentClass::MatchingLustre);
+        let hpl_only = mean(ExperimentClass::HplOnly);
+        let single = mean(ExperimentClass::SingleBeeond);
+        let matching = mean(ExperimentClass::MatchingBeeond);
+        assert!(lustre < hpl_only, "idle daemons cost something: {lustre} vs {hpl_only}");
+        assert!(hpl_only < single, "active IOR costs more: {hpl_only} vs {single}");
+        assert!(single < matching, "matching IOR costs most: {single} vs {matching}");
+    }
+
+    #[test]
+    fn wlm_run_accounts_for_hooks() {
+        let spec = NodeSpec::thunderx2();
+        let r = run_one_via_wlm(ExperimentClass::HplOnly, 4, &spec, 5);
+        // BeeOND assembly happened in the prolog, within the paper's budget.
+        assert!(r.prolog_s > 1.0 && r.prolog_s < 3.0, "prolog {:.2}", r.prolog_s);
+        assert!(r.epilog_s < 6.0);
+        // The payload matches the direct interference model at this seed.
+        let params = derive_params(&spec, 4);
+        let layout = Layout::build(ExperimentClass::HplOnly, 4);
+        let direct =
+            crate::interference::hpl_runtime_s(&params, &spec, &layout.noise(&IorParams::default()), 5);
+        assert!((r.payload_s - direct).abs() < 0.5, "{} vs {}", r.payload_s, direct);
+        // Lustre jobs skip BeeOND hooks.
+        let l = run_one_via_wlm(ExperimentClass::MatchingLustre, 4, &spec, 5);
+        assert!(l.prolog_s < 1.0, "plain prolog: {}", l.prolog_s);
+    }
+
+    #[test]
+    fn results_are_reproducible() {
+        let spec = NodeSpec::thunderx2();
+        let mut plan = ExperimentPlan::smoke(3);
+        plan.node_counts = vec![4];
+        plan.classes = vec![ExperimentClass::HplOnly];
+        let a = run(&plan, &spec);
+        let b = run(&plan, &spec);
+        assert_eq!(a[0].runtime, b[0].runtime);
+    }
+}

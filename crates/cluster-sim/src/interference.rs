@@ -1,0 +1,236 @@
+//! The noise engine: how filesystem daemons perturb a bulk-synchronous
+//! computation.
+//!
+//! HPL is modeled as `S` panel steps; in each step every node computes for
+//! `τ·(1+ε)` and the step completes at the **max across nodes** — the
+//! amplification mechanism that makes tiny per-node noise expensive at
+//! scale (the paper's `daemon-interference` citation). Per-node `ε`
+//! aggregates:
+//!
+//! * **OS baseline jitter** — exponential, on every node, always.
+//! * **Idle daemon wakeups** — Poisson housekeeping wakeups stealing short
+//!   slices on nodes hosting BeeOND daemons (even with zero I/O).
+//! * **OSS service work** — object-storage service consumed on nodes whose
+//!   OST receives IOR writes; saturating in offered load.
+//! * **MDS service work** — metadata load on the management node.
+
+use crate::node::NodeSpec;
+use crate::workload::hpl::HplParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Calibration constants, each pinned to a range the paper reports.
+pub mod calib {
+    /// Mean relative OS jitter per node-step (plain Linux housekeeping).
+    /// Small enough that the Matching-Lustre runs show only the intrinsic
+    /// variance of the platform.
+    pub const OS_JITTER_MEAN: f64 = 0.0012;
+
+    /// Idle BeeOND daemon housekeeping wakeups per second per node.
+    /// Together with [`IDLE_SLICE_S`] this yields a ~0.84 % mean per-node
+    /// steal; the deliberately low rate / long slice gives the Poisson
+    /// process high per-step dispersion, so the max-over-nodes cost grows
+    /// visibly with job size — landing in the paper's "likely between 0.9
+    /// and 2.5 %" band at 64 nodes.
+    pub const IDLE_WAKEUPS_PER_S: f64 = 6.0;
+
+    /// CPU slice stolen per idle-daemon wakeup (seconds).
+    pub const IDLE_SLICE_S: f64 = 1_400e-6;
+
+    /// Per-op base client latency of a 512 B fsync'd write (seconds);
+    /// sets IOR's offered rate (≈ 4 000 ops/s per process).
+    pub const WRITE_LATENCY_S: f64 = 250e-6;
+
+    /// Saturation ceiling of the fraction of a node the OSS service can
+    /// steal. Pinned by the Matching-BeeOND (no metadata) 128-node result:
+    /// 47–52 % extended runtime (the bulk-synchronous max adds ~10 % of
+    /// step-jitter on top of the plateau, so the ceiling sits below it).
+    pub const OSS_RHO_MAX: f64 = 0.48;
+
+    /// Offered-load half-saturation point (ops/s per OST). Pinned by the
+    /// Single-BeeOND 128-node result: a lone IOR node's ~1 750 ops/s per
+    /// OST must cost 7–13 %.
+    pub const OSS_LAMBDA_HALF: f64 = 8_000.0;
+
+    /// Extra service fraction on the metadata server while file-per-process
+    /// IOR churns (small: creates are a startup burst; steady state is
+    /// lookups). Small enough that "skip metadata" is not definitively
+    /// distinguishable, as the paper found.
+    pub const MDS_RHO: f64 = 0.015;
+
+    /// Run-to-run multiplicative variability (relative sigma): system state
+    /// differs between submissions (page cache, placement, network
+    /// background). Sets the width of the 95 % error bars in
+    /// Fig. `multinode`.
+    pub const RUN_SIGMA: f64 = 0.006;
+}
+
+/// Saturating OSS disruption: fraction of a node consumed by object-storage
+/// service work given `offered` write ops/s directed at its OST.
+pub fn oss_rho(offered_ops_per_s: f64) -> f64 {
+    if offered_ops_per_s <= 0.0 {
+        return 0.0;
+    }
+    calib::OSS_RHO_MAX * offered_ops_per_s / (offered_ops_per_s + calib::OSS_LAMBDA_HALF)
+}
+
+/// Static per-node noise profile for one experiment configuration.
+#[derive(Debug, Clone, Default)]
+pub struct NodeNoise {
+    /// Node hosts (possibly idle) BeeOND daemons.
+    pub idle_daemons: bool,
+    /// OSS service fraction from IOR load on this node's OST.
+    pub oss_rho: f64,
+    /// MDS service fraction (management node under active IOR).
+    pub mds_rho: f64,
+}
+
+/// Simulate one HPL run under per-node noise; returns wall seconds.
+///
+/// `noise[i]` describes compute node `i` of the HPL task. Deterministic in
+/// `seed`.
+pub fn hpl_runtime_s(params: &HplParams, spec: &NodeSpec, noise: &[NodeNoise], seed: u64) -> f64 {
+    assert_eq!(noise.len(), params.nodes, "one noise profile per HPL node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Run-level factor: drawn once per run (Box-Muller) so repetitions of
+    // the same cell scatter like real submissions do.
+    let run_factor = {
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let z = (-2.0 * u1.ln()).sqrt() * u2.cos();
+        (1.0 + calib::RUN_SIGMA * z).max(0.5)
+    };
+    let tau = params.base_step_s(spec);
+    let steps = params.steps();
+    let idle_mean_per_step = calib::IDLE_WAKEUPS_PER_S * tau;
+
+    let mut total = 0.0;
+    for _ in 0..steps {
+        let mut worst: f64 = 0.0;
+        for n in noise {
+            // OS jitter: exponential with the calibrated mean.
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            let mut eps = -calib::OS_JITTER_MEAN * u.ln();
+            if n.idle_daemons {
+                // Poisson wakeup count (knuth sampling is fine at λ ≲ 100).
+                let k = poisson(&mut rng, idle_mean_per_step);
+                eps += k as f64 * calib::IDLE_SLICE_S / tau;
+            }
+            if n.oss_rho > 0.0 {
+                // Service work fluctuates ±10 % step to step.
+                eps += n.oss_rho * rng.gen_range(0.9..1.1);
+            }
+            if n.mds_rho > 0.0 {
+                eps += n.mds_rho * rng.gen_range(0.9..1.1);
+            }
+            worst = worst.max(eps);
+        }
+        total += tau * (1.0 + worst);
+    }
+    total * run_factor
+}
+
+fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 64.0 {
+        // Normal approximation for large λ.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let z = (-2.0 * u1.ln()).sqrt() * u2.cos();
+        return (lambda + z * lambda.sqrt()).max(0.0).round() as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeSpec;
+    use crate::workload::hpl::TABLE_II;
+
+    fn clean(n: usize) -> Vec<NodeNoise> {
+        vec![NodeNoise::default(); n]
+    }
+
+    #[test]
+    fn oss_rho_saturates() {
+        assert_eq!(oss_rho(0.0), 0.0);
+        let single_128 = oss_rho(56.0 * 4000.0 / 128.0);
+        assert!((0.06..0.14).contains(&single_128), "single IOR @128: {single_128}");
+        let matching = oss_rho(56.0 * 4000.0);
+        assert!((0.44..0.48).contains(&matching), "matching: {matching}");
+        assert!(oss_rho(1e12) < calib::OSS_RHO_MAX + 1e-9);
+    }
+
+    #[test]
+    fn clean_run_is_near_base() {
+        let spec = NodeSpec::thunderx2();
+        let p = TABLE_II[2]; // 4 nodes
+        let t = hpl_runtime_s(&p, &spec, &clean(4), 1);
+        let base = p.base_runtime_s(&spec);
+        assert!(t > base, "noise only ever slows");
+        assert!(t / base < 1.02, "OS jitter alone stays under 2%: {}", t / base);
+    }
+
+    #[test]
+    fn idle_daemons_cost_grows_with_scale() {
+        let spec = NodeSpec::thunderx2();
+        let slowdown = |idx: usize, seed: u64| {
+            let p = TABLE_II[idx];
+            let mut noise = clean(p.nodes);
+            for n in &mut noise {
+                n.idle_daemons = true;
+            }
+            let with = hpl_runtime_s(&p, &spec, &noise, seed);
+            let without = hpl_runtime_s(&p, &spec, &clean(p.nodes), seed + 1000);
+            with / without - 1.0
+        };
+        // 64 nodes: the paper's 0.9–2.5 % band.
+        let s64 = slowdown(6, 5);
+        assert!((0.005..0.035).contains(&s64), "idle daemons @64: {s64}");
+        // Larger jobs hurt more (average over a few seeds to de-noise).
+        let s8: f64 = (0..3).map(|s| slowdown(3, s)).sum::<f64>() / 3.0;
+        let s128: f64 = (0..3).map(|s| slowdown(7, s)).sum::<f64>() / 3.0;
+        assert!(s128 > s8, "scale amplification: {s8} -> {s128}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let spec = NodeSpec::thunderx2();
+        let p = TABLE_II[1];
+        let a = hpl_runtime_s(&p, &spec, &clean(2), 9);
+        let b = hpl_runtime_s(&p, &spec, &clean(2), 9);
+        let c = hpl_runtime_s(&p, &spec, &clean(2), 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_mean_is_lambda() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for lambda in [0.5, 5.0, 45.0, 100.0] {
+            let n = 4000;
+            let mean: f64 = (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+            assert!((mean - lambda).abs() < lambda * 0.1 + 0.1, "λ={lambda}: mean {mean}");
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one noise profile per HPL node")]
+    fn noise_length_mismatch_panics() {
+        let spec = NodeSpec::thunderx2();
+        let _ = hpl_runtime_s(&TABLE_II[0], &spec, &[], 1);
+    }
+}

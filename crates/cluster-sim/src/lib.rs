@@ -1,0 +1,52 @@
+//! # cluster-sim
+//!
+//! Discrete-event simulator of an HPC cluster: a Slurm-like workload
+//! manager, a BeeOND-like node-local parallel filesystem, a Lustre-like
+//! external filesystem, and analytic HPL/IOR workload models with an OS
+//! noise / daemon-interference engine.
+//!
+//! This crate is the substitute substrate for the evaluation section of the
+//! supplied paper text (the burst-buffer interference study): the original
+//! ran on a 128-node dual-socket ThunderX2 system with node-local SATA SSDs.
+//! Here the same experiment classes run against a calibrated model:
+//!
+//! * [`des`] — a small discrete-event engine (event queue + virtual clock).
+//! * [`node`] — node hardware model (cores, memory, SSD, NIC).
+//! * [`slurm`] — the workload manager: contiguous allocation, prolog/epilog,
+//!   constraints (`beeond`), drain-on-failure.
+//! * [`beeond`] — the node-local FS: role assignment exactly as the paper's
+//!   §III-D (lowest node = mgmtd + metadata + OST + client; every node an
+//!   OST + client), parallel startup < 3 s, teardown + XFS reformat < 6 s.
+//! * [`lustre`] — the external parallel FS (absorbs I/O without loading
+//!   compute nodes).
+//! * [`workload`] — HPL (Table II parameter derivation + bulk-synchronous
+//!   runtime model), IOR (Table III configuration + load generation), and
+//!   the six Table I performance profiles.
+//! * [`interference`] — the noise engine: OS jitter, idle-daemon wakeups,
+//!   OSS service work, metadata service load; calibration constants live in
+//!   [`interference::calib`] with the paper ranges that pin them.
+//! * [`lifecycle`] — BeeOND assembly/teardown timing through the parallel
+//!   Prolog/Epilog (the "<3 s / <6 s regardless of scale" claim).
+//! * [`experiment`] — the five experiment classes of Fig. `process-layout`
+//!   and the runner that reproduces Fig. `multinode` / Fig.
+//!   `multinode-variance`.
+//! * [`stats`] — mean / stddev / Student-t 95 % confidence intervals.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beeond;
+pub mod des;
+pub mod experiment;
+pub mod interference;
+pub mod lifecycle;
+pub mod lustre;
+pub mod node;
+pub mod rngx;
+pub mod slurm;
+pub mod stats;
+pub mod workload;
+
+pub use des::{Engine, Scheduler, SimTime};
+pub use experiment::{ExperimentClass, ExperimentPlan, ExperimentResult};
+pub use stats::Summary;

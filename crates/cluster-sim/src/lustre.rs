@@ -1,0 +1,49 @@
+//! The external Lustre-like parallel filesystem.
+//!
+//! In the "Matching Lustre" control experiment IOR targets the site-wide
+//! filesystem: its OSS/MDS daemons run on *external* server nodes, so the
+//! compute allocation carries no filesystem daemons at all. The model
+//! therefore only needs to answer "how much does Lustre-bound IOR perturb
+//! co-allocated compute nodes" — which the paper found to be nil (the
+//! Lustre+IOR runs were the *fastest* configuration).
+
+use serde::Serialize;
+
+/// External filesystem service capacity.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LustreModel {
+    /// External OSS server count.
+    pub oss_servers: usize,
+    /// External MDS server count.
+    pub mds_servers: usize,
+    /// Aggregate write bandwidth (GB/s) — bounds IOR throughput, not HPL.
+    pub write_gbps: f64,
+    /// Client-side CPU fraction consumed on an IOR *client* node when
+    /// writing at full tilt (HPL never runs on IOR nodes, so this does not
+    /// touch HPL nodes).
+    pub client_cpu_fraction: f64,
+}
+
+impl Default for LustreModel {
+    fn default() -> Self {
+        LustreModel { oss_servers: 32, mds_servers: 2, write_gbps: 120.0, client_cpu_fraction: 0.15 }
+    }
+}
+
+impl LustreModel {
+    /// Noise contribution of Lustre-bound IOR on a *compute* (non-IOR)
+    /// node. External service: zero by construction.
+    pub fn compute_node_interference(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn external_service_does_not_perturb_compute_nodes() {
+        assert_eq!(LustreModel::default().compute_node_interference(), 0.0);
+    }
+}

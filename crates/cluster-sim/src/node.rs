@@ -1,0 +1,91 @@
+//! Node hardware model: the paper's testbed nodes.
+//!
+//! "A dual socket ThunderX2 processor with Socket Direct … 100 Gb/s EDR
+//! InfiniBand … each node contained a 1 TB SATA interface SSD" with an
+//! 894 GB XFS partition.
+
+use serde::Serialize;
+
+/// Hardware of one compute node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct NodeSpec {
+    /// Physical cores (2 × 28 for dual ThunderX2 CN9975).
+    pub cores: u32,
+    /// DRAM in GiB.
+    pub memory_gib: u64,
+    /// Node-local SSD partition in bytes (894 GB usable).
+    pub ssd_bytes: u64,
+    /// NIC bandwidth in Gbit/s (EDR InfiniBand).
+    pub nic_gbps: f64,
+    /// Sustained double-precision GFLOPS for HPL-like kernels.
+    pub gflops: f64,
+}
+
+impl NodeSpec {
+    /// The paper's ARM64 node (HPE Apollo 70 class).
+    pub fn thunderx2() -> NodeSpec {
+        NodeSpec {
+            cores: 56,
+            memory_gib: 128,
+            ssd_bytes: 894_000_000_000,
+            nic_gbps: 100.0,
+            // Calibrated so the paper's single-node HPL (N = 91048) takes a
+            // bit under 15 minutes: 2/3·N³ flops ≈ 5.03e14 → ~560 GFLOPS
+            // sustains ≈ 860 s.
+            gflops: 585.0,
+        }
+    }
+
+    /// Memory HPL sizes its matrix from (bytes).
+    ///
+    /// The paper says "most of the memory", but its own Table II implies
+    /// N₁ = 91 048 ⇒ 8·N₁² ≈ 61.8 GiB ≈ 48.3 % of the 128 GiB node —
+    /// consistent with one NUMA domain of the dual-socket ThunderX2 plus
+    /// headroom. We use that observed fill factor so the derived table
+    /// matches the published one.
+    pub fn hpl_usable_memory_bytes(&self) -> u64 {
+        self.memory_gib * 1024 * 1024 * 1024 * 483 / 1000
+    }
+}
+
+/// A cluster: homogeneous nodes, numbered 0..n.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cluster {
+    /// Per-node hardware.
+    pub spec: NodeSpec,
+    /// Node count.
+    pub nodes: usize,
+}
+
+impl Cluster {
+    /// A cluster of `nodes` ThunderX2 nodes.
+    pub fn thunderx2(nodes: usize) -> Cluster {
+        Cluster { spec: NodeSpec::thunderx2(), nodes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thunderx2_shape() {
+        let n = NodeSpec::thunderx2();
+        assert_eq!(n.cores, 56);
+        assert_eq!(n.memory_gib, 128);
+        assert!(n.hpl_usable_memory_bytes() < 128 * (1u64 << 30));
+        // The observed Table-II fill factor: ~61.8 GiB of matrix.
+        assert!(n.hpl_usable_memory_bytes() > 60 * (1u64 << 30));
+        assert!(n.hpl_usable_memory_bytes() < 64 * (1u64 << 30));
+    }
+
+    #[test]
+    fn single_node_hpl_under_15_minutes() {
+        // Cross-check the calibration note on `gflops`.
+        let n = NodeSpec::thunderx2();
+        let flops = 2.0 / 3.0 * 91048f64.powi(3);
+        let t = flops / (n.gflops * 1e9);
+        assert!(t < 900.0, "single-node HPL {t:.0}s must be < 15 min");
+        assert!(t > 600.0, "but not implausibly fast ({t:.0}s)");
+    }
+}

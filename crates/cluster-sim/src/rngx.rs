@@ -1,0 +1,45 @@
+//! Tiny deterministic uniform-stream helper (no `rand` dependency in hot
+//! paths that only need a labelled uniform draw).
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` for `(seed, label, index)`.
+pub fn stream01(seed: u64, label: &str, index: u64) -> f64 {
+    let mut h = splitmix64(seed);
+    for b in label.as_bytes() {
+        h = splitmix64(h ^ u64::from(*b));
+    }
+    (splitmix64(h ^ index) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_unit_interval_and_deterministic() {
+        for i in 0..100 {
+            let u = stream01(42, "t", i);
+            assert!((0.0..1.0).contains(&u));
+            assert_eq!(u, stream01(42, "t", i));
+        }
+    }
+
+    #[test]
+    fn labels_decorrelate() {
+        assert_ne!(stream01(1, "a", 0), stream01(1, "b", 0));
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|i| stream01(7, "u", i)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "{mean}");
+    }
+}

@@ -1,0 +1,473 @@
+//! A Slurm-like workload manager over the DES engine.
+//!
+//! Models what the paper's integration relies on: contiguous node
+//! allocation affinity, parallel Prolog/Epilog hooks (BeeOND assembly and
+//! teardown run there), job constraints (the `beeond` constraint toggles
+//! private-filesystem creation), error handling that drains nodes on
+//! prolog failure, and per-job lifecycle events.
+
+use crate::des::{Model, Scheduler, SimTime};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Job identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct JobId(pub u64);
+
+/// A job submission.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobSpec {
+    /// Nodes requested.
+    pub nodes: usize,
+    /// Requested walltime (sim seconds); the job is killed at this limit.
+    pub walltime_s: f64,
+    /// Constraints (e.g. `beeond`), matching `SLURM_JOB_CONSTRAINTS`.
+    pub constraints: Vec<String>,
+}
+
+impl JobSpec {
+    /// A job with the `beeond` constraint set.
+    pub fn with_beeond(nodes: usize, walltime_s: f64) -> JobSpec {
+        JobSpec { nodes, walltime_s, constraints: vec!["beeond".to_string()] }
+    }
+
+    /// A plain job.
+    pub fn plain(nodes: usize, walltime_s: f64) -> JobSpec {
+        JobSpec { nodes, walltime_s, constraints: Vec::new() }
+    }
+
+    /// Whether the `beeond` constraint is present (the Prolog check the
+    /// paper describes).
+    pub fn wants_beeond(&self) -> bool {
+        self.constraints.iter().any(|c| c == "beeond")
+    }
+}
+
+/// Node lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum NodeState {
+    /// Available for allocation.
+    Idle,
+    /// Part of a running allocation.
+    Allocated,
+    /// Drained after a failure (the paper: "the compute nodes would be
+    /// drained for further inspection").
+    Drained,
+}
+
+/// Job lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum JobState {
+    /// Waiting for nodes.
+    Pending,
+    /// Prolog running (BeeOND assembly happens here).
+    Prolog,
+    /// User payload running.
+    Running,
+    /// Epilog running (teardown + XFS reformat).
+    Epilog,
+    /// Finished normally.
+    Completed,
+    /// Killed at the walltime limit.
+    TimedOut,
+    /// Failed in prolog; nodes drained.
+    Failed,
+}
+
+/// WLM events.
+#[derive(Debug, Clone)]
+pub enum WlmEvent {
+    /// Try to schedule pending jobs.
+    Schedule,
+    /// Prolog finished on all nodes of a job.
+    PrologDone(JobId),
+    /// Job payload finished (duration known at start in this model).
+    PayloadDone(JobId),
+    /// Walltime limit hit.
+    WalltimeKill(JobId),
+    /// Epilog finished; nodes return to idle.
+    EpilogDone(JobId),
+}
+
+/// A live or finished job record.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobRecord {
+    /// The spec as submitted.
+    pub spec: JobSpec,
+    /// Current state.
+    pub state: JobState,
+    /// First node of the contiguous allocation (the paper's "lowest node"
+    /// becomes Mgmtd/MDS).
+    pub first_node: Option<usize>,
+    /// When the payload started, if it did.
+    pub started_at: Option<SimTime>,
+    /// When the job reached a terminal state.
+    pub ended_at: Option<SimTime>,
+    /// Payload duration to simulate (set by the experiment driver).
+    pub payload_s: f64,
+}
+
+/// Tunable hook durations.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct HookTimes {
+    /// Prolog duration with the `beeond` constraint (parallel assembly;
+    /// the paper achieved "under 3 seconds … regardless of the scale").
+    pub beeond_prolog_s: f64,
+    /// Prolog without BeeOND.
+    pub plain_prolog_s: f64,
+    /// Epilog with BeeOND (stop daemons + XFS reformat, "under 6 seconds").
+    pub beeond_epilog_s: f64,
+    /// Epilog without BeeOND.
+    pub plain_epilog_s: f64,
+}
+
+impl Default for HookTimes {
+    fn default() -> Self {
+        HookTimes { beeond_prolog_s: 2.8, plain_prolog_s: 0.5, beeond_epilog_s: 5.5, plain_epilog_s: 0.5 }
+    }
+}
+
+/// The workload manager.
+#[derive(Debug)]
+pub struct Wlm {
+    nodes: Vec<NodeState>,
+    jobs: BTreeMap<JobId, JobRecord>,
+    queue: Vec<JobId>,
+    next_job: u64,
+    /// Hook timing model.
+    pub hooks: HookTimes,
+    /// Fraction-of-one probability that a BeeOND prolog fails on a given
+    /// job (hardware issue model); failing jobs drain their nodes.
+    pub prolog_failure_prob: f64,
+    rng_state: u64,
+}
+
+impl Wlm {
+    /// A WLM over `nodes` idle nodes.
+    pub fn new(nodes: usize, seed: u64) -> Wlm {
+        Wlm {
+            nodes: vec![NodeState::Idle; nodes],
+            jobs: BTreeMap::new(),
+            queue: Vec::new(),
+            next_job: 1,
+            hooks: HookTimes::default(),
+            prolog_failure_prob: 0.0,
+            rng_state: seed | 1,
+        }
+    }
+
+    fn rand01(&mut self) -> f64 {
+        // xorshift64* — enough for a failure coin-flip.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Submit a job whose payload will take `payload_s` seconds; kicks the
+    /// scheduler.
+    pub fn submit(&mut self, spec: JobSpec, payload_s: f64, s: &mut Scheduler<WlmEvent>) -> JobId {
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.jobs.insert(
+            id,
+            JobRecord { spec, state: JobState::Pending, first_node: None, started_at: None, ended_at: None, payload_s },
+        );
+        self.queue.push(id);
+        s.after(SimTime::ZERO, WlmEvent::Schedule);
+        id
+    }
+
+    /// Read a job record.
+    pub fn job(&self, id: JobId) -> Option<&JobRecord> {
+        self.jobs.get(&id)
+    }
+
+    /// Node states (tests/inspection).
+    pub fn node_states(&self) -> &[NodeState] {
+        &self.nodes
+    }
+
+    /// The node list of a job's allocation (contiguous), mirroring
+    /// `SLURM_NODELIST`.
+    pub fn nodelist(&self, id: JobId) -> Option<Vec<usize>> {
+        let j = self.jobs.get(&id)?;
+        let first = j.first_node?;
+        Some((first..first + j.spec.nodes).collect())
+    }
+
+    /// Find a contiguous run of `n` idle nodes (Slurm's contiguous-affinity
+    /// behavior the paper leans on for data locality).
+    fn find_contiguous(&self, n: usize) -> Option<usize> {
+        let mut run = 0;
+        for (i, st) in self.nodes.iter().enumerate() {
+            if *st == NodeState::Idle {
+                run += 1;
+                if run == n {
+                    return Some(i + 1 - n);
+                }
+            } else {
+                run = 0;
+            }
+        }
+        None
+    }
+
+    /// EASY-backfill shadow time: the earliest time at which `needed` nodes
+    /// will be free, assuming every running job releases its nodes at its
+    /// walltime limit (the guaranteed bound). Returns `None` when even all
+    /// releases cannot satisfy the demand (more nodes requested than
+    /// non-drained nodes exist).
+    fn shadow_time(&self, needed: usize, now: SimTime) -> Option<SimTime> {
+        let mut free = self.nodes.iter().filter(|s| **s == NodeState::Idle).count();
+        if free >= needed {
+            return Some(now);
+        }
+        // (release time, node count) of every running/prolog/epilog job.
+        let mut releases: Vec<(SimTime, usize)> = self
+            .jobs
+            .values()
+            .filter(|j| {
+                matches!(j.state, JobState::Prolog | JobState::Running | JobState::Epilog)
+            })
+            .map(|j| {
+                let start = j.started_at.unwrap_or(now);
+                let bound = start.plus(SimTime::from_secs_f64(
+                    j.spec.walltime_s + self.hooks.beeond_epilog_s.max(self.hooks.plain_epilog_s),
+                ));
+                (bound.max(now), j.spec.nodes)
+            })
+            .collect();
+        releases.sort();
+        for (t, n) in releases {
+            free += n;
+            if free >= needed {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+impl Model for Wlm {
+    type Event = WlmEvent;
+
+    fn handle(&mut self, t: SimTime, event: WlmEvent, s: &mut Scheduler<WlmEvent>) {
+        match event {
+            WlmEvent::Schedule => {
+                // EASY backfill: jobs launch in queue order until the first
+                // one that does not fit (the head). The head gets a
+                // reservation at its shadow time; later jobs may jump ahead
+                // only if they fit *and* are guaranteed to finish before the
+                // shadow time, so the head is never delayed.
+                let mut launched = Vec::new();
+                let mut shadow: Option<SimTime> = None; // set once a head is blocked
+                for &id in &self.queue.clone() {
+                    let Some(j) = self.jobs.get(&id) else { continue };
+                    if j.state != JobState::Pending {
+                        continue;
+                    }
+                    let placement = self.find_contiguous(j.spec.nodes);
+                    if placement.is_none() && shadow.is_none() {
+                        // This is the blocked head: reserve its shadow time.
+                        shadow = self.shadow_time(j.spec.nodes, t);
+                        continue;
+                    }
+                    if let Some(reserved) = shadow {
+                        // Backfill guard: must complete (walltime + worst
+                        // epilog) before the head's reservation.
+                        let done_by = t.plus(SimTime::from_secs_f64(
+                            j.spec.walltime_s
+                                + self.hooks.beeond_prolog_s.max(self.hooks.plain_prolog_s)
+                                + self.hooks.beeond_epilog_s.max(self.hooks.plain_epilog_s),
+                        ));
+                        if done_by > reserved {
+                            continue;
+                        }
+                    }
+                    let Some(first) = placement else { continue };
+                    for node in &mut self.nodes[first..first + j.spec.nodes] {
+                        *node = NodeState::Allocated;
+                    }
+                    let wants_beeond = j.spec.wants_beeond();
+                    let prolog = if wants_beeond { self.hooks.beeond_prolog_s } else { self.hooks.plain_prolog_s };
+                    let fails = wants_beeond && self.rand01() < self.prolog_failure_prob;
+                    let j = self.jobs.get_mut(&id).expect("checked");
+                    j.first_node = Some(first);
+                    j.state = JobState::Prolog;
+                    if fails {
+                        j.state = JobState::Failed;
+                        j.ended_at = Some(t);
+                        // Drain the nodes; they do not return to the pool.
+                        for node in &mut self.nodes[first..first + j.spec.nodes] {
+                            *node = NodeState::Drained;
+                        }
+                        launched.push(id);
+                        continue;
+                    }
+                    s.after(SimTime::from_secs_f64(prolog), WlmEvent::PrologDone(id));
+                    launched.push(id);
+                }
+                self.queue.retain(|id| !launched.contains(id));
+            }
+            WlmEvent::PrologDone(id) => {
+                let Some(j) = self.jobs.get_mut(&id) else { return };
+                if j.state != JobState::Prolog {
+                    return;
+                }
+                j.state = JobState::Running;
+                j.started_at = Some(t);
+                s.after(SimTime::from_secs_f64(j.payload_s), WlmEvent::PayloadDone(id));
+                s.after(SimTime::from_secs_f64(j.spec.walltime_s), WlmEvent::WalltimeKill(id));
+            }
+            WlmEvent::PayloadDone(id) | WlmEvent::WalltimeKill(id) => {
+                let timed_out = matches!(event, WlmEvent::WalltimeKill(_));
+                let Some(j) = self.jobs.get_mut(&id) else { return };
+                if j.state != JobState::Running {
+                    return; // the other of the two events already fired
+                }
+                j.state = JobState::Epilog;
+                j.ended_at = Some(t);
+                let epilog = if j.spec.wants_beeond() { self.hooks.beeond_epilog_s } else { self.hooks.plain_epilog_s };
+                // Remember how it ended; applied at EpilogDone.
+                j.payload_s = if timed_out { f64::NAN } else { j.payload_s };
+                s.after(SimTime::from_secs_f64(epilog), WlmEvent::EpilogDone(id));
+            }
+            WlmEvent::EpilogDone(id) => {
+                let Some(j) = self.jobs.get_mut(&id) else { return };
+                if j.state != JobState::Epilog {
+                    return;
+                }
+                j.state = if j.payload_s.is_nan() { JobState::TimedOut } else { JobState::Completed };
+                let first = j.first_node.expect("ran");
+                let n = j.spec.nodes;
+                for node in &mut self.nodes[first..first + n] {
+                    *node = NodeState::Idle;
+                }
+                s.after(SimTime::ZERO, WlmEvent::Schedule);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::Engine;
+
+    #[test]
+    fn job_lifecycle_with_beeond_hooks() {
+        let mut wlm = Wlm::new(8, 7);
+        let mut s = Scheduler::new();
+        let id = wlm.submit(JobSpec::with_beeond(4, 3600.0), 100.0, &mut s);
+        Engine::run(&mut wlm, &mut s);
+        let j = wlm.job(id).unwrap();
+        assert_eq!(j.state, JobState::Completed);
+        // started after the 2.8 s prolog; ended 100 s later.
+        assert!((j.started_at.unwrap().as_secs_f64() - 2.8).abs() < 1e-6);
+        assert!((j.ended_at.unwrap().as_secs_f64() - 102.8).abs() < 1e-6);
+        assert!(wlm.node_states().iter().all(|s| *s == NodeState::Idle));
+    }
+
+    #[test]
+    fn contiguous_allocation_and_nodelist() {
+        let mut wlm = Wlm::new(8, 7);
+        let mut s = Scheduler::new();
+        let a = wlm.submit(JobSpec::plain(3, 100.0), 50.0, &mut s);
+        let b = wlm.submit(JobSpec::plain(2, 100.0), 50.0, &mut s);
+        // Run just the scheduling + prologs.
+        Engine::run_until(&mut wlm, &mut s, SimTime::from_secs(2));
+        assert_eq!(wlm.nodelist(a).unwrap(), vec![0, 1, 2]);
+        assert_eq!(wlm.nodelist(b).unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn queued_job_waits_for_space() {
+        let mut wlm = Wlm::new(4, 7);
+        let mut s = Scheduler::new();
+        let a = wlm.submit(JobSpec::plain(4, 1000.0), 10.0, &mut s);
+        let b = wlm.submit(JobSpec::plain(4, 1000.0), 10.0, &mut s);
+        Engine::run(&mut wlm, &mut s);
+        let ja = wlm.job(a).unwrap();
+        let jb = wlm.job(b).unwrap();
+        assert_eq!(ja.state, JobState::Completed);
+        assert_eq!(jb.state, JobState::Completed);
+        assert!(jb.started_at.unwrap() > ja.ended_at.unwrap(), "b ran after a finished");
+    }
+
+    #[test]
+    fn walltime_kill() {
+        let mut wlm = Wlm::new(2, 7);
+        let mut s = Scheduler::new();
+        let id = wlm.submit(JobSpec::plain(1, 5.0), 60.0, &mut s);
+        Engine::run(&mut wlm, &mut s);
+        let j = wlm.job(id).unwrap();
+        assert_eq!(j.state, JobState::TimedOut);
+        assert!((j.ended_at.unwrap().as_secs_f64() - 5.5).abs() < 1e-6); // prolog 0.5 + 5.0
+    }
+
+    #[test]
+    fn prolog_failure_drains_nodes() {
+        let mut wlm = Wlm::new(4, 7);
+        wlm.prolog_failure_prob = 1.0;
+        let mut s = Scheduler::new();
+        let id = wlm.submit(JobSpec::with_beeond(2, 100.0), 10.0, &mut s);
+        Engine::run(&mut wlm, &mut s);
+        assert_eq!(wlm.job(id).unwrap().state, JobState::Failed);
+        assert_eq!(wlm.node_states()[0], NodeState::Drained);
+        assert_eq!(wlm.node_states()[1], NodeState::Drained);
+        assert_eq!(wlm.node_states()[2], NodeState::Idle);
+        // Drained nodes are not reallocated.
+        let id2 = wlm.submit(JobSpec::plain(3, 100.0), 1.0, &mut s);
+        Engine::run(&mut wlm, &mut s);
+        assert_eq!(wlm.job(id2).unwrap().state, JobState::Pending, "only 2 idle nodes remain");
+    }
+
+    #[test]
+    fn backfill_lets_short_jobs_jump_but_never_delays_the_head() {
+        // 4 nodes. A 3-node job runs for 100 s. A 4-node head job queues
+        // behind it. A short 1-node job (10 s) can backfill; a long 1-node
+        // job (200 s) would delay the head and must wait.
+        let mut wlm = Wlm::new(4, 7);
+        let mut s = Scheduler::new();
+        let running = wlm.submit(JobSpec::plain(3, 100.0), 100.0, &mut s);
+        let head = wlm.submit(JobSpec::plain(4, 50.0), 50.0, &mut s);
+        let long = wlm.submit(JobSpec::plain(1, 200.0), 200.0, &mut s);
+        let short = wlm.submit(JobSpec::plain(1, 10.0), 10.0, &mut s);
+        Engine::run(&mut wlm, &mut s);
+        let st = |id| wlm.job(id).unwrap().started_at.unwrap().as_secs_f64();
+        // The short job backfilled: it started while the 3-node job ran.
+        assert!(st(short) < st(running) + 100.0, "short backfilled at {}", st(short));
+        // The head started as soon as the 3-node job's allocation freed —
+        // not delayed past the long job.
+        assert!(st(head) < st(long), "head {} before long {}", st(head), st(long));
+        // Everything completed.
+        for id in [running, head, long, short] {
+            assert_eq!(wlm.job(id).unwrap().state, JobState::Completed);
+        }
+    }
+
+    #[test]
+    fn shadow_time_accounts_for_walltime_bounds() {
+        let mut wlm = Wlm::new(4, 7);
+        let mut s = Scheduler::new();
+        wlm.submit(JobSpec::plain(4, 100.0), 1000.0, &mut s); // killed at 100s
+        Engine::run_until(&mut wlm, &mut s, SimTime::from_secs(10));
+        let now = SimTime::from_secs(10);
+        let shadow = wlm.shadow_time(4, now).expect("releases eventually");
+        // Walltime 100 s from start (0.5 s prolog) + worst-case epilog
+        // bound (the BeeOND teardown, 5.5 s — the estimate is conservative).
+        assert!(shadow.as_secs_f64() > 100.0 && shadow.as_secs_f64() < 107.0, "{shadow:?}");
+        // More nodes than the cluster has: never.
+        assert!(wlm.shadow_time(99, now).is_none());
+    }
+
+    #[test]
+    fn hook_times_match_paper_budgets() {
+        let h = HookTimes::default();
+        assert!(h.beeond_prolog_s < 3.0, "assembly under 3 s");
+        assert!(h.beeond_epilog_s < 6.0, "teardown under 6 s");
+    }
+}

@@ -1,0 +1,132 @@
+//! Summary statistics: mean, standard deviation and Student-t 95 %
+//! confidence intervals, matching the error bars of Fig. `multinode`.
+
+use serde::Serialize;
+
+/// Two-sided 97.5 % Student-t quantiles by degrees of freedom (1–30);
+/// beyond 30 the normal quantile 1.96 is used.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Student-t 97.5 % quantile for `df` degrees of freedom.
+pub fn t_quantile_975(df: usize) -> f64 {
+    if df == 0 {
+        return f64::INFINITY;
+    }
+    if df <= 30 {
+        T_975[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Summary of a sample.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub stddev: f64,
+    /// Lower bound of the 95 % CI of the mean.
+    pub ci_low: f64,
+    /// Upper bound of the 95 % CI of the mean.
+    pub ci_high: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Panics on an empty slice.
+    pub fn of(xs: &[f64]) -> Summary {
+        assert!(!xs.is_empty(), "cannot summarize an empty sample");
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Summary { n, mean, stddev: 0.0, ci_low: mean, ci_high: mean };
+        }
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        let stddev = var.sqrt();
+        let half = t_quantile_975(n - 1) * stddev / (n as f64).sqrt();
+        Summary { n, mean, stddev, ci_low: mean - half, ci_high: mean + half }
+    }
+
+    /// Half-width of the CI.
+    pub fn ci_half_width(&self) -> f64 {
+        (self.ci_high - self.ci_low) / 2.0
+    }
+
+    /// Whether this summary's CI overlaps another's (no statistically
+    /// significant difference at roughly the 95 % level).
+    pub fn overlaps(&self, other: &Summary) -> bool {
+        self.ci_low <= other.ci_high && other.ci_low <= self.ci_high
+    }
+
+    /// Relative difference of means: `(self − base) / base`.
+    pub fn rel_diff(&self, base: &Summary) -> f64 {
+        (self.mean - base.mean) / base.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 2.13809).abs() < 1e-4);
+        // df=7 → t=2.365; half = 2.365 * 2.13809 / sqrt(8) ≈ 1.7878
+        assert!((s.ci_half_width() - 1.7878).abs() < 1e-3);
+    }
+
+    #[test]
+    fn singleton_has_degenerate_ci() {
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.ci_low, 3.0);
+        assert_eq!(s.ci_high, 3.0);
+    }
+
+    #[test]
+    fn ci_width_shrinks_with_n() {
+        let small = Summary::of(&[1.0, 2.0, 3.0]);
+        let xs: Vec<f64> = (0..30).map(|i| 1.0 + (i % 3) as f64).collect();
+        let big = Summary::of(&xs);
+        assert!(big.ci_half_width() < small.ci_half_width());
+    }
+
+    #[test]
+    fn ci_contains_mean() {
+        let xs = [10.0, 11.0, 12.5, 9.8, 10.7];
+        let s = Summary::of(&xs);
+        assert!(s.ci_low <= s.mean && s.mean <= s.ci_high);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Summary::of(&[10.0, 10.1, 9.9, 10.05]);
+        let b = Summary::of(&[10.05, 10.15, 9.95, 10.1]);
+        let c = Summary::of(&[20.0, 20.1, 19.9, 20.05]);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!((c.rel_diff(&a) - 1.0005).abs() < 0.01);
+    }
+
+    #[test]
+    fn t_quantiles_monotone() {
+        assert!(t_quantile_975(1) > t_quantile_975(5));
+        assert!(t_quantile_975(5) > t_quantile_975(30));
+        assert_eq!(t_quantile_975(31), 1.96);
+        assert!(t_quantile_975(0).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+}

@@ -1,0 +1,131 @@
+//! IOR: Table III configuration and the write-load it generates.
+//!
+//! The paper designed IOR "to be as disruptive to object storage daemons as
+//! possible": many small (512 B) synchronous writes, file-per-process,
+//! fsync after every write, from 56 processes per node, stonewalled so it
+//! runs for the whole computation.
+
+use serde::Serialize;
+
+/// The IOR invocation of Table III.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct IorParams {
+    /// `srun -n` — processes per node.
+    pub procs_per_node: u32,
+    /// `-t` — transfer size in bytes.
+    pub transfer_bytes: u64,
+    /// `-T` — maximum run duration in minutes.
+    pub max_duration_min: u32,
+    /// `-D` — stonewalling deadline in seconds.
+    pub stonewall_s: u32,
+    /// `-i` — test repetitions.
+    pub repetitions: u64,
+    /// `-e` — sync after each write phase.
+    pub sync_per_phase: bool,
+    /// `-C` — reorder tasks.
+    pub reorder_tasks: bool,
+    /// `-w` — write test.
+    pub write_test: bool,
+    /// `-a` — access method.
+    pub access: &'static str,
+    /// `-s` — number of segments.
+    pub segments: u64,
+    /// `-F` — file per process.
+    pub file_per_process: bool,
+    /// `-Y` — fsync after every write.
+    pub fsync_every_write: bool,
+}
+
+impl Default for IorParams {
+    /// Table III, verbatim.
+    fn default() -> Self {
+        IorParams {
+            procs_per_node: 56,
+            transfer_bytes: 512,
+            max_duration_min: 20,
+            stonewall_s: 60,
+            repetitions: 1_048_576,
+            sync_per_phase: true,
+            reorder_tasks: true,
+            write_test: true,
+            access: "POSIX",
+            segments: 1024,
+            file_per_process: true,
+            fsync_every_write: true,
+        }
+    }
+}
+
+impl IorParams {
+    /// Render the equivalent command line (the bench harness prints this to
+    /// regenerate Table III).
+    pub fn command_line(&self) -> String {
+        format!(
+            "srun -n {} ior -t {} -T {} -D {} -i {} {}{}{}-a {} -s {} {}{}",
+            self.procs_per_node,
+            self.transfer_bytes,
+            self.max_duration_min,
+            self.stonewall_s,
+            self.repetitions,
+            if self.sync_per_phase { "-e " } else { "" },
+            if self.reorder_tasks { "-C " } else { "" },
+            if self.write_test { "-w " } else { "" },
+            self.access,
+            self.segments,
+            if self.file_per_process { "-F " } else { "" },
+            if self.fsync_every_write { "-Y" } else { "" },
+        )
+    }
+
+    /// Sustained write-op rate per client *process* (ops/s).
+    ///
+    /// A 512 B synchronous write with per-write fsync is latency-bound: one
+    /// round trip to the OST plus the commit. With ~250 µs of network +
+    /// service + commit latency per op on the modeled fabric, each process
+    /// sustains ≈ 4 000 ops/s.
+    pub fn ops_per_process_per_s(&self, per_op_latency_s: f64) -> f64 {
+        1.0 / per_op_latency_s
+    }
+
+    /// Total write ops/s emitted by one IOR node.
+    pub fn node_ops_per_s(&self, per_op_latency_s: f64) -> f64 {
+        f64::from(self.procs_per_node) * self.ops_per_process_per_s(per_op_latency_s)
+    }
+
+    /// Files created by one IOR node (file-per-process).
+    pub fn files_per_node(&self) -> u64 {
+        u64::from(self.procs_per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_values() {
+        let p = IorParams::default();
+        assert_eq!(p.procs_per_node, 56);
+        assert_eq!(p.transfer_bytes, 512);
+        assert_eq!(p.max_duration_min, 20);
+        assert_eq!(p.stonewall_s, 60);
+        assert_eq!(p.repetitions, 1 << 20);
+        assert_eq!(p.segments, 1024);
+        assert!(p.file_per_process && p.fsync_every_write && p.write_test);
+    }
+
+    #[test]
+    fn command_line_contains_all_flags() {
+        let cmd = IorParams::default().command_line();
+        for flag in ["-t 512", "-T 20", "-D 60", "-e", "-C", "-w", "-a POSIX", "-s 1024", "-F", "-Y"] {
+            assert!(cmd.contains(flag), "missing {flag} in {cmd}");
+        }
+    }
+
+    #[test]
+    fn op_rates_scale_with_latency() {
+        let p = IorParams::default();
+        assert!((p.node_ops_per_s(250e-6) - 56.0 * 4000.0).abs() < 1.0);
+        assert!(p.node_ops_per_s(500e-6) < p.node_ops_per_s(250e-6));
+    }
+}

@@ -1,0 +1,10 @@
+//! Workload models: HPL (Table II), IOR (Table III) and the six
+//! performance profiles (Table I).
+
+pub mod hpl;
+pub mod ior;
+pub mod profiles;
+
+pub use hpl::HplParams;
+pub use ior::IorParams;
+pub use profiles::{Profile, ProfileRow};

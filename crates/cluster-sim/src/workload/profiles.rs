@@ -1,0 +1,182 @@
+//! Table I: performance profiles, representative benchmarks, and the
+//! degree of isolation HPC users typically expect.
+//!
+//! Each profile is modeled by its demand on four contention channels with
+//! different sharing scopes; the measured slowdown when a matching
+//! neighbour task runs classifies the isolation level.
+
+use serde::Serialize;
+
+/// The six profiles of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Profile {
+    /// Heavy use of CPU and accelerators (HPL).
+    CpuBound,
+    /// Reads and writes to main memory (STREAM, HPCG).
+    MemoryBound,
+    /// Sending/receiving among nodes (Intel MPI Benchmarks).
+    NetworkBound,
+    /// Many small reads/writes to a few files (IOR-hard).
+    IopsBound,
+    /// Large reads/writes to a few files (IOR-easy).
+    BandwidthBound,
+    /// Many small reads/writes to many files (mdtest).
+    MetadataBound,
+}
+
+impl Profile {
+    /// All profiles in Table I order.
+    pub const ALL: [Profile; 6] = [
+        Profile::CpuBound,
+        Profile::MemoryBound,
+        Profile::NetworkBound,
+        Profile::IopsBound,
+        Profile::BandwidthBound,
+        Profile::MetadataBound,
+    ];
+
+    /// Table I's description column.
+    pub fn description(self) -> &'static str {
+        match self {
+            Profile::CpuBound => "Heavy use of CPU and accelerators",
+            Profile::MemoryBound => "Reads and writes to main memory",
+            Profile::NetworkBound => "Sending and receiving data among nodes in a task",
+            Profile::IopsBound => "Many small reads/writes to a few files",
+            Profile::BandwidthBound => "Large reads/writes to a few files",
+            Profile::MetadataBound => "Many small reads/writes to many files",
+        }
+    }
+
+    /// Table I's representative benchmark column.
+    pub fn benchmark(self) -> &'static str {
+        match self {
+            Profile::CpuBound => "HPL",
+            Profile::MemoryBound => "STREAM, HPCG",
+            Profile::NetworkBound => "Intel MPI Benchmarks",
+            Profile::IopsBound => "IOR-hard",
+            Profile::BandwidthBound => "IOR-easy",
+            Profile::MetadataBound => "mdtest",
+        }
+    }
+
+    /// Demand vector on the contention channels, each 0–1:
+    /// `(cpu, memory-bandwidth, network, filesystem)`.
+    pub fn demand(self) -> (f64, f64, f64, f64) {
+        match self {
+            Profile::CpuBound => (1.0, 0.2, 0.1, 0.0),
+            Profile::MemoryBound => (0.4, 1.0, 0.1, 0.0),
+            Profile::NetworkBound => (0.2, 0.3, 1.0, 0.0),
+            Profile::IopsBound => (0.1, 0.1, 0.3, 1.0),
+            Profile::BandwidthBound => (0.1, 0.2, 0.5, 1.0),
+            Profile::MetadataBound => (0.1, 0.1, 0.2, 1.0),
+        }
+    }
+}
+
+/// How strongly a channel leaks between *separately scheduled tasks on
+/// distinct nodes* of a typical HPC system: CPU and memory bandwidth are
+/// node-private (no leak); the network fabric is partially shared; the
+/// filesystem service is fully shared.
+const CHANNEL_LEAK: (f64, f64, f64, f64) = (0.0, 0.0, 0.08, 0.45);
+
+/// Isolation classes of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Isolation {
+    /// Slowdown under a matching neighbour < 2 %.
+    Strong,
+    /// 2–10 %.
+    MediumToStrong,
+    /// > 10 %.
+    Weak,
+}
+
+/// Predicted slowdown of `a` when a matching task `b` runs on other nodes
+/// of the same system, from channel demands and leaks.
+pub fn contention_slowdown(a: Profile, b: Profile) -> f64 {
+    let (ac, am, an, af) = a.demand();
+    let (bc, bm, bn, bf) = b.demand();
+    let (lc, lm, ln, lf) = CHANNEL_LEAK;
+    ac * bc * lc + am * bm * lm + an * bn * ln + af * bf * lf
+}
+
+/// Classify a slowdown fraction.
+pub fn classify(slowdown: f64) -> Isolation {
+    if slowdown < 0.02 {
+        Isolation::Strong
+    } else if slowdown <= 0.10 {
+        Isolation::MediumToStrong
+    } else {
+        Isolation::Weak
+    }
+}
+
+/// One rendered row of Table I.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProfileRow {
+    /// Profile name.
+    pub profile: Profile,
+    /// Description column.
+    pub description: &'static str,
+    /// Benchmark column.
+    pub benchmark: &'static str,
+    /// Measured self-contention slowdown.
+    pub slowdown: f64,
+    /// Resulting isolation class.
+    pub isolation: Isolation,
+}
+
+/// Regenerate Table I: each profile contended against itself.
+pub fn table_i() -> Vec<ProfileRow> {
+    Profile::ALL
+        .iter()
+        .map(|&p| {
+            let s = contention_slowdown(p, p);
+            ProfileRow {
+                profile: p,
+                description: p.description(),
+                benchmark: p.benchmark(),
+                slowdown: s,
+                isolation: classify(s),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_isolation_classes_match_paper() {
+        let rows = table_i();
+        let by_profile = |p: Profile| rows.iter().find(|r| r.profile == p).unwrap().isolation;
+        assert_eq!(by_profile(Profile::CpuBound), Isolation::Strong);
+        assert_eq!(by_profile(Profile::MemoryBound), Isolation::Strong);
+        assert_eq!(by_profile(Profile::NetworkBound), Isolation::MediumToStrong);
+        assert_eq!(by_profile(Profile::IopsBound), Isolation::Weak);
+        assert_eq!(by_profile(Profile::BandwidthBound), Isolation::Weak);
+        assert_eq!(by_profile(Profile::MetadataBound), Isolation::Weak);
+    }
+
+    #[test]
+    fn benchmarks_match_table() {
+        assert_eq!(Profile::CpuBound.benchmark(), "HPL");
+        assert_eq!(Profile::MetadataBound.benchmark(), "mdtest");
+    }
+
+    #[test]
+    fn cross_contention_is_asymmetric_in_demand() {
+        // An FS-heavy neighbour barely hurts a CPU-bound task…
+        assert!(contention_slowdown(Profile::CpuBound, Profile::IopsBound) < 0.02);
+        // …but FS-bound tasks trample each other.
+        assert!(contention_slowdown(Profile::IopsBound, Profile::BandwidthBound) > 0.10);
+    }
+
+    #[test]
+    fn classification_boundaries() {
+        assert_eq!(classify(0.0), Isolation::Strong);
+        assert_eq!(classify(0.019), Isolation::Strong);
+        assert_eq!(classify(0.05), Isolation::MediumToStrong);
+        assert_eq!(classify(0.2), Isolation::Weak);
+    }
+}

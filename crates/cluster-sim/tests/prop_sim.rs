@@ -1,0 +1,128 @@
+//! Property tests: statistics, DES ordering, workload-model monotonicity
+//! and experiment-layout invariants.
+
+use cluster_sim::des::{Engine, Model, Scheduler, SimTime};
+use cluster_sim::experiment::{ExperimentClass, Layout};
+use cluster_sim::interference::{hpl_runtime_s, oss_rho, NodeNoise};
+use cluster_sim::node::NodeSpec;
+use cluster_sim::stats::Summary;
+use cluster_sim::workload::hpl::derive_params;
+use cluster_sim::workload::ior::IorParams;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The 95 % CI always contains the sample mean and is symmetric.
+    #[test]
+    fn ci_contains_mean(xs in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.ci_low <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.ci_high + 1e-9);
+        let lo = s.mean - s.ci_low;
+        let hi = s.ci_high - s.mean;
+        prop_assert!((lo - hi).abs() < 1e-6 * (1.0 + lo.abs()));
+    }
+
+    /// Adding more identically distributed data never widens the CI much:
+    /// the half-width of a doubled sample is strictly smaller for constant
+    /// spread data.
+    #[test]
+    fn ci_shrinks_with_replication(base in prop::collection::vec(0.0f64..100.0, 3..12)) {
+        prop_assume!(Summary::of(&base).stddev > 1e-9);
+        let doubled: Vec<f64> = base.iter().chain(base.iter()).copied().collect();
+        let s1 = Summary::of(&base);
+        let s2 = Summary::of(&doubled);
+        prop_assert!(s2.ci_half_width() < s1.ci_half_width());
+    }
+
+    /// DES events always fire in non-decreasing time order, whatever the
+    /// schedule, with FIFO among ties.
+    #[test]
+    fn des_time_ordering(times in prop::collection::vec(0u64..1000, 1..60)) {
+        struct Recorder(Vec<(SimTime, usize)>);
+        impl Model for Recorder {
+            type Event = usize;
+            fn handle(&mut self, t: SimTime, e: usize, _s: &mut Scheduler<usize>) {
+                self.0.push((t, e));
+            }
+        }
+        let mut m = Recorder(Vec::new());
+        let mut s = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            s.at(SimTime::from_secs(t), i);
+        }
+        Engine::run(&mut m, &mut s);
+        prop_assert_eq!(m.0.len(), times.len());
+        for w in m.0.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO among ties");
+            }
+        }
+    }
+
+    /// OSS disruption is monotone in offered load and bounded by the
+    /// calibrated ceiling.
+    #[test]
+    fn oss_rho_monotone_bounded(a in 0.0f64..1e7, b in 0.0f64..1e7) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(oss_rho(lo) <= oss_rho(hi) + 1e-12);
+        prop_assert!(oss_rho(hi) < 0.5);
+        prop_assert!(oss_rho(lo) >= 0.0);
+    }
+
+    /// More noise never speeds HPL up: runtime with OSS load dominates the
+    /// clean runtime at the same seed.
+    #[test]
+    fn noise_is_never_free(k in 0u32..6, rho in 0.01f64..0.4, seed in any::<u64>()) {
+        let spec = NodeSpec::thunderx2();
+        let nodes = 1usize << k.min(4); // up to 16 to keep it quick
+        let params = derive_params(&spec, nodes);
+        let clean = vec![NodeNoise::default(); nodes];
+        let noisy: Vec<NodeNoise> = (0..nodes)
+            .map(|_| NodeNoise { idle_daemons: false, oss_rho: rho, mds_rho: 0.0 })
+            .collect();
+        let t_clean = hpl_runtime_s(&params, &spec, &clean, seed);
+        let t_noisy = hpl_runtime_s(&params, &spec, &noisy, seed);
+        prop_assert!(t_noisy > t_clean, "{t_noisy} vs {t_clean}");
+        // And the slowdown is in the right ballpark (≥ half of rho, the
+        // max-over-nodes can only amplify).
+        prop_assert!(t_noisy / t_clean - 1.0 > rho * 0.5);
+    }
+
+    /// Layout invariants hold for every class and size: HPL node count is
+    /// exact, roles partition the allocation, the no-meta class never puts
+    /// HPL on the MDS node.
+    #[test]
+    fn layouts_partition_the_allocation(class_idx in 0usize..5, kbits in 0u32..6) {
+        let n = 1usize << kbits;
+        let class = ExperimentClass::ALL[class_idx];
+        let l = Layout::build(class, n);
+        let (k, m) = class.k_m(n);
+        prop_assert_eq!(l.allocation_size(), k + n + m);
+        prop_assert_eq!(l.hpl_nodes().len(), n);
+        prop_assert_eq!(l.ior_nodes().len(), m);
+        if class == ExperimentClass::MatchingBeeondNoMeta {
+            prop_assert!(!l.hpl_nodes().contains(&l.mds_node.unwrap()));
+        }
+        if class == ExperimentClass::MatchingBeeond {
+            prop_assert!(l.hpl_nodes().contains(&l.mds_node.unwrap()));
+        }
+        // Noise profiles are produced for every HPL node.
+        prop_assert_eq!(l.noise(&IorParams::default()).len(), n);
+    }
+
+    /// Derived HPL parameters are monotone in node count: N, steps and
+    /// total FLOPs all grow.
+    #[test]
+    fn hpl_params_monotone(kbits in 0u32..7) {
+        let spec = NodeSpec::thunderx2();
+        let a = derive_params(&spec, 1 << kbits);
+        let b = derive_params(&spec, 1 << (kbits + 1));
+        prop_assert!(b.n > a.n);
+        prop_assert!(b.steps() > a.steps());
+        prop_assert!(b.flops() > a.flops());
+        prop_assert_eq!(u64::from(b.p) * u64::from(b.q), 2 * u64::from(a.p) * u64::from(a.q));
+    }
+}

@@ -1,0 +1,198 @@
+//! Redfish `ResourceBlock` materialization: the standard composition
+//! vocabulary (`CompositionService/ResourceBlocks`) published from the
+//! composer's inventory, so stock Redfish clients can browse what is
+//! composable and what is already bound.
+
+use crate::composer::Composer;
+use crate::inventory::Inventory;
+use redfish_model::odata::ODataId;
+use redfish_model::path::top;
+use redfish_model::RedfishResult;
+use serde_json::{json, Value};
+
+/// Classification of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// A whole compute node.
+    Compute,
+    /// A fabric-memory pool (free capacity advertised).
+    Memory,
+    /// A pooled GPU.
+    Gpu,
+    /// A storage pool (free capacity advertised).
+    Storage,
+}
+
+impl BlockKind {
+    fn resource_block_type(self) -> &'static str {
+        match self {
+            BlockKind::Compute => "Compute",
+            BlockKind::Memory => "Memory",
+            BlockKind::Gpu => "Processor",
+            BlockKind::Storage => "Storage",
+        }
+    }
+}
+
+fn block_doc(
+    id: &str,
+    kind: BlockKind,
+    backing: &ODataId,
+    composed: bool,
+    capacity: Option<(&str, u64)>,
+) -> Value {
+    let mut doc = json!({
+        "@odata.type": "#ResourceBlock.v1_4_0.ResourceBlock",
+        "Id": id,
+        "Name": id,
+        "ResourceBlockType": [kind.resource_block_type()],
+        "CompositionStatus": {
+            "CompositionState": if composed { "Composed" } else { "Unused" },
+            "SharingCapable": matches!(kind, BlockKind::Memory | BlockKind::Storage),
+        },
+        "Links": {"ComputerSystems": [], "Zones": []},
+        "Oem": {"OFMF": {"Backing": {"@odata.id": backing.as_str()}}},
+    });
+    if let Some((member, v)) = capacity {
+        doc["Oem"]["OFMF"][member] = json!(v);
+    }
+    doc
+}
+
+/// Rebuild the `ResourceBlocks` collection from the composer's current
+/// view: one block per compute node / memory pool / GPU / storage pool.
+/// Returns the number of blocks published.
+pub fn sync_resource_blocks(composer: &Composer) -> RedfishResult<usize> {
+    let ofmf = composer.ofmf();
+    let col = ODataId::new(top::RESOURCE_BLOCKS);
+
+    // Wipe the old view (the collection itself survives).
+    for member in ofmf.registry.members(&col).unwrap_or_default() {
+        let _ = ofmf.registry.delete(&member);
+    }
+
+    // Free pools…
+    let free: Inventory = composer.inventory();
+    // …and everything currently bound, so Composed blocks are shown too.
+    let bound_nodes: Vec<ODataId> = composer.compositions().iter().map(|c| c.node.clone()).collect();
+
+    let mut n = 0;
+    for c in &free.compute {
+        let id = format!("compute-{}", c.system.leaf());
+        ofmf.registry
+            .create(&col.child(&id), block_doc(&id, BlockKind::Compute, &c.system, false, None))?;
+        n += 1;
+    }
+    for node in &bound_nodes {
+        let id = format!("compute-{}", node.leaf());
+        ofmf.registry
+            .create(&col.child(&id), block_doc(&id, BlockKind::Compute, node, true, None))?;
+        n += 1;
+    }
+    for m in &free.memory {
+        let chassis = m.domain.parent().and_then(|p| p.parent()).unwrap_or_else(|| m.domain.clone());
+        let id = format!("memory-{}", chassis.leaf());
+        let composed = m.free_mib < m.total_mib;
+        ofmf.registry.create(
+            &col.child(&id),
+            block_doc(&id, BlockKind::Memory, &m.domain, composed, Some(("FreeMiB", m.free_mib))),
+        )?;
+        n += 1;
+    }
+    for g in &free.gpus {
+        let id = format!("gpu-{}", g.processor.leaf());
+        ofmf.registry
+            .create(&col.child(&id), block_doc(&id, BlockKind::Gpu, &g.processor, g.assigned, None))?;
+        n += 1;
+    }
+    for s in &free.storage {
+        let svc = s.pool.parent().and_then(|p| p.parent()).unwrap_or_else(|| s.pool.clone());
+        let id = format!("storage-{}", svc.leaf());
+        let composed = s.free_bytes < s.total_bytes;
+        ofmf.registry.create(
+            &col.child(&id),
+            block_doc(&id, BlockKind::Storage, &s.pool, composed, Some(("FreeBytes", s.free_bytes))),
+        )?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Composer, CompositionRequest, Strategy};
+    use ofmf_agents::flavors::{cxl_agent, infiniband_agent, nvmeof_agent, RackShape};
+    use std::sync::Arc;
+
+    fn rig() -> Arc<ofmf_core::Ofmf> {
+        let o = ofmf_core::Ofmf::new("blocks", std::collections::HashMap::new(), 5);
+        let shape = RackShape::default();
+        o.register_agent(Arc::new(cxl_agent("CXL0", &shape, 1 << 20, 1))).unwrap();
+        o.register_agent(Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, 2))).unwrap();
+        o.register_agent(Arc::new(infiniband_agent("IB0", &shape, "A100", 3))).unwrap();
+        o
+    }
+
+    #[test]
+    fn blocks_reflect_inventory_and_composition_state() {
+        let ofmf = rig();
+        let composer = Composer::new(Arc::clone(&ofmf), Strategy::FirstFit);
+        let n = sync_resource_blocks(&composer).unwrap();
+        // 4 compute + 2 memory + 2 gpu + 2 storage.
+        assert_eq!(n, 10);
+        let col = ODataId::new(top::RESOURCE_BLOCKS);
+        let members = ofmf.registry.members(&col).unwrap();
+        assert_eq!(members.len(), 10);
+        // All unused initially.
+        for m in &members {
+            let doc = ofmf.registry.get(m).unwrap().body;
+            assert_eq!(doc["CompositionStatus"]["CompositionState"], "Unused", "{m}");
+        }
+
+        // Compose and resync: the bound node + carved memory flip state.
+        let composed = composer
+            .compose(&CompositionRequest::compute_only("blk", 8, 8).with_fabric_memory_mib(1024).with_gpus(1))
+            .unwrap();
+        sync_resource_blocks(&composer).unwrap();
+        let node_block = col.child(&format!("compute-{}", composed.node.leaf()));
+        assert_eq!(
+            ofmf.registry.get(&node_block).unwrap().body["CompositionStatus"]["CompositionState"],
+            "Composed"
+        );
+        let composed_count = ofmf
+            .registry
+            .members(&col)
+            .unwrap()
+            .iter()
+            .filter(|m| {
+                ofmf.registry.get(m).unwrap().body["CompositionStatus"]["CompositionState"] == "Composed"
+            })
+            .count();
+        assert_eq!(composed_count, 3, "node + memory pool + gpu");
+
+        // Free capacity is advertised.
+        let mem_blocks: Vec<_> = ofmf
+            .registry
+            .members(&col)
+            .unwrap()
+            .into_iter()
+            .filter(|m| m.leaf().starts_with("memory-"))
+            .collect();
+        let free_total: u64 = mem_blocks
+            .iter()
+            .map(|m| ofmf.registry.get(m).unwrap().body["Oem"]["OFMF"]["FreeMiB"].as_u64().unwrap())
+            .sum();
+        assert_eq!(free_total, (2 << 20) - 1024);
+    }
+
+    #[test]
+    fn resync_is_idempotent() {
+        let ofmf = rig();
+        let composer = Composer::new(Arc::clone(&ofmf), Strategy::FirstFit);
+        let a = sync_resource_blocks(&composer).unwrap();
+        let b = sync_resource_blocks(&composer).unwrap();
+        assert_eq!(a, b);
+        assert!(ofmf.registry.dangling_links().is_empty());
+    }
+}

@@ -1,0 +1,546 @@
+//! The Composability Manager itself: compose / decompose, dynamic
+//! reprovisioning and event-driven fail-over recovery.
+//!
+//! Every binding is materialized as its own zone + connection pair on the
+//! owning fabric: the zone scopes visibility to exactly {initiator, target}
+//! and the connection carries the capacity carve. One-zone-per-binding keeps
+//! grow/shrink/fail-over local — rebinding memory never touches the zones of
+//! other bindings.
+
+use crate::inventory::Inventory;
+use crate::policy::PolicySet;
+use crate::request::{Binding, BindingKind, ComposedSystem, CompositionRequest};
+use crate::strategy::{choose_gpu, choose_memory, choose_storage, Strategy};
+use ofmf_core::Ofmf;
+use parking_lot::Mutex;
+use redfish_model::odata::ODataId;
+use redfish_model::path::top;
+use redfish_model::resources::events::EventType;
+use redfish_model::{RedfishError, RedfishResult};
+use serde_json::json;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The Composability Manager.
+pub struct Composer {
+    ofmf: Arc<Ofmf>,
+    strategy: Strategy,
+    policy: PolicySet,
+    state: Mutex<BTreeMap<ODataId, ComposedSystem>>,
+}
+
+impl Composer {
+    /// New composer over an OFMF with the given strategy and default
+    /// policies.
+    pub fn new(ofmf: Arc<Ofmf>, strategy: Strategy) -> Self {
+        Composer { ofmf, strategy, policy: PolicySet::default(), state: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Override the policy set.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicySet) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The OFMF this composer manages.
+    pub fn ofmf(&self) -> &Arc<Ofmf> {
+        &self.ofmf
+    }
+
+    /// Live compositions, keyed by composed-system id.
+    pub fn compositions(&self) -> Vec<ComposedSystem> {
+        self.state.lock().values().cloned().collect()
+    }
+
+    /// Look up one composition.
+    pub fn find(&self, system: &ODataId) -> Option<ComposedSystem> {
+        self.state.lock().get(system).cloned()
+    }
+
+    /// Current inventory as the composer sees it (bound nodes excluded).
+    pub fn inventory(&self) -> Inventory {
+        let bound: Vec<ODataId> = self.state.lock().values().map(|c| c.node.clone()).collect();
+        Inventory::scan(&self.ofmf, &bound)
+    }
+
+    // ------------------------------------------------------------- compose
+
+    /// Satisfy a composition request, or fail with 507 when the pools
+    /// cannot cover it. All-or-nothing: partial bindings are rolled back.
+    pub fn compose(&self, request: &CompositionRequest) -> RedfishResult<ComposedSystem> {
+        let inv = self.inventory();
+
+        // 1. Pick the compute node.
+        let node = inv
+            .compute
+            .iter()
+            .find(|c| c.cores >= request.cores && c.memory_gib >= request.local_memory_gib)
+            .ok_or_else(|| {
+                RedfishError::InsufficientResources(format!(
+                    "no free node with ≥{} cores and ≥{} GiB",
+                    request.cores, request.local_memory_gib
+                ))
+            })?
+            .clone();
+
+        // 2. Plan the fabric bindings (sizes + targets) up front so failures
+        //    happen before any mutation.
+        let mut planned: Vec<(String, ODataId, ODataId, u64, BindingKind)> = Vec::new();
+        // (fabric, target endpoint, bound resource placeholder, size, kind)
+
+        if request.fabric_memory_mib > 0 {
+            if request.spread_memory {
+                let eligible: Vec<&crate::inventory::MemoryPool> = inv
+                    .memory
+                    .iter()
+                    .filter(|p| node.endpoints.contains_key(&p.fabric))
+                    .collect();
+                let plan = self
+                    .policy
+                    .spread_plan(&eligible, request.fabric_memory_mib)
+                    .ok_or_else(|| {
+                        RedfishError::InsufficientResources(format!(
+                            "cannot spread {} MiB across ≤{} pools",
+                            request.fabric_memory_mib, self.policy.max_memory_spread
+                        ))
+                    })?;
+                for (idx, size) in plan {
+                    let p = eligible[idx];
+                    planned.push((p.fabric.clone(), p.endpoint.clone(), p.domain.clone(), size, BindingKind::Memory));
+                }
+            } else {
+                let eligible: Vec<crate::inventory::MemoryPool> = inv
+                    .memory
+                    .iter()
+                    .filter(|p| self.policy.allows_carve(p, request.fabric_memory_mib))
+                    .cloned()
+                    .collect();
+                let p = choose_memory(
+                    self.strategy,
+                    &eligible,
+                    request.fabric_memory_mib,
+                    &self.ofmf,
+                    &node.endpoints,
+                )
+                .ok_or_else(|| {
+                    RedfishError::InsufficientResources(format!(
+                        "no memory pool with {} MiB free under policy",
+                        request.fabric_memory_mib
+                    ))
+                })?;
+                planned.push((
+                    p.fabric.clone(),
+                    p.endpoint.clone(),
+                    p.domain.clone(),
+                    request.fabric_memory_mib,
+                    BindingKind::Memory,
+                ));
+            }
+        }
+
+        let mut gpus = inv.gpus.clone();
+        for _ in 0..request.gpus {
+            let chosen = choose_gpu(self.strategy, &gpus, &self.ofmf, &node.endpoints)
+                .ok_or_else(|| RedfishError::InsufficientResources("no free GPU".into()))?
+                .clone();
+            gpus.iter_mut()
+                .find(|g| g.processor == chosen.processor)
+                .expect("chosen from list")
+                .assigned = true;
+            planned.push((chosen.fabric, chosen.endpoint, chosen.processor, 1, BindingKind::Gpu));
+        }
+
+        if request.storage_bytes > 0 {
+            let p = choose_storage(
+                self.strategy,
+                &inv.storage,
+                request.storage_bytes,
+                &self.ofmf,
+                &node.endpoints,
+            )
+            .ok_or_else(|| {
+                RedfishError::InsufficientResources(format!(
+                    "no storage pool with {} bytes free",
+                    request.storage_bytes
+                ))
+            })?;
+            planned.push((
+                p.fabric.clone(),
+                p.endpoint.clone(),
+                p.pool.clone(),
+                request.storage_bytes,
+                BindingKind::Storage,
+            ));
+        }
+
+        // 3. Execute: bind each planned resource; roll everything back on
+        //    the first failure.
+        let mut bindings: Vec<Binding> = Vec::with_capacity(planned.len());
+        for (fabric, target_ep, _resource_hint, size, kind) in planned {
+            let initiator = node
+                .endpoints
+                .get(&fabric)
+                .expect("planned only on reachable fabrics")
+                .clone();
+            let qos = match kind {
+                BindingKind::Memory => request.memory_bandwidth_gbps,
+                BindingKind::Storage => request.storage_bandwidth_gbps,
+                BindingKind::Gpu => 0.0,
+            };
+            match self.bind(&fabric, &initiator, &target_ep, size, kind, qos) {
+                Ok(b) => bindings.push(b),
+                Err(e) => {
+                    self.unbind_all(&bindings);
+                    return Err(e);
+                }
+            }
+        }
+
+        // 4. Materialize the composed system resource.
+        let sys_col = ODataId::new(top::SYSTEMS);
+        let sys_id = sys_col.child(&request.name);
+        let composed = ComposedSystem {
+            system: sys_id.clone(),
+            node: node.system.clone(),
+            bindings,
+            request: request.clone(),
+        };
+        let doc = json!({
+            "@odata.type": "#ComputerSystem.v1_20_0.ComputerSystem",
+            "Id": request.name,
+            "Name": request.name,
+            "SystemType": "Composed",
+            "PowerState": "On",
+            "Status": {"State": "Enabled", "Health": "OK"},
+            "ProcessorSummary": {"Count": 2, "CoreCount": node.cores},
+            "MemorySummary": {"TotalSystemMemoryGiB": node.memory_gib + composed.bound_memory_mib() / 1024},
+            "Links": {"ResourceBlocks": composed.resource_block_links()},
+        });
+        if let Err(e) = self.ofmf.registry.create(&sys_id, doc) {
+            self.unbind_all(&composed.bindings);
+            return Err(e);
+        }
+        // Mark granted GPUs.
+        for b in composed.bindings.iter().filter(|b| b.kind == BindingKind::Gpu) {
+            let _ = self.ofmf.registry.patch(
+                &b.resource,
+                &json!({"Oem": {"OFMF": {"AssignedTo": sys_id.as_str()}}}),
+                None,
+            );
+        }
+        self.ofmf.events.publish(
+            EventType::ResourceAdded,
+            &sys_id,
+            format!("system {} composed on {}", request.name, node.system),
+            "OK",
+        );
+        self.state.lock().insert(sys_id, composed.clone());
+        Ok(composed)
+    }
+
+    /// Create the zone + connection for one binding.
+    fn bind(
+        &self,
+        fabric: &str,
+        initiator: &ODataId,
+        target_ep: &ODataId,
+        size: u64,
+        kind: BindingKind,
+        qos_gbps: f64,
+    ) -> RedfishResult<Binding> {
+        // Power-gated pool devices are woken on demand before binding.
+        crate::energy::wake_backing(self, target_ep);
+        let fabric_root = ODataId::new(top::FABRICS).child(fabric);
+        let zone_id = self.ofmf.next_member_id("z");
+        let zone = self.ofmf.post(
+            &fabric_root.child("Zones"),
+            &json!({
+                "Id": zone_id,
+                "Links": {"Endpoints": [
+                    {"@odata.id": initiator.as_str()},
+                    {"@odata.id": target_ep.as_str()},
+                ]}
+            }),
+        )?;
+        let conn_id = self.ofmf.next_member_id("c");
+        let connection = match self.ofmf.post(
+            &fabric_root.child("Connections"),
+            &json!({
+                "Id": conn_id,
+                "Zone": {"@odata.id": zone.as_str()},
+                "Size": size,
+                "BandwidthGbps": qos_gbps,
+                "Links": {
+                    "InitiatorEndpoints": [{"@odata.id": initiator.as_str()}],
+                    "TargetEndpoints": [{"@odata.id": target_ep.as_str()}],
+                }
+            }),
+        ) {
+            Ok(c) => c,
+            Err(e) => {
+                let _ = self.ofmf.delete(&zone);
+                return Err(e);
+            }
+        };
+        // The materialized resource is what the connection references.
+        let conn_body = self.ofmf.registry.get(&connection)?.body;
+        let resource = conn_body["MemoryChunkInfo"][0]["Resource"]["@odata.id"]
+            .as_str()
+            .or_else(|| conn_body["VolumeInfo"][0]["Resource"]["@odata.id"].as_str())
+            .or_else(|| conn_body["Oem"]["OFMF"]["Resource"]["@odata.id"].as_str())
+            .map(ODataId::new)
+            .unwrap_or_else(|| target_ep.clone());
+        Ok(Binding { fabric: fabric.to_string(), zone, connection, resource, size, kind })
+    }
+
+    fn unbind_all(&self, bindings: &[Binding]) {
+        for b in bindings {
+            let _ = self.ofmf.delete(&b.connection);
+            let _ = self.ofmf.delete(&b.zone);
+            if b.kind == BindingKind::Gpu {
+                let _ = self
+                    .ofmf
+                    .registry
+                    .patch(&b.resource, &json!({"Oem": {"OFMF": {"AssignedTo": null}}}), None);
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- decompose
+
+    /// Tear a composition down, returning every resource to its pool.
+    pub fn decompose(&self, system: &ODataId) -> RedfishResult<()> {
+        let composed = self
+            .state
+            .lock()
+            .remove(system)
+            .ok_or_else(|| RedfishError::NotFound(system.clone()))?;
+        self.unbind_all(&composed.bindings);
+        self.ofmf.registry.delete(system)?;
+        self.ofmf.events.publish(
+            EventType::ResourceRemoved,
+            system,
+            format!("system {} decomposed; resources returned to pools", system.leaf()),
+            "OK",
+        );
+        Ok(())
+    }
+
+    // -------------------------------------------------- dynamic reprovision
+
+    /// Grow a running composition's fabric memory by `extra_mib` (the OOM
+    /// mitigation path). Creates an additional binding; existing ones are
+    /// untouched, so the running job never loses memory.
+    pub fn grow_memory(&self, system: &ODataId, extra_mib: u64) -> RedfishResult<Binding> {
+        let (node_endpoints, _node) = {
+            let state = self.state.lock();
+            let c = state.get(system).ok_or_else(|| RedfishError::NotFound(system.clone()))?;
+            let inv_node = Inventory::scan(&self.ofmf, &[])
+                .compute
+                .into_iter()
+                .chain(std::iter::empty())
+                .find(|n| n.system == c.node);
+            // The node is bound (excluded from the free list), so rebuild
+            // its endpoint map directly from the tree.
+            let endpoints = match inv_node {
+                Some(n) => n.endpoints,
+                None => Self::endpoints_of(&self.ofmf, &c.node),
+            };
+            (endpoints, c.node.clone())
+        };
+        let inv = Inventory::scan(&self.ofmf, &[]);
+        let eligible: Vec<crate::inventory::MemoryPool> = inv
+            .memory
+            .iter()
+            .filter(|p| self.policy.allows_carve(p, extra_mib))
+            .cloned()
+            .collect();
+        let pool = choose_memory(self.strategy, &eligible, extra_mib, &self.ofmf, &node_endpoints)
+            .ok_or_else(|| {
+                RedfishError::InsufficientResources(format!("no pool can grow by {extra_mib} MiB"))
+            })?
+            .clone();
+        let initiator = node_endpoints
+            .get(&pool.fabric)
+            .ok_or_else(|| RedfishError::Internal("node lost its fabric endpoint".into()))?
+            .clone();
+        let qos = {
+            let state = self.state.lock();
+            state
+                .get(system)
+                .map(|c| c.request.memory_bandwidth_gbps)
+                .unwrap_or(0.0)
+        };
+        let binding =
+            self.bind(&pool.fabric, &initiator, &pool.endpoint, extra_mib, BindingKind::Memory, qos)?;
+        let mut state = self.state.lock();
+        let c = state.get_mut(system).ok_or_else(|| RedfishError::NotFound(system.clone()))?;
+        c.bindings.push(binding.clone());
+        let node_gib = self
+            .ofmf
+            .registry
+            .get(&c.node)
+            .ok()
+            .and_then(|s| s.body["MemorySummary"]["TotalSystemMemoryGiB"].as_u64())
+            .unwrap_or(c.request.local_memory_gib);
+        let new_total = node_gib + c.bound_memory_mib() / 1024;
+        drop(state);
+        let _ = self.ofmf.registry.patch(
+            system,
+            &json!({"MemorySummary": {"TotalSystemMemoryGiB": new_total}}),
+            None,
+        );
+        self.refresh_resource_blocks(system);
+        self.ofmf.events.publish(
+            EventType::ResourceUpdated,
+            system,
+            format!("grew fabric memory by {extra_mib} MiB (OOM mitigation)"),
+            "OK",
+        );
+        Ok(binding)
+    }
+
+    /// Attach additional fabric storage to a running composition (the I/O
+    /// thrash mitigation path).
+    pub fn attach_storage(&self, system: &ODataId, bytes: u64) -> RedfishResult<Binding> {
+        let node = {
+            let state = self.state.lock();
+            let c = state.get(system).ok_or_else(|| RedfishError::NotFound(system.clone()))?;
+            c.node.clone()
+        };
+        let node_endpoints = Self::endpoints_of(&self.ofmf, &node);
+        let inv = Inventory::scan(&self.ofmf, &[]);
+        let pool = choose_storage(self.strategy, &inv.storage, bytes, &self.ofmf, &node_endpoints)
+            .ok_or_else(|| {
+                RedfishError::InsufficientResources(format!("no storage pool with {bytes} bytes"))
+            })?
+            .clone();
+        let initiator = node_endpoints
+            .get(&pool.fabric)
+            .ok_or_else(|| RedfishError::Internal("node lost its fabric endpoint".into()))?
+            .clone();
+        let qos = {
+            let state = self.state.lock();
+            state
+                .get(system)
+                .map(|c| c.request.storage_bandwidth_gbps)
+                .unwrap_or(0.0)
+        };
+        let binding =
+            self.bind(&pool.fabric, &initiator, &pool.endpoint, bytes, BindingKind::Storage, qos)?;
+        let mut state = self.state.lock();
+        let c = state.get_mut(system).ok_or_else(|| RedfishError::NotFound(system.clone()))?;
+        c.bindings.push(binding.clone());
+        drop(state);
+        self.refresh_resource_blocks(system);
+        self.ofmf.events.publish(
+            EventType::ResourceUpdated,
+            system,
+            format!("attached {bytes} bytes of fabric storage"),
+            "OK",
+        );
+        Ok(binding)
+    }
+
+    /// Re-sync the composed system document's `Links.ResourceBlocks` with
+    /// the current binding set (bindings change under grow/attach/
+    /// reconcile, and lost bindings would otherwise leave dangling links).
+    fn refresh_resource_blocks(&self, system: &ODataId) {
+        let links = {
+            let state = self.state.lock();
+            let Some(c) = state.get(system) else { return };
+            c.resource_block_links()
+        };
+        let _ = self
+            .ofmf
+            .registry
+            .patch(system, &json!({"Links": {"ResourceBlocks": links}}), None);
+    }
+
+    /// Rebuild the fabric-endpoint map of a node from the tree.
+    fn endpoints_of(ofmf: &Ofmf, node: &ODataId) -> BTreeMap<String, ODataId> {
+        let mut out = BTreeMap::new();
+        for ep_id in ofmf.registry.ids_of_type("#Endpoint.") {
+            let Ok(stored) = ofmf.registry.get(&ep_id) else { continue };
+            let Some(entities) = stored.body["ConnectedEntities"].as_array() else { continue };
+            let is_ours = entities.iter().any(|e| {
+                e["EntityRole"] == "Initiator"
+                    && e["EntityLink"]["@odata.id"].as_str() == Some(node.as_str())
+            });
+            if is_ours {
+                if let Some(f) = redfish_model::path::fabric_id_of(ep_id.as_str()) {
+                    out.insert(f.to_string(), ep_id.clone());
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------ reconcile
+
+    /// Repair compositions whose connections disappeared (fabric fail-over
+    /// exhausted all paths and the agent tore the connection down). For each
+    /// missing memory/storage binding, re-bind the same capacity from the
+    /// remaining pools. Returns `(repaired, lost)` binding counts.
+    pub fn reconcile(&self) -> (usize, usize) {
+        let systems: Vec<ODataId> = self.state.lock().keys().cloned().collect();
+        let mut repaired = 0;
+        let mut lost = 0;
+        for sys in systems {
+            let missing: Vec<Binding> = {
+                let state = self.state.lock();
+                let Some(c) = state.get(&sys) else { continue };
+                c.bindings
+                    .iter()
+                    .filter(|b| !self.ofmf.registry.exists(&b.connection))
+                    .cloned()
+                    .collect()
+            };
+            for b in missing {
+                // Drop the dead binding (and its now-empty zone).
+                {
+                    let mut state = self.state.lock();
+                    if let Some(c) = state.get_mut(&sys) {
+                        c.bindings.retain(|x| x.connection != b.connection);
+                    }
+                }
+                self.refresh_resource_blocks(&sys);
+                let _ = self.ofmf.delete(&b.zone);
+                let outcome = match b.kind {
+                    BindingKind::Memory => self.grow_memory(&sys, b.size).map(|_| ()),
+                    BindingKind::Storage => self.attach_storage(&sys, b.size).map(|_| ()),
+                    BindingKind::Gpu => Err(RedfishError::InsufficientResources(
+                        "GPU grants are not auto-rebound".into(),
+                    )),
+                };
+                match outcome {
+                    Ok(()) => {
+                        repaired += 1;
+                        self.ofmf.events.publish(
+                            EventType::StatusChange,
+                            &sys,
+                            format!("rebound lost {:?} binding of {} units", b.kind, b.size),
+                            "Warning",
+                        );
+                    }
+                    Err(_) => {
+                        lost += 1;
+                        self.ofmf.events.publish(
+                            EventType::Alert,
+                            &sys,
+                            format!("could not rebind lost {:?} binding of {} units", b.kind, b.size),
+                            "Critical",
+                        );
+                    }
+                }
+            }
+        }
+        (repaired, lost)
+    }
+}

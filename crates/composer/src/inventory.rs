@@ -1,0 +1,344 @@
+//! A live inventory of composable pools, derived from the unified tree.
+//!
+//! The inventory is recomputed on demand from the registry (the tree is the
+//! single source of truth — what an agent published is what exists), then
+//! adjusted by the composer's own assignment records.
+
+use ofmf_core::Ofmf;
+use redfish_model::odata::ODataId;
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// A compute node available for composition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputePool {
+    /// The `ComputerSystem` resource id.
+    pub system: ODataId,
+    /// Physical cores.
+    pub cores: u32,
+    /// Local memory (GiB).
+    pub memory_gib: u64,
+    /// Fabric endpoints of this node: fabric id → endpoint resource id.
+    pub endpoints: BTreeMap<String, ODataId>,
+}
+
+/// A fabric-memory target with free capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryPool {
+    /// Owning fabric.
+    pub fabric: String,
+    /// Target endpoint resource id.
+    pub endpoint: ODataId,
+    /// The `MemoryDomain` resource id.
+    pub domain: ODataId,
+    /// Total capacity (MiB).
+    pub total_mib: u64,
+    /// Free capacity (MiB) = total − chunks already carved.
+    pub free_mib: u64,
+}
+
+/// A pooled GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuPool {
+    /// Owning fabric.
+    pub fabric: String,
+    /// Target endpoint resource id.
+    pub endpoint: ODataId,
+    /// The `Processor` resource id.
+    pub processor: ODataId,
+    /// Whether a grant already exists (tracked via `Oem.OFMF.AssignedTo`).
+    pub assigned: bool,
+}
+
+/// An NVMe-oF storage pool with free bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoragePoolView {
+    /// Owning fabric.
+    pub fabric: String,
+    /// Target endpoint resource id.
+    pub endpoint: ODataId,
+    /// The Swordfish `StoragePool` resource id.
+    pub pool: ODataId,
+    /// Total bytes.
+    pub total_bytes: u64,
+    /// Free bytes = total − volumes already provisioned.
+    pub free_bytes: u64,
+}
+
+/// Snapshot of every composable pool.
+#[derive(Debug, Clone, Default)]
+pub struct Inventory {
+    /// Free compute nodes (systems not yet bound to a composition).
+    pub compute: Vec<ComputePool>,
+    /// Fabric memory targets.
+    pub memory: Vec<MemoryPool>,
+    /// Pooled GPUs.
+    pub gpus: Vec<GpuPool>,
+    /// Storage pools.
+    pub storage: Vec<StoragePoolView>,
+}
+
+/// Whether `id` or any of its ancestors reports `UnavailableOffline`
+/// (agents mark the failed *device* resource — e.g. the chassis of a dead
+/// memory appliance — so pool resources underneath inherit the state).
+fn offline(reg: &redfish_model::Registry, id: &ODataId) -> bool {
+    let mut cur = Some(id.clone());
+    while let Some(c) = cur {
+        if let Ok(stored) = reg.get(&c) {
+            if stored.body["Status"]["State"].as_str() == Some("UnavailableOffline") {
+                return true;
+            }
+        }
+        cur = c.parent();
+    }
+    false
+}
+
+impl Inventory {
+    /// Scan the tree. `bound_systems` are systems the composer already
+    /// assigned (excluded from the free compute list).
+    pub fn scan(ofmf: &Ofmf, bound_systems: &[ODataId]) -> Inventory {
+        let reg = &ofmf.registry;
+        let mut inv = Inventory::default();
+
+        // Endpoints by the device they front; also classify roles.
+        // endpoint doc → (fabric, entity link, role)
+        let mut target_eps: BTreeMap<ODataId, (String, ODataId)> = BTreeMap::new();
+        let mut initiator_eps: BTreeMap<ODataId, (String, ODataId)> = BTreeMap::new();
+        for ep_id in reg.ids_of_type("#Endpoint.") {
+            let Ok(stored) = reg.get(&ep_id) else { continue };
+            let fabric = redfish_model::path::fabric_id_of(ep_id.as_str())
+                .unwrap_or_default()
+                .to_string();
+            let Some(entities) = stored.body.get("ConnectedEntities").and_then(Value::as_array) else {
+                continue;
+            };
+            for ent in entities {
+                let role = ent.get("EntityRole").and_then(Value::as_str).unwrap_or("");
+                let Some(link) = ent
+                    .get("EntityLink")
+                    .and_then(|l| l.get("@odata.id"))
+                    .and_then(Value::as_str)
+                else {
+                    continue;
+                };
+                let link = ODataId::new(link);
+                if role == "Initiator" {
+                    initiator_eps.insert(ep_id.clone(), (fabric.clone(), link));
+                } else {
+                    target_eps.insert(ep_id.clone(), (fabric.clone(), link));
+                }
+            }
+        }
+
+        // Compute nodes: physical systems not bound.
+        for sys_id in reg.ids_of_type("#ComputerSystem.") {
+            let Ok(stored) = reg.get(&sys_id) else { continue };
+            if stored.body.get("SystemType").and_then(Value::as_str) != Some("Physical") {
+                continue;
+            }
+            if bound_systems.contains(&sys_id) {
+                continue;
+            }
+            let state = stored.body["Status"]["State"].as_str().unwrap_or("Enabled");
+            if state != "Enabled" && state != "StandbyOffline" {
+                continue;
+            }
+            let cores = stored.body["ProcessorSummary"]["CoreCount"].as_u64().unwrap_or(0) as u32;
+            let memory_gib = stored.body["MemorySummary"]["TotalSystemMemoryGiB"].as_u64().unwrap_or(0);
+            let endpoints: BTreeMap<String, ODataId> = initiator_eps
+                .iter()
+                .filter(|(_, (_, link))| link == &sys_id)
+                .map(|(ep, (fabric, _))| (fabric.clone(), ep.clone()))
+                .collect();
+            inv.compute.push(ComputePool { system: sys_id, cores, memory_gib, endpoints });
+        }
+
+        // Fabric memory: each MemoryDomain, free = size - Σ chunk sizes.
+        for dom_id in reg.ids_of_type("#MemoryDomain.") {
+            let Ok(stored) = reg.get(&dom_id) else { continue };
+            if offline(reg, &dom_id) {
+                continue;
+            }
+            let total = stored.body["MemorySizeMiB"].as_u64().unwrap_or(0);
+            let chunks_col = dom_id.child("MemoryChunks");
+            let used: u64 = reg
+                .members(&chunks_col)
+                .unwrap_or_default()
+                .iter()
+                .filter_map(|c| reg.get(c).ok())
+                .filter_map(|s| s.body["MemoryChunkSizeMiB"].as_u64())
+                .sum();
+            // The endpoint fronting this domain.
+            let Some((ep, (fabric, _))) = target_eps.iter().find(|(_, (_, link))| link == &dom_id) else {
+                continue;
+            };
+            inv.memory.push(MemoryPool {
+                fabric: fabric.clone(),
+                endpoint: ep.clone(),
+                domain: dom_id.clone(),
+                total_mib: total,
+                free_mib: total.saturating_sub(used),
+            });
+        }
+
+        // GPUs: processors of type GPU fronted by a target endpoint.
+        for proc_id in reg.ids_of_type("#Processor.") {
+            let Ok(stored) = reg.get(&proc_id) else { continue };
+            if stored.body.get("ProcessorType").and_then(Value::as_str) != Some("GPU") {
+                continue;
+            }
+            let Some((ep, (fabric, _))) = target_eps.iter().find(|(_, (_, link))| link == &proc_id) else {
+                continue;
+            };
+            let assigned =
+                stored.body["Oem"]["OFMF"]["AssignedTo"].is_string() || offline(reg, &proc_id);
+            inv.gpus.push(GpuPool {
+                fabric: fabric.clone(),
+                endpoint: ep.clone(),
+                processor: proc_id.clone(),
+                assigned,
+            });
+        }
+
+        // Storage pools: free = guaranteed − Σ volume capacities in the
+        // owning service.
+        for pool_id in reg.ids_of_type("#StoragePool.") {
+            let Ok(stored) = reg.get(&pool_id) else { continue };
+            if offline(reg, &pool_id) {
+                continue;
+            }
+            let total = stored.body["Capacity"]["GuaranteedBytes"].as_u64().unwrap_or(0);
+            // /redfish/v1/StorageServices/{svc}/StoragePools/{pool}
+            let Some(pools_col) = pool_id.parent() else { continue };
+            let Some(svc) = pools_col.parent() else { continue };
+            let used: u64 = reg
+                .members(&svc.child("Volumes"))
+                .unwrap_or_default()
+                .iter()
+                .filter_map(|v| reg.get(v).ok())
+                .filter_map(|s| s.body["CapacityBytes"].as_u64())
+                .sum();
+            let Some((ep, (fabric, _))) = target_eps.iter().find(|(_, (_, link))| link == &pool_id) else {
+                continue;
+            };
+            inv.storage.push(StoragePoolView {
+                fabric: fabric.clone(),
+                endpoint: ep.clone(),
+                pool: pool_id.clone(),
+                total_bytes: total,
+                free_bytes: total.saturating_sub(used),
+            });
+        }
+
+        inv
+    }
+
+    /// Total free fabric memory across pools (MiB).
+    pub fn free_memory_mib(&self) -> u64 {
+        self.memory.iter().map(|m| m.free_mib).sum()
+    }
+
+    /// Number of unassigned GPUs.
+    pub fn free_gpus(&self) -> usize {
+        self.gpus.iter().filter(|g| !g.assigned).count()
+    }
+
+    /// Total free storage bytes across pools.
+    pub fn free_storage_bytes(&self) -> u64 {
+        self.storage.iter().map(|s| s.free_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofmf_agents::flavors::{cxl_agent, infiniband_agent, nvmeof_agent, RackShape};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    fn rig() -> Arc<Ofmf> {
+        let o = Ofmf::new("inv-uuid", HashMap::new(), 5);
+        let shape = RackShape::default();
+        o.register_agent(Arc::new(cxl_agent("CXL0", &shape, 1 << 20, 1))).unwrap();
+        o.register_agent(Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, 2))).unwrap();
+        o.register_agent(Arc::new(infiniband_agent("IB0", &shape, "A100", 3))).unwrap();
+        o
+    }
+
+    #[test]
+    fn scan_finds_all_pool_classes() {
+        let o = rig();
+        let inv = Inventory::scan(&o, &[]);
+        assert_eq!(inv.compute.len(), 4, "4 shared compute nodes");
+        assert_eq!(inv.memory.len(), 2, "2 CXL appliances");
+        assert_eq!(inv.gpus.len(), 2, "2 pooled GPUs");
+        assert_eq!(inv.storage.len(), 2, "2 NVMe pools");
+        assert_eq!(inv.free_memory_mib(), 2 << 20);
+        assert_eq!(inv.free_gpus(), 2);
+        assert_eq!(inv.free_storage_bytes(), 2 << 40);
+        // Compute nodes carry endpoints on all three fabrics.
+        assert_eq!(inv.compute[0].endpoints.len(), 3);
+    }
+
+    #[test]
+    fn bound_systems_are_excluded() {
+        let o = rig();
+        let all = Inventory::scan(&o, &[]);
+        let bound = vec![all.compute[0].system.clone()];
+        let inv = Inventory::scan(&o, &bound);
+        assert_eq!(inv.compute.len(), 3);
+        assert!(!inv.compute.iter().any(|c| c.system == bound[0]));
+    }
+
+    #[test]
+    fn chunk_consumption_reduces_free_memory() {
+        let o = rig();
+        // Carve a 1024 MiB chunk through the real path.
+        let zones = ODataId::new("/redfish/v1/Fabrics/CXL0/Zones");
+        let zone = o
+            .post(
+                &zones,
+                &serde_json::json!({"Links": {"Endpoints": [
+                    {"@odata.id": "/redfish/v1/Fabrics/CXL0/Endpoints/cn00-ep"},
+                    {"@odata.id": "/redfish/v1/Fabrics/CXL0/Endpoints/mem00-ep"},
+                ]}}),
+            )
+            .unwrap();
+        o.post(
+            &ODataId::new("/redfish/v1/Fabrics/CXL0/Connections"),
+            &serde_json::json!({
+                "Id": "c1",
+                "Zone": {"@odata.id": zone.as_str()},
+                "Size": 1024,
+                "Links": {
+                    "InitiatorEndpoints": [{"@odata.id": "/redfish/v1/Fabrics/CXL0/Endpoints/cn00-ep"}],
+                    "TargetEndpoints": [{"@odata.id": "/redfish/v1/Fabrics/CXL0/Endpoints/mem00-ep"}],
+                }
+            }),
+        )
+        .unwrap();
+        let inv = Inventory::scan(&o, &[]);
+        assert_eq!(inv.free_memory_mib(), (2 << 20) - 1024);
+        let mem00 = inv
+            .memory
+            .iter()
+            .find(|m| m.domain.as_str().contains("mem00"))
+            .unwrap();
+        assert_eq!(mem00.free_mib, (1 << 20) - 1024);
+    }
+
+    #[test]
+    fn offline_domains_are_skipped() {
+        let o = rig();
+        o.registry
+            .patch(
+                &ODataId::new("/redfish/v1/Chassis/mem00/MemoryDomains/dom0"),
+                &serde_json::json!({"Status": {"State": "UnavailableOffline"}}),
+                None,
+            )
+            .unwrap();
+        let inv = Inventory::scan(&o, &[]);
+        assert_eq!(inv.memory.len(), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Placement policies applied on top of the allocation strategy.
+//!
+//! Policies shape *how much* and *where*; strategies pick *which one*. The
+//! composer consults the active [`PolicySet`] before carving capacity.
+
+use crate::inventory::MemoryPool;
+
+/// Tunable policy knobs.
+#[derive(Debug, Clone)]
+pub struct PolicySet {
+    /// Fraction of each memory pool held back from composition (0.0–0.9).
+    /// Headroom lets running jobs grow (OOM mitigation) without waiting for
+    /// decompositions.
+    pub memory_headroom: f64,
+    /// Maximum chunks a single composition may spread across (anti-affinity
+    /// fan-out cap; also bounds fail-over blast radius).
+    pub max_memory_spread: usize,
+    /// Refuse compositions that would leave a pool under this many MiB
+    /// (anti-fragmentation floor).
+    pub min_pool_remainder_mib: u64,
+}
+
+impl Default for PolicySet {
+    fn default() -> Self {
+        PolicySet { memory_headroom: 0.0, max_memory_spread: 4, min_pool_remainder_mib: 0 }
+    }
+}
+
+impl PolicySet {
+    /// Capacity of `pool` actually offered to the composer after headroom
+    /// and remainder-floor policies.
+    pub fn offered_mib(&self, pool: &MemoryPool) -> u64 {
+        let headroom = (pool.total_mib as f64 * self.memory_headroom) as u64;
+        pool.free_mib.saturating_sub(headroom)
+    }
+
+    /// Whether carving `size_mib` from `pool` is allowed.
+    pub fn allows_carve(&self, pool: &MemoryPool, size_mib: u64) -> bool {
+        let offered = self.offered_mib(pool);
+        if size_mib > offered {
+            return false;
+        }
+        let remainder = pool.free_mib - size_mib;
+        remainder == 0 || remainder >= self.min_pool_remainder_mib
+    }
+
+    /// Split a memory demand across up to `max_memory_spread` pools
+    /// (anti-affinity). Returns `(pool index, chunk size)` pairs, or `None`
+    /// if the demand cannot be met under the policy.
+    pub fn spread_plan(&self, pools: &[&MemoryPool], demand_mib: u64) -> Option<Vec<(usize, u64)>> {
+        if demand_mib == 0 {
+            return Some(Vec::new());
+        }
+        // Greedy over pools by offered capacity, largest first.
+        let mut order: Vec<(usize, u64)> = pools
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, self.offered_mib(p)))
+            .filter(|(_, cap)| *cap > 0)
+            .collect();
+        order.sort_by(|a, b| b.1.cmp(&a.1));
+        let mut plan = Vec::new();
+        let mut remaining = demand_mib;
+        for (i, cap) in order.into_iter().take(self.max_memory_spread) {
+            if remaining == 0 {
+                break;
+            }
+            let take = cap.min(remaining);
+            plan.push((i, take));
+            remaining -= take;
+        }
+        if remaining > 0 {
+            return None;
+        }
+        Some(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redfish_model::odata::ODataId;
+
+    fn pool(total: u64, free: u64) -> MemoryPool {
+        MemoryPool {
+            fabric: "F".into(),
+            endpoint: ODataId::new("/e"),
+            domain: ODataId::new("/d"),
+            total_mib: total,
+            free_mib: free,
+        }
+    }
+
+    #[test]
+    fn headroom_reduces_offer() {
+        let p = pool(1000, 600);
+        let policy = PolicySet { memory_headroom: 0.2, ..PolicySet::default() };
+        assert_eq!(policy.offered_mib(&p), 400); // 600 free − 200 headroom
+        assert!(policy.allows_carve(&p, 400));
+        assert!(!policy.allows_carve(&p, 401));
+    }
+
+    #[test]
+    fn remainder_floor_blocks_fragments() {
+        let p = pool(1000, 100);
+        let policy = PolicySet { min_pool_remainder_mib: 50, ..PolicySet::default() };
+        assert!(policy.allows_carve(&p, 100), "exact drain allowed");
+        assert!(policy.allows_carve(&p, 50), "remainder 50 == floor");
+        assert!(!policy.allows_carve(&p, 60), "would leave 40 < 50");
+    }
+
+    #[test]
+    fn spread_plan_splits_across_pools() {
+        let p1 = pool(1000, 300);
+        let p2 = pool(1000, 500);
+        let p3 = pool(1000, 200);
+        let pools = vec![&p1, &p2, &p3];
+        let policy = PolicySet::default();
+        let plan = policy.spread_plan(&pools, 700).unwrap();
+        // Largest-first greedy: 500 from p2, 200 from p1.
+        assert_eq!(plan, vec![(1, 500), (0, 200)]);
+        let total: u64 = plan.iter().map(|(_, s)| s).sum();
+        assert_eq!(total, 700);
+    }
+
+    #[test]
+    fn spread_cap_limits_fanout() {
+        let p1 = pool(1000, 100);
+        let p2 = pool(1000, 100);
+        let p3 = pool(1000, 100);
+        let pools = vec![&p1, &p2, &p3];
+        let policy = PolicySet { max_memory_spread: 2, ..PolicySet::default() };
+        assert!(policy.spread_plan(&pools, 300).is_none(), "needs 3 pools but cap is 2");
+        assert!(policy.spread_plan(&pools, 200).is_some());
+    }
+
+    #[test]
+    fn zero_demand_is_empty_plan() {
+        let policy = PolicySet::default();
+        assert_eq!(policy.spread_plan(&[], 0), Some(vec![]));
+        assert!(policy.spread_plan(&[], 1).is_none());
+    }
+}

@@ -1,0 +1,208 @@
+//! Composition requests and composed-system records.
+
+use redfish_model::odata::ODataId;
+use serde_json::{json, Value};
+
+/// What a client asks the Composability Manager for.
+///
+/// Mirrors the paper's motivating needs: enough local compute, plus
+/// disaggregated memory (OOM mitigation), accelerators and storage attached
+/// over whatever fabrics provide them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositionRequest {
+    /// Human-readable name (becomes the composed system's `Name`).
+    pub name: String,
+    /// Minimum physical cores on the compute node.
+    pub cores: u32,
+    /// Minimum local DRAM on the compute node (GiB).
+    pub local_memory_gib: u64,
+    /// Fabric-attached memory to bind (MiB); 0 for none.
+    pub fabric_memory_mib: u64,
+    /// Pooled GPUs to grant.
+    pub gpus: u32,
+    /// Fabric-attached storage to provision (bytes); 0 for none.
+    pub storage_bytes: u64,
+    /// Spread fabric-memory chunks across distinct appliances
+    /// (anti-affinity) instead of packing one.
+    pub spread_memory: bool,
+    /// Bandwidth to reserve on each memory binding's path (Gbit/s;
+    /// 0 = best effort).
+    pub memory_bandwidth_gbps: f64,
+    /// Bandwidth to reserve on each storage binding's path (Gbit/s).
+    pub storage_bandwidth_gbps: f64,
+}
+
+impl CompositionRequest {
+    /// A compute-only request (no disaggregated resources).
+    pub fn compute_only(name: &str, cores: u32, local_gib: u64) -> Self {
+        CompositionRequest {
+            name: name.to_string(),
+            cores,
+            local_memory_gib: local_gib,
+            fabric_memory_mib: 0,
+            gpus: 0,
+            storage_bytes: 0,
+            spread_memory: false,
+            memory_bandwidth_gbps: 0.0,
+            storage_bandwidth_gbps: 0.0,
+        }
+    }
+
+    /// Builder: require fabric memory.
+    #[must_use]
+    pub fn with_fabric_memory_mib(mut self, mib: u64) -> Self {
+        self.fabric_memory_mib = mib;
+        self
+    }
+
+    /// Builder: require GPUs.
+    #[must_use]
+    pub fn with_gpus(mut self, n: u32) -> Self {
+        self.gpus = n;
+        self
+    }
+
+    /// Builder: require storage.
+    #[must_use]
+    pub fn with_storage_bytes(mut self, bytes: u64) -> Self {
+        self.storage_bytes = bytes;
+        self
+    }
+
+    /// Builder: enable memory anti-affinity.
+    #[must_use]
+    pub fn with_spread_memory(mut self) -> Self {
+        self.spread_memory = true;
+        self
+    }
+
+    /// Builder: reserve bandwidth on memory bindings (QoS).
+    #[must_use]
+    pub fn with_memory_bandwidth_gbps(mut self, g: f64) -> Self {
+        self.memory_bandwidth_gbps = g;
+        self
+    }
+
+    /// Builder: reserve bandwidth on storage bindings (QoS).
+    #[must_use]
+    pub fn with_storage_bandwidth_gbps(mut self, g: f64) -> Self {
+        self.storage_bandwidth_gbps = g;
+        self
+    }
+}
+
+/// One resource binding within a composition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binding {
+    /// The fabric the connection runs on.
+    pub fabric: String,
+    /// The zone created for this composition on that fabric.
+    pub zone: ODataId,
+    /// The connection resource.
+    pub connection: ODataId,
+    /// What was bound (chunk / volume / processor id).
+    pub resource: ODataId,
+    /// Capacity bound (MiB / bytes / 1).
+    pub size: u64,
+    /// Class of the binding.
+    pub kind: BindingKind,
+}
+
+/// What class of resource a binding provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingKind {
+    /// Fabric-attached memory.
+    Memory,
+    /// Fabric-attached storage.
+    Storage,
+    /// Accelerator grant.
+    Gpu,
+}
+
+/// The record of a live composition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComposedSystem {
+    /// The composed `ComputerSystem` resource.
+    pub system: ODataId,
+    /// The underlying physical node.
+    pub node: ODataId,
+    /// All fabric bindings.
+    pub bindings: Vec<Binding>,
+    /// Request this composition satisfied.
+    pub request: CompositionRequest,
+}
+
+impl ComposedSystem {
+    /// Total fabric memory currently bound (MiB).
+    pub fn bound_memory_mib(&self) -> u64 {
+        self.bindings
+            .iter()
+            .filter(|b| b.kind == BindingKind::Memory)
+            .map(|b| b.size)
+            .sum()
+    }
+
+    /// Total fabric storage currently bound (bytes).
+    pub fn bound_storage_bytes(&self) -> u64 {
+        self.bindings
+            .iter()
+            .filter(|b| b.kind == BindingKind::Storage)
+            .map(|b| b.size)
+            .sum()
+    }
+
+    /// GPUs currently granted.
+    pub fn bound_gpus(&self) -> usize {
+        self.bindings.iter().filter(|b| b.kind == BindingKind::Gpu).count()
+    }
+
+    /// The `Links.ResourceBlocks` value for the composed system document.
+    pub fn resource_block_links(&self) -> Value {
+        let mut links: Vec<Value> = vec![json!({"@odata.id": self.node.as_str()})];
+        links.extend(
+            self.bindings
+                .iter()
+                .map(|b| json!({"@odata.id": b.resource.as_str()})),
+        );
+        Value::Array(links)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let r = CompositionRequest::compute_only("job1", 56, 128)
+            .with_fabric_memory_mib(65536)
+            .with_gpus(2)
+            .with_storage_bytes(1 << 40)
+            .with_spread_memory();
+        assert_eq!(r.fabric_memory_mib, 65536);
+        assert_eq!(r.gpus, 2);
+        assert!(r.spread_memory);
+    }
+
+    #[test]
+    fn composed_system_accounting() {
+        let mk = |kind, size| Binding {
+            fabric: "F".into(),
+            zone: ODataId::new("/z"),
+            connection: ODataId::new("/c"),
+            resource: ODataId::new("/r"),
+            size,
+            kind,
+        };
+        let cs = ComposedSystem {
+            system: ODataId::new("/redfish/v1/Systems/comp1"),
+            node: ODataId::new("/redfish/v1/Systems/cn00"),
+            bindings: vec![mk(BindingKind::Memory, 1024), mk(BindingKind::Memory, 2048), mk(BindingKind::Gpu, 1)],
+            request: CompositionRequest::compute_only("j", 1, 1),
+        };
+        assert_eq!(cs.bound_memory_mib(), 3072);
+        assert_eq!(cs.bound_gpus(), 1);
+        assert_eq!(cs.bound_storage_bytes(), 0);
+        assert_eq!(cs.resource_block_links().as_array().unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,192 @@
+//! Allocation strategies: how the composer picks targets from the pools.
+//!
+//! The strategies differ along the classic placement trade-offs:
+//!
+//! * **FirstFit** — O(1)-ish, fragments pools, fastest.
+//! * **BestFit** — minimizes leftover fragments (least free capacity that
+//!   still fits), slower, keeps large pools intact for large requests.
+//! * **TopologyAware** — probes the fabric route from the compute node to
+//!   each candidate and picks the fewest-hops target that fits; pays one
+//!   agent round-trip per candidate for lower data-plane latency.
+
+use crate::inventory::{GpuPool, MemoryPool, StoragePoolView};
+use ofmf_core::agent::AgentOp;
+use ofmf_core::Ofmf;
+use redfish_model::odata::ODataId;
+use serde_json::Value;
+
+/// Strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// First candidate that fits.
+    #[default]
+    FirstFit,
+    /// Tightest candidate that fits.
+    BestFit,
+    /// Fewest fabric hops from the initiator; ties broken by tightest fit.
+    TopologyAware,
+}
+
+impl Strategy {
+    /// All strategies (ablation benches).
+    pub const ALL: [Strategy; 3] = [Strategy::FirstFit, Strategy::BestFit, Strategy::TopologyAware];
+}
+
+/// Probe the hop count between two endpoints on `fabric`; `None` when the
+/// route is unavailable or the agent refuses.
+fn probe_hops(ofmf: &Ofmf, fabric: &str, initiator: &ODataId, target: &ODataId) -> Option<u64> {
+    let resp = ofmf
+        .apply(
+            fabric,
+            &AgentOp::ProbeRoute { initiator: initiator.clone(), target: target.clone() },
+        )
+        .ok()?;
+    resp.payload?.get("Hops").and_then(Value::as_u64)
+}
+
+/// Choose a memory pool for `size_mib`, honoring the strategy. `initiator`
+/// maps fabric id → the compute node's endpoint on that fabric.
+pub fn choose_memory<'a>(
+    strategy: Strategy,
+    pools: &'a [MemoryPool],
+    size_mib: u64,
+    ofmf: &Ofmf,
+    initiator_by_fabric: &std::collections::BTreeMap<String, ODataId>,
+) -> Option<&'a MemoryPool> {
+    let fits = |p: &&MemoryPool| p.free_mib >= size_mib && initiator_by_fabric.contains_key(&p.fabric);
+    match strategy {
+        Strategy::FirstFit => pools.iter().find(fits),
+        Strategy::BestFit => pools.iter().filter(fits).min_by_key(|p| p.free_mib),
+        Strategy::TopologyAware => pools
+            .iter()
+            .filter(fits)
+            .filter_map(|p| {
+                let ini = initiator_by_fabric.get(&p.fabric)?;
+                let hops = probe_hops(ofmf, &p.fabric, ini, &p.endpoint)?;
+                Some((hops, p.free_mib, p))
+            })
+            .min_by_key(|(hops, free, _)| (*hops, *free))
+            .map(|(_, _, p)| p),
+    }
+}
+
+/// Choose a storage pool for `bytes`.
+pub fn choose_storage<'a>(
+    strategy: Strategy,
+    pools: &'a [StoragePoolView],
+    bytes: u64,
+    ofmf: &Ofmf,
+    initiator_by_fabric: &std::collections::BTreeMap<String, ODataId>,
+) -> Option<&'a StoragePoolView> {
+    let fits = |p: &&StoragePoolView| p.free_bytes >= bytes && initiator_by_fabric.contains_key(&p.fabric);
+    match strategy {
+        Strategy::FirstFit => pools.iter().find(fits),
+        Strategy::BestFit => pools.iter().filter(fits).min_by_key(|p| p.free_bytes),
+        Strategy::TopologyAware => pools
+            .iter()
+            .filter(fits)
+            .filter_map(|p| {
+                let ini = initiator_by_fabric.get(&p.fabric)?;
+                let hops = probe_hops(ofmf, &p.fabric, ini, &p.endpoint)?;
+                Some((hops, p.free_bytes, p))
+            })
+            .min_by_key(|(hops, free, _)| (*hops, *free))
+            .map(|(_, _, p)| p),
+    }
+}
+
+/// Choose an unassigned GPU.
+pub fn choose_gpu<'a>(
+    strategy: Strategy,
+    pools: &'a [GpuPool],
+    ofmf: &Ofmf,
+    initiator_by_fabric: &std::collections::BTreeMap<String, ODataId>,
+) -> Option<&'a GpuPool> {
+    let fits = |p: &&GpuPool| !p.assigned && initiator_by_fabric.contains_key(&p.fabric);
+    match strategy {
+        Strategy::FirstFit | Strategy::BestFit => pools.iter().find(fits),
+        Strategy::TopologyAware => pools
+            .iter()
+            .filter(fits)
+            .filter_map(|p| {
+                let ini = initiator_by_fabric.get(&p.fabric)?;
+                let hops = probe_hops(ofmf, &p.fabric, ini, &p.endpoint)?;
+                Some((hops, p))
+            })
+            .min_by_key(|(hops, _)| *hops)
+            .map(|(_, p)| p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeMap, HashMap};
+    use std::sync::Arc;
+
+    fn pool(fabric: &str, name: &str, total: u64, free: u64) -> MemoryPool {
+        MemoryPool {
+            fabric: fabric.to_string(),
+            endpoint: ODataId::new(format!("/redfish/v1/Fabrics/{fabric}/Endpoints/{name}-ep")),
+            domain: ODataId::new(format!("/redfish/v1/Chassis/{name}/MemoryDomains/dom0")),
+            total_mib: total,
+            free_mib: free,
+        }
+    }
+
+    fn no_ofmf() -> Arc<Ofmf> {
+        Ofmf::new("strategy-test", HashMap::new(), 1)
+    }
+
+    fn ini_map(fabric: &str) -> BTreeMap<String, ODataId> {
+        let mut m = BTreeMap::new();
+        m.insert(fabric.to_string(), ODataId::new(format!("/redfish/v1/Fabrics/{fabric}/Endpoints/cn00-ep")));
+        m
+    }
+
+    #[test]
+    fn first_fit_takes_first_that_fits() {
+        let pools = vec![pool("F", "a", 100, 10), pool("F", "b", 100, 50), pool("F", "c", 100, 90)];
+        let o = no_ofmf();
+        let chosen = choose_memory(Strategy::FirstFit, &pools, 40, &o, &ini_map("F")).unwrap();
+        assert_eq!(chosen.domain, pools[1].domain);
+    }
+
+    #[test]
+    fn best_fit_takes_tightest() {
+        let pools = vec![pool("F", "a", 100, 90), pool("F", "b", 100, 45), pool("F", "c", 100, 50)];
+        let o = no_ofmf();
+        let chosen = choose_memory(Strategy::BestFit, &pools, 40, &o, &ini_map("F")).unwrap();
+        assert_eq!(chosen.domain, pools[1].domain);
+    }
+
+    #[test]
+    fn nothing_fits_returns_none() {
+        let pools = vec![pool("F", "a", 100, 10)];
+        let o = no_ofmf();
+        assert!(choose_memory(Strategy::FirstFit, &pools, 40, &o, &ini_map("F")).is_none());
+        assert!(choose_memory(Strategy::BestFit, &pools, 40, &o, &ini_map("F")).is_none());
+    }
+
+    #[test]
+    fn pools_on_unreachable_fabrics_are_skipped() {
+        // Initiator only has an endpoint on fabric G; pool is on F.
+        let pools = vec![pool("F", "a", 100, 90)];
+        let o = no_ofmf();
+        assert!(choose_memory(Strategy::FirstFit, &pools, 40, &o, &ini_map("G")).is_none());
+    }
+
+    #[test]
+    fn gpu_choice_skips_assigned() {
+        let mk = |name: &str, assigned| GpuPool {
+            fabric: "F".to_string(),
+            endpoint: ODataId::new(format!("/e/{name}")),
+            processor: ODataId::new(format!("/p/{name}")),
+            assigned,
+        };
+        let pools = vec![mk("g0", true), mk("g1", false)];
+        let o = no_ofmf();
+        let chosen = choose_gpu(Strategy::FirstFit, &pools, &o, &ini_map("F")).unwrap();
+        assert_eq!(chosen.processor.as_str(), "/p/g1");
+    }
+}

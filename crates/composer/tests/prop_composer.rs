@@ -1,0 +1,140 @@
+//! Property tests: policy arithmetic, accounting bounds, and the composer's
+//! conservation law (compose ∘ decompose = identity on the inventory).
+
+use composer::accounting::{
+    composable_outcome, heterogeneous_mix, static_outcome, PowerModel, StaticNodeShape,
+};
+use composer::inventory::MemoryPool;
+use composer::policy::PolicySet;
+use composer::{Composer, CompositionRequest, Strategy};
+use ofmf_agents::flavors::{cxl_agent, infiniband_agent, nvmeof_agent, RackShape};
+use proptest::prelude::*;
+use redfish_model::odata::ODataId;
+use std::sync::Arc;
+
+fn demo_rig(seed: u64) -> DemoRig {
+    let ofmf = ofmf_core::Ofmf::new("prop-rig", std::collections::HashMap::new(), seed);
+    let shape = RackShape::default();
+    ofmf.register_agent(Arc::new(cxl_agent("CXL0", &shape, 1 << 20, seed ^ 1))).unwrap();
+    ofmf.register_agent(Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, seed ^ 2))).unwrap();
+    ofmf.register_agent(Arc::new(infiniband_agent("IB0", &shape, "A100", seed ^ 3))).unwrap();
+    DemoRig { ofmf }
+}
+
+struct DemoRig {
+    ofmf: Arc<ofmf_core::Ofmf>,
+}
+
+fn pool(total: u64, free: u64) -> MemoryPool {
+    MemoryPool {
+        fabric: "F".into(),
+        endpoint: ODataId::new("/e"),
+        domain: ODataId::new("/d"),
+        total_mib: total,
+        free_mib: free.min(total),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A spread plan always sums to exactly the demand, never uses more
+    /// pools than the cap, and never takes more from a pool than offered.
+    #[test]
+    fn spread_plan_is_exact_and_bounded(
+        frees in prop::collection::vec(0u64..5000, 1..8),
+        demand in 1u64..20_000,
+        cap in 1usize..8,
+        headroom in 0.0f64..0.5,
+    ) {
+        let policy = PolicySet { memory_headroom: headroom, max_memory_spread: cap, ..PolicySet::default() };
+        let pools: Vec<MemoryPool> = frees.iter().map(|&f| pool(5000, f)).collect();
+        let refs: Vec<&MemoryPool> = pools.iter().collect();
+        match policy.spread_plan(&refs, demand) {
+            Some(plan) => {
+                let sum: u64 = plan.iter().map(|(_, s)| s).sum();
+                prop_assert_eq!(sum, demand);
+                prop_assert!(plan.len() <= cap);
+                for (i, take) in &plan {
+                    prop_assert!(*take <= policy.offered_mib(refs[*i]));
+                    prop_assert!(*take > 0);
+                }
+                // No pool used twice.
+                let mut seen: Vec<usize> = plan.iter().map(|(i, _)| *i).collect();
+                seen.sort_unstable();
+                seen.dedup();
+                prop_assert_eq!(seen.len(), plan.len());
+            }
+            None => {
+                // Refusal must be justified: the top-`cap` offers don't cover it.
+                let mut offers: Vec<u64> = refs.iter().map(|p| policy.offered_mib(p)).collect();
+                offers.sort_unstable_by(|a, b| b.cmp(a));
+                let best: u64 = offers.iter().take(cap).sum();
+                prop_assert!(best < demand, "refused {demand} though {best} was offered");
+            }
+        }
+    }
+
+    /// Accounting outcomes are always within physical bounds, for both
+    /// provisioning models and any mix.
+    #[test]
+    fn accounting_outcomes_bounded(n in 1usize..200, seed in any::<u64>()) {
+        let jobs = heterogeneous_mix(n, seed);
+        let power = PowerModel::default();
+        let shape = StaticNodeShape { cores: 32, memory_gib: 384, gpus: 2 };
+        let st = static_outcome(&jobs, shape, n, &power);
+        let total_mem: u64 = jobs.iter().map(|j| j.memory_gib).sum();
+        let total_gpus: u32 = jobs.iter().map(|j| j.gpus).sum();
+        let co = composable_outcome(&jobs, n, 32, total_mem.max(1), total_gpus, &power);
+        for o in [&st, &co] {
+            prop_assert!((0.0..=1.0).contains(&o.core_utilization));
+            prop_assert!((0.0..=1.0).contains(&o.memory_utilization));
+            prop_assert!((0.0..=1.0).contains(&o.gpu_utilization));
+            prop_assert!((0.0..=1.0).contains(&o.stranded_fraction));
+            prop_assert!(o.power_watts >= 0.0);
+            prop_assert!(o.rejected_jobs <= n);
+        }
+    }
+}
+
+proptest! {
+    // The live-stack property is expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Conservation: for any satisfiable request mix, composing then
+    /// decomposing everything restores the exact inventory.
+    #[test]
+    fn compose_decompose_is_identity(
+        mems in prop::collection::vec(1u64..4096, 1..4),
+        gpus in 0u32..2,
+        storage in prop::collection::vec(0u64..(1u64<<30), 0..2),
+    ) {
+        let rig = demo_rig(777);
+        let composer = Composer::new(Arc::clone(&rig.ofmf), Strategy::BestFit);
+        let before = composer.inventory();
+        let mut composed = Vec::new();
+        for (i, &m) in mems.iter().enumerate() {
+            let mut req = CompositionRequest::compute_only(&format!("p{i}"), 8, 8)
+                .with_fabric_memory_mib(m);
+            if i == 0 {
+                req = req.with_gpus(gpus);
+                if let Some(&s) = storage.first() {
+                    req = req.with_storage_bytes(s);
+                }
+            }
+            match composer.compose(&req) {
+                Ok(c) => composed.push(c),
+                Err(e) => prop_assert_eq!(e.http_status(), 507, "only capacity refusals allowed"),
+            }
+        }
+        for c in &composed {
+            composer.decompose(&c.system).unwrap();
+        }
+        let after = composer.inventory();
+        prop_assert_eq!(before.compute.len(), after.compute.len());
+        prop_assert_eq!(before.free_memory_mib(), after.free_memory_mib());
+        prop_assert_eq!(before.free_gpus(), after.free_gpus());
+        prop_assert_eq!(before.free_storage_bytes(), after.free_storage_bytes());
+        prop_assert!(rig.ofmf.registry.dangling_links().is_empty());
+    }
+}

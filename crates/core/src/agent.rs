@@ -1,0 +1,236 @@
+//! The Agent contract: how the OFMF talks to technology-specific fabric
+//! managers.
+//!
+//! "Client requests … are forwarded to the appropriate fabric manager via
+//! dedicated light-weight technology-specific Agents. The Agents …
+//! translate between the OFMF and network fabric-specific providers."
+//!
+//! An [`Agent`] owns one fabric. On registration the OFMF calls
+//! [`Agent::discover`] and mounts the returned subtree under
+//! `/redfish/v1/Fabrics/{fabric_id}` (plus device resources under Chassis /
+//! StorageServices). Thereafter the OFMF forwards intent as [`AgentOp`]s and
+//! polls [`Agent::drain_events`] / [`Agent::sample_telemetry`].
+
+use redfish_model::odata::ODataId;
+use redfish_model::resources::events::EventType;
+use redfish_model::{RedfishError, RedfishResult};
+use serde_json::Value;
+
+/// Identity and capabilities reported at registration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentInfo {
+    /// Fabric id this agent manages (becomes the Redfish fabric member id).
+    pub fabric_id: String,
+    /// Technology string (`CXL`, `NVMeOverFabrics`, `InfiniBand`, …).
+    pub technology: String,
+    /// Human readable agent name/version.
+    pub version: String,
+}
+
+/// The operation vocabulary the OFMF forwards to agents.
+///
+/// Operands are Redfish ids *relative to the unified tree*; each agent
+/// translates them to its own fabric-manager handles.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgentOp {
+    /// Create a zone over the given endpoint resources.
+    CreateZone {
+        /// Requested zone member id (collection-unique).
+        zone_id: String,
+        /// Endpoint resource ids (under this agent's fabric).
+        endpoints: Vec<ODataId>,
+    },
+    /// Delete a zone.
+    DeleteZone {
+        /// Zone resource id.
+        zone: ODataId,
+    },
+    /// Establish a connection binding `initiator` to a carve of `target`.
+    Connect {
+        /// Requested connection member id.
+        connection_id: String,
+        /// Zone authorizing the connection.
+        zone: ODataId,
+        /// Initiator endpoint resource id.
+        initiator: ODataId,
+        /// Target endpoint resource id.
+        target: ODataId,
+        /// Capacity to carve on the target device (MiB for memory, bytes
+        /// for storage, 1 for whole-device grants).
+        size: u64,
+        /// Bandwidth to reserve along the path (Gbit/s; 0 = best effort).
+        qos_gbps: f64,
+    },
+    /// Tear down a connection.
+    Disconnect {
+        /// Connection resource id.
+        connection: ODataId,
+    },
+    /// Inject a fault (test/ops tooling; production agents reject this).
+    InjectFault {
+        /// Agent-specific fault descriptor.
+        description: String,
+    },
+    /// Query the current route between two endpoints without changing
+    /// anything. The response payload carries `{"Hops": n, "LatencyNs": l,
+    /// "BandwidthGbps": b}`; used by topology-aware placement.
+    ProbeRoute {
+        /// Initiator endpoint resource id.
+        initiator: ODataId,
+        /// Target endpoint resource id.
+        target: ODataId,
+    },
+}
+
+/// What an agent returns from a successful operation.
+#[derive(Debug, Clone, Default)]
+pub struct AgentResponse {
+    /// Resources to create/replace in the unified tree: `(id, body)`.
+    pub upserts: Vec<(ODataId, Value)>,
+    /// Resources to remove from the unified tree.
+    pub removals: Vec<ODataId>,
+    /// The primary resource the operation produced (e.g. the new
+    /// Connection), if any.
+    pub primary: Option<ODataId>,
+    /// Operation-specific result data (e.g. route metrics for
+    /// [`AgentOp::ProbeRoute`]).
+    pub payload: Option<Value>,
+}
+
+/// An event pushed north by an agent.
+#[derive(Debug, Clone)]
+pub struct AgentEvent {
+    /// Redfish event category.
+    pub event_type: EventType,
+    /// The resource (unified-tree id) the event concerns.
+    pub origin: ODataId,
+    /// Human readable message.
+    pub message: String,
+    /// `OK` / `Warning` / `Critical`.
+    pub severity: String,
+    /// Merge-patches to apply to existing resources alongside the event
+    /// (e.g. Status updates). Applied with RFC 7386 semantics so the rest of
+    /// the document survives.
+    pub patches: Vec<(ODataId, Value)>,
+    /// Resources removed as a consequence (e.g. a lost Connection).
+    pub removals: Vec<ODataId>,
+}
+
+/// One telemetry point pushed north by an agent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentMetric {
+    /// Metric name, e.g. `PortRxBandwidthGbps`.
+    pub metric_id: String,
+    /// The resource the sample describes (unified-tree id).
+    pub origin: ODataId,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// A technology-specific fabric agent.
+///
+/// Implementations must be `Send + Sync`: the OFMF calls agents from REST
+/// worker threads and from its poll loop concurrently. Implementations
+/// should keep their critical sections short — the OFMF never holds its
+/// tree lock across an agent call.
+pub trait Agent: Send + Sync {
+    /// Identity and capabilities.
+    fn info(&self) -> AgentInfo;
+
+    /// Full inventory of the agent's fabric as Redfish documents, with ids
+    /// already placed in the unified tree (under `/redfish/v1/Fabrics/{id}`
+    /// and related top-level collections).
+    fn discover(&self) -> Vec<(ODataId, Value)>;
+
+    /// Apply one operation.
+    fn apply(&self, op: &AgentOp) -> RedfishResult<AgentResponse>;
+
+    /// Drain events that occurred since the last drain.
+    fn drain_events(&self) -> Vec<AgentEvent>;
+
+    /// Sample current telemetry.
+    fn sample_telemetry(&self) -> Vec<AgentMetric>;
+
+    /// Liveness probe. A `false` (or panicking) agent is marked unavailable
+    /// and its fabric's resources transition to `StandbyOffline`.
+    fn heartbeat(&self) -> bool {
+        true
+    }
+}
+
+/// A trivial in-memory agent for tests: serves a fixed inventory, accepts
+/// every op with an empty response, records applied ops.
+#[derive(Debug, Default)]
+pub struct NullAgent {
+    /// Fabric id reported by `info`.
+    pub fabric_id: String,
+    /// Inventory returned by `discover`.
+    pub inventory: Vec<(ODataId, Value)>,
+    ops: parking_lot::Mutex<Vec<AgentOp>>,
+}
+
+impl NullAgent {
+    /// Build a null agent with the given id and inventory.
+    pub fn new(fabric_id: &str, inventory: Vec<(ODataId, Value)>) -> Self {
+        NullAgent { fabric_id: fabric_id.to_string(), inventory, ops: parking_lot::Mutex::new(Vec::new()) }
+    }
+
+    /// Ops applied so far (test observation).
+    pub fn applied_ops(&self) -> Vec<AgentOp> {
+        self.ops.lock().clone()
+    }
+}
+
+impl Agent for NullAgent {
+    fn info(&self) -> AgentInfo {
+        AgentInfo {
+            fabric_id: self.fabric_id.clone(),
+            technology: "Ethernet".to_string(),
+            version: "null-agent/0.1".to_string(),
+        }
+    }
+
+    fn discover(&self) -> Vec<(ODataId, Value)> {
+        self.inventory.clone()
+    }
+
+    fn apply(&self, op: &AgentOp) -> RedfishResult<AgentResponse> {
+        if let AgentOp::InjectFault { description } = op {
+            return Err(RedfishError::BadRequest(format!(
+                "null agent cannot inject faults: {description}"
+            )));
+        }
+        self.ops.lock().push(op.clone());
+        Ok(AgentResponse::default())
+    }
+
+    fn drain_events(&self) -> Vec<AgentEvent> {
+        Vec::new()
+    }
+
+    fn sample_telemetry(&self) -> Vec<AgentMetric> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_agent_records_ops() {
+        let a = NullAgent::new("NULL0", vec![]);
+        let op = AgentOp::DeleteZone { zone: ODataId::new("/redfish/v1/Fabrics/NULL0/Zones/z") };
+        a.apply(&op).unwrap();
+        assert_eq!(a.applied_ops(), vec![op]);
+        assert!(a.heartbeat());
+    }
+
+    #[test]
+    fn null_agent_rejects_fault_injection() {
+        let a = NullAgent::new("NULL0", vec![]);
+        assert!(a
+            .apply(&AgentOp::InjectFault { description: "link0 down".into() })
+            .is_err());
+    }
+}

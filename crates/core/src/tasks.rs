@@ -1,0 +1,200 @@
+//! The OFMF task service: long-running operations as Redfish `Task`s.
+//!
+//! Composition requests and large zone changes are not instantaneous on a
+//! real fabric, so the OFMF accepts them, returns `202 Accepted` with a task
+//! monitor URI, and runs the work on a worker pool. Clients poll the task
+//! resource (or subscribe to events) for completion.
+
+use crate::clock::Clock;
+use crate::events::EventService;
+use parking_lot::Mutex;
+use redfish_model::odata::ODataId;
+use redfish_model::path::top;
+use redfish_model::resources::events::EventType;
+use redfish_model::resources::task::{Task, TaskState};
+use redfish_model::resources::Resource;
+use redfish_model::{RedfishResult, Registry};
+use serde_json::{json, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The outcome a task body produces.
+pub type TaskOutcome = Result<Value, String>;
+
+/// The task service.
+pub struct TaskService {
+    #[allow(dead_code)]
+    clock: Arc<Clock>,
+    next_task: AtomicU64,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl TaskService {
+    /// New service.
+    pub fn new(clock: Arc<Clock>) -> Self {
+        TaskService { clock, next_task: AtomicU64::new(1), handles: Mutex::new(Vec::new()) }
+    }
+
+    /// Create a task resource in the tree and run `body` on a worker thread.
+    /// Returns the task's id (its monitor URI). The task resource transitions
+    /// `New → Running → Completed/Exception` and carries the body's payload
+    /// or error message; a `StatusChange` event is published on completion.
+    pub fn spawn<F>(
+        &self,
+        reg: &Arc<Registry>,
+        events: &Arc<EventService>,
+        name: &str,
+        body: F,
+    ) -> RedfishResult<ODataId>
+    where
+        F: FnOnce() -> TaskOutcome + Send + 'static,
+    {
+        let seq = self.next_task.fetch_add(1, Ordering::AcqRel);
+        let col = ODataId::new(top::TASKS);
+        let tid = seq.to_string();
+        let task = Task::new(&col, &tid, name);
+        let task_id = col.child(&tid);
+        reg.create(&task_id, task.to_value())?;
+
+        let reg = Arc::clone(reg);
+        let events = Arc::clone(events);
+        let monitor = task_id.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("ofmf-task-{tid}"))
+            .spawn(move || {
+                let _ = reg.patch(&monitor, &json!({"TaskState": TaskState::Running, "PercentComplete": 1}), None);
+                let outcome = body();
+                let patch = match outcome {
+                    Ok(payload) => json!({
+                        "TaskState": TaskState::Completed,
+                        "PercentComplete": 100,
+                        "Payload": payload,
+                    }),
+                    Err(msg) => json!({
+                        "TaskState": TaskState::Exception,
+                        "Messages": [msg],
+                    }),
+                };
+                let ok = patch["TaskState"] == json!(TaskState::Completed);
+                let _ = reg.patch(&monitor, &patch, None);
+                events.publish(
+                    EventType::StatusChange,
+                    &monitor,
+                    if ok { "task completed" } else { "task failed" },
+                    if ok { "OK" } else { "Critical" },
+                );
+            })
+            .expect("spawn task worker");
+        self.handles.lock().push(handle);
+        Ok(task_id)
+    }
+
+    /// Run a task body inline (deterministic tests and latency-sensitive
+    /// small operations). Same resource lifecycle, no thread.
+    pub fn run_inline<F>(
+        &self,
+        reg: &Registry,
+        events: &EventService,
+        name: &str,
+        body: F,
+    ) -> RedfishResult<ODataId>
+    where
+        F: FnOnce() -> TaskOutcome,
+    {
+        let seq = self.next_task.fetch_add(1, Ordering::AcqRel);
+        let col = ODataId::new(top::TASKS);
+        let tid = seq.to_string();
+        let task = Task::new(&col, &tid, name);
+        let task_id = col.child(&tid);
+        reg.create(&task_id, task.to_value())?;
+        reg.patch(&task_id, &json!({"TaskState": TaskState::Running}), None)?;
+        let outcome = body();
+        let (patch, ok) = match outcome {
+            Ok(payload) => (
+                json!({"TaskState": TaskState::Completed, "PercentComplete": 100, "Payload": payload}),
+                true,
+            ),
+            Err(msg) => (json!({"TaskState": TaskState::Exception, "Messages": [msg]}), false),
+        };
+        reg.patch(&task_id, &patch, None)?;
+        events.publish(
+            EventType::StatusChange,
+            &task_id,
+            if ok { "task completed" } else { "task failed" },
+            if ok { "OK" } else { "Critical" },
+        );
+        Ok(task_id)
+    }
+
+    /// Block until every spawned task thread has finished (shutdown/tests).
+    pub fn join_all(&self) {
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Read a task's state from the tree.
+    pub fn state_of(reg: &Registry, task: &ODataId) -> RedfishResult<TaskState> {
+        let body = reg.get(task)?.body;
+        serde_json::from_value(body["TaskState"].clone())
+            .map_err(|e| redfish_model::RedfishError::Internal(format!("bad TaskState: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::bootstrap;
+
+    fn setup() -> (Arc<Registry>, Arc<EventService>, TaskService) {
+        let reg = Arc::new(Registry::new());
+        bootstrap(&reg, "u").unwrap();
+        let clock = Arc::new(Clock::manual());
+        let ev = Arc::new(EventService::new(Arc::clone(&clock)));
+        let ts = TaskService::new(clock);
+        (reg, ev, ts)
+    }
+
+    #[test]
+    fn inline_task_completes_with_payload() {
+        let (reg, ev, ts) = setup();
+        let tid = ts
+            .run_inline(&reg, &ev, "compose", || Ok(json!({"system": "/redfish/v1/Systems/j1"})))
+            .unwrap();
+        assert_eq!(TaskService::state_of(&reg, &tid).unwrap(), TaskState::Completed);
+        let body = reg.get(&tid).unwrap().body;
+        assert_eq!(body["Payload"]["system"], "/redfish/v1/Systems/j1");
+        assert_eq!(body["PercentComplete"], 100);
+    }
+
+    #[test]
+    fn inline_task_failure_records_message() {
+        let (reg, ev, ts) = setup();
+        let tid = ts
+            .run_inline(&reg, &ev, "compose", || Err("no memory left".to_string()))
+            .unwrap();
+        assert_eq!(TaskService::state_of(&reg, &tid).unwrap(), TaskState::Exception);
+        assert_eq!(reg.get(&tid).unwrap().body["Messages"][0], "no memory left");
+    }
+
+    #[test]
+    fn spawned_task_runs_on_worker_and_publishes_event() {
+        let (reg, ev, ts) = setup();
+        let (_, rx) = ev.subscribe(&reg, "channel://c", vec![EventType::StatusChange], vec![]).unwrap();
+        let tid = ts.spawn(&reg, &ev, "zone-sweep", || Ok(json!(42))).unwrap();
+        ts.join_all();
+        assert_eq!(TaskService::state_of(&reg, &tid).unwrap(), TaskState::Completed);
+        let batch = rx.try_recv().unwrap();
+        assert_eq!(batch.events[0].message, "task completed");
+    }
+
+    #[test]
+    fn tasks_appear_in_collection() {
+        let (reg, ev, ts) = setup();
+        ts.run_inline(&reg, &ev, "a", || Ok(json!(null))).unwrap();
+        ts.run_inline(&reg, &ev, "b", || Ok(json!(null))).unwrap();
+        assert_eq!(reg.members(&ODataId::new(top::TASKS)).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,202 @@
+//! Device models: the disaggregated components behind fabric endpoints.
+//!
+//! Each device kind carries its allocatable capacity and tracks outstanding
+//! allocations, because the whole point of composability is carving shared
+//! pools (memory chunks, NVMe namespaces, GPU grants) out of these devices.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What a device is and what it can provide.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A compute node (initiator): cores and local memory.
+    ComputeNode {
+        /// Physical cores.
+        cores: u32,
+        /// Local DRAM in GiB.
+        memory_gib: u64,
+    },
+    /// A pooled GPU (target).
+    Gpu {
+        /// Marketing model name.
+        model: String,
+        /// Device memory in GiB.
+        memory_gib: u64,
+    },
+    /// A CXL Type-3 memory appliance (target): pool of byte-addressable
+    /// capacity carved into chunks.
+    MemoryAppliance {
+        /// Total capacity in MiB.
+        capacity_mib: u64,
+    },
+    /// An NVMe-oF subsystem (target): pool of block capacity carved into
+    /// namespaces.
+    NvmeSubsystem {
+        /// Total capacity in bytes.
+        capacity_bytes: u64,
+    },
+}
+
+impl DeviceKind {
+    /// Whether the device initiates traffic (compute) or serves it.
+    pub fn is_initiator(&self) -> bool {
+        matches!(self, DeviceKind::ComputeNode { .. })
+    }
+}
+
+/// Errors from device capacity operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// Requested more capacity than remains.
+    Insufficient {
+        /// Amount requested.
+        requested: u64,
+        /// Amount available.
+        available: u64,
+    },
+    /// Allocation handle not found.
+    UnknownAllocation(u64),
+    /// Operation not valid for this device kind.
+    WrongKind,
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::Insufficient { requested, available } => {
+                write!(f, "requested {requested} but only {available} available")
+            }
+            DeviceError::UnknownAllocation(h) => write!(f, "no allocation with handle {h}"),
+            DeviceError::WrongKind => write!(f, "operation not valid for this device kind"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// A device instance with capacity bookkeeping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Device {
+    /// Stable name used for Redfish ids.
+    pub name: String,
+    /// What the device is.
+    pub kind: DeviceKind,
+    /// Whether the device is currently reachable/functional.
+    pub healthy: bool,
+    /// Outstanding allocations: handle → size (MiB for memory appliances,
+    /// bytes for NVMe subsystems, always 1 for GPU grants).
+    allocations: BTreeMap<u64, u64>,
+    next_handle: u64,
+}
+
+impl Device {
+    /// Create a healthy device.
+    pub fn new(name: impl Into<String>, kind: DeviceKind) -> Self {
+        Device { name: name.into(), kind, healthy: true, allocations: BTreeMap::new(), next_handle: 1 }
+    }
+
+    /// Total allocatable capacity (units per kind; 1 for a GPU, 0 for a
+    /// compute node, which is never carved).
+    pub fn total_capacity(&self) -> u64 {
+        match &self.kind {
+            DeviceKind::ComputeNode { .. } => 0,
+            DeviceKind::Gpu { .. } => 1,
+            DeviceKind::MemoryAppliance { capacity_mib } => *capacity_mib,
+            DeviceKind::NvmeSubsystem { capacity_bytes } => *capacity_bytes,
+        }
+    }
+
+    /// Capacity currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.allocations.values().sum()
+    }
+
+    /// Capacity still free.
+    pub fn free_capacity(&self) -> u64 {
+        self.total_capacity().saturating_sub(self.allocated())
+    }
+
+    /// Carve `size` units out of the device. GPUs only accept `size == 1`
+    /// and at most one outstanding grant (whole-device assignment).
+    pub fn allocate(&mut self, size: u64) -> Result<u64, DeviceError> {
+        match &self.kind {
+            DeviceKind::ComputeNode { .. } => return Err(DeviceError::WrongKind),
+            DeviceKind::Gpu { .. } if size != 1 => return Err(DeviceError::WrongKind),
+            _ => {}
+        }
+        let free = self.free_capacity();
+        if size > free {
+            return Err(DeviceError::Insufficient { requested: size, available: free });
+        }
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.allocations.insert(handle, size);
+        Ok(handle)
+    }
+
+    /// Return an allocation to the pool.
+    pub fn release(&mut self, handle: u64) -> Result<u64, DeviceError> {
+        self.allocations
+            .remove(&handle)
+            .ok_or(DeviceError::UnknownAllocation(handle))
+    }
+
+    /// Size of an outstanding allocation.
+    pub fn allocation_size(&self, handle: u64) -> Option<u64> {
+        self.allocations.get(&handle).copied()
+    }
+
+    /// Number of outstanding allocations.
+    pub fn allocation_count(&self) -> usize {
+        self.allocations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_appliance_carving() {
+        let mut d = Device::new("mem0", DeviceKind::MemoryAppliance { capacity_mib: 1000 });
+        let h1 = d.allocate(600).unwrap();
+        assert_eq!(d.free_capacity(), 400);
+        assert!(matches!(d.allocate(500), Err(DeviceError::Insufficient { available: 400, .. })));
+        d.release(h1).unwrap();
+        assert_eq!(d.free_capacity(), 1000);
+    }
+
+    #[test]
+    fn gpu_whole_device_grant() {
+        let mut g = Device::new("gpu0", DeviceKind::Gpu { model: "A100".into(), memory_gib: 40 });
+        assert!(matches!(g.allocate(2), Err(DeviceError::WrongKind)));
+        let h = g.allocate(1).unwrap();
+        assert!(matches!(g.allocate(1), Err(DeviceError::Insufficient { .. })));
+        g.release(h).unwrap();
+        assert_eq!(g.free_capacity(), 1);
+    }
+
+    #[test]
+    fn compute_node_is_not_carvable() {
+        let mut c = Device::new("cn0", DeviceKind::ComputeNode { cores: 56, memory_gib: 128 });
+        assert!(matches!(c.allocate(1), Err(DeviceError::WrongKind)));
+        assert_eq!(c.total_capacity(), 0);
+        assert!(c.kind.is_initiator());
+    }
+
+    #[test]
+    fn release_unknown_handle_fails() {
+        let mut d = Device::new("mem0", DeviceKind::MemoryAppliance { capacity_mib: 10 });
+        assert!(matches!(d.release(99), Err(DeviceError::UnknownAllocation(99))));
+    }
+
+    #[test]
+    fn handles_are_unique_across_release() {
+        let mut d = Device::new("mem0", DeviceKind::MemoryAppliance { capacity_mib: 100 });
+        let h1 = d.allocate(10).unwrap();
+        d.release(h1).unwrap();
+        let h2 = d.allocate(10).unwrap();
+        assert_ne!(h1, h2);
+    }
+}

@@ -1,0 +1,495 @@
+//! The [`FabricSim`] facade: what an OFMF Agent programs against.
+//!
+//! This is the simulated stand-in for a vendor fabric manager. It owns one
+//! topology plus its zoning/connection tables, applies faults, performs
+//! automatic connection fail-over, and surfaces everything that happened as
+//! a drainable [`FabricEvent`] stream — the raw material an Agent translates
+//! into Redfish events.
+
+use crate::device::{Device, DeviceError};
+use crate::failure::{apply, Fault};
+use crate::ids::{ConnectionId, DeviceId, EndpointId, LinkId, SwitchId, ZoneId};
+use crate::routing::{path_healthy, route, route_filtered, Path};
+use crate::telemetry::{Sample, Sampler};
+use crate::topology::Topology;
+use crate::zoning::{ConnectionState, ZoneState, ZoningError, ZoningTable};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Fabric technology and identity configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// Name used for the Redfish fabric id (e.g. `CXL0`).
+    pub name: String,
+    /// Technology string matching `redfish_model::enums::Protocol` variants.
+    pub technology: String,
+    /// Telemetry seed.
+    pub seed: u64,
+}
+
+impl FabricConfig {
+    /// Convenience constructor.
+    pub fn new(name: &str, technology: &str, seed: u64) -> Self {
+        FabricConfig { name: name.to_string(), technology: technology.to_string(), seed }
+    }
+}
+
+/// Everything observable that happens inside a fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FabricEvent {
+    /// A link changed health.
+    LinkHealth {
+        /// Which link.
+        link: LinkId,
+        /// New health.
+        healthy: bool,
+    },
+    /// A switch changed health.
+    SwitchHealth {
+        /// Which switch.
+        switch: SwitchId,
+        /// New health.
+        healthy: bool,
+    },
+    /// A device changed health.
+    DeviceHealth {
+        /// Which device.
+        device: DeviceId,
+        /// New health.
+        healthy: bool,
+    },
+    /// A connection was transparently re-routed after a fault.
+    ConnectionFailedOver {
+        /// Which connection.
+        connection: ConnectionId,
+        /// Hop count of the replacement path.
+        new_hops: usize,
+    },
+    /// A connection lost all paths and was torn down.
+    ConnectionLost {
+        /// Which connection.
+        connection: ConnectionId,
+    },
+    /// A zone was created.
+    ZoneCreated {
+        /// Which zone.
+        zone: ZoneId,
+    },
+    /// A connection was established.
+    Connected {
+        /// Which connection.
+        connection: ConnectionId,
+    },
+    /// A connection was torn down by request.
+    Disconnected {
+        /// Which connection.
+        connection: ConnectionId,
+    },
+}
+
+/// Errors from fabric-manager operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FabricError {
+    /// Zoning/connection table error.
+    Zoning(ZoningError),
+    /// Device capacity error.
+    Device(DeviceError),
+    /// No healthy route between the endpoints.
+    Unroutable {
+        /// Initiator endpoint.
+        from: EndpointId,
+        /// Target endpoint.
+        to: EndpointId,
+    },
+    /// Endpoint id out of range.
+    UnknownEndpoint(EndpointId),
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::Zoning(e) => write!(f, "zoning: {e}"),
+            FabricError::Device(e) => write!(f, "device: {e}"),
+            FabricError::Unroutable { from, to } => write!(f, "no healthy route {from} → {to}"),
+            FabricError::UnknownEndpoint(e) => write!(f, "unknown endpoint {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+impl From<ZoningError> for FabricError {
+    fn from(e: ZoningError) -> Self {
+        FabricError::Zoning(e)
+    }
+}
+
+impl From<DeviceError> for FabricError {
+    fn from(e: DeviceError) -> Self {
+        FabricError::Device(e)
+    }
+}
+
+/// One simulated fabric: topology + zoning + telemetry + event stream.
+#[derive(Debug)]
+pub struct FabricSim {
+    /// Identity/technology configuration.
+    pub config: FabricConfig,
+    topo: Topology,
+    zoning: ZoningTable,
+    sampler: Sampler,
+    events: Vec<FabricEvent>,
+    /// Bandwidth reserved per link (Gbit/s), indexed by `LinkId`.
+    reserved: Vec<f64>,
+}
+
+impl FabricSim {
+    /// Wrap a topology as a managed fabric.
+    pub fn new(config: FabricConfig, topo: Topology) -> Self {
+        let sampler = Sampler::new(config.seed);
+        let reserved = vec![0.0; topo.links.len()];
+        FabricSim { config, topo, zoning: ZoningTable::new(), sampler, events: Vec::new(), reserved }
+    }
+
+    /// Bandwidth currently reserved on a link (Gbit/s).
+    pub fn reserved_gbps(&self, link: crate::ids::LinkId) -> f64 {
+        self.reserved.get(link.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Unreserved bandwidth remaining on a link (Gbit/s).
+    pub fn residual_gbps(&self, link: crate::ids::LinkId) -> f64 {
+        let cap = self.topo.links[link.index()].bandwidth_gbps;
+        (cap - self.reserved_gbps(link)).max(0.0)
+    }
+
+    fn reserve_path(&mut self, path: &Path, gbps: f64) {
+        for l in &path.links {
+            self.reserved[l.index()] += gbps;
+        }
+    }
+
+    fn release_path(&mut self, path: &Path, gbps: f64) {
+        for l in &path.links {
+            let r = &mut self.reserved[l.index()];
+            *r = (*r - gbps).max(0.0);
+        }
+    }
+
+    /// Read-only topology access (discovery).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Endpoint id by device name (agents address devices by name).
+    pub fn endpoint_by_device_name(&self, name: &str) -> Option<EndpointId> {
+        (0..self.topo.endpoints.len() as u32)
+            .map(EndpointId)
+            .find(|e| self.topo.device_of(*e).name == name)
+    }
+
+    /// Create a zone over the given endpoints.
+    pub fn create_zone(&mut self, name: &str, members: BTreeSet<EndpointId>) -> Result<ZoneId, FabricError> {
+        for &ep in &members {
+            if ep.index() >= self.topo.endpoints.len() {
+                return Err(FabricError::UnknownEndpoint(ep));
+            }
+        }
+        let id = self.zoning.create_zone(name, members);
+        self.events.push(FabricEvent::ZoneCreated { zone: id });
+        Ok(id)
+    }
+
+    /// Add an endpoint to a zone.
+    pub fn add_to_zone(&mut self, zone: ZoneId, ep: EndpointId) -> Result<(), FabricError> {
+        if ep.index() >= self.topo.endpoints.len() {
+            return Err(FabricError::UnknownEndpoint(ep));
+        }
+        self.zoning.add_to_zone(zone, ep)?;
+        Ok(())
+    }
+
+    /// Delete a zone (must have no live connections).
+    pub fn delete_zone(&mut self, zone: ZoneId) -> Result<(), FabricError> {
+        self.zoning.delete_zone(zone)?;
+        Ok(())
+    }
+
+    /// Zone state access.
+    pub fn zone(&self, zone: ZoneId) -> Result<&ZoneState, FabricError> {
+        Ok(self.zoning.zone(zone)?)
+    }
+
+    /// Establish a best-effort connection (no bandwidth reservation).
+    pub fn connect(
+        &mut self,
+        name: &str,
+        zone: ZoneId,
+        initiator: EndpointId,
+        target: EndpointId,
+        size: u64,
+    ) -> Result<ConnectionId, FabricError> {
+        self.connect_qos(name, zone, initiator, target, size, 0.0)
+    }
+
+    /// Establish a connection reserving `reserve_gbps` of bandwidth on every
+    /// link of the chosen path: allocate `size` units on the target's
+    /// device, route over links with enough *unreserved* capacity, reserve,
+    /// and record the binding. Rolls everything back on failure.
+    pub fn connect_qos(
+        &mut self,
+        name: &str,
+        zone: ZoneId,
+        initiator: EndpointId,
+        target: EndpointId,
+        size: u64,
+        reserve_gbps: f64,
+    ) -> Result<ConnectionId, FabricError> {
+        let reserved = &self.reserved;
+        let path = route_filtered(&self.topo, initiator, target, |lid, edge| {
+            edge.bandwidth_gbps - reserved[lid.index()] >= reserve_gbps
+        })
+        .ok_or(FabricError::Unroutable { from: initiator, to: target })?;
+        let allocation = self.topo.device_of_mut(target).allocate(size)?;
+        match self
+            .zoning
+            .connect(name, zone, initiator, target, allocation, size, path.clone(), reserve_gbps)
+        {
+            Ok(id) => {
+                self.reserve_path(&path, reserve_gbps);
+                self.events.push(FabricEvent::Connected { connection: id });
+                Ok(id)
+            }
+            Err(e) => {
+                // Roll back the carve so failed connects don't leak capacity.
+                let _ = self.topo.device_of_mut(target).release(allocation);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Tear down a connection, releasing its device allocation and any
+    /// bandwidth reservation.
+    pub fn disconnect(&mut self, id: ConnectionId) -> Result<(), FabricError> {
+        let st = self.zoning.disconnect(id)?;
+        let _ = self.topo.device_of_mut(st.target).release(st.allocation);
+        self.release_path(&st.path, st.reserved_gbps);
+        self.events.push(FabricEvent::Disconnected { connection: id });
+        Ok(())
+    }
+
+    /// Connection state access.
+    pub fn connection(&self, id: ConnectionId) -> Result<&ConnectionState, FabricError> {
+        Ok(self.zoning.connection(id)?)
+    }
+
+    /// All live connections.
+    pub fn connections(&self) -> Vec<(ConnectionId, EndpointId, EndpointId)> {
+        self.zoning
+            .connections()
+            .map(|(id, c)| (id, c.initiator, c.target))
+            .collect()
+    }
+
+    /// Inject a fault, then fail over (or tear down) affected connections.
+    /// Returns how many connections failed over and how many were lost.
+    pub fn inject(&mut self, fault: Fault) -> (usize, usize) {
+        if !apply(&mut self.topo, fault) {
+            return (0, 0);
+        }
+        self.events.push(match fault {
+            Fault::LinkDown(l) => FabricEvent::LinkHealth { link: l, healthy: false },
+            Fault::LinkUp(l) => FabricEvent::LinkHealth { link: l, healthy: true },
+            Fault::SwitchDown(s) => FabricEvent::SwitchHealth { switch: s, healthy: false },
+            Fault::SwitchUp(s) => FabricEvent::SwitchHealth { switch: s, healthy: true },
+            Fault::DeviceDown(d) => FabricEvent::DeviceHealth { device: d, healthy: false },
+            Fault::DeviceUp(d) => FabricEvent::DeviceHealth { device: d, healthy: true },
+        });
+        self.reroute_all()
+    }
+
+    /// Re-validate every connection's path; re-route broken ones, tear down
+    /// unroutable ones. Returns `(failed_over, lost)` counts.
+    fn reroute_all(&mut self) -> (usize, usize) {
+        let ids: Vec<ConnectionId> = self.zoning.connections().map(|(id, _)| id).collect();
+        let mut failed_over = 0;
+        let mut lost = Vec::new();
+        for id in ids {
+            let (initiator, target, qos, old_path, ok) = {
+                let c = self.zoning.connection(id).expect("listed connection exists");
+                (
+                    c.initiator,
+                    c.target,
+                    c.reserved_gbps,
+                    c.path.clone(),
+                    path_healthy(&self.topo, &c.path, c.initiator),
+                )
+            };
+            if ok {
+                continue;
+            }
+            // Free the broken path's reservation before searching, so the
+            // replacement may legally reuse surviving links of the old path.
+            self.release_path(&old_path, qos);
+            let reserved = &self.reserved;
+            let found = route_filtered(&self.topo, initiator, target, |lid, edge| {
+                edge.bandwidth_gbps - reserved[lid.index()] >= qos
+            });
+            match found {
+                Some(new_path) => {
+                    let hops = new_path.hops();
+                    self.reserve_path(&new_path, qos);
+                    let c = self.zoning.connection_mut(id).expect("exists");
+                    c.path = new_path;
+                    c.failover_count += 1;
+                    failed_over += 1;
+                    self.events
+                        .push(FabricEvent::ConnectionFailedOver { connection: id, new_hops: hops });
+                }
+                None => lost.push(id),
+            }
+        }
+        for id in &lost {
+            if let Ok(st) = self.zoning.disconnect(*id) {
+                let _ = self.topo.device_of_mut(st.target).release(st.allocation);
+                // Reservation was already released before the failed search.
+            }
+            self.events.push(FabricEvent::ConnectionLost { connection: *id });
+        }
+        (failed_over, lost.len())
+    }
+
+    /// Drain pending events (agents call this on their poll loop).
+    pub fn drain_events(&mut self) -> Vec<FabricEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Take one telemetry sample of every entity.
+    pub fn sample_telemetry(&mut self) -> Vec<Sample> {
+        self.sampler.sample_all(&self.topo)
+    }
+
+    /// Route lookup without establishing a connection (used by
+    /// topology-aware placement to score candidates).
+    pub fn probe_route(&self, from: EndpointId, to: EndpointId) -> Option<Path> {
+        route(&self.topo, from, to)
+    }
+
+    /// Free capacity of the device behind `ep`.
+    pub fn free_capacity(&self, ep: EndpointId) -> u64 {
+        self.topo.device_of(ep).free_capacity()
+    }
+
+    /// Device behind an endpoint (discovery).
+    pub fn device(&self, ep: EndpointId) -> &Device {
+        self.topo.device_of(ep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{presets, TopologyBuilder};
+
+    fn sim() -> FabricSim {
+        let mut devs = presets::compute_nodes(2, 8, 16);
+        devs.extend(presets::memory_appliances(1, 1024));
+        let topo = TopologyBuilder::new().leaf_spine(2, 2, devs);
+        FabricSim::new(FabricConfig::new("CXL0", "CXL", 7), topo)
+    }
+
+    fn zone_all(s: &mut FabricSim) -> ZoneId {
+        let members: BTreeSet<EndpointId> = (0..s.topology().endpoints.len() as u32).map(EndpointId).collect();
+        s.create_zone("all", members).unwrap()
+    }
+
+    #[test]
+    fn connect_allocates_and_disconnect_releases() {
+        let mut s = sim();
+        let z = zone_all(&mut s);
+        let cn = s.topology().initiator_endpoints()[0];
+        let mem = s.topology().target_endpoints()[0];
+        assert_eq!(s.free_capacity(mem), 1024);
+        let c = s.connect("c1", z, cn, mem, 512).unwrap();
+        assert_eq!(s.free_capacity(mem), 512);
+        s.disconnect(c).unwrap();
+        assert_eq!(s.free_capacity(mem), 1024);
+    }
+
+    #[test]
+    fn failed_connect_rolls_back_allocation() {
+        let mut s = sim();
+        let cn = s.topology().initiator_endpoints()[0];
+        let mem = s.topology().target_endpoints()[0];
+        // Zone without the initiator => zoning error after allocation.
+        let z = s.create_zone("partial", [mem].into_iter().collect()).unwrap();
+        assert!(s.connect("c1", z, cn, mem, 512).is_err());
+        assert_eq!(s.free_capacity(mem), 1024, "allocation must be rolled back");
+    }
+
+    #[test]
+    fn overcommit_rejected() {
+        let mut s = sim();
+        let z = zone_all(&mut s);
+        let cn = s.topology().initiator_endpoints()[0];
+        let mem = s.topology().target_endpoints()[0];
+        s.connect("c1", z, cn, mem, 1000).unwrap();
+        assert!(matches!(
+            s.connect("c2", z, cn, mem, 100),
+            Err(FabricError::Device(DeviceError::Insufficient { .. }))
+        ));
+    }
+
+    #[test]
+    fn spine_failure_fails_over_connection() {
+        let mut s = sim();
+        let z = zone_all(&mut s);
+        // cn01 sits on leaf1, mem00 on leaf0: the path must cross a spine.
+        let cn = s.topology().initiator_endpoints()[1];
+        let mem = s.topology().target_endpoints()[0];
+        let c = s.connect("c1", z, cn, mem, 64).unwrap();
+        s.drain_events();
+        // Kill both spines one at a time; first kill may or may not hit the
+        // programmed path, second kill must lose the connection.
+        let (fo0, lost0) = s.inject(Fault::SwitchDown(SwitchId(0)));
+        let (fo1, lost1) = s.inject(Fault::SwitchDown(SwitchId(1)));
+        assert!(fo0 + fo1 + lost0 + lost1 > 0);
+        assert_eq!(lost0 + lost1, 1, "connection lost after both spines die");
+        assert!(s.connection(c).is_err());
+        // Capacity released on loss.
+        assert_eq!(s.free_capacity(mem), 1024);
+        let events = s.drain_events();
+        assert!(events.iter().any(|e| matches!(e, FabricEvent::ConnectionLost { .. })));
+    }
+
+    #[test]
+    fn events_drain_once() {
+        let mut s = sim();
+        let _ = zone_all(&mut s);
+        assert!(!s.drain_events().is_empty());
+        assert!(s.drain_events().is_empty());
+    }
+
+    #[test]
+    fn endpoint_lookup_by_name() {
+        let s = sim();
+        assert!(s.endpoint_by_device_name("cn00").is_some());
+        assert!(s.endpoint_by_device_name("mem00").is_some());
+        assert!(s.endpoint_by_device_name("nope").is_none());
+    }
+
+    #[test]
+    fn unroutable_connect_fails_cleanly() {
+        let mut s = sim();
+        let z = zone_all(&mut s);
+        let cn = s.topology().initiator_endpoints()[0];
+        let mem = s.topology().target_endpoints()[0];
+        // Sever the memory appliance's access link first.
+        let dev = s.topology().endpoints[mem.index()].device;
+        s.inject(Fault::DeviceDown(dev));
+        assert!(matches!(
+            s.connect("c1", z, cn, mem, 64),
+            Err(FabricError::Unroutable { .. })
+        ));
+        assert_eq!(s.free_capacity(mem), 1024);
+    }
+}

@@ -1,0 +1,97 @@
+//! Fault injection: the failures the OFMF must surface and survive.
+//!
+//! Failures mutate the topology's health flags; [`crate::fabric::FabricSim`]
+//! turns each into a [`crate::fabric::FabricEvent`] and re-routes affected
+//! connections ("dynamic network fail-over" per the abstract).
+
+use crate::ids::{DeviceId, LinkId, SwitchId};
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A fault (or repair) applied to the substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// A link went down.
+    LinkDown(LinkId),
+    /// A link came back.
+    LinkUp(LinkId),
+    /// A switch died (all its links effectively dead).
+    SwitchDown(SwitchId),
+    /// A switch recovered.
+    SwitchUp(SwitchId),
+    /// A device died (its endpoint unreachable).
+    DeviceDown(DeviceId),
+    /// A device recovered.
+    DeviceUp(DeviceId),
+}
+
+/// Apply a fault to the topology. Returns `false` if the referenced entity
+/// does not exist (out-of-range injection is ignored, not fatal — mirrors a
+/// fabric manager receiving a trap for an unknown port).
+pub fn apply(topo: &mut Topology, fault: Fault) -> bool {
+    match fault {
+        Fault::LinkDown(l) => set_link(topo, l, false),
+        Fault::LinkUp(l) => set_link(topo, l, true),
+        Fault::SwitchDown(s) => set_switch(topo, s, false),
+        Fault::SwitchUp(s) => set_switch(topo, s, true),
+        Fault::DeviceDown(d) => set_device(topo, d, false),
+        Fault::DeviceUp(d) => set_device(topo, d, true),
+    }
+}
+
+fn set_link(topo: &mut Topology, l: LinkId, healthy: bool) -> bool {
+    match topo.links.get_mut(l.index()) {
+        Some(e) => {
+            e.healthy = healthy;
+            true
+        }
+        None => false,
+    }
+}
+
+fn set_switch(topo: &mut Topology, s: SwitchId, healthy: bool) -> bool {
+    match topo.switches.get_mut(s.index()) {
+        Some(n) => {
+            n.healthy = healthy;
+            true
+        }
+        None => false,
+    }
+}
+
+fn set_device(topo: &mut Topology, d: DeviceId, healthy: bool) -> bool {
+    match topo.devices.get_mut(d.index()) {
+        Some(n) => {
+            n.healthy = healthy;
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{presets, TopologyBuilder};
+
+    #[test]
+    fn apply_and_repair() {
+        let mut t = TopologyBuilder::new().star(presets::compute_nodes(2, 8, 16));
+        assert!(apply(&mut t, Fault::LinkDown(LinkId(0))));
+        assert!(!t.links[0].healthy);
+        assert!(apply(&mut t, Fault::LinkUp(LinkId(0))));
+        assert!(t.links[0].healthy);
+        assert!(apply(&mut t, Fault::SwitchDown(SwitchId(0))));
+        assert!(!t.switches[0].healthy);
+        assert!(apply(&mut t, Fault::DeviceDown(DeviceId(1))));
+        assert!(!t.devices[1].healthy);
+    }
+
+    #[test]
+    fn unknown_entities_are_ignored() {
+        let mut t = TopologyBuilder::new().star(presets::compute_nodes(1, 8, 16));
+        assert!(!apply(&mut t, Fault::LinkDown(LinkId(999))));
+        assert!(!apply(&mut t, Fault::SwitchDown(SwitchId(999))));
+        assert!(!apply(&mut t, Fault::DeviceDown(DeviceId(999))));
+    }
+}

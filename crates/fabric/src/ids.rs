@@ -1,0 +1,72 @@
+//! Typed indices for fabric entities.
+//!
+//! Using dedicated newtypes (rather than bare `usize`) makes it impossible
+//! to index the switch table with an endpoint id — the kind of mix-up a
+//! fabric manager cannot afford.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A switch in the fabric graph.
+    SwitchId, "sw"
+);
+id_type!(
+    /// An inter-switch or switch-to-endpoint link.
+    LinkId, "link"
+);
+id_type!(
+    /// An endpoint: the attach point of a device to the fabric.
+    EndpointId, "ep"
+);
+id_type!(
+    /// A device behind an endpoint.
+    DeviceId, "dev"
+);
+id_type!(
+    /// A zone (visibility/access-control group of endpoints).
+    ZoneId, "zone"
+);
+id_type!(
+    /// An established initiator→target connection.
+    ConnectionId, "conn"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(SwitchId(3).to_string(), "sw3");
+        assert_eq!(EndpointId(0).to_string(), "ep0");
+        assert_eq!(ConnectionId(12).to_string(), "conn12");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(SwitchId(1) < SwitchId(2));
+        assert_eq!(DeviceId(4).index(), 4);
+    }
+}

@@ -1,0 +1,47 @@
+//! # fabric-sim
+//!
+//! Deterministic simulator of the **hardware substrate** the OFMF manages:
+//! network fabrics (switches, ports, links), fabric-attached devices
+//! (compute nodes, GPUs, CXL memory appliances, NVMe-oF subsystems) and the
+//! fabric-manager operations an OFMF Agent drives (discovery, zoning,
+//! connection establishment, fail-over).
+//!
+//! The paper's substrate is physical CXL/InfiniBand/NVMe-oF hardware behind
+//! vendor fabric managers. None of that is available here, so this crate
+//! provides the closest synthetic equivalent that exercises the same
+//! management-plane code paths:
+//!
+//! * [`topology`] — the fabric graph and builders (leaf–spine, ring, star).
+//! * [`device`] — device models with allocatable capacity (memory chunks,
+//!   NVMe namespaces, GPU grants).
+//! * [`routing`] — shortest-path routing over healthy links and fail-over
+//!   recomputation.
+//! * [`zoning`] — zones (visibility groups) and connections
+//!   (initiator→target bindings), with enforcement.
+//! * [`failure`] — fault injection: link flaps, switch death, device loss.
+//! * [`telemetry`] — seeded, reproducible hardware telemetry streams.
+//! * [`fabric`] — the [`fabric::FabricSim`] facade agents talk to, and the
+//!   [`fabric::FabricEvent`] stream they forward to the OFMF.
+//!
+//! Everything is deterministic given a seed: repetition `r` of any sampled
+//! stream derives its RNG from `(seed, label, r)` so parallel and serial
+//! runs agree exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod fabric;
+pub mod failure;
+pub mod ids;
+pub mod rng;
+pub mod routing;
+pub mod telemetry;
+pub mod topology;
+pub mod zoning;
+
+pub use device::{Device, DeviceKind};
+pub use fabric::{FabricConfig, FabricEvent, FabricSim};
+pub use ids::{ConnectionId, DeviceId, EndpointId, LinkId, SwitchId, ZoneId};
+pub use routing::Path;
+pub use topology::{Topology, TopologyBuilder};

@@ -1,0 +1,228 @@
+//! Shortest-path routing over healthy links, and fail-over recomputation.
+//!
+//! Routing is breadth-first over link hops (all hops in a fabric have the
+//! same nominal latency class), restricted to healthy links and healthy
+//! intermediate switches. When a link or switch dies, affected connections
+//! are re-routed by simply recomputing — the OFMF layer turns "path changed"
+//! into a fail-over event for subscribed clients.
+
+use crate::ids::{EndpointId, LinkId};
+use crate::topology::{Attach, Topology};
+use std::collections::VecDeque;
+
+/// A route between two endpoints, as the sequence of links traversed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Links in order from initiator to target.
+    pub links: Vec<LinkId>,
+    /// Total one-way latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Bottleneck bandwidth along the path in Gbit/s.
+    pub bandwidth_gbps: f64,
+}
+
+impl Path {
+    /// Number of link hops.
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// Compute a shortest path (fewest links) from `from` to `to` over healthy
+/// links and healthy switches. Returns `None` when disconnected.
+pub fn route(topo: &Topology, from: EndpointId, to: EndpointId) -> Option<Path> {
+    route_filtered(topo, from, to, |_, _| true)
+}
+
+/// [`route`] restricted to links accepted by `ok_link` (used for
+/// QoS-aware routing: only links with enough unreserved bandwidth).
+pub fn route_filtered<F>(topo: &Topology, from: EndpointId, to: EndpointId, ok_link: F) -> Option<Path>
+where
+    F: Fn(LinkId, &crate::topology::LinkEdge) -> bool,
+{
+    if from == to {
+        return Some(Path { links: Vec::new(), latency_ns: 0, bandwidth_gbps: f64::INFINITY });
+    }
+    if !topo.attach_healthy(Attach::Endpoint(from)) || !topo.attach_healthy(Attach::Endpoint(to)) {
+        return None;
+    }
+    // BFS over attach points; parent pointers reconstruct the link sequence.
+    let start = Attach::Endpoint(from);
+    let goal = Attach::Endpoint(to);
+    let mut visited: Vec<Attach> = vec![start];
+    let mut parent: Vec<(usize, LinkId)> = vec![(usize::MAX, LinkId(u32::MAX))];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(0);
+
+    while let Some(vi) = queue.pop_front() {
+        let at = visited[vi];
+        // Collect first to avoid borrowing issues while pushing.
+        let nexts: Vec<(LinkId, Attach)> = topo
+            .incident_links(at)
+            .filter(|(lid, edge)| ok_link(*lid, edge))
+            .map(|(lid, _)| (lid, topo.far_side(lid, at)))
+            .collect();
+        for (lid, far) in nexts {
+            if !topo.attach_healthy(far) {
+                continue;
+            }
+            // Traffic only transits switches; endpoints other than the goal
+            // are leaves.
+            if matches!(far, Attach::Endpoint(_)) && far != goal {
+                continue;
+            }
+            if visited.contains(&far) {
+                continue;
+            }
+            visited.push(far);
+            parent.push((vi, lid));
+            if far == goal {
+                // Reconstruct.
+                let mut links = Vec::new();
+                let mut cur = visited.len() - 1;
+                while cur != 0 {
+                    let (p, l) = parent[cur];
+                    links.push(l);
+                    cur = p;
+                }
+                links.reverse();
+                let latency_ns = links.iter().map(|l| topo.links[l.index()].latency_ns).sum();
+                let bandwidth_gbps = links
+                    .iter()
+                    .map(|l| topo.links[l.index()].bandwidth_gbps)
+                    .fold(f64::INFINITY, f64::min);
+                return Some(Path { links, latency_ns, bandwidth_gbps });
+            }
+            queue.push_back(visited.len() - 1);
+        }
+    }
+    None
+}
+
+/// True if `path` only traverses healthy links and switches in the current
+/// topology (used to decide whether an established connection must fail
+/// over).
+pub fn path_healthy(topo: &Topology, path: &Path, from: EndpointId) -> bool {
+    let mut at = Attach::Endpoint(from);
+    for l in &path.links {
+        let edge = &topo.links[l.index()];
+        if !edge.healthy {
+            return false;
+        }
+        if edge.a != at && edge.b != at {
+            return false; // path no longer contiguous
+        }
+        at = topo.far_side(*l, at);
+        if !topo.attach_healthy(at) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{Device, DeviceKind};
+    use crate::topology::{presets, TopologyBuilder};
+
+    fn two_tier() -> Topology {
+        let mut devs = presets::compute_nodes(2, 8, 16);
+        devs.extend(presets::memory_appliances(1, 1024));
+        TopologyBuilder::new().leaf_spine(2, 2, devs)
+    }
+
+    #[test]
+    fn routes_exist_in_leaf_spine() {
+        let t = two_tier();
+        let cn = t.initiator_endpoints()[0];
+        let mem = t.target_endpoints()[0];
+        let p = route(&t, cn, mem).expect("connected");
+        assert!(p.hops() >= 2, "must cross at least access+access");
+        assert!(p.bandwidth_gbps >= 100.0);
+        assert!(path_healthy(&t, &p, cn));
+    }
+
+    #[test]
+    fn same_endpoint_is_zero_hops() {
+        let t = two_tier();
+        let cn = t.initiator_endpoints()[0];
+        assert_eq!(route(&t, cn, cn).unwrap().hops(), 0);
+    }
+
+    #[test]
+    fn route_avoids_dead_links_and_survives_spine_loss() {
+        let mut t = two_tier();
+        let cn = t.initiator_endpoints()[0];
+        let mem = t.target_endpoints()[0];
+        let p1 = route(&t, cn, mem).unwrap();
+        // Kill every link on the first path that is a trunk; a second spine
+        // should provide an alternative.
+        for l in &p1.links {
+            let e = &t.links[l.index()];
+            if matches!((e.a, e.b), (Attach::Switch(_), Attach::Switch(_))) {
+                t.links[l.index()].healthy = false;
+            }
+        }
+        assert!(!path_healthy(&t, &p1, cn) || p1.links.iter().all(|l| t.links[l.index()].healthy));
+        let p2 = route(&t, cn, mem).expect("alternate spine path");
+        assert!(path_healthy(&t, &p2, cn));
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let mut t = two_tier();
+        let cn = t.initiator_endpoints()[0];
+        let mem = t.target_endpoints()[0];
+        // Kill the target's access link.
+        let mem_at = Attach::Endpoint(mem);
+        let access: Vec<_> = t.incident_links(mem_at).map(|(l, _)| l).collect();
+        for l in access {
+            t.links[l.index()].healthy = false;
+        }
+        assert!(route(&t, cn, mem).is_none());
+    }
+
+    #[test]
+    fn dead_endpoint_device_is_unroutable() {
+        let mut t = two_tier();
+        let cn = t.initiator_endpoints()[0];
+        let mem = t.target_endpoints()[0];
+        t.device_of_mut(mem).healthy = false;
+        assert!(route(&t, cn, mem).is_none());
+    }
+
+    #[test]
+    fn endpoints_do_not_transit_traffic() {
+        // Star: cn0, cn1, mem0 all on one switch. Path cn0->mem0 must not
+        // route through cn1.
+        let mut devs = presets::compute_nodes(2, 8, 16);
+        devs.push(Device::new("mem0", DeviceKind::MemoryAppliance { capacity_mib: 10 }));
+        let t = TopologyBuilder::new().star(devs);
+        let p = route(&t, t.initiator_endpoints()[0], t.target_endpoints()[0]).unwrap();
+        assert_eq!(p.hops(), 2); // access up, access down
+    }
+
+    #[test]
+    fn ring_reroutes_the_long_way() {
+        let mut devs = presets::compute_nodes(1, 8, 16);
+        devs.extend(presets::memory_appliances(1, 10));
+        let mut t = TopologyBuilder::new().ring(4, devs);
+        let cn = t.initiator_endpoints()[0];
+        let mem = t.target_endpoints()[0];
+        let p1 = route(&t, cn, mem).unwrap();
+        // Fail the first trunk on the short path.
+        let trunk = p1
+            .links
+            .iter()
+            .find(|l| {
+                let e = &t.links[l.index()];
+                matches!((e.a, e.b), (Attach::Switch(_), Attach::Switch(_)))
+            })
+            .copied()
+            .expect("short path uses a trunk");
+        t.links[trunk.index()].healthy = false;
+        let p2 = route(&t, cn, mem).expect("long way around the ring");
+        assert!(p2.hops() > p1.hops());
+    }
+}

@@ -1,0 +1,329 @@
+//! The fabric graph: switches, links and endpoints, plus topology builders.
+//!
+//! A topology is a bipartite-ish graph: endpoints attach to switches via
+//! access links; switches interconnect via trunk links. Builders produce the
+//! shapes common in disaggregated racks: a single star switch, a leaf–spine
+//! pod, and a ring.
+
+use crate::device::{Device, DeviceKind};
+use crate::ids::{DeviceId, EndpointId, LinkId, SwitchId};
+use serde::{Deserialize, Serialize};
+
+/// A switch node in the graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SwitchNode {
+    /// Stable name used for Redfish ids.
+    pub name: String,
+    /// Port count advertised to the management plane.
+    pub radix: u32,
+    /// False once failed via fault injection.
+    pub healthy: bool,
+}
+
+/// One end of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Attach {
+    /// A switch.
+    Switch(SwitchId),
+    /// An endpoint (device attach point).
+    Endpoint(EndpointId),
+}
+
+/// A link between two attach points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkEdge {
+    /// One side.
+    pub a: Attach,
+    /// Other side.
+    pub b: Attach,
+    /// Bandwidth in Gbit/s.
+    pub bandwidth_gbps: f64,
+    /// One-way latency in nanoseconds.
+    pub latency_ns: u64,
+    /// False once failed via fault injection.
+    pub healthy: bool,
+}
+
+/// An endpoint: where a device meets the fabric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EndpointNode {
+    /// Stable name used for Redfish ids.
+    pub name: String,
+    /// The device behind the endpoint.
+    pub device: DeviceId,
+}
+
+/// The fabric graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    /// Switches by id.
+    pub switches: Vec<SwitchNode>,
+    /// Links by id.
+    pub links: Vec<LinkEdge>,
+    /// Endpoints by id.
+    pub endpoints: Vec<EndpointNode>,
+    /// Devices by id.
+    pub devices: Vec<Device>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Add a switch.
+    pub fn add_switch(&mut self, name: impl Into<String>, radix: u32) -> SwitchId {
+        let id = SwitchId(self.switches.len() as u32);
+        self.switches.push(SwitchNode { name: name.into(), radix, healthy: true });
+        id
+    }
+
+    /// Add a device and its endpoint, attached to `switch` by an access link.
+    pub fn attach_device(
+        &mut self,
+        switch: SwitchId,
+        device: Device,
+        bandwidth_gbps: f64,
+        latency_ns: u64,
+    ) -> (EndpointId, DeviceId, LinkId) {
+        let dev_id = DeviceId(self.devices.len() as u32);
+        let ep_name = format!("{}-ep", device.name);
+        self.devices.push(device);
+        let ep_id = EndpointId(self.endpoints.len() as u32);
+        self.endpoints.push(EndpointNode { name: ep_name, device: dev_id });
+        let link_id = self.add_link(Attach::Switch(switch), Attach::Endpoint(ep_id), bandwidth_gbps, latency_ns);
+        (ep_id, dev_id, link_id)
+    }
+
+    /// Add a trunk link between two switches (or any two attach points).
+    pub fn add_link(&mut self, a: Attach, b: Attach, bandwidth_gbps: f64, latency_ns: u64) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(LinkEdge { a, b, bandwidth_gbps, latency_ns, healthy: true });
+        id
+    }
+
+    /// Healthy links incident to an attach point.
+    pub fn incident_links(&self, at: Attach) -> impl Iterator<Item = (LinkId, &LinkEdge)> + '_ {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(move |(_, l)| l.healthy && (l.a == at || l.b == at))
+            .map(|(i, l)| (LinkId(i as u32), l))
+    }
+
+    /// The far side of a link from `at`.
+    pub fn far_side(&self, link: LinkId, at: Attach) -> Attach {
+        let l = &self.links[link.index()];
+        if l.a == at {
+            l.b
+        } else {
+            l.a
+        }
+    }
+
+    /// Whether an attach point is currently healthy (endpoint devices and
+    /// switches can both fail).
+    pub fn attach_healthy(&self, at: Attach) -> bool {
+        match at {
+            Attach::Switch(s) => self.switches[s.index()].healthy,
+            Attach::Endpoint(e) => self.devices[self.endpoints[e.index()].device.index()].healthy,
+        }
+    }
+
+    /// The device behind an endpoint.
+    pub fn device_of(&self, ep: EndpointId) -> &Device {
+        &self.devices[self.endpoints[ep.index()].device.index()]
+    }
+
+    /// Mutable device behind an endpoint.
+    pub fn device_of_mut(&mut self, ep: EndpointId) -> &mut Device {
+        &mut self.devices[self.endpoints[ep.index()].device.index()]
+    }
+
+    /// Endpoint ids whose devices are initiators (compute nodes).
+    pub fn initiator_endpoints(&self) -> Vec<EndpointId> {
+        (0..self.endpoints.len() as u32)
+            .map(EndpointId)
+            .filter(|e| self.device_of(*e).kind.is_initiator())
+            .collect()
+    }
+
+    /// Endpoint ids whose devices are targets.
+    pub fn target_endpoints(&self) -> Vec<EndpointId> {
+        (0..self.endpoints.len() as u32)
+            .map(EndpointId)
+            .filter(|e| !self.device_of(*e).kind.is_initiator())
+            .collect()
+    }
+}
+
+/// Fluent builder for common disaggregated-rack shapes.
+#[derive(Debug)]
+pub struct TopologyBuilder {
+    topo: Topology,
+    access_gbps: f64,
+    trunk_gbps: f64,
+    latency_ns: u64,
+}
+
+impl Default for TopologyBuilder {
+    fn default() -> Self {
+        TopologyBuilder { topo: Topology::new(), access_gbps: 100.0, trunk_gbps: 400.0, latency_ns: 500 }
+    }
+}
+
+impl TopologyBuilder {
+    /// Start a builder with default link characteristics (100 Gb/s access,
+    /// 400 Gb/s trunk, 500 ns hops — EDR-InfiniBand-like).
+    pub fn new() -> Self {
+        TopologyBuilder::default()
+    }
+
+    /// Override access-link bandwidth.
+    #[must_use]
+    pub fn access_gbps(mut self, g: f64) -> Self {
+        self.access_gbps = g;
+        self
+    }
+
+    /// Override trunk-link bandwidth.
+    #[must_use]
+    pub fn trunk_gbps(mut self, g: f64) -> Self {
+        self.trunk_gbps = g;
+        self
+    }
+
+    /// Build a single-switch star with the given devices attached.
+    pub fn star(mut self, devices: Vec<Device>) -> Topology {
+        let sw = self.topo.add_switch("sw0", devices.len() as u32 + 4);
+        for d in devices {
+            self.topo.attach_device(sw, d, self.access_gbps, self.latency_ns);
+        }
+        self.topo
+    }
+
+    /// Build a leaf–spine pod: `spines` spine switches, `leaves` leaf
+    /// switches, full bipartite trunks, and devices distributed round-robin
+    /// across leaves.
+    pub fn leaf_spine(mut self, spines: usize, leaves: usize, devices: Vec<Device>) -> Topology {
+        let spine_ids: Vec<SwitchId> =
+            (0..spines).map(|i| self.topo.add_switch(format!("spine{i}"), 64)).collect();
+        let leaf_ids: Vec<SwitchId> =
+            (0..leaves).map(|i| self.topo.add_switch(format!("leaf{i}"), 48)).collect();
+        for &l in &leaf_ids {
+            for &s in &spine_ids {
+                self.topo
+                    .add_link(Attach::Switch(l), Attach::Switch(s), self.trunk_gbps, self.latency_ns);
+            }
+        }
+        for (i, d) in devices.into_iter().enumerate() {
+            let leaf = leaf_ids[i % leaf_ids.len()];
+            self.topo.attach_device(leaf, d, self.access_gbps, self.latency_ns);
+        }
+        self.topo
+    }
+
+    /// Build a ring of `n` switches with devices round-robin attached.
+    /// Rings exercise multi-hop routing and fail-over (two disjoint paths).
+    pub fn ring(mut self, n: usize, devices: Vec<Device>) -> Topology {
+        assert!(n >= 3, "a ring needs at least 3 switches");
+        let ids: Vec<SwitchId> = (0..n).map(|i| self.topo.add_switch(format!("ring{i}"), 16)).collect();
+        for i in 0..n {
+            let a = ids[i];
+            let b = ids[(i + 1) % n];
+            self.topo
+                .add_link(Attach::Switch(a), Attach::Switch(b), self.trunk_gbps, self.latency_ns);
+        }
+        for (i, d) in devices.into_iter().enumerate() {
+            self.topo.attach_device(ids[i % n], d, self.access_gbps, self.latency_ns);
+        }
+        self.topo
+    }
+}
+
+/// Convenience constructors for standard device sets.
+pub mod presets {
+    use super::*;
+
+    /// `n` compute nodes named `cn00…`, each with `cores`/`mem_gib`.
+    pub fn compute_nodes(n: usize, cores: u32, mem_gib: u64) -> Vec<Device> {
+        (0..n)
+            .map(|i| Device::new(format!("cn{i:02}"), DeviceKind::ComputeNode { cores, memory_gib: mem_gib }))
+            .collect()
+    }
+
+    /// `n` CXL memory appliances of `capacity_mib` each.
+    pub fn memory_appliances(n: usize, capacity_mib: u64) -> Vec<Device> {
+        (0..n)
+            .map(|i| Device::new(format!("mem{i:02}"), DeviceKind::MemoryAppliance { capacity_mib }))
+            .collect()
+    }
+
+    /// `n` pooled GPUs.
+    pub fn gpus(n: usize, model: &str, memory_gib: u64) -> Vec<Device> {
+        (0..n)
+            .map(|i| Device::new(format!("gpu{i:02}"), DeviceKind::Gpu { model: model.to_string(), memory_gib }))
+            .collect()
+    }
+
+    /// `n` NVMe-oF subsystems of `capacity_bytes` each.
+    pub fn nvme_subsystems(n: usize, capacity_bytes: u64) -> Vec<Device> {
+        (0..n)
+            .map(|i| Device::new(format!("nvme{i:02}"), DeviceKind::NvmeSubsystem { capacity_bytes }))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::presets::*;
+    use super::*;
+
+    #[test]
+    fn star_attaches_all_devices() {
+        let t = TopologyBuilder::new().star(compute_nodes(4, 56, 128));
+        assert_eq!(t.switches.len(), 1);
+        assert_eq!(t.endpoints.len(), 4);
+        assert_eq!(t.links.len(), 4);
+        assert_eq!(t.initiator_endpoints().len(), 4);
+        assert!(t.target_endpoints().is_empty());
+    }
+
+    #[test]
+    fn leaf_spine_wiring() {
+        let mut devs = compute_nodes(4, 56, 128);
+        devs.extend(memory_appliances(2, 1 << 20));
+        let t = TopologyBuilder::new().leaf_spine(2, 3, devs);
+        assert_eq!(t.switches.len(), 5);
+        // trunks: 3 leaves x 2 spines, plus 6 access links
+        assert_eq!(t.links.len(), 6 + 6);
+        assert_eq!(t.target_endpoints().len(), 2);
+    }
+
+    #[test]
+    fn ring_has_n_trunks() {
+        let t = TopologyBuilder::new().ring(5, gpus(3, "A100", 40));
+        let trunks = t
+            .links
+            .iter()
+            .filter(|l| matches!((l.a, l.b), (Attach::Switch(_), Attach::Switch(_))))
+            .count();
+        assert_eq!(trunks, 5);
+    }
+
+    #[test]
+    fn incident_links_skip_unhealthy() {
+        let mut t = TopologyBuilder::new().star(compute_nodes(2, 8, 16));
+        let sw = Attach::Switch(SwitchId(0));
+        assert_eq!(t.incident_links(sw).count(), 2);
+        t.links[0].healthy = false;
+        assert_eq!(t.incident_links(sw).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_panics() {
+        let _ = TopologyBuilder::new().ring(2, vec![]);
+    }
+}

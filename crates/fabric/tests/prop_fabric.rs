@@ -1,0 +1,146 @@
+//! Property tests: routing validity, fail-over safety, capacity
+//! conservation on random topologies under random fault sequences.
+
+use fabric_sim::device::{Device, DeviceKind};
+use fabric_sim::failure::Fault;
+use fabric_sim::ids::{EndpointId, LinkId, SwitchId};
+use fabric_sim::routing::{path_healthy, route};
+use fabric_sim::topology::{presets, TopologyBuilder};
+use fabric_sim::{FabricConfig, FabricSim};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_topology() -> impl Strategy<Value = fabric_sim::Topology> {
+    (2usize..6, 2usize..5, 1usize..5, 1usize..4).prop_flat_map(|(spines, leaves, nodes, mems)| {
+        prop_oneof![
+            Just((spines, leaves, nodes, mems, true)),
+            Just((spines, leaves, nodes, mems, false)),
+        ]
+        .prop_map(move |(s, l, n, m, leaf_spine)| {
+            let mut devs = presets::compute_nodes(n, 8, 16);
+            devs.extend(presets::memory_appliances(m, 4096));
+            if leaf_spine {
+                TopologyBuilder::new().leaf_spine(s, l, devs)
+            } else {
+                TopologyBuilder::new().ring((s + l).max(3), devs)
+            }
+        })
+    })
+}
+
+fn arb_fault(links: usize, switches: usize) -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        (0..links as u32).prop_map(|l| Fault::LinkDown(LinkId(l))),
+        (0..links as u32).prop_map(|l| Fault::LinkUp(LinkId(l))),
+        (0..switches as u32).prop_map(|s| Fault::SwitchDown(SwitchId(s))),
+        (0..switches as u32).prop_map(|s| Fault::SwitchUp(SwitchId(s))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any route the router returns is actually traversable: contiguous,
+    /// healthy, endpoint-to-endpoint.
+    #[test]
+    fn routes_are_valid(topo in arb_topology()) {
+        let inits = topo.initiator_endpoints();
+        let targets = topo.target_endpoints();
+        for &i in &inits {
+            for &t in &targets {
+                if let Some(p) = route(&topo, i, t) {
+                    prop_assert!(path_healthy(&topo, &p, i));
+                    prop_assert!(p.bandwidth_gbps > 0.0);
+                    // Hop latencies add up.
+                    let sum: u64 = p.links.iter().map(|l| topo.links[l.index()].latency_ns).sum();
+                    prop_assert_eq!(sum, p.latency_ns);
+                }
+            }
+        }
+    }
+
+    /// Under any fault sequence, every connection the fabric still reports
+    /// has a healthy programmed path, and device capacity accounting stays
+    /// conserved (allocated + free == total).
+    #[test]
+    fn failover_never_leaves_broken_connections(
+        topo in arb_topology(),
+        faults in prop::collection::vec((0u32..64, any::<bool>()), 0..24),
+    ) {
+        let links = topo.links.len();
+        let switches = topo.switches.len();
+        let mut sim = FabricSim::new(FabricConfig::new("P", "CXL", 1), topo);
+        let all: BTreeSet<EndpointId> =
+            (0..sim.topology().endpoints.len() as u32).map(EndpointId).collect();
+        let zone = sim.create_zone("all", all).unwrap();
+
+        // Establish as many 1-unit connections as possible.
+        let inits = sim.topology().initiator_endpoints();
+        let targets = sim.topology().target_endpoints();
+        for (k, (&i, &t)) in inits.iter().zip(targets.iter().cycle()).enumerate() {
+            let _ = sim.connect(&format!("c{k}"), zone, i, t, 1);
+        }
+
+        for (raw, down) in faults {
+            let fault = if raw % 2 == 0 {
+                let l = raw % links.max(1) as u32;
+                if down { Fault::LinkDown(LinkId(l)) } else { Fault::LinkUp(LinkId(l)) }
+            } else {
+                let s = raw % switches.max(1) as u32;
+                if down { Fault::SwitchDown(SwitchId(s)) } else { Fault::SwitchUp(SwitchId(s)) }
+            };
+            sim.inject(fault);
+
+            // Every surviving connection's path is healthy.
+            for (cid, initiator, _) in sim.connections() {
+                let c = sim.connection(cid).unwrap();
+                prop_assert!(
+                    path_healthy(sim.topology(), &c.path, initiator),
+                    "connection {cid} has a broken path after {fault:?}"
+                );
+            }
+            // Capacity conservation on every device.
+            for d in &sim.topology().devices {
+                prop_assert!(d.allocated() <= d.total_capacity());
+                prop_assert_eq!(d.allocated() + d.free_capacity(), d.total_capacity());
+            }
+        }
+    }
+
+    /// Allocate/release sequences never oversubscribe and always restore.
+    #[test]
+    fn device_capacity_conservation(sizes in prop::collection::vec(1u64..2000, 1..40)) {
+        let mut d = Device::new("m", DeviceKind::MemoryAppliance { capacity_mib: 10_000 });
+        let mut handles = Vec::new();
+        for s in sizes {
+            match d.allocate(s) {
+                Ok(h) => handles.push(h),
+                Err(_) => {
+                    prop_assert!(d.free_capacity() < s, "refusal only when it truly doesn't fit");
+                }
+            }
+            prop_assert!(d.allocated() <= 10_000);
+        }
+        for h in handles {
+            d.release(h).unwrap();
+        }
+        prop_assert_eq!(d.free_capacity(), 10_000);
+        prop_assert_eq!(d.allocation_count(), 0);
+    }
+
+    /// Telemetry sampling is a pure function of (seed, tick, topology).
+    #[test]
+    fn telemetry_deterministic(seed in any::<u64>()) {
+        let mk = || {
+            let mut devs = presets::compute_nodes(2, 8, 16);
+            devs.extend(presets::gpus(1, "A100", 40));
+            TopologyBuilder::new().star(devs)
+        };
+        let t1 = mk();
+        let t2 = mk();
+        let mut s1 = fabric_sim::telemetry::Sampler::new(seed);
+        let mut s2 = fabric_sim::telemetry::Sampler::new(seed);
+        prop_assert_eq!(s1.sample_all(&t1), s2.sample_all(&t2));
+        prop_assert_eq!(s1.sample_all(&t1), s2.sample_all(&t2));
+    }
+}

@@ -1,0 +1,226 @@
+//! Cross-resource Redfish enumerations.
+//!
+//! These mirror the DMTF schema enumerations that the OFMF relies on to
+//! describe heterogeneous fabrics and disaggregated components in a
+//! vendor-neutral way.
+
+use serde::{Deserialize, Serialize};
+
+/// Fabric / transport protocol of a port, endpoint or connection.
+///
+/// The OFMF's whole purpose is to hide these behind one API: "enable client
+/// Managers to efficiently connect workloads with resources … without having
+/// to worry about the underlying network technology".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Compute Express Link (memory pooling, accelerators).
+    CXL,
+    /// Gen-Z memory-semantic fabric (legacy; absorbed by CXL).
+    GenZ,
+    /// InfiniBand.
+    InfiniBand,
+    /// Ethernet (including RoCE).
+    Ethernet,
+    /// PCI Express.
+    PCIe,
+    /// NVMe over Fabrics.
+    NVMeOverFabrics,
+    /// Plain (local) NVMe.
+    NVMe,
+    /// TCP/IP overlay.
+    TCP,
+}
+
+impl Protocol {
+    /// All protocols the simulator models.
+    pub const ALL: [Protocol; 8] = [
+        Protocol::CXL,
+        Protocol::GenZ,
+        Protocol::InfiniBand,
+        Protocol::Ethernet,
+        Protocol::PCIe,
+        Protocol::NVMeOverFabrics,
+        Protocol::NVMe,
+        Protocol::TCP,
+    ];
+
+    /// Whether endpoints on this protocol can expose byte-addressable memory.
+    pub fn supports_memory_semantics(self) -> bool {
+        matches!(self, Protocol::CXL | Protocol::GenZ | Protocol::PCIe)
+    }
+
+    /// Whether this protocol carries block-storage traffic.
+    pub fn supports_block_storage(self) -> bool {
+        matches!(
+            self,
+            Protocol::NVMeOverFabrics | Protocol::NVMe | Protocol::Ethernet | Protocol::InfiniBand | Protocol::TCP
+        )
+    }
+}
+
+/// Power state of a chassis or system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PowerState {
+    /// Powered on.
+    #[default]
+    On,
+    /// Powered off.
+    Off,
+    /// Powering on.
+    PoweringOn,
+    /// Powering off.
+    PoweringOff,
+    /// Suspended to RAM.
+    Paused,
+}
+
+/// Reset actions accepted by `ComputerSystem.Reset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResetType {
+    /// Power on.
+    On,
+    /// Orderly shutdown then off.
+    GracefulShutdown,
+    /// Immediate power removal.
+    ForceOff,
+    /// Orderly restart.
+    GracefulRestart,
+    /// Immediate restart.
+    ForceRestart,
+    /// Non-maskable interrupt.
+    Nmi,
+    /// Power cycle.
+    PowerCycle,
+}
+
+/// The role an endpoint plays in a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntityRole {
+    /// Source of requests (e.g. a compute node's initiator port).
+    Initiator,
+    /// Services requests (e.g. a memory appliance or NVMe subsystem).
+    Target,
+    /// Both roles.
+    Both,
+}
+
+/// What kind of device an endpoint represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntityType {
+    /// A processor/compute node.
+    Processor,
+    /// A block-storage drive.
+    Drive,
+    /// A byte-addressable memory device (e.g. CXL Type-3).
+    MemoryChunk,
+    /// An accelerator (GPU).
+    Accelerator,
+    /// A network controller / NIC.
+    NetworkController,
+    /// A storage subsystem (NVMe-oF subsystem).
+    StorageSubsystem,
+    /// A whole computer system.
+    ComputerSystem,
+}
+
+/// Zone semantics per the Redfish `Zone` schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ZoneType {
+    /// Default zone containing unassigned endpoints.
+    Default,
+    /// Zone of endpoints — the common access-control grouping.
+    #[default]
+    ZoneOfEndpoints,
+    /// Zone of zones (hierarchical composition).
+    ZoneOfZones,
+    /// Zone of resource blocks used for composition requests.
+    ZoneOfResourceBlocks,
+}
+
+/// Access capability granted by a `Connection`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessCapability {
+    /// Read only.
+    Read,
+    /// Read and write.
+    ReadWrite,
+}
+
+/// Type of a `ComputerSystem`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SystemType {
+    /// A conventional physical server.
+    #[default]
+    Physical,
+    /// A system composed from disaggregated resource blocks — the OFMF's
+    /// raison d'être.
+    Composed,
+    /// A virtual machine.
+    Virtual,
+}
+
+/// Memory device technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum MemoryType {
+    /// Conventional DRAM.
+    #[default]
+    DRAM,
+    /// Non-volatile DIMM.
+    #[serde(rename = "NVDIMM_N")]
+    NvdimmN,
+    /// CXL-attached memory expander (Type-3 / MLD).
+    CXLAttached,
+    /// Storage-class memory.
+    IntelOptane,
+}
+
+/// Type of a drive's media.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum MediaType {
+    /// NAND flash SSD.
+    #[default]
+    SSD,
+    /// Spinning disk.
+    HDD,
+    /// Storage-class memory device.
+    SCM,
+}
+
+/// Direction of a metric's better-ness, used by telemetry consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricDirection {
+    /// Higher values are better (e.g. bandwidth).
+    HigherIsBetter,
+    /// Lower values are better (e.g. latency, temperature).
+    LowerIsBetter,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_capabilities() {
+        assert!(Protocol::CXL.supports_memory_semantics());
+        assert!(!Protocol::CXL.supports_block_storage());
+        assert!(Protocol::NVMeOverFabrics.supports_block_storage());
+        assert!(!Protocol::NVMeOverFabrics.supports_memory_semantics());
+        assert!(Protocol::InfiniBand.supports_block_storage());
+    }
+
+    #[test]
+    fn enums_serialize_as_schema_strings() {
+        assert_eq!(serde_json::to_value(Protocol::NVMeOverFabrics).unwrap(), "NVMeOverFabrics");
+        assert_eq!(serde_json::to_value(ZoneType::ZoneOfEndpoints).unwrap(), "ZoneOfEndpoints");
+        assert_eq!(serde_json::to_value(ResetType::ForceRestart).unwrap(), "ForceRestart");
+    }
+
+    #[test]
+    fn all_protocols_roundtrip_serde() {
+        for p in Protocol::ALL {
+            let v = serde_json::to_value(p).unwrap();
+            let back: Protocol = serde_json::from_value(v).unwrap();
+            assert_eq!(back, p);
+        }
+    }
+}

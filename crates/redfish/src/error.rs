@@ -1,0 +1,152 @@
+//! Error type carrying an HTTP status code and a Redfish-style message
+//! payload (`error.@Message.ExtendedInfo`).
+
+use crate::odata::ODataId;
+use serde_json::{json, Value};
+use std::fmt;
+
+/// Result alias used across the crate.
+pub type RedfishResult<T> = Result<T, RedfishError>;
+
+/// Errors produced by registry operations and service handlers.
+///
+/// Each variant maps to the HTTP status code the Redfish specification
+/// prescribes and renders to a spec-shaped JSON error body via
+/// [`RedfishError::to_body`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RedfishError {
+    /// 404 — the URI does not name a resource.
+    NotFound(ODataId),
+    /// 409 — a resource already exists at the URI.
+    AlreadyExists(ODataId),
+    /// 412 — the supplied `If-Match` ETag did not match.
+    PreconditionFailed {
+        /// Resource whose ETag mismatched.
+        id: ODataId,
+        /// ETag the caller supplied, in wire form.
+        supplied: String,
+    },
+    /// 400 — the request body is not acceptable for the target.
+    BadRequest(String),
+    /// 400 — a referenced resource link points at nothing.
+    DanglingLink {
+        /// The resource holding the bad link.
+        from: ODataId,
+        /// The missing target.
+        to: ODataId,
+    },
+    /// 405 — the operation is not allowed on this resource (e.g. DELETE on
+    /// a collection, PATCH on a read-only resource).
+    MethodNotAllowed(String),
+    /// 409 — the operation conflicts with resource state (e.g. deleting a
+    /// zone that still has connections).
+    Conflict(String),
+    /// 401 — missing or invalid session credentials.
+    Unauthorized,
+    /// 503 — the responsible agent is not reachable.
+    AgentUnavailable(String),
+    /// 507 — a composition request cannot be satisfied from available pools.
+    InsufficientResources(String),
+    /// 500 — internal invariant violation.
+    Internal(String),
+}
+
+impl RedfishError {
+    /// HTTP status code prescribed by the Redfish specification.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            RedfishError::NotFound(_) => 404,
+            RedfishError::AlreadyExists(_) | RedfishError::Conflict(_) => 409,
+            RedfishError::PreconditionFailed { .. } => 412,
+            RedfishError::BadRequest(_) | RedfishError::DanglingLink { .. } => 400,
+            RedfishError::MethodNotAllowed(_) => 405,
+            RedfishError::Unauthorized => 401,
+            RedfishError::AgentUnavailable(_) => 503,
+            RedfishError::InsufficientResources(_) => 507,
+            RedfishError::Internal(_) => 500,
+        }
+    }
+
+    /// Registry message id in the `Base.1.x.MessageId` style.
+    pub fn message_id(&self) -> &'static str {
+        match self {
+            RedfishError::NotFound(_) => "Base.1.0.ResourceMissingAtURI",
+            RedfishError::AlreadyExists(_) => "Base.1.0.ResourceAlreadyExists",
+            RedfishError::PreconditionFailed { .. } => "Base.1.0.PreconditionFailed",
+            RedfishError::BadRequest(_) => "Base.1.0.MalformedJSON",
+            RedfishError::DanglingLink { .. } => "Base.1.0.ResourceMissingAtURI",
+            RedfishError::MethodNotAllowed(_) => "Base.1.0.OperationNotAllowed",
+            RedfishError::Conflict(_) => "Base.1.0.ResourceInUse",
+            RedfishError::Unauthorized => "Base.1.0.NoValidSession",
+            RedfishError::AgentUnavailable(_) => "Base.1.0.ServiceTemporarilyUnavailable",
+            RedfishError::InsufficientResources(_) => "Base.1.0.InsufficientResources",
+            RedfishError::Internal(_) => "Base.1.0.InternalError",
+        }
+    }
+
+    /// Render the spec-shaped error body.
+    pub fn to_body(&self) -> Value {
+        json!({
+            "error": {
+                "code": self.message_id(),
+                "message": self.to_string(),
+                "@Message.ExtendedInfo": [{
+                    "MessageId": self.message_id(),
+                    "Message": self.to_string(),
+                    "Severity": if self.http_status() >= 500 { "Critical" } else { "Warning" },
+                    "Resolution": "Consult the OFMF documentation for the failing operation."
+                }]
+            }
+        })
+    }
+}
+
+impl fmt::Display for RedfishError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RedfishError::NotFound(id) => write!(f, "no resource at {id}"),
+            RedfishError::AlreadyExists(id) => write!(f, "resource already exists at {id}"),
+            RedfishError::PreconditionFailed { id, supplied } => {
+                write!(f, "etag {supplied} does not match current version of {id}")
+            }
+            RedfishError::BadRequest(m) => write!(f, "bad request: {m}"),
+            RedfishError::DanglingLink { from, to } => {
+                write!(f, "resource {from} links to missing resource {to}")
+            }
+            RedfishError::MethodNotAllowed(m) => write!(f, "operation not allowed: {m}"),
+            RedfishError::Conflict(m) => write!(f, "conflict: {m}"),
+            RedfishError::Unauthorized => write!(f, "missing or invalid session credentials"),
+            RedfishError::AgentUnavailable(m) => write!(f, "agent unavailable: {m}"),
+            RedfishError::InsufficientResources(m) => {
+                write!(f, "insufficient resources to satisfy request: {m}")
+            }
+            RedfishError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RedfishError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_match_spec() {
+        assert_eq!(RedfishError::NotFound(ODataId::new("/x")).http_status(), 404);
+        assert_eq!(RedfishError::Unauthorized.http_status(), 401);
+        assert_eq!(RedfishError::InsufficientResources("mem".into()).http_status(), 507);
+        assert_eq!(
+            RedfishError::PreconditionFailed { id: ODataId::new("/x"), supplied: "W/\"1\"".into() }
+                .http_status(),
+            412
+        );
+    }
+
+    #[test]
+    fn body_is_spec_shaped() {
+        let b = RedfishError::NotFound(ODataId::new("/redfish/v1/Nope")).to_body();
+        assert!(b["error"]["code"].as_str().unwrap().starts_with("Base."));
+        assert!(b["error"]["@Message.ExtendedInfo"].as_array().unwrap().len() == 1);
+    }
+}

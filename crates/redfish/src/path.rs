@@ -1,0 +1,114 @@
+//! Redfish URI path helpers.
+//!
+//! The OFMF mounts every fabric and resource under a single tree rooted at
+//! `/redfish/v1`. These helpers build and inspect those canonical paths.
+
+use crate::odata::ODataId;
+
+/// The service root URI.
+pub const SERVICE_ROOT: &str = "/redfish/v1";
+
+/// Well-known top-level collections under the service root.
+pub mod top {
+    /// Computer systems (physical and composed).
+    pub const SYSTEMS: &str = "/redfish/v1/Systems";
+    /// Physical enclosures.
+    pub const CHASSIS: &str = "/redfish/v1/Chassis";
+    /// Fabrics (one per managed interconnect).
+    pub const FABRICS: &str = "/redfish/v1/Fabrics";
+    /// Swordfish storage services.
+    pub const STORAGE_SERVICES: &str = "/redfish/v1/StorageServices";
+    /// Event service singleton.
+    pub const EVENT_SERVICE: &str = "/redfish/v1/EventService";
+    /// Event subscriptions collection.
+    pub const SUBSCRIPTIONS: &str = "/redfish/v1/EventService/Subscriptions";
+    /// Task service singleton.
+    pub const TASK_SERVICE: &str = "/redfish/v1/TaskService";
+    /// Task collection.
+    pub const TASKS: &str = "/redfish/v1/TaskService/Tasks";
+    /// Session service singleton.
+    pub const SESSION_SERVICE: &str = "/redfish/v1/SessionService";
+    /// Sessions collection.
+    pub const SESSIONS: &str = "/redfish/v1/SessionService/Sessions";
+    /// Telemetry service singleton.
+    pub const TELEMETRY_SERVICE: &str = "/redfish/v1/TelemetryService";
+    /// Metric reports collection.
+    pub const METRIC_REPORTS: &str = "/redfish/v1/TelemetryService/MetricReports";
+    /// Composition service singleton.
+    pub const COMPOSITION_SERVICE: &str = "/redfish/v1/CompositionService";
+    /// Resource blocks available for composition.
+    pub const RESOURCE_BLOCKS: &str = "/redfish/v1/CompositionService/ResourceBlocks";
+    /// Managers collection (the OFMF itself is a manager).
+    pub const MANAGERS: &str = "/redfish/v1/Managers";
+    /// The OFMF manager singleton.
+    pub const OFMF_MANAGER: &str = "/redfish/v1/Managers/OFMF";
+    /// The OFMF event log entries collection.
+    pub const EVENT_LOG_ENTRIES: &str =
+        "/redfish/v1/Managers/OFMF/LogServices/EventLog/Entries";
+}
+
+/// Split a path into its segments, ignoring empty segments.
+pub fn segments(path: &str) -> Vec<&str> {
+    path.split('/').filter(|s| !s.is_empty()).collect()
+}
+
+/// True if `path` is the service root or below it.
+pub fn in_service_tree(path: &str) -> bool {
+    ODataId::new(path).is_under(&ODataId::new(SERVICE_ROOT))
+}
+
+/// Derive the fabric id from any path under `/redfish/v1/Fabrics/{id}/...`.
+pub fn fabric_id_of(path: &str) -> Option<&str> {
+    let segs = segments(path);
+    match segs.as_slice() {
+        ["redfish", "v1", "Fabrics", id, ..] => Some(id),
+        _ => None,
+    }
+}
+
+/// Validate a client-supplied member id: non-empty, ASCII alphanumerics plus
+/// `-`, `_`, `.`; never contains a path separator. Returns `false` for ids
+/// that could escape their collection.
+pub fn valid_member_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 128
+        && id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        && id != "."
+        && id != ".."
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_skip_empties() {
+        assert_eq!(segments("/redfish/v1//Systems/"), vec!["redfish", "v1", "Systems"]);
+        assert!(segments("/").is_empty());
+    }
+
+    #[test]
+    fn fabric_extraction() {
+        assert_eq!(fabric_id_of("/redfish/v1/Fabrics/CXL0/Switches/sw1"), Some("CXL0"));
+        assert_eq!(fabric_id_of("/redfish/v1/Systems/cn01"), None);
+    }
+
+    #[test]
+    fn member_id_validation() {
+        assert!(valid_member_id("cn-01.rack2"));
+        assert!(!valid_member_id(""));
+        assert!(!valid_member_id("a/b"));
+        assert!(!valid_member_id(".."));
+        assert!(!valid_member_id("спутник"));
+    }
+
+    #[test]
+    fn service_tree_membership() {
+        assert!(in_service_tree("/redfish/v1"));
+        assert!(in_service_tree("/redfish/v1/Systems/x"));
+        assert!(!in_service_tree("/redfish/v2/Systems"));
+        assert!(!in_service_tree("/favicon.ico"));
+    }
+}

@@ -1,0 +1,546 @@
+//! The in-memory Redfish resource tree.
+//!
+//! "An HPC disaggregated infrastructure is represented under a single
+//! Redfish tree that includes all the fabrics and resources available."
+//! (§III-A). The [`Registry`] is that tree: a concurrent, path-keyed store of
+//! JSON resource documents with ETag versioning, Redfish collection
+//! semantics, merge-PATCH and link-integrity checking.
+//!
+//! Concurrency model (see *Rust Atomics and Locks*): a single
+//! `parking_lot::RwLock` over an ordered map. OFMF transactions are small
+//! and stateless, so reader-writer locking on the whole tree keeps the
+//! invariants trivial to state (each operation is atomic) while supporting
+//! many concurrent readers; write critical sections never allocate
+//! unboundedly or call out to agents.
+
+use crate::error::{RedfishError, RedfishResult};
+use crate::odata::{ETag, ODataId};
+use crate::patch::{first_read_only_violation, merge_patch};
+use crate::path::valid_member_id;
+use parking_lot::RwLock;
+use serde_json::{json, Map, Value};
+use std::collections::BTreeMap;
+
+/// A resource document plus its registry metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredResource {
+    /// The JSON document, including `@odata.*` members.
+    pub body: Value,
+    /// Current version tag; bumped on every mutation.
+    pub etag: ETag,
+    /// Whether the resource is a Redfish collection (maintains `Members`).
+    pub is_collection: bool,
+}
+
+impl StoredResource {
+    /// The `@odata.type` member, if present.
+    pub fn odata_type(&self) -> Option<&str> {
+        self.body.get("@odata.type").and_then(Value::as_str)
+    }
+
+    /// Body with the `@odata.etag` member refreshed to the current version.
+    pub fn wire_body(&self) -> Value {
+        let mut b = self.body.clone();
+        if let Some(obj) = b.as_object_mut() {
+            obj.insert("@odata.etag".to_string(), Value::String(self.etag.to_header()));
+        }
+        b
+    }
+}
+
+#[derive(Debug, Default)]
+struct Tree {
+    nodes: BTreeMap<ODataId, StoredResource>,
+}
+
+impl Tree {
+    /// Range bounds covering exactly the strict descendants of `id`:
+    /// every descendant path starts with `{id}/`, and `'0'` is the
+    /// successor byte of `'/'`, so `[{id}/, {id}0)` is tight. (A plain
+    /// `take_while(is_under)` scan from `id` would stop early at sibling
+    /// keys like `{id}-x` or `{id}.y`, which sort between `id` and `{id}/`.)
+    fn descendants(&self, id: &ODataId) -> impl Iterator<Item = (&ODataId, &StoredResource)> {
+        let lo = crate::odata::ODataId::raw(format!("{}/", id.as_str()));
+        let hi = crate::odata::ODataId::raw(format!("{}0", id.as_str()));
+        self.nodes.range(lo..hi)
+    }
+
+    fn has_descendants(&self, id: &ODataId) -> bool {
+        self.descendants(id).next().is_some()
+    }
+}
+
+/// The concurrent Redfish resource tree.
+///
+/// All operations are linearizable; mutations bump the target's ETag and,
+/// for membership changes, the parent collection's ETag as well.
+#[derive(Debug, Default)]
+pub struct Registry {
+    tree: RwLock<Tree>,
+}
+
+impl Registry {
+    /// An empty registry (no service root; see `ofmf-core` for bootstrap).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Number of resources currently stored.
+    pub fn len(&self) -> usize {
+        self.tree.read().nodes.len()
+    }
+
+    /// True if no resources are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a non-collection resource at `id`.
+    ///
+    /// The body's `@odata.id` member is forced to `id`. Fails with
+    /// `AlreadyExists` if the path is taken. If the parent is a collection,
+    /// the new resource is appended to its `Members`.
+    pub fn create(&self, id: &ODataId, mut body: Value) -> RedfishResult<ETag> {
+        if !body.is_object() {
+            return Err(RedfishError::BadRequest("resource body must be a JSON object".into()));
+        }
+        if !valid_member_id(id.leaf()) {
+            return Err(RedfishError::BadRequest(format!("invalid member id '{}'", id.leaf())));
+        }
+        body.as_object_mut()
+            .expect("checked object")
+            .insert("@odata.id".to_string(), Value::String(id.as_str().to_string()));
+
+        let mut t = self.tree.write();
+        if t.nodes.contains_key(id) {
+            return Err(RedfishError::AlreadyExists(id.clone()));
+        }
+        let stored = StoredResource { body, etag: ETag::INITIAL, is_collection: false };
+        t.nodes.insert(id.clone(), stored);
+        Self::link_into_parent(&mut t, id);
+        Ok(ETag::INITIAL)
+    }
+
+    /// Insert a Redfish collection resource at `id`.
+    ///
+    /// A collection maintains `Members` / `Members@odata.count` members that
+    /// the registry keeps consistent as children are created and deleted.
+    pub fn create_collection(&self, id: &ODataId, odata_type: &str, name: &str) -> RedfishResult<ETag> {
+        let body = json!({
+            "@odata.id": id.as_str(),
+            "@odata.type": odata_type,
+            "Name": name,
+            "Members": [],
+            "Members@odata.count": 0,
+        });
+        let mut t = self.tree.write();
+        if t.nodes.contains_key(id) {
+            return Err(RedfishError::AlreadyExists(id.clone()));
+        }
+        t.nodes.insert(id.clone(), StoredResource { body, etag: ETag::INITIAL, is_collection: true });
+        Self::link_into_parent(&mut t, id);
+        Ok(ETag::INITIAL)
+    }
+
+    fn link_into_parent(t: &mut Tree, id: &ODataId) {
+        let Some(parent) = id.parent() else { return };
+        let Some(p) = t.nodes.get_mut(&parent) else { return };
+        if !p.is_collection {
+            return;
+        }
+        let members = p
+            .body
+            .get_mut("Members")
+            .and_then(Value::as_array_mut)
+            .expect("collection has Members array");
+        members.push(json!({"@odata.id": id.as_str()}));
+        let count = members.len();
+        p.body["Members@odata.count"] = json!(count);
+        p.etag = p.etag.bumped();
+    }
+
+    fn unlink_from_parent(t: &mut Tree, id: &ODataId) {
+        let Some(parent) = id.parent() else { return };
+        let Some(p) = t.nodes.get_mut(&parent) else { return };
+        if !p.is_collection {
+            return;
+        }
+        let members = p
+            .body
+            .get_mut("Members")
+            .and_then(Value::as_array_mut)
+            .expect("collection has Members array");
+        members.retain(|m| m["@odata.id"].as_str() != Some(id.as_str()));
+        let count = members.len();
+        p.body["Members@odata.count"] = json!(count);
+        p.etag = p.etag.bumped();
+    }
+
+    /// Fetch a resource (clone of its stored form).
+    pub fn get(&self, id: &ODataId) -> RedfishResult<StoredResource> {
+        self.tree
+            .read()
+            .nodes
+            .get(id)
+            .cloned()
+            .ok_or_else(|| RedfishError::NotFound(id.clone()))
+    }
+
+    /// True if a resource exists at `id`.
+    pub fn exists(&self, id: &ODataId) -> bool {
+        self.tree.read().nodes.contains_key(id)
+    }
+
+    /// Apply an RFC 7386 merge patch to the resource at `id`.
+    ///
+    /// * Rejects patches touching read-only members (`Id`, `@odata.*`, …).
+    /// * If `if_match` is supplied, the patch only applies when it equals
+    ///   the current ETag (412 otherwise).
+    /// * Returns the new ETag.
+    pub fn patch(&self, id: &ODataId, patch: &Value, if_match: Option<ETag>) -> RedfishResult<ETag> {
+        if !patch.is_object() {
+            return Err(RedfishError::BadRequest("patch body must be a JSON object".into()));
+        }
+        if let Some(m) = first_read_only_violation(patch) {
+            return Err(RedfishError::BadRequest(format!("member '{m}' is read-only")));
+        }
+        let mut t = self.tree.write();
+        let node = t
+            .nodes
+            .get_mut(id)
+            .ok_or_else(|| RedfishError::NotFound(id.clone()))?;
+        if let Some(tag) = if_match {
+            if tag != node.etag {
+                return Err(RedfishError::PreconditionFailed {
+                    id: id.clone(),
+                    supplied: tag.to_header(),
+                });
+            }
+        }
+        merge_patch(&mut node.body, patch);
+        node.etag = node.etag.bumped();
+        Ok(node.etag)
+    }
+
+    /// Replace the whole body (used by agents re-publishing a resource).
+    /// Read-only identity members are preserved. Bumps the ETag.
+    pub fn replace(&self, id: &ODataId, mut body: Value) -> RedfishResult<ETag> {
+        if !body.is_object() {
+            return Err(RedfishError::BadRequest("resource body must be a JSON object".into()));
+        }
+        let mut t = self.tree.write();
+        let node = t
+            .nodes
+            .get_mut(id)
+            .ok_or_else(|| RedfishError::NotFound(id.clone()))?;
+        body.as_object_mut()
+            .expect("checked object")
+            .insert("@odata.id".to_string(), Value::String(id.as_str().to_string()));
+        node.body = body;
+        node.etag = node.etag.bumped();
+        Ok(node.etag)
+    }
+
+    /// Delete the resource at `id`.
+    ///
+    /// Collections may only be deleted when empty; deleting a non-collection
+    /// resource that still has children fails with `Conflict`.
+    pub fn delete(&self, id: &ODataId) -> RedfishResult<()> {
+        let mut t = self.tree.write();
+        let node = t.nodes.get(id).ok_or_else(|| RedfishError::NotFound(id.clone()))?;
+        if node.is_collection {
+            let n = node.body["Members@odata.count"].as_u64().unwrap_or(0);
+            if n > 0 {
+                return Err(RedfishError::Conflict(format!("collection {id} is not empty")));
+            }
+        }
+        if t.has_descendants(id) {
+            return Err(RedfishError::Conflict(format!("resource {id} has child resources")));
+        }
+        t.nodes.remove(id);
+        Self::unlink_from_parent(&mut t, id);
+        Ok(())
+    }
+
+    /// Delete `id` and every resource underneath it (agent unmount).
+    /// Returns the number of resources removed.
+    pub fn delete_subtree(&self, id: &ODataId) -> usize {
+        let mut t = self.tree.write();
+        let mut doomed: Vec<ODataId> = t.descendants(id).map(|(k, _)| k.clone()).collect();
+        if t.nodes.contains_key(id) {
+            doomed.push(id.clone());
+        }
+        for d in &doomed {
+            t.nodes.remove(d);
+        }
+        if !doomed.is_empty() {
+            Self::unlink_from_parent(&mut t, id);
+        }
+        doomed.len()
+    }
+
+    /// Ids of the direct members of the collection at `id`.
+    pub fn members(&self, id: &ODataId) -> RedfishResult<Vec<ODataId>> {
+        let t = self.tree.read();
+        let node = t.nodes.get(id).ok_or_else(|| RedfishError::NotFound(id.clone()))?;
+        if !node.is_collection {
+            return Err(RedfishError::MethodNotAllowed(format!("{id} is not a collection")));
+        }
+        Ok(node.body["Members"]
+            .as_array()
+            .expect("collection has Members")
+            .iter()
+            .filter_map(|m| m["@odata.id"].as_str().map(ODataId::new))
+            .collect())
+    }
+
+    /// All resource ids under `prefix` (inclusive), in path order.
+    pub fn ids_under(&self, prefix: &ODataId) -> Vec<ODataId> {
+        let t = self.tree.read();
+        let mut out = Vec::new();
+        if t.nodes.contains_key(prefix) {
+            out.push(prefix.clone());
+        }
+        out.extend(t.descendants(prefix).map(|(k, _)| k.clone()));
+        out
+    }
+
+    /// All ids whose `@odata.type` starts with `type_prefix`
+    /// (e.g. `#Endpoint.` matches every Endpoint version).
+    pub fn ids_of_type(&self, type_prefix: &str) -> Vec<ODataId> {
+        self.tree
+            .read()
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.odata_type().is_some_and(|t| t.starts_with(type_prefix)))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Verify that every `{"@odata.id": ...}` reference anywhere in the tree
+    /// points at an existing resource. Returns the list of dangling links.
+    ///
+    /// `LogEntry` resources are exempt: log entries are historical records
+    /// whose `OriginOfCondition` may legitimately outlive the resource it
+    /// described (a lost connection, a deleted zone).
+    pub fn dangling_links(&self) -> Vec<(ODataId, ODataId)> {
+        let t = self.tree.read();
+        let mut dangling = Vec::new();
+        for (id, node) in &t.nodes {
+            if node.odata_type().is_some_and(|ty| ty.starts_with("#LogEntry.")) {
+                continue;
+            }
+            let mut stack = vec![&node.body];
+            while let Some(v) = stack.pop() {
+                match v {
+                    Value::Object(m) => {
+                        if m.len() == 1 {
+                            if let Some(Value::String(target)) = m.get("@odata.id") {
+                                let target_id = ODataId::new(target.as_str());
+                                if &target_id != id && !t.nodes.contains_key(&target_id) {
+                                    dangling.push((id.clone(), target_id));
+                                }
+                                continue;
+                            }
+                        }
+                        for (k, child) in m {
+                            // Skip the resource's own identity member.
+                            if k == "@odata.id" {
+                                continue;
+                            }
+                            stack.push(child);
+                        }
+                    }
+                    Value::Array(a) => stack.extend(a.iter()),
+                    _ => {}
+                }
+            }
+        }
+        dangling
+    }
+
+    /// Run `f` over every stored resource (read lock held for the duration;
+    /// `f` must be fast and must not reenter the registry).
+    pub fn for_each<F: FnMut(&ODataId, &StoredResource)>(&self, mut f: F) {
+        let t = self.tree.read();
+        for (id, node) in &t.nodes {
+            f(id, node);
+        }
+    }
+
+    /// Produce an expanded view of a collection: the collection body with
+    /// each member's body inlined (the `$expand` query option).
+    pub fn expand(&self, id: &ODataId) -> RedfishResult<Value> {
+        let t = self.tree.read();
+        let node = t.nodes.get(id).ok_or_else(|| RedfishError::NotFound(id.clone()))?;
+        if !node.is_collection {
+            return Ok(node.wire_body());
+        }
+        let mut body = node.wire_body();
+        let mut expanded = Vec::new();
+        if let Some(members) = node.body["Members"].as_array() {
+            for m in members {
+                if let Some(mid) = m["@odata.id"].as_str() {
+                    if let Some(child) = t.nodes.get(&ODataId::new(mid)) {
+                        expanded.push(child.wire_body());
+                    }
+                }
+            }
+        }
+        body["Members"] = Value::Array(expanded);
+        Ok(body)
+    }
+}
+
+/// Convenience: build a `{"@odata.id": …}` map value.
+pub fn link_value(id: &ODataId) -> Value {
+    let mut m = Map::new();
+    m.insert("@odata.id".to_string(), Value::String(id.as_str().to_string()));
+    Value::Object(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg_with_collection() -> (Registry, ODataId) {
+        let r = Registry::new();
+        let root = ODataId::new("/redfish/v1");
+        r.create(&root, json!({"@odata.type": "#ServiceRoot.v1_15_0.ServiceRoot", "Id": "RootService", "Name": "OFMF"}))
+            .unwrap();
+        let col = root.child("Systems");
+        r.create_collection(&col, "#ComputerSystemCollection.ComputerSystemCollection", "Systems")
+            .unwrap();
+        (r, col)
+    }
+
+    #[test]
+    fn create_links_into_parent_collection() {
+        let (r, col) = reg_with_collection();
+        let id = col.child("cn01");
+        r.create(&id, json!({"@odata.type": "#ComputerSystem.v1_20_0.ComputerSystem", "Id": "cn01", "Name": "cn01"}))
+            .unwrap();
+        let members = r.members(&col).unwrap();
+        assert_eq!(members, vec![id.clone()]);
+        let col_body = r.get(&col).unwrap().body;
+        assert_eq!(col_body["Members@odata.count"], 1);
+    }
+
+    #[test]
+    fn duplicate_create_conflicts() {
+        let (r, col) = reg_with_collection();
+        let id = col.child("cn01");
+        r.create(&id, json!({"Name": "a"})).unwrap();
+        assert!(matches!(r.create(&id, json!({"Name": "b"})), Err(RedfishError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn patch_bumps_etag_and_merges() {
+        let (r, col) = reg_with_collection();
+        let id = col.child("cn01");
+        let e1 = r.create(&id, json!({"Name": "a", "Oem": {"x": 1}})).unwrap();
+        let e2 = r.patch(&id, &json!({"Oem": {"y": 2}}), None).unwrap();
+        assert!(e2.0 > e1.0);
+        let body = r.get(&id).unwrap().body;
+        assert_eq!(body["Oem"], json!({"x": 1, "y": 2}));
+    }
+
+    #[test]
+    fn patch_rejects_read_only_and_stale_etag() {
+        let (r, col) = reg_with_collection();
+        let id = col.child("cn01");
+        let e = r.create(&id, json!({"Name": "a"})).unwrap();
+        assert!(matches!(
+            r.patch(&id, &json!({"Id": "evil"}), None),
+            Err(RedfishError::BadRequest(_))
+        ));
+        assert!(matches!(
+            r.patch(&id, &json!({"Name": "b"}), Some(ETag(e.0 + 5))),
+            Err(RedfishError::PreconditionFailed { .. })
+        ));
+        // Correct etag applies.
+        r.patch(&id, &json!({"Name": "b"}), Some(e)).unwrap();
+        assert_eq!(r.get(&id).unwrap().body["Name"], "b");
+    }
+
+    #[test]
+    fn delete_unlinks_from_collection() {
+        let (r, col) = reg_with_collection();
+        let id = col.child("cn01");
+        r.create(&id, json!({"Name": "a"})).unwrap();
+        r.delete(&id).unwrap();
+        assert!(r.members(&col).unwrap().is_empty());
+        assert!(!r.exists(&id));
+    }
+
+    #[test]
+    fn delete_nonempty_collection_conflicts() {
+        let (r, col) = reg_with_collection();
+        r.create(&col.child("cn01"), json!({"Name": "a"})).unwrap();
+        assert!(matches!(r.delete(&col), Err(RedfishError::Conflict(_))));
+    }
+
+    #[test]
+    fn delete_resource_with_children_conflicts() {
+        let (r, col) = reg_with_collection();
+        let sys = col.child("cn01");
+        r.create(&sys, json!({"Name": "a"})).unwrap();
+        r.create(&sys.child("Processors"), json!({"Name": "procs"})).unwrap();
+        assert!(matches!(r.delete(&sys), Err(RedfishError::Conflict(_))));
+        assert_eq!(r.delete_subtree(&sys), 2);
+        assert!(!r.exists(&sys));
+        assert!(r.members(&col).unwrap().is_empty());
+    }
+
+    #[test]
+    fn dangling_link_detection() {
+        let (r, col) = reg_with_collection();
+        let id = col.child("cn01");
+        r.create(
+            &id,
+            json!({"Name": "a", "Links": {"Chassis": [{"@odata.id": "/redfish/v1/Chassis/missing"}]}}),
+        )
+        .unwrap();
+        let d = r.dangling_links();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, id);
+        assert_eq!(d[0].1, ODataId::new("/redfish/v1/Chassis/missing"));
+    }
+
+    #[test]
+    fn expand_inlines_members() {
+        let (r, col) = reg_with_collection();
+        r.create(&col.child("cn01"), json!({"Name": "a"})).unwrap();
+        r.create(&col.child("cn02"), json!({"Name": "b"})).unwrap();
+        let v = r.expand(&col).unwrap();
+        let members = v["Members"].as_array().unwrap();
+        assert_eq!(members.len(), 2);
+        assert_eq!(members[0]["Name"], "a");
+    }
+
+    #[test]
+    fn invalid_member_id_rejected() {
+        let (r, col) = reg_with_collection();
+        let bad = ODataId::new(format!("{}/{}", col.as_str(), "a b"));
+        assert!(matches!(r.create(&bad, json!({"Name": "x"})), Err(RedfishError::BadRequest(_))));
+    }
+
+    #[test]
+    fn wire_body_carries_current_etag() {
+        let (r, col) = reg_with_collection();
+        let id = col.child("cn01");
+        r.create(&id, json!({"Name": "a"})).unwrap();
+        r.patch(&id, &json!({"Name": "b"}), None).unwrap();
+        let s = r.get(&id).unwrap();
+        assert_eq!(s.wire_body()["@odata.etag"], s.etag.to_header());
+    }
+
+    #[test]
+    fn ids_of_type_matches_prefix() {
+        let (r, col) = reg_with_collection();
+        r.create(&col.child("cn01"), json!({"@odata.type": "#ComputerSystem.v1_20_0.ComputerSystem"}))
+            .unwrap();
+        let ids = r.ids_of_type("#ComputerSystem.");
+        assert_eq!(ids.len(), 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! The `Chassis` resource: physical enclosures (nodes, JBOFs, memory
+//! appliances, switch boxes).
+
+use crate::enums::PowerState;
+use crate::odata::{Link, ODataId, ResourceHeader};
+use crate::resources::Resource;
+use crate::status::Status;
+use serde::{Deserialize, Serialize};
+
+/// Physical container types relevant to a disaggregated rack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ChassisType {
+    /// Rack-mount server sled.
+    #[default]
+    Sled,
+    /// Full rack.
+    Rack,
+    /// Drive enclosure (Just-a-Bunch-Of-Flash).
+    StorageEnclosure,
+    /// Memory appliance enclosure.
+    Enclosure,
+    /// Switch chassis.
+    Module,
+}
+
+/// A physical enclosure in the managed infrastructure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Chassis {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// Kind of enclosure.
+    #[serde(rename = "ChassisType")]
+    pub chassis_type: ChassisType,
+    /// Manufacturer string.
+    #[serde(rename = "Manufacturer")]
+    pub manufacturer: String,
+    /// Model string.
+    #[serde(rename = "Model")]
+    pub model: String,
+    /// Serial number.
+    #[serde(rename = "SerialNumber")]
+    pub serial_number: String,
+    /// Current power state.
+    #[serde(rename = "PowerState")]
+    pub power_state: PowerState,
+    /// Health/state.
+    #[serde(rename = "Status")]
+    pub status: Status,
+    /// Systems contained by / associated with this chassis.
+    #[serde(rename = "Links")]
+    pub links: ChassisLinks,
+}
+
+/// Link section of a chassis.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ChassisLinks {
+    /// Computer systems housed in the chassis.
+    #[serde(rename = "ComputerSystems", default)]
+    pub computer_systems: Vec<Link>,
+}
+
+impl Chassis {
+    /// Build a chassis under the given collection.
+    pub fn new(collection: &ODataId, id: &str, chassis_type: ChassisType, model: &str) -> Self {
+        Chassis {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            chassis_type,
+            manufacturer: "OpenFabrics Simulated Hardware".to_string(),
+            model: model.to_string(),
+            serial_number: format!("SN-{id}"),
+            power_state: PowerState::On,
+            status: Status::ok(),
+            links: ChassisLinks::default(),
+        }
+    }
+}
+
+impl Resource for Chassis {
+    const ODATA_TYPE: &'static str = "#Chassis.v1_23_0.Chassis";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chassis_wire_shape() {
+        let c = Chassis::new(&ODataId::new("/redfish/v1/Chassis"), "jbof0", ChassisType::StorageEnclosure, "JBOF-64");
+        let v = c.to_value();
+        assert_eq!(v["@odata.id"], "/redfish/v1/Chassis/jbof0");
+        assert_eq!(v["ChassisType"], "StorageEnclosure");
+        assert_eq!(v["PowerState"], "On");
+        assert_eq!(v["Status"]["State"], "Enabled");
+    }
+}

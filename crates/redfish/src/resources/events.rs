@@ -1,0 +1,229 @@
+//! Eventing resources: `Event`, `EventDestination` (subscriptions).
+//!
+//! "The OFMF services provide a subscription-based central repository for
+//! telemetry information, provisioning, and event logs." Clients POST an
+//! `EventDestination` and receive `Event` payloads whose records carry the
+//! origin resource and a message id.
+
+use crate::odata::{Link, ODataId, ResourceHeader};
+use crate::resources::Resource;
+use serde::{Deserialize, Serialize};
+
+/// Redfish event categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventType {
+    /// A resource's state or health changed.
+    StatusChange,
+    /// A new resource appeared.
+    ResourceAdded,
+    /// A resource was removed.
+    ResourceRemoved,
+    /// A resource's non-status members changed.
+    ResourceUpdated,
+    /// A fault was detected (link down, device failure).
+    Alert,
+    /// A metric crossed a threshold.
+    MetricReport,
+}
+
+impl EventType {
+    /// All event types, for subscription wildcards.
+    pub const ALL: [EventType; 6] = [
+        EventType::StatusChange,
+        EventType::ResourceAdded,
+        EventType::ResourceRemoved,
+        EventType::ResourceUpdated,
+        EventType::Alert,
+        EventType::MetricReport,
+    ];
+}
+
+/// One record within an event payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Category.
+    #[serde(rename = "EventType")]
+    pub event_type: EventType,
+    /// Monotonic id assigned by the event service.
+    #[serde(rename = "EventId")]
+    pub event_id: String,
+    /// Registry message id, e.g. `ResourceEvent.1.0.ResourceCreated`.
+    #[serde(rename = "MessageId")]
+    pub message_id: String,
+    /// Human readable message.
+    #[serde(rename = "Message")]
+    pub message: String,
+    /// Severity: OK / Warning / Critical.
+    #[serde(rename = "Severity")]
+    pub severity: String,
+    /// The resource the event is about.
+    #[serde(rename = "OriginOfCondition")]
+    pub origin_of_condition: Link,
+    /// Milliseconds since service start (simulated wall clock).
+    #[serde(rename = "EventTimestamp")]
+    pub event_timestamp: u64,
+}
+
+impl EventRecord {
+    /// Build a record about `origin`.
+    pub fn new(
+        event_type: EventType,
+        event_id: u64,
+        origin: &ODataId,
+        message: impl Into<String>,
+        severity: &str,
+        timestamp_ms: u64,
+    ) -> Self {
+        let message_id = match event_type {
+            EventType::StatusChange => "ResourceEvent.1.0.ResourceStatusChanged",
+            EventType::ResourceAdded => "ResourceEvent.1.0.ResourceCreated",
+            EventType::ResourceRemoved => "ResourceEvent.1.0.ResourceRemoved",
+            EventType::ResourceUpdated => "ResourceEvent.1.0.ResourceChanged",
+            EventType::Alert => "Platform.1.0.UnhandledExceptionDetected",
+            EventType::MetricReport => "TelemetryEvent.1.0.MetricReportReady",
+        };
+        EventRecord {
+            event_type,
+            event_id: event_id.to_string(),
+            message_id: message_id.to_string(),
+            message: message.into(),
+            severity: severity.to_string(),
+            origin_of_condition: Link::to(origin.clone()),
+            event_timestamp: timestamp_ms,
+        }
+    }
+}
+
+/// The payload delivered to a subscriber: a batch of records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Event {
+    /// OData type marker.
+    #[serde(rename = "@odata.type")]
+    pub odata_type: String,
+    /// Batch id.
+    #[serde(rename = "Id")]
+    pub id: String,
+    /// Name.
+    #[serde(rename = "Name")]
+    pub name: String,
+    /// The records.
+    #[serde(rename = "Events")]
+    pub events: Vec<EventRecord>,
+}
+
+impl Event {
+    /// Wrap records in a delivery payload.
+    pub fn batch(id: u64, events: Vec<EventRecord>) -> Self {
+        Event {
+            odata_type: "#Event.v1_7_0.Event".to_string(),
+            id: id.to_string(),
+            name: "OFMF Event Batch".to_string(),
+            events,
+        }
+    }
+}
+
+/// A subscription registered by a client.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventDestination {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// Delivery URI (opaque to the OFMF core; the REST layer or an
+    /// in-process channel interprets it).
+    #[serde(rename = "Destination")]
+    pub destination: String,
+    /// Event categories wanted; empty means all.
+    #[serde(rename = "EventTypes", default)]
+    pub event_types: Vec<EventType>,
+    /// Only deliver events whose origin is under one of these subtrees;
+    /// empty means the whole tree.
+    #[serde(rename = "OriginResources", default)]
+    pub origin_resources: Vec<Link>,
+    /// Delivery protocol marker (`Redfish`).
+    #[serde(rename = "Protocol")]
+    pub protocol: String,
+}
+
+impl EventDestination {
+    /// Build a subscription.
+    pub fn new(
+        collection: &ODataId,
+        id: &str,
+        destination: &str,
+        event_types: Vec<EventType>,
+        origin_resources: Vec<ODataId>,
+    ) -> Self {
+        EventDestination {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            destination: destination.to_string(),
+            event_types,
+            origin_resources: origin_resources.iter().map(Link::from).collect(),
+            protocol: "Redfish".to_string(),
+        }
+    }
+
+    /// Whether a record about `origin` with `event_type` matches this
+    /// subscription's filters.
+    pub fn matches(&self, event_type: EventType, origin: &ODataId) -> bool {
+        let type_ok = self.event_types.is_empty() || self.event_types.contains(&event_type);
+        let origin_ok = self.origin_resources.is_empty()
+            || self.origin_resources.iter().any(|l| origin.is_under(&l.odata_id));
+        type_ok && origin_ok
+    }
+}
+
+impl Resource for EventDestination {
+    const ODATA_TYPE: &'static str = "#EventDestination.v1_13_0.EventDestination";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::top;
+
+    #[test]
+    fn subscription_filters() {
+        let subs = ODataId::new(top::SUBSCRIPTIONS);
+        let d = EventDestination::new(
+            &subs,
+            "s1",
+            "channel://client1",
+            vec![EventType::Alert],
+            vec![ODataId::new("/redfish/v1/Fabrics/CXL0")],
+        );
+        let inside = ODataId::new("/redfish/v1/Fabrics/CXL0/Switches/sw0");
+        let outside = ODataId::new("/redfish/v1/Fabrics/IB0/Switches/sw0");
+        assert!(d.matches(EventType::Alert, &inside));
+        assert!(!d.matches(EventType::Alert, &outside));
+        assert!(!d.matches(EventType::ResourceAdded, &inside));
+    }
+
+    #[test]
+    fn empty_filters_match_everything() {
+        let subs = ODataId::new(top::SUBSCRIPTIONS);
+        let d = EventDestination::new(&subs, "s1", "channel://c", vec![], vec![]);
+        for t in EventType::ALL {
+            assert!(d.matches(t, &ODataId::new("/redfish/v1/Anything/x")));
+        }
+    }
+
+    #[test]
+    fn record_message_ids() {
+        let r = EventRecord::new(
+            EventType::ResourceAdded,
+            7,
+            &ODataId::new("/redfish/v1/Systems/x"),
+            "created",
+            "OK",
+            123,
+        );
+        assert_eq!(r.message_id, "ResourceEvent.1.0.ResourceCreated");
+        let v = serde_json::to_value(&r).unwrap();
+        assert_eq!(v["OriginOfCondition"]["@odata.id"], "/redfish/v1/Systems/x");
+    }
+}

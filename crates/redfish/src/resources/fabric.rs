@@ -1,0 +1,483 @@
+//! Fabric resources: `Fabric`, `Switch`, `Port`, `Endpoint`, `Zone`,
+//! `Connection` and `AddressPool`.
+//!
+//! These are the heart of the OFMF model: every managed interconnect appears
+//! as one `Fabric` whose `Zone`s control visibility and whose `Connection`s
+//! bind initiator endpoints (compute) to target endpoints (memory, storage,
+//! accelerators). Agents translate CRUD on these resources into
+//! technology-specific fabric-manager operations.
+
+use crate::enums::{AccessCapability, EntityRole, EntityType, Protocol, ZoneType};
+use crate::odata::{Link, ODataId, ResourceHeader};
+use crate::resources::Resource;
+use crate::status::Status;
+use serde::{Deserialize, Serialize};
+
+/// One managed interconnect (e.g. a CXL pod, an NVMe-oF storage network).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fabric {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// Transport technology of this fabric.
+    #[serde(rename = "FabricType")]
+    pub fabric_type: Protocol,
+    /// Maximum zones the fabric manager supports.
+    #[serde(rename = "MaxZones")]
+    pub max_zones: u32,
+    /// Health/state.
+    #[serde(rename = "Status")]
+    pub status: Status,
+    /// Switches collection link.
+    #[serde(rename = "Switches")]
+    pub switches: Link,
+    /// Endpoints collection link.
+    #[serde(rename = "Endpoints")]
+    pub endpoints: Link,
+    /// Zones collection link.
+    #[serde(rename = "Zones")]
+    pub zones: Link,
+    /// Connections collection link.
+    #[serde(rename = "Connections")]
+    pub connections: Link,
+    /// Address pools collection link.
+    #[serde(rename = "AddressPools")]
+    pub address_pools: Link,
+}
+
+impl Fabric {
+    /// Build a fabric with canonical sub-collections under it.
+    pub fn new(collection: &ODataId, id: &str, fabric_type: Protocol) -> Self {
+        let me = collection.child(id);
+        Fabric {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id)
+                .describe(format!("{fabric_type:?} fabric managed by the OFMF")),
+            fabric_type,
+            max_zones: 1024,
+            status: Status::ok(),
+            switches: Link::to(me.child("Switches")),
+            endpoints: Link::to(me.child("Endpoints")),
+            zones: Link::to(me.child("Zones")),
+            connections: Link::to(me.child("Connections")),
+            address_pools: Link::to(me.child("AddressPools")),
+        }
+    }
+}
+
+impl Resource for Fabric {
+    const ODATA_TYPE: &'static str = "#Fabric.v1_3_0.Fabric";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+/// A switch within a fabric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Switch {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// Transport technology.
+    #[serde(rename = "SwitchType")]
+    pub switch_type: Protocol,
+    /// Health/state.
+    #[serde(rename = "Status")]
+    pub status: Status,
+    /// Ports collection link.
+    #[serde(rename = "Ports")]
+    pub ports: Link,
+    /// Total number of ports.
+    #[serde(rename = "TotalSwitchWidth")]
+    pub total_switch_width: u32,
+}
+
+impl Switch {
+    /// Build a switch with a Ports sub-collection.
+    pub fn new(collection: &ODataId, id: &str, switch_type: Protocol, width: u32) -> Self {
+        let me = collection.child(id);
+        Switch {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            switch_type,
+            status: Status::ok(),
+            ports: Link::to(me.child("Ports")),
+            total_switch_width: width,
+        }
+    }
+}
+
+impl Resource for Switch {
+    const ODATA_TYPE: &'static str = "#Switch.v1_9_0.Switch";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+/// A port on a switch or device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Port {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// Protocol carried.
+    #[serde(rename = "PortProtocol")]
+    pub port_protocol: Protocol,
+    /// Nominal speed in Gbit/s.
+    #[serde(rename = "CurrentSpeedGbps")]
+    pub current_speed_gbps: f64,
+    /// Number of lanes.
+    #[serde(rename = "Width")]
+    pub width: u32,
+    /// Whether a cable is attached and trained.
+    #[serde(rename = "LinkState")]
+    pub link_state: String,
+    /// Health/state.
+    #[serde(rename = "Status")]
+    pub status: Status,
+}
+
+impl Port {
+    /// Build an enabled port.
+    pub fn new(collection: &ODataId, id: &str, protocol: Protocol, gbps: f64) -> Self {
+        Port {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            port_protocol: protocol,
+            current_speed_gbps: gbps,
+            width: 4,
+            link_state: "Enabled".to_string(),
+            status: Status::ok(),
+        }
+    }
+}
+
+impl Resource for Port {
+    const ODATA_TYPE: &'static str = "#Port.v1_7_0.Port";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+/// Describes the device behind an endpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConnectedEntity {
+    /// Role the entity plays.
+    #[serde(rename = "EntityRole")]
+    pub entity_role: EntityRole,
+    /// Kind of device.
+    #[serde(rename = "EntityType")]
+    pub entity_type: EntityType,
+    /// Link to the device resource (e.g. a MemoryChunk or Drive).
+    #[serde(rename = "EntityLink", skip_serializing_if = "Option::is_none")]
+    pub entity_link: Option<Link>,
+}
+
+/// A fabric endpoint: the attach point of a device or host to the fabric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// Protocol spoken by the endpoint.
+    #[serde(rename = "EndpointProtocol")]
+    pub endpoint_protocol: Protocol,
+    /// The entities reachable through the endpoint.
+    #[serde(rename = "ConnectedEntities")]
+    pub connected_entities: Vec<ConnectedEntity>,
+    /// Health/state.
+    #[serde(rename = "Status")]
+    pub status: Status,
+}
+
+impl Endpoint {
+    /// Build an initiator endpoint for a compute system.
+    pub fn initiator(collection: &ODataId, id: &str, protocol: Protocol, system: &ODataId) -> Self {
+        Endpoint {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            endpoint_protocol: protocol,
+            connected_entities: vec![ConnectedEntity {
+                entity_role: EntityRole::Initiator,
+                entity_type: EntityType::ComputerSystem,
+                entity_link: Some(Link::to(system.clone())),
+            }],
+            status: Status::ok(),
+        }
+    }
+
+    /// Build a target endpoint for a device resource.
+    pub fn target(
+        collection: &ODataId,
+        id: &str,
+        protocol: Protocol,
+        entity_type: EntityType,
+        device: &ODataId,
+    ) -> Self {
+        Endpoint {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            endpoint_protocol: protocol,
+            connected_entities: vec![ConnectedEntity {
+                entity_role: EntityRole::Target,
+                entity_type,
+                entity_link: Some(Link::to(device.clone())),
+            }],
+            status: Status::ok(),
+        }
+    }
+
+    /// Role of the first connected entity (endpoints modeled here have one).
+    pub fn role(&self) -> Option<EntityRole> {
+        self.connected_entities.first().map(|e| e.entity_role)
+    }
+}
+
+impl Resource for Endpoint {
+    const ODATA_TYPE: &'static str = "#Endpoint.v1_8_0.Endpoint";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+/// A zone: the unit of access control and isolation on a fabric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Zone {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// Zone semantics.
+    #[serde(rename = "ZoneType")]
+    pub zone_type: ZoneType,
+    /// Health/state.
+    #[serde(rename = "Status")]
+    pub status: Status,
+    /// Link section.
+    #[serde(rename = "Links")]
+    pub links: ZoneLinks,
+}
+
+/// Link section of a zone.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ZoneLinks {
+    /// Endpoints that are members of the zone.
+    #[serde(rename = "Endpoints", default)]
+    pub endpoints: Vec<Link>,
+}
+
+impl Zone {
+    /// Build an endpoint zone containing `endpoints`.
+    pub fn of_endpoints(collection: &ODataId, id: &str, endpoints: Vec<Link>) -> Self {
+        Zone {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            zone_type: ZoneType::ZoneOfEndpoints,
+            status: Status::ok(),
+            links: ZoneLinks { endpoints },
+        }
+    }
+}
+
+impl Resource for Zone {
+    const ODATA_TYPE: &'static str = "#Zone.v1_6_0.Zone";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+/// A connection: grants initiator endpoints access to target resources.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Connection {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// What class of resource is being connected.
+    #[serde(rename = "ConnectionType")]
+    pub connection_type: String,
+    /// Access granted.
+    #[serde(rename = "MemoryChunkInfo", skip_serializing_if = "Vec::is_empty", default)]
+    pub memory_chunk_info: Vec<ResourceAccess>,
+    /// Volumes granted (storage connections).
+    #[serde(rename = "VolumeInfo", skip_serializing_if = "Vec::is_empty", default)]
+    pub volume_info: Vec<ResourceAccess>,
+    /// Health/state.
+    #[serde(rename = "Status")]
+    pub status: Status,
+    /// Link section.
+    #[serde(rename = "Links")]
+    pub links: ConnectionLinks,
+}
+
+/// Grants one access capability over one resource.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResourceAccess {
+    /// Access level.
+    #[serde(rename = "AccessCapabilities")]
+    pub access_capabilities: Vec<AccessCapability>,
+    /// The resource being accessed.
+    #[serde(rename = "Resource")]
+    pub resource: Link,
+}
+
+/// Link section of a connection.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ConnectionLinks {
+    /// Initiator endpoints.
+    #[serde(rename = "InitiatorEndpoints", default)]
+    pub initiator_endpoints: Vec<Link>,
+    /// Target endpoints.
+    #[serde(rename = "TargetEndpoints", default)]
+    pub target_endpoints: Vec<Link>,
+}
+
+impl Connection {
+    /// Build a memory connection granting `initiator` RW access to `chunk`
+    /// via `target`.
+    pub fn memory(
+        collection: &ODataId,
+        id: &str,
+        initiator: &ODataId,
+        target: &ODataId,
+        chunk: &ODataId,
+    ) -> Self {
+        Connection {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            connection_type: "Memory".to_string(),
+            memory_chunk_info: vec![ResourceAccess {
+                access_capabilities: vec![AccessCapability::Read, AccessCapability::ReadWrite],
+                resource: Link::to(chunk.clone()),
+            }],
+            volume_info: Vec::new(),
+            status: Status::ok(),
+            links: ConnectionLinks {
+                initiator_endpoints: vec![Link::to(initiator.clone())],
+                target_endpoints: vec![Link::to(target.clone())],
+            },
+        }
+    }
+
+    /// Build a storage connection granting `initiator` RW access to `volume`
+    /// via `target`.
+    pub fn storage(
+        collection: &ODataId,
+        id: &str,
+        initiator: &ODataId,
+        target: &ODataId,
+        volume: &ODataId,
+    ) -> Self {
+        Connection {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            connection_type: "Storage".to_string(),
+            memory_chunk_info: Vec::new(),
+            volume_info: vec![ResourceAccess {
+                access_capabilities: vec![AccessCapability::Read, AccessCapability::ReadWrite],
+                resource: Link::to(volume.clone()),
+            }],
+            status: Status::ok(),
+            links: ConnectionLinks {
+                initiator_endpoints: vec![Link::to(initiator.clone())],
+                target_endpoints: vec![Link::to(target.clone())],
+            },
+        }
+    }
+}
+
+impl Resource for Connection {
+    const ODATA_TYPE: &'static str = "#Connection.v1_3_0.Connection";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+/// An address pool used by the fabric manager for endpoint addressing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AddressPool {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// First address in the pool.
+    #[serde(rename = "RangeStart")]
+    pub range_start: u64,
+    /// Number of addresses.
+    #[serde(rename = "RangeSize")]
+    pub range_size: u64,
+    /// Health/state.
+    #[serde(rename = "Status")]
+    pub status: Status,
+}
+
+impl AddressPool {
+    /// Build an address pool covering `[start, start+size)`.
+    pub fn new(collection: &ODataId, id: &str, start: u64, size: u64) -> Self {
+        AddressPool {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            range_start: start,
+            range_size: size,
+            status: Status::ok(),
+        }
+    }
+}
+
+impl Resource for AddressPool {
+    const ODATA_TYPE: &'static str = "#AddressPool.v1_2_0.AddressPool";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::top;
+
+    #[test]
+    fn fabric_subcollections_are_under_fabric() {
+        let f = Fabric::new(&ODataId::new(top::FABRICS), "CXL0", Protocol::CXL);
+        assert_eq!(f.zones.odata_id.as_str(), "/redfish/v1/Fabrics/CXL0/Zones");
+        assert!(f.endpoints.odata_id.is_under(f.odata_id()));
+    }
+
+    #[test]
+    fn endpoint_roles() {
+        let eps = ODataId::new("/redfish/v1/Fabrics/CXL0/Endpoints");
+        let i = Endpoint::initiator(&eps, "cn01-ep", Protocol::CXL, &ODataId::new("/redfish/v1/Systems/cn01"));
+        assert_eq!(i.role(), Some(EntityRole::Initiator));
+        let t = Endpoint::target(
+            &eps,
+            "mem0-ep",
+            Protocol::CXL,
+            EntityType::MemoryChunk,
+            &ODataId::new("/redfish/v1/Chassis/mem0"),
+        );
+        assert_eq!(t.role(), Some(EntityRole::Target));
+    }
+
+    #[test]
+    fn memory_connection_wire_shape() {
+        let cons = ODataId::new("/redfish/v1/Fabrics/CXL0/Connections");
+        let c = Connection::memory(
+            &cons,
+            "c1",
+            &ODataId::new("/redfish/v1/Fabrics/CXL0/Endpoints/i"),
+            &ODataId::new("/redfish/v1/Fabrics/CXL0/Endpoints/t"),
+            &ODataId::new("/redfish/v1/Chassis/mem0/MemoryDomains/d0/MemoryChunks/ch1"),
+        );
+        let v = c.to_value();
+        assert_eq!(v["ConnectionType"], "Memory");
+        assert_eq!(v["MemoryChunkInfo"][0]["AccessCapabilities"][1], "ReadWrite");
+        assert!(v.get("VolumeInfo").is_none()); // empty vec skipped
+    }
+
+    #[test]
+    fn zone_of_endpoints_members() {
+        let zones = ODataId::new("/redfish/v1/Fabrics/IB0/Zones");
+        let z = Zone::of_endpoints(
+            &zones,
+            "z1",
+            vec![Link::to("/redfish/v1/Fabrics/IB0/Endpoints/a"), Link::to("/redfish/v1/Fabrics/IB0/Endpoints/b")],
+        );
+        assert_eq!(z.links.endpoints.len(), 2);
+        assert_eq!(z.to_value()["ZoneType"], "ZoneOfEndpoints");
+    }
+}

@@ -1,0 +1,186 @@
+//! Memory resources: `Memory` devices, `MemoryDomain`s and `MemoryChunks`.
+//!
+//! Fabric-attached memory (FAM) is the OFMF's flagship composable resource:
+//! a CXL memory appliance exposes a `MemoryDomain` from which the
+//! Composability Manager carves `MemoryChunks` and connects them to
+//! initiator endpoints — mitigating the out-of-memory failures the paper's
+//! introduction motivates.
+
+use crate::enums::MemoryType;
+use crate::odata::{Link, ODataId, ResourceHeader};
+use crate::resources::Resource;
+use crate::status::Status;
+use serde::{Deserialize, Serialize};
+
+/// A memory device (DIMM or CXL expander module).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Memory {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// Device technology.
+    #[serde(rename = "MemoryType")]
+    pub memory_type: MemoryType,
+    /// Capacity in MiB.
+    #[serde(rename = "CapacityMiB")]
+    pub capacity_mib: u64,
+    /// Operating speed in MT/s.
+    #[serde(rename = "OperatingSpeedMhz")]
+    pub operating_speed_mhz: u32,
+    /// Health/state.
+    #[serde(rename = "Status")]
+    pub status: Status,
+}
+
+impl Memory {
+    /// Build a memory device.
+    pub fn new(collection: &ODataId, id: &str, memory_type: MemoryType, capacity_mib: u64) -> Self {
+        Memory {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            memory_type,
+            capacity_mib,
+            operating_speed_mhz: 3200,
+            status: Status::ok(),
+        }
+    }
+}
+
+impl Resource for Memory {
+    const ODATA_TYPE: &'static str = "#Memory.v1_17_0.Memory";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+/// A pool of interleavable memory from which chunks are allocated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryDomain {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// Whether chunks may be created via this domain.
+    #[serde(rename = "AllowsMemoryChunkCreation")]
+    pub allows_memory_chunk_creation: bool,
+    /// Whether this domain serves multiple hosts (CXL MLD).
+    #[serde(rename = "AllowsBlockProvisioning")]
+    pub allows_block_provisioning: bool,
+    /// Total capacity of the domain in MiB.
+    #[serde(rename = "MemorySizeMiB")]
+    pub memory_size_mib: u64,
+    /// Health/state.
+    #[serde(rename = "Status")]
+    pub status: Status,
+    /// Link to the chunks collection.
+    #[serde(rename = "MemoryChunks")]
+    pub memory_chunks: Link,
+}
+
+impl MemoryDomain {
+    /// Build a domain whose chunks live at `{id}/MemoryChunks`.
+    pub fn new(collection: &ODataId, id: &str, memory_size_mib: u64) -> Self {
+        let me = collection.child(id);
+        MemoryDomain {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            allows_memory_chunk_creation: true,
+            allows_block_provisioning: true,
+            memory_size_mib,
+            status: Status::ok(),
+            memory_chunks: Link::to(me.child("MemoryChunks")),
+        }
+    }
+}
+
+impl Resource for MemoryDomain {
+    const ODATA_TYPE: &'static str = "#MemoryDomain.v1_5_0.MemoryDomain";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+/// A carved allocation of fabric-attached memory bound (via a `Connection`)
+/// to one or more initiator endpoints.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryChunk {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// Size of the chunk in MiB.
+    #[serde(rename = "MemoryChunkSizeMiB")]
+    pub memory_chunk_size_mib: u64,
+    /// Address-range type; OFMF uses volatile chunks for job memory.
+    #[serde(rename = "AddressRangeType")]
+    pub address_range_type: String,
+    /// Whether the chunk can be shared by multiple initiators.
+    #[serde(rename = "Shareable")]
+    pub shareable: bool,
+    /// Health/state.
+    #[serde(rename = "Status")]
+    pub status: Status,
+    /// Endpoints currently granted access.
+    #[serde(rename = "Links")]
+    pub links: MemoryChunkLinks,
+}
+
+/// Link section of a memory chunk.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MemoryChunkLinks {
+    /// Endpoints with access to this chunk.
+    #[serde(rename = "Endpoints", default)]
+    pub endpoints: Vec<Link>,
+}
+
+impl MemoryChunk {
+    /// Build a volatile chunk of `size_mib`.
+    pub fn volatile(collection: &ODataId, id: &str, size_mib: u64) -> Self {
+        MemoryChunk {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            memory_chunk_size_mib: size_mib,
+            address_range_type: "Volatile".to_string(),
+            shareable: false,
+            status: Status::ok(),
+            links: MemoryChunkLinks::default(),
+        }
+    }
+}
+
+impl Resource for MemoryChunk {
+    const ODATA_TYPE: &'static str = "#MemoryChunks.v1_6_0.MemoryChunks";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_links_to_chunks_collection() {
+        let col = ODataId::new("/redfish/v1/Chassis/mem0/MemoryDomains");
+        let d = MemoryDomain::new(&col, "dom0", 4 * 1024 * 1024);
+        assert_eq!(
+            d.memory_chunks.odata_id.as_str(),
+            "/redfish/v1/Chassis/mem0/MemoryDomains/dom0/MemoryChunks"
+        );
+        assert!(d.allows_memory_chunk_creation);
+    }
+
+    #[test]
+    fn chunk_wire_shape() {
+        let col = ODataId::new("/redfish/v1/Chassis/mem0/MemoryDomains/dom0/MemoryChunks");
+        let c = MemoryChunk::volatile(&col, "chunk1", 65536);
+        let v = c.to_value();
+        assert_eq!(v["MemoryChunkSizeMiB"], 65536);
+        assert_eq!(v["AddressRangeType"], "Volatile");
+    }
+
+    #[test]
+    fn memory_device_capacity() {
+        let col = ODataId::new("/redfish/v1/Systems/cn01/Memory");
+        let m = Memory::new(&col, "dimm0", MemoryType::CXLAttached, 262_144);
+        assert_eq!(m.to_value()["MemoryType"], "CXLAttached");
+    }
+}

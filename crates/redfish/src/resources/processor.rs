@@ -1,0 +1,97 @@
+//! The `Processor` resource: CPUs, GPUs and other accelerators.
+
+use crate::odata::{ODataId, ResourceHeader};
+use crate::resources::Resource;
+use crate::status::Status;
+use serde::{Deserialize, Serialize};
+
+/// Kind of processing device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ProcessorType {
+    /// Central processing unit.
+    #[default]
+    CPU,
+    /// Graphics/compute accelerator.
+    GPU,
+    /// FPGA accelerator.
+    FPGA,
+    /// DPU / SmartNIC processor.
+    DPU,
+}
+
+/// A processing device, either in-node or fabric-attached (a pooled GPU).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Processor {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// Device kind.
+    #[serde(rename = "ProcessorType")]
+    pub processor_type: ProcessorType,
+    /// Core count.
+    #[serde(rename = "TotalCores")]
+    pub total_cores: u32,
+    /// Thread count.
+    #[serde(rename = "TotalThreads")]
+    pub total_threads: u32,
+    /// Nominal clock in MHz.
+    #[serde(rename = "MaxSpeedMHz")]
+    pub max_speed_mhz: u32,
+    /// Vendor model string.
+    #[serde(rename = "Model")]
+    pub model: String,
+    /// Health/state.
+    #[serde(rename = "Status")]
+    pub status: Status,
+}
+
+impl Processor {
+    /// Build a CPU resource.
+    pub fn cpu(collection: &ODataId, id: &str, cores: u32, mhz: u32, model: &str) -> Self {
+        Processor {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            processor_type: ProcessorType::CPU,
+            total_cores: cores,
+            total_threads: cores * 4, // ThunderX2-style SMT4 default
+            max_speed_mhz: mhz,
+            model: model.to_string(),
+            status: Status::ok(),
+        }
+    }
+
+    /// Build a fabric-attached GPU resource.
+    pub fn gpu(collection: &ODataId, id: &str, model: &str) -> Self {
+        Processor {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            processor_type: ProcessorType::GPU,
+            total_cores: 108, // SM count style figure
+            total_threads: 108 * 64,
+            max_speed_mhz: 1410,
+            model: model.to_string(),
+            status: Status::ok(),
+        }
+    }
+}
+
+impl Resource for Processor {
+    const ODATA_TYPE: &'static str = "#Processor.v1_18_0.Processor";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_and_gpu_shapes() {
+        let col = ODataId::new("/redfish/v1/Systems/cn01/Processors");
+        let cpu = Processor::cpu(&col, "cpu0", 28, 2200, "ThunderX2 CN9975");
+        assert_eq!(cpu.to_value()["ProcessorType"], "CPU");
+        assert_eq!(cpu.total_threads, 112);
+        let gpu = Processor::gpu(&col, "gpu0", "A100");
+        assert_eq!(gpu.to_value()["ProcessorType"], "GPU");
+    }
+}

@@ -1,0 +1,106 @@
+//! The `ServiceRoot` resource at `/redfish/v1`.
+
+use crate::odata::{Link, ODataId, ResourceHeader};
+use crate::path::{top, SERVICE_ROOT};
+use crate::resources::Resource;
+use serde::{Deserialize, Serialize};
+
+/// The entry point of the OFMF's unified Redfish tree.
+///
+/// Lists every top-level service: Systems, Chassis, Fabrics, Swordfish
+/// StorageServices, Event/Task/Session/Telemetry services and the
+/// CompositionService that the Composability Layer drives.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceRoot {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// Redfish protocol version implemented.
+    #[serde(rename = "RedfishVersion")]
+    pub redfish_version: String,
+    /// Unique identity of this service instance.
+    #[serde(rename = "UUID")]
+    pub uuid: String,
+    /// Systems collection link.
+    #[serde(rename = "Systems")]
+    pub systems: Link,
+    /// Chassis collection link.
+    #[serde(rename = "Chassis")]
+    pub chassis: Link,
+    /// Fabrics collection link.
+    #[serde(rename = "Fabrics")]
+    pub fabrics: Link,
+    /// Swordfish storage services link.
+    #[serde(rename = "StorageServices")]
+    pub storage_services: Link,
+    /// Event service link.
+    #[serde(rename = "EventService")]
+    pub event_service: Link,
+    /// Task service link.
+    #[serde(rename = "TaskService")]
+    pub task_service: Link,
+    /// Session service link.
+    #[serde(rename = "SessionService")]
+    pub session_service: Link,
+    /// Telemetry service link.
+    #[serde(rename = "TelemetryService")]
+    pub telemetry_service: Link,
+    /// Composition service link.
+    #[serde(rename = "CompositionService")]
+    pub composition_service: Link,
+    /// Managers collection link.
+    #[serde(rename = "Managers")]
+    pub managers: Link,
+}
+
+impl ServiceRoot {
+    /// Build the canonical OFMF service root.
+    pub fn ofmf(uuid: &str) -> Self {
+        ServiceRoot {
+            header: ResourceHeader {
+                odata_id: ODataId::new(SERVICE_ROOT),
+                odata_type: Self::ODATA_TYPE.to_string(),
+                id: "RootService".to_string(),
+                name: "OpenFabrics Management Framework".to_string(),
+                description: Some(
+                    "Centralized composable management of disaggregated HPC resources".to_string(),
+                ),
+            },
+            redfish_version: "1.15.0".to_string(),
+            uuid: uuid.to_string(),
+            systems: Link::to(top::SYSTEMS),
+            chassis: Link::to(top::CHASSIS),
+            fabrics: Link::to(top::FABRICS),
+            storage_services: Link::to(top::STORAGE_SERVICES),
+            event_service: Link::to(top::EVENT_SERVICE),
+            task_service: Link::to(top::TASK_SERVICE),
+            session_service: Link::to(top::SESSION_SERVICE),
+            telemetry_service: Link::to(top::TELEMETRY_SERVICE),
+            composition_service: Link::to(top::COMPOSITION_SERVICE),
+            managers: Link::to(top::MANAGERS),
+        }
+    }
+}
+
+impl Resource for ServiceRoot {
+    const ODATA_TYPE: &'static str = "#ServiceRoot.v1_15_0.ServiceRoot";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_root_wire_shape() {
+        let v = ServiceRoot::ofmf("uuid-1").to_value();
+        assert_eq!(v["@odata.id"], "/redfish/v1");
+        assert_eq!(v["Fabrics"]["@odata.id"], "/redfish/v1/Fabrics");
+        assert_eq!(v["RedfishVersion"], "1.15.0");
+        assert_eq!(v["CompositionService"]["@odata.id"], "/redfish/v1/CompositionService");
+        assert_eq!(v["Managers"]["@odata.id"], "/redfish/v1/Managers");
+    }
+}

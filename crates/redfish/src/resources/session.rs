@@ -1,0 +1,55 @@
+//! The `Session` resource: authenticated client sessions.
+
+use crate::odata::{ODataId, ResourceHeader};
+use crate::resources::Resource;
+use serde::{Deserialize, Serialize};
+
+/// An authenticated session created by `POST /redfish/v1/SessionService/Sessions`.
+///
+/// The token itself is returned in the `X-Auth-Token` header, never in the
+/// resource body (mirroring the Redfish spec).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Session {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// The authenticated user.
+    #[serde(rename = "UserName")]
+    pub user_name: String,
+    /// Milliseconds (service clock) when the session was created.
+    #[serde(rename = "CreatedTime")]
+    pub created_time_ms: u64,
+}
+
+impl Session {
+    /// Build a session resource.
+    pub fn new(collection: &ODataId, id: &str, user: &str, created_time_ms: u64) -> Self {
+        Session {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, "User Session"),
+            user_name: user.to_string(),
+            created_time_ms,
+        }
+    }
+}
+
+impl Resource for Session {
+    const ODATA_TYPE: &'static str = "#Session.v1_6_0.Session";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_has_no_token_in_body() {
+        let s = Session::new(&ODataId::new("/redfish/v1/SessionService/Sessions"), "1", "admin", 5);
+        let v = s.to_value();
+        assert_eq!(v["UserName"], "admin");
+        assert!(v.get("Token").is_none());
+        assert!(v.get("XAuthToken").is_none());
+    }
+}

@@ -1,0 +1,236 @@
+//! Swordfish storage resources: `StorageService`, `StoragePool`, `Volume`
+//! and the Redfish `Drive`.
+//!
+//! The OFMF "implements Redfish and Swordfish through the implementation of
+//! a Swordfish Endpoint Emulator"; these types model the storage side of
+//! composition — NVMe-oF namespaces carved from JBOF pools and attached to
+//! compute endpoints.
+
+use crate::enums::MediaType;
+use crate::odata::{Link, ODataId, ResourceHeader};
+use crate::resources::Resource;
+use crate::status::Status;
+use serde::{Deserialize, Serialize};
+
+/// Swordfish capacity bookkeeping (bytes).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Capacity {
+    /// Bytes provisioned to consumers.
+    #[serde(rename = "AllocatedBytes")]
+    pub allocated_bytes: u64,
+    /// Bytes consumed (written).
+    #[serde(rename = "ConsumedBytes")]
+    pub consumed_bytes: u64,
+    /// Guaranteed available bytes.
+    #[serde(rename = "GuaranteedBytes")]
+    pub guaranteed_bytes: u64,
+}
+
+/// A Swordfish storage service: the management domain of one storage agent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StorageService {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// Health/state.
+    #[serde(rename = "Status")]
+    pub status: Status,
+    /// Pools collection link.
+    #[serde(rename = "StoragePools")]
+    pub storage_pools: Link,
+    /// Volumes collection link.
+    #[serde(rename = "Volumes")]
+    pub volumes: Link,
+    /// Drives collection link.
+    #[serde(rename = "Drives")]
+    pub drives: Link,
+}
+
+impl StorageService {
+    /// Build a service whose sub-collections live under it.
+    pub fn new(collection: &ODataId, id: &str) -> Self {
+        let me = collection.child(id);
+        StorageService {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            status: Status::ok(),
+            storage_pools: Link::to(me.child("StoragePools")),
+            volumes: Link::to(me.child("Volumes")),
+            drives: Link::to(me.child("Drives")),
+        }
+    }
+}
+
+impl Resource for StorageService {
+    const ODATA_TYPE: &'static str = "#StorageService.v1_6_0.StorageService";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+/// A pool of raw capacity backed by a set of drives.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoragePool {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// Capacity bookkeeping.
+    #[serde(rename = "Capacity")]
+    pub capacity: Capacity,
+    /// Maximum size a single volume may take from this pool.
+    #[serde(rename = "MaxBlockSizeBytes")]
+    pub max_block_size_bytes: u64,
+    /// Health/state.
+    #[serde(rename = "Status")]
+    pub status: Status,
+}
+
+impl StoragePool {
+    /// Build a pool with `total_bytes` of raw capacity, none yet allocated.
+    pub fn new(collection: &ODataId, id: &str, total_bytes: u64) -> Self {
+        StoragePool {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            capacity: Capacity { allocated_bytes: 0, consumed_bytes: 0, guaranteed_bytes: total_bytes },
+            max_block_size_bytes: 4096,
+            status: Status::ok(),
+        }
+    }
+
+    /// Bytes still unallocated.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity.guaranteed_bytes.saturating_sub(self.capacity.allocated_bytes)
+    }
+}
+
+impl Resource for StoragePool {
+    const ODATA_TYPE: &'static str = "#StoragePool.v1_9_0.StoragePool";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+/// A provisioned volume (an NVMe-oF namespace when fabric-attached).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Volume {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// Size in bytes.
+    #[serde(rename = "CapacityBytes")]
+    pub capacity_bytes: u64,
+    /// RAID / redundancy class.
+    #[serde(rename = "RAIDType")]
+    pub raid_type: String,
+    /// Health/state.
+    #[serde(rename = "Status")]
+    pub status: Status,
+    /// Link section.
+    #[serde(rename = "Links")]
+    pub links: VolumeLinks,
+}
+
+/// Link section of a volume.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VolumeLinks {
+    /// Endpoints currently granted access.
+    #[serde(rename = "ClientEndpoints", default)]
+    pub client_endpoints: Vec<Link>,
+    /// The pool this volume was carved from.
+    #[serde(rename = "StoragePool", skip_serializing_if = "Option::is_none")]
+    pub storage_pool: Option<Link>,
+}
+
+impl Volume {
+    /// Build a RAID0 volume of `capacity_bytes` carved from `pool`.
+    pub fn new(collection: &ODataId, id: &str, capacity_bytes: u64, pool: &ODataId) -> Self {
+        Volume {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            capacity_bytes,
+            raid_type: "RAID0".to_string(),
+            status: Status::ok(),
+            links: VolumeLinks { client_endpoints: Vec::new(), storage_pool: Some(Link::to(pool.clone())) },
+        }
+    }
+}
+
+impl Resource for Volume {
+    const ODATA_TYPE: &'static str = "#Volume.v1_10_0.Volume";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+/// A physical drive inside a JBOF or node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Drive {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// Media technology.
+    #[serde(rename = "MediaType")]
+    pub media_type: MediaType,
+    /// Size in bytes.
+    #[serde(rename = "CapacityBytes")]
+    pub capacity_bytes: u64,
+    /// Negotiated interface speed in Gbit/s.
+    #[serde(rename = "CapableSpeedGbs")]
+    pub capable_speed_gbs: f64,
+    /// Health/state.
+    #[serde(rename = "Status")]
+    pub status: Status,
+}
+
+impl Drive {
+    /// Build an SSD of `capacity_bytes`.
+    pub fn ssd(collection: &ODataId, id: &str, capacity_bytes: u64) -> Self {
+        Drive {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            media_type: MediaType::SSD,
+            capacity_bytes,
+            capable_speed_gbs: 6.0,
+            status: Status::ok(),
+        }
+    }
+}
+
+impl Resource for Drive {
+    const ODATA_TYPE: &'static str = "#Drive.v1_17_0.Drive";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_free_bytes_accounting() {
+        let col = ODataId::new("/redfish/v1/StorageServices/nvmeof0/StoragePools");
+        let mut p = StoragePool::new(&col, "pool0", 1 << 40);
+        assert_eq!(p.free_bytes(), 1 << 40);
+        p.capacity.allocated_bytes = 1 << 39;
+        assert_eq!(p.free_bytes(), 1 << 39);
+        p.capacity.allocated_bytes = u64::MAX;
+        assert_eq!(p.free_bytes(), 0); // saturates, never underflows
+    }
+
+    #[test]
+    fn volume_links_back_to_pool() {
+        let pools = ODataId::new("/redfish/v1/StorageServices/s0/StoragePools");
+        let vols = ODataId::new("/redfish/v1/StorageServices/s0/Volumes");
+        let v = Volume::new(&vols, "ns1", 1 << 30, &pools.child("pool0"));
+        let j = v.to_value();
+        assert_eq!(j["Links"]["StoragePool"]["@odata.id"], "/redfish/v1/StorageServices/s0/StoragePools/pool0");
+    }
+
+    #[test]
+    fn drive_wire_shape() {
+        let col = ODataId::new("/redfish/v1/StorageServices/s0/Drives");
+        let d = Drive::ssd(&col, "ssd0", 894 * 1_000_000_000);
+        assert_eq!(d.to_value()["MediaType"], "SSD");
+    }
+}

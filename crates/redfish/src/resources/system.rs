@@ -1,0 +1,129 @@
+//! The `ComputerSystem` resource — physical nodes and OFMF-composed systems.
+
+use crate::enums::{PowerState, SystemType};
+use crate::odata::{Link, ODataId, ResourceHeader};
+use crate::resources::Resource;
+use crate::status::Status;
+use serde::{Deserialize, Serialize};
+
+/// Summary of processor resources bound to a system.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProcessorSummary {
+    /// Number of processor devices.
+    #[serde(rename = "Count")]
+    pub count: u32,
+    /// Total core count across devices.
+    #[serde(rename = "CoreCount")]
+    pub core_count: u32,
+}
+
+/// Summary of memory resources bound to a system.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MemorySummary {
+    /// Total byte-addressable capacity in GiB (local + fabric-attached).
+    #[serde(rename = "TotalSystemMemoryGiB")]
+    pub total_system_memory_gib: u64,
+}
+
+/// A computer system: either a conventional server discovered by an agent or
+/// a `Composed` system assembled by the Composability Manager from
+/// disaggregated blocks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComputerSystem {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// Physical, Composed or Virtual.
+    #[serde(rename = "SystemType")]
+    pub system_type: SystemType,
+    /// Power state.
+    #[serde(rename = "PowerState")]
+    pub power_state: PowerState,
+    /// Health/state.
+    #[serde(rename = "Status")]
+    pub status: Status,
+    /// Processor roll-up.
+    #[serde(rename = "ProcessorSummary")]
+    pub processor_summary: ProcessorSummary,
+    /// Memory roll-up.
+    #[serde(rename = "MemorySummary")]
+    pub memory_summary: MemorySummary,
+    /// Link section.
+    #[serde(rename = "Links")]
+    pub links: SystemLinks,
+}
+
+/// Link section of a computer system.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SystemLinks {
+    /// Chassis containing the system.
+    #[serde(rename = "Chassis", default)]
+    pub chassis: Vec<Link>,
+    /// Fabric endpoints belonging to this system (its initiator ports).
+    #[serde(rename = "Endpoints", default)]
+    pub endpoints: Vec<Link>,
+    /// Resource blocks composing this system (Composed systems only).
+    #[serde(rename = "ResourceBlocks", default)]
+    pub resource_blocks: Vec<Link>,
+}
+
+impl ComputerSystem {
+    /// Build a physical system under the Systems collection.
+    pub fn physical(collection: &ODataId, id: &str, cores: u32, memory_gib: u64) -> Self {
+        ComputerSystem {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            system_type: SystemType::Physical,
+            power_state: PowerState::On,
+            status: Status::ok(),
+            processor_summary: ProcessorSummary { count: 2, core_count: cores },
+            memory_summary: MemorySummary { total_system_memory_gib: memory_gib },
+            links: SystemLinks::default(),
+        }
+    }
+
+    /// Build a composed system shell (resource blocks are linked in by the
+    /// Composability Manager as composition proceeds).
+    pub fn composed(collection: &ODataId, id: &str, name: &str) -> Self {
+        ComputerSystem {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, name)
+                .describe("System composed by the OFMF Composability Manager"),
+            system_type: SystemType::Composed,
+            power_state: PowerState::Off,
+            status: Status::ok().with_state(crate::status::State::Starting),
+            processor_summary: ProcessorSummary::default(),
+            memory_summary: MemorySummary::default(),
+            links: SystemLinks::default(),
+        }
+    }
+}
+
+impl Resource for ComputerSystem {
+    const ODATA_TYPE: &'static str = "#ComputerSystem.v1_20_0.ComputerSystem";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composed_system_starts_in_starting_state() {
+        let col = ODataId::new("/redfish/v1/Systems");
+        let s = ComputerSystem::composed(&col, "job42", "composed for job 42");
+        let v = s.to_value();
+        assert_eq!(v["SystemType"], "Composed");
+        assert_eq!(v["Status"]["State"], "Starting");
+        assert_eq!(v["PowerState"], "Off");
+    }
+
+    #[test]
+    fn physical_system_summaries() {
+        let col = ODataId::new("/redfish/v1/Systems");
+        let s = ComputerSystem::physical(&col, "cn01", 56, 128);
+        assert_eq!(s.processor_summary.core_count, 56);
+        assert_eq!(s.to_value()["MemorySummary"]["TotalSystemMemoryGiB"], 128);
+    }
+}

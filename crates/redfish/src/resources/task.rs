@@ -1,0 +1,94 @@
+//! The `Task` resource: long-running OFMF operations (compositions,
+//! large zone changes) exposed with task monitors.
+
+use crate::odata::{ODataId, ResourceHeader};
+use crate::resources::Resource;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+/// Lifecycle of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TaskState {
+    /// Accepted, not yet started.
+    #[default]
+    New,
+    /// Running.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Finished with an error.
+    Exception,
+    /// Cancelled by a client.
+    Cancelled,
+}
+
+impl TaskState {
+    /// Whether the task has reached a terminal state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, TaskState::Completed | TaskState::Exception | TaskState::Cancelled)
+    }
+}
+
+/// A long-running operation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Task {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// Lifecycle state.
+    #[serde(rename = "TaskState")]
+    pub task_state: TaskState,
+    /// Percent complete (0-100).
+    #[serde(rename = "PercentComplete")]
+    pub percent_complete: u8,
+    /// Result payload once completed (e.g. the composed system's id).
+    #[serde(rename = "Payload", skip_serializing_if = "Option::is_none")]
+    pub payload: Option<Value>,
+    /// Human readable messages accumulated during execution.
+    #[serde(rename = "Messages", default)]
+    pub messages: Vec<String>,
+}
+
+impl Task {
+    /// Build a new (not yet started) task.
+    pub fn new(collection: &ODataId, id: &str, name: &str) -> Self {
+        Task {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, name),
+            task_state: TaskState::New,
+            percent_complete: 0,
+            payload: None,
+            messages: Vec::new(),
+        }
+    }
+}
+
+impl Resource for Task {
+    const ODATA_TYPE: &'static str = "#Task.v1_7_0.Task";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_states() {
+        assert!(!TaskState::New.is_terminal());
+        assert!(!TaskState::Running.is_terminal());
+        assert!(TaskState::Completed.is_terminal());
+        assert!(TaskState::Exception.is_terminal());
+        assert!(TaskState::Cancelled.is_terminal());
+    }
+
+    #[test]
+    fn task_wire_shape() {
+        let t = Task::new(&ODataId::new("/redfish/v1/TaskService/Tasks"), "42", "Compose job42");
+        let v = t.to_value();
+        assert_eq!(v["TaskState"], "New");
+        assert_eq!(v["PercentComplete"], 0);
+        assert!(v.get("Payload").is_none());
+    }
+}

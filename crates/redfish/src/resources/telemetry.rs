@@ -1,0 +1,97 @@
+//! Telemetry resources: `MetricReport` and metric values.
+//!
+//! Agents stream hardware telemetry (temperatures, port counters,
+//! utilization) into the OFMF telemetry service, which aggregates them into
+//! periodic `MetricReport`s for subscribed clients.
+
+use crate::odata::{ODataId, ResourceHeader};
+use crate::resources::Resource;
+use serde::{Deserialize, Serialize};
+
+/// One sampled metric value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricValue {
+    /// Metric identifier, e.g. `PortRxBandwidthGbps`.
+    #[serde(rename = "MetricId")]
+    pub metric_id: String,
+    /// The sampled value rendered as a string per the schema.
+    #[serde(rename = "MetricValue")]
+    pub metric_value: String,
+    /// The resource the sample describes.
+    #[serde(rename = "MetricProperty")]
+    pub metric_property: String,
+    /// Milliseconds (service clock) of the sample.
+    #[serde(rename = "Timestamp")]
+    pub timestamp_ms: u64,
+}
+
+impl MetricValue {
+    /// Build a sample of a numeric metric.
+    pub fn sample(metric_id: &str, value: f64, origin: &ODataId, timestamp_ms: u64) -> Self {
+        MetricValue {
+            metric_id: metric_id.to_string(),
+            metric_value: format!("{value}"),
+            metric_property: origin.as_str().to_string(),
+            timestamp_ms,
+        }
+    }
+
+    /// Parse the value back to a float (telemetry consumers).
+    pub fn value_f64(&self) -> Option<f64> {
+        self.metric_value.parse().ok()
+    }
+}
+
+/// A generated report: a window of samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricReport {
+    /// Common resource members.
+    #[serde(flatten)]
+    pub header: ResourceHeader,
+    /// The samples in this report.
+    #[serde(rename = "MetricValues")]
+    pub metric_values: Vec<MetricValue>,
+    /// Sequence number of the report.
+    #[serde(rename = "ReportSequence")]
+    pub report_sequence: u64,
+}
+
+impl MetricReport {
+    /// Build a report.
+    pub fn new(collection: &ODataId, id: &str, sequence: u64, values: Vec<MetricValue>) -> Self {
+        MetricReport {
+            header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
+            metric_values: values,
+            report_sequence: sequence,
+        }
+    }
+}
+
+impl Resource for MetricReport {
+    const ODATA_TYPE: &'static str = "#MetricReport.v1_5_0.MetricReport";
+
+    fn odata_id(&self) -> &ODataId {
+        &self.header.odata_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_roundtrips_value() {
+        let m = MetricValue::sample("TemperatureCelsius", 61.5, &ODataId::new("/redfish/v1/Chassis/c0"), 99);
+        assert_eq!(m.value_f64(), Some(61.5));
+        assert_eq!(m.metric_property, "/redfish/v1/Chassis/c0");
+    }
+
+    #[test]
+    fn report_wire_shape() {
+        let col = ODataId::new("/redfish/v1/TelemetryService/MetricReports");
+        let r = MetricReport::new(&col, "r1", 3, vec![]);
+        let v = r.to_value();
+        assert_eq!(v["ReportSequence"], 3);
+        assert!(v["MetricValues"].as_array().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests: registry and merge-patch invariants.
+
+use proptest::prelude::*;
+use redfish_model::odata::{ETag, ODataId};
+use redfish_model::patch::merge_patch;
+use redfish_model::{RedfishError, Registry};
+use serde_json::{json, Value};
+
+/// A small alphabet of member ids so operations collide often.
+fn member_id() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["a", "b", "c", "d", "e"]).prop_map(str::to_string)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(String),
+    Patch(String, i64),
+    Delete(String),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        member_id().prop_map(Op::Create),
+        (member_id(), any::<i64>()).prop_map(|(m, v)| Op::Patch(m, v)),
+        member_id().prop_map(Op::Delete),
+    ]
+}
+
+fn setup() -> (Registry, ODataId) {
+    let reg = Registry::new();
+    let root = ODataId::new("/redfish/v1");
+    reg.create(&root, json!({"Name": "root"})).unwrap();
+    let col = root.child("Things");
+    reg.create_collection(&col, "#ThingCollection.ThingCollection", "Things").unwrap();
+    (reg, col)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any operation sequence, the collection's Members list matches
+    /// exactly the set of live children, and the count member matches.
+    #[test]
+    fn collection_membership_is_consistent(ops in prop::collection::vec(op(), 1..60)) {
+        let (reg, col) = setup();
+        let mut live: std::collections::BTreeSet<String> = Default::default();
+        for o in ops {
+            match o {
+                Op::Create(m) => {
+                    let r = reg.create(&col.child(&m), json!({"Name": m}));
+                    match r {
+                        Ok(_) => { prop_assert!(live.insert(m)); }
+                        Err(RedfishError::AlreadyExists(_)) => { prop_assert!(live.contains(&m)); }
+                        Err(e) => return Err(TestCaseError::fail(format!("create: {e}"))),
+                    }
+                }
+                Op::Patch(m, v) => {
+                    let r = reg.patch(&col.child(&m), &json!({"Value": v}), None);
+                    prop_assert_eq!(r.is_ok(), live.contains(&m));
+                }
+                Op::Delete(m) => {
+                    let r = reg.delete(&col.child(&m));
+                    prop_assert_eq!(r.is_ok(), live.remove(&m));
+                }
+            }
+            // Invariant check after every step.
+            let members = reg.members(&col).unwrap();
+            let member_set: std::collections::BTreeSet<String> =
+                members.iter().map(|m| m.leaf().to_string()).collect();
+            prop_assert_eq!(&member_set, &live);
+            let body = reg.get(&col).unwrap().body;
+            prop_assert_eq!(body["Members@odata.count"].as_u64().unwrap() as usize, live.len());
+        }
+    }
+
+    /// ETags only ever move forward, and a successful conditional patch
+    /// with the observed tag always succeeds exactly once.
+    #[test]
+    fn etags_are_monotonic(values in prop::collection::vec(any::<i32>(), 1..30)) {
+        let (reg, col) = setup();
+        let id = col.child("x");
+        let mut last = reg.create(&id, json!({"Name": "x"})).unwrap();
+        for v in values {
+            let tag = reg.get(&id).unwrap().etag;
+            prop_assert!(tag.0 >= last.0);
+            let new = reg.patch(&id, &json!({"V": v}), Some(tag)).unwrap();
+            prop_assert!(new.0 > tag.0);
+            // Replaying the same conditional patch must now fail.
+            let replay = reg.patch(&id, &json!({"V": v}), Some(tag));
+            let stale = matches!(replay, Err(RedfishError::PreconditionFailed { .. }));
+            prop_assert!(stale);
+            last = new;
+        }
+    }
+
+    /// RFC 7386: applying the same patch twice equals applying it once
+    /// (merge-patch is idempotent for any document/patch pair).
+    #[test]
+    fn merge_patch_is_idempotent(doc in arb_json(3), patch in arb_json(3)) {
+        let mut once = doc.clone();
+        merge_patch(&mut once, &patch);
+        let mut twice = once.clone();
+        merge_patch(&mut twice, &patch);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Merging into an empty document prunes every null-valued *member*
+    /// (nulls inside arrays are data and are copied verbatim per RFC 7386).
+    #[test]
+    fn no_null_members_survive_merge(doc in arb_json(3)) {
+        let mut out = json!({});
+        merge_patch(&mut out, &doc);
+        prop_assert!(!has_null_member(&out), "{out}");
+    }
+
+    /// Wire ETag headers round-trip for any version.
+    #[test]
+    fn etag_header_roundtrip(v in any::<u64>()) {
+        let t = ETag(v);
+        prop_assert_eq!(ETag::parse_header(&t.to_header()), Some(t));
+    }
+
+    /// ODataId parent/child round-trips for valid member names.
+    #[test]
+    fn odata_child_parent_roundtrip(seg in "[a-zA-Z0-9_.-]{1,16}") {
+        let base = ODataId::new("/redfish/v1/Systems");
+        let child = base.child(&seg);
+        prop_assert_eq!(child.parent().unwrap(), base);
+        prop_assert_eq!(child.leaf(), seg.as_str());
+    }
+}
+
+/// True if any *object member* is null (array elements don't count: merge
+/// semantics only delete members, array values are opaque data).
+fn has_null_member(v: &Value) -> bool {
+    match v {
+        Value::Object(m) => m.values().any(|x| x.is_null() || has_null_member(x)),
+        _ => false,
+    }
+}
+
+/// Small arbitrary JSON documents (objects at the top level).
+fn arb_json(depth: u32) -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(|i| json!(i)),
+        "[a-z]{0,6}".prop_map(|s| json!(s)),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Value::Array),
+            prop::collection::btree_map("[a-c]{1}", inner, 0..4)
+                .prop_map(|m| Value::Object(m.into_iter().collect())),
+        ]
+    })
+}

@@ -1,0 +1,137 @@
+//! A minimal blocking HTTP/1.1 client for tests, examples and benches.
+
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A parsed client-side response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, keys lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// Body parsed as JSON.
+    pub fn json(&self) -> Option<Value> {
+        serde_json::from_slice(&self.body).ok()
+    }
+
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A keep-alive HTTP client bound to one server address.
+pub struct HttpClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    /// Token sent as `X-Auth-Token` on every request when set.
+    pub token: Option<String>,
+}
+
+impl HttpClient {
+    /// Client for `addr`.
+    pub fn new(addr: SocketAddr) -> Self {
+        HttpClient { addr, stream: None, token: None }
+    }
+
+    /// Issue `method path` with an optional JSON body.
+    pub fn request(&mut self, method: &str, path: &str, body: Option<&Value>) -> std::io::Result<ClientResponse> {
+        // One reconnect attempt covers server-side keep-alive closure.
+        match self.request_once(method, path, body) {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                self.stream = None;
+                self.request_once(method, path, body)
+            }
+        }
+    }
+
+    fn request_once(&mut self, method: &str, path: &str, body: Option<&Value>) -> std::io::Result<ClientResponse> {
+        if self.stream.is_none() {
+            self.stream = Some(TcpStream::connect(self.addr)?);
+        }
+        let stream = self.stream.as_mut().expect("just connected");
+        let payload = body.map(|b| serde_json::to_vec(b).expect("serializable"));
+        let mut req = format!("{method} {path} HTTP/1.1\r\nHost: ofmf\r\n");
+        if let Some(t) = &self.token {
+            req.push_str(&format!("X-Auth-Token: {t}\r\n"));
+        }
+        if let Some(p) = &payload {
+            req.push_str(&format!("Content-Type: application/json\r\nContent-Length: {}\r\n", p.len()));
+        }
+        req.push_str("\r\n");
+        stream.write_all(req.as_bytes())?;
+        if let Some(p) = &payload {
+            stream.write_all(p)?;
+        }
+        stream.flush()?;
+
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                let k = k.trim().to_ascii_lowercase();
+                let v = v.trim().to_string();
+                if k == "content-length" {
+                    content_length = v.parse().unwrap_or(0);
+                }
+                if k == "connection" && v.eq_ignore_ascii_case("close") {
+                    close = true;
+                }
+                headers.push((k, v));
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        if close {
+            self.stream = None;
+        }
+        Ok(ClientResponse { status, headers, body })
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &Value) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// `PATCH path` with a JSON body.
+    pub fn patch(&mut self, path: &str, body: &Value) -> std::io::Result<ClientResponse> {
+        self.request("PATCH", path, Some(body))
+    }
+
+    /// `DELETE path`.
+    pub fn delete(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("DELETE", path, None)
+    }
+}

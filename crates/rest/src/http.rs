@@ -1,0 +1,299 @@
+//! Minimal, strict HTTP/1.1 message handling.
+//!
+//! Only what a Redfish service needs: request-line + headers + optional
+//! `Content-Length` body. Bodies are bounded; anything malformed is an
+//! explicit parse error that the server answers with `400`.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Largest accepted request body (1 MiB — Redfish payloads are small).
+pub const MAX_BODY: usize = 1 << 20;
+
+/// Largest accepted header section.
+pub const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// An HTTP method the OFMF understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Read a resource.
+    Get,
+    /// Create a member / invoke an action.
+    Post,
+    /// Merge-update a resource.
+    Patch,
+    /// Remove a resource.
+    Delete,
+    /// Headers-only read.
+    Head,
+}
+
+impl Method {
+    /// Parse a method token.
+    pub fn parse(s: &str) -> Option<Method> {
+        Some(match s {
+            "GET" => Method::Get,
+            "POST" => Method::Post,
+            "PATCH" => Method::Patch,
+            "DELETE" => Method::Delete,
+            "HEAD" => Method::Head,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The method.
+    pub method: Method,
+    /// Path component of the request target (query string stripped).
+    pub path: String,
+    /// Query string, if any (without `?`).
+    pub query: Option<String>,
+    /// Headers, keys lower-cased.
+    pub headers: BTreeMap<String, String>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A header value (key matched case-insensitively).
+    pub fn header(&self, key: &str) -> Option<&str> {
+        self.headers.get(&key.to_ascii_lowercase()).map(String::as_str)
+    }
+
+    /// Whether the client asked to keep the connection open.
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(c) if c.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Errors while reading a request.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Connection closed before a full request arrived.
+    ConnectionClosed,
+    /// A read timed out while the connection was idle (the server checks
+    /// its shutdown flag and resumes or closes).
+    IdleTimeout,
+    /// The bytes are not valid HTTP.
+    Malformed(&'static str),
+    /// The body or header section exceeds the bounds.
+    TooLarge,
+    /// Unsupported method token.
+    BadMethod,
+}
+
+fn io_err(e: std::io::Error) -> ParseError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ParseError::IdleTimeout,
+        _ => ParseError::ConnectionClosed,
+    }
+}
+
+/// Read one request from `stream`.
+pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> Result<Request, ParseError> {
+    let mut line = String::new();
+    let n = match reader.read_line(&mut line) {
+        Ok(n) => n,
+        // A timeout with bytes already consumed would desync the stream on
+        // retry, so only a clean idle timeout is resumable.
+        Err(e) if line.is_empty() => return Err(io_err(e)),
+        Err(_) => return Err(ParseError::ConnectionClosed),
+    };
+    if n == 0 {
+        return Err(ParseError::ConnectionClosed);
+    }
+    let line = line.trim_end();
+    let mut parts = line.split(' ');
+    let method = Method::parse(parts.next().unwrap_or("")).ok_or(ParseError::BadMethod)?;
+    let target = parts.next().ok_or(ParseError::Malformed("missing request target"))?;
+    let version = parts.next().ok_or(ParseError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed("unsupported HTTP version"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut headers = BTreeMap::new();
+    let mut header_bytes = 0;
+    loop {
+        let mut h = String::new();
+        let n = reader.read_line(&mut h).map_err(|_| ParseError::ConnectionClosed)?;
+        if n == 0 {
+            return Err(ParseError::ConnectionClosed);
+        }
+        header_bytes += n;
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(ParseError::TooLarge);
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        let Some((k, v)) = h.split_once(':') else {
+            return Err(ParseError::Malformed("header without colon"));
+        };
+        headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+    }
+
+    let body = match headers.get("content-length") {
+        Some(cl) => {
+            let len: usize = cl.parse().map_err(|_| ParseError::Malformed("bad content-length"))?;
+            if len > MAX_BODY {
+                return Err(ParseError::TooLarge);
+            }
+            let mut buf = vec![0u8; len];
+            reader.read_exact(&mut buf).map_err(|_| ParseError::ConnectionClosed)?;
+            buf
+        }
+        None => Vec::new(),
+    };
+
+    Ok(Request { method, path, query, headers, body })
+}
+
+/// A response to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers (sent as given).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: &serde_json::Value) -> Response {
+        let body = serde_json::to_vec(body).expect("serializable");
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json; charset=utf-8".into())],
+            body,
+        }
+    }
+
+    /// An empty response.
+    pub fn empty(status: u16) -> Response {
+        Response { status, headers: Vec::new(), body: Vec::new() }
+    }
+
+    /// Add a header (builder style).
+    #[must_use]
+    pub fn with_header(mut self, k: &str, v: &str) -> Response {
+        self.headers.push((k.to_string(), v.to_string()));
+        self
+    }
+
+    /// Write the response to `w`. `keep_alive` controls the Connection
+    /// header.
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        let reason = reason_phrase(self.status);
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason)?;
+        for (k, v) in &self.headers {
+            write!(w, "{k}: {v}\r\n")?;
+        }
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        write!(w, "Connection: {}\r\n", if keep_alive { "keep-alive" } else { "close" })?;
+        write!(w, "OData-Version: 4.0\r\n")?;
+        write!(w, "\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Standard reason phrase for the codes the OFMF emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        204 => "No Content",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        412 => "Precondition Failed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        507 => "Insufficient Storage",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        read_request(&mut BufReader::new(Cursor::new(raw.as_bytes().to_vec())))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let r = parse("GET /redfish/v1/Systems?$expand=. HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.path, "/redfish/v1/Systems");
+        assert_eq!(r.query.as_deref(), Some("$expand=."));
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let body = r#"{"a":1}"#;
+        let raw = format!(
+            "POST /redfish/v1/Systems HTTP/1.1\r\nContent-Length: {}\r\nX-Auth-Token: t\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let r = parse(&raw).unwrap();
+        assert_eq!(r.method, Method::Post);
+        assert_eq!(r.header("x-auth-token"), Some("t"));
+        assert_eq!(r.body, body.as_bytes());
+    }
+
+    #[test]
+    fn rejects_bad_method_and_version() {
+        assert_eq!(parse("BREW /x HTTP/1.1\r\n\r\n").unwrap_err(), ParseError::BadMethod);
+        assert!(matches!(parse("GET /x SPDY/3\r\n\r\n").unwrap_err(), ParseError::Malformed(_)));
+        assert!(matches!(parse("GET\r\n\r\n").unwrap_err(), ParseError::Malformed(_)));
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert_eq!(parse(&raw).unwrap_err(), ParseError::TooLarge);
+    }
+
+    #[test]
+    fn connection_close_detected() {
+        let r = parse("GET /x HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive());
+    }
+
+    #[test]
+    fn empty_stream_is_connection_closed() {
+        assert_eq!(parse("").unwrap_err(), ParseError::ConnectionClosed);
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_odata_version() {
+        let resp = Response::json(200, &serde_json::json!({"ok": true})).with_header("ETag", "W/\"1\"");
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf, true).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("ETag: W/\"1\"\r\n"));
+        assert!(text.contains("OData-Version: 4.0\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # ofmf-rest
+//!
+//! The OFMF's RESTful north-bound interface, built from scratch on
+//! `std::net` (no async runtime): "a centralized abstract management layer
+//! that exposes a RESTful API … transactions are stateless and lightweight,
+//! consisting of JSON data carried on OData".
+//!
+//! * [`http`] — a small, strict HTTP/1.1 request parser and response
+//!   serializer (keep-alive aware, bounded bodies).
+//! * [`query`] — OData query options: `$expand`, `$select`, `$top`, `$skip`.
+//! * [`router`] — maps `GET/POST/PATCH/DELETE` on tree paths to [`ofmf_core::Ofmf`]
+//!   operations: session login, event subscriptions with long-poll-style
+//!   draining, ETag/If-Match concurrency, Redfish error bodies.
+//! * [`server`] — a thread-per-connection server over a bounded worker pool
+//!   (idiomatic per *Rust Atomics and Locks*), with graceful shutdown.
+//! * [`client`] — a minimal blocking HTTP client used by tests, examples and
+//!   benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod query;
+pub mod router;
+pub mod server;
+
+pub use client::HttpClient;
+pub use router::Router;
+pub use server::RestServer;

@@ -1,0 +1,137 @@
+//! OData query options on GET: `$expand`, `$select`, `$top`, `$skip`.
+//!
+//! Redfish clients use these to trim payloads: `$select` projects members,
+//! `$top`/`$skip` paginate collection `Members`, `$expand` inlines them.
+
+use serde_json::{Map, Value};
+
+/// Parsed query options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryOptions {
+    /// Inline collection members (`$expand=.` or `$expand=*`).
+    pub expand: bool,
+    /// Project these top-level members (plus `@odata.*` control data).
+    pub select: Option<Vec<String>>,
+    /// Return at most this many collection members.
+    pub top: Option<usize>,
+    /// Skip this many collection members first.
+    pub skip: Option<usize>,
+}
+
+impl QueryOptions {
+    /// Parse a raw query string (already stripped of `?`).
+    pub fn parse(raw: &str) -> QueryOptions {
+        let mut q = QueryOptions::default();
+        for pair in raw.split('&') {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            match k {
+                "$expand" => q.expand = true,
+                "$select" => {
+                    q.select = Some(
+                        v.split(',')
+                            .map(str::trim)
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string)
+                            .collect(),
+                    )
+                }
+                "$top" => q.top = v.parse().ok(),
+                "$skip" => q.skip = v.parse().ok(),
+                _ => {} // unknown options are ignored per the spec
+            }
+        }
+        q
+    }
+
+    /// Whether anything must be applied at all.
+    pub fn is_noop(&self) -> bool {
+        self == &QueryOptions::default()
+    }
+
+    /// Apply pagination and projection to a response body, in the spec's
+    /// order: paginate `Members` first, then project.
+    pub fn apply(&self, mut body: Value) -> Value {
+        if self.skip.is_some() || self.top.is_some() {
+            if let Some(members) = body.get_mut("Members").and_then(Value::as_array_mut) {
+                let skip = self.skip.unwrap_or(0);
+                let top = self.top.unwrap_or(usize::MAX);
+                let page: Vec<Value> = members.iter().skip(skip).take(top).cloned().collect();
+                *members = page;
+            }
+        }
+        if let Some(select) = &self.select {
+            if let Value::Object(obj) = body {
+                let mut out = Map::new();
+                for (k, v) in obj {
+                    if k.starts_with("@odata.") || select.iter().any(|s| s == &k) {
+                        out.insert(k, v);
+                    }
+                }
+                body = Value::Object(out);
+            }
+        }
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn parses_all_options() {
+        let q = QueryOptions::parse("$expand=.&$select=Name,Status&$top=5&$skip=10");
+        assert!(q.expand);
+        assert_eq!(q.select.as_deref(), Some(&["Name".to_string(), "Status".to_string()][..]));
+        assert_eq!(q.top, Some(5));
+        assert_eq!(q.skip, Some(10));
+        assert!(QueryOptions::parse("").is_noop());
+        assert!(QueryOptions::parse("unknown=1").is_noop());
+    }
+
+    #[test]
+    fn select_projects_but_keeps_odata_control_data() {
+        let q = QueryOptions::parse("$select=Name");
+        let out = q.apply(json!({
+            "@odata.id": "/redfish/v1/Systems/x",
+            "@odata.type": "#ComputerSystem.v1.ComputerSystem",
+            "Name": "x",
+            "Status": {"State": "Enabled"},
+            "PowerState": "On",
+        }));
+        assert_eq!(out["Name"], "x");
+        assert_eq!(out["@odata.id"], "/redfish/v1/Systems/x");
+        assert!(out.get("Status").is_none());
+        assert!(out.get("PowerState").is_none());
+    }
+
+    #[test]
+    fn pagination_slices_members() {
+        let q = QueryOptions::parse("$top=2&$skip=1");
+        let out = q.apply(json!({
+            "Members": [{"n": 0}, {"n": 1}, {"n": 2}, {"n": 3}],
+            "Members@odata.count": 4,
+        }));
+        let m = out["Members"].as_array().unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0]["n"], 1);
+        assert_eq!(m[1]["n"], 2);
+        // The total count member is untouched (it reports the full size).
+        assert_eq!(out["Members@odata.count"], 4);
+    }
+
+    #[test]
+    fn skip_past_end_is_empty() {
+        let q = QueryOptions::parse("$skip=99");
+        let out = q.apply(json!({"Members": [{"n": 0}]}));
+        assert!(out["Members"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn noop_passthrough() {
+        let q = QueryOptions::parse("");
+        let body = json!({"a": 1, "Members": [1, 2, 3]});
+        assert_eq!(q.apply(body.clone()), body);
+    }
+}

@@ -1,0 +1,469 @@
+//! Routing: HTTP requests → OFMF operations → HTTP responses.
+
+use crate::http::{Method, Request, Response};
+use crossbeam::channel::Receiver;
+use ofmf_core::Ofmf;
+use parking_lot::Mutex;
+use redfish_model::odata::{ETag, ODataId};
+use redfish_model::path::{in_service_tree, top};
+use redfish_model::resources::events::{Event, EventType};
+use redfish_model::RedfishError;
+use serde_json::{json, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The OFMF request router.
+pub struct Router {
+    ofmf: Arc<Ofmf>,
+    /// Whether requests (other than the service root and session login)
+    /// must carry a valid `X-Auth-Token`.
+    require_auth: bool,
+    /// Delivery queues of REST-created subscriptions, drained via
+    /// `GET …/Subscriptions/{id}/Events`.
+    sub_queues: Mutex<HashMap<String, Receiver<Event>>>,
+}
+
+impl Router {
+    /// New router; `require_auth` gates everything but `GET /redfish/v1`
+    /// and session creation.
+    pub fn new(ofmf: Arc<Ofmf>, require_auth: bool) -> Self {
+        Router { ofmf, require_auth, sub_queues: Mutex::new(HashMap::new()) }
+    }
+
+    /// Handle one request.
+    pub fn handle(&self, req: &Request) -> Response {
+        if !in_service_tree(&req.path) && req.path != "/redfish" {
+            return error_response(&RedfishError::NotFound(ODataId::new(req.path.as_str())));
+        }
+        if req.path == "/redfish" {
+            return Response::json(200, &json!({"v1": "/redfish/v1/"}));
+        }
+
+        // Authentication.
+        let is_login = req.method == Method::Post && req.path.trim_end_matches('/') == top::SESSIONS;
+        let is_root = req.method == Method::Get && req.path.trim_end_matches('/') == "/redfish/v1";
+        if self.require_auth && !is_login && !is_root {
+            let token = req.header("x-auth-token").unwrap_or("");
+            if self.ofmf.sessions.authenticate(&self.ofmf.registry, token).is_err() {
+                return error_response(&RedfishError::Unauthorized);
+            }
+        }
+
+        let path = ODataId::new(req.path.as_str());
+        match req.method {
+            Method::Get | Method::Head => self.get(req, &path),
+            Method::Post => self.post(req, &path),
+            Method::Patch => self.patch(req, &path),
+            Method::Delete => self.delete(req, &path),
+        }
+    }
+
+    fn get(&self, req: &Request, path: &ODataId) -> Response {
+        // Subscription event drain: GET …/Subscriptions/{id}/Events
+        if let Some(parent) = path.parent() {
+            if path.leaf() == "Events" && parent.as_str().starts_with(top::SUBSCRIPTIONS) {
+                return self.drain_subscription(parent.leaf());
+            }
+        }
+        let opts = crate::query::QueryOptions::parse(req.query.as_deref().unwrap_or(""));
+        if opts.expand {
+            return match self.ofmf.registry.expand(path) {
+                Ok(body) => Response::json(200, &opts.apply(body)),
+                Err(e) => error_response(&e),
+            };
+        }
+        match self.ofmf.get(path) {
+            Ok((body, etag)) => {
+                let body = if opts.is_noop() { body } else { opts.apply(body) };
+                let mut resp = Response::json(200, &body).with_header("ETag", &etag.to_header());
+                if req.method == Method::Head {
+                    resp.body.clear();
+                }
+                resp
+            }
+            Err(e) => error_response(&e),
+        }
+    }
+
+    fn post(&self, req: &Request, path: &ODataId) -> Response {
+        let body: Value = match serde_json::from_slice(&req.body) {
+            Ok(v) => v,
+            Err(e) => {
+                return error_response(&RedfishError::BadRequest(format!("invalid JSON body: {e}")))
+            }
+        };
+        let normalized = path.as_str().trim_end_matches('/');
+        if normalized == top::SESSIONS {
+            return self.login(&body);
+        }
+        if normalized == top::SUBSCRIPTIONS {
+            return self.subscribe(&body);
+        }
+        // Redfish actions: POST …/Actions/ComputerSystem.Reset
+        if normalized.ends_with("/Actions/ComputerSystem.Reset") {
+            let system = ODataId::new(normalized.trim_end_matches("/Actions/ComputerSystem.Reset"));
+            let reset_type = body
+                .get("ResetType")
+                .and_then(Value::as_str)
+                .unwrap_or("GracefulRestart");
+            return match self.ofmf.reset_system(&system, reset_type) {
+                Ok(()) => Response::empty(204),
+                Err(e) => error_response(&e),
+            };
+        }
+        match self.ofmf.post(path, &body) {
+            Ok(rid) => {
+                let (doc, etag) = match self.ofmf.get(&rid) {
+                    Ok(x) => x,
+                    Err(e) => return error_response(&e),
+                };
+                Response::json(201, &doc)
+                    .with_header("Location", rid.as_str())
+                    .with_header("ETag", &etag.to_header())
+            }
+            Err(e) => error_response(&e),
+        }
+    }
+
+    fn patch(&self, req: &Request, path: &ODataId) -> Response {
+        let body: Value = match serde_json::from_slice(&req.body) {
+            Ok(v) => v,
+            Err(e) => {
+                return error_response(&RedfishError::BadRequest(format!("invalid JSON body: {e}")))
+            }
+        };
+        let if_match = req.header("if-match").and_then(ETag::parse_header);
+        if req.header("if-match").is_some() && if_match.is_none() {
+            return error_response(&RedfishError::BadRequest("unparseable If-Match".into()));
+        }
+        match self.ofmf.patch(path, &body, if_match) {
+            Ok(etag) => match self.ofmf.get(path) {
+                Ok((doc, _)) => Response::json(200, &doc).with_header("ETag", &etag.to_header()),
+                Err(e) => error_response(&e),
+            },
+            Err(e) => error_response(&e),
+        }
+    }
+
+    fn delete(&self, req: &Request, path: &ODataId) -> Response {
+        // Session logout deletes via the session service so the token dies.
+        if let Some(parent) = path.parent() {
+            if parent.as_str() == top::SESSIONS {
+                let token = req.header("x-auth-token").unwrap_or("");
+                return match self.ofmf.sessions.logout(&self.ofmf.registry, token) {
+                    Ok(()) => Response::empty(204),
+                    Err(e) => error_response(&e),
+                };
+            }
+            if parent.as_str() == top::SUBSCRIPTIONS {
+                self.sub_queues.lock().remove(path.leaf());
+                return match self.ofmf.events.unsubscribe(&self.ofmf.registry, path.leaf()) {
+                    Ok(()) => Response::empty(204),
+                    Err(e) => error_response(&e),
+                };
+            }
+        }
+        match self.ofmf.delete(path) {
+            Ok(()) => Response::empty(204),
+            Err(e) => error_response(&e),
+        }
+    }
+
+    fn login(&self, body: &Value) -> Response {
+        let user = body.get("UserName").and_then(Value::as_str).unwrap_or("");
+        let password = body.get("Password").and_then(Value::as_str).unwrap_or("");
+        match self.ofmf.sessions.login(&self.ofmf.registry, user, password) {
+            Ok((token, sid)) => {
+                let (doc, _) = self.ofmf.get(&sid).unwrap_or((json!({}), ETag::INITIAL));
+                Response::json(201, &doc)
+                    .with_header("Location", sid.as_str())
+                    .with_header("X-Auth-Token", &token)
+            }
+            Err(e) => error_response(&e),
+        }
+    }
+
+    fn subscribe(&self, body: &Value) -> Response {
+        let destination = body
+            .get("Destination")
+            .and_then(Value::as_str)
+            .unwrap_or("rest-poll://");
+        let event_types: Vec<EventType> = body
+            .get("EventTypes")
+            .and_then(Value::as_array)
+            .map(|a| {
+                a.iter()
+                    .filter_map(|v| serde_json::from_value(v.clone()).ok())
+                    .collect()
+            })
+            .unwrap_or_default();
+        let origins: Vec<ODataId> = body
+            .get("OriginResources")
+            .and_then(Value::as_array)
+            .map(|a| {
+                a.iter()
+                    .filter_map(|v| v.get("@odata.id").and_then(Value::as_str).map(ODataId::new))
+                    .collect()
+            })
+            .unwrap_or_default();
+        match self
+            .ofmf
+            .events
+            .subscribe(&self.ofmf.registry, destination, event_types, origins)
+        {
+            Ok((id, rx)) => {
+                self.sub_queues.lock().insert(id.clone(), rx);
+                let sid = ODataId::new(top::SUBSCRIPTIONS).child(&id);
+                let (doc, _) = self.ofmf.get(&sid).unwrap_or((json!({}), ETag::INITIAL));
+                Response::json(201, &doc).with_header("Location", sid.as_str())
+            }
+            Err(e) => error_response(&e),
+        }
+    }
+
+    fn drain_subscription(&self, sub_id: &str) -> Response {
+        let queues = self.sub_queues.lock();
+        let Some(rx) = queues.get(sub_id) else {
+            return error_response(&RedfishError::NotFound(
+                ODataId::new(top::SUBSCRIPTIONS).child(sub_id).child("Events"),
+            ));
+        };
+        let mut batches = Vec::new();
+        while let Ok(ev) = rx.try_recv() {
+            batches.push(serde_json::to_value(&ev).expect("events serialize"));
+        }
+        Response::json(200, &json!({"Events": batches, "Count": batches.len()}))
+    }
+}
+
+/// Render a Redfish error as a response.
+pub fn error_response(e: &RedfishError) -> Response {
+    Response::json(e.http_status(), &e.to_body())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn req(method: Method, path: &str, body: &str) -> Request {
+        Request {
+            method,
+            path: path.to_string(),
+            query: None,
+            headers: BTreeMap::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn open_router() -> Router {
+        Router::new(Ofmf::new("router-test", HashMap::new(), 3), false)
+    }
+
+    #[test]
+    fn get_service_root() {
+        let r = open_router();
+        let resp = r.handle(&req(Method::Get, "/redfish/v1", ""));
+        assert_eq!(resp.status, 200);
+        let v: Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["RedfishVersion"], "1.15.0");
+        assert!(resp.headers.iter().any(|(k, _)| k == "ETag"));
+    }
+
+    #[test]
+    fn version_discovery_document() {
+        let r = open_router();
+        let resp = r.handle(&req(Method::Get, "/redfish", ""));
+        assert_eq!(resp.status, 200);
+        let v: Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["v1"], "/redfish/v1/");
+    }
+
+    #[test]
+    fn paths_outside_tree_404() {
+        let r = open_router();
+        assert_eq!(r.handle(&req(Method::Get, "/etc/passwd", "")).status, 404);
+        assert_eq!(r.handle(&req(Method::Get, "/redfish/v2/x", "")).status, 404);
+    }
+
+    #[test]
+    fn post_then_get_then_patch_then_delete() {
+        let r = open_router();
+        let resp = r.handle(&req(Method::Post, "/redfish/v1/Systems", r#"{"Id":"cn0","Name":"cn0"}"#));
+        assert_eq!(resp.status, 201);
+        let loc = resp
+            .headers
+            .iter()
+            .find(|(k, _)| k == "Location")
+            .map(|(_, v)| v.clone())
+            .unwrap();
+        assert_eq!(loc, "/redfish/v1/Systems/cn0");
+
+        let resp = r.handle(&req(Method::Get, &loc, ""));
+        assert_eq!(resp.status, 200);
+
+        let resp = r.handle(&req(Method::Patch, &loc, r#"{"Name":"renamed"}"#));
+        assert_eq!(resp.status, 200);
+        let v: Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["Name"], "renamed");
+
+        let resp = r.handle(&req(Method::Delete, &loc, ""));
+        assert_eq!(resp.status, 204);
+        assert_eq!(r.handle(&req(Method::Get, &loc, "")).status, 404);
+    }
+
+    #[test]
+    fn invalid_json_is_400_with_redfish_error_body() {
+        let r = open_router();
+        let resp = r.handle(&req(Method::Post, "/redfish/v1/Systems", "{nope"));
+        assert_eq!(resp.status, 400);
+        let v: Value = serde_json::from_slice(&resp.body).unwrap();
+        assert!(v["error"]["code"].as_str().unwrap().starts_with("Base."));
+    }
+
+    #[test]
+    fn if_match_enforced() {
+        let r = open_router();
+        r.handle(&req(Method::Post, "/redfish/v1/Systems", r#"{"Id":"cn0","Name":"a"}"#));
+        let mut p = req(Method::Patch, "/redfish/v1/Systems/cn0", r#"{"Name":"b"}"#);
+        p.headers.insert("if-match".into(), "W/\"999\"".into());
+        assert_eq!(r.handle(&p).status, 412);
+        p.headers.insert("if-match".into(), "garbage".into());
+        assert_eq!(r.handle(&p).status, 400);
+    }
+
+    #[test]
+    fn auth_gates_everything_but_root_and_login() {
+        let mut creds = HashMap::new();
+        creds.insert("admin".to_string(), "pw".to_string());
+        let ofmf = Ofmf::new("auth-test", creds, 3);
+        let r = Router::new(ofmf, true);
+
+        assert_eq!(r.handle(&req(Method::Get, "/redfish/v1", "")).status, 200, "root open");
+        assert_eq!(r.handle(&req(Method::Get, "/redfish/v1/Systems", "")).status, 401);
+
+        let login = r.handle(&req(
+            Method::Post,
+            "/redfish/v1/SessionService/Sessions",
+            r#"{"UserName":"admin","Password":"pw"}"#,
+        ));
+        assert_eq!(login.status, 201);
+        let token = login
+            .headers
+            .iter()
+            .find(|(k, _)| k == "X-Auth-Token")
+            .map(|(_, v)| v.clone())
+            .unwrap();
+
+        let mut authed = req(Method::Get, "/redfish/v1/Systems", "");
+        authed.headers.insert("x-auth-token".into(), token.clone());
+        assert_eq!(r.handle(&authed).status, 200);
+
+        // Logout kills the token.
+        let mut logout = req(Method::Delete, &format!("{}/1", top::SESSIONS), "");
+        logout.headers.insert("x-auth-token".into(), token);
+        assert_eq!(r.handle(&logout).status, 204);
+        assert_eq!(r.handle(&authed).status, 401);
+
+        let bad = r.handle(&req(
+            Method::Post,
+            "/redfish/v1/SessionService/Sessions",
+            r#"{"UserName":"admin","Password":"wrong"}"#,
+        ));
+        assert_eq!(bad.status, 401);
+    }
+
+    #[test]
+    fn subscription_create_and_drain() {
+        let r = open_router();
+        let resp = r.handle(&req(
+            Method::Post,
+            "/redfish/v1/EventService/Subscriptions",
+            r#"{"Destination":"rest-poll://","EventTypes":["Alert"]}"#,
+        ));
+        assert_eq!(resp.status, 201);
+        let loc = resp
+            .headers
+            .iter()
+            .find(|(k, _)| k == "Location")
+            .map(|(_, v)| v.clone())
+            .unwrap();
+
+        // Nothing yet.
+        let drained = r.handle(&req(Method::Get, &format!("{loc}/Events"), ""));
+        let v: Value = serde_json::from_slice(&drained.body).unwrap();
+        assert_eq!(v["Count"], 0);
+
+        // Publish an alert; it shows up on the next drain.
+        r.ofmf
+            .events
+            .publish(EventType::Alert, &ODataId::new("/redfish/v1/Chassis/x"), "hot", "Warning");
+        let drained = r.handle(&req(Method::Get, &format!("{loc}/Events"), ""));
+        let v: Value = serde_json::from_slice(&drained.body).unwrap();
+        assert_eq!(v["Count"], 1);
+        assert_eq!(v["Events"][0]["Events"][0]["Severity"], "Warning");
+
+        // Unsubscribe.
+        assert_eq!(r.handle(&req(Method::Delete, &loc, "")).status, 204);
+        assert_eq!(r.handle(&req(Method::Get, &format!("{loc}/Events"), "")).status, 404);
+    }
+
+    #[test]
+    fn expand_query_inlines_members() {
+        let r = open_router();
+        r.handle(&req(Method::Post, "/redfish/v1/Systems", r#"{"Id":"a","Name":"a"}"#));
+        r.handle(&req(Method::Post, "/redfish/v1/Systems", r#"{"Id":"b","Name":"b"}"#));
+        let mut g = req(Method::Get, "/redfish/v1/Systems", "");
+        g.query = Some("$expand=.".to_string());
+        let resp = r.handle(&g);
+        let v: Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["Members"].as_array().unwrap().len(), 2);
+        assert_eq!(v["Members"][0]["Name"], "a");
+    }
+
+    #[test]
+    fn reset_action_toggles_power_state() {
+        let r = open_router();
+        r.handle(&req(
+            Method::Post,
+            "/redfish/v1/Systems",
+            r##"{"Id":"cn0","Name":"cn0","@odata.type":"#ComputerSystem.v1_20_0.ComputerSystem","PowerState":"On"}"##,
+        ));
+        let resp = r.handle(&req(
+            Method::Post,
+            "/redfish/v1/Systems/cn0/Actions/ComputerSystem.Reset",
+            r#"{"ResetType":"ForceOff"}"#,
+        ));
+        assert_eq!(resp.status, 204);
+        let got = r.handle(&req(Method::Get, "/redfish/v1/Systems/cn0", ""));
+        let v: Value = serde_json::from_slice(&got.body).unwrap();
+        assert_eq!(v["PowerState"], "Off");
+        // Bad reset type is a 400; unknown system a 404; non-system a 405.
+        let resp = r.handle(&req(
+            Method::Post,
+            "/redfish/v1/Systems/cn0/Actions/ComputerSystem.Reset",
+            r#"{"ResetType":"Sideways"}"#,
+        ));
+        assert_eq!(resp.status, 400);
+        let resp = r.handle(&req(
+            Method::Post,
+            "/redfish/v1/Systems/ghost/Actions/ComputerSystem.Reset",
+            r#"{"ResetType":"On"}"#,
+        ));
+        assert_eq!(resp.status, 404);
+        let resp = r.handle(&req(
+            Method::Post,
+            "/redfish/v1/Chassis/Actions/ComputerSystem.Reset",
+            r#"{"ResetType":"On"}"#,
+        ));
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn head_returns_no_body() {
+        let r = open_router();
+        let resp = r.handle(&req(Method::Head, "/redfish/v1", ""));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.is_empty());
+    }
+}

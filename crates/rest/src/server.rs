@@ -1,0 +1,159 @@
+//! The REST server: a bounded worker pool over `std::net::TcpListener`.
+//!
+//! Connections are accepted on a dedicated thread and handed to workers via
+//! a bounded crossbeam channel (back-pressure instead of unbounded thread
+//! spawn). Each worker serves its connection's requests until the client
+//! closes or asks `Connection: close`. Shutdown is cooperative: a flag plus
+//! a self-connection to unblock `accept`.
+
+use crate::http::{read_request, ParseError, Response};
+use crate::router::Router;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Maximum queued-but-unserved connections.
+const ACCEPT_BACKLOG: usize = 64;
+
+/// A running REST server.
+pub struct RestServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl RestServer {
+    /// Bind `bind_addr` (use port 0 for an ephemeral port) and serve
+    /// `router` on `workers` worker threads.
+    pub fn start(bind_addr: &str, router: Arc<Router>, workers: usize) -> std::io::Result<RestServer> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(ACCEPT_BACKLOG);
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers.max(1) {
+            let rx = rx.clone();
+            let router = Arc::clone(&router);
+            let worker_shutdown = Arc::clone(&shutdown);
+            let handle = std::thread::Builder::new()
+                .name(format!("ofmf-rest-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(stream) = rx.recv() {
+                        serve_connection(stream, &router, &worker_shutdown);
+                        if worker_shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn rest worker");
+            worker_handles.push(handle);
+        }
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let acceptor = std::thread::Builder::new()
+            .name("ofmf-rest-acceptor".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match stream {
+                        Ok(s) => {
+                            // Blocking send applies back-pressure when all
+                            // workers are busy and the backlog is full.
+                            if tx.send(s).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // Dropping tx closes the worker channel.
+            })
+            .expect("spawn rest acceptor");
+
+        Ok(RestServer { addr, shutdown, acceptor: Some(acceptor), workers: worker_handles })
+    }
+
+    /// The bound address (for clients when port 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Base URL, e.g. `http://127.0.0.1:8421`.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Stop accepting, drain workers, join threads.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for RestServer {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+fn serve_connection(stream: TcpStream, router: &Router, shutdown: &AtomicBool) {
+    // A short read timeout lets idle keep-alive connections observe the
+    // shutdown flag instead of pinning a worker forever.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(req) => {
+                let keep = req.keep_alive();
+                let resp = router.handle(&req);
+                if resp.write_to(&mut writer, keep).is_err() {
+                    return;
+                }
+                if !keep {
+                    return;
+                }
+            }
+            Err(ParseError::ConnectionClosed) => return,
+            Err(ParseError::IdleTimeout) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(e) => {
+                let status = match e {
+                    ParseError::TooLarge => 413,
+                    ParseError::BadMethod => 405,
+                    _ => 400,
+                };
+                let body = serde_json::json!({
+                    "error": {"code": "Base.1.0.MalformedJSON", "message": format!("{e:?}")}
+                });
+                let _ = Response::json(status, &body).write_to(&mut writer, false);
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The burst-buffer interference study (the supplied paper text's
+//! evaluation section), at smoke scale: five experiment classes × several
+//! HPL sizes over the cluster simulator, with 95 % confidence intervals.
+//!
+//! The full paper-scale sweep lives in the bench harness
+//! (`cargo run -p ofmf-bench --bin fig_multinode`).
+//!
+//! Run with: `cargo run --release --example interference_study`
+
+use cluster_sim::experiment::{run, ExperimentClass, ExperimentPlan, Layout};
+use cluster_sim::node::NodeSpec;
+use cluster_sim::workload::ior::IorParams;
+
+fn main() {
+    let spec = NodeSpec::thunderx2();
+    println!("node model: {} cores, {} GiB, {} GFLOPS sustained\n", spec.cores, spec.memory_gib, spec.gflops);
+
+    // Show the experiment layouts (Fig. process-layout).
+    println!("experiment classes (n = 4 example):");
+    for class in ExperimentClass::ALL {
+        let l = Layout::build(class, 4);
+        let (k, m) = class.k_m(4);
+        println!(
+            "  {:26} k={k} m={m} allocation={:2} nodes, HPL on {:?}",
+            class.label(),
+            l.allocation_size(),
+            l.hpl_nodes()
+        );
+    }
+
+    // Run the smoke sweep.
+    let plan = ExperimentPlan::smoke(42);
+    println!("\nrunning {} classes × {:?} nodes × {} reps…", plan.classes.len(), plan.node_counts, plan.reps);
+    let results = run(&plan, &spec);
+
+    println!("\n{:26} {:>5} {:>10} {:>18} {:>9}", "class", "n", "mean (s)", "95% CI (s)", "vs Lustre");
+    for &n in &plan.node_counts {
+        let lustre = results
+            .iter()
+            .find(|r| r.class == ExperimentClass::MatchingLustre && r.n == n)
+            .unwrap();
+        for class in ExperimentClass::ALL {
+            let r = results.iter().find(|r| r.class == class && r.n == n).unwrap();
+            println!(
+                "{:26} {:>5} {:>10.1} [{:>7.1}, {:>7.1}] {:>+8.1}%",
+                class.label(),
+                n,
+                r.runtime.mean,
+                r.runtime.ci_low,
+                r.runtime.ci_high,
+                r.runtime.rel_diff(&lustre.runtime) * 100.0
+            );
+        }
+        println!();
+    }
+
+    // The headline observations, verified live:
+    let at = |c: ExperimentClass, n: usize| {
+        results.iter().find(|r| r.class == c && r.n == n).unwrap().runtime.clone()
+    };
+    let n = *plan.node_counts.last().unwrap();
+    let lustre = at(ExperimentClass::MatchingLustre, n);
+    let hpl_only = at(ExperimentClass::HplOnly, n);
+    let matching = at(ExperimentClass::MatchingBeeond, n);
+    println!("observations at n = {n}:");
+    println!(
+        "  idle BeeOND daemons cost {:+.1}% vs the daemon-free Lustre control",
+        hpl_only.rel_diff(&lustre) * 100.0
+    );
+    println!(
+        "  matching IOR over BeeOND costs {:+.1}% vs HPL-only",
+        matching.rel_diff(&hpl_only) * 100.0
+    );
+    println!("\nIOR invocation modeled (Table III): {}", IorParams::default().command_line());
+}

@@ -1,0 +1,65 @@
+//! Quickstart: boot an OFMF with three fabric agents, walk the unified
+//! Redfish tree, and compose a system from disaggregated pools.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use composer::{Composer, CompositionRequest, Strategy};
+use ofmf_repro::demo_rig;
+use redfish_model::odata::ODataId;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Boot: one OFMF, three technology-specific agents (CXL memory,
+    //    NVMe-oF storage, InfiniBand accelerators), each managing its own
+    //    simulated fabric.
+    let rig = demo_rig(2026);
+    println!("== OFMF booted ==");
+    for info in rig.ofmf.agent_infos() {
+        println!("  fabric {:8} technology {:16} agent {}", info.fabric_id, info.technology, info.version);
+    }
+
+    // 2. The whole disaggregated infrastructure is one Redfish tree.
+    let (root, _) = rig.ofmf.get(&ODataId::new("/redfish/v1")).unwrap();
+    println!("\n== Service root ==\n{}", serde_json::to_string_pretty(&root).unwrap());
+    println!("tree size: {} resources", rig.ofmf.registry.len());
+
+    // 3. Ask the Composability Manager for a system: 32 cores, 64 GiB
+    //    local, 128 GiB fabric memory, 1 GPU, 512 GiB NVMe.
+    let composer = Composer::new(Arc::clone(&rig.ofmf), Strategy::TopologyAware);
+    let request = CompositionRequest::compute_only("quickstart-job", 32, 64)
+        .with_fabric_memory_mib(128 * 1024)
+        .with_gpus(1)
+        .with_storage_bytes(512 << 30);
+    let system = composer.compose(&request).expect("pools cover the request");
+
+    println!("\n== Composed system ==");
+    println!("  system:   {}", system.system);
+    println!("  node:     {}", system.node);
+    for b in &system.bindings {
+        println!(
+            "  binding:  {:?} {:>12} units on {} via {}",
+            b.kind, b.size, b.resource, b.fabric
+        );
+    }
+    let (doc, _) = rig.ofmf.get(&system.system).unwrap();
+    println!(
+        "  memory:   {} GiB total (local + fabric)",
+        doc["MemorySummary"]["TotalSystemMemoryGiB"]
+    );
+
+    // 4. Inventory reflects the consumption…
+    let inv = composer.inventory();
+    println!("\n== Remaining pools ==");
+    println!("  free compute nodes: {}", inv.compute.len());
+    println!("  free fabric memory: {} MiB", inv.free_memory_mib());
+    println!("  free GPUs:          {}", inv.free_gpus());
+    println!("  free storage:       {} bytes", inv.free_storage_bytes());
+
+    // 5. …and decomposition returns everything to the pools.
+    composer.decompose(&system.system).unwrap();
+    let inv = composer.inventory();
+    println!("\n== After decompose ==");
+    println!("  free compute nodes: {}", inv.compute.len());
+    println!("  free fabric memory: {} MiB", inv.free_memory_mib());
+    println!("  free GPUs:          {}", inv.free_gpus());
+}

@@ -1,0 +1,118 @@
+//! The wire path: start the OFMF REST server on localhost, then drive it
+//! with real HTTP — session login, tree walking, zone + connection
+//! creation, event polling.
+//!
+//! Run with: `cargo run --example rest_client`
+
+use ofmf_repro::demo_rig;
+use ofmf_rest::{HttpClient, RestServer, Router};
+use serde_json::json;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn main() {
+    // Boot an OFMF that requires authentication.
+    let mut creds = HashMap::new();
+    creds.insert("admin".to_string(), "Sup3rSecret".to_string());
+    let ofmf = ofmf_core::Ofmf::new_wall("rest-example", creds, 5);
+    // Reuse the demo agents.
+    let rig = demo_rig(5);
+    // (demo_rig made its own OFMF; for the wire demo we serve *that* tree,
+    //  open-access, plus the authenticated one just for the login demo.)
+    let open_router = Arc::new(Router::new(Arc::clone(&rig.ofmf), false));
+    let auth_router = Arc::new(Router::new(ofmf, true));
+    let open = RestServer::start("127.0.0.1:0", open_router, 4).unwrap();
+    let auth = RestServer::start("127.0.0.1:0", auth_router, 2).unwrap();
+    println!("open OFMF serving at  {}", open.base_url());
+    println!("auth OFMF serving at  {}\n", auth.base_url());
+
+    // --- authenticated service: login dance ---
+    let mut ac = HttpClient::new(auth.addr());
+    let denied = ac.get("/redfish/v1/Systems").unwrap();
+    println!("GET /redfish/v1/Systems without a token -> {}", denied.status);
+    let login = ac
+        .post("/redfish/v1/SessionService/Sessions", &json!({"UserName": "admin", "Password": "Sup3rSecret"}))
+        .unwrap();
+    let token = login.header("x-auth-token").unwrap().to_string();
+    println!("POST Sessions -> {} (token {}…)", login.status, &token[..12]);
+    ac.token = Some(token);
+    println!("GET /redfish/v1/Systems with the token -> {}\n", ac.get("/redfish/v1/Systems").unwrap().status);
+
+    // --- open service: compose over the wire ---
+    let mut c = HttpClient::new(open.addr());
+    let fabrics = c.get("/redfish/v1/Fabrics").unwrap().json().unwrap();
+    println!("fabrics: {}", fabrics["Members@odata.count"]);
+
+    // Subscribe to alerts first so we can poll what happens.
+    let sub = c
+        .post(
+            "/redfish/v1/EventService/Subscriptions",
+            &json!({"Destination": "rest-poll://example", "EventTypes": ["ResourceAdded"]}),
+        )
+        .unwrap();
+    let sub_loc = sub.header("location").unwrap().to_string();
+
+    let zone = c
+        .post(
+            "/redfish/v1/Fabrics/CXL0/Zones",
+            &json!({"Id": "wire-zone", "Links": {"Endpoints": [
+                {"@odata.id": "/redfish/v1/Fabrics/CXL0/Endpoints/cn00-ep"},
+                {"@odata.id": "/redfish/v1/Fabrics/CXL0/Endpoints/mem00-ep"},
+            ]}}),
+        )
+        .unwrap();
+    println!("POST zone -> {} at {}", zone.status, zone.header("location").unwrap());
+
+    let conn = c
+        .post(
+            "/redfish/v1/Fabrics/CXL0/Connections",
+            &json!({
+                "Id": "wire-conn",
+                "Zone": {"@odata.id": "/redfish/v1/Fabrics/CXL0/Zones/wire-zone"},
+                "Size": 2048,
+                "Links": {
+                    "InitiatorEndpoints": [{"@odata.id": "/redfish/v1/Fabrics/CXL0/Endpoints/cn00-ep"}],
+                    "TargetEndpoints": [{"@odata.id": "/redfish/v1/Fabrics/CXL0/Endpoints/mem00-ep"}],
+                }
+            }),
+        )
+        .unwrap();
+    println!("POST connection -> {} at {}", conn.status, conn.header("location").unwrap());
+
+    let chunk = c
+        .get("/redfish/v1/Chassis/mem00/MemoryDomains/dom0/MemoryChunks?$expand=.")
+        .unwrap()
+        .json()
+        .unwrap();
+    println!("chunk carved: {} MiB", chunk["Members"][0]["MemoryChunkSizeMiB"]);
+
+    // Poll the subscription.
+    let events = c.get(&format!("{sub_loc}/Events")).unwrap().json().unwrap();
+    println!("subscription saw {} event batch(es)", events["Count"]);
+
+    // ETag discipline: a stale If-Match is refused.
+    let sys = c.get("/redfish/v1/Systems/cn00").unwrap();
+    let etag = sys.header("etag").unwrap().to_string();
+    println!("\ncn00 etag: {etag}");
+    let stale = {
+        // Manually send a PATCH with a bogus If-Match via a raw request.
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(open.addr()).unwrap();
+        let body = r#"{"Name":"hijack"}"#;
+        write!(
+            s,
+            "PATCH /redfish/v1/Systems/cn00 HTTP/1.1\r\nHost: x\r\nIf-Match: W/\"9999\"\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    };
+    println!("stale If-Match PATCH -> {}", stale.lines().next().unwrap());
+
+    open.shutdown();
+    auth.shutdown();
+    println!("\nservers shut down cleanly");
+}

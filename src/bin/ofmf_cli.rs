@@ -1,0 +1,172 @@
+//! `ofmf_cli` — a small Redfish client for an `ofmfd` instance.
+//!
+//! ```text
+//! Usage: ofmf_cli [--server HOST:PORT] [--token T] COMMAND [ARGS]
+//!
+//! Commands:
+//!   get PATH                 GET a resource (pretty-printed)
+//!   members PATH             list a collection's member ids
+//!   post PATH JSON           create a member
+//!   patch PATH JSON          merge-patch a resource
+//!   delete PATH              delete a resource
+//!   login USER PASSWORD      create a session, print the token
+//!   log [N]                  show the last N event-log entries (default 10)
+//!   tree [PREFIX]            walk collections breadth-first from PREFIX
+//! ```
+
+use ofmf_rest::client::HttpClient;
+use serde_json::Value;
+use std::net::SocketAddr;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => {}
+        Err(msg) => {
+            eprintln!("ofmf_cli: {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(mut args: Vec<String>) -> Result<(), String> {
+    let mut server = "127.0.0.1:8421".to_string();
+    let mut token = None;
+    while args.first().map(String::as_str) == Some("--server")
+        || args.first().map(String::as_str) == Some("--token")
+    {
+        let flag = args.remove(0);
+        if args.is_empty() {
+            return Err(format!("{flag} requires a value"));
+        }
+        let v = args.remove(0);
+        if flag == "--server" {
+            server = v;
+        } else {
+            token = Some(v);
+        }
+    }
+    let addr: SocketAddr = server
+        .parse()
+        .map_err(|e| format!("bad --server address '{server}': {e}"))?;
+    let mut client = HttpClient::new(addr);
+    client.token = token;
+
+    let cmd = args.first().cloned().ok_or("no command; try: get /redfish/v1")?;
+    let arg = |i: usize| -> Result<&str, String> {
+        args.get(i).map(String::as_str).ok_or_else(|| format!("{cmd} needs more arguments"))
+    };
+
+    match cmd.as_str() {
+        "get" => {
+            let r = client.get(arg(1)?).map_err(stringify)?;
+            print_response(&r)
+        }
+        "members" => {
+            let r = client.get(arg(1)?).map_err(stringify)?;
+            check(&r)?;
+            let v = r.json().ok_or("non-JSON response")?;
+            let members = v["Members"].as_array().ok_or("not a collection")?;
+            for m in members {
+                println!("{}", m["@odata.id"].as_str().unwrap_or("?"));
+            }
+            Ok(())
+        }
+        "post" => {
+            let body: Value = serde_json::from_str(arg(2)?).map_err(|e| format!("bad JSON: {e}"))?;
+            let r = client.post(arg(1)?, &body).map_err(stringify)?;
+            if let Some(loc) = r.header("location") {
+                eprintln!("created: {loc}");
+            }
+            print_response(&r)
+        }
+        "patch" => {
+            let body: Value = serde_json::from_str(arg(2)?).map_err(|e| format!("bad JSON: {e}"))?;
+            let r = client.patch(arg(1)?, &body).map_err(stringify)?;
+            print_response(&r)
+        }
+        "delete" => {
+            let r = client.delete(arg(1)?).map_err(stringify)?;
+            check(&r)?;
+            eprintln!("deleted ({})", r.status);
+            Ok(())
+        }
+        "login" => {
+            let body = serde_json::json!({"UserName": arg(1)?, "Password": arg(2)?});
+            let r = client
+                .post("/redfish/v1/SessionService/Sessions", &body)
+                .map_err(stringify)?;
+            check(&r)?;
+            println!("{}", r.header("x-auth-token").ok_or("no token in response")?);
+            Ok(())
+        }
+        "log" => {
+            let n: usize = args.get(1).map_or(Ok(10), |s| s.parse()).map_err(|e| format!("bad N: {e}"))?;
+            let r = client
+                .get("/redfish/v1/Managers/OFMF/LogServices/EventLog/Entries?$expand=.")
+                .map_err(stringify)?;
+            check(&r)?;
+            let v = r.json().ok_or("non-JSON response")?;
+            let entries = v["Members"].as_array().ok_or("no entries")?;
+            for e in entries.iter().rev().take(n).collect::<Vec<_>>().into_iter().rev() {
+                println!(
+                    "[{:>8}] {:8} {}",
+                    e["Created"].as_u64().unwrap_or(0),
+                    e["Severity"].as_str().unwrap_or("?"),
+                    e["Message"].as_str().unwrap_or("?"),
+                );
+            }
+            Ok(())
+        }
+        "tree" => {
+            let prefix = args.get(1).map(String::as_str).unwrap_or("/redfish/v1").to_string();
+            let mut queue = vec![prefix];
+            let mut seen = std::collections::BTreeSet::new();
+            while let Some(path) = queue.pop() {
+                if !seen.insert(path.clone()) {
+                    continue;
+                }
+                let Ok(r) = client.get(&path) else { continue };
+                if r.status != 200 {
+                    continue;
+                }
+                let Some(v) = r.json() else { continue };
+                let ty = v["@odata.type"].as_str().unwrap_or("");
+                println!("{path}  {ty}");
+                if let Some(members) = v["Members"].as_array() {
+                    for m in members {
+                        if let Some(id) = m["@odata.id"].as_str() {
+                            queue.push(id.to_string());
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn stringify(e: std::io::Error) -> String {
+    format!("connection failed: {e}")
+}
+
+fn check(r: &ofmf_rest::client::ClientResponse) -> Result<(), String> {
+    if r.status >= 400 {
+        let msg = r
+            .json()
+            .and_then(|v| v["error"]["message"].as_str().map(str::to_string))
+            .unwrap_or_default();
+        return Err(format!("HTTP {}: {msg}", r.status));
+    }
+    Ok(())
+}
+
+fn print_response(r: &ofmf_rest::client::ClientResponse) -> Result<(), String> {
+    check(r)?;
+    match r.json() {
+        Some(v) => println!("{}", serde_json::to_string_pretty(&v).unwrap()),
+        None => println!("{}", String::from_utf8_lossy(&r.body)),
+    }
+    Ok(())
+}

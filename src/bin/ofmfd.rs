@@ -1,0 +1,135 @@
+//! `ofmfd` — the OFMF daemon: boots the management framework with the three
+//! simulated fabric agents and serves the Redfish tree over HTTP, polling
+//! agents for events/telemetry on a fixed cadence.
+//!
+//! ```text
+//! Usage: ofmfd [--port N] [--nodes N] [--targets N] [--seed N]
+//!              [--auth USER:PASSWORD] [--poll-ms N] [--workers N]
+//! ```
+//!
+//! Example session:
+//!
+//! ```text
+//! $ cargo run --bin ofmfd -- --port 8421 &
+//! $ curl -s http://127.0.0.1:8421/redfish/v1 | jq .RedfishVersion
+//! "1.15.0"
+//! ```
+
+use ofmf_agents::flavors::{cxl_agent, infiniband_agent, nvmeof_agent, RackShape};
+use ofmf_core::Ofmf;
+use ofmf_rest::{RestServer, Router};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Config {
+    port: u16,
+    nodes: usize,
+    targets: usize,
+    seed: u64,
+    auth: Option<(String, String)>,
+    poll_ms: u64,
+    workers: usize,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut cfg = Config {
+        port: 8421,
+        nodes: 4,
+        targets: 2,
+        seed: 2026,
+        auth: None,
+        poll_ms: 500,
+        workers: 8,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--port" => cfg.port = value("--port")?.parse().map_err(|e| format!("--port: {e}"))?,
+            "--nodes" => cfg.nodes = value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--targets" => {
+                cfg.targets = value("--targets")?.parse().map_err(|e| format!("--targets: {e}"))?
+            }
+            "--seed" => cfg.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--poll-ms" => {
+                cfg.poll_ms = value("--poll-ms")?.parse().map_err(|e| format!("--poll-ms: {e}"))?
+            }
+            "--workers" => {
+                cfg.workers = value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--auth" => {
+                let v = value("--auth")?;
+                let (u, p) = v
+                    .split_once(':')
+                    .ok_or_else(|| "--auth expects USER:PASSWORD".to_string())?;
+                cfg.auth = Some((u.to_string(), p.to_string()));
+            }
+            "--help" | "-h" => {
+                return Err("usage: ofmfd [--port N] [--nodes N] [--targets N] [--seed N] \
+                            [--auth USER:PASSWORD] [--poll-ms N] [--workers N]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let cfg = match parse_args() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut creds = HashMap::new();
+    let require_auth = cfg.auth.is_some();
+    if let Some((u, p)) = &cfg.auth {
+        creds.insert(u.clone(), p.clone());
+    }
+    let ofmf = Ofmf::new_wall("ofmfd", creds, cfg.seed);
+
+    let shape = RackShape {
+        compute_nodes: cfg.nodes,
+        targets: cfg.targets,
+        leaves: (cfg.nodes / 8).max(2),
+        spines: 2,
+        ..RackShape::default()
+    };
+    ofmf.register_agent(Arc::new(cxl_agent("CXL0", &shape, 1 << 20, cfg.seed ^ 1)))
+        .expect("fresh tree");
+    ofmf.register_agent(Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, cfg.seed ^ 2)))
+        .expect("fresh tree");
+    ofmf.register_agent(Arc::new(infiniband_agent("IB0", &shape, "A100", cfg.seed ^ 3)))
+        .expect("fresh tree");
+
+    let router = Arc::new(Router::new(Arc::clone(&ofmf), require_auth));
+    let server = match RestServer::start(&format!("0.0.0.0:{}", cfg.port), router, cfg.workers) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind port {}: {e}", cfg.port);
+            std::process::exit(1);
+        }
+    };
+
+    println!("ofmfd: serving {} resources at {}", ofmf.registry.len(), server.base_url());
+    println!("ofmfd: fabrics {:?}", ofmf.fabric_ids());
+    println!(
+        "ofmfd: auth {}, polling agents every {} ms",
+        if require_auth { "required" } else { "open" },
+        cfg.poll_ms
+    );
+
+    // Poll loop on the main thread; the server owns its own threads.
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(cfg.poll_ms));
+        let events = ofmf.poll();
+        if events > 0 {
+            println!("ofmfd: processed {events} agent event(s)");
+        }
+    }
+}

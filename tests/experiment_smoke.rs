@@ -1,0 +1,86 @@
+//! Smoke-scale reproduction checks: the interference study's orderings and
+//! claims hold end-to-end, deterministically, at test-friendly sizes.
+
+use cluster_sim::experiment::{
+    run, run_one_via_wlm, ExperimentClass, ExperimentPlan, Layout,
+};
+use cluster_sim::node::NodeSpec;
+use cluster_sim::workload::hpl::TABLE_II;
+use cluster_sim::workload::ior::IorParams;
+
+#[test]
+fn class_orderings_hold_at_smoke_scale() {
+    let spec = NodeSpec::thunderx2();
+    let mut plan = ExperimentPlan::smoke(2026);
+    plan.node_counts = vec![4, 16];
+    let results = run(&plan, &spec);
+    for &n in &plan.node_counts {
+        let mean = |c: ExperimentClass| {
+            results
+                .iter()
+                .find(|r| r.class == c && r.n == n)
+                .unwrap()
+                .runtime
+                .mean
+        };
+        let lustre = mean(ExperimentClass::MatchingLustre);
+        let hpl_only = mean(ExperimentClass::HplOnly);
+        let single = mean(ExperimentClass::SingleBeeond);
+        let matching = mean(ExperimentClass::MatchingBeeond);
+        assert!(lustre < hpl_only, "n={n}: daemon-free is fastest");
+        assert!(hpl_only < single, "n={n}: active IOR beats idle daemons");
+        assert!(single < matching, "n={n}: matching IOR is worst");
+    }
+}
+
+#[test]
+fn full_sweep_is_deterministic_across_runs() {
+    let spec = NodeSpec::thunderx2();
+    let mut plan = ExperimentPlan::smoke(7);
+    plan.node_counts = vec![4];
+    let a = run(&plan, &spec);
+    let b = run(&plan, &spec);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.runtime, y.runtime, "{:?}@{}", x.class, x.n);
+    }
+}
+
+#[test]
+fn hpl_table_constants_are_embedded() {
+    // Table II is carried verbatim for cross-checking.
+    assert_eq!(TABLE_II[0].n, 91048);
+    assert_eq!(TABLE_II[7].n, 458853);
+    assert_eq!((TABLE_II[7].p, TABLE_II[7].q), (112, 64));
+}
+
+#[test]
+fn wlm_integration_covers_every_class() {
+    let spec = NodeSpec::thunderx2();
+    for class in ExperimentClass::ALL {
+        let r = run_one_via_wlm(class, 2, &spec, 11);
+        assert!(r.payload_s > 0.0, "{class:?}");
+        assert!(r.total_s > r.payload_s, "{class:?}: hooks add occupancy");
+        if class.loads_beeond() {
+            assert!(r.prolog_s < 3.0, "{class:?}: assembly budget");
+            assert!(r.epilog_s < 6.0, "{class:?}: teardown budget");
+        }
+    }
+}
+
+#[test]
+fn layouts_and_noise_are_serializable() {
+    // Harnesses serialize results (serde) — the whole chain must round-trip
+    // to JSON without panicking.
+    let layout = Layout::build(ExperimentClass::MatchingBeeondNoMeta, 8);
+    let j = serde_json::to_string(&layout).unwrap();
+    assert!(j.contains("Separator"));
+    let spec = NodeSpec::thunderx2();
+    let mut plan = ExperimentPlan::smoke(1);
+    plan.node_counts = vec![1];
+    plan.classes = vec![ExperimentClass::HplOnly];
+    let results = run(&plan, &spec);
+    let j = serde_json::to_string(&results).unwrap();
+    assert!(j.contains("runtime"));
+    let _ = IorParams::default().command_line();
+}

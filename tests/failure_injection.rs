@@ -1,0 +1,217 @@
+//! Failure injection across the stack: agent-process death, fabric
+//! partitions, slow subscribers, malformed wire input, link flap storms.
+
+use composer::{Composer, CompositionRequest, Strategy};
+use fabric_sim::failure::Fault;
+use fabric_sim::ids::{DeviceId, LinkId, SwitchId};
+use ofmf_core::ofmf::MAX_MISSED_HEARTBEATS;
+use ofmf_repro::demo_rig;
+use ofmf_rest::{HttpClient, RestServer, Router};
+use redfish_model::odata::ODataId;
+use redfish_model::RedfishError;
+use std::sync::Arc;
+
+#[test]
+fn agent_process_death_marks_fabric_unavailable_and_refuses_ops() {
+    let rig = demo_rig(401);
+    rig.cxl.set_process_health(false);
+    for _ in 0..MAX_MISSED_HEARTBEATS {
+        rig.ofmf.poll();
+    }
+    assert!(!rig.ofmf.agent_alive("CXL0"));
+    // The fabric resource reflects it.
+    let fabric = rig.ofmf.registry.get(&ODataId::new("/redfish/v1/Fabrics/CXL0")).unwrap();
+    assert_eq!(fabric.body["Status"]["State"], "UnavailableOffline");
+    // Compositions that need CXL memory now fail with 503 from the agent
+    // layer (surfaced as insufficient resources when no pool is usable).
+    let composer = Composer::new(Arc::clone(&rig.ofmf), Strategy::FirstFit);
+    let err = composer
+        .compose(&CompositionRequest::compute_only("doomed", 8, 8).with_fabric_memory_mib(1024))
+        .unwrap_err();
+    assert!(
+        matches!(err, RedfishError::AgentUnavailable(_) | RedfishError::InsufficientResources(_)),
+        "{err}"
+    );
+    // Other fabrics keep working: storage-only composition succeeds.
+    let ok = composer
+        .compose(&CompositionRequest::compute_only("survivor", 8, 8).with_storage_bytes(1 << 30))
+        .unwrap();
+    assert_eq!(ok.bound_storage_bytes(), 1 << 30);
+
+    // Recovery restores service.
+    rig.cxl.set_process_health(true);
+    rig.ofmf.poll();
+    assert!(rig.ofmf.agent_alive("CXL0"));
+    composer
+        .compose(&CompositionRequest::compute_only("recovered", 8, 8).with_fabric_memory_mib(1024))
+        .unwrap();
+}
+
+#[test]
+fn link_flap_storm_keeps_state_consistent() {
+    let rig = demo_rig(402);
+    let composer = Composer::new(Arc::clone(&rig.ofmf), Strategy::FirstFit);
+    let composed = composer
+        .compose(&CompositionRequest::compute_only("flapper", 8, 8).with_fabric_memory_mib(2048))
+        .unwrap();
+
+    // Flap every link on the CXL fabric repeatedly.
+    let n_links = 4 + 4 + 2 * 2; // access links + trunks in a 2x2 leaf-spine with 6 devices
+    for round in 0..10 {
+        for l in 0..n_links {
+            rig.cxl.inject_fault(Fault::LinkDown(LinkId(l)));
+        }
+        rig.ofmf.poll();
+        for l in 0..n_links {
+            rig.cxl.inject_fault(Fault::LinkUp(LinkId(l)));
+        }
+        rig.ofmf.poll();
+        let _ = round;
+    }
+    composer.reconcile();
+
+    // Whatever happened, the books balance: either the binding is alive or
+    // it was rebound; capacity accounting matches the tree.
+    let live = composer.find(&composed.system).unwrap();
+    assert_eq!(live.bound_memory_mib(), 2048);
+    for b in &live.bindings {
+        assert!(rig.ofmf.registry.exists(&b.connection), "binding {} must exist", b.connection);
+    }
+    let dangling = rig.ofmf.registry.dangling_links();
+    assert!(dangling.is_empty(), "dangling: {dangling:?}");
+    // Free capacity is total minus exactly what is bound.
+    let inv = composer.inventory();
+    assert_eq!(inv.free_memory_mib(), (2 << 20) - 2048);
+}
+
+#[test]
+fn switch_death_storm_with_many_connections() {
+    let rig = demo_rig(403);
+    let composer = Composer::new(Arc::clone(&rig.ofmf), Strategy::FirstFit);
+    let mut systems = Vec::new();
+    for i in 0..4 {
+        systems.push(
+            composer
+                .compose(&CompositionRequest::compute_only(&format!("j{i}"), 8, 8).with_fabric_memory_mib(1024))
+                .unwrap(),
+        );
+    }
+    // Kill both spines and a leaf: many connections lost at once.
+    rig.cxl.inject_fault(Fault::SwitchDown(SwitchId(0)));
+    rig.cxl.inject_fault(Fault::SwitchDown(SwitchId(1)));
+    rig.cxl.inject_fault(Fault::SwitchDown(SwitchId(2)));
+    rig.ofmf.poll();
+    // Repair everything.
+    for s in 0..3 {
+        rig.cxl.inject_fault(Fault::SwitchUp(SwitchId(s)));
+    }
+    rig.ofmf.poll();
+    let (repaired, lost) = composer.reconcile();
+    assert_eq!(lost, 0, "all bindings recoverable after repair");
+    // Some connections survived (same-leaf) — only broken ones rebound.
+    assert!(repaired <= 4);
+    for s in &systems {
+        assert_eq!(composer.find(&s.system).unwrap().bound_memory_mib(), 1024);
+    }
+}
+
+#[test]
+fn device_loss_releases_capacity_accounting() {
+    let rig = demo_rig(404);
+    let composer = Composer::new(Arc::clone(&rig.ofmf), Strategy::FirstFit);
+    let before = composer.inventory().free_memory_mib();
+    let composed = composer
+        .compose(&CompositionRequest::compute_only("victim", 8, 8).with_fabric_memory_mib(4096))
+        .unwrap();
+    // mem00 dies (device index 4: after the 4 compute nodes).
+    rig.cxl.inject_fault(Fault::DeviceDown(DeviceId(4)));
+    rig.ofmf.poll();
+    // The dead appliance is out of inventory entirely; its capacity is gone
+    // from the free pool rather than "free".
+    let inv = composer.inventory();
+    assert_eq!(inv.memory.len(), 1);
+    assert_eq!(inv.free_memory_mib(), 1 << 20, "only mem01 counts");
+    // Reconcile rebinds from mem01.
+    let (repaired, lost) = composer.reconcile();
+    assert_eq!((repaired, lost), (1, 0));
+    let live = composer.find(&composed.system).unwrap();
+    assert!(live.bindings[0].resource.as_str().contains("mem01"));
+    // Repair: capacity returns.
+    rig.cxl.inject_fault(Fault::DeviceUp(DeviceId(4)));
+    rig.ofmf.poll();
+    assert_eq!(composer.inventory().free_memory_mib(), before - 4096);
+}
+
+#[test]
+fn slow_subscriber_does_not_stall_the_control_plane() {
+    let rig = demo_rig(405);
+    // A subscriber that never drains, with every event type.
+    let (id, _rx_kept_but_never_read) = rig
+        .ofmf
+        .events
+        .subscribe(&rig.ofmf.registry, "channel://slow", vec![], vec![])
+        .unwrap();
+    let composer = Composer::new(Arc::clone(&rig.ofmf), Strategy::FirstFit);
+    // Generate far more events than the queue depth.
+    for i in 0..300 {
+        let s = composer
+            .compose(&CompositionRequest::compute_only(&format!("spin{i}"), 8, 8))
+            .unwrap();
+        composer.decompose(&s.system).unwrap();
+    }
+    // Control plane is healthy; the slow queue just dropped.
+    assert!(rig.ofmf.events.dropped_count(&id) > 0);
+    assert!(rig.ofmf.registry.dangling_links().is_empty());
+}
+
+#[test]
+fn malformed_wire_input_never_kills_the_server() {
+    use std::io::{Read, Write};
+    let rig = demo_rig(406);
+    let router = Arc::new(Router::new(Arc::clone(&rig.ofmf), false));
+    let server = RestServer::start("127.0.0.1:0", router, 2).unwrap();
+
+    let attacks: &[&[u8]] = &[
+        b"\x00\x01\x02\x03\x04garbage\r\n\r\n",
+        b"GET\r\n\r\n",
+        b"GET / HTTP/9.9\r\n\r\n",
+        b"POST /redfish/v1/Systems HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n",
+        b"GET /redfish/v1 HTTP/1.1\r\nbroken header line\r\n\r\n",
+        b"PATCH /redfish/v1 HTTP/1.1\r\nConnection: close\r\nContent-Length: 5\r\n\r\n{bad}",
+    ];
+    for attack in attacks {
+        let mut s = std::net::TcpStream::connect(server.addr()).unwrap();
+        // Guard against a server that (legitimately) keeps the connection
+        // open: a bounded read, not read-to-EOF forever.
+        s.set_read_timeout(Some(std::time::Duration::from_secs(2))).unwrap();
+        s.write_all(attack).unwrap();
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        // Either a clean error response or a clean close; never a hang.
+        if !out.is_empty() {
+            let head = String::from_utf8_lossy(&out);
+            assert!(head.starts_with("HTTP/1.1 4"), "unexpected: {head}");
+        }
+    }
+    // The server still serves legitimate traffic afterwards.
+    let mut c = HttpClient::new(server.addr());
+    assert_eq!(c.get("/redfish/v1").unwrap().status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn composer_survives_unregistered_fabric() {
+    let rig = demo_rig(407);
+    let composer = Composer::new(Arc::clone(&rig.ofmf), Strategy::FirstFit);
+    let composed = composer
+        .compose(&CompositionRequest::compute_only("orphan", 8, 8).with_fabric_memory_mib(1024))
+        .unwrap();
+    // The whole CXL fabric is unregistered (admin action) while bound.
+    rig.ofmf.unregister_agent("CXL0").unwrap();
+    // Inventory no longer offers CXL pools.
+    assert_eq!(composer.inventory().memory.len(), 0);
+    // Decompose degrades gracefully: connection teardown fails (agent gone)
+    // but the composed system resource is removed and state cleaned.
+    let _ = composer.decompose(&composed.system);
+    assert!(composer.find(&composed.system).is_none());
+}

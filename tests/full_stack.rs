@@ -1,0 +1,162 @@
+//! Full-stack integration: agents → OFMF → Composability Manager → REST,
+//! all live in one process, observed over real sockets.
+
+use composer::{Composer, CompositionRequest, Strategy};
+use ofmf_repro::demo_rig;
+use ofmf_rest::{HttpClient, RestServer, Router};
+use redfish_model::odata::ODataId;
+use serde_json::json;
+use std::sync::Arc;
+
+#[test]
+fn compose_is_visible_over_http() {
+    let rig = demo_rig(301);
+    let router = Arc::new(Router::new(Arc::clone(&rig.ofmf), false));
+    let server = RestServer::start("127.0.0.1:0", router, 4).unwrap();
+    let mut http = HttpClient::new(server.addr());
+
+    let composer = Composer::new(Arc::clone(&rig.ofmf), Strategy::BestFit);
+    let composed = composer
+        .compose(
+            &CompositionRequest::compute_only("webjob", 32, 64)
+                .with_fabric_memory_mib(32 * 1024)
+                .with_gpus(1)
+                .with_storage_bytes(1 << 38),
+        )
+        .unwrap();
+
+    // The composed system is a first-class Redfish resource over the wire.
+    let resp = http.get("/redfish/v1/Systems/webjob").unwrap();
+    assert_eq!(resp.status, 200);
+    let doc = resp.json().unwrap();
+    assert_eq!(doc["SystemType"], "Composed");
+    // Every resource block link resolves over HTTP too.
+    for link in doc["Links"]["ResourceBlocks"].as_array().unwrap() {
+        let path = link["@odata.id"].as_str().unwrap();
+        assert_eq!(http.get(path).unwrap().status, 200, "{path}");
+    }
+
+    // Decompose; the resource disappears from the wire.
+    composer.decompose(&composed.system).unwrap();
+    assert_eq!(http.get("/redfish/v1/Systems/webjob").unwrap().status, 404);
+    server.shutdown();
+}
+
+#[test]
+fn http_composition_and_composer_coexist() {
+    // A client composing raw zones/connections over HTTP shares pools with
+    // the Composability Manager; accounting must stay consistent.
+    let rig = demo_rig(302);
+    let router = Arc::new(Router::new(Arc::clone(&rig.ofmf), false));
+    let server = RestServer::start("127.0.0.1:0", router, 2).unwrap();
+    let mut http = HttpClient::new(server.addr());
+    let composer = Composer::new(Arc::clone(&rig.ofmf), Strategy::FirstFit);
+
+    // HTTP client carves 1 GiB directly.
+    let zone = http
+        .post(
+            "/redfish/v1/Fabrics/CXL0/Zones",
+            &json!({"Id": "manual", "Links": {"Endpoints": [
+                {"@odata.id": "/redfish/v1/Fabrics/CXL0/Endpoints/cn03-ep"},
+                {"@odata.id": "/redfish/v1/Fabrics/CXL0/Endpoints/mem00-ep"},
+            ]}}),
+        )
+        .unwrap();
+    assert_eq!(zone.status, 201);
+    let conn = http
+        .post(
+            "/redfish/v1/Fabrics/CXL0/Connections",
+            &json!({
+                "Id": "manual",
+                "Zone": {"@odata.id": "/redfish/v1/Fabrics/CXL0/Zones/manual"},
+                "Size": 1024,
+                "Links": {
+                    "InitiatorEndpoints": [{"@odata.id": "/redfish/v1/Fabrics/CXL0/Endpoints/cn03-ep"}],
+                    "TargetEndpoints": [{"@odata.id": "/redfish/v1/Fabrics/CXL0/Endpoints/mem00-ep"}],
+                }
+            }),
+        )
+        .unwrap();
+    assert_eq!(conn.status, 201);
+
+    // The composer's inventory sees the manual carve.
+    let inv = composer.inventory();
+    assert_eq!(inv.free_memory_mib(), (2 << 20) - 1024);
+
+    // The composer can still use the remaining capacity.
+    let composed = composer
+        .compose(&CompositionRequest::compute_only("shared", 8, 8).with_fabric_memory_mib((1 << 20) - 1024))
+        .unwrap();
+    assert_eq!(composed.bound_memory_mib(), (1 << 20) - 1024);
+    server.shutdown();
+}
+
+#[test]
+fn telemetry_report_visible_over_http() {
+    let rig = demo_rig(303);
+    let router = Arc::new(Router::new(Arc::clone(&rig.ofmf), false));
+    let server = RestServer::start("127.0.0.1:0", router, 2).unwrap();
+    let mut http = HttpClient::new(server.addr());
+
+    rig.ofmf.poll(); // one telemetry sweep from all three agents
+    let rid = rig.ofmf.telemetry.generate_report(&rig.ofmf.registry, &rig.ofmf.events).unwrap();
+
+    let resp = http.get(rid.as_str()).unwrap();
+    assert_eq!(resp.status, 200);
+    let doc = resp.json().unwrap();
+    let values = doc["MetricValues"].as_array().unwrap();
+    assert!(!values.is_empty());
+    // Samples cover all three fabrics' resources.
+    let props: Vec<&str> = values.iter().filter_map(|v| v["MetricProperty"].as_str()).collect();
+    assert!(props.iter().any(|p| p.contains("/Fabrics/CXL0/")));
+    assert!(props.iter().any(|p| p.contains("/Fabrics/NVME0/") || p.contains("nvme")));
+    server.shutdown();
+}
+
+#[test]
+fn event_log_of_a_full_composition_lifecycle() {
+    let rig = demo_rig(304);
+    let (_, rx) = rig
+        .ofmf
+        .events
+        .subscribe(&rig.ofmf.registry, "channel://audit", vec![], vec![])
+        .unwrap();
+    let composer = Composer::new(Arc::clone(&rig.ofmf), Strategy::FirstFit);
+    let composed = composer
+        .compose(&CompositionRequest::compute_only("audited", 8, 8).with_fabric_memory_mib(2048))
+        .unwrap();
+    composer.grow_memory(&composed.system, 1024).unwrap();
+    composer.decompose(&composed.system).unwrap();
+
+    let mut messages = Vec::new();
+    while let Ok(batch) = rx.try_recv() {
+        for e in batch.events {
+            messages.push(e.message);
+        }
+    }
+    // The audit trail tells the whole story in order.
+    let joined = messages.join("\n");
+    assert!(joined.contains("zone created"));
+    assert!(joined.contains("connection established"));
+    assert!(joined.contains("composed"), "{joined}");
+    assert!(joined.contains("grew fabric memory"));
+    assert!(joined.contains("decomposed"));
+}
+
+#[test]
+fn tree_has_no_dangling_links_through_lifecycle() {
+    let rig = demo_rig(305);
+    let composer = Composer::new(Arc::clone(&rig.ofmf), Strategy::TopologyAware);
+    assert!(rig.ofmf.registry.dangling_links().is_empty(), "after boot");
+    let composed = composer
+        .compose(
+            &CompositionRequest::compute_only("linkcheck", 8, 8)
+                .with_fabric_memory_mib(4096)
+                .with_gpus(2)
+                .with_storage_bytes(1 << 33),
+        )
+        .unwrap();
+    assert!(rig.ofmf.registry.dangling_links().is_empty(), "while composed");
+    composer.decompose(&composed.system).unwrap();
+    assert!(rig.ofmf.registry.dangling_links().is_empty(), "after decompose");
+}
