@@ -58,10 +58,11 @@ pub fn cxl_agent(fabric_id: &str, shape: &RackShape, capacity_mib: u64, seed: u6
 pub fn nvmeof_agent(fabric_id: &str, shape: &RackShape, capacity_bytes: u64, seed: u64) -> SimAgent {
     let mut devices = presets::compute_nodes(shape.compute_nodes, shape.cores_per_node, shape.node_memory_gib);
     devices.extend(presets::nvme_subsystems(shape.targets, capacity_bytes));
-    let topo = TopologyBuilder::new()
-        .access_gbps(100.0)
-        .trunk_gbps(400.0)
-        .leaf_spine(shape.spines, shape.leaves, devices);
+    let topo =
+        TopologyBuilder::new()
+            .access_gbps(100.0)
+            .trunk_gbps(400.0)
+            .leaf_spine(shape.spines, shape.leaves, devices);
     let sim = FabricSim::new(FabricConfig::new(fabric_id, "NVMeOverFabrics", seed), topo);
     SimAgent::new(sim, Protocol::NVMeOverFabrics)
 }
@@ -102,8 +103,14 @@ mod tests {
     fn flavors_report_their_technology() {
         let shape = RackShape::default();
         assert_eq!(cxl_agent("CXL0", &shape, 1 << 20, 1).info().technology, "CXL");
-        assert_eq!(nvmeof_agent("NVME0", &shape, 1 << 40, 1).info().technology, "NVMeOverFabrics");
-        assert_eq!(infiniband_agent("IB0", &shape, "A100", 1).info().technology, "InfiniBand");
+        assert_eq!(
+            nvmeof_agent("NVME0", &shape, 1 << 40, 1).info().technology,
+            "NVMeOverFabrics"
+        );
+        assert_eq!(
+            infiniband_agent("IB0", &shape, "A100", 1).info().technology,
+            "InfiniBand"
+        );
         assert_eq!(ethernet_agent("ETH0", &shape, 1).info().technology, "Ethernet");
     }
 

@@ -90,7 +90,9 @@ impl SimAgent {
     /// The tree endpoint id for a device name (agents name endpoints
     /// `{device}-ep`).
     pub fn endpoint_id(&self, device_name: &str) -> ODataId {
-        self.fabric_root().child("Endpoints").child(&format!("{device_name}-ep"))
+        self.fabric_root()
+            .child("Endpoints")
+            .child(&format!("{device_name}-ep"))
     }
 
     /// Inject a fault directly (test/ops path mirroring
@@ -201,7 +203,8 @@ impl SimAgent {
                     drives.clone(),
                     json!({"@odata.type": "#DriveCollection.DriveCollection", "Name": "Drives", "Members": [], "Members@odata.count": 0}),
                 ));
-                let drive = redfish_model::resources::storage::Drive::ssd(&drives, &format!("{name}-d0"), *capacity_bytes);
+                let drive =
+                    redfish_model::resources::storage::Drive::ssd(&drives, &format!("{name}-d0"), *capacity_bytes);
                 docs.push((drive.odata_id().clone(), drive.to_value()));
                 let ep_doc = rf::Endpoint::target(
                     &eps_col,
@@ -239,9 +242,7 @@ impl SimAgent {
         let dev = &inner.sim.topology().devices[d.index()];
         match dev.kind {
             DeviceKind::ComputeNode { .. } => ODataId::new(top::SYSTEMS).child(&dev.name),
-            DeviceKind::Gpu { .. } | DeviceKind::MemoryAppliance { .. } => {
-                ODataId::new(top::CHASSIS).child(&dev.name)
-            }
+            DeviceKind::Gpu { .. } | DeviceKind::MemoryAppliance { .. } => ODataId::new(top::CHASSIS).child(&dev.name),
             DeviceKind::NvmeSubsystem { .. } => ODataId::new(top::STORAGE_SERVICES).child(&dev.name),
         }
     }
@@ -301,6 +302,7 @@ impl Agent for SimAgent {
     }
 
     fn discover(&self) -> Vec<(ODataId, Value)> {
+        let _span = ofmf_obs::Trace::begin(&agent_metrics().discover_latency);
         let mut inner = self.inner.lock();
         let fabric_root = self.fabric_root();
         let mut docs: Vec<(ODataId, Value)> = Vec::new();
@@ -335,15 +337,10 @@ impl Agent for SimAgent {
                 sw_id.child("Ports"),
                 json!({"@odata.type": "#PortCollection.PortCollection", "Name": "Ports", "Members": [], "Members@odata.count": 0}),
             ));
-            for (lid, edge) in topo
-                .links
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| {
-                    e.a == fabric_sim::topology::Attach::Switch(SwitchId(i as u32))
-                        || e.b == fabric_sim::topology::Attach::Switch(SwitchId(i as u32))
-                })
-            {
+            for (lid, edge) in topo.links.iter().enumerate().filter(|(_, e)| {
+                e.a == fabric_sim::topology::Attach::Switch(SwitchId(i as u32))
+                    || e.b == fabric_sim::topology::Attach::Switch(SwitchId(i as u32))
+            }) {
                 // Only the canonical owner (see `port_doc_id`) publishes the
                 // port so each link has exactly one port doc.
                 let canonical = match (edge.a, edge.b) {
@@ -396,11 +393,7 @@ impl Agent for SimAgent {
                 let zones_col = fabric_root.child("Zones");
                 let tree_id = zones_col.child(zone_id);
                 inner.zones.insert(tree_id.clone(), zid);
-                let doc = rf::Zone::of_endpoints(
-                    &zones_col,
-                    zone_id,
-                    endpoints.iter().map(Link::from).collect(),
-                );
+                let doc = rf::Zone::of_endpoints(&zones_col, zone_id, endpoints.iter().map(Link::from).collect());
                 Ok(AgentResponse {
                     upserts: vec![(tree_id.clone(), doc.to_value())],
                     removals: vec![],
@@ -418,9 +411,21 @@ impl Agent for SimAgent {
                     .delete_zone(zid)
                     .map_err(|e| RedfishError::Conflict(e.to_string()))?;
                 inner.zones.remove(zone);
-                Ok(AgentResponse { upserts: vec![], removals: vec![zone.clone()], primary: None, payload: None })
+                Ok(AgentResponse {
+                    upserts: vec![],
+                    removals: vec![zone.clone()],
+                    primary: None,
+                    payload: None,
+                })
             }
-            AgentOp::Connect { connection_id, zone, initiator, target, size, qos_gbps } => {
+            AgentOp::Connect {
+                connection_id,
+                zone,
+                initiator,
+                target,
+                size,
+                qos_gbps,
+            } => {
                 let zid = *inner
                     .zones
                     .get(zone)
@@ -431,18 +436,15 @@ impl Agent for SimAgent {
                     .sim
                     .connect_qos(connection_id, zid, iep, tep, *size, *qos_gbps)
                     .map_err(|e| match e {
-                        fabric_sim::fabric::FabricError::Device(
-                            fabric_sim::device::DeviceError::Insufficient { requested, available },
-                        ) => RedfishError::InsufficientResources(format!(
-                            "requested {requested}, available {available}"
-                        )),
+                        fabric_sim::fabric::FabricError::Device(fabric_sim::device::DeviceError::Insufficient {
+                            requested,
+                            available,
+                        }) => {
+                            RedfishError::InsufficientResources(format!("requested {requested}, available {available}"))
+                        }
                         other => RedfishError::Conflict(other.to_string()),
                     })?;
-                let handle = inner
-                    .sim
-                    .connection(cid)
-                    .expect("just created")
-                    .allocation;
+                let handle = inner.sim.connection(cid).expect("just created").allocation;
                 let (mut aux_docs, payload) = self.materialize_payload(&inner, tep, handle, *size);
                 let cons_col = fabric_root.child("Connections");
                 let tree_id = cons_col.child(connection_id);
@@ -464,9 +466,7 @@ impl Agent for SimAgent {
                         v["Oem"] = json!({"OFMF": {"Resource": {"@odata.id": p.as_str()}}});
                         v
                     }
-                    None => {
-                        rf::Connection::memory(&cons_col, connection_id, initiator, target, target).to_value()
-                    }
+                    None => rf::Connection::memory(&cons_col, connection_id, initiator, target, target).to_value(),
                 };
                 let mut upserts = Vec::with_capacity(aux_docs.len() + 1);
                 upserts.append(&mut aux_docs);
@@ -475,10 +475,19 @@ impl Agent for SimAgent {
                     tree_id.clone(),
                     ConnectionArtifacts {
                         sim_id: cid,
-                        aux: upserts.iter().map(|(id, _)| id.clone()).filter(|id| id != &tree_id).collect(),
+                        aux: upserts
+                            .iter()
+                            .map(|(id, _)| id.clone())
+                            .filter(|id| id != &tree_id)
+                            .collect(),
                     },
                 );
-                Ok(AgentResponse { upserts, removals: vec![], primary: Some(tree_id), payload: None })
+                Ok(AgentResponse {
+                    upserts,
+                    removals: vec![],
+                    primary: Some(tree_id),
+                    payload: None,
+                })
             }
             AgentOp::Disconnect { connection } => {
                 let artifacts = inner
@@ -491,7 +500,12 @@ impl Agent for SimAgent {
                     .map_err(|e| RedfishError::Conflict(e.to_string()))?;
                 let mut removals = artifacts.aux;
                 removals.push(connection.clone());
-                Ok(AgentResponse { upserts: vec![], removals, primary: None, payload: None })
+                Ok(AgentResponse {
+                    upserts: vec![],
+                    removals,
+                    primary: None,
+                    payload: None,
+                })
             }
             AgentOp::InjectFault { description } => {
                 let fault = parse_fault(description)
@@ -534,7 +548,11 @@ impl Agent for SimAgent {
                         json!({"Status": {"State": "Enabled", "Health": "Critical"}, "LinkState": "Disabled"})
                     };
                     AgentEvent {
-                        event_type: if healthy { EventType::StatusChange } else { EventType::Alert },
+                        event_type: if healthy {
+                            EventType::StatusChange
+                        } else {
+                            EventType::Alert
+                        },
                         origin: origin.clone(),
                         message: format!("link {} {}", link, if healthy { "up" } else { "down" }),
                         severity: if healthy { "OK" } else { "Critical" }.to_string(),
@@ -550,7 +568,11 @@ impl Agent for SimAgent {
                         json!({"Status": {"State": "UnavailableOffline", "Health": "Critical"}})
                     };
                     AgentEvent {
-                        event_type: if healthy { EventType::StatusChange } else { EventType::Alert },
+                        event_type: if healthy {
+                            EventType::StatusChange
+                        } else {
+                            EventType::Alert
+                        },
                         origin: origin.clone(),
                         message: format!("switch {} {}", switch, if healthy { "recovered" } else { "failed" }),
                         severity: if healthy { "OK" } else { "Critical" }.to_string(),
@@ -566,7 +588,11 @@ impl Agent for SimAgent {
                         json!({"Status": {"State": "UnavailableOffline", "Health": "Critical"}})
                     };
                     AgentEvent {
-                        event_type: if healthy { EventType::StatusChange } else { EventType::Alert },
+                        event_type: if healthy {
+                            EventType::StatusChange
+                        } else {
+                            EventType::Alert
+                        },
                         origin: origin.clone(),
                         message: format!("device {} {}", device, if healthy { "recovered" } else { "failed" }),
                         severity: if healthy { "OK" } else { "Critical" }.to_string(),
@@ -620,9 +646,9 @@ impl Agent for SimAgent {
                         },
                     }
                 }
-                FabricEvent::ZoneCreated { .. }
-                | FabricEvent::Connected { .. }
-                | FabricEvent::Disconnected { .. } => continue, // already announced via apply()
+                FabricEvent::ZoneCreated { .. } | FabricEvent::Connected { .. } | FabricEvent::Disconnected { .. } => {
+                    continue
+                } // already announced via apply()
             };
             out.push(translated);
         }
@@ -640,14 +666,42 @@ impl Agent for SimAgent {
                     Source::Link(l) => self.port_doc_id(l, &inner),
                     Source::Device(d) => self.device_doc_id(d, &inner),
                 };
-                AgentMetric { metric_id: s.metric.to_string(), origin, value: s.value }
+                AgentMetric {
+                    metric_id: s.metric.to_string(),
+                    origin,
+                    value: s.value,
+                }
             })
             .collect()
     }
 
     fn heartbeat(&self) -> bool {
-        self.healthy.load(Ordering::Acquire)
+        let m = agent_metrics();
+        let _span = ofmf_obs::Trace::begin(&m.heartbeat_rtt);
+        let alive = self.healthy.load(Ordering::Acquire);
+        if !alive {
+            m.heartbeat_missed.inc();
+        }
+        alive
     }
+}
+
+struct AgentMetrics {
+    /// `ofmf.agents.heartbeat.rtt_ns` — round-trip time of a heartbeat.
+    heartbeat_rtt: std::sync::Arc<ofmf_obs::Histogram>,
+    /// `ofmf.agents.heartbeat.missed` — heartbeats answered "down".
+    heartbeat_missed: std::sync::Arc<ofmf_obs::Counter>,
+    /// `ofmf.agents.discover.latency_ns` — full inventory walk duration.
+    discover_latency: std::sync::Arc<ofmf_obs::Histogram>,
+}
+
+fn agent_metrics() -> &'static AgentMetrics {
+    static METRICS: std::sync::OnceLock<AgentMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| AgentMetrics {
+        heartbeat_rtt: ofmf_obs::histogram("ofmf.agents.heartbeat.rtt_ns"),
+        heartbeat_missed: ofmf_obs::counter("ofmf.agents.heartbeat.missed"),
+        discover_latency: ofmf_obs::histogram("ofmf.agents.discover.latency_ns"),
+    })
 }
 
 /// Parse `"link:3 down"`, `"switch:0 up"`, `"device:2 down"`.

@@ -24,11 +24,14 @@ fn shape() -> RackShape {
 fn cxl_compose_memory_end_to_end() {
     let o = ofmf();
     let agent = Arc::new(cxl_agent("CXL0", &shape(), 1 << 20, 7));
-    o.register_agent(Arc::clone(&agent) as Arc<dyn ofmf_core::Agent>).unwrap();
+    o.register_agent(Arc::clone(&agent) as Arc<dyn ofmf_core::Agent>)
+        .unwrap();
 
     // Tree contains the mounted inventory with intact links.
     assert!(o.registry.exists(&ODataId::new("/redfish/v1/Systems/cn00")));
-    assert!(o.registry.exists(&ODataId::new("/redfish/v1/Chassis/mem00/MemoryDomains/dom0")));
+    assert!(o
+        .registry
+        .exists(&ODataId::new("/redfish/v1/Chassis/mem00/MemoryDomains/dom0")));
 
     // Create a zone over cn00 + mem00 via the north-bound POST.
     let zones = ODataId::new("/redfish/v1/Fabrics/CXL0/Zones");
@@ -121,13 +124,17 @@ fn nvmeof_connect_materializes_volume() {
         .members(&ODataId::new("/redfish/v1/StorageServices/nvme00/Volumes"))
         .unwrap();
     assert_eq!(vols.len(), 1);
-    assert_eq!(o.registry.get(&vols[0]).unwrap().body["CapacityBytes"], 500_000_000_000u64);
+    assert_eq!(
+        o.registry.get(&vols[0]).unwrap().body["CapacityBytes"],
+        500_000_000_000u64
+    );
 }
 
 #[test]
 fn gpu_grant_is_exclusive() {
     let o = ofmf();
-    o.register_agent(Arc::new(infiniband_agent("IB0", &shape(), "A100", 7))).unwrap();
+    o.register_agent(Arc::new(infiniband_agent("IB0", &shape(), "A100", 7)))
+        .unwrap();
     let zones = ODataId::new("/redfish/v1/Fabrics/IB0/Zones");
     let zone = o
         .post(
@@ -161,10 +168,16 @@ fn gpu_grant_is_exclusive() {
 fn switch_failure_propagates_alert_and_failover() {
     let o = ofmf();
     let agent = Arc::new(cxl_agent("CXL0", &shape(), 1 << 20, 7));
-    o.register_agent(Arc::clone(&agent) as Arc<dyn ofmf_core::Agent>).unwrap();
+    o.register_agent(Arc::clone(&agent) as Arc<dyn ofmf_core::Agent>)
+        .unwrap();
     let (_, rx) = o
         .events
-        .subscribe(&o.registry, "channel://ops", vec![EventType::Alert, EventType::StatusChange], vec![])
+        .subscribe(
+            &o.registry,
+            "channel://ops",
+            vec![EventType::Alert, EventType::StatusChange],
+            vec![],
+        )
         .unwrap();
 
     // Set up a connection that crosses a spine (cn01 on leaf1, mem00 on leaf0).
@@ -216,7 +229,8 @@ fn switch_failure_propagates_alert_and_failover() {
 #[test]
 fn telemetry_flows_from_agents_to_reports() {
     let o = ofmf();
-    o.register_agent(Arc::new(cxl_agent("CXL0", &shape(), 1 << 20, 7))).unwrap();
+    o.register_agent(Arc::new(cxl_agent("CXL0", &shape(), 1 << 20, 7)))
+        .unwrap();
     o.poll(); // one telemetry sweep
     assert!(o.telemetry.series_count() > 0);
     let rid = o.telemetry.generate_report(&o.registry, &o.events).unwrap();
@@ -230,8 +244,15 @@ fn telemetry_flows_from_agents_to_reports() {
 #[test]
 fn fault_injection_via_agent_op() {
     let o = ofmf();
-    o.register_agent(Arc::new(cxl_agent("CXL0", &shape(), 1 << 20, 7))).unwrap();
-    o.apply("CXL0", &AgentOp::InjectFault { description: "link:0 down".into() }).unwrap();
+    o.register_agent(Arc::new(cxl_agent("CXL0", &shape(), 1 << 20, 7)))
+        .unwrap();
+    o.apply(
+        "CXL0",
+        &AgentOp::InjectFault {
+            description: "link:0 down".into(),
+        },
+    )
+    .unwrap();
     o.poll();
     // The port doc for link 0 carries the failure.
     let docs = o.registry.ids_of_type("#Port.");
@@ -242,16 +263,24 @@ fn fault_injection_via_agent_op() {
     assert_eq!(bad.len(), 1);
     // Unparseable description rejected.
     assert!(o
-        .apply("CXL0", &AgentOp::InjectFault { description: "chaos everywhere".into() })
+        .apply(
+            "CXL0",
+            &AgentOp::InjectFault {
+                description: "chaos everywhere".into()
+            }
+        )
         .is_err());
 }
 
 #[test]
 fn multi_fabric_tree_is_unified() {
     let o = ofmf();
-    o.register_agent(Arc::new(cxl_agent("CXL0", &shape(), 1 << 20, 1))).unwrap();
-    o.register_agent(Arc::new(nvmeof_agent("NVME0", &shape(), 1 << 40, 2))).unwrap();
-    o.register_agent(Arc::new(infiniband_agent("IB0", &shape(), "A100", 3))).unwrap();
+    o.register_agent(Arc::new(cxl_agent("CXL0", &shape(), 1 << 20, 1)))
+        .unwrap();
+    o.register_agent(Arc::new(nvmeof_agent("NVME0", &shape(), 1 << 40, 2)))
+        .unwrap();
+    o.register_agent(Arc::new(infiniband_agent("IB0", &shape(), "A100", 3)))
+        .unwrap();
     assert_eq!(o.fabric_ids(), vec!["CXL0", "IB0", "NVME0"]);
     let fabrics = o.registry.members(&ODataId::new("/redfish/v1/Fabrics")).unwrap();
     assert_eq!(fabrics.len(), 3);

@@ -42,7 +42,7 @@ fn bench_zone_apply_across_fabrics(c: &mut Criterion) {
             b.iter(|| {
                 let f = format!("CXL{}", i % fabrics);
                 i += 1;
-                let zones = ODataId::new(&format!("/redfish/v1/Fabrics/{f}/Zones"));
+                let zones = ODataId::new(format!("/redfish/v1/Fabrics/{f}/Zones"));
                 let zone = ofmf
                     .post(
                         &zones,

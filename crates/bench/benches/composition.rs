@@ -18,16 +18,12 @@ fn bench_compose_decompose(c: &mut Criterion) {
             let req = CompositionRequest::compute_only("bench", 8, 8)
                 .with_fabric_memory_mib(1024)
                 .with_storage_bytes(1 << 30);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{strategy:?}"), targets),
-                &targets,
-                |b, _| {
-                    b.iter(|| {
-                        let s = composer.compose(&req).expect("fits");
-                        composer.decompose(&s.system).expect("tracked");
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{strategy:?}"), targets), &targets, |b, _| {
+                b.iter(|| {
+                    let s = composer.compose(&req).expect("fits");
+                    composer.decompose(&s.system).expect("tracked");
+                });
+            });
         }
     }
     group.finish();
@@ -50,7 +46,11 @@ fn bench_accounting(c: &mut Criterion) {
     // a 1k-job mix.
     let jobs = heterogeneous_mix(1024, 5);
     let power = PowerModel::default();
-    let shape = StaticNodeShape { cores: 32, memory_gib: 384, gpus: 2 };
+    let shape = StaticNodeShape {
+        cores: 32,
+        memory_gib: 384,
+        gpus: 2,
+    };
     let total_mem: u64 = jobs.iter().map(|j| j.memory_gib).sum();
     let total_gpus: u32 = jobs.iter().map(|j| j.gpus).sum();
     let mut group = c.benchmark_group("fig1_accounting");

@@ -10,7 +10,13 @@ use redfish_model::resources::events::EventType;
 use redfish_model::Registry;
 use std::sync::Arc;
 
-fn service_with_subs(n: usize, filtered: bool) -> (EventService, Vec<crossbeam::channel::Receiver<redfish_model::resources::events::Event>>) {
+fn service_with_subs(
+    n: usize,
+    filtered: bool,
+) -> (
+    EventService,
+    Vec<crossbeam::channel::Receiver<redfish_model::resources::events::Event>>,
+) {
     let reg = Registry::new();
     bootstrap(&reg, "bench").unwrap();
     let svc = EventService::new(Arc::new(Clock::manual())).with_queue_depth(1024);
@@ -26,9 +32,7 @@ fn service_with_subs(n: usize, filtered: bool) -> (EventService, Vec<crossbeam::
             } else {
                 (vec![], vec![])
             };
-            let (_, rx) = svc
-                .subscribe(&reg, &format!("channel://s{i}"), types, origins)
-                .unwrap();
+            let (_, rx) = svc.subscribe(&reg, &format!("channel://s{i}"), types, origins).unwrap();
             rx
         })
         .collect();

@@ -51,9 +51,7 @@ fn bench_failover(c: &mut Criterion) {
                     let link = sim.connection(conn).unwrap().path.links[1];
                     (sim, link)
                 },
-                |(mut sim, link): (FabricSim, LinkId)| {
-                    std::hint::black_box(sim.inject(Fault::LinkDown(link)))
-                },
+                |(mut sim, link): (FabricSim, LinkId)| std::hint::black_box(sim.inject(Fault::LinkDown(link))),
                 criterion::BatchSize::SmallInput,
             );
         });

@@ -53,6 +53,19 @@ fn bench_rest(c: &mut Criterion) {
         });
     });
 
+    // Instrumentation ablation: the same hot GET with the observability
+    // layer globally disabled. Comparing against `get_system` bounds the
+    // cost of counters + latency histograms + the event ring (<5% target).
+    group.bench_function("get_system_obs_off", |b| {
+        ofmf_obs::set_enabled(false);
+        let mut client = HttpClient::new(addr);
+        b.iter(|| {
+            let r = client.get("/redfish/v1/Systems/cn00").unwrap();
+            assert_eq!(r.status, 200);
+        });
+        ofmf_obs::set_enabled(true);
+    });
+
     group.finish();
     server.shutdown();
 }

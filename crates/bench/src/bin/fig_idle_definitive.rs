@@ -27,7 +27,11 @@ fn main() {
         let params = derive_params(&spec, n);
         let clean = vec![NodeNoise::default(); n];
         let daemons: Vec<NodeNoise> = (0..n)
-            .map(|_| NodeNoise { idle_daemons: true, oss_rho: 0.0, mds_rho: 0.0 })
+            .map(|_| NodeNoise {
+                idle_daemons: true,
+                oss_rho: 0.0,
+                mds_rho: 0.0,
+            })
             .collect();
         let t_clean: Vec<f64> = (0..reps)
             .into_par_iter()
@@ -49,14 +53,22 @@ fn main() {
             if d.overlaps(&c) { "no".into() } else { "yes".into() },
         ]);
     }
-    print_table(&["n", "no daemons (s)", "idle daemons (s)", "overhead", "significant"], &rows);
+    print_table(
+        &["n", "no daemons (s)", "idle daemons (s)", "overhead", "significant"],
+        &rows,
+    );
 
     let significant_large = costs.iter().filter(|(n, _, sig)| *n >= 16 && *sig).count();
     println!(
         "\nverdict: the link {} — idle daemons cost real runtime at {}/{} of the ≥16-node scales,",
-        if significant_large >= 3 { "EXISTS" } else { "is not established" },
+        if significant_large >= 3 {
+            "EXISTS"
+        } else {
+            "is not established"
+        },
         significant_large,
         costs.iter().filter(|(n, _, _)| *n >= 16).count(),
     );
     println!("with the confound removed (no Lustre IOR in the control).");
+    ofmf_bench::finish_obs();
 }

@@ -44,28 +44,24 @@ fn main() {
     print_table(&["n", "class", "reps", "mean (s)", "95% CI", "vs HPL-Only"], &rows);
 
     // The paper's headline claims, checked against this run.
-    let at = |c: ExperimentClass, n: usize| {
-        &results.iter().find(|r| r.class == c && r.n == n).unwrap().runtime
-    };
+    let at = |c: ExperimentClass, n: usize| &results.iter().find(|r| r.class == c && r.n == n).unwrap().runtime;
     println!("\nheadline checks (paper's reported ranges):");
     let single = at(ExperimentClass::SingleBeeond, 128).rel_diff(at(ExperimentClass::HplOnly, 128));
     println!(
         "  Single BeeOND @128 vs HPL-Only:          {:+.1}%   (paper: +7 – +13%)",
         single * 100.0
     );
-    let nometa =
-        at(ExperimentClass::MatchingBeeondNoMeta, 128).rel_diff(at(ExperimentClass::HplOnly, 128));
+    let nometa = at(ExperimentClass::MatchingBeeondNoMeta, 128).rel_diff(at(ExperimentClass::HplOnly, 128));
     println!(
         "  Matching BeeOND (no meta) @128 vs HPL-Only: {:+.1}%   (paper: +47 – +52%)",
         nometa * 100.0
     );
-    let meta_delta = at(ExperimentClass::MatchingBeeond, 128)
-        .rel_diff(at(ExperimentClass::MatchingBeeondNoMeta, 128));
-    let overlap = at(ExperimentClass::MatchingBeeond, 128)
-        .overlaps(at(ExperimentClass::MatchingBeeondNoMeta, 128));
+    let meta_delta = at(ExperimentClass::MatchingBeeond, 128).rel_diff(at(ExperimentClass::MatchingBeeondNoMeta, 128));
+    let overlap = at(ExperimentClass::MatchingBeeond, 128).overlaps(at(ExperimentClass::MatchingBeeondNoMeta, 128));
     println!(
         "  Matching vs no-meta @128:                {:+.1}%, CIs overlap: {}   (paper: no definitive difference)",
         meta_delta * 100.0,
         overlap
     );
+    ofmf_bench::finish_obs();
 }

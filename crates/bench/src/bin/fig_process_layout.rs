@@ -30,7 +30,12 @@ fn main() {
                 }
             })
             .collect();
-        println!("{:26} k={k} m={m:>2}  alloc={:>2}  {}", class.label(), l.allocation_size(), map);
+        println!(
+            "{:26} k={k} m={m:>2}  alloc={:>2}  {}",
+            class.label(),
+            l.allocation_size(),
+            map
+        );
         println!(
             "{:26} beeond daemons: {:9} ior target: {}",
             "",
@@ -43,4 +48,5 @@ fn main() {
         );
         println!();
     }
+    ofmf_bench::finish_obs();
 }

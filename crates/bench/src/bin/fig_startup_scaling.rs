@@ -32,7 +32,14 @@ fn main() {
 
     let one = sweep(&[1], 1)[0].clone();
     let big = sweep(&[1024], 1)[0].clone();
-    println!("\nscale-freeness: assembly grows only {:+.1}% from 1 to 1024 nodes", (big.assembly_s / one.assembly_s - 1.0) * 100.0);
+    println!(
+        "\nscale-freeness: assembly grows only {:+.1}% from 1 to 1024 nodes",
+        (big.assembly_s / one.assembly_s - 1.0) * 100.0
+    );
     println!("structure: serialized phases (mgmtd → storage → meta → mount), each phase");
-    println!("parallel across nodes; teardown dominated by the XFS reformat ({:.1} s)", timing::REFORMAT_S);
+    println!(
+        "parallel across nodes; teardown dominated by the XFS reformat ({:.1} s)",
+        timing::REFORMAT_S
+    );
+    ofmf_bench::finish_obs();
 }

@@ -4,9 +4,7 @@
 //! heterogeneous job mix — both analytically (accounting model) and
 //! end-to-end through the live Composability Manager.
 
-use composer::accounting::{
-    composable_outcome, heterogeneous_mix, static_outcome, PowerModel, StaticNodeShape,
-};
+use composer::accounting::{composable_outcome, heterogeneous_mix, static_outcome, PowerModel, StaticNodeShape};
 use composer::{Composer, CompositionRequest, Strategy};
 use ofmf_agents::flavors::RackShape;
 use ofmf_bench::print_table;
@@ -28,20 +26,47 @@ fn main() {
     // Composable: pools sized to aggregate demand + 10 % headroom.
     let total_mem: u64 = jobs.iter().map(|j| j.memory_gib).sum();
     let total_gpus: u32 = jobs.iter().map(|j| j.gpus).sum();
-    let co = composable_outcome(&jobs, jobs.len(), 32, total_mem + total_mem / 10, total_gpus + 2, &power);
+    let co = composable_outcome(
+        &jobs,
+        jobs.len(),
+        32,
+        total_mem + total_mem / 10,
+        total_gpus + 2,
+        &power,
+    );
 
     let pct = |x: f64| format!("{:.1}%", x * 100.0);
     let rows = vec![
-        vec!["core utilization".into(), pct(st.core_utilization), pct(co.core_utilization)],
-        vec!["memory utilization".into(), pct(st.memory_utilization), pct(co.memory_utilization)],
-        vec!["GPU utilization".into(), pct(st.gpu_utilization), pct(co.gpu_utilization)],
-        vec!["stranded fraction".into(), pct(st.stranded_fraction), pct(co.stranded_fraction)],
+        vec![
+            "core utilization".into(),
+            pct(st.core_utilization),
+            pct(co.core_utilization),
+        ],
+        vec![
+            "memory utilization".into(),
+            pct(st.memory_utilization),
+            pct(co.memory_utilization),
+        ],
+        vec![
+            "GPU utilization".into(),
+            pct(st.gpu_utilization),
+            pct(co.gpu_utilization),
+        ],
+        vec![
+            "stranded fraction".into(),
+            pct(st.stranded_fraction),
+            pct(co.stranded_fraction),
+        ],
         vec![
             "power draw".into(),
             format!("{:.0} kW", st.power_watts / 1000.0),
             format!("{:.0} kW", co.power_watts / 1000.0),
         ],
-        vec!["rejected jobs".into(), st.rejected_jobs.to_string(), co.rejected_jobs.to_string()],
+        vec![
+            "rejected jobs".into(),
+            st.rejected_jobs.to_string(),
+            co.rejected_jobs.to_string(),
+        ],
     ];
     println!("analytic model: 256-job heterogeneous mix, worst-case static nodes\n");
     print_table(&["metric", "static", "composable"], &rows);
@@ -52,14 +77,19 @@ fn main() {
 
     // --- end-to-end through the live stack ---
     println!("\nend-to-end: composing a job wave through the live OFMF stack\n");
-    let shape = RackShape { compute_nodes: 8, targets: 2, leaves: 2, spines: 2, ..RackShape::default() };
+    let shape = RackShape {
+        compute_nodes: 8,
+        targets: 2,
+        leaves: 2,
+        spines: 2,
+        ..RackShape::default()
+    };
     let rig = ofmf_repro_rig(&shape);
     let composer = Composer::new(Arc::clone(&rig), Strategy::BestFit);
     let mut composed = 0;
     let mut rejected = 0;
     for i in 0..10 {
-        let req = CompositionRequest::compute_only(&format!("wave{i}"), 8, 8)
-            .with_fabric_memory_mib(192 * 1024); // 192 GiB each; pools hold 2 TiB
+        let req = CompositionRequest::compute_only(&format!("wave{i}"), 8, 8).with_fabric_memory_mib(192 * 1024); // 192 GiB each; pools hold 2 TiB
         match composer.compose(&req) {
             Ok(_) => composed += 1,
             Err(_) => rejected += 1,
@@ -73,12 +103,15 @@ fn main() {
     );
     println!("  note: with static 192-GiB-per-node provisioning the same wave would");
     println!("  have required every node to carry worst-case DRAM.");
+    ofmf_bench::finish_obs();
 }
 
 fn ofmf_repro_rig(shape: &RackShape) -> Arc<ofmf_core::Ofmf> {
     use ofmf_agents::flavors::{cxl_agent, nvmeof_agent};
     let ofmf = ofmf_core::Ofmf::new("fig-stranded", std::collections::HashMap::new(), 9);
-    ofmf.register_agent(Arc::new(cxl_agent("CXL0", shape, 1 << 20, 1))).unwrap();
-    ofmf.register_agent(Arc::new(nvmeof_agent("NVME0", shape, 1 << 40, 2))).unwrap();
+    ofmf.register_agent(Arc::new(cxl_agent("CXL0", shape, 1 << 20, 1)))
+        .unwrap();
+    ofmf.register_agent(Arc::new(nvmeof_agent("NVME0", shape, 1 << 40, 2)))
+        .unwrap();
     ofmf
 }

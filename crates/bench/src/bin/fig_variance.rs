@@ -16,7 +16,10 @@ fn main() {
     // The detail figure benefits from more repetitions.
     plan.reps = 10;
     plan.lustre_reps = 10;
-    eprintln!("running the detail comparison ({:?} nodes × {} reps)…", plan.node_counts, plan.reps);
+    eprintln!(
+        "running the detail comparison ({:?} nodes × {} reps)…",
+        plan.node_counts, plan.reps
+    );
     let results = run(&plan, &spec);
 
     println!("Fig. multinode-variance — HPL-only (idle daemons) vs Lustre+IOR (no daemons)\n");
@@ -33,17 +36,30 @@ fn main() {
         let overhead = hpl.runtime.rel_diff(&lustre.runtime);
         rows.push(vec![
             n.to_string(),
-            format!("{:.1} [{:.1},{:.1}]", hpl.runtime.mean, hpl.runtime.ci_low, hpl.runtime.ci_high),
+            format!(
+                "{:.1} [{:.1},{:.1}]",
+                hpl.runtime.mean, hpl.runtime.ci_low, hpl.runtime.ci_high
+            ),
             format!(
                 "{:.1} [{:.1},{:.1}]",
                 lustre.runtime.mean, lustre.runtime.ci_low, lustre.runtime.ci_high
             ),
             format!("{:+.2}%", overhead * 100.0),
-            if hpl.runtime.overlaps(&lustre.runtime) { "no".into() } else { "yes".into() },
+            if hpl.runtime.overlaps(&lustre.runtime) {
+                "no".into()
+            } else {
+                "yes".into()
+            },
         ]);
     }
     print_table(
-        &["n", "HPL-only (idle daemons)", "Matching Lustre (no daemons)", "idle-daemon cost", "significant"],
+        &[
+            "n",
+            "HPL-only (idle daemons)",
+            "Matching Lustre (no daemons)",
+            "idle-daemon cost",
+            "significant",
+        ],
         &rows,
     );
 
@@ -68,4 +84,5 @@ fn main() {
         cost(8) * 100.0,
         cost(128) * 100.0
     );
+    ofmf_bench::finish_obs();
 }

@@ -28,4 +28,5 @@ fn main() {
     );
     println!("\npaper's classes: CPU=Strong, Memory=Strong, Network=Medium-to-Strong,");
     println!("IOPs=Weak, Bandwidth=Weak, Metadata=Weak");
+    ofmf_bench::finish_obs();
 }

@@ -26,10 +26,19 @@ fn main() {
         })
         .collect();
     print_table(
-        &["Nodes", "N (derived)", "N (paper)", "ΔN", "PxQ (derived)", "PxQ (paper)", "base runtime"],
+        &[
+            "Nodes",
+            "N (derived)",
+            "N (paper)",
+            "ΔN",
+            "PxQ (derived)",
+            "PxQ (paper)",
+            "base runtime",
+        ],
         &rows,
     );
     println!("\nconstruction: N₁ from the node's observed HPL memory fill (≈48.3% of");
     println!("128 GiB), then N ∝ 2^(k/3) per doubling (work-preserving), grid doubles");
     println!("P then Q alternately from 7x8 (56 ranks/node).");
+    ofmf_bench::finish_obs();
 }

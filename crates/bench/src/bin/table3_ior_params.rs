@@ -9,10 +9,26 @@ fn main() {
     println!("Table III — IOR parameters\n");
     let p = IorParams::default();
     let rows = vec![
-        vec!["[srun] -n".into(), "Processes (per node)".into(), p.procs_per_node.to_string()],
-        vec!["-t".into(), "Transfer size (bytes)".into(), p.transfer_bytes.to_string()],
-        vec!["-T".into(), "Maximum run duration (minutes)".into(), p.max_duration_min.to_string()],
-        vec!["-D".into(), "Stonewalling deadline (seconds)".into(), p.stonewall_s.to_string()],
+        vec![
+            "[srun] -n".into(),
+            "Processes (per node)".into(),
+            p.procs_per_node.to_string(),
+        ],
+        vec![
+            "-t".into(),
+            "Transfer size (bytes)".into(),
+            p.transfer_bytes.to_string(),
+        ],
+        vec![
+            "-T".into(),
+            "Maximum run duration (minutes)".into(),
+            p.max_duration_min.to_string(),
+        ],
+        vec![
+            "-D".into(),
+            "Stonewalling deadline (seconds)".into(),
+            p.stonewall_s.to_string(),
+        ],
         vec!["-i".into(), "Test repetitions".into(), p.repetitions.to_string()],
         vec!["-e".into(), "Sync after each write phase".into(), "enabled".into()],
         vec!["-C".into(), "Reorder tasks".into(), "enabled".into()],
@@ -37,4 +53,5 @@ fn main() {
         p.procs_per_node
     );
     println!("  files created per node: {} (file-per-process)", p.files_per_node());
+    ofmf_bench::finish_obs();
 }

@@ -47,6 +47,32 @@ pub fn bench_rig(compute_nodes: usize, targets: usize, seed: u64) -> Arc<Ofmf> {
     ofmf
 }
 
+/// Parse `--obs-json <path>` (or `--obs-json=<path>`) from the process args.
+pub fn obs_json_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--obs-json" {
+            return args.next();
+        }
+        if let Some(p) = a.strip_prefix("--obs-json=") {
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
+/// If `--obs-json <path>` was given, dump the global metrics snapshot there.
+/// Every bench binary calls this at the end of `main`.
+pub fn finish_obs() {
+    if let Some(path) = obs_json_arg() {
+        let json = ofmf_obs::global().snapshot().to_json();
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote metrics snapshot to {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+}
+
 /// Render a simple aligned table to stdout.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

@@ -36,7 +36,12 @@ impl BeeondFs {
         let lowest = *nodes.iter().min().expect("non-empty");
         let roles = nodes
             .iter()
-            .map(|&n| NodeRoles { mgmtd: n == lowest, meta: n == lowest, ost: true, client: true })
+            .map(|&n| NodeRoles {
+                mgmtd: n == lowest,
+                meta: n == lowest,
+                ost: true,
+                client: true,
+            })
             .collect();
         BeeondFs { nodes, roles }
     }
@@ -70,10 +75,7 @@ impl BeeondFs {
 
     /// Roles of a specific node, if it belongs to this filesystem.
     pub fn roles_of(&self, node: usize) -> Option<NodeRoles> {
-        self.nodes
-            .iter()
-            .position(|&n| n == node)
-            .map(|i| self.roles[i])
+        self.nodes.iter().position(|&n| n == node).map(|i| self.roles[i])
     }
 }
 
@@ -91,7 +93,10 @@ pub struct IdleDaemonModel {
 impl Default for IdleDaemonModel {
     fn default() -> Self {
         // See interference::calib for how these pin to the paper's ranges.
-        IdleDaemonModel { wakeups_per_s: 25.0, slice_s: 350e-6 }
+        IdleDaemonModel {
+            wakeups_per_s: 25.0,
+            slice_s: 350e-6,
+        }
     }
 }
 

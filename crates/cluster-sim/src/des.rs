@@ -72,7 +72,11 @@ impl<E> Ord for EventBox<E> {
 impl<E> Scheduler<E> {
     /// Empty scheduler at time zero.
     pub fn new() -> Self {
-        Scheduler { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        Scheduler {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Current simulated time.
@@ -172,7 +176,10 @@ mod tests {
 
     #[test]
     fn events_fire_in_time_order_fifo_on_ties() {
-        let mut m = Counter { fired: Vec::new(), chain: 0 };
+        let mut m = Counter {
+            fired: Vec::new(),
+            chain: 0,
+        };
         let mut s = Scheduler::new();
         s.at(SimTime::from_secs(5), 1);
         s.at(SimTime::from_secs(1), 2);
@@ -185,7 +192,10 @@ mod tests {
 
     #[test]
     fn chained_events_advance_clock() {
-        let mut m = Counter { fired: Vec::new(), chain: 3 };
+        let mut m = Counter {
+            fired: Vec::new(),
+            chain: 3,
+        };
         let mut s = Scheduler::new();
         s.at(SimTime::ZERO, 0);
         let (end, n) = Engine::run(&mut m, &mut s);
@@ -195,7 +205,10 @@ mod tests {
 
     #[test]
     fn horizon_stops_early() {
-        let mut m = Counter { fired: Vec::new(), chain: 100 };
+        let mut m = Counter {
+            fired: Vec::new(),
+            chain: 100,
+        };
         let mut s = Scheduler::new();
         s.at(SimTime::ZERO, 0);
         let (end, _) = Engine::run_until(&mut m, &mut s, SimTime::from_secs(10));

@@ -112,11 +112,16 @@ impl Layout {
     pub fn build(class: ExperimentClass, n: usize) -> Layout {
         let (k, m) = class.k_m(n);
         let mut roles = Vec::with_capacity(k + n + m);
-        roles.extend(std::iter::repeat(NodeRole::Separator).take(k));
-        roles.extend(std::iter::repeat(NodeRole::Hpl).take(n));
-        roles.extend(std::iter::repeat(NodeRole::Ior).take(m));
+        roles.extend(std::iter::repeat_n(NodeRole::Separator, k));
+        roles.extend(std::iter::repeat_n(NodeRole::Hpl, n));
+        roles.extend(std::iter::repeat_n(NodeRole::Ior, m));
         let mds_node = class.loads_beeond().then_some(0);
-        Layout { class, n, roles, mds_node }
+        Layout {
+            class,
+            n,
+            roles,
+            mds_node,
+        }
     }
 
     /// Total allocation size.
@@ -146,7 +151,10 @@ impl Layout {
 
     /// Per-HPL-node noise profiles for this layout.
     pub fn noise(&self, ior: &IorParams) -> Vec<NodeNoise> {
-        let beeond = self.class.loads_beeond().then(|| BeeondFs::assemble((0..self.allocation_size()).collect()));
+        let beeond = self
+            .class
+            .loads_beeond()
+            .then(|| BeeondFs::assemble((0..self.allocation_size()).collect()));
         let per_ost_offered = if self.class.ior_on_beeond() {
             let m = self.ior_nodes().len() as f64;
             let total = m * ior.node_ops_per_s(calib::WRITE_LATENCY_S);
@@ -244,7 +252,11 @@ pub fn run(plan: &ExperimentPlan, spec: &NodeSpec) -> Vec<ExperimentResult> {
             let params = derive_params(spec, n);
             let layout = Layout::build(class, n);
             let noise = layout.noise(&ior);
-            let reps = if class == ExperimentClass::MatchingLustre { plan.lustre_reps } else { plan.reps };
+            let reps = if class == ExperimentClass::MatchingLustre {
+                plan.lustre_reps
+            } else {
+                plan.reps
+            };
             let runtimes: Vec<f64> = (0..reps)
                 .into_par_iter()
                 .map(|r| {
@@ -252,7 +264,12 @@ pub fn run(plan: &ExperimentPlan, spec: &NodeSpec) -> Vec<ExperimentResult> {
                     hpl_runtime_s(&params, spec, &noise, seed)
                 })
                 .collect();
-            ExperimentResult { class, n, params, runtime: Summary::of(&runtimes) }
+            ExperimentResult {
+                class,
+                n,
+                params,
+                runtime: Summary::of(&runtimes),
+            }
         })
         .collect()
 }
@@ -301,7 +318,11 @@ pub fn run_one_via_wlm(class: ExperimentClass, n: usize, spec: &NodeSpec, seed: 
     let rec = wlm.job(id).expect("submitted");
     let started = rec.started_at.expect("ran").as_secs_f64();
     let ended = rec.ended_at.expect("finished").as_secs_f64();
-    let epilog = if class.loads_beeond() { wlm.hooks.beeond_epilog_s } else { wlm.hooks.plain_epilog_s };
+    let epilog = if class.loads_beeond() {
+        wlm.hooks.beeond_epilog_s
+    } else {
+        wlm.hooks.plain_epilog_s
+    };
     WlmRun {
         payload_s: ended - started,
         prolog_s: started,
@@ -353,7 +374,9 @@ mod tests {
         assert!(noise.iter().all(|n| n.idle_daemons && n.oss_rho == 0.0));
         // Lustre: nothing at all.
         let noise = Layout::build(ExperimentClass::MatchingLustre, 4).noise(&ior);
-        assert!(noise.iter().all(|n| !n.idle_daemons && n.oss_rho == 0.0 && n.mds_rho == 0.0));
+        assert!(noise
+            .iter()
+            .all(|n| !n.idle_daemons && n.oss_rho == 0.0 && n.mds_rho == 0.0));
         // Matching: every HPL node loaded, first one also MDS.
         let noise = Layout::build(ExperimentClass::MatchingBeeond, 4).noise(&ior);
         assert!(noise.iter().all(|n| n.oss_rho > 0.2));
@@ -378,14 +401,7 @@ mod tests {
         let mut plan = ExperimentPlan::smoke(11);
         plan.node_counts = vec![16];
         let results = run(&plan, &spec);
-        let mean = |c: ExperimentClass| {
-            results
-                .iter()
-                .find(|r| r.class == c && r.n == 16)
-                .unwrap()
-                .runtime
-                .mean
-        };
+        let mean = |c: ExperimentClass| results.iter().find(|r| r.class == c && r.n == 16).unwrap().runtime.mean;
         let lustre = mean(ExperimentClass::MatchingLustre);
         let hpl_only = mean(ExperimentClass::HplOnly);
         let single = mean(ExperimentClass::SingleBeeond);
@@ -405,8 +421,7 @@ mod tests {
         // The payload matches the direct interference model at this seed.
         let params = derive_params(&spec, 4);
         let layout = Layout::build(ExperimentClass::HplOnly, 4);
-        let direct =
-            crate::interference::hpl_runtime_s(&params, &spec, &layout.noise(&IorParams::default()), 5);
+        let direct = crate::interference::hpl_runtime_s(&params, &spec, &layout.noise(&IorParams::default()), 5);
         assert!((r.payload_s - direct).abs() < 0.5, "{} vs {}", r.payload_s, direct);
         // Lustre jobs skip BeeOND hooks.
         let l = run_one_via_wlm(ExperimentClass::MatchingLustre, 4, &spec, 5);

@@ -97,8 +97,18 @@ mod tests {
     #[test]
     fn budgets_hold_at_every_scale() {
         for t in sweep(&[1, 2, 8, 64, 512, 4096], 7) {
-            assert!(t.assembly_s < 3.0, "{} nodes assembled in {:.2}s", t.nodes, t.assembly_s);
-            assert!(t.teardown_s < 6.0, "{} nodes torn down in {:.2}s", t.nodes, t.teardown_s);
+            assert!(
+                t.assembly_s < 3.0,
+                "{} nodes assembled in {:.2}s",
+                t.nodes,
+                t.assembly_s
+            );
+            assert!(
+                t.teardown_s < 6.0,
+                "{} nodes torn down in {:.2}s",
+                t.nodes,
+                t.teardown_s
+            );
         }
     }
 

@@ -26,7 +26,12 @@ pub struct LustreModel {
 
 impl Default for LustreModel {
     fn default() -> Self {
-        LustreModel { oss_servers: 32, mds_servers: 2, write_gbps: 120.0, client_cpu_fraction: 0.15 }
+        LustreModel {
+            oss_servers: 32,
+            mds_servers: 2,
+            write_gbps: 120.0,
+            client_cpu_fraction: 0.15,
+        }
     }
 }
 

@@ -60,7 +60,10 @@ pub struct Cluster {
 impl Cluster {
     /// A cluster of `nodes` ThunderX2 nodes.
     pub fn thunderx2(nodes: usize) -> Cluster {
-        Cluster { spec: NodeSpec::thunderx2(), nodes }
+        Cluster {
+            spec: NodeSpec::thunderx2(),
+            nodes,
+        }
     }
 }
 

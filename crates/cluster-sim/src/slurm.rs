@@ -28,12 +28,20 @@ pub struct JobSpec {
 impl JobSpec {
     /// A job with the `beeond` constraint set.
     pub fn with_beeond(nodes: usize, walltime_s: f64) -> JobSpec {
-        JobSpec { nodes, walltime_s, constraints: vec!["beeond".to_string()] }
+        JobSpec {
+            nodes,
+            walltime_s,
+            constraints: vec!["beeond".to_string()],
+        }
     }
 
     /// A plain job.
     pub fn plain(nodes: usize, walltime_s: f64) -> JobSpec {
-        JobSpec { nodes, walltime_s, constraints: Vec::new() }
+        JobSpec {
+            nodes,
+            walltime_s,
+            constraints: Vec::new(),
+        }
     }
 
     /// Whether the `beeond` constraint is present (the Prolog check the
@@ -123,7 +131,12 @@ pub struct HookTimes {
 
 impl Default for HookTimes {
     fn default() -> Self {
-        HookTimes { beeond_prolog_s: 2.8, plain_prolog_s: 0.5, beeond_epilog_s: 5.5, plain_epilog_s: 0.5 }
+        HookTimes {
+            beeond_prolog_s: 2.8,
+            plain_prolog_s: 0.5,
+            beeond_epilog_s: 5.5,
+            plain_epilog_s: 0.5,
+        }
     }
 }
 
@@ -173,7 +186,14 @@ impl Wlm {
         self.next_job += 1;
         self.jobs.insert(
             id,
-            JobRecord { spec, state: JobState::Pending, first_node: None, started_at: None, ended_at: None, payload_s },
+            JobRecord {
+                spec,
+                state: JobState::Pending,
+                first_node: None,
+                started_at: None,
+                ended_at: None,
+                payload_s,
+            },
         );
         self.queue.push(id);
         s.after(SimTime::ZERO, WlmEvent::Schedule);
@@ -229,9 +249,7 @@ impl Wlm {
         let mut releases: Vec<(SimTime, usize)> = self
             .jobs
             .values()
-            .filter(|j| {
-                matches!(j.state, JobState::Prolog | JobState::Running | JobState::Epilog)
-            })
+            .filter(|j| matches!(j.state, JobState::Prolog | JobState::Running | JobState::Epilog))
             .map(|j| {
                 let start = j.started_at.unwrap_or(now);
                 let bound = start.plus(SimTime::from_secs_f64(
@@ -292,7 +310,11 @@ impl Model for Wlm {
                         *node = NodeState::Allocated;
                     }
                     let wants_beeond = j.spec.wants_beeond();
-                    let prolog = if wants_beeond { self.hooks.beeond_prolog_s } else { self.hooks.plain_prolog_s };
+                    let prolog = if wants_beeond {
+                        self.hooks.beeond_prolog_s
+                    } else {
+                        self.hooks.plain_prolog_s
+                    };
                     let fails = wants_beeond && self.rand01() < self.prolog_failure_prob;
                     let j = self.jobs.get_mut(&id).expect("checked");
                     j.first_node = Some(first);
@@ -330,7 +352,11 @@ impl Model for Wlm {
                 }
                 j.state = JobState::Epilog;
                 j.ended_at = Some(t);
-                let epilog = if j.spec.wants_beeond() { self.hooks.beeond_epilog_s } else { self.hooks.plain_epilog_s };
+                let epilog = if j.spec.wants_beeond() {
+                    self.hooks.beeond_epilog_s
+                } else {
+                    self.hooks.plain_epilog_s
+                };
                 // Remember how it ended; applied at EpilogDone.
                 j.payload_s = if timed_out { f64::NAN } else { j.payload_s };
                 s.after(SimTime::from_secs_f64(epilog), WlmEvent::EpilogDone(id));
@@ -340,7 +366,11 @@ impl Model for Wlm {
                 if j.state != JobState::Epilog {
                     return;
                 }
-                j.state = if j.payload_s.is_nan() { JobState::TimedOut } else { JobState::Completed };
+                j.state = if j.payload_s.is_nan() {
+                    JobState::TimedOut
+                } else {
+                    JobState::Completed
+                };
                 let first = j.first_node.expect("ran");
                 let n = j.spec.nodes;
                 for node in &mut self.nodes[first..first + n] {
@@ -422,7 +452,11 @@ mod tests {
         // Drained nodes are not reallocated.
         let id2 = wlm.submit(JobSpec::plain(3, 100.0), 1.0, &mut s);
         Engine::run(&mut wlm, &mut s);
-        assert_eq!(wlm.job(id2).unwrap().state, JobState::Pending, "only 2 idle nodes remain");
+        assert_eq!(
+            wlm.job(id2).unwrap().state,
+            JobState::Pending,
+            "only 2 idle nodes remain"
+        );
     }
 
     #[test]
@@ -459,7 +493,10 @@ mod tests {
         let shadow = wlm.shadow_time(4, now).expect("releases eventually");
         // Walltime 100 s from start (0.5 s prolog) + worst-case epilog
         // bound (the BeeOND teardown, 5.5 s — the estimate is conservative).
-        assert!(shadow.as_secs_f64() > 100.0 && shadow.as_secs_f64() < 107.0, "{shadow:?}");
+        assert!(
+            shadow.as_secs_f64() > 100.0 && shadow.as_secs_f64() < 107.0,
+            "{shadow:?}"
+        );
         // More nodes than the cluster has: never.
         assert!(wlm.shadow_time(99, now).is_none());
     }

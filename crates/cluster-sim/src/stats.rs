@@ -6,9 +6,8 @@ use serde::Serialize;
 /// Two-sided 97.5 % Student-t quantiles by degrees of freedom (1–30);
 /// beyond 30 the normal quantile 1.96 is used.
 const T_975: [f64; 30] = [
-    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
-    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
-    2.052, 2.048, 2.045, 2.042,
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+    2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
 ];
 
 /// Student-t 97.5 % quantile for `df` degrees of freedom.
@@ -45,12 +44,24 @@ impl Summary {
         let n = xs.len();
         let mean = xs.iter().sum::<f64>() / n as f64;
         if n == 1 {
-            return Summary { n, mean, stddev: 0.0, ci_low: mean, ci_high: mean };
+            return Summary {
+                n,
+                mean,
+                stddev: 0.0,
+                ci_low: mean,
+                ci_high: mean,
+            };
         }
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
         let stddev = var.sqrt();
         let half = t_quantile_975(n - 1) * stddev / (n as f64).sqrt();
-        Summary { n, mean, stddev, ci_low: mean - half, ci_high: mean + half }
+        Summary {
+            n,
+            mean,
+            stddev,
+            ci_low: mean - half,
+            ci_high: mean + half,
+        }
     }
 
     /// Half-width of the CI.

@@ -26,14 +26,54 @@ pub struct HplParams {
 
 /// The paper's Table II, verbatim.
 pub const TABLE_II: [HplParams; 8] = [
-    HplParams { nodes: 1, n: 91048, p: 7, q: 8 },
-    HplParams { nodes: 2, n: 114713, p: 14, q: 8 },
-    HplParams { nodes: 4, n: 144529, p: 14, q: 16 },
-    HplParams { nodes: 8, n: 182096, p: 28, q: 16 },
-    HplParams { nodes: 16, n: 229427, p: 28, q: 32 },
-    HplParams { nodes: 32, n: 289059, p: 56, q: 32 },
-    HplParams { nodes: 64, n: 364192, p: 56, q: 64 },
-    HplParams { nodes: 128, n: 458853, p: 112, q: 64 },
+    HplParams {
+        nodes: 1,
+        n: 91048,
+        p: 7,
+        q: 8,
+    },
+    HplParams {
+        nodes: 2,
+        n: 114713,
+        p: 14,
+        q: 8,
+    },
+    HplParams {
+        nodes: 4,
+        n: 144529,
+        p: 14,
+        q: 16,
+    },
+    HplParams {
+        nodes: 8,
+        n: 182096,
+        p: 28,
+        q: 16,
+    },
+    HplParams {
+        nodes: 16,
+        n: 229427,
+        p: 28,
+        q: 32,
+    },
+    HplParams {
+        nodes: 32,
+        n: 289059,
+        p: 56,
+        q: 32,
+    },
+    HplParams {
+        nodes: 64,
+        n: 364192,
+        p: 56,
+        q: 64,
+    },
+    HplParams {
+        nodes: 128,
+        n: 458853,
+        p: 112,
+        q: 64,
+    },
 ];
 
 /// Derive an HPL parameter row for `nodes` nodes of `spec`, following the
@@ -106,7 +146,14 @@ mod tests {
         for row in TABLE_II {
             let d = derive_params(&spec, row.nodes);
             let rel = (d.n as f64 - row.n as f64).abs() / row.n as f64;
-            assert!(rel < 0.02, "N for {} nodes: derived {} vs table {} ({:.3})", row.nodes, d.n, row.n, rel);
+            assert!(
+                rel < 0.02,
+                "N for {} nodes: derived {} vs table {} ({:.3})",
+                row.nodes,
+                d.n,
+                row.n,
+                rel
+            );
             assert_eq!((d.p, d.q), (row.p, row.q), "grid for {} nodes", row.nodes);
         }
     }

@@ -117,7 +117,9 @@ mod tests {
     #[test]
     fn command_line_contains_all_flags() {
         let cmd = IorParams::default().command_line();
-        for flag in ["-t 512", "-T 20", "-D 60", "-e", "-C", "-w", "-a POSIX", "-s 1024", "-F", "-Y"] {
+        for flag in [
+            "-t 512", "-T 20", "-D 60", "-e", "-C", "-w", "-a POSIX", "-s 1024", "-F", "-Y",
+        ] {
             assert!(cmd.contains(flag), "missing {flag} in {cmd}");
         }
     }

@@ -51,7 +51,12 @@ pub struct PowerModel {
 
 impl Default for PowerModel {
     fn default() -> Self {
-        PowerModel { watts_per_core: 3.0, watts_per_gib: 0.4, watts_per_gpu: 300.0, idle_fraction: 0.45 }
+        PowerModel {
+            watts_per_core: 3.0,
+            watts_per_gib: 0.4,
+            watts_per_gpu: 300.0,
+            idle_fraction: 0.45,
+        }
     }
 }
 
@@ -93,15 +98,19 @@ pub fn static_outcome(jobs: &[JobDemand], shape: StaticNodeShape, nodes: usize, 
     let prov_cores = (nodes as f64) * f64::from(shape.cores);
     let prov_mem = (nodes as f64) * shape.memory_gib as f64;
     let prov_gpus = (nodes as f64) * f64::from(shape.gpus);
-    let active_power = used_cores * power.watts_per_core
-        + used_mem * power.watts_per_gib
-        + used_gpus * power.watts_per_gpu;
+    let active_power =
+        used_cores * power.watts_per_core + used_mem * power.watts_per_gib + used_gpus * power.watts_per_gpu;
     let idle_power = ((prov_cores - used_cores) * power.watts_per_core
         + (prov_mem - used_mem) * power.watts_per_gib
         + (prov_gpus - used_gpus) * power.watts_per_gpu)
         * power.idle_fraction;
     outcome_from(
-        used_cores, prov_cores, used_mem, prov_mem, used_gpus, prov_gpus,
+        used_cores,
+        prov_cores,
+        used_mem,
+        prov_mem,
+        used_gpus,
+        prov_gpus,
         active_power + idle_power,
         rejected,
         power,
@@ -141,12 +150,16 @@ pub fn composable_outcome(
     let prov_gpus = f64::from(pool_gpus);
     // Unbound pool capacity is power-gated: it draws nothing. Unused cores
     // on occupied nodes still idle-draw.
-    let active_power = used_cores * power.watts_per_core
-        + used_mem * power.watts_per_gib
-        + used_gpus * power.watts_per_gpu;
+    let active_power =
+        used_cores * power.watts_per_core + used_mem * power.watts_per_gib + used_gpus * power.watts_per_gpu;
     let idle_core_power = (prov_cores - used_cores) * power.watts_per_core * power.idle_fraction;
     outcome_from(
-        used_cores, prov_cores, used_mem, prov_mem, used_gpus, prov_gpus,
+        used_cores,
+        prov_cores,
+        used_mem,
+        prov_mem,
+        used_gpus,
+        prov_gpus,
         active_power + idle_core_power,
         rejected,
         power,
@@ -201,11 +214,23 @@ pub fn heterogeneous_mix(n: usize, seed: u64) -> Vec<JobDemand> {
         .map(|_| {
             let r = next() % 100;
             if r < 70 {
-                JobDemand { cores: 16 + (next() % 16) as u32, memory_gib: 16 + next() % 32, gpus: 0 }
+                JobDemand {
+                    cores: 16 + (next() % 16) as u32,
+                    memory_gib: 16 + next() % 32,
+                    gpus: 0,
+                }
             } else if r < 90 {
-                JobDemand { cores: 32, memory_gib: 192 + next() % 192, gpus: 0 }
+                JobDemand {
+                    cores: 32,
+                    memory_gib: 192 + next() % 192,
+                    gpus: 0,
+                }
             } else {
-                JobDemand { cores: 24, memory_gib: 64, gpus: 1 + (next() % 2) as u32 }
+                JobDemand {
+                    cores: 24,
+                    memory_gib: 64,
+                    gpus: 1 + (next() % 2) as u32,
+                }
             }
         })
         .collect()
@@ -217,7 +242,11 @@ mod tests {
 
     fn shape() -> StaticNodeShape {
         // Worst-case provisioning: every node big enough for the hungriest job.
-        StaticNodeShape { cores: 32, memory_gib: 384, gpus: 2 }
+        StaticNodeShape {
+            cores: 32,
+            memory_gib: 384,
+            gpus: 2,
+        }
     }
 
     #[test]
@@ -243,7 +272,11 @@ mod tests {
 
     #[test]
     fn static_rejects_jobs_bigger_than_a_node() {
-        let jobs = vec![JobDemand { cores: 64, memory_gib: 10, gpus: 0 }];
+        let jobs = vec![JobDemand {
+            cores: 64,
+            memory_gib: 10,
+            gpus: 0,
+        }];
         let st = static_outcome(&jobs, shape(), 4, &PowerModel::default());
         assert_eq!(st.rejected_jobs, 1);
     }
@@ -251,8 +284,16 @@ mod tests {
     #[test]
     fn composable_rejects_when_pool_exhausted() {
         let jobs = vec![
-            JobDemand { cores: 8, memory_gib: 100, gpus: 0 },
-            JobDemand { cores: 8, memory_gib: 100, gpus: 0 },
+            JobDemand {
+                cores: 8,
+                memory_gib: 100,
+                gpus: 0,
+            },
+            JobDemand {
+                cores: 8,
+                memory_gib: 100,
+                gpus: 0,
+            },
         ];
         let co = composable_outcome(&jobs, 8, 32, 150, 0, &PowerModel::default());
         assert_eq!(co.rejected_jobs, 1, "second job exceeds remaining pool");
@@ -268,7 +309,12 @@ mod tests {
     fn utilizations_bounded() {
         let jobs = heterogeneous_mix(32, 1);
         let o = static_outcome(&jobs, shape(), 32, &PowerModel::default());
-        for v in [o.core_utilization, o.memory_utilization, o.gpu_utilization, o.stranded_fraction] {
+        for v in [
+            o.core_utilization,
+            o.memory_utilization,
+            o.gpu_utilization,
+            o.stranded_fraction,
+        ] {
             assert!((0.0..=1.0).contains(&v), "{v} out of range");
         }
     }

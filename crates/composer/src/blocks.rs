@@ -34,13 +34,7 @@ impl BlockKind {
     }
 }
 
-fn block_doc(
-    id: &str,
-    kind: BlockKind,
-    backing: &ODataId,
-    composed: bool,
-    capacity: Option<(&str, u64)>,
-) -> Value {
+fn block_doc(id: &str, kind: BlockKind, backing: &ODataId, composed: bool, capacity: Option<(&str, u64)>) -> Value {
     let mut doc = json!({
         "@odata.type": "#ResourceBlock.v1_4_0.ResourceBlock",
         "Id": id,
@@ -79,8 +73,10 @@ pub fn sync_resource_blocks(composer: &Composer) -> RedfishResult<usize> {
     let mut n = 0;
     for c in &free.compute {
         let id = format!("compute-{}", c.system.leaf());
-        ofmf.registry
-            .create(&col.child(&id), block_doc(&id, BlockKind::Compute, &c.system, false, None))?;
+        ofmf.registry.create(
+            &col.child(&id),
+            block_doc(&id, BlockKind::Compute, &c.system, false, None),
+        )?;
         n += 1;
     }
     for node in &bound_nodes {
@@ -90,28 +86,50 @@ pub fn sync_resource_blocks(composer: &Composer) -> RedfishResult<usize> {
         n += 1;
     }
     for m in &free.memory {
-        let chassis = m.domain.parent().and_then(|p| p.parent()).unwrap_or_else(|| m.domain.clone());
+        let chassis = m
+            .domain
+            .parent()
+            .and_then(|p| p.parent())
+            .unwrap_or_else(|| m.domain.clone());
         let id = format!("memory-{}", chassis.leaf());
         let composed = m.free_mib < m.total_mib;
         ofmf.registry.create(
             &col.child(&id),
-            block_doc(&id, BlockKind::Memory, &m.domain, composed, Some(("FreeMiB", m.free_mib))),
+            block_doc(
+                &id,
+                BlockKind::Memory,
+                &m.domain,
+                composed,
+                Some(("FreeMiB", m.free_mib)),
+            ),
         )?;
         n += 1;
     }
     for g in &free.gpus {
         let id = format!("gpu-{}", g.processor.leaf());
-        ofmf.registry
-            .create(&col.child(&id), block_doc(&id, BlockKind::Gpu, &g.processor, g.assigned, None))?;
+        ofmf.registry.create(
+            &col.child(&id),
+            block_doc(&id, BlockKind::Gpu, &g.processor, g.assigned, None),
+        )?;
         n += 1;
     }
     for s in &free.storage {
-        let svc = s.pool.parent().and_then(|p| p.parent()).unwrap_or_else(|| s.pool.clone());
+        let svc = s
+            .pool
+            .parent()
+            .and_then(|p| p.parent())
+            .unwrap_or_else(|| s.pool.clone());
         let id = format!("storage-{}", svc.leaf());
         let composed = s.free_bytes < s.total_bytes;
         ofmf.registry.create(
             &col.child(&id),
-            block_doc(&id, BlockKind::Storage, &s.pool, composed, Some(("FreeBytes", s.free_bytes))),
+            block_doc(
+                &id,
+                BlockKind::Storage,
+                &s.pool,
+                composed,
+                Some(("FreeBytes", s.free_bytes)),
+            ),
         )?;
         n += 1;
     }
@@ -128,9 +146,12 @@ mod tests {
     fn rig() -> Arc<ofmf_core::Ofmf> {
         let o = ofmf_core::Ofmf::new("blocks", std::collections::HashMap::new(), 5);
         let shape = RackShape::default();
-        o.register_agent(Arc::new(cxl_agent("CXL0", &shape, 1 << 20, 1))).unwrap();
-        o.register_agent(Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, 2))).unwrap();
-        o.register_agent(Arc::new(infiniband_agent("IB0", &shape, "A100", 3))).unwrap();
+        o.register_agent(Arc::new(cxl_agent("CXL0", &shape, 1 << 20, 1)))
+            .unwrap();
+        o.register_agent(Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, 2)))
+            .unwrap();
+        o.register_agent(Arc::new(infiniband_agent("IB0", &shape, "A100", 3)))
+            .unwrap();
         o
     }
 
@@ -152,7 +173,11 @@ mod tests {
 
         // Compose and resync: the bound node + carved memory flip state.
         let composed = composer
-            .compose(&CompositionRequest::compute_only("blk", 8, 8).with_fabric_memory_mib(1024).with_gpus(1))
+            .compose(
+                &CompositionRequest::compute_only("blk", 8, 8)
+                    .with_fabric_memory_mib(1024)
+                    .with_gpus(1),
+            )
             .unwrap();
         sync_resource_blocks(&composer).unwrap();
         let node_block = col.child(&format!("compute-{}", composed.node.leaf()));
@@ -165,9 +190,7 @@ mod tests {
             .members(&col)
             .unwrap()
             .iter()
-            .filter(|m| {
-                ofmf.registry.get(m).unwrap().body["CompositionStatus"]["CompositionState"] == "Composed"
-            })
+            .filter(|m| ofmf.registry.get(m).unwrap().body["CompositionStatus"]["CompositionState"] == "Composed")
             .count();
         assert_eq!(composed_count, 3, "node + memory pool + gpu");
 
@@ -181,7 +204,11 @@ mod tests {
             .collect();
         let free_total: u64 = mem_blocks
             .iter()
-            .map(|m| ofmf.registry.get(m).unwrap().body["Oem"]["OFMF"]["FreeMiB"].as_u64().unwrap())
+            .map(|m| {
+                ofmf.registry.get(m).unwrap().body["Oem"]["OFMF"]["FreeMiB"]
+                    .as_u64()
+                    .unwrap()
+            })
             .sum();
         assert_eq!(free_total, (2 << 20) - 1024);
     }

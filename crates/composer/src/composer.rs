@@ -21,6 +21,63 @@ use serde_json::json;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+struct ComposerMetrics {
+    /// `ofmf.composer.compose.<strategy>.latency_ns`, indexed by
+    /// [`Strategy::index`].
+    compose_latency: [Arc<ofmf_obs::Histogram>; 3],
+    /// `ofmf.composer.decompose.latency_ns`
+    decompose_latency: Arc<ofmf_obs::Histogram>,
+    /// `ofmf.composer.composed.total`
+    composed: Arc<ofmf_obs::Counter>,
+    /// `ofmf.composer.reject.<reason>` — why requests were refused.
+    reject_no_node: Arc<ofmf_obs::Counter>,
+    reject_memory: Arc<ofmf_obs::Counter>,
+    reject_gpu: Arc<ofmf_obs::Counter>,
+    reject_storage: Arc<ofmf_obs::Counter>,
+    reject_other: Arc<ofmf_obs::Counter>,
+}
+
+impl ComposerMetrics {
+    fn count_rejection(&self, e: &RedfishError) {
+        let c = match e {
+            RedfishError::InsufficientResources(msg) => {
+                if msg.contains("node") {
+                    &self.reject_no_node
+                } else if msg.contains("memory") || msg.contains("spread") {
+                    &self.reject_memory
+                } else if msg.contains("GPU") {
+                    &self.reject_gpu
+                } else if msg.contains("storage") {
+                    &self.reject_storage
+                } else {
+                    &self.reject_other
+                }
+            }
+            _ => &self.reject_other,
+        };
+        c.inc();
+    }
+}
+
+fn composer_metrics() -> &'static ComposerMetrics {
+    static METRICS: std::sync::OnceLock<ComposerMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| ComposerMetrics {
+        compose_latency: std::array::from_fn(|i| {
+            ofmf_obs::histogram(&format!(
+                "ofmf.composer.compose.{}.latency_ns",
+                Strategy::ALL[i].label()
+            ))
+        }),
+        decompose_latency: ofmf_obs::histogram("ofmf.composer.decompose.latency_ns"),
+        composed: ofmf_obs::counter("ofmf.composer.composed.total"),
+        reject_no_node: ofmf_obs::counter("ofmf.composer.reject.no_node"),
+        reject_memory: ofmf_obs::counter("ofmf.composer.reject.memory"),
+        reject_gpu: ofmf_obs::counter("ofmf.composer.reject.gpu"),
+        reject_storage: ofmf_obs::counter("ofmf.composer.reject.storage"),
+        reject_other: ofmf_obs::counter("ofmf.composer.reject.other"),
+    })
+}
+
 /// The Composability Manager.
 pub struct Composer {
     ofmf: Arc<Ofmf>,
@@ -33,7 +90,12 @@ impl Composer {
     /// New composer over an OFMF with the given strategy and default
     /// policies.
     pub fn new(ofmf: Arc<Ofmf>, strategy: Strategy) -> Self {
-        Composer { ofmf, strategy, policy: PolicySet::default(), state: Mutex::new(BTreeMap::new()) }
+        Composer {
+            ofmf,
+            strategy,
+            policy: PolicySet::default(),
+            state: Mutex::new(BTreeMap::new()),
+        }
     }
 
     /// Override the policy set.
@@ -74,6 +136,17 @@ impl Composer {
     /// Satisfy a composition request, or fail with 507 when the pools
     /// cannot cover it. All-or-nothing: partial bindings are rolled back.
     pub fn compose(&self, request: &CompositionRequest) -> RedfishResult<ComposedSystem> {
+        let metrics = composer_metrics();
+        let _span = ofmf_obs::Trace::begin(&metrics.compose_latency[self.strategy.index()]);
+        let result = self.compose_inner(request);
+        match &result {
+            Ok(_) => metrics.composed.inc(),
+            Err(e) => metrics.count_rejection(e),
+        }
+        result
+    }
+
+    fn compose_inner(&self, request: &CompositionRequest) -> RedfishResult<ComposedSystem> {
         let inv = self.inventory();
 
         // 1. Pick the compute node.
@@ -112,7 +185,13 @@ impl Composer {
                     })?;
                 for (idx, size) in plan {
                     let p = eligible[idx];
-                    planned.push((p.fabric.clone(), p.endpoint.clone(), p.domain.clone(), size, BindingKind::Memory));
+                    planned.push((
+                        p.fabric.clone(),
+                        p.endpoint.clone(),
+                        p.domain.clone(),
+                        size,
+                        BindingKind::Memory,
+                    ));
                 }
             } else {
                 let eligible: Vec<crate::inventory::MemoryPool> = inv
@@ -296,7 +375,14 @@ impl Composer {
             .or_else(|| conn_body["Oem"]["OFMF"]["Resource"]["@odata.id"].as_str())
             .map(ODataId::new)
             .unwrap_or_else(|| target_ep.clone());
-        Ok(Binding { fabric: fabric.to_string(), zone, connection, resource, size, kind })
+        Ok(Binding {
+            fabric: fabric.to_string(),
+            zone,
+            connection,
+            resource,
+            size,
+            kind,
+        })
     }
 
     fn unbind_all(&self, bindings: &[Binding]) {
@@ -316,6 +402,7 @@ impl Composer {
 
     /// Tear a composition down, returning every resource to its pool.
     pub fn decompose(&self, system: &ODataId) -> RedfishResult<()> {
+        let _span = ofmf_obs::Trace::begin(&composer_metrics().decompose_latency);
         let composed = self
             .state
             .lock()
@@ -340,7 +427,9 @@ impl Composer {
     pub fn grow_memory(&self, system: &ODataId, extra_mib: u64) -> RedfishResult<Binding> {
         let (node_endpoints, _node) = {
             let state = self.state.lock();
-            let c = state.get(system).ok_or_else(|| RedfishError::NotFound(system.clone()))?;
+            let c = state
+                .get(system)
+                .ok_or_else(|| RedfishError::NotFound(system.clone()))?;
             let inv_node = Inventory::scan(&self.ofmf, &[])
                 .compute
                 .into_iter()
@@ -362,9 +451,7 @@ impl Composer {
             .cloned()
             .collect();
         let pool = choose_memory(self.strategy, &eligible, extra_mib, &self.ofmf, &node_endpoints)
-            .ok_or_else(|| {
-                RedfishError::InsufficientResources(format!("no pool can grow by {extra_mib} MiB"))
-            })?
+            .ok_or_else(|| RedfishError::InsufficientResources(format!("no pool can grow by {extra_mib} MiB")))?
             .clone();
         let initiator = node_endpoints
             .get(&pool.fabric)
@@ -377,10 +464,18 @@ impl Composer {
                 .map(|c| c.request.memory_bandwidth_gbps)
                 .unwrap_or(0.0)
         };
-        let binding =
-            self.bind(&pool.fabric, &initiator, &pool.endpoint, extra_mib, BindingKind::Memory, qos)?;
+        let binding = self.bind(
+            &pool.fabric,
+            &initiator,
+            &pool.endpoint,
+            extra_mib,
+            BindingKind::Memory,
+            qos,
+        )?;
         let mut state = self.state.lock();
-        let c = state.get_mut(system).ok_or_else(|| RedfishError::NotFound(system.clone()))?;
+        let c = state
+            .get_mut(system)
+            .ok_or_else(|| RedfishError::NotFound(system.clone()))?;
         c.bindings.push(binding.clone());
         let node_gib = self
             .ofmf
@@ -411,15 +506,15 @@ impl Composer {
     pub fn attach_storage(&self, system: &ODataId, bytes: u64) -> RedfishResult<Binding> {
         let node = {
             let state = self.state.lock();
-            let c = state.get(system).ok_or_else(|| RedfishError::NotFound(system.clone()))?;
+            let c = state
+                .get(system)
+                .ok_or_else(|| RedfishError::NotFound(system.clone()))?;
             c.node.clone()
         };
         let node_endpoints = Self::endpoints_of(&self.ofmf, &node);
         let inv = Inventory::scan(&self.ofmf, &[]);
         let pool = choose_storage(self.strategy, &inv.storage, bytes, &self.ofmf, &node_endpoints)
-            .ok_or_else(|| {
-                RedfishError::InsufficientResources(format!("no storage pool with {bytes} bytes"))
-            })?
+            .ok_or_else(|| RedfishError::InsufficientResources(format!("no storage pool with {bytes} bytes")))?
             .clone();
         let initiator = node_endpoints
             .get(&pool.fabric)
@@ -432,10 +527,18 @@ impl Composer {
                 .map(|c| c.request.storage_bandwidth_gbps)
                 .unwrap_or(0.0)
         };
-        let binding =
-            self.bind(&pool.fabric, &initiator, &pool.endpoint, bytes, BindingKind::Storage, qos)?;
+        let binding = self.bind(
+            &pool.fabric,
+            &initiator,
+            &pool.endpoint,
+            bytes,
+            BindingKind::Storage,
+            qos,
+        )?;
         let mut state = self.state.lock();
-        let c = state.get_mut(system).ok_or_else(|| RedfishError::NotFound(system.clone()))?;
+        let c = state
+            .get_mut(system)
+            .ok_or_else(|| RedfishError::NotFound(system.clone()))?;
         c.bindings.push(binding.clone());
         drop(state);
         self.refresh_resource_blocks(system);
@@ -467,11 +570,14 @@ impl Composer {
     fn endpoints_of(ofmf: &Ofmf, node: &ODataId) -> BTreeMap<String, ODataId> {
         let mut out = BTreeMap::new();
         for ep_id in ofmf.registry.ids_of_type("#Endpoint.") {
-            let Ok(stored) = ofmf.registry.get(&ep_id) else { continue };
-            let Some(entities) = stored.body["ConnectedEntities"].as_array() else { continue };
+            let Ok(stored) = ofmf.registry.get(&ep_id) else {
+                continue;
+            };
+            let Some(entities) = stored.body["ConnectedEntities"].as_array() else {
+                continue;
+            };
             let is_ours = entities.iter().any(|e| {
-                e["EntityRole"] == "Initiator"
-                    && e["EntityLink"]["@odata.id"].as_str() == Some(node.as_str())
+                e["EntityRole"] == "Initiator" && e["EntityLink"]["@odata.id"].as_str() == Some(node.as_str())
             });
             if is_ours {
                 if let Some(f) = redfish_model::path::fabric_id_of(ep_id.as_str()) {

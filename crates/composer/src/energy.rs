@@ -67,21 +67,33 @@ pub fn gating_report(composer: &Composer) -> GatingReport {
     for m in &inv.memory {
         if m.free_mib == m.total_mib {
             if let Some(ch) = chassis_of(&m.domain) {
-                report.gateable.push(Gateable { resource: ch, kind: "memory", watts: idle_watts("memory") });
+                report.gateable.push(Gateable {
+                    resource: ch,
+                    kind: "memory",
+                    watts: idle_watts("memory"),
+                });
             }
         }
     }
     for g in &inv.gpus {
         if !g.assigned {
             if let Some(ch) = chassis_of(&g.processor) {
-                report.gateable.push(Gateable { resource: ch, kind: "gpu", watts: idle_watts("gpu") });
+                report.gateable.push(Gateable {
+                    resource: ch,
+                    kind: "gpu",
+                    watts: idle_watts("gpu"),
+                });
             }
         }
     }
     for s in &inv.storage {
         if s.free_bytes == s.total_bytes {
             if let Some(ch) = chassis_of(&s.pool) {
-                report.gateable.push(Gateable { resource: ch, kind: "storage", watts: idle_watts("storage") });
+                report.gateable.push(Gateable {
+                    resource: ch,
+                    kind: "storage",
+                    watts: idle_watts("storage"),
+                });
             }
         }
     }
@@ -183,9 +195,12 @@ mod tests {
     fn rig() -> Arc<ofmf_core::Ofmf> {
         let o = ofmf_core::Ofmf::new("energy", std::collections::HashMap::new(), 5);
         let shape = RackShape::default();
-        o.register_agent(Arc::new(cxl_agent("CXL0", &shape, 1 << 20, 1))).unwrap();
-        o.register_agent(Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, 2))).unwrap();
-        o.register_agent(Arc::new(infiniband_agent("IB0", &shape, "A100", 3))).unwrap();
+        o.register_agent(Arc::new(cxl_agent("CXL0", &shape, 1 << 20, 1)))
+            .unwrap();
+        o.register_agent(Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, 2)))
+            .unwrap();
+        o.register_agent(Arc::new(infiniband_agent("IB0", &shape, "A100", 3)))
+            .unwrap();
         o
     }
 
@@ -209,16 +224,17 @@ mod tests {
         let ofmf = rig();
         let composer = Composer::new(Arc::clone(&ofmf), Strategy::FirstFit);
         composer
-            .compose(&CompositionRequest::compute_only("user", 8, 8).with_fabric_memory_mib(64).with_gpus(1))
+            .compose(
+                &CompositionRequest::compute_only("user", 8, 8)
+                    .with_fabric_memory_mib(64)
+                    .with_gpus(1),
+            )
             .unwrap();
         let report = gating_report(&composer);
         // One memory appliance carved, one GPU granted → 1 memory + 1 gpu
         // + 2 storage remain gateable.
         assert_eq!(report.gateable.len(), 4);
-        assert!(!report
-            .gateable
-            .iter()
-            .any(|g| g.resource.as_str().contains("mem00")));
+        assert!(!report.gateable.iter().any(|g| g.resource.as_str().contains("mem00")));
     }
 
     #[test]

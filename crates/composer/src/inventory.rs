@@ -145,13 +145,20 @@ impl Inventory {
                 continue;
             }
             let cores = stored.body["ProcessorSummary"]["CoreCount"].as_u64().unwrap_or(0) as u32;
-            let memory_gib = stored.body["MemorySummary"]["TotalSystemMemoryGiB"].as_u64().unwrap_or(0);
+            let memory_gib = stored.body["MemorySummary"]["TotalSystemMemoryGiB"]
+                .as_u64()
+                .unwrap_or(0);
             let endpoints: BTreeMap<String, ODataId> = initiator_eps
                 .iter()
                 .filter(|(_, (_, link))| link == &sys_id)
                 .map(|(ep, (fabric, _))| (fabric.clone(), ep.clone()))
                 .collect();
-            inv.compute.push(ComputePool { system: sys_id, cores, memory_gib, endpoints });
+            inv.compute.push(ComputePool {
+                system: sys_id,
+                cores,
+                memory_gib,
+                endpoints,
+            });
         }
 
         // Fabric memory: each MemoryDomain, free = size - Σ chunk sizes.
@@ -191,8 +198,7 @@ impl Inventory {
             let Some((ep, (fabric, _))) = target_eps.iter().find(|(_, (_, link))| link == &proc_id) else {
                 continue;
             };
-            let assigned =
-                stored.body["Oem"]["OFMF"]["AssignedTo"].is_string() || offline(reg, &proc_id);
+            let assigned = stored.body["Oem"]["OFMF"]["AssignedTo"].is_string() || offline(reg, &proc_id);
             inv.gpus.push(GpuPool {
                 fabric: fabric.clone(),
                 endpoint: ep.clone(),
@@ -260,9 +266,12 @@ mod tests {
     fn rig() -> Arc<Ofmf> {
         let o = Ofmf::new("inv-uuid", HashMap::new(), 5);
         let shape = RackShape::default();
-        o.register_agent(Arc::new(cxl_agent("CXL0", &shape, 1 << 20, 1))).unwrap();
-        o.register_agent(Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, 2))).unwrap();
-        o.register_agent(Arc::new(infiniband_agent("IB0", &shape, "A100", 3))).unwrap();
+        o.register_agent(Arc::new(cxl_agent("CXL0", &shape, 1 << 20, 1)))
+            .unwrap();
+        o.register_agent(Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, 2)))
+            .unwrap();
+        o.register_agent(Arc::new(infiniband_agent("IB0", &shape, "A100", 3)))
+            .unwrap();
         o
     }
 
@@ -320,11 +329,7 @@ mod tests {
         .unwrap();
         let inv = Inventory::scan(&o, &[]);
         assert_eq!(inv.free_memory_mib(), (2 << 20) - 1024);
-        let mem00 = inv
-            .memory
-            .iter()
-            .find(|m| m.domain.as_str().contains("mem00"))
-            .unwrap();
+        let mem00 = inv.memory.iter().find(|m| m.domain.as_str().contains("mem00")).unwrap();
         assert_eq!(mem00.free_mib, (1 << 20) - 1024);
     }
 

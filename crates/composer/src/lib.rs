@@ -29,8 +29,8 @@
 
 pub mod accounting;
 pub mod blocks;
-pub mod energy;
 pub mod composer;
+pub mod energy;
 pub mod inventory;
 pub mod policy;
 pub mod request;

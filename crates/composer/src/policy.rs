@@ -22,7 +22,11 @@ pub struct PolicySet {
 
 impl Default for PolicySet {
     fn default() -> Self {
-        PolicySet { memory_headroom: 0.0, max_memory_spread: 4, min_pool_remainder_mib: 0 }
+        PolicySet {
+            memory_headroom: 0.0,
+            max_memory_spread: 4,
+            min_pool_remainder_mib: 0,
+        }
     }
 }
 
@@ -58,7 +62,7 @@ impl PolicySet {
             .map(|(i, p)| (i, self.offered_mib(p)))
             .filter(|(_, cap)| *cap > 0)
             .collect();
-        order.sort_by(|a, b| b.1.cmp(&a.1));
+        order.sort_by_key(|x| std::cmp::Reverse(x.1));
         let mut plan = Vec::new();
         let mut remaining = demand_mib;
         for (i, cap) in order.into_iter().take(self.max_memory_spread) {
@@ -94,7 +98,10 @@ mod tests {
     #[test]
     fn headroom_reduces_offer() {
         let p = pool(1000, 600);
-        let policy = PolicySet { memory_headroom: 0.2, ..PolicySet::default() };
+        let policy = PolicySet {
+            memory_headroom: 0.2,
+            ..PolicySet::default()
+        };
         assert_eq!(policy.offered_mib(&p), 400); // 600 free − 200 headroom
         assert!(policy.allows_carve(&p, 400));
         assert!(!policy.allows_carve(&p, 401));
@@ -103,7 +110,10 @@ mod tests {
     #[test]
     fn remainder_floor_blocks_fragments() {
         let p = pool(1000, 100);
-        let policy = PolicySet { min_pool_remainder_mib: 50, ..PolicySet::default() };
+        let policy = PolicySet {
+            min_pool_remainder_mib: 50,
+            ..PolicySet::default()
+        };
         assert!(policy.allows_carve(&p, 100), "exact drain allowed");
         assert!(policy.allows_carve(&p, 50), "remainder 50 == floor");
         assert!(!policy.allows_carve(&p, 60), "would leave 40 < 50");
@@ -129,7 +139,10 @@ mod tests {
         let p2 = pool(1000, 100);
         let p3 = pool(1000, 100);
         let pools = vec![&p1, &p2, &p3];
-        let policy = PolicySet { max_memory_spread: 2, ..PolicySet::default() };
+        let policy = PolicySet {
+            max_memory_spread: 2,
+            ..PolicySet::default()
+        };
         assert!(policy.spread_plan(&pools, 300).is_none(), "needs 3 pools but cap is 2");
         assert!(policy.spread_plan(&pools, 200).is_some());
     }

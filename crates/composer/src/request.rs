@@ -159,11 +159,7 @@ impl ComposedSystem {
     /// The `Links.ResourceBlocks` value for the composed system document.
     pub fn resource_block_links(&self) -> Value {
         let mut links: Vec<Value> = vec![json!({"@odata.id": self.node.as_str()})];
-        links.extend(
-            self.bindings
-                .iter()
-                .map(|b| json!({"@odata.id": b.resource.as_str()})),
-        );
+        links.extend(self.bindings.iter().map(|b| json!({"@odata.id": b.resource.as_str()})));
         Value::Array(links)
     }
 }
@@ -197,7 +193,11 @@ mod tests {
         let cs = ComposedSystem {
             system: ODataId::new("/redfish/v1/Systems/comp1"),
             node: ODataId::new("/redfish/v1/Systems/cn00"),
-            bindings: vec![mk(BindingKind::Memory, 1024), mk(BindingKind::Memory, 2048), mk(BindingKind::Gpu, 1)],
+            bindings: vec![
+                mk(BindingKind::Memory, 1024),
+                mk(BindingKind::Memory, 2048),
+                mk(BindingKind::Gpu, 1),
+            ],
             request: CompositionRequest::compute_only("j", 1, 1),
         };
         assert_eq!(cs.bound_memory_mib(), 3072);

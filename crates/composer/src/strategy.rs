@@ -30,6 +30,24 @@ pub enum Strategy {
 impl Strategy {
     /// All strategies (ablation benches).
     pub const ALL: [Strategy; 3] = [Strategy::FirstFit, Strategy::BestFit, Strategy::TopologyAware];
+
+    /// Stable lowercase label (metric names, CLI output).
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::FirstFit => "first_fit",
+            Strategy::BestFit => "best_fit",
+            Strategy::TopologyAware => "topology_aware",
+        }
+    }
+
+    /// Index into [`Strategy::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Strategy::FirstFit => 0,
+            Strategy::BestFit => 1,
+            Strategy::TopologyAware => 2,
+        }
+    }
 }
 
 /// Probe the hop count between two endpoints on `fabric`; `None` when the
@@ -38,7 +56,10 @@ fn probe_hops(ofmf: &Ofmf, fabric: &str, initiator: &ODataId, target: &ODataId) 
     let resp = ofmf
         .apply(
             fabric,
-            &AgentOp::ProbeRoute { initiator: initiator.clone(), target: target.clone() },
+            &AgentOp::ProbeRoute {
+                initiator: initiator.clone(),
+                target: target.clone(),
+            },
         )
         .ok()?;
     resp.payload?.get("Hops").and_then(Value::as_u64)
@@ -140,13 +161,20 @@ mod tests {
 
     fn ini_map(fabric: &str) -> BTreeMap<String, ODataId> {
         let mut m = BTreeMap::new();
-        m.insert(fabric.to_string(), ODataId::new(format!("/redfish/v1/Fabrics/{fabric}/Endpoints/cn00-ep")));
+        m.insert(
+            fabric.to_string(),
+            ODataId::new(format!("/redfish/v1/Fabrics/{fabric}/Endpoints/cn00-ep")),
+        );
         m
     }
 
     #[test]
     fn first_fit_takes_first_that_fits() {
-        let pools = vec![pool("F", "a", 100, 10), pool("F", "b", 100, 50), pool("F", "c", 100, 90)];
+        let pools = vec![
+            pool("F", "a", 100, 10),
+            pool("F", "b", 100, 50),
+            pool("F", "c", 100, 90),
+        ];
         let o = no_ofmf();
         let chosen = choose_memory(Strategy::FirstFit, &pools, 40, &o, &ini_map("F")).unwrap();
         assert_eq!(chosen.domain, pools[1].domain);
@@ -154,7 +182,11 @@ mod tests {
 
     #[test]
     fn best_fit_takes_tightest() {
-        let pools = vec![pool("F", "a", 100, 90), pool("F", "b", 100, 45), pool("F", "c", 100, 50)];
+        let pools = vec![
+            pool("F", "a", 100, 90),
+            pool("F", "b", 100, 45),
+            pool("F", "c", 100, 50),
+        ];
         let o = no_ofmf();
         let chosen = choose_memory(Strategy::BestFit, &pools, 40, &o, &ini_map("F")).unwrap();
         assert_eq!(chosen.domain, pools[1].domain);

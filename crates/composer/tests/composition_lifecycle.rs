@@ -16,8 +16,10 @@ fn rig() -> (Arc<Ofmf>, Arc<ofmf_agents::SimAgent>) {
     let shape = RackShape::default();
     let cxl = Arc::new(cxl_agent("CXL0", &shape, 1 << 20, 1));
     o.register_agent(Arc::clone(&cxl) as Arc<dyn ofmf_core::Agent>).unwrap();
-    o.register_agent(Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, 2))).unwrap();
-    o.register_agent(Arc::new(infiniband_agent("IB0", &shape, "A100", 3))).unwrap();
+    o.register_agent(Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, 2)))
+        .unwrap();
+    o.register_agent(Arc::new(infiniband_agent("IB0", &shape, "A100", 3)))
+        .unwrap();
     (o, cxl)
 }
 
@@ -114,8 +116,7 @@ fn spread_memory_uses_multiple_appliances() {
         .filter(|b| b.kind == BindingKind::Memory)
         .collect();
     assert_eq!(mem_bindings.len(), 2, "two appliances used");
-    let domains: std::collections::BTreeSet<&str> =
-        mem_bindings.iter().map(|b| b.resource.as_str()).collect();
+    let domains: std::collections::BTreeSet<&str> = mem_bindings.iter().map(|b| b.resource.as_str()).collect();
     assert_eq!(domains.len(), 2, "chunks on distinct appliances");
     assert_eq!(composed.bound_memory_mib(), (1 << 20) + (1 << 19));
 }
@@ -127,13 +128,11 @@ fn grow_memory_oom_mitigation() {
     let composed = c
         .compose(&CompositionRequest::compute_only("job1", 8, 8).with_fabric_memory_mib(1024))
         .unwrap();
-    let before = o.registry.get(&composed.system).unwrap().body["MemorySummary"]
-        ["TotalSystemMemoryGiB"]
+    let before = o.registry.get(&composed.system).unwrap().body["MemorySummary"]["TotalSystemMemoryGiB"]
         .as_u64()
         .unwrap();
     c.grow_memory(&composed.system, 64 * 1024).unwrap();
-    let after = o.registry.get(&composed.system).unwrap().body["MemorySummary"]
-        ["TotalSystemMemoryGiB"]
+    let after = o.registry.get(&composed.system).unwrap().body["MemorySummary"]["TotalSystemMemoryGiB"]
         .as_u64()
         .unwrap();
     assert_eq!(after, before + 64);

@@ -1,9 +1,7 @@
 //! Property tests: policy arithmetic, accounting bounds, and the composer's
 //! conservation law (compose ∘ decompose = identity on the inventory).
 
-use composer::accounting::{
-    composable_outcome, heterogeneous_mix, static_outcome, PowerModel, StaticNodeShape,
-};
+use composer::accounting::{composable_outcome, heterogeneous_mix, static_outcome, PowerModel, StaticNodeShape};
 use composer::inventory::MemoryPool;
 use composer::policy::PolicySet;
 use composer::{Composer, CompositionRequest, Strategy};
@@ -15,9 +13,12 @@ use std::sync::Arc;
 fn demo_rig(seed: u64) -> DemoRig {
     let ofmf = ofmf_core::Ofmf::new("prop-rig", std::collections::HashMap::new(), seed);
     let shape = RackShape::default();
-    ofmf.register_agent(Arc::new(cxl_agent("CXL0", &shape, 1 << 20, seed ^ 1))).unwrap();
-    ofmf.register_agent(Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, seed ^ 2))).unwrap();
-    ofmf.register_agent(Arc::new(infiniband_agent("IB0", &shape, "A100", seed ^ 3))).unwrap();
+    ofmf.register_agent(Arc::new(cxl_agent("CXL0", &shape, 1 << 20, seed ^ 1)))
+        .unwrap();
+    ofmf.register_agent(Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, seed ^ 2)))
+        .unwrap();
+    ofmf.register_agent(Arc::new(infiniband_agent("IB0", &shape, "A100", seed ^ 3)))
+        .unwrap();
     DemoRig { ofmf }
 }
 

@@ -172,7 +172,11 @@ pub struct NullAgent {
 impl NullAgent {
     /// Build a null agent with the given id and inventory.
     pub fn new(fabric_id: &str, inventory: Vec<(ODataId, Value)>) -> Self {
-        NullAgent { fabric_id: fabric_id.to_string(), inventory, ops: parking_lot::Mutex::new(Vec::new()) }
+        NullAgent {
+            fabric_id: fabric_id.to_string(),
+            inventory,
+            ops: parking_lot::Mutex::new(Vec::new()),
+        }
     }
 
     /// Ops applied so far (test observation).
@@ -220,7 +224,9 @@ mod tests {
     #[test]
     fn null_agent_records_ops() {
         let a = NullAgent::new("NULL0", vec![]);
-        let op = AgentOp::DeleteZone { zone: ODataId::new("/redfish/v1/Fabrics/NULL0/Zones/z") };
+        let op = AgentOp::DeleteZone {
+            zone: ODataId::new("/redfish/v1/Fabrics/NULL0/Zones/z"),
+        };
         a.apply(&op).unwrap();
         assert_eq!(a.applied_ops(), vec![op]);
         assert!(a.heartbeat());
@@ -230,7 +236,9 @@ mod tests {
     fn null_agent_rejects_fault_injection() {
         let a = NullAgent::new("NULL0", vec![]);
         assert!(a
-            .apply(&AgentOp::InjectFault { description: "link0 down".into() })
+            .apply(&AgentOp::InjectFault {
+                description: "link0 down".into()
+            })
             .is_err());
     }
 }

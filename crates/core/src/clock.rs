@@ -19,12 +19,20 @@ pub struct Clock {
 impl Clock {
     /// A manual clock starting at zero (deterministic tests).
     pub fn manual() -> Self {
-        Clock { ms: AtomicU64::new(0), origin: Instant::now(), wall_driven: false }
+        Clock {
+            ms: AtomicU64::new(0),
+            origin: Instant::now(),
+            wall_driven: false,
+        }
     }
 
     /// A wall-driven clock: `now_ms` reflects elapsed real time.
     pub fn wall() -> Self {
-        Clock { ms: AtomicU64::new(0), origin: Instant::now(), wall_driven: true }
+        Clock {
+            ms: AtomicU64::new(0),
+            origin: Instant::now(),
+            wall_driven: true,
+        }
     }
 
     /// Current time in milliseconds since service start.

@@ -8,6 +8,7 @@
 
 use crate::clock::Clock;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use ofmf_obs::{Counter, Histogram};
 use parking_lot::RwLock;
 use redfish_model::odata::ODataId;
 use redfish_model::path::top;
@@ -15,16 +16,41 @@ use redfish_model::resources::events::{Event, EventDestination, EventRecord, Eve
 use redfish_model::resources::Resource;
 use redfish_model::{RedfishError, RedfishResult, Registry};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Default per-subscription queue depth.
 pub const DEFAULT_QUEUE_DEPTH: usize = 256;
 
 struct Subscription {
+    id: String,
     dest: EventDestination,
     tx: Sender<Event>,
     dropped: AtomicU64,
+    /// Set once the subscriber's losses have been announced as an `Alert`
+    /// (fires a single time per subscription).
+    drop_alerted: AtomicBool,
+}
+
+struct EventMetrics {
+    /// `ofmf.events.fanout.latency_ns`
+    fanout_latency: Arc<Histogram>,
+    /// `ofmf.events.published.total` — fan-out invocations.
+    published: Arc<Counter>,
+    /// `ofmf.events.delivered.total` — successful queue deliveries.
+    delivered: Arc<Counter>,
+    /// `ofmf.events.dropped.total` — batches lost to slow/dead subscribers.
+    dropped: Arc<Counter>,
+}
+
+fn event_metrics() -> &'static EventMetrics {
+    static METRICS: OnceLock<EventMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| EventMetrics {
+        fanout_latency: ofmf_obs::histogram("ofmf.events.fanout.latency_ns"),
+        published: ofmf_obs::counter("ofmf.events.published.total"),
+        delivered: ofmf_obs::counter("ofmf.events.delivered.total"),
+        dropped: ofmf_obs::counter("ofmf.events.dropped.total"),
+    })
 }
 
 /// The subscription-based event service.
@@ -68,7 +94,13 @@ impl EventService {
         let dest = EventDestination::new(&subs_col, &id, destination, event_types, origin_resources);
         reg.create(&subs_col.child(&id), dest.to_value())?;
         let (tx, rx) = bounded(self.queue_depth);
-        let sub = Arc::new(Subscription { dest, tx, dropped: AtomicU64::new(0) });
+        let sub = Arc::new(Subscription {
+            id: id.clone(),
+            dest,
+            tx,
+            dropped: AtomicU64::new(0),
+            drop_alerted: AtomicBool::new(false),
+        });
         self.subs.write().insert(id.clone(), sub);
         Ok((id, rx))
     }
@@ -106,14 +138,7 @@ impl EventService {
         severity: &str,
     ) -> usize {
         let event_id = self.next_event.fetch_add(1, Ordering::AcqRel);
-        let record = EventRecord::new(
-            event_type,
-            event_id,
-            origin,
-            message,
-            severity,
-            self.clock.now_ms(),
-        );
+        let record = EventRecord::new(event_type, event_id, origin, message, severity, self.clock.now_ms());
         self.fan_out(event_type, origin, vec![record])
     }
 
@@ -124,8 +149,14 @@ impl EventService {
     }
 
     fn fan_out(&self, event_type: EventType, origin: &ODataId, records: Vec<EventRecord>) -> usize {
+        let metrics = event_metrics();
+        metrics.published.inc();
+        let _span = ofmf_obs::Trace::begin(&metrics.fanout_latency);
         let subs = self.subs.read();
         let mut delivered = 0;
+        // Subscribers whose accumulated losses crossed the alert threshold
+        // during this fan-out; announced after the read lock is released.
+        let mut newly_lossy: Vec<String> = Vec::new();
         for sub in subs.values() {
             if !sub.dest.matches(event_type, origin) {
                 continue;
@@ -136,6 +167,7 @@ impl EventService {
                 match sub.tx.try_send(ev) {
                     Ok(()) => {
                         delivered += 1;
+                        metrics.delivered.inc();
                         break;
                     }
                     Err(TrySendError::Full(back)) => {
@@ -145,19 +177,56 @@ impl EventService {
                             // Still full: discard oldest from the receiver side is
                             // impossible here (we only hold the sender), so drop
                             // the new batch and record it.
-                            sub.dropped.fetch_add(1, Ordering::AcqRel);
+                            self.count_drop(sub, &mut newly_lossy);
                             break;
                         }
                         ev = back;
                     }
                     Err(TrySendError::Disconnected(_)) => {
-                        sub.dropped.fetch_add(1, Ordering::AcqRel);
+                        self.count_drop(sub, &mut newly_lossy);
                         break;
                     }
                 }
             }
         }
+        drop(subs);
+        for id in newly_lossy {
+            self.alert_lossy_subscriber(&id);
+        }
         delivered
+    }
+
+    /// Record one lost batch; when the subscription's total losses first
+    /// exceed its queue depth, mark it for a (one-time) alert.
+    fn count_drop(&self, sub: &Subscription, newly_lossy: &mut Vec<String>) {
+        let total = sub.dropped.fetch_add(1, Ordering::AcqRel) + 1;
+        event_metrics().dropped.inc();
+        if total > self.queue_depth as u64 && !sub.drop_alerted.swap(true, Ordering::AcqRel) {
+            newly_lossy.push(sub.id.clone());
+        }
+    }
+
+    /// Latched alert: published once per subscription, the first time its
+    /// drop count exceeds the queue depth. Runs without the subscription
+    /// lock held; re-entry into `fan_out` is safe and cannot recurse again
+    /// for the same subscription because the latch is already set.
+    fn alert_lossy_subscriber(&self, id: &str) {
+        let origin = ODataId::new(top::SUBSCRIPTIONS).child(id);
+        let dropped = self.dropped_count(id);
+        ofmf_obs::global().ring().emit(
+            ofmf_obs::Severity::Warning,
+            "ofmf.events",
+            format!(
+                "subscription {id} is lossy: {dropped} batches dropped (queue depth {})",
+                self.queue_depth
+            ),
+        );
+        self.publish(
+            EventType::Alert,
+            &origin,
+            format!("event subscription {id} dropped {dropped} batches; deliveries are lossy"),
+            "Warning",
+        );
     }
 
     /// Next event id the service will assign (diagnostics/tests).
@@ -183,7 +252,12 @@ mod tests {
         let (reg, svc) = setup();
         let (id, rx) = svc.subscribe(&reg, "channel://c1", vec![], vec![]).unwrap();
         assert!(reg.exists(&ODataId::new(top::SUBSCRIPTIONS).child(&id)));
-        let n = svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/Fabrics/CXL0"), "link down", "Critical");
+        let n = svc.publish(
+            EventType::Alert,
+            &ODataId::new("/redfish/v1/Fabrics/CXL0"),
+            "link down",
+            "Critical",
+        );
         assert_eq!(n, 1);
         let batch = rx.try_recv().unwrap();
         assert_eq!(batch.events.len(), 1);
@@ -194,12 +268,32 @@ mod tests {
     fn filters_route_only_matching_events() {
         let (reg, svc) = setup();
         let (_, rx_alerts) = svc
-            .subscribe(&reg, "channel://a", vec![EventType::Alert], vec![ODataId::new("/redfish/v1/Fabrics/CXL0")])
+            .subscribe(
+                &reg,
+                "channel://a",
+                vec![EventType::Alert],
+                vec![ODataId::new("/redfish/v1/Fabrics/CXL0")],
+            )
             .unwrap();
         let (_, rx_all) = svc.subscribe(&reg, "channel://b", vec![], vec![]).unwrap();
-        svc.publish(EventType::ResourceAdded, &ODataId::new("/redfish/v1/Fabrics/CXL0/Zones/z"), "zone", "OK");
-        svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/Fabrics/IB0/Switches/s"), "hot", "Warning");
-        svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/Fabrics/CXL0/Switches/s"), "down", "Critical");
+        svc.publish(
+            EventType::ResourceAdded,
+            &ODataId::new("/redfish/v1/Fabrics/CXL0/Zones/z"),
+            "zone",
+            "OK",
+        );
+        svc.publish(
+            EventType::Alert,
+            &ODataId::new("/redfish/v1/Fabrics/IB0/Switches/s"),
+            "hot",
+            "Warning",
+        );
+        svc.publish(
+            EventType::Alert,
+            &ODataId::new("/redfish/v1/Fabrics/CXL0/Switches/s"),
+            "down",
+            "Critical",
+        );
         assert_eq!(rx_all.len(), 3);
         assert_eq!(rx_alerts.len(), 1);
         assert_eq!(rx_alerts.try_recv().unwrap().events[0].message, "down");
@@ -230,6 +324,47 @@ mod tests {
         }
         assert!(svc.dropped_count(&id) >= 1, "drops recorded");
         assert_eq!(rx.len(), 2, "queue bounded");
+    }
+
+    #[test]
+    fn lossy_subscriber_alert_fires_once_and_latches() {
+        let reg = Registry::new();
+        bootstrap(&reg, "u").unwrap();
+        let svc = EventService::new(Arc::new(Clock::manual())).with_queue_depth(2);
+        let (slow_id, _slow_rx) = svc.subscribe(&reg, "channel://slow", vec![], vec![]).unwrap();
+        // Watcher filtered to alerts about the slow subscription only, so
+        // the flood below never fills its own queue.
+        let sub_path = ODataId::new(top::SUBSCRIPTIONS).child(&slow_id);
+        let (_, watch_rx) = svc
+            .subscribe(&reg, "channel://watch", vec![EventType::Alert], vec![sub_path.clone()])
+            .unwrap();
+
+        // Flood without draining: drops accumulate past the queue depth.
+        for i in 0..10 {
+            svc.publish(
+                EventType::ResourceUpdated,
+                &ODataId::new("/redfish/v1/x"),
+                format!("m{i}"),
+                "OK",
+            );
+        }
+        assert!(svc.dropped_count(&slow_id) > 2);
+        assert_eq!(watch_rx.len(), 1, "exactly one latched alert");
+        let alert = watch_rx.try_recv().unwrap();
+        assert_eq!(alert.events[0].severity, "Warning");
+        assert!(alert.events[0].message.contains(&slow_id));
+        assert_eq!(alert.events[0].origin_of_condition.odata_id, sub_path);
+
+        // Still latched: further losses never re-alert.
+        for i in 0..10 {
+            svc.publish(
+                EventType::ResourceUpdated,
+                &ODataId::new("/redfish/v1/x"),
+                format!("n{i}"),
+                "OK",
+            );
+        }
+        assert_eq!(watch_rx.len(), 0, "alert latched");
     }
 
     #[test]

@@ -28,6 +28,24 @@ use std::sync::Arc;
 /// Heartbeats an agent may miss before being declared down.
 pub const MAX_MISSED_HEARTBEATS: u32 = 3;
 
+struct TreeOpMetrics {
+    /// `ofmf.tree.<op>.latency_ns`
+    get: Arc<ofmf_obs::Histogram>,
+    patch: Arc<ofmf_obs::Histogram>,
+    post: Arc<ofmf_obs::Histogram>,
+    delete: Arc<ofmf_obs::Histogram>,
+}
+
+fn tree_metrics() -> &'static TreeOpMetrics {
+    static METRICS: std::sync::OnceLock<TreeOpMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| TreeOpMetrics {
+        get: ofmf_obs::histogram("ofmf.tree.get.latency_ns"),
+        patch: ofmf_obs::histogram("ofmf.tree.patch.latency_ns"),
+        post: ofmf_obs::histogram("ofmf.tree.post.latency_ns"),
+        delete: ofmf_obs::histogram("ofmf.tree.delete.latency_ns"),
+    })
+}
+
 struct AgentEntry {
     agent: Arc<dyn Agent>,
     info: AgentInfo,
@@ -75,12 +93,7 @@ impl Ofmf {
         Self::with_clock(uuid, credentials, seed, Arc::new(Clock::wall()))
     }
 
-    fn with_clock(
-        uuid: &str,
-        credentials: HashMap<String, String>,
-        seed: u64,
-        clock: Arc<Clock>,
-    ) -> Arc<Self> {
+    fn with_clock(uuid: &str, credentials: HashMap<String, String>, seed: u64, clock: Arc<Clock>) -> Arc<Self> {
         let registry = Arc::new(Registry::new());
         tree::bootstrap(&registry, uuid).expect("bootstrap on fresh registry cannot fail");
         let events = Arc::new(EventService::new(Arc::clone(&clock)));
@@ -124,7 +137,11 @@ impl Ofmf {
                     &rec.origin_of_condition.odata_id,
                     rec.event_timestamp,
                 );
-                if self.registry.create(&entries_col.child(&seq.to_string()), entry.to_value()).is_ok() {
+                if self
+                    .registry
+                    .create(&entries_col.child(&seq.to_string()), entry.to_value())
+                    .is_ok()
+                {
                     written += 1;
                 }
             }
@@ -165,7 +182,12 @@ impl Ofmf {
         tree::mount_subtree(&self.registry, &inventory)?;
         self.agents.write().insert(
             info.fabric_id.clone(),
-            AgentEntry { agent, info: info.clone(), alive: true, missed: 0 },
+            AgentEntry {
+                agent,
+                info: info.clone(),
+                alive: true,
+                missed: 0,
+            },
         );
         self.events.publish(
             EventType::ResourceAdded,
@@ -306,7 +328,9 @@ impl Ofmf {
             self.events.publish(
                 EventType::Alert,
                 &fabric,
-                format!("agent for fabric {fabric_id} missed {MAX_MISSED_HEARTBEATS} heartbeats; fabric marked unavailable"),
+                format!(
+                    "agent for fabric {fabric_id} missed {MAX_MISSED_HEARTBEATS} heartbeats; fabric marked unavailable"
+                ),
                 "Critical",
             );
         }
@@ -320,11 +344,9 @@ impl Ofmf {
             entry.alive = true;
             drop(agents);
             let fabric = ODataId::new(top::FABRICS).child(fabric_id);
-            let _ = self.registry.patch(
-                &fabric,
-                &json!({"Status": {"State": "Enabled", "Health": "OK"}}),
-                None,
-            );
+            let _ = self
+                .registry
+                .patch(&fabric, &json!({"Status": {"State": "Enabled", "Health": "OK"}}), None);
             self.events.publish(
                 EventType::StatusChange,
                 &fabric,
@@ -338,12 +360,14 @@ impl Ofmf {
 
     /// `GET` a resource (wire body with fresh ETag).
     pub fn get(&self, path: &ODataId) -> RedfishResult<(Value, ETag)> {
+        let _span = ofmf_obs::Trace::begin(&tree_metrics().get);
         let stored = self.registry.get(path)?;
         Ok((stored.wire_body(), stored.etag))
     }
 
     /// `PATCH` a resource. Publishes a `ResourceUpdated` event on success.
     pub fn patch(&self, path: &ODataId, body: &Value, if_match: Option<ETag>) -> RedfishResult<ETag> {
+        let _span = ofmf_obs::Trace::begin(&tree_metrics().patch);
         let etag = self.registry.patch(path, body, if_match)?;
         self.events
             .publish(EventType::ResourceUpdated, path, "resource patched", "OK");
@@ -359,6 +383,7 @@ impl Ofmf {
     ///
     /// Returns the id of the created resource.
     pub fn post(&self, collection: &ODataId, body: &Value) -> RedfishResult<ODataId> {
+        let _span = ofmf_obs::Trace::begin(&tree_metrics().post);
         let path = collection.as_str();
         if let Some(fid) = fabric_id_of(path) {
             let fid = fid.to_string();
@@ -391,7 +416,10 @@ impl Ofmf {
             .and_then(Value::as_str)
             .map(str::to_string)
             .unwrap_or_else(|| self.next_member_id("zone"));
-        let op = AgentOp::CreateZone { zone_id: zone_id.clone(), endpoints };
+        let op = AgentOp::CreateZone {
+            zone_id: zone_id.clone(),
+            endpoints,
+        };
         let resp = self.apply(fabric_id, &op)?;
         let rid = resp.primary.clone().unwrap_or_else(|| collection.child(&zone_id));
         self.events
@@ -399,12 +427,7 @@ impl Ofmf {
         Ok(rid)
     }
 
-    fn post_connection(
-        &self,
-        fabric_id: &str,
-        collection: &ODataId,
-        body: &Value,
-    ) -> RedfishResult<ODataId> {
+    fn post_connection(&self, fabric_id: &str, collection: &ODataId, body: &Value) -> RedfishResult<ODataId> {
         let initiators = links_of(body, "InitiatorEndpoints")?;
         let targets = links_of(body, "TargetEndpoints")?;
         let (Some(initiator), Some(target)) = (initiators.first(), targets.first()) else {
@@ -437,10 +460,7 @@ impl Ofmf {
             qos_gbps,
         };
         let resp = self.apply(fabric_id, &op)?;
-        let rid = resp
-            .primary
-            .clone()
-            .unwrap_or_else(|| collection.child(&connection_id));
+        let rid = resp.primary.clone().unwrap_or_else(|| collection.child(&connection_id));
         self.events
             .publish(EventType::ResourceAdded, &rid, "connection established", "OK");
         Ok(rid)
@@ -463,20 +483,13 @@ impl Ofmf {
             "GracefulRestart" | "ForceRestart" | "PowerCycle" => "On",
             "Nmi" => {
                 // Diagnostic interrupt: state unchanged, event only.
-                self.events.publish(
-                    EventType::Alert,
-                    system,
-                    "NMI delivered".to_string(),
-                    "Warning",
-                );
+                self.events
+                    .publish(EventType::Alert, system, "NMI delivered".to_string(), "Warning");
                 return Ok(());
             }
-            other => {
-                return Err(RedfishError::BadRequest(format!("unsupported ResetType '{other}'")))
-            }
+            other => return Err(RedfishError::BadRequest(format!("unsupported ResetType '{other}'"))),
         };
-        self.registry
-            .patch(system, &json!({"PowerState": new_state}), None)?;
+        self.registry.patch(system, &json!({"PowerState": new_state}), None)?;
         self.events.publish(
             EventType::StatusChange,
             system,
@@ -489,6 +502,7 @@ impl Ofmf {
     /// `DELETE` a resource. Fabric zones/connections route to the agent;
     /// anything else deletes from the tree directly.
     pub fn delete(&self, path: &ODataId) -> RedfishResult<()> {
+        let _span = ofmf_obs::Trace::begin(&tree_metrics().delete);
         if let Some(fid) = fabric_id_of(path.as_str()) {
             let fid = fid.to_string();
             let parent = path.parent();
@@ -500,7 +514,12 @@ impl Ofmf {
                 return Ok(());
             }
             if parent_str.ends_with("/Connections") {
-                self.apply(&fid, &AgentOp::Disconnect { connection: path.clone() })?;
+                self.apply(
+                    &fid,
+                    &AgentOp::Disconnect {
+                        connection: path.clone(),
+                    },
+                )?;
                 self.events
                     .publish(EventType::ResourceRemoved, path, "connection removed", "OK");
                 return Ok(());
@@ -515,10 +534,7 @@ impl Ofmf {
 
 /// Extract `Links.{key}` (or top-level `{key}`) as a list of ids.
 fn links_of(body: &Value, key: &str) -> RedfishResult<Vec<ODataId>> {
-    let section = body
-        .get("Links")
-        .and_then(|l| l.get(key))
-        .or_else(|| body.get(key));
+    let section = body.get("Links").and_then(|l| l.get(key)).or_else(|| body.get(key));
     let Some(arr) = section else { return Ok(Vec::new()) };
     let arr = arr
         .as_array()
@@ -546,7 +562,10 @@ mod tests {
     fn fabric_inventory(fid: &str) -> Vec<(ODataId, Value)> {
         let fabric = ODataId::new(top::FABRICS).child(fid);
         vec![
-            (fabric.clone(), json!({"@odata.type": "#Fabric.v1_3_0.Fabric", "Id": fid, "Name": fid, "Status": {"State": "Enabled", "Health": "OK"}})),
+            (
+                fabric.clone(),
+                json!({"@odata.type": "#Fabric.v1_3_0.Fabric", "Id": fid, "Name": fid, "Status": {"State": "Enabled", "Health": "OK"}}),
+            ),
             (
                 fabric.child("Endpoints"),
                 json!({"@odata.type": "#EndpointCollection.EndpointCollection", "Name": "Endpoints", "Members": [], "Members@odata.count": 0}),
@@ -565,7 +584,9 @@ mod tests {
         let (_, rx) = o.events.subscribe(&o.registry, "channel://c", vec![], vec![]).unwrap();
         let a = Arc::new(NullAgent::new("NULL0", fabric_inventory("NULL0")));
         o.register_agent(a).unwrap();
-        assert!(o.registry.exists(&ODataId::new("/redfish/v1/Fabrics/NULL0/Endpoints/ep0")));
+        assert!(o
+            .registry
+            .exists(&ODataId::new("/redfish/v1/Fabrics/NULL0/Endpoints/ep0")));
         assert_eq!(o.fabric_ids(), vec!["NULL0".to_string()]);
         let batch = rx.try_recv().unwrap();
         assert!(batch.events[0].message.contains("registered"));
@@ -584,7 +605,8 @@ mod tests {
     #[test]
     fn unregister_unmounts() {
         let o = ofmf();
-        o.register_agent(Arc::new(NullAgent::new("F0", fabric_inventory("F0")))).unwrap();
+        o.register_agent(Arc::new(NullAgent::new("F0", fabric_inventory("F0"))))
+            .unwrap();
         let n = o.unregister_agent("F0").unwrap();
         assert_eq!(n, 4);
         assert!(o.fabric_ids().is_empty());
@@ -605,13 +627,16 @@ mod tests {
             .unwrap();
         assert_eq!(rid, zones.child("z1"));
         let ops = agent.applied_ops();
-        assert!(matches!(&ops[0], AgentOp::CreateZone { zone_id, endpoints } if zone_id == "z1" && endpoints.len() == 1));
+        assert!(
+            matches!(&ops[0], AgentOp::CreateZone { zone_id, endpoints } if zone_id == "z1" && endpoints.len() == 1)
+        );
     }
 
     #[test]
     fn post_zone_without_endpoints_is_bad_request() {
         let o = ofmf();
-        o.register_agent(Arc::new(NullAgent::new("F0", fabric_inventory("F0")))).unwrap();
+        o.register_agent(Arc::new(NullAgent::new("F0", fabric_inventory("F0"))))
+            .unwrap();
         let zones = ODataId::new("/redfish/v1/Fabrics/F0/Zones");
         assert!(matches!(o.post(&zones, &json!({})), Err(RedfishError::BadRequest(_))));
     }
@@ -639,7 +664,12 @@ mod tests {
     fn apply_to_unknown_fabric_is_not_found() {
         let o = ofmf();
         assert!(matches!(
-            o.apply("NOPE", &AgentOp::DeleteZone { zone: ODataId::new("/x") }),
+            o.apply(
+                "NOPE",
+                &AgentOp::DeleteZone {
+                    zone: ODataId::new("/x")
+                }
+            ),
             Err(RedfishError::NotFound(_))
         ));
     }
@@ -651,7 +681,11 @@ mod tests {
         }
         impl Agent for FlakyAgent {
             fn info(&self) -> AgentInfo {
-                AgentInfo { fabric_id: "FLK0".into(), technology: "CXL".into(), version: "t".into() }
+                AgentInfo {
+                    fabric_id: "FLK0".into(),
+                    technology: "CXL".into(),
+                    version: "t".into(),
+                }
             }
             fn discover(&self) -> Vec<(ODataId, Value)> {
                 vec![(
@@ -674,7 +708,9 @@ mod tests {
         }
 
         let o = ofmf();
-        let flaky = Arc::new(FlakyAgent { ok: std::sync::atomic::AtomicBool::new(true) });
+        let flaky = Arc::new(FlakyAgent {
+            ok: std::sync::atomic::AtomicBool::new(true),
+        });
         o.register_agent(Arc::clone(&flaky) as Arc<dyn Agent>).unwrap();
         assert!(o.agent_alive("FLK0"));
 
@@ -684,10 +720,18 @@ mod tests {
         }
         assert!(!o.agent_alive("FLK0"));
         let fabric = ODataId::new("/redfish/v1/Fabrics/FLK0");
-        assert_eq!(o.registry.get(&fabric).unwrap().body["Status"]["State"], "UnavailableOffline");
+        assert_eq!(
+            o.registry.get(&fabric).unwrap().body["Status"]["State"],
+            "UnavailableOffline"
+        );
         // Ops are refused while down.
         assert!(matches!(
-            o.apply("FLK0", &AgentOp::DeleteZone { zone: ODataId::new("/x") }),
+            o.apply(
+                "FLK0",
+                &AgentOp::DeleteZone {
+                    zone: ODataId::new("/x")
+                }
+            ),
             Err(RedfishError::AgentUnavailable(_))
         ));
 
@@ -756,7 +800,7 @@ mod tests {
         let sys = ODataId::new(top::SYSTEMS);
         let rid = o.post(&sys, &json!({"Id": "cn01", "Name": "cn01"})).unwrap();
         o.patch(&rid, &json!({"Name": "renamed"}), None).unwrap();
-        assert!(rx.len() >= 1);
+        assert!(!rx.is_empty());
         let (body, _) = o.get(&rid).unwrap();
         assert_eq!(body["Name"], "renamed");
     }

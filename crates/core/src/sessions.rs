@@ -68,11 +68,7 @@ impl SessionService {
 
     /// Authenticate and create a session. Returns `(token, session resource id)`.
     pub fn login(&self, reg: &Registry, user: &str, password: &str) -> RedfishResult<(String, ODataId)> {
-        let ok = self
-            .credentials
-            .read()
-            .get(user)
-            .is_some_and(|p| p == password);
+        let ok = self.credentials.read().get(user).is_some_and(|p| p == password);
         if !ok {
             return Err(RedfishError::Unauthorized);
         }
@@ -84,7 +80,11 @@ impl SessionService {
         reg.create(&col.child(&sid), Session::new(&col, &sid, user, now).to_value())?;
         self.tokens.write().insert(
             token.clone(),
-            Live { session_id: sid.clone(), user: user.to_string(), last_used_ms: now },
+            Live {
+                session_id: sid.clone(),
+                user: user.to_string(),
+                last_used_ms: now,
+            },
         );
         Ok((token, col.child(&sid)))
     }
@@ -149,7 +149,10 @@ mod tests {
     #[test]
     fn wrong_password_rejected() {
         let (reg, svc, _clock) = setup(DEFAULT_TIMEOUT_MS);
-        assert!(matches!(svc.login(&reg, "admin", "wrong"), Err(RedfishError::Unauthorized)));
+        assert!(matches!(
+            svc.login(&reg, "admin", "wrong"),
+            Err(RedfishError::Unauthorized)
+        ));
         assert!(matches!(svc.login(&reg, "eve", "x"), Err(RedfishError::Unauthorized)));
     }
 
@@ -160,7 +163,10 @@ mod tests {
         clock.advance_ms(999);
         assert!(svc.authenticate(&reg, &token).is_ok(), "refreshes timer");
         clock.advance_ms(1001);
-        assert!(matches!(svc.authenticate(&reg, &token), Err(RedfishError::Unauthorized)));
+        assert!(matches!(
+            svc.authenticate(&reg, &token),
+            Err(RedfishError::Unauthorized)
+        ));
         assert!(!reg.exists(&sid), "expired session resource reaped");
     }
 
@@ -170,7 +176,10 @@ mod tests {
         let (token, sid) = svc.login(&reg, "admin", "hunter2").unwrap();
         svc.logout(&reg, &token).unwrap();
         assert!(!reg.exists(&sid));
-        assert!(matches!(svc.authenticate(&reg, &token), Err(RedfishError::Unauthorized)));
+        assert!(matches!(
+            svc.authenticate(&reg, &token),
+            Err(RedfishError::Unauthorized)
+        ));
         assert!(matches!(svc.logout(&reg, &token), Err(RedfishError::Unauthorized)));
     }
 

@@ -16,11 +16,43 @@ use redfish_model::resources::Resource;
 use redfish_model::{RedfishResult, Registry};
 use serde_json::{json, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 /// The outcome a task body produces.
 pub type TaskOutcome = Result<Value, String>;
+
+struct TaskMetrics {
+    /// `ofmf.tasks.inflight` — tasks created but not yet finished.
+    inflight: Arc<ofmf_obs::Gauge>,
+    /// `ofmf.tasks.age_ns` — creation-to-completion time.
+    age: Arc<ofmf_obs::Histogram>,
+    /// `ofmf.tasks.completed.total` / `ofmf.tasks.failed.total`
+    completed: Arc<ofmf_obs::Counter>,
+    failed: Arc<ofmf_obs::Counter>,
+}
+
+fn task_metrics() -> &'static TaskMetrics {
+    static METRICS: OnceLock<TaskMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| TaskMetrics {
+        inflight: ofmf_obs::gauge("ofmf.tasks.inflight"),
+        age: ofmf_obs::histogram("ofmf.tasks.age_ns"),
+        completed: ofmf_obs::counter("ofmf.tasks.completed.total"),
+        failed: ofmf_obs::counter("ofmf.tasks.failed.total"),
+    })
+}
+
+/// Record a task's terminal transition.
+fn finish_task(created: std::time::Instant, ok: bool) {
+    let m = task_metrics();
+    m.inflight.sub(1);
+    m.age.record_duration(created.elapsed());
+    if ok {
+        m.completed.inc();
+    } else {
+        m.failed.inc();
+    }
+}
 
 /// The task service.
 pub struct TaskService {
@@ -33,7 +65,11 @@ pub struct TaskService {
 impl TaskService {
     /// New service.
     pub fn new(clock: Arc<Clock>) -> Self {
-        TaskService { clock, next_task: AtomicU64::new(1), handles: Mutex::new(Vec::new()) }
+        TaskService {
+            clock,
+            next_task: AtomicU64::new(1),
+            handles: Mutex::new(Vec::new()),
+        }
     }
 
     /// Create a task resource in the tree and run `body` on a worker thread.
@@ -56,6 +92,8 @@ impl TaskService {
         let task = Task::new(&col, &tid, name);
         let task_id = col.child(&tid);
         reg.create(&task_id, task.to_value())?;
+        task_metrics().inflight.add(1);
+        let created = std::time::Instant::now();
 
         let reg = Arc::clone(reg);
         let events = Arc::clone(events);
@@ -63,7 +101,11 @@ impl TaskService {
         let handle = std::thread::Builder::new()
             .name(format!("ofmf-task-{tid}"))
             .spawn(move || {
-                let _ = reg.patch(&monitor, &json!({"TaskState": TaskState::Running, "PercentComplete": 1}), None);
+                let _ = reg.patch(
+                    &monitor,
+                    &json!({"TaskState": TaskState::Running, "PercentComplete": 1}),
+                    None,
+                );
                 let outcome = body();
                 let patch = match outcome {
                     Ok(payload) => json!({
@@ -78,6 +120,7 @@ impl TaskService {
                 };
                 let ok = patch["TaskState"] == json!(TaskState::Completed);
                 let _ = reg.patch(&monitor, &patch, None);
+                finish_task(created, ok);
                 events.publish(
                     EventType::StatusChange,
                     &monitor,
@@ -92,13 +135,7 @@ impl TaskService {
 
     /// Run a task body inline (deterministic tests and latency-sensitive
     /// small operations). Same resource lifecycle, no thread.
-    pub fn run_inline<F>(
-        &self,
-        reg: &Registry,
-        events: &EventService,
-        name: &str,
-        body: F,
-    ) -> RedfishResult<ODataId>
+    pub fn run_inline<F>(&self, reg: &Registry, events: &EventService, name: &str, body: F) -> RedfishResult<ODataId>
     where
         F: FnOnce() -> TaskOutcome,
     {
@@ -108,6 +145,8 @@ impl TaskService {
         let task = Task::new(&col, &tid, name);
         let task_id = col.child(&tid);
         reg.create(&task_id, task.to_value())?;
+        task_metrics().inflight.add(1);
+        let created = std::time::Instant::now();
         reg.patch(&task_id, &json!({"TaskState": TaskState::Running}), None)?;
         let outcome = body();
         let (patch, ok) = match outcome {
@@ -118,6 +157,7 @@ impl TaskService {
             Err(msg) => (json!({"TaskState": TaskState::Exception, "Messages": [msg]}), false),
         };
         reg.patch(&task_id, &patch, None)?;
+        finish_task(created, ok);
         events.publish(
             EventType::StatusChange,
             &task_id,
@@ -182,7 +222,9 @@ mod tests {
     #[test]
     fn spawned_task_runs_on_worker_and_publishes_event() {
         let (reg, ev, ts) = setup();
-        let (_, rx) = ev.subscribe(&reg, "channel://c", vec![EventType::StatusChange], vec![]).unwrap();
+        let (_, rx) = ev
+            .subscribe(&reg, "channel://c", vec![EventType::StatusChange], vec![])
+            .unwrap();
         let tid = ts.spawn(&reg, &ev, "zone-sweep", || Ok(json!(42))).unwrap();
         ts.join_all();
         assert_eq!(TaskService::state_of(&reg, &tid).unwrap(), TaskState::Completed);

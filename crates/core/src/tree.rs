@@ -18,11 +18,23 @@ pub fn bootstrap(reg: &Registry, uuid: &str) -> RedfishResult<()> {
     reg.create(&ODataId::new(SERVICE_ROOT), root.to_value())?;
 
     let collections: [(&str, &str, &str); 6] = [
-        (top::SYSTEMS, "#ComputerSystemCollection.ComputerSystemCollection", "Computer Systems"),
+        (
+            top::SYSTEMS,
+            "#ComputerSystemCollection.ComputerSystemCollection",
+            "Computer Systems",
+        ),
         (top::CHASSIS, "#ChassisCollection.ChassisCollection", "Chassis"),
         (top::FABRICS, "#FabricCollection.FabricCollection", "Fabrics"),
-        (top::STORAGE_SERVICES, "#StorageServiceCollection.StorageServiceCollection", "Storage Services"),
-        (top::RESOURCE_BLOCKS, "#ResourceBlockCollection.ResourceBlockCollection", "Resource Blocks"),
+        (
+            top::STORAGE_SERVICES,
+            "#StorageServiceCollection.StorageServiceCollection",
+            "Storage Services",
+        ),
+        (
+            top::RESOURCE_BLOCKS,
+            "#ResourceBlockCollection.ResourceBlockCollection",
+            "Resource Blocks",
+        ),
         (top::TASKS, "#TaskCollection.TaskCollection", "Tasks"),
     ];
 
@@ -63,7 +75,11 @@ pub fn bootstrap(reg: &Registry, uuid: &str) -> RedfishResult<()> {
             "Sessions": {"@odata.id": top::SESSIONS},
         }),
     )?;
-    reg.create_collection(&ODataId::new(top::SESSIONS), "#SessionCollection.SessionCollection", "Sessions")?;
+    reg.create_collection(
+        &ODataId::new(top::SESSIONS),
+        "#SessionCollection.SessionCollection",
+        "Sessions",
+    )?;
     reg.create(
         &ODataId::new(top::TELEMETRY_SERVICE),
         json!({
@@ -95,7 +111,11 @@ pub fn bootstrap(reg: &Registry, uuid: &str) -> RedfishResult<()> {
     }
 
     // The OFMF is itself a Redfish manager with an event log.
-    reg.create_collection(&ODataId::new(top::MANAGERS), "#ManagerCollection.ManagerCollection", "Managers")?;
+    reg.create_collection(
+        &ODataId::new(top::MANAGERS),
+        "#ManagerCollection.ManagerCollection",
+        "Managers",
+    )?;
     reg.create(
         &ODataId::new(top::OFMF_MANAGER),
         json!({
@@ -105,10 +125,20 @@ pub fn bootstrap(reg: &Registry, uuid: &str) -> RedfishResult<()> {
             "ManagerType": "Service",
             "Status": {"State": "Enabled", "Health": "OK"},
             "LogServices": {"@odata.id": format!("{}/LogServices", top::OFMF_MANAGER)},
+            "Oem": {"OFMF": {"MetricReports": {"@odata.id": top::OBS_METRIC_REPORTS}}},
         }),
     )?;
+    reg.create_collection(
+        &ODataId::new(top::OBS_METRIC_REPORTS),
+        "#MetricReportCollection.MetricReportCollection",
+        "Live Metric Reports",
+    )?;
     let log_services = ODataId::new(top::OFMF_MANAGER).child("LogServices");
-    reg.create_collection(&log_services, "#LogServiceCollection.LogServiceCollection", "Log Services")?;
+    reg.create_collection(
+        &log_services,
+        "#LogServiceCollection.LogServiceCollection",
+        "Log Services",
+    )?;
     reg.create(
         &log_services.child("EventLog"),
         json!({
@@ -124,6 +154,24 @@ pub fn bootstrap(reg: &Registry, uuid: &str) -> RedfishResult<()> {
         &ODataId::new(top::EVENT_LOG_ENTRIES),
         "#LogEntryCollection.LogEntryCollection",
         "Event Log Entries",
+    )?;
+    // Observability: in-process metrics and the event ring, served live by
+    // the REST layer; only the shells live in the tree.
+    reg.create(
+        &log_services.child("Observability"),
+        json!({
+            "@odata.type": "#LogService.v1_5_0.LogService",
+            "Id": "Observability",
+            "Name": "OFMF Observability Events",
+            "OverWritePolicy": "WrapsWhenFull",
+            "ServiceEnabled": true,
+            "Entries": {"@odata.id": top::OBS_LOG_ENTRIES},
+        }),
+    )?;
+    reg.create_collection(
+        &ODataId::new(top::OBS_LOG_ENTRIES),
+        "#LogEntryCollection.LogEntryCollection",
+        "Observability Events",
     )?;
     Ok(())
 }
@@ -189,6 +237,8 @@ mod tests {
             top::MANAGERS,
             top::OFMF_MANAGER,
             top::EVENT_LOG_ENTRIES,
+            top::OBS_METRIC_REPORTS,
+            top::OBS_LOG_ENTRIES,
         ] {
             assert!(reg.exists(&ODataId::new(p)), "{p} missing");
         }
@@ -210,7 +260,10 @@ mod tests {
         // Deliberately shuffled: child before parent.
         let inv = vec![
             (fabric.child("Endpoints").child("ep0"), json!({"Name": "ep0"})),
-            (fabric.clone(), json!({"@odata.type": "#Fabric.v1_3_0.Fabric", "Name": "CXL0"})),
+            (
+                fabric.clone(),
+                json!({"@odata.type": "#Fabric.v1_3_0.Fabric", "Name": "CXL0"}),
+            ),
             (
                 fabric.child("Endpoints"),
                 json!({"@odata.type": "#EndpointCollection.EndpointCollection", "Name": "Endpoints", "Members": [], "Members@odata.count": 0}),

@@ -93,7 +93,13 @@ pub struct Device {
 impl Device {
     /// Create a healthy device.
     pub fn new(name: impl Into<String>, kind: DeviceKind) -> Self {
-        Device { name: name.into(), kind, healthy: true, allocations: BTreeMap::new(), next_handle: 1 }
+        Device {
+            name: name.into(),
+            kind,
+            healthy: true,
+            allocations: BTreeMap::new(),
+            next_handle: 1,
+        }
     }
 
     /// Total allocatable capacity (units per kind; 1 for a GPU, 0 for a
@@ -127,7 +133,10 @@ impl Device {
         }
         let free = self.free_capacity();
         if size > free {
-            return Err(DeviceError::Insufficient { requested: size, available: free });
+            return Err(DeviceError::Insufficient {
+                requested: size,
+                available: free,
+            });
         }
         let handle = self.next_handle;
         self.next_handle += 1;
@@ -162,14 +171,23 @@ mod tests {
         let mut d = Device::new("mem0", DeviceKind::MemoryAppliance { capacity_mib: 1000 });
         let h1 = d.allocate(600).unwrap();
         assert_eq!(d.free_capacity(), 400);
-        assert!(matches!(d.allocate(500), Err(DeviceError::Insufficient { available: 400, .. })));
+        assert!(matches!(
+            d.allocate(500),
+            Err(DeviceError::Insufficient { available: 400, .. })
+        ));
         d.release(h1).unwrap();
         assert_eq!(d.free_capacity(), 1000);
     }
 
     #[test]
     fn gpu_whole_device_grant() {
-        let mut g = Device::new("gpu0", DeviceKind::Gpu { model: "A100".into(), memory_gib: 40 });
+        let mut g = Device::new(
+            "gpu0",
+            DeviceKind::Gpu {
+                model: "A100".into(),
+                memory_gib: 40,
+            },
+        );
         assert!(matches!(g.allocate(2), Err(DeviceError::WrongKind)));
         let h = g.allocate(1).unwrap();
         assert!(matches!(g.allocate(1), Err(DeviceError::Insufficient { .. })));
@@ -179,7 +197,13 @@ mod tests {
 
     #[test]
     fn compute_node_is_not_carvable() {
-        let mut c = Device::new("cn0", DeviceKind::ComputeNode { cores: 56, memory_gib: 128 });
+        let mut c = Device::new(
+            "cn0",
+            DeviceKind::ComputeNode {
+                cores: 56,
+                memory_gib: 128,
+            },
+        );
         assert!(matches!(c.allocate(1), Err(DeviceError::WrongKind)));
         assert_eq!(c.total_capacity(), 0);
         assert!(c.kind.is_initiator());

@@ -30,7 +30,11 @@ pub struct FabricConfig {
 impl FabricConfig {
     /// Convenience constructor.
     pub fn new(name: &str, technology: &str, seed: u64) -> Self {
-        FabricConfig { name: name.to_string(), technology: technology.to_string(), seed }
+        FabricConfig {
+            name: name.to_string(),
+            technology: technology.to_string(),
+            seed,
+        }
     }
 }
 
@@ -148,7 +152,14 @@ impl FabricSim {
     pub fn new(config: FabricConfig, topo: Topology) -> Self {
         let sampler = Sampler::new(config.seed);
         let reserved = vec![0.0; topo.links.len()];
-        FabricSim { config, topo, zoning: ZoningTable::new(), sampler, events: Vec::new(), reserved }
+        FabricSim {
+            config,
+            topo,
+            zoning: ZoningTable::new(),
+            sampler,
+            events: Vec::new(),
+            reserved,
+        }
     }
 
     /// Bandwidth currently reserved on a link (Gbit/s).
@@ -248,12 +259,21 @@ impl FabricSim {
         let path = route_filtered(&self.topo, initiator, target, |lid, edge| {
             edge.bandwidth_gbps - reserved[lid.index()] >= reserve_gbps
         })
-        .ok_or(FabricError::Unroutable { from: initiator, to: target })?;
+        .ok_or(FabricError::Unroutable {
+            from: initiator,
+            to: target,
+        })?;
         let allocation = self.topo.device_of_mut(target).allocate(size)?;
-        match self
-            .zoning
-            .connect(name, zone, initiator, target, allocation, size, path.clone(), reserve_gbps)
-        {
+        match self.zoning.connect(
+            name,
+            zone,
+            initiator,
+            target,
+            allocation,
+            size,
+            path.clone(),
+            reserve_gbps,
+        ) {
             Ok(id) => {
                 self.reserve_path(&path, reserve_gbps);
                 self.events.push(FabricEvent::Connected { connection: id });
@@ -297,12 +317,27 @@ impl FabricSim {
             return (0, 0);
         }
         self.events.push(match fault {
-            Fault::LinkDown(l) => FabricEvent::LinkHealth { link: l, healthy: false },
+            Fault::LinkDown(l) => FabricEvent::LinkHealth {
+                link: l,
+                healthy: false,
+            },
             Fault::LinkUp(l) => FabricEvent::LinkHealth { link: l, healthy: true },
-            Fault::SwitchDown(s) => FabricEvent::SwitchHealth { switch: s, healthy: false },
-            Fault::SwitchUp(s) => FabricEvent::SwitchHealth { switch: s, healthy: true },
-            Fault::DeviceDown(d) => FabricEvent::DeviceHealth { device: d, healthy: false },
-            Fault::DeviceUp(d) => FabricEvent::DeviceHealth { device: d, healthy: true },
+            Fault::SwitchDown(s) => FabricEvent::SwitchHealth {
+                switch: s,
+                healthy: false,
+            },
+            Fault::SwitchUp(s) => FabricEvent::SwitchHealth {
+                switch: s,
+                healthy: true,
+            },
+            Fault::DeviceDown(d) => FabricEvent::DeviceHealth {
+                device: d,
+                healthy: false,
+            },
+            Fault::DeviceUp(d) => FabricEvent::DeviceHealth {
+                device: d,
+                healthy: true,
+            },
         });
         self.reroute_all()
     }
@@ -342,8 +377,10 @@ impl FabricSim {
                     c.path = new_path;
                     c.failover_count += 1;
                     failed_over += 1;
-                    self.events
-                        .push(FabricEvent::ConnectionFailedOver { connection: id, new_hops: hops });
+                    self.events.push(FabricEvent::ConnectionFailedOver {
+                        connection: id,
+                        new_hops: hops,
+                    });
                 }
                 None => lost.push(id),
             }

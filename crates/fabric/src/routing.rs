@@ -41,7 +41,11 @@ where
     F: Fn(LinkId, &crate::topology::LinkEdge) -> bool,
 {
     if from == to {
-        return Some(Path { links: Vec::new(), latency_ns: 0, bandwidth_gbps: f64::INFINITY });
+        return Some(Path {
+            links: Vec::new(),
+            latency_ns: 0,
+            bandwidth_gbps: f64::INFINITY,
+        });
     }
     if !topo.attach_healthy(Attach::Endpoint(from)) || !topo.attach_healthy(Attach::Endpoint(to)) {
         return None;
@@ -91,7 +95,11 @@ where
                     .iter()
                     .map(|l| topo.links[l.index()].bandwidth_gbps)
                     .fold(f64::INFINITY, f64::min);
-                return Some(Path { links, latency_ns, bandwidth_gbps });
+                return Some(Path {
+                    links,
+                    latency_ns,
+                    bandwidth_gbps,
+                });
             }
             queue.push_back(visited.len() - 1);
         }

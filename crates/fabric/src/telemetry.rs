@@ -91,7 +91,11 @@ impl Sampler {
                 crate::device::DeviceKind::MemoryAppliance { .. } => 120.0,
                 crate::device::DeviceKind::NvmeSubsystem { .. } => 80.0,
             };
-            let value = if dev.healthy { nominal * rng.gen_range(0.55..1.0) } else { 0.0 };
+            let value = if dev.healthy {
+                nominal * rng.gen_range(0.55..1.0)
+            } else {
+                0.0
+            };
             out.push(Sample {
                 source: Source::Device(DeviceId(i as u32)),
                 metric: "PowerConsumedWatts",
@@ -130,10 +134,7 @@ mod tests {
         t.links[0].healthy = false;
         t.switches[0].healthy = false;
         let samples = Sampler::new(1).sample_all(&t);
-        let link0 = samples
-            .iter()
-            .find(|s| s.source == Source::Link(LinkId(0)))
-            .unwrap();
+        let link0 = samples.iter().find(|s| s.source == Source::Link(LinkId(0))).unwrap();
         assert_eq!(link0.value, 0.0);
         let sw0 = samples
             .iter()

@@ -75,7 +75,11 @@ impl Topology {
     /// Add a switch.
     pub fn add_switch(&mut self, name: impl Into<String>, radix: u32) -> SwitchId {
         let id = SwitchId(self.switches.len() as u32);
-        self.switches.push(SwitchNode { name: name.into(), radix, healthy: true });
+        self.switches.push(SwitchNode {
+            name: name.into(),
+            radix,
+            healthy: true,
+        });
         id
     }
 
@@ -91,15 +95,29 @@ impl Topology {
         let ep_name = format!("{}-ep", device.name);
         self.devices.push(device);
         let ep_id = EndpointId(self.endpoints.len() as u32);
-        self.endpoints.push(EndpointNode { name: ep_name, device: dev_id });
-        let link_id = self.add_link(Attach::Switch(switch), Attach::Endpoint(ep_id), bandwidth_gbps, latency_ns);
+        self.endpoints.push(EndpointNode {
+            name: ep_name,
+            device: dev_id,
+        });
+        let link_id = self.add_link(
+            Attach::Switch(switch),
+            Attach::Endpoint(ep_id),
+            bandwidth_gbps,
+            latency_ns,
+        );
         (ep_id, dev_id, link_id)
     }
 
     /// Add a trunk link between two switches (or any two attach points).
     pub fn add_link(&mut self, a: Attach, b: Attach, bandwidth_gbps: f64, latency_ns: u64) -> LinkId {
         let id = LinkId(self.links.len() as u32);
-        self.links.push(LinkEdge { a, b, bandwidth_gbps, latency_ns, healthy: true });
+        self.links.push(LinkEdge {
+            a,
+            b,
+            bandwidth_gbps,
+            latency_ns,
+            healthy: true,
+        });
         id
     }
 
@@ -169,7 +187,12 @@ pub struct TopologyBuilder {
 
 impl Default for TopologyBuilder {
     fn default() -> Self {
-        TopologyBuilder { topo: Topology::new(), access_gbps: 100.0, trunk_gbps: 400.0, latency_ns: 500 }
+        TopologyBuilder {
+            topo: Topology::new(),
+            access_gbps: 100.0,
+            trunk_gbps: 400.0,
+            latency_ns: 500,
+        }
     }
 }
 
@@ -207,10 +230,12 @@ impl TopologyBuilder {
     /// switches, full bipartite trunks, and devices distributed round-robin
     /// across leaves.
     pub fn leaf_spine(mut self, spines: usize, leaves: usize, devices: Vec<Device>) -> Topology {
-        let spine_ids: Vec<SwitchId> =
-            (0..spines).map(|i| self.topo.add_switch(format!("spine{i}"), 64)).collect();
-        let leaf_ids: Vec<SwitchId> =
-            (0..leaves).map(|i| self.topo.add_switch(format!("leaf{i}"), 48)).collect();
+        let spine_ids: Vec<SwitchId> = (0..spines)
+            .map(|i| self.topo.add_switch(format!("spine{i}"), 64))
+            .collect();
+        let leaf_ids: Vec<SwitchId> = (0..leaves)
+            .map(|i| self.topo.add_switch(format!("leaf{i}"), 48))
+            .collect();
         for &l in &leaf_ids {
             for &s in &spine_ids {
                 self.topo
@@ -236,7 +261,8 @@ impl TopologyBuilder {
                 .add_link(Attach::Switch(a), Attach::Switch(b), self.trunk_gbps, self.latency_ns);
         }
         for (i, d) in devices.into_iter().enumerate() {
-            self.topo.attach_device(ids[i % n], d, self.access_gbps, self.latency_ns);
+            self.topo
+                .attach_device(ids[i % n], d, self.access_gbps, self.latency_ns);
         }
         self.topo
     }
@@ -249,7 +275,15 @@ pub mod presets {
     /// `n` compute nodes named `cn00…`, each with `cores`/`mem_gib`.
     pub fn compute_nodes(n: usize, cores: u32, mem_gib: u64) -> Vec<Device> {
         (0..n)
-            .map(|i| Device::new(format!("cn{i:02}"), DeviceKind::ComputeNode { cores, memory_gib: mem_gib }))
+            .map(|i| {
+                Device::new(
+                    format!("cn{i:02}"),
+                    DeviceKind::ComputeNode {
+                        cores,
+                        memory_gib: mem_gib,
+                    },
+                )
+            })
             .collect()
     }
 
@@ -263,7 +297,15 @@ pub mod presets {
     /// `n` pooled GPUs.
     pub fn gpus(n: usize, model: &str, memory_gib: u64) -> Vec<Device> {
         (0..n)
-            .map(|i| Device::new(format!("gpu{i:02}"), DeviceKind::Gpu { model: model.to_string(), memory_gib }))
+            .map(|i| {
+                Device::new(
+                    format!("gpu{i:02}"),
+                    DeviceKind::Gpu {
+                        model: model.to_string(),
+                        memory_gib,
+                    },
+                )
+            })
             .collect()
     }
 

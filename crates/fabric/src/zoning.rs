@@ -95,7 +95,13 @@ impl ZoningTable {
     pub fn create_zone(&mut self, name: impl Into<String>, members: BTreeSet<EndpointId>) -> ZoneId {
         let id = ZoneId(self.next_zone);
         self.next_zone += 1;
-        self.zones.insert(id, ZoneState { name: name.into(), members });
+        self.zones.insert(
+            id,
+            ZoneState {
+                name: name.into(),
+                members,
+            },
+        );
         id
     }
 
@@ -203,7 +209,11 @@ mod tests {
     use super::*;
 
     fn path0() -> Path {
-        Path { links: Vec::new(), latency_ns: 0, bandwidth_gbps: 100.0 }
+        Path {
+            links: Vec::new(),
+            latency_ns: 0,
+            bandwidth_gbps: 100.0,
+        }
     }
 
     fn set(eps: &[u32]) -> BTreeSet<EndpointId> {
@@ -214,16 +224,28 @@ mod tests {
     fn connect_requires_zone_membership() {
         let mut t = ZoningTable::new();
         let z = t.create_zone("z", set(&[0, 1]));
-        assert!(t.connect("c", z, EndpointId(0), EndpointId(1), 1, 64, path0(), 0.0).is_ok());
-        let err = t.connect("c2", z, EndpointId(0), EndpointId(2), 1, 64, path0(), 0.0).unwrap_err();
-        assert_eq!(err, ZoningError::NotZoned { endpoint: EndpointId(2), zone: z });
+        assert!(t
+            .connect("c", z, EndpointId(0), EndpointId(1), 1, 64, path0(), 0.0)
+            .is_ok());
+        let err = t
+            .connect("c2", z, EndpointId(0), EndpointId(2), 1, 64, path0(), 0.0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ZoningError::NotZoned {
+                endpoint: EndpointId(2),
+                zone: z
+            }
+        );
     }
 
     #[test]
     fn zone_deletion_blocked_while_in_use() {
         let mut t = ZoningTable::new();
         let z = t.create_zone("z", set(&[0, 1]));
-        let c = t.connect("c", z, EndpointId(0), EndpointId(1), 1, 64, path0(), 0.0).unwrap();
+        let c = t
+            .connect("c", z, EndpointId(0), EndpointId(1), 1, 64, path0(), 0.0)
+            .unwrap();
         assert_eq!(t.delete_zone(z), Err(ZoningError::ZoneInUse(z)));
         t.disconnect(c).unwrap();
         assert!(t.delete_zone(z).is_ok());
@@ -234,7 +256,9 @@ mod tests {
     fn disconnect_returns_allocation() {
         let mut t = ZoningTable::new();
         let z = t.create_zone("z", set(&[0, 1]));
-        let c = t.connect("c", z, EndpointId(0), EndpointId(1), 42, 1024, path0(), 0.0).unwrap();
+        let c = t
+            .connect("c", z, EndpointId(0), EndpointId(1), 42, 1024, path0(), 0.0)
+            .unwrap();
         let st = t.disconnect(c).unwrap();
         assert_eq!(st.allocation, 42);
         assert_eq!(st.size, 1024);
@@ -245,8 +269,12 @@ mod tests {
     fn grow_zone_membership() {
         let mut t = ZoningTable::new();
         let z = t.create_zone("z", set(&[0]));
-        assert!(t.connect("c", z, EndpointId(0), EndpointId(9), 1, 1, path0(), 0.0).is_err());
+        assert!(t
+            .connect("c", z, EndpointId(0), EndpointId(9), 1, 1, path0(), 0.0)
+            .is_err());
         t.add_to_zone(z, EndpointId(9)).unwrap();
-        assert!(t.connect("c", z, EndpointId(0), EndpointId(9), 1, 1, path0(), 0.0).is_ok());
+        assert!(t
+            .connect("c", z, EndpointId(0), EndpointId(9), 1, 1, path0(), 0.0)
+            .is_ok());
     }
 }

@@ -28,15 +28,6 @@ fn arb_topology() -> impl Strategy<Value = fabric_sim::Topology> {
     })
 }
 
-fn arb_fault(links: usize, switches: usize) -> impl Strategy<Value = Fault> {
-    prop_oneof![
-        (0..links as u32).prop_map(|l| Fault::LinkDown(LinkId(l))),
-        (0..links as u32).prop_map(|l| Fault::LinkUp(LinkId(l))),
-        (0..switches as u32).prop_map(|s| Fault::SwitchDown(SwitchId(s))),
-        (0..switches as u32).prop_map(|s| Fault::SwitchUp(SwitchId(s))),
-    ]
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

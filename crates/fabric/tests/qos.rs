@@ -2,7 +2,7 @@
 //! QoS-aware fail-over.
 
 use fabric_sim::failure::Fault;
-use fabric_sim::ids::{EndpointId, LinkId, SwitchId};
+use fabric_sim::ids::{EndpointId, LinkId};
 use fabric_sim::topology::{presets, Attach, TopologyBuilder};
 use fabric_sim::{FabricConfig, FabricSim};
 use std::collections::BTreeSet;
@@ -20,8 +20,7 @@ fn sim() -> FabricSim {
 }
 
 fn zone_all(s: &mut FabricSim) -> fabric_sim::ids::ZoneId {
-    let members: BTreeSet<EndpointId> =
-        (0..s.topology().endpoints.len() as u32).map(EndpointId).collect();
+    let members: BTreeSet<EndpointId> = (0..s.topology().endpoints.len() as u32).map(EndpointId).collect();
     s.create_zone("all", members).unwrap()
 }
 
@@ -95,11 +94,11 @@ fn saturated_alternate_path_loses_the_connection() {
     let cn = s.topology().initiator_endpoints()[0];
     let mem0 = s.topology().target_endpoints()[0]; // leaf0 (same leaf as cn00)
     let mem1 = s.topology().target_endpoints()[1]; // leaf1 (cross-spine)
-    // 70 G via spine for mem1 and 70 G local for mem0 share cn00's access
-    // link (100 G)? No — that link would be oversubscribed; use separate
-    // initiators instead.
+                                                   // 70 G via spine for mem1 and 70 G local for mem0 share cn00's access
+                                                   // link (100 G)? No — that link would be oversubscribed; use separate
+                                                   // initiators instead.
     let cn1 = s.topology().initiator_endpoints()[1]; // leaf1
-    // cn1(leaf1) → mem0(leaf0) crosses a spine with 90 G.
+                                                     // cn1(leaf1) → mem0(leaf0) crosses a spine with 90 G.
     let c = s.connect_qos("hog", z, cn1, mem0, 1, 90.0).unwrap();
     let path = s.connection(c).unwrap().path.clone();
     let spine_used: Vec<LinkId> = path

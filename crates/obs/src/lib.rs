@@ -1,0 +1,72 @@
+//! # ofmf-obs
+//!
+//! Dependency-free observability for the OFMF services: a process-global
+//! [`Registry`] of atomic [`Counter`]s, [`Gauge`]s and log-bucketed
+//! [`Histogram`]s, a lightweight span facility ([`Trace`]) that times a
+//! scope into a histogram, and a bounded [`EventRing`] of recent structured
+//! events.
+//!
+//! The design goals, in order:
+//!
+//! 1. **Negligible hot-path cost.** Every instrument is lock-free on the
+//!    update path (a handful of relaxed/acq-rel atomic ops); name lookup
+//!    happens once at call-site initialization, never per operation.
+//! 2. **No dependencies.** The crate uses only `std`, so every other crate
+//!    in the workspace can depend on it without cycles or feature drift.
+//! 3. **Redfish-friendly export.** [`Registry::snapshot`] produces a plain
+//!    data [`Snapshot`] that the REST layer renders as `MetricReport` and
+//!    `LogEntry` resources, and [`Snapshot::to_json`] renders the same data
+//!    as standalone JSON for `--obs-json` bench dumps.
+//!
+//! Metric names follow `ofmf.<service>.<op>.<unit>`, e.g.
+//! `ofmf.rest.get.latency_ns` or `ofmf.events.dropped.total`.
+//!
+//! Instrumentation can be globally disabled ([`set_enabled`]) to measure
+//! its own overhead; disabled instruments skip their atomic updates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod registry;
+mod ring;
+mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{counter, gauge, global, histogram, Registry, Snapshot};
+pub use ring::{EventRing, RingEvent, Severity, RING_CAPACITY};
+pub use trace::{next_request_id, Trace};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enable or disable instrumentation. Disabled instruments skip
+/// their updates; snapshots still work (they report whatever was recorded
+/// while enabled). Used by the benches to measure instrumentation overhead.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Release);
+}
+
+/// Whether instrumentation is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Serializes tests that record against tests that toggle [`set_enabled`],
+/// since the flag is process-global.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Milliseconds since the Unix epoch (wall clock), for event timestamps.
+pub fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}

@@ -1,0 +1,262 @@
+//! The instruments: counters, gauges and log-bucketed histograms.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Monotonically increasing count (requests served, batches dropped, …).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub const fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that goes up and down (queue depth, in-flight operations, …).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Set to an absolute value.
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `n` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, n: i64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtract `n`.
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of logarithmic buckets: bucket `i` holds values in
+/// `[2^(i-1), 2^i)`, bucket 0 holds zero.
+pub const BUCKETS: usize = 64;
+
+/// A lock-free latency histogram with power-of-two buckets.
+///
+/// Recording is four relaxed atomic ops; quantiles are computed at snapshot
+/// time by walking the bucket array. Bucket resolution (a factor of two) is
+/// coarse but honest for latency work: p99 answers "which power-of-two band"
+/// — exactly the granularity tail-latency regressions show up at.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Representative (midpoint) value for a bucket index.
+    fn bucket_mid(i: usize) -> u64 {
+        if i == 0 {
+            return 0;
+        }
+        let lo = 1u64 << (i - 1);
+        lo + lo / 2
+    }
+
+    /// Record a raw value (nanoseconds by convention).
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record an elapsed duration in nanoseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough view of the distribution (concurrent recording may
+    /// skew quantiles by a sample or two; fine for monitoring).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count: u64 = counts.iter().sum();
+        let sum = self.sum.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0;
+            for (i, c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return Self::bucket_mid(i);
+                }
+            }
+            Self::bucket_mid(BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            count,
+            mean: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean of raw values.
+    pub mean: f64,
+    /// Median (bucket midpoint).
+    pub p50: u64,
+    /// 95th percentile (bucket midpoint).
+    pub p95: u64,
+    /// 99th percentile (bucket midpoint).
+    pub p99: u64,
+    /// Largest recorded value (exact).
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let _g = crate::test_guard();
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_distribution() {
+        let _g = crate::test_guard();
+        let h = Histogram::new();
+        // 100 fast (≈1 µs) and 1 slow (≈1 ms) sample.
+        for _ in 0..100 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 101);
+        assert_eq!(s.max, 1_000_000);
+        // p50 lands in the 1 µs band, max-bucket p100 the 1 ms band.
+        assert!(s.p50 >= 512 && s.p50 < 2_048, "p50 = {}", s.p50);
+        assert!(s.p99 < 1_000_000, "p99 excludes the single outlier");
+        assert!(s.mean > 1_000.0 && s.mean < 20_000.0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn disabled_instruments_record_nothing() {
+        let _g = crate::test_guard();
+        let c = Counter::new();
+        let h = Histogram::new();
+        crate::set_enabled(false);
+        c.inc();
+        h.record(5);
+        crate::set_enabled(true);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! The process-global metrics registry and its snapshot/export machinery.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::ring::EventRing;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// A named collection of instruments plus the event ring.
+///
+/// Look instruments up once (at service construction or via a call-site
+/// `OnceLock`) and hold the returned `Arc`; lookups take a read lock, the
+/// instruments themselves never do.
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    ring: EventRing,
+    started: Instant,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// New empty registry (tests; services use [`global`]).
+    pub fn new() -> Registry {
+        Registry {
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            ring: EventRing::new(crate::ring::RING_CAPACITY),
+            started: Instant::now(),
+        }
+    }
+
+    fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+        if let Some(v) = map.read().unwrap_or_else(std::sync::PoisonError::into_inner).get(name) {
+            return Arc::clone(v);
+        }
+        let mut w = map.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(w.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Self::get_or_insert(&self.counters, name)
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Self::get_or_insert(&self.gauges, name)
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Self::get_or_insert(&self.histograms, name)
+    }
+
+    /// The registry's event ring.
+    pub fn ring(&self) -> &EventRing {
+        &self.ring
+    }
+
+    /// Milliseconds since this registry was created (process uptime for the
+    /// global registry).
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Materialize every instrument into a plain-data snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Snapshot {
+            uptime_ms: self.uptime_ms(),
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Point-in-time dump of a [`Registry`], ordered by metric name.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Milliseconds since the registry was created.
+    pub uptime_ms: u64,
+    /// Counter name → count.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram name → summary.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of a counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Value of a gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Summary of a histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Render as a JSON document (hand-rolled; the crate is dependency-free).
+    ///
+    /// Shape: `{"uptime_ms": …, "counters": {name: n, …}, "gauges": {…},
+    /// "histograms": {name: {"count": …, "mean": …, "p50": …, "p95": …,
+    /// "p99": …, "max": …}, …}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!("{{\n  \"uptime_ms\": {},\n", self.uptime_ms));
+        out.push_str("  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {v}", json_string(name)));
+        }
+        out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {v}", json_string(name)));
+        }
+        out.push_str(if self.gauges.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"mean\": {:.1}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+                json_string(name),
+                h.count,
+                h.mean,
+                h.p50,
+                h.p95,
+                h.p99,
+                h.max
+            ));
+        }
+        out.push_str(if self.histograms.is_empty() { "}\n" } else { "\n  }\n" });
+        out.push('}');
+        out
+    }
+}
+
+/// Quote and escape a string for JSON output.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry all OFMF services record into.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Get or create a counter in the global registry.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// Get or create a gauge in the global registry.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// Get or create a histogram in the global registry.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_are_shared_by_name() {
+        let _g = crate::test_guard();
+        let r = Registry::new();
+        r.counter("ofmf.test.a.total").add(2);
+        r.counter("ofmf.test.a.total").add(3);
+        assert_eq!(r.counter("ofmf.test.a.total").get(), 5);
+        r.histogram("ofmf.test.a.latency_ns").record(100);
+        assert_eq!(r.histogram("ofmf.test.a.latency_ns").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_lists_everything_sorted() {
+        let _g = crate::test_guard();
+        let r = Registry::new();
+        r.counter("b.total").inc();
+        r.counter("a.total").inc();
+        r.gauge("q.depth").set(4);
+        r.histogram("lat_ns").record(1_000);
+        let s = r.snapshot();
+        let names: Vec<&str> = s.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.total", "b.total"]);
+        assert_eq!(s.gauge("q.depth"), Some(4));
+        assert_eq!(s.histogram("lat_ns").unwrap().count, 1);
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let _g = crate::test_guard();
+        let r = Registry::new();
+        r.counter("ofmf.rest.get.requests").add(7);
+        r.histogram("ofmf.rest.get.latency_ns").record(2_000);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"ofmf.rest.get.requests\": 7"));
+        assert!(json.contains("\"uptime_ms\""));
+        assert!(json.contains("\"p99\""));
+        // Balanced braces (cheap well-formedness check without a parser dep).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

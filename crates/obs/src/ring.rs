@@ -1,0 +1,180 @@
+//! A bounded ring buffer of recent structured observability events.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default capacity of the global event ring.
+pub const RING_CAPACITY: usize = 256;
+
+/// Severity of a ring event, mapped to Redfish `Severity` values on export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Informational ("OK" in Redfish).
+    Info,
+    /// Degraded but operating ("Warning").
+    Warning,
+    /// Requires attention ("Critical").
+    Critical,
+}
+
+impl Severity {
+    /// The Redfish `Health`/`Severity` string for this level.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Info => "OK",
+            Severity::Warning => "Warning",
+            Severity::Critical => "Critical",
+        }
+    }
+}
+
+/// One structured event captured in the ring.
+#[derive(Debug, Clone)]
+pub struct RingEvent {
+    /// Monotonically increasing sequence number (never reused; survives
+    /// eviction, so entry URIs stay stable).
+    pub seq: u64,
+    /// Wall-clock milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Event severity.
+    pub severity: Severity,
+    /// Dotted subsystem target, e.g. `ofmf.rest` or `ofmf.events`.
+    pub target: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Request ID if the event occurred inside a traced request.
+    pub request_id: Option<u64>,
+}
+
+/// Fixed-capacity buffer of the most recent [`RingEvent`]s.
+///
+/// Emission takes a short mutex; this is fine because events are rare
+/// (errors, drops, lifecycle transitions) — per-operation data belongs in
+/// histograms, not here.
+pub struct EventRing {
+    cap: usize,
+    seq: AtomicU64,
+    inner: Mutex<VecDeque<RingEvent>>,
+}
+
+impl EventRing {
+    /// New ring holding at most `cap` events.
+    pub fn new(cap: usize) -> EventRing {
+        EventRing {
+            cap: cap.max(1),
+            seq: AtomicU64::new(0),
+            inner: Mutex::new(VecDeque::with_capacity(cap.max(1))),
+        }
+    }
+
+    /// Append an event, evicting the oldest when full. Returns the event's
+    /// sequence number (0 when instrumentation is disabled and the event was
+    /// discarded).
+    pub fn emit(&self, severity: Severity, target: &str, message: impl Into<String>) -> u64 {
+        self.emit_for_request(severity, target, message, None)
+    }
+
+    /// [`EventRing::emit`] with an originating request ID attached.
+    pub fn emit_for_request(
+        &self,
+        severity: Severity,
+        target: &str,
+        message: impl Into<String>,
+        request_id: Option<u64>,
+    ) -> u64 {
+        if !crate::enabled() {
+            return 0;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let ev = RingEvent {
+            seq,
+            unix_ms: crate::unix_ms(),
+            severity,
+            target: target.to_string(),
+            message: message.into(),
+            request_id,
+        };
+        let mut q = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if q.len() == self.cap {
+            q.pop_front();
+        }
+        q.push_back(ev);
+        seq
+    }
+
+    /// Clone out the buffered events, oldest first.
+    pub fn recent(&self) -> Vec<RingEvent> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever emitted (including evicted ones).
+    pub fn total_emitted(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_sequence() {
+        let _g = crate::test_guard();
+        let ring = EventRing::new(3);
+        for i in 0..5 {
+            ring.emit(Severity::Info, "ofmf.test", format!("event {i}"));
+        }
+        let events = ring.recent();
+        assert_eq!(events.len(), 3);
+        // Oldest two evicted; sequence numbers keep counting.
+        assert_eq!(events[0].seq, 3);
+        assert_eq!(events[2].seq, 5);
+        assert_eq!(events[2].message, "event 4");
+        assert_eq!(ring.total_emitted(), 5);
+    }
+
+    #[test]
+    fn severity_maps_to_redfish_strings() {
+        assert_eq!(Severity::Info.as_str(), "OK");
+        assert_eq!(Severity::Warning.as_str(), "Warning");
+        assert_eq!(Severity::Critical.as_str(), "Critical");
+    }
+
+    #[test]
+    fn disabled_ring_discards() {
+        let _g = crate::test_guard();
+        let ring = EventRing::new(4);
+        crate::set_enabled(false);
+        let seq = ring.emit(Severity::Critical, "ofmf.test", "dropped");
+        crate::set_enabled(true);
+        assert_eq!(seq, 0);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn request_id_is_attached() {
+        let _g = crate::test_guard();
+        let ring = EventRing::new(4);
+        ring.emit_for_request(Severity::Warning, "ofmf.rest", "parse error", Some(42));
+        assert_eq!(ring.recent()[0].request_id, Some(42));
+    }
+}

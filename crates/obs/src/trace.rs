@@ -1,0 +1,76 @@
+//! Request IDs and scope-timing spans.
+
+use crate::metrics::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+static REQUEST_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Allocate the next process-unique request ID (starts at 1).
+pub fn next_request_id() -> u64 {
+    REQUEST_ID.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// A guard that times the scope it lives in and records the elapsed
+/// nanoseconds into a histogram when dropped.
+///
+/// ```
+/// let hist = ofmf_obs::histogram("ofmf.doc.example.latency_ns");
+/// {
+///     let _span = ofmf_obs::Trace::begin(&hist);
+///     // ... timed work ...
+/// } // recorded here
+/// ```
+pub struct Trace {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Trace {
+    /// Start timing; the span records into `hist` on drop.
+    pub fn begin(hist: &Arc<Histogram>) -> Trace {
+        Trace {
+            hist: Arc::clone(hist),
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed so far.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+impl Drop for Trace {
+    fn drop(&mut self) {
+        self.hist.record_duration(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ids_are_unique_and_positive() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert!(a >= 1);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn trace_records_on_drop() {
+        let _g = crate::test_guard();
+        let hist = Arc::new(Histogram::new());
+        {
+            let span = Trace::begin(&hist);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            assert!(span.elapsed_ns() > 0);
+        }
+        let s = hist.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.max >= 1_000_000, "slept ≥1ms, recorded {}", s.max);
+    }
+}

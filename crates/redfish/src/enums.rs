@@ -210,8 +210,14 @@ mod tests {
 
     #[test]
     fn enums_serialize_as_schema_strings() {
-        assert_eq!(serde_json::to_value(Protocol::NVMeOverFabrics).unwrap(), "NVMeOverFabrics");
-        assert_eq!(serde_json::to_value(ZoneType::ZoneOfEndpoints).unwrap(), "ZoneOfEndpoints");
+        assert_eq!(
+            serde_json::to_value(Protocol::NVMeOverFabrics).unwrap(),
+            "NVMeOverFabrics"
+        );
+        assert_eq!(
+            serde_json::to_value(ZoneType::ZoneOfEndpoints).unwrap(),
+            "ZoneOfEndpoints"
+        );
         assert_eq!(serde_json::to_value(ResetType::ForceRestart).unwrap(), "ForceRestart");
     }
 

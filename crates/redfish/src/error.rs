@@ -137,8 +137,11 @@ mod tests {
         assert_eq!(RedfishError::Unauthorized.http_status(), 401);
         assert_eq!(RedfishError::InsufficientResources("mem".into()).http_status(), 507);
         assert_eq!(
-            RedfishError::PreconditionFailed { id: ODataId::new("/x"), supplied: "W/\"1\"".into() }
-                .http_status(),
+            RedfishError::PreconditionFailed {
+                id: ODataId::new("/x"),
+                supplied: "W/\"1\"".into()
+            }
+            .http_status(),
             412
         );
     }

@@ -57,9 +57,7 @@ impl ODataId {
 
     /// True if `self` is `other` or a descendant of `other`.
     pub fn is_under(&self, other: &ODataId) -> bool {
-        self == other
-            || (self.0.starts_with(other.as_str())
-                && self.0.as_bytes().get(other.0.len()) == Some(&b'/'))
+        self == other || (self.0.starts_with(other.as_str()) && self.0.as_bytes().get(other.0.len()) == Some(&b'/'))
     }
 
     /// Crate-internal: wrap a raw string *without* normalization. Used by

@@ -93,7 +93,10 @@ mod tests {
     fn detects_read_only_violation() {
         assert_eq!(first_read_only_violation(&json!({"Id": "x"})), Some("Id"));
         assert_eq!(first_read_only_violation(&json!({"Name": "x"})), None);
-        assert_eq!(first_read_only_violation(&json!({"@odata.etag": "y", "Name": "x"})), Some("@odata.etag"));
+        assert_eq!(
+            first_read_only_violation(&json!({"@odata.etag": "y", "Name": "x"})),
+            Some("@odata.etag")
+        );
     }
 
     #[test]

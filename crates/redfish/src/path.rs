@@ -43,8 +43,11 @@ pub mod top {
     /// The OFMF manager singleton.
     pub const OFMF_MANAGER: &str = "/redfish/v1/Managers/OFMF";
     /// The OFMF event log entries collection.
-    pub const EVENT_LOG_ENTRIES: &str =
-        "/redfish/v1/Managers/OFMF/LogServices/EventLog/Entries";
+    pub const EVENT_LOG_ENTRIES: &str = "/redfish/v1/Managers/OFMF/LogServices/EventLog/Entries";
+    /// Live observability metric reports of the OFMF manager.
+    pub const OBS_METRIC_REPORTS: &str = "/redfish/v1/Managers/OFMF/MetricReports";
+    /// Observability log entries (the in-process event ring).
+    pub const OBS_LOG_ENTRIES: &str = "/redfish/v1/Managers/OFMF/LogServices/Observability/Entries";
 }
 
 /// Split a path into its segments, ignoring empty segments.

@@ -115,7 +115,11 @@ impl Registry {
         if t.nodes.contains_key(id) {
             return Err(RedfishError::AlreadyExists(id.clone()));
         }
-        let stored = StoredResource { body, etag: ETag::INITIAL, is_collection: false };
+        let stored = StoredResource {
+            body,
+            etag: ETag::INITIAL,
+            is_collection: false,
+        };
         t.nodes.insert(id.clone(), stored);
         Self::link_into_parent(&mut t, id);
         Ok(ETag::INITIAL)
@@ -137,7 +141,14 @@ impl Registry {
         if t.nodes.contains_key(id) {
             return Err(RedfishError::AlreadyExists(id.clone()));
         }
-        t.nodes.insert(id.clone(), StoredResource { body, etag: ETag::INITIAL, is_collection: true });
+        t.nodes.insert(
+            id.clone(),
+            StoredResource {
+                body,
+                etag: ETag::INITIAL,
+                is_collection: true,
+            },
+        );
         Self::link_into_parent(&mut t, id);
         Ok(ETag::INITIAL)
     }
@@ -205,10 +216,7 @@ impl Registry {
             return Err(RedfishError::BadRequest(format!("member '{m}' is read-only")));
         }
         let mut t = self.tree.write();
-        let node = t
-            .nodes
-            .get_mut(id)
-            .ok_or_else(|| RedfishError::NotFound(id.clone()))?;
+        let node = t.nodes.get_mut(id).ok_or_else(|| RedfishError::NotFound(id.clone()))?;
         if let Some(tag) = if_match {
             if tag != node.etag {
                 return Err(RedfishError::PreconditionFailed {
@@ -229,10 +237,7 @@ impl Registry {
             return Err(RedfishError::BadRequest("resource body must be a JSON object".into()));
         }
         let mut t = self.tree.write();
-        let node = t
-            .nodes
-            .get_mut(id)
-            .ok_or_else(|| RedfishError::NotFound(id.clone()))?;
+        let node = t.nodes.get_mut(id).ok_or_else(|| RedfishError::NotFound(id.clone()))?;
         body.as_object_mut()
             .expect("checked object")
             .insert("@odata.id".to_string(), Value::String(id.as_str().to_string()));
@@ -406,8 +411,11 @@ mod tests {
     fn reg_with_collection() -> (Registry, ODataId) {
         let r = Registry::new();
         let root = ODataId::new("/redfish/v1");
-        r.create(&root, json!({"@odata.type": "#ServiceRoot.v1_15_0.ServiceRoot", "Id": "RootService", "Name": "OFMF"}))
-            .unwrap();
+        r.create(
+            &root,
+            json!({"@odata.type": "#ServiceRoot.v1_15_0.ServiceRoot", "Id": "RootService", "Name": "OFMF"}),
+        )
+        .unwrap();
         let col = root.child("Systems");
         r.create_collection(&col, "#ComputerSystemCollection.ComputerSystemCollection", "Systems")
             .unwrap();
@@ -418,8 +426,11 @@ mod tests {
     fn create_links_into_parent_collection() {
         let (r, col) = reg_with_collection();
         let id = col.child("cn01");
-        r.create(&id, json!({"@odata.type": "#ComputerSystem.v1_20_0.ComputerSystem", "Id": "cn01", "Name": "cn01"}))
-            .unwrap();
+        r.create(
+            &id,
+            json!({"@odata.type": "#ComputerSystem.v1_20_0.ComputerSystem", "Id": "cn01", "Name": "cn01"}),
+        )
+        .unwrap();
         let members = r.members(&col).unwrap();
         assert_eq!(members, vec![id.clone()]);
         let col_body = r.get(&col).unwrap().body;
@@ -431,7 +442,10 @@ mod tests {
         let (r, col) = reg_with_collection();
         let id = col.child("cn01");
         r.create(&id, json!({"Name": "a"})).unwrap();
-        assert!(matches!(r.create(&id, json!({"Name": "b"})), Err(RedfishError::AlreadyExists(_))));
+        assert!(matches!(
+            r.create(&id, json!({"Name": "b"})),
+            Err(RedfishError::AlreadyExists(_))
+        ));
     }
 
     #[test]
@@ -522,7 +536,10 @@ mod tests {
     fn invalid_member_id_rejected() {
         let (r, col) = reg_with_collection();
         let bad = ODataId::new(format!("{}/{}", col.as_str(), "a b"));
-        assert!(matches!(r.create(&bad, json!({"Name": "x"})), Err(RedfishError::BadRequest(_))));
+        assert!(matches!(
+            r.create(&bad, json!({"Name": "x"})),
+            Err(RedfishError::BadRequest(_))
+        ));
     }
 
     #[test]
@@ -538,8 +555,11 @@ mod tests {
     #[test]
     fn ids_of_type_matches_prefix() {
         let (r, col) = reg_with_collection();
-        r.create(&col.child("cn01"), json!({"@odata.type": "#ComputerSystem.v1_20_0.ComputerSystem"}))
-            .unwrap();
+        r.create(
+            &col.child("cn01"),
+            json!({"@odata.type": "#ComputerSystem.v1_20_0.ComputerSystem"}),
+        )
+        .unwrap();
         let ids = r.ids_of_type("#ComputerSystem.");
         assert_eq!(ids.len(), 1);
     }

@@ -90,7 +90,12 @@ mod tests {
 
     #[test]
     fn chassis_wire_shape() {
-        let c = Chassis::new(&ODataId::new("/redfish/v1/Chassis"), "jbof0", ChassisType::StorageEnclosure, "JBOF-64");
+        let c = Chassis::new(
+            &ODataId::new("/redfish/v1/Chassis"),
+            "jbof0",
+            ChassisType::StorageEnclosure,
+            "JBOF-64",
+        );
         let v = c.to_value();
         assert_eq!(v["@odata.id"], "/redfish/v1/Chassis/jbof0");
         assert_eq!(v["ChassisType"], "StorageEnclosure");

@@ -167,8 +167,8 @@ impl EventDestination {
     /// subscription's filters.
     pub fn matches(&self, event_type: EventType, origin: &ODataId) -> bool {
         let type_ok = self.event_types.is_empty() || self.event_types.contains(&event_type);
-        let origin_ok = self.origin_resources.is_empty()
-            || self.origin_resources.iter().any(|l| origin.is_under(&l.odata_id));
+        let origin_ok =
+            self.origin_resources.is_empty() || self.origin_resources.iter().any(|l| origin.is_under(&l.odata_id));
         type_ok && origin_ok
     }
 }

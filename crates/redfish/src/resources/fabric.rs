@@ -332,13 +332,7 @@ pub struct ConnectionLinks {
 impl Connection {
     /// Build a memory connection granting `initiator` RW access to `chunk`
     /// via `target`.
-    pub fn memory(
-        collection: &ODataId,
-        id: &str,
-        initiator: &ODataId,
-        target: &ODataId,
-        chunk: &ODataId,
-    ) -> Self {
+    pub fn memory(collection: &ODataId, id: &str, initiator: &ODataId, target: &ODataId, chunk: &ODataId) -> Self {
         Connection {
             header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
             connection_type: "Memory".to_string(),
@@ -357,13 +351,7 @@ impl Connection {
 
     /// Build a storage connection granting `initiator` RW access to `volume`
     /// via `target`.
-    pub fn storage(
-        collection: &ODataId,
-        id: &str,
-        initiator: &ODataId,
-        target: &ODataId,
-        volume: &ODataId,
-    ) -> Self {
+    pub fn storage(collection: &ODataId, id: &str, initiator: &ODataId, target: &ODataId, volume: &ODataId) -> Self {
         Connection {
             header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
             connection_type: "Storage".to_string(),
@@ -441,7 +429,12 @@ mod tests {
     #[test]
     fn endpoint_roles() {
         let eps = ODataId::new("/redfish/v1/Fabrics/CXL0/Endpoints");
-        let i = Endpoint::initiator(&eps, "cn01-ep", Protocol::CXL, &ODataId::new("/redfish/v1/Systems/cn01"));
+        let i = Endpoint::initiator(
+            &eps,
+            "cn01-ep",
+            Protocol::CXL,
+            &ODataId::new("/redfish/v1/Systems/cn01"),
+        );
         assert_eq!(i.role(), Some(EntityRole::Initiator));
         let t = Endpoint::target(
             &eps,
@@ -475,7 +468,10 @@ mod tests {
         let z = Zone::of_endpoints(
             &zones,
             "z1",
-            vec![Link::to("/redfish/v1/Fabrics/IB0/Endpoints/a"), Link::to("/redfish/v1/Fabrics/IB0/Endpoints/b")],
+            vec![
+                Link::to("/redfish/v1/Fabrics/IB0/Endpoints/a"),
+                Link::to("/redfish/v1/Fabrics/IB0/Endpoints/b"),
+            ],
         );
         assert_eq!(z.links.endpoints.len(), 2);
         assert_eq!(z.to_value()["ZoneType"], "ZoneOfEndpoints");

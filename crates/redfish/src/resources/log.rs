@@ -61,7 +61,9 @@ impl LogEntry {
             message: message.to_string(),
             message_id: message_id.to_string(),
             created_ms,
-            links: LogEntryLinks { origin_of_condition: Link::to(origin.clone()) },
+            links: LogEntryLinks {
+                origin_of_condition: Link::to(origin.clone()),
+            },
         }
     }
 }

@@ -62,9 +62,7 @@ impl ServiceRoot {
                 odata_type: Self::ODATA_TYPE.to_string(),
                 id: "RootService".to_string(),
                 name: "OpenFabrics Management Framework".to_string(),
-                description: Some(
-                    "Centralized composable management of disaggregated HPC resources".to_string(),
-                ),
+                description: Some("Centralized composable management of disaggregated HPC resources".to_string()),
             },
             redfish_version: "1.15.0".to_string(),
             uuid: uuid.to_string(),

@@ -90,7 +90,11 @@ impl StoragePool {
     pub fn new(collection: &ODataId, id: &str, total_bytes: u64) -> Self {
         StoragePool {
             header: ResourceHeader::under(collection, id, Self::ODATA_TYPE, id),
-            capacity: Capacity { allocated_bytes: 0, consumed_bytes: 0, guaranteed_bytes: total_bytes },
+            capacity: Capacity {
+                allocated_bytes: 0,
+                consumed_bytes: 0,
+                guaranteed_bytes: total_bytes,
+            },
             max_block_size_bytes: 4096,
             status: Status::ok(),
         }
@@ -98,7 +102,9 @@ impl StoragePool {
 
     /// Bytes still unallocated.
     pub fn free_bytes(&self) -> u64 {
-        self.capacity.guaranteed_bytes.saturating_sub(self.capacity.allocated_bytes)
+        self.capacity
+            .guaranteed_bytes
+            .saturating_sub(self.capacity.allocated_bytes)
     }
 }
 
@@ -149,7 +155,10 @@ impl Volume {
             capacity_bytes,
             raid_type: "RAID0".to_string(),
             status: Status::ok(),
-            links: VolumeLinks { client_endpoints: Vec::new(), storage_pool: Some(Link::to(pool.clone())) },
+            links: VolumeLinks {
+                client_endpoints: Vec::new(),
+                storage_pool: Some(Link::to(pool.clone())),
+            },
         }
     }
 }
@@ -224,7 +233,10 @@ mod tests {
         let vols = ODataId::new("/redfish/v1/StorageServices/s0/Volumes");
         let v = Volume::new(&vols, "ns1", 1 << 30, &pools.child("pool0"));
         let j = v.to_value();
-        assert_eq!(j["Links"]["StoragePool"]["@odata.id"], "/redfish/v1/StorageServices/s0/StoragePools/pool0");
+        assert_eq!(
+            j["Links"]["StoragePool"]["@odata.id"],
+            "/redfish/v1/StorageServices/s0/StoragePools/pool0"
+        );
     }
 
     #[test]

@@ -75,8 +75,13 @@ impl ComputerSystem {
             system_type: SystemType::Physical,
             power_state: PowerState::On,
             status: Status::ok(),
-            processor_summary: ProcessorSummary { count: 2, core_count: cores },
-            memory_summary: MemorySummary { total_system_memory_gib: memory_gib },
+            processor_summary: ProcessorSummary {
+                count: 2,
+                core_count: cores,
+            },
+            memory_summary: MemorySummary {
+                total_system_memory_gib: memory_gib,
+            },
             links: SystemLinks::default(),
         }
     }

@@ -86,12 +86,20 @@ impl Status {
 
     /// Enabled + Critical.
     pub fn critical() -> Status {
-        Status { health: Health::Critical, health_rollup: None, state: State::Enabled }
+        Status {
+            health: Health::Critical,
+            health_rollup: None,
+            state: State::Enabled,
+        }
     }
 
     /// Absent resource (no health reported in rollup).
     pub fn absent() -> Status {
-        Status { health: Health::OK, health_rollup: None, state: State::Absent }
+        Status {
+            health: Health::OK,
+            health_rollup: None,
+            state: State::Absent,
+        }
     }
 
     /// Builder: set the state.

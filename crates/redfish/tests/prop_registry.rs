@@ -31,7 +31,8 @@ fn setup() -> (Registry, ODataId) {
     let root = ODataId::new("/redfish/v1");
     reg.create(&root, json!({"Name": "root"})).unwrap();
     let col = root.child("Things");
-    reg.create_collection(&col, "#ThingCollection.ThingCollection", "Things").unwrap();
+    reg.create_collection(&col, "#ThingCollection.ThingCollection", "Things")
+        .unwrap();
     (reg, col)
 }
 
@@ -150,8 +151,7 @@ fn arb_json(depth: u32) -> impl Strategy<Value = Value> {
     leaf.prop_recursive(depth, 24, 4, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..3).prop_map(Value::Array),
-            prop::collection::btree_map("[a-c]{1}", inner, 0..4)
-                .prop_map(|m| Value::Object(m.into_iter().collect())),
+            prop::collection::btree_map("[a-c]{1}", inner, 0..4).prop_map(|m| Value::Object(m.into_iter().collect())),
         ]
     })
 }

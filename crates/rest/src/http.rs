@@ -79,8 +79,10 @@ pub enum ParseError {
     IdleTimeout,
     /// The bytes are not valid HTTP.
     Malformed(&'static str),
-    /// The body or header section exceeds the bounds.
+    /// The body exceeds [`MAX_BODY`].
     TooLarge,
+    /// The header section exceeds [`MAX_HEADER_BYTES`].
+    HeaderTooLarge,
     /// Unsupported method token.
     BadMethod,
 }
@@ -128,7 +130,7 @@ pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> Result<Request, Parse
         }
         header_bytes += n;
         if header_bytes > MAX_HEADER_BYTES {
-            return Err(ParseError::TooLarge);
+            return Err(ParseError::HeaderTooLarge);
         }
         let h = h.trim_end();
         if h.is_empty() {
@@ -153,7 +155,13 @@ pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> Result<Request, Parse
         None => Vec::new(),
     };
 
-    Ok(Request { method, path, query, headers, body })
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
 }
 
 /// A response to serialize.
@@ -180,7 +188,11 @@ impl Response {
 
     /// An empty response.
     pub fn empty(status: u16) -> Response {
-        Response { status, headers: Vec::new(), body: Vec::new() }
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
     }
 
     /// Add a header (builder style).
@@ -221,6 +233,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         409 => "Conflict",
         412 => "Precondition Failed",
         413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         507 => "Insufficient Storage",
@@ -263,7 +276,10 @@ mod tests {
     #[test]
     fn rejects_bad_method_and_version() {
         assert_eq!(parse("BREW /x HTTP/1.1\r\n\r\n").unwrap_err(), ParseError::BadMethod);
-        assert!(matches!(parse("GET /x SPDY/3\r\n\r\n").unwrap_err(), ParseError::Malformed(_)));
+        assert!(matches!(
+            parse("GET /x SPDY/3\r\n\r\n").unwrap_err(),
+            ParseError::Malformed(_)
+        ));
         assert!(matches!(parse("GET\r\n\r\n").unwrap_err(), ParseError::Malformed(_)));
     }
 
@@ -271,6 +287,17 @@ mod tests {
     fn rejects_oversized_body() {
         let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
         assert_eq!(parse(&raw).unwrap_err(), ParseError::TooLarge);
+    }
+
+    #[test]
+    fn rejects_oversized_header_section() {
+        let filler = "a".repeat(8000);
+        let mut raw = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..10 {
+            raw.push_str(&format!("X-Pad-{i}: {filler}\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert_eq!(parse(&raw).unwrap_err(), ParseError::HeaderTooLarge);
     }
 
     #[test]

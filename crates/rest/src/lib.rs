@@ -21,6 +21,7 @@
 
 pub mod client;
 pub mod http;
+mod obs;
 pub mod query;
 pub mod router;
 pub mod server;

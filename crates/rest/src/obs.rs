@@ -1,0 +1,267 @@
+//! REST-layer instrumentation and the Redfish-native observability export.
+//!
+//! Two halves:
+//!
+//! * [`metrics`] — the REST service's instrument bundle, resolved once from
+//!   the global [`ofmf_obs`] registry and cached in a `OnceLock` so the hot
+//!   path never performs a name lookup.
+//! * [`handle_get`] — materializes the live observability surface under the
+//!   OFMF manager: `…/Managers/OFMF` is overlaid with an `Oem.OFMF`
+//!   summary, `…/Managers/OFMF/MetricReports/live` renders the current
+//!   registry snapshot as a `MetricReport`, and
+//!   `…/LogServices/Observability/Entries` exposes the event ring as
+//!   `LogEntry` resources. These documents are synthesized per GET — they
+//!   are never stored in the tree, so the tree's link-closure invariant
+//!   holds while the data stays live.
+
+use crate::http::{Method, Response};
+use ofmf_core::Ofmf;
+use ofmf_obs::{Counter, Gauge, Histogram, Severity};
+use redfish_model::odata::ODataId;
+use redfish_model::path::top;
+use redfish_model::resources::log::LogEntry;
+use redfish_model::resources::telemetry::{MetricReport, MetricValue};
+use redfish_model::resources::Resource;
+use serde_json::{json, Value};
+use std::sync::{Arc, OnceLock};
+
+/// Instruments for one HTTP method.
+pub(crate) struct MethodMetrics {
+    /// `ofmf.rest.<method>.requests`
+    pub requests: Arc<Counter>,
+    /// `ofmf.rest.<method>.latency_ns`
+    pub latency: Arc<Histogram>,
+}
+
+impl MethodMetrics {
+    fn new(method: &str) -> MethodMetrics {
+        MethodMetrics {
+            requests: ofmf_obs::counter(&format!("ofmf.rest.{method}.requests")),
+            latency: ofmf_obs::histogram(&format!("ofmf.rest.{method}.latency_ns")),
+        }
+    }
+}
+
+/// The REST service's instrument bundle.
+pub(crate) struct RestMetrics {
+    /// `ofmf.rest.accepted.total` — connections accepted.
+    pub accepted: Arc<Counter>,
+    /// `ofmf.rest.accept_queue.depth` — accepted-but-unserved connections.
+    pub queue_depth: Arc<Gauge>,
+    /// `ofmf.rest.connections.active` — connections currently being served.
+    pub connections: Arc<Gauge>,
+    /// `ofmf.rest.parse_errors.total` — requests rejected by the parser.
+    pub parse_errors: Arc<Counter>,
+    /// `ofmf.rest.status.<class>` — responses by status class, index 0 = 1xx.
+    pub status: [Arc<Counter>; 5],
+    pub get: MethodMetrics,
+    pub post: MethodMetrics,
+    pub patch: MethodMetrics,
+    pub delete: MethodMetrics,
+}
+
+impl RestMetrics {
+    /// The bundle for `method` (HEAD shares GET's instruments).
+    pub fn method(&self, m: Method) -> &MethodMetrics {
+        match m {
+            Method::Get | Method::Head => &self.get,
+            Method::Post => &self.post,
+            Method::Patch => &self.patch,
+            Method::Delete => &self.delete,
+        }
+    }
+
+    /// Count a response toward its status class.
+    pub fn record_status(&self, status: u16) {
+        let class = (status / 100).clamp(1, 5) as usize - 1;
+        self.status[class].inc();
+    }
+}
+
+/// The process-wide REST instrument bundle.
+pub(crate) fn metrics() -> &'static RestMetrics {
+    static METRICS: OnceLock<RestMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| RestMetrics {
+        accepted: ofmf_obs::counter("ofmf.rest.accepted.total"),
+        queue_depth: ofmf_obs::gauge("ofmf.rest.accept_queue.depth"),
+        connections: ofmf_obs::gauge("ofmf.rest.connections.active"),
+        parse_errors: ofmf_obs::counter("ofmf.rest.parse_errors.total"),
+        status: std::array::from_fn(|i| ofmf_obs::counter(&format!("ofmf.rest.status.{}xx", i + 1))),
+        get: MethodMetrics::new("get"),
+        post: MethodMetrics::new("post"),
+        patch: MethodMetrics::new("patch"),
+        delete: MethodMetrics::new("delete"),
+    })
+}
+
+/// The live metric report's URI.
+fn live_report_id() -> ODataId {
+    ODataId::new(top::OBS_METRIC_REPORTS).child("live")
+}
+
+/// Serve the synthesized observability resources. Returns `None` for paths
+/// outside the observability surface (the router falls through to the
+/// stored tree).
+pub(crate) fn handle_get(ofmf: &Ofmf, path: &ODataId) -> Option<Response> {
+    let p = path.as_str().trim_end_matches('/');
+    match p {
+        top::OFMF_MANAGER => Some(manager_overlay(ofmf, path)),
+        top::OBS_METRIC_REPORTS => Some(report_collection()),
+        _ if p == live_report_id().as_str() => Some(live_report()),
+        top::OBS_LOG_ENTRIES => Some(ring_collection()),
+        _ => {
+            let parent = path.parent()?;
+            if parent.as_str() == top::OBS_LOG_ENTRIES {
+                Some(ring_entry(path.leaf()))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// `GET …/Managers/OFMF`: the stored manager document plus a live
+/// `Oem.OFMF.Observability` summary.
+fn manager_overlay(ofmf: &Ofmf, path: &ODataId) -> Response {
+    let (mut body, etag) = match ofmf.get(path) {
+        Ok(x) => x,
+        Err(e) => return crate::router::error_response(&e),
+    };
+    let reg = ofmf_obs::global();
+    let m = metrics();
+    let requests: u64 = [&m.get, &m.post, &m.patch, &m.delete]
+        .iter()
+        .map(|mm| mm.requests.get())
+        .sum();
+    let summary = json!({
+        "Enabled": ofmf_obs::enabled(),
+        "UptimeMs": reg.uptime_ms(),
+        "RestRequests": requests,
+        "RingEvents": reg.ring().total_emitted(),
+        "MetricReports": {"@odata.id": top::OBS_METRIC_REPORTS},
+    });
+    if let Value::Object(map) = &mut body {
+        let oem = map.entry("Oem".to_string()).or_insert_with(|| json!({}));
+        if let Value::Object(oem) = oem {
+            oem.insert("OFMF".to_string(), json!({"Observability": summary}));
+        }
+    }
+    Response::json(200, &body).with_header("ETag", &etag.to_header())
+}
+
+/// `GET …/MetricReports`: the collection, always listing the live report.
+fn report_collection() -> Response {
+    Response::json(
+        200,
+        &json!({
+            "@odata.id": top::OBS_METRIC_REPORTS,
+            "@odata.type": "#MetricReportCollection.MetricReportCollection",
+            "Name": "Live Metric Reports",
+            "Members": [{"@odata.id": live_report_id().as_str()}],
+            "Members@odata.count": 1,
+        }),
+    )
+}
+
+/// `GET …/MetricReports/live`: the registry snapshot as a `MetricReport`.
+///
+/// Counters and gauges become one `MetricValue` each; histograms expand to
+/// `<name>.count/.mean/.p50/.p95/.p99/.max`.
+fn live_report() -> Response {
+    let reg = ofmf_obs::global();
+    let snap = reg.snapshot();
+    let origin = ODataId::new(top::OFMF_MANAGER);
+    let now = ofmf_obs::unix_ms();
+    let mut values = Vec::with_capacity(snap.counters.len() + snap.gauges.len() + snap.histograms.len() * 6);
+    for (name, v) in &snap.counters {
+        values.push(MetricValue::sample(name, *v as f64, &origin, now));
+    }
+    for (name, v) in &snap.gauges {
+        values.push(MetricValue::sample(name, *v as f64, &origin, now));
+    }
+    for (name, h) in &snap.histograms {
+        values.push(MetricValue::sample(
+            &format!("{name}.count"),
+            h.count as f64,
+            &origin,
+            now,
+        ));
+        values.push(MetricValue::sample(&format!("{name}.mean"), h.mean, &origin, now));
+        values.push(MetricValue::sample(&format!("{name}.p50"), h.p50 as f64, &origin, now));
+        values.push(MetricValue::sample(&format!("{name}.p95"), h.p95 as f64, &origin, now));
+        values.push(MetricValue::sample(&format!("{name}.p99"), h.p99 as f64, &origin, now));
+        values.push(MetricValue::sample(&format!("{name}.max"), h.max as f64, &origin, now));
+    }
+    let report = MetricReport::new(&ODataId::new(top::OBS_METRIC_REPORTS), "live", snap.uptime_ms, values);
+    Response::json(200, &report.to_value())
+}
+
+/// `GET …/LogServices/Observability/Entries`: ring events as a collection.
+fn ring_collection() -> Response {
+    let events = ofmf_obs::global().ring().recent();
+    let members: Vec<Value> = events
+        .iter()
+        .map(|e| json!({"@odata.id": ODataId::new(top::OBS_LOG_ENTRIES).child(&e.seq.to_string()).as_str()}))
+        .collect();
+    Response::json(
+        200,
+        &json!({
+            "@odata.id": top::OBS_LOG_ENTRIES,
+            "@odata.type": "#LogEntryCollection.LogEntryCollection",
+            "Name": "Observability Events",
+            "Members": members,
+            "Members@odata.count": members.len(),
+        }),
+    )
+}
+
+/// `GET …/Entries/{seq}`: one ring event as a `LogEntry` (404 once
+/// evicted).
+fn ring_entry(seq: &str) -> Response {
+    let collection = ODataId::new(top::OBS_LOG_ENTRIES);
+    let Some(ev) = seq
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| ofmf_obs::global().ring().recent().into_iter().find(|e| e.seq == n))
+    else {
+        return crate::router::error_response(&redfish_model::RedfishError::NotFound(collection.child(seq)));
+    };
+    let message = match ev.request_id {
+        Some(rid) => format!("{}: {} (request {rid})", ev.target, ev.message),
+        None => format!("{}: {}", ev.target, ev.message),
+    };
+    let entry = LogEntry::event(
+        &collection,
+        &ev.seq.to_string(),
+        ev.severity.as_str(),
+        &message,
+        "OFMF.1.0.ObservabilityEvent",
+        &ODataId::new(top::OFMF_MANAGER),
+        ev.unix_ms,
+    );
+    Response::json(200, &entry.to_value())
+}
+
+/// Emit a warning event about a rejected (unparseable) request.
+pub(crate) fn note_parse_error(detail: &str) {
+    let m = metrics();
+    m.parse_errors.inc();
+    ofmf_obs::global()
+        .ring()
+        .emit(Severity::Warning, "ofmf.rest", format!("request rejected: {detail}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_classes_clamp() {
+        let m = metrics();
+        let before = m.status[4].get();
+        m.record_status(500);
+        m.record_status(599);
+        m.record_status(999); // clamped into 5xx
+        assert_eq!(m.status[4].get(), before + 3);
+    }
+}

@@ -83,7 +83,10 @@ mod tests {
     fn parses_all_options() {
         let q = QueryOptions::parse("$expand=.&$select=Name,Status&$top=5&$skip=10");
         assert!(q.expand);
-        assert_eq!(q.select.as_deref(), Some(&["Name".to_string(), "Status".to_string()][..]));
+        assert_eq!(
+            q.select.as_deref(),
+            Some(&["Name".to_string(), "Status".to_string()][..])
+        );
         assert_eq!(q.top, Some(5));
         assert_eq!(q.skip, Some(10));
         assert!(QueryOptions::parse("").is_noop());

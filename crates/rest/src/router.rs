@@ -27,11 +27,35 @@ impl Router {
     /// New router; `require_auth` gates everything but `GET /redfish/v1`
     /// and session creation.
     pub fn new(ofmf: Arc<Ofmf>, require_auth: bool) -> Self {
-        Router { ofmf, require_auth, sub_queues: Mutex::new(HashMap::new()) }
+        Router {
+            ofmf,
+            require_auth,
+            sub_queues: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Handle one request.
     pub fn handle(&self, req: &Request) -> Response {
+        let metrics = crate::obs::metrics();
+        let method = metrics.method(req.method);
+        method.requests.inc();
+        let span = ofmf_obs::Trace::begin(&method.latency);
+        let request_id = ofmf_obs::next_request_id();
+        let resp = self.dispatch(req, request_id);
+        metrics.record_status(resp.status);
+        if resp.status >= 500 {
+            ofmf_obs::global().ring().emit_for_request(
+                ofmf_obs::Severity::Critical,
+                "ofmf.rest",
+                format!("{:?} {} -> {}", req.method, req.path, resp.status),
+                Some(request_id),
+            );
+        }
+        drop(span);
+        resp
+    }
+
+    fn dispatch(&self, req: &Request, _request_id: u64) -> Response {
         if !in_service_tree(&req.path) && req.path != "/redfish" {
             return error_response(&RedfishError::NotFound(ODataId::new(req.path.as_str())));
         }
@@ -59,6 +83,10 @@ impl Router {
     }
 
     fn get(&self, req: &Request, path: &ODataId) -> Response {
+        // Live observability surface (synthesized per GET, never stored).
+        if let Some(resp) = crate::obs::handle_get(&self.ofmf, path) {
+            return resp;
+        }
         // Subscription event drain: GET …/Subscriptions/{id}/Events
         if let Some(parent) = path.parent() {
             if path.leaf() == "Events" && parent.as_str().starts_with(top::SUBSCRIPTIONS) {
@@ -88,9 +116,7 @@ impl Router {
     fn post(&self, req: &Request, path: &ODataId) -> Response {
         let body: Value = match serde_json::from_slice(&req.body) {
             Ok(v) => v,
-            Err(e) => {
-                return error_response(&RedfishError::BadRequest(format!("invalid JSON body: {e}")))
-            }
+            Err(e) => return error_response(&RedfishError::BadRequest(format!("invalid JSON body: {e}"))),
         };
         let normalized = path.as_str().trim_end_matches('/');
         if normalized == top::SESSIONS {
@@ -128,9 +154,7 @@ impl Router {
     fn patch(&self, req: &Request, path: &ODataId) -> Response {
         let body: Value = match serde_json::from_slice(&req.body) {
             Ok(v) => v,
-            Err(e) => {
-                return error_response(&RedfishError::BadRequest(format!("invalid JSON body: {e}")))
-            }
+            Err(e) => return error_response(&RedfishError::BadRequest(format!("invalid JSON body: {e}"))),
         };
         let if_match = req.header("if-match").and_then(ETag::parse_header);
         if req.header("if-match").is_some() && if_match.is_none() {
@@ -289,7 +313,11 @@ mod tests {
     #[test]
     fn post_then_get_then_patch_then_delete() {
         let r = open_router();
-        let resp = r.handle(&req(Method::Post, "/redfish/v1/Systems", r#"{"Id":"cn0","Name":"cn0"}"#));
+        let resp = r.handle(&req(
+            Method::Post,
+            "/redfish/v1/Systems",
+            r#"{"Id":"cn0","Name":"cn0"}"#,
+        ));
         assert_eq!(resp.status, 201);
         let loc = resp
             .headers
@@ -395,9 +423,12 @@ mod tests {
         assert_eq!(v["Count"], 0);
 
         // Publish an alert; it shows up on the next drain.
-        r.ofmf
-            .events
-            .publish(EventType::Alert, &ODataId::new("/redfish/v1/Chassis/x"), "hot", "Warning");
+        r.ofmf.events.publish(
+            EventType::Alert,
+            &ODataId::new("/redfish/v1/Chassis/x"),
+            "hot",
+            "Warning",
+        );
         let drained = r.handle(&req(Method::Get, &format!("{loc}/Events"), ""));
         let v: Value = serde_json::from_slice(&drained.body).unwrap();
         assert_eq!(v["Count"], 1);

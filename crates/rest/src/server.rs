@@ -43,8 +43,12 @@ impl RestServer {
             let handle = std::thread::Builder::new()
                 .name(format!("ofmf-rest-worker-{i}"))
                 .spawn(move || {
+                    let metrics = crate::obs::metrics();
                     while let Ok(stream) = rx.recv() {
+                        metrics.queue_depth.sub(1);
+                        metrics.connections.add(1);
                         serve_connection(stream, &router, &worker_shutdown);
+                        metrics.connections.sub(1);
                         if worker_shutdown.load(Ordering::Acquire) {
                             break;
                         }
@@ -64,6 +68,9 @@ impl RestServer {
                     }
                     match stream {
                         Ok(s) => {
+                            let metrics = crate::obs::metrics();
+                            metrics.accepted.inc();
+                            metrics.queue_depth.add(1);
                             // Blocking send applies back-pressure when all
                             // workers are busy and the backlog is full.
                             if tx.send(s).is_err() {
@@ -77,7 +84,12 @@ impl RestServer {
             })
             .expect("spawn rest acceptor");
 
-        Ok(RestServer { addr, shutdown, acceptor: Some(acceptor), workers: worker_handles })
+        Ok(RestServer {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
     }
 
     /// The bound address (for clients when port 0 was requested).
@@ -120,6 +132,7 @@ fn serve_connection(stream: TcpStream, router: &Router, shutdown: &AtomicBool) {
     // A short read timeout lets idle keep-alive connections observe the
     // shutdown flag instead of pinning a worker forever.
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else { return };
     let mut writer = write_half;
     let mut reader = BufReader::new(stream);
@@ -145,9 +158,12 @@ fn serve_connection(stream: TcpStream, router: &Router, shutdown: &AtomicBool) {
             Err(e) => {
                 let status = match e {
                     ParseError::TooLarge => 413,
+                    ParseError::HeaderTooLarge => 431,
                     ParseError::BadMethod => 405,
                     _ => 400,
                 };
+                crate::obs::note_parse_error(&format!("{e:?}"));
+                crate::obs::metrics().record_status(status);
                 let body = serde_json::json!({
                     "error": {"code": "Base.1.0.MalformedJSON", "message": format!("{e:?}")}
                 });

@@ -181,8 +181,15 @@ fn qos_connection_over_the_wire() {
         })
     };
     // The CXL access link is 256 G: 200 G is admitted, the next 200 G is not.
-    assert_eq!(c.post("/redfish/v1/Fabrics/CXL0/Connections", &mk("q1", 200.0)).unwrap().status, 201);
-    let denied = c.post("/redfish/v1/Fabrics/CXL0/Connections", &mk("q2", 200.0)).unwrap();
+    assert_eq!(
+        c.post("/redfish/v1/Fabrics/CXL0/Connections", &mk("q1", 200.0))
+            .unwrap()
+            .status,
+        201
+    );
+    let denied = c
+        .post("/redfish/v1/Fabrics/CXL0/Connections", &mk("q2", 200.0))
+        .unwrap();
     assert_eq!(denied.status, 409, "admission control over the wire");
     // Negative bandwidth is a 400.
     let bad = c.post("/redfish/v1/Fabrics/CXL0/Connections", &mk("q3", -5.0)).unwrap();
@@ -228,7 +235,10 @@ fn concurrent_clients_share_the_tree() {
         handles.push(std::thread::spawn(move || {
             let mut c = HttpClient::new(addr);
             let resp = c
-                .post("/redfish/v1/Systems", &json!({"Id": format!("t{i}"), "Name": format!("t{i}")}))
+                .post(
+                    "/redfish/v1/Systems",
+                    &json!({"Id": format!("t{i}"), "Name": format!("t{i}")}),
+                )
                 .unwrap();
             assert_eq!(resp.status, 201);
             for _ in 0..20 {
@@ -243,5 +253,68 @@ fn concurrent_clients_share_the_tree() {
     let systems = c.get("/redfish/v1/Systems").unwrap().json().unwrap();
     // 4 discovered nodes + 8 test-created.
     assert_eq!(systems["Members@odata.count"], 12);
+    server.shutdown();
+}
+
+/// Raw-socket exchange: send `bytes`, read the full response text.
+fn raw_roundtrip(addr: std::net::SocketAddr, bytes: &[u8]) -> String {
+    use std::io::{Read, Write};
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.write_all(bytes).unwrap();
+    let mut buf = String::new();
+    raw.read_to_string(&mut buf).unwrap();
+    buf
+}
+
+#[test]
+fn garbled_request_line_is_a_400_and_counted() {
+    let (server, _c, _o) = boot(false, HashMap::new());
+    let errors = ofmf_obs::counter("ofmf.rest.parse_errors.total");
+    let c4xx = ofmf_obs::counter("ofmf.rest.status.4xx");
+    let (e0, s0) = (errors.get(), c4xx.get());
+
+    let buf = raw_roundtrip(server.addr(), b"GET /redfish/v1 SPDY/3\r\n\r\n");
+    assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+    assert!(buf.contains("\"error\""), "{buf}");
+
+    assert!(errors.get() > e0, "parser rejection must hit the error counter");
+    assert!(c4xx.get() > s0, "400 must land in the 4xx status class");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_headers_are_a_431_and_counted() {
+    let (server, _c, _o) = boot(false, HashMap::new());
+    let errors = ofmf_obs::counter("ofmf.rest.parse_errors.total");
+    let c4xx = ofmf_obs::counter("ofmf.rest.status.4xx");
+    let (e0, s0) = (errors.get(), c4xx.get());
+
+    // One giant header line pushes the section past MAX_HEADER_BYTES; the
+    // overflow triggers on the last byte sent, so the server consumes the
+    // whole request before responding (no RST racing the response).
+    let mut req = b"GET /redfish/v1 HTTP/1.1\r\n".to_vec();
+    req.extend_from_slice(format!("X-Pad: {}\r\n", "y".repeat(66 * 1024)).as_bytes());
+    let buf = raw_roundtrip(server.addr(), &req);
+    assert!(buf.starts_with("HTTP/1.1 431"), "{buf}");
+
+    assert!(errors.get() > e0);
+    assert!(c4xx.get() > s0);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_route_is_a_404_and_counted() {
+    let (server, mut c, _o) = boot(false, HashMap::new());
+    let c4xx = ofmf_obs::counter("ofmf.rest.status.4xx");
+    let gets = ofmf_obs::counter("ofmf.rest.get.requests");
+    let (s0, g0) = (c4xx.get(), gets.get());
+
+    let miss = c.get("/redfish/v1/Chassis/teapot").unwrap();
+    assert_eq!(miss.status, 404);
+    let body = miss.json().unwrap();
+    assert!(body["error"]["message"].as_str().unwrap().contains("teapot"), "{body}");
+
+    assert!(c4xx.get() > s0, "404 must land in the 4xx status class");
+    assert!(gets.get() > g0, "routed 404s still count as GET requests");
     server.shutdown();
 }

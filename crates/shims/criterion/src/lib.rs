@@ -1,0 +1,240 @@
+//! Offline shim for `criterion`.
+//!
+//! A small wall-clock harness with criterion's macro and builder surface:
+//! `criterion_group!`/`criterion_main!`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`/`iter_batched`. Each benchmark is
+//! timed over a fixed batch of iterations after a short warm-up, and the
+//! mean per-iteration time is printed — enough to compare configurations
+//! (e.g. the observability ablation) without statistical machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// The top-level harness handle passed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 50,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, 50, None, f);
+        self
+    }
+}
+
+/// Throughput annotation for a group (reported next to timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; accepted for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// A named set of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing is incremental; this is a no-op hook).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, tput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        iters: samples as u64,
+        total: Duration::ZERO,
+        timed_iters: 0,
+    };
+    f(&mut b);
+    if b.timed_iters == 0 {
+        println!("{label}: no iterations recorded");
+        return;
+    }
+    let mean = b.total.as_secs_f64() / b.timed_iters as f64;
+    let rate = match tput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!(
+                "  ({:.0} elem/s)",
+                n as f64 * b.timed_iters as f64 / b.total.as_secs_f64()
+            )
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 * b.timed_iters as f64 / b.total.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("{label}: {}{rate}", format_duration(mean));
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Passed to each benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed batch of iterations (plus warm-up).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters.min(3) {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.timed_iters += self.iters;
+    }
+
+    /// Time `routine` with a fresh un-timed `setup` product per iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += start.elapsed();
+            self.timed_iters += 1;
+        }
+    }
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(1));
+        let mut count = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("add", 5), &5u64, |b, &n| {
+            b.iter_batched(|| n, |x| x + 1, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(count >= 10);
+    }
+}

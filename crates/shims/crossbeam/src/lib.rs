@@ -1,0 +1,266 @@
+//! Offline shim for `crossbeam` (the `channel` module only).
+//!
+//! A bounded MPMC channel built on `Mutex<VecDeque>` + two condvars, with
+//! crossbeam's disconnect semantics: `recv` drains remaining messages after
+//! all senders drop and only then reports disconnection; `send`/`try_send`
+//! fail once all receivers drop.
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<Shared<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    struct Shared<T> {
+        items: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Create a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(Shared {
+                items: VecDeque::with_capacity(cap),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { inner: inner.clone() }, Receiver { inner })
+    }
+
+    /// The sending half.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// All receivers disconnected; the message comes back.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Why `try_send` failed; the message comes back either way.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The queue is at capacity.
+        Full(T),
+        /// All receivers disconnected.
+        Disconnected(T),
+    }
+
+    /// Channel empty and all senders disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why `try_recv` returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// Channel empty and all senders disconnected.
+        Disconnected,
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send, blocking while the queue is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut shared = self.inner.queue.lock().unwrap();
+            loop {
+                if shared.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if shared.items.len() < shared.cap {
+                    shared.items.push_back(value);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                shared = self.inner.not_full.wait(shared).unwrap();
+            }
+        }
+
+        /// Send without blocking.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut shared = self.inner.queue.lock().unwrap();
+            if shared.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if shared.items.len() >= shared.cap {
+                return Err(TrySendError::Full(value));
+            }
+            shared.items.push_back(value);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// True if the queue is at capacity right now.
+        pub fn is_full(&self) -> bool {
+            let shared = self.inner.queue.lock().unwrap();
+            shared.items.len() >= shared.cap
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().unwrap().items.len()
+        }
+
+        /// True if nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking while the queue is empty and senders remain.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut shared = self.inner.queue.lock().unwrap();
+            loop {
+                if let Some(v) = shared.items.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if shared.senders == 0 {
+                    return Err(RecvError);
+                }
+                shared = self.inner.not_empty.wait(shared).unwrap();
+            }
+        }
+
+        /// Receive without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut shared = self.inner.queue.lock().unwrap();
+            if let Some(v) = shared.items.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if shared.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().unwrap().items.len()
+        }
+
+        /// True if nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.inner.queue.lock().unwrap().senders += 1;
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.inner.queue.lock().unwrap().receivers += 1;
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut shared = self.inner.queue.lock().unwrap();
+            shared.senders -= 1;
+            if shared.senders == 0 {
+                drop(shared);
+                // Wake blocked receivers so they observe the disconnect.
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut shared = self.inner.queue.lock().unwrap();
+            shared.receivers -= 1;
+            if shared.receivers == 0 {
+                drop(shared);
+                // Wake blocked senders so they observe the disconnect.
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_applies_backpressure() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert!(tx.is_full());
+            assert_eq!(rx.try_recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.len(), 2);
+        }
+
+        #[test]
+        fn recv_drains_before_disconnect() {
+            let (tx, rx) = bounded(4);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_after_receivers_gone() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert!(matches!(tx.try_send(5), Err(TrySendError::Disconnected(5))));
+            assert!(tx.send(6).is_err());
+        }
+
+        #[test]
+        fn cross_thread_handoff() {
+            let (tx, rx) = bounded(1);
+            let h = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            h.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Offline shim for `rayon`.
+//!
+//! Maps the parallel-iterator entry points onto plain sequential std
+//! iterators. Call sites keep their `.par_iter().map(...).collect()` shape;
+//! they simply run on one thread. Adequate for correctness and for the
+//! deterministic benchmarks in this workspace.
+
+/// The traits user code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    /// `into_par_iter()` — sequential stand-in for rayon's version.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Consume `self`, yielding a (sequential) iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` — sequential stand-in borrowing `self`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The borrowed iterator type.
+        type Iter: Iterator;
+
+        /// Borrow `self`, yielding a (sequential) iterator.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+    where
+        &'a T: IntoIterator,
+    {
+        type Iter = <&'a T as IntoIterator>::IntoIter;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_stand_ins_behave_like_iterators() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let sum: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+}

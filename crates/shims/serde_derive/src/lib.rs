@@ -1,0 +1,538 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` that parse
+//! the input token stream directly (no `syn`/`quote` — those crates are not
+//! available offline) and emit impls of the shim traits in `serde`.
+//!
+//! Supported shapes (the subset this workspace uses):
+//! - named-field structs, with `#[serde(rename = "...")]`,
+//!   `#[serde(skip_serializing_if = "path")]`, `#[serde(default)]` and
+//!   `#[serde(flatten)]` field attributes plus `#[serde(transparent)]` at
+//!   the container level;
+//! - newtype (single-field tuple) structs, serialized as the inner value;
+//! - enums with unit, newtype and struct variants, externally tagged.
+//!
+//! Generic types are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derive the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ------------------------------------------------------------------ model
+
+struct Item {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct.
+    Struct(Vec<Field>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum.
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    /// Rust identifier.
+    ident: String,
+    /// JSON key (rename applied).
+    key: String,
+    skip_serializing_if: Option<String>,
+    default: bool,
+    flatten: bool,
+}
+
+struct Variant {
+    ident: String,
+    key: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    /// Tuple variant with N fields (N == 1 is the common newtype case).
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ------------------------------------------------------------------ parse
+
+#[derive(Default)]
+struct SerdeAttrs {
+    rename: Option<String>,
+    skip_serializing_if: Option<String>,
+    default: bool,
+    flatten: bool,
+    transparent: bool,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    let container_attrs = take_attrs(&mut it);
+    skip_visibility(&mut it);
+
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported ({name})");
+    }
+
+    let kind = match (kw.as_str(), it.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Struct(parse_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Kind::Unit,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Enum(parse_variants(g.stream()))
+        }
+        (kw, other) => panic!("serde shim derive: unsupported item `{kw}` body {other:?}"),
+    };
+
+    Item {
+        name,
+        transparent: container_attrs.transparent,
+        kind,
+    }
+}
+
+/// Consume leading `#[...]` attributes, folding together any `#[serde(...)]`
+/// arguments found; other attributes (`#[doc]`, `#[default]`, ...) are
+/// skipped.
+fn take_attrs(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> SerdeAttrs {
+    let mut out = SerdeAttrs::default();
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        let group = match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde shim derive: malformed attribute {other:?}"),
+        };
+        let mut inner = group.stream().into_iter();
+        let is_serde = matches!(inner.next(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let args = match inner.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            other => panic!("serde shim derive: malformed #[serde] attribute {other:?}"),
+        };
+        parse_serde_args(args, &mut out);
+    }
+    out
+}
+
+fn parse_serde_args(args: TokenStream, out: &mut SerdeAttrs) {
+    let mut it = args.into_iter().peekable();
+    while let Some(tt) = it.next() {
+        let word = match tt {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => continue,
+            other => panic!("serde shim derive: unexpected token in #[serde(...)]: {other:?}"),
+        };
+        let value = if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            it.next();
+            match it.next() {
+                Some(TokenTree::Literal(l)) => Some(unquote(&l.to_string())),
+                other => panic!("serde shim derive: expected string after `{word} =`, got {other:?}"),
+            }
+        } else {
+            None
+        };
+        match word.as_str() {
+            "rename" => out.rename = value,
+            "skip_serializing_if" => out.skip_serializing_if = value,
+            "default" => out.default = true,
+            "flatten" => out.flatten = true,
+            "transparent" => out.transparent = true,
+            other => panic!("serde shim derive: unsupported #[serde({other})] attribute"),
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn skip_visibility(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis) {
+            it.next();
+        }
+    }
+}
+
+/// Parse `name: Type, ...` named fields, honouring per-field serde attrs.
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        if it.peek().is_none() {
+            break;
+        }
+        let attrs = take_attrs(&mut it);
+        skip_visibility(&mut it);
+        let ident = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field, got {other:?}"),
+        }
+        skip_type(&mut it);
+        fields.push(Field {
+            key: attrs.rename.clone().unwrap_or_else(|| ident.clone()),
+            ident,
+            skip_serializing_if: attrs.skip_serializing_if,
+            default: attrs.default,
+            flatten: attrs.flatten,
+        });
+    }
+    fields
+}
+
+/// Skip tokens of one type expression up to (and past) the next top-level
+/// comma. Groups are single trees, so only `<`/`>` pairs need depth
+/// tracking.
+fn skip_type(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle = 0i32;
+    for tt in it.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut it = body.into_iter().peekable();
+    let mut n = 0;
+    loop {
+        if it.peek().is_none() {
+            break;
+        }
+        let _ = take_attrs(&mut it);
+        skip_visibility(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        skip_type(&mut it);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        if it.peek().is_none() {
+            break;
+        }
+        let attrs = take_attrs(&mut it);
+        let ident = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                it.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Trailing comma between variants.
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        variants.push(Variant {
+            key: attrs.rename.clone().unwrap_or_else(|| ident.clone()),
+            ident,
+            shape,
+        });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) if item.transparent => {
+            let f = &fields[0].ident;
+            format!("::serde::Serialize::to_json(&self.{f})")
+        }
+        Kind::Struct(fields) => {
+            let mut s = String::from("let mut __m = ::serde::value::Map::new();\n");
+            for f in fields {
+                let ident = &f.ident;
+                let key = &f.key;
+                if f.flatten {
+                    s.push_str(&format!(
+                        "if let ::serde::value::Value::Object(__o) = \
+                         ::serde::Serialize::to_json(&self.{ident}) {{ \
+                         for (__k, __v) in __o {{ __m.insert(__k, __v); }} }}\n"
+                    ));
+                } else if let Some(pred) = &f.skip_serializing_if {
+                    s.push_str(&format!(
+                        "if !{pred}(&self.{ident}) {{ \
+                         __m.insert({key:?}.to_string(), ::serde::Serialize::to_json(&self.{ident})); }}\n"
+                    ));
+                } else {
+                    s.push_str(&format!(
+                        "__m.insert({key:?}.to_string(), ::serde::Serialize::to_json(&self.{ident}));\n"
+                    ));
+                }
+            }
+            s.push_str("::serde::value::Value::Object(__m)");
+            s
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Kind::Unit => "::serde::value::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vi = &v.ident;
+                let key = &v.key;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vi} => ::serde::value::Value::String({key:?}.to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vi}(__f0) => {{ \
+                         let mut __m = ::serde::value::Map::new(); \
+                         __m.insert({key:?}.to_string(), ::serde::Serialize::to_json(__f0)); \
+                         ::serde::value::Value::Object(__m) }}\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vi}({}) => {{ \
+                             let mut __m = ::serde::value::Map::new(); \
+                             __m.insert({key:?}.to_string(), ::serde::value::Value::Array(vec![{}])); \
+                             ::serde::value::Value::Object(__m) }}\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.ident.clone()).collect();
+                        let mut inner = String::from("let mut __inner = ::serde::value::Map::new();\n");
+                        for f in fields {
+                            let ident = &f.ident;
+                            let fkey = &f.key;
+                            if let Some(pred) = &f.skip_serializing_if {
+                                inner.push_str(&format!(
+                                    "if !{pred}({ident}) {{ __inner.insert({fkey:?}.to_string(), \
+                                     ::serde::Serialize::to_json({ident})); }}\n"
+                                ));
+                            } else {
+                                inner.push_str(&format!(
+                                    "__inner.insert({fkey:?}.to_string(), \
+                                     ::serde::Serialize::to_json({ident}));\n"
+                                ));
+                            }
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vi} {{ {} }} => {{ {inner} \
+                             let mut __m = ::serde::value::Map::new(); \
+                             __m.insert({key:?}.to_string(), ::serde::value::Value::Object(__inner)); \
+                             ::serde::value::Value::Object(__m) }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) if item.transparent => {
+            let f = &fields[0].ident;
+            format!("Ok({name} {{ {f}: ::serde::Deserialize::from_json(__v)? }})")
+        }
+        Kind::Struct(fields) => {
+            let mut s = format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"an object ({name})\", __v))?;\n"
+            );
+            let mut inits = Vec::new();
+            for f in fields {
+                let ident = &f.ident;
+                let key = &f.key;
+                if f.flatten {
+                    inits.push(format!("{ident}: ::serde::Deserialize::from_json(__v)?"));
+                } else if f.default {
+                    inits.push(format!(
+                        "{ident}: match __obj.get({key:?}) {{ \
+                         Some(__x) => ::serde::Deserialize::from_json(__x)?, \
+                         None => Default::default() }}"
+                    ));
+                } else {
+                    // Missing keys read as Null: Option fields become None,
+                    // required fields fail inside their own from_json.
+                    inits.push(format!(
+                        "{ident}: ::serde::Deserialize::from_json(\
+                         __obj.get({key:?}).unwrap_or(&::serde::value::Value::Null))\
+                         .map_err(|e| ::serde::DeError(format!(\"{name}.{key}: {{e}}\")))?"
+                    ));
+                }
+            }
+            s.push_str(&format!("Ok({name} {{ {} }})", inits.join(", ")));
+            s
+        }
+        Kind::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_json(__v)?))"),
+        Kind::Tuple(n) => {
+            let mut s = format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"an array ({name})\", __v))?;\n"
+            );
+            let elems: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_json(__arr.get({i})\
+                         .unwrap_or(&::serde::value::Value::Null))?"
+                    )
+                })
+                .collect();
+            s.push_str(&format!("Ok({name}({}))", elems.join(", ")));
+            s
+        }
+        Kind::Unit => format!("Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let vi = &v.ident;
+                let key = &v.key;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        str_arms.push_str(&format!("{key:?} => Ok({name}::{vi}),\n"));
+                    }
+                    VariantShape::Tuple(1) => {
+                        obj_arms.push_str(&format!(
+                            "{key:?} => Ok({name}::{vi}(::serde::Deserialize::from_json(__inner)?)),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_json(__arr.get({i})\
+                                     .unwrap_or(&::serde::value::Value::Null))?"
+                                )
+                            })
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "{key:?} => {{ let __arr = __inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"an array ({name}::{vi})\", __inner))?; \
+                             Ok({name}::{vi}({})) }}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inits = Vec::new();
+                        for f in fields {
+                            let ident = &f.ident;
+                            let fkey = &f.key;
+                            if f.default {
+                                inits.push(format!(
+                                    "{ident}: match __o.get({fkey:?}) {{ \
+                                     Some(__x) => ::serde::Deserialize::from_json(__x)?, \
+                                     None => Default::default() }}"
+                                ));
+                            } else {
+                                inits.push(format!(
+                                    "{ident}: ::serde::Deserialize::from_json(\
+                                     __o.get({fkey:?}).unwrap_or(&::serde::value::Value::Null))?"
+                                ));
+                            }
+                        }
+                        obj_arms.push_str(&format!(
+                            "{key:?} => {{ let __o = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"an object ({name}::{vi})\", __inner))?; \
+                             Ok({name}::{vi} {{ {} }}) }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{str_arms}\
+                 __other => Err(::serde::DeError(format!(\"unknown {name} variant {{__other:?}}\"))),\n}}\n\
+                 }} else if let Some(__obj) = __v.as_object() {{\n\
+                 let (__tag, __inner) = __obj.iter().next().ok_or_else(|| \
+                 ::serde::DeError(\"empty object for enum {name}\".to_string()))?;\n\
+                 match __tag.as_str() {{\n{obj_arms}\
+                 __other => Err(::serde::DeError(format!(\"unknown {name} variant {{__other:?}}\"))),\n}}\n\
+                 }} else {{\n\
+                 Err(::serde::DeError::expected(\"a string or single-key object ({name})\", __v))\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json(__v: &::serde::value::Value) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    )
+}

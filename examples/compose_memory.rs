@@ -21,7 +21,12 @@ fn main() {
     let (_sub, events) = rig
         .ofmf
         .events
-        .subscribe(&rig.ofmf.registry, "channel://ops-dashboard", vec![EventType::ResourceUpdated], vec![])
+        .subscribe(
+            &rig.ofmf.registry,
+            "channel://ops-dashboard",
+            vec![EventType::ResourceUpdated],
+            vec![],
+        )
         .unwrap();
 
     // The job starts with 16 GiB of fabric memory.
@@ -60,7 +65,11 @@ fn main() {
     // Show the chunks as Redfish resources.
     let live = composer.find(&job.system).unwrap();
     println!("\nmemory bindings of {}:", job.system.leaf());
-    for b in live.bindings.iter().filter(|b| b.kind == composer::request::BindingKind::Memory) {
+    for b in live
+        .bindings
+        .iter()
+        .filter(|b| b.kind == composer::request::BindingKind::Memory)
+    {
         let (doc, _) = rig.ofmf.get(&b.resource).unwrap();
         println!("  {} = {} MiB", b.resource, doc["MemoryChunkSizeMiB"]);
     }

@@ -13,7 +13,10 @@ use cluster_sim::workload::ior::IorParams;
 
 fn main() {
     let spec = NodeSpec::thunderx2();
-    println!("node model: {} cores, {} GiB, {} GFLOPS sustained\n", spec.cores, spec.memory_gib, spec.gflops);
+    println!(
+        "node model: {} cores, {} GiB, {} GFLOPS sustained\n",
+        spec.cores, spec.memory_gib, spec.gflops
+    );
 
     // Show the experiment layouts (Fig. process-layout).
     println!("experiment classes (n = 4 example):");
@@ -30,10 +33,18 @@ fn main() {
 
     // Run the smoke sweep.
     let plan = ExperimentPlan::smoke(42);
-    println!("\nrunning {} classes × {:?} nodes × {} reps…", plan.classes.len(), plan.node_counts, plan.reps);
+    println!(
+        "\nrunning {} classes × {:?} nodes × {} reps…",
+        plan.classes.len(),
+        plan.node_counts,
+        plan.reps
+    );
     let results = run(&plan, &spec);
 
-    println!("\n{:26} {:>5} {:>10} {:>18} {:>9}", "class", "n", "mean (s)", "95% CI (s)", "vs Lustre");
+    println!(
+        "\n{:26} {:>5} {:>10} {:>18} {:>9}",
+        "class", "n", "mean (s)", "95% CI (s)", "vs Lustre"
+    );
     for &n in &plan.node_counts {
         let lustre = results
             .iter()
@@ -56,7 +67,12 @@ fn main() {
 
     // The headline observations, verified live:
     let at = |c: ExperimentClass, n: usize| {
-        results.iter().find(|r| r.class == c && r.n == n).unwrap().runtime.clone()
+        results
+            .iter()
+            .find(|r| r.class == c && r.n == n)
+            .unwrap()
+            .runtime
+            .clone()
     };
     let n = *plan.node_counts.last().unwrap();
     let lustre = at(ExperimentClass::MatchingLustre, n);
@@ -71,5 +87,8 @@ fn main() {
         "  matching IOR over BeeOND costs {:+.1}% vs HPL-only",
         matching.rel_diff(&hpl_only) * 100.0
     );
-    println!("\nIOR invocation modeled (Table III): {}", IorParams::default().command_line());
+    println!(
+        "\nIOR invocation modeled (Table III): {}",
+        IorParams::default().command_line()
+    );
 }

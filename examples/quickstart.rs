@@ -15,7 +15,10 @@ fn main() {
     let rig = demo_rig(2026);
     println!("== OFMF booted ==");
     for info in rig.ofmf.agent_infos() {
-        println!("  fabric {:8} technology {:16} agent {}", info.fabric_id, info.technology, info.version);
+        println!(
+            "  fabric {:8} technology {:16} agent {}",
+            info.fabric_id, info.technology, info.version
+        );
     }
 
     // 2. The whole disaggregated infrastructure is one Redfish tree.

@@ -31,12 +31,18 @@ fn main() {
     let denied = ac.get("/redfish/v1/Systems").unwrap();
     println!("GET /redfish/v1/Systems without a token -> {}", denied.status);
     let login = ac
-        .post("/redfish/v1/SessionService/Sessions", &json!({"UserName": "admin", "Password": "Sup3rSecret"}))
+        .post(
+            "/redfish/v1/SessionService/Sessions",
+            &json!({"UserName": "admin", "Password": "Sup3rSecret"}),
+        )
         .unwrap();
     let token = login.header("x-auth-token").unwrap().to_string();
     println!("POST Sessions -> {} (token {}…)", login.status, &token[..12]);
     ac.token = Some(token);
-    println!("GET /redfish/v1/Systems with the token -> {}\n", ac.get("/redfish/v1/Systems").unwrap().status);
+    println!(
+        "GET /redfish/v1/Systems with the token -> {}\n",
+        ac.get("/redfish/v1/Systems").unwrap().status
+    );
 
     // --- open service: compose over the wire ---
     let mut c = HttpClient::new(open.addr());
@@ -77,7 +83,11 @@ fn main() {
             }),
         )
         .unwrap();
-    println!("POST connection -> {} at {}", conn.status, conn.header("location").unwrap());
+    println!(
+        "POST connection -> {} at {}",
+        conn.status,
+        conn.header("location").unwrap()
+    );
 
     let chunk = c
         .get("/redfish/v1/Chassis/mem00/MemoryDomains/dom0/MemoryChunks?$expand=.")

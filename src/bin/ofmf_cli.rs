@@ -12,6 +12,7 @@
 //!   login USER PASSWORD      create a session, print the token
 //!   log [N]                  show the last N event-log entries (default 10)
 //!   tree [PREFIX]            walk collections breadth-first from PREFIX
+//!   stats                    service health summary from the live metrics
 //! ```
 
 use ofmf_rest::client::HttpClient;
@@ -32,9 +33,7 @@ fn main() {
 fn run(mut args: Vec<String>) -> Result<(), String> {
     let mut server = "127.0.0.1:8421".to_string();
     let mut token = None;
-    while args.first().map(String::as_str) == Some("--server")
-        || args.first().map(String::as_str) == Some("--token")
-    {
+    while args.first().map(String::as_str) == Some("--server") || args.first().map(String::as_str) == Some("--token") {
         let flag = args.remove(0);
         if args.is_empty() {
             return Err(format!("{flag} requires a value"));
@@ -54,7 +53,9 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
 
     let cmd = args.first().cloned().ok_or("no command; try: get /redfish/v1")?;
     let arg = |i: usize| -> Result<&str, String> {
-        args.get(i).map(String::as_str).ok_or_else(|| format!("{cmd} needs more arguments"))
+        args.get(i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("{cmd} needs more arguments"))
     };
 
     match cmd.as_str() {
@@ -101,7 +102,10 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "log" => {
-            let n: usize = args.get(1).map_or(Ok(10), |s| s.parse()).map_err(|e| format!("bad N: {e}"))?;
+            let n: usize = args
+                .get(1)
+                .map_or(Ok(10), |s| s.parse())
+                .map_err(|e| format!("bad N: {e}"))?;
             let r = client
                 .get("/redfish/v1/Managers/OFMF/LogServices/EventLog/Entries?$expand=.")
                 .map_err(stringify)?;
@@ -143,8 +147,87 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
             }
             Ok(())
         }
+        "stats" => stats(&mut client),
         other => Err(format!("unknown command '{other}'")),
     }
+}
+
+/// `stats`: summarize service health from the observability export.
+fn stats(client: &mut HttpClient) -> Result<(), String> {
+    let r = client.get("/redfish/v1/Managers/OFMF").map_err(stringify)?;
+    check(&r)?;
+    let mgr = r.json().ok_or("non-JSON response")?;
+    let obs = &mgr["Oem"]["OFMF"]["Observability"];
+    let uptime_ms = obs["UptimeMs"].as_u64().unwrap_or(0);
+    let requests = obs["RestRequests"].as_u64().unwrap_or(0);
+    let uptime_s = (uptime_ms as f64 / 1000.0).max(0.001);
+
+    let r = client
+        .get("/redfish/v1/Managers/OFMF/MetricReports/live")
+        .map_err(stringify)?;
+    check(&r)?;
+    let report = r.json().ok_or("non-JSON response")?;
+    let metric = |id: &str| -> f64 {
+        report["MetricValues"]
+            .as_array()
+            .and_then(|vals| vals.iter().find(|v| v["MetricId"] == id))
+            .and_then(|v| v["MetricValue"].as_str())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.0)
+    };
+    let p99_ms = |id: &str| metric(id) / 1e6;
+
+    println!(
+        "observability: {}",
+        if obs["Enabled"] == true { "enabled" } else { "DISABLED" }
+    );
+    println!("uptime:        {uptime_s:.1} s");
+    println!(
+        "rest:          {requests} requests ({:.1} req/s)",
+        requests as f64 / uptime_s
+    );
+    println!(
+        "               GET p99 {:.2} ms | POST p99 {:.2} ms | PATCH p99 {:.2} ms",
+        p99_ms("ofmf.rest.get.latency_ns.p99"),
+        p99_ms("ofmf.rest.post.latency_ns.p99"),
+        p99_ms("ofmf.rest.patch.latency_ns.p99"),
+    );
+    println!(
+        "               2xx {} | 4xx {} | 5xx {} | parse errors {}",
+        metric("ofmf.rest.status.2xx") as u64,
+        metric("ofmf.rest.status.4xx") as u64,
+        metric("ofmf.rest.status.5xx") as u64,
+        metric("ofmf.rest.parse_errors.total") as u64,
+    );
+    println!(
+        "events:        {} published, {} delivered, {} dropped (fanout p99 {:.2} ms)",
+        metric("ofmf.events.published.total") as u64,
+        metric("ofmf.events.delivered.total") as u64,
+        metric("ofmf.events.dropped.total") as u64,
+        p99_ms("ofmf.events.fanout.latency_ns.p99"),
+    );
+    println!(
+        "composer:      {} composed, {} rejected",
+        metric("ofmf.composer.composed.total") as u64,
+        (metric("ofmf.composer.reject.no_node")
+            + metric("ofmf.composer.reject.memory")
+            + metric("ofmf.composer.reject.gpu")
+            + metric("ofmf.composer.reject.storage")
+            + metric("ofmf.composer.reject.other")) as u64,
+    );
+    println!(
+        "agents:        {} heartbeats (p99 {:.2} ms), {} missed",
+        metric("ofmf.agents.heartbeat.rtt_ns.count") as u64,
+        p99_ms("ofmf.agents.heartbeat.rtt_ns.p99"),
+        metric("ofmf.agents.heartbeat.missed") as u64,
+    );
+    println!(
+        "tasks:         {} in flight, {} completed, {} failed",
+        metric("ofmf.tasks.inflight") as u64,
+        metric("ofmf.tasks.completed.total") as u64,
+        metric("ofmf.tasks.failed.total") as u64,
+    );
+    Ok(())
 }
 
 fn stringify(e: std::io::Error) -> String {

@@ -43,22 +43,14 @@ fn parse_args() -> Result<Config, String> {
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        let mut value = |name: &str| {
-            args.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--port" => cfg.port = value("--port")?.parse().map_err(|e| format!("--port: {e}"))?,
             "--nodes" => cfg.nodes = value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?,
-            "--targets" => {
-                cfg.targets = value("--targets")?.parse().map_err(|e| format!("--targets: {e}"))?
-            }
+            "--targets" => cfg.targets = value("--targets")?.parse().map_err(|e| format!("--targets: {e}"))?,
             "--seed" => cfg.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--poll-ms" => {
-                cfg.poll_ms = value("--poll-ms")?.parse().map_err(|e| format!("--poll-ms: {e}"))?
-            }
-            "--workers" => {
-                cfg.workers = value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?
-            }
+            "--poll-ms" => cfg.poll_ms = value("--poll-ms")?.parse().map_err(|e| format!("--poll-ms: {e}"))?,
+            "--workers" => cfg.workers = value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?,
             "--auth" => {
                 let v = value("--auth")?;
                 let (u, p) = v
@@ -116,7 +108,11 @@ fn main() {
         }
     };
 
-    println!("ofmfd: serving {} resources at {}", ofmf.registry.len(), server.base_url());
+    println!(
+        "ofmfd: serving {} resources at {}",
+        ofmf.registry.len(),
+        server.base_url()
+    );
     println!("ofmfd: fabrics {:?}", ofmf.fabric_ids());
     println!(
         "ofmfd: auth {}, polling agents every {} ms",

@@ -66,7 +66,12 @@ pub fn demo_rig_with_shape(seed: u64, shape: &RackShape) -> DemoRig {
         .expect("fresh rig");
     ofmf.register_agent(Arc::clone(&infiniband) as Arc<dyn ofmf_core::Agent>)
         .expect("fresh rig");
-    DemoRig { ofmf, cxl, nvmeof, infiniband }
+    DemoRig {
+        ofmf,
+        cxl,
+        nvmeof,
+        infiniband,
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,7 @@
 //! Smoke-scale reproduction checks: the interference study's orderings and
 //! claims hold end-to-end, deterministically, at test-friendly sizes.
 
-use cluster_sim::experiment::{
-    run, run_one_via_wlm, ExperimentClass, ExperimentPlan, Layout,
-};
+use cluster_sim::experiment::{run, run_one_via_wlm, ExperimentClass, ExperimentPlan, Layout};
 use cluster_sim::node::NodeSpec;
 use cluster_sim::workload::hpl::TABLE_II;
 use cluster_sim::workload::ior::IorParams;
@@ -15,14 +13,7 @@ fn class_orderings_hold_at_smoke_scale() {
     plan.node_counts = vec![4, 16];
     let results = run(&plan, &spec);
     for &n in &plan.node_counts {
-        let mean = |c: ExperimentClass| {
-            results
-                .iter()
-                .find(|r| r.class == c && r.n == n)
-                .unwrap()
-                .runtime
-                .mean
-        };
+        let mean = |c: ExperimentClass| results.iter().find(|r| r.class == c && r.n == n).unwrap().runtime.mean;
         let lustre = mean(ExperimentClass::MatchingLustre);
         let hpl_only = mean(ExperimentClass::HplOnly);
         let single = mean(ExperimentClass::SingleBeeond);

@@ -20,7 +20,11 @@ fn agent_process_death_marks_fabric_unavailable_and_refuses_ops() {
     }
     assert!(!rig.ofmf.agent_alive("CXL0"));
     // The fabric resource reflects it.
-    let fabric = rig.ofmf.registry.get(&ODataId::new("/redfish/v1/Fabrics/CXL0")).unwrap();
+    let fabric = rig
+        .ofmf
+        .registry
+        .get(&ODataId::new("/redfish/v1/Fabrics/CXL0"))
+        .unwrap();
     assert_eq!(fabric.body["Status"]["State"], "UnavailableOffline");
     // Compositions that need CXL memory now fail with 503 from the agent
     // layer (surfaced as insufficient resources when no pool is usable).
@@ -29,7 +33,10 @@ fn agent_process_death_marks_fabric_unavailable_and_refuses_ops() {
         .compose(&CompositionRequest::compute_only("doomed", 8, 8).with_fabric_memory_mib(1024))
         .unwrap_err();
     assert!(
-        matches!(err, RedfishError::AgentUnavailable(_) | RedfishError::InsufficientResources(_)),
+        matches!(
+            err,
+            RedfishError::AgentUnavailable(_) | RedfishError::InsufficientResources(_)
+        ),
         "{err}"
     );
     // Other fabrics keep working: storage-only composition succeeds.
@@ -75,7 +82,11 @@ fn link_flap_storm_keeps_state_consistent() {
     let live = composer.find(&composed.system).unwrap();
     assert_eq!(live.bound_memory_mib(), 2048);
     for b in &live.bindings {
-        assert!(rig.ofmf.registry.exists(&b.connection), "binding {} must exist", b.connection);
+        assert!(
+            rig.ofmf.registry.exists(&b.connection),
+            "binding {} must exist",
+            b.connection
+        );
     }
     let dangling = rig.ofmf.registry.dangling_links();
     assert!(dangling.is_empty(), "dangling: {dangling:?}");

@@ -4,7 +4,6 @@
 use composer::{Composer, CompositionRequest, Strategy};
 use ofmf_repro::demo_rig;
 use ofmf_rest::{HttpClient, RestServer, Router};
-use redfish_model::odata::ODataId;
 use serde_json::json;
 use std::sync::Arc;
 
@@ -99,7 +98,11 @@ fn telemetry_report_visible_over_http() {
     let mut http = HttpClient::new(server.addr());
 
     rig.ofmf.poll(); // one telemetry sweep from all three agents
-    let rid = rig.ofmf.telemetry.generate_report(&rig.ofmf.registry, &rig.ofmf.events).unwrap();
+    let rid = rig
+        .ofmf
+        .telemetry
+        .generate_report(&rig.ofmf.registry, &rig.ofmf.events)
+        .unwrap();
 
     let resp = http.get(rid.as_str()).unwrap();
     assert_eq!(resp.status, 200);
@@ -109,7 +112,9 @@ fn telemetry_report_visible_over_http() {
     // Samples cover all three fabrics' resources.
     let props: Vec<&str> = values.iter().filter_map(|v| v["MetricProperty"].as_str()).collect();
     assert!(props.iter().any(|p| p.contains("/Fabrics/CXL0/")));
-    assert!(props.iter().any(|p| p.contains("/Fabrics/NVME0/") || p.contains("nvme")));
+    assert!(props
+        .iter()
+        .any(|p| p.contains("/Fabrics/NVME0/") || p.contains("nvme")));
     server.shutdown();
 }
 
