@@ -21,8 +21,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod flavors;
 pub mod simagent;
 
+pub use chaos::{ChaosAgent, ChaosConfig};
 pub use flavors::{cxl_agent, ethernet_agent, infiniband_agent, nvmeof_agent};
 pub use simagent::SimAgent;

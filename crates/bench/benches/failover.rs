@@ -1,7 +1,10 @@
 //! OFMF-B6: fail-over cost versus fabric size — route recomputation after
 //! a link/switch failure on rings of growing size ("dynamic network
-//! fail-over" per the abstract), plus raw routing throughput.
+//! fail-over" per the abstract), plus raw routing throughput, plus the
+//! supervisor-layer ablation: composition success rate and p99 compose
+//! latency under injected agent heartbeat flapping (OFMF-B6b).
 
+use composer::{Composer, CompositionRequest, Strategy};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fabric_sim::device::Device;
 use fabric_sim::failure::Fault;
@@ -9,7 +12,11 @@ use fabric_sim::ids::{LinkId, SwitchId};
 use fabric_sim::routing::route;
 use fabric_sim::topology::{presets, TopologyBuilder};
 use fabric_sim::{FabricConfig, FabricSim};
-use std::collections::BTreeSet;
+use ofmf_agents::flavors::{cxl_agent, RackShape};
+use ofmf_agents::{ChaosAgent, ChaosConfig};
+use ofmf_core::{Agent, Ofmf};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 fn ring_sim(switches: usize) -> FabricSim {
     let mut devices: Vec<Device> = presets::compute_nodes(2, 8, 16);
@@ -97,5 +104,95 @@ fn bench_switch_loss_storm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_routing, bench_failover, bench_switch_loss_storm);
+/// One CXL fabric behind a [`ChaosAgent`] with the given heartbeat flap
+/// probability (in percent), plus a composer over it.
+fn flap_rig(seed: u64, flap_pct: u32) -> (Arc<Ofmf>, Arc<ChaosAgent>, Composer) {
+    let ofmf = Ofmf::new("ofmf-flap-bench", HashMap::new(), seed);
+    let chaos = ChaosConfig::quiet(seed ^ 0xF1A9)
+        .with_flap_rate(f64::from(flap_pct) / 100.0)
+        .with_drop_rate(f64::from(flap_pct) / 100.0);
+    let agent = Arc::new(
+        ChaosAgent::new(
+            Arc::new(cxl_agent("CXL0", &RackShape::default(), 1 << 20, seed)) as Arc<dyn Agent>,
+            chaos,
+        )
+        .with_clock(Arc::clone(&ofmf.clock)),
+    );
+    ofmf.register_agent(Arc::clone(&agent) as Arc<dyn Agent>)
+        .expect("fresh rig");
+    let composer = Composer::new(Arc::clone(&ofmf), Strategy::FirstFit);
+    (ofmf, agent, composer)
+}
+
+/// One compose→decompose cycle with a poll in between (heartbeat flaps and
+/// recoveries land on the poll). Returns whether the compose succeeded.
+fn flap_cycle(ofmf: &Ofmf, composer: &Composer, i: usize) -> bool {
+    ofmf.poll();
+    let req = CompositionRequest::compute_only(&format!("flap{i}"), 8, 8).with_fabric_memory_mib(256);
+    match composer.compose(&req) {
+        Ok(c) => {
+            let _ = composer.decompose(&c.system);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn bench_agent_flap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agent_flap_compose");
+    group.sample_size(20);
+    for &flap_pct in &[0u32, 1, 5] {
+        group.bench_with_input(BenchmarkId::new("flap_pct", flap_pct), &flap_pct, |b, &pct| {
+            let (ofmf, _agent, composer) = flap_rig(61, pct);
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                std::hint::black_box(flap_cycle(&ofmf, &composer, i))
+            });
+        });
+    }
+    group.finish();
+
+    // Summary table for EXPERIMENTS.md: success rate and p99 compose
+    // latency over a fixed cycle count per flap rate.
+    const CYCLES: usize = 400;
+    println!("\nagent_flap_compose summary ({CYCLES} compose cycles per rate)");
+    println!(
+        "{:>9} {:>12} {:>14} {:>12}",
+        "flap_pct", "success", "success_rate", "p99_us"
+    );
+    for &flap_pct in &[0u32, 1, 5] {
+        let (ofmf, _agent, composer) = flap_rig(62, flap_pct);
+        for i in 0..20 {
+            // Warm-up outside the timed window (allocator + registry caches).
+            let _ = flap_cycle(&ofmf, &composer, CYCLES + i);
+        }
+        let mut latencies_ns: Vec<u128> = Vec::with_capacity(CYCLES);
+        let mut ok = 0usize;
+        for i in 0..CYCLES {
+            let t0 = std::time::Instant::now();
+            if flap_cycle(&ofmf, &composer, i) {
+                ok += 1;
+            }
+            latencies_ns.push(t0.elapsed().as_nanos());
+        }
+        latencies_ns.sort_unstable();
+        let p99 = latencies_ns[(latencies_ns.len() * 99) / 100 - 1] as f64 / 1_000.0;
+        println!(
+            "{:>9} {:>12} {:>13.1}% {:>12.1}",
+            flap_pct,
+            format!("{ok}/{CYCLES}"),
+            100.0 * ok as f64 / CYCLES as f64,
+            p99
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_routing,
+    bench_failover,
+    bench_switch_loss_storm,
+    bench_agent_flap
+);
 criterion_main!(benches);

@@ -230,7 +230,7 @@ impl Composer {
                 .clone();
             gpus.iter_mut()
                 .find(|g| g.processor == chosen.processor)
-                .expect("chosen from list")
+                .ok_or_else(|| RedfishError::Internal("chosen GPU vanished from inventory".into()))?
                 .assigned = true;
             planned.push((chosen.fabric, chosen.endpoint, chosen.processor, 1, BindingKind::Gpu));
         }
@@ -262,11 +262,15 @@ impl Composer {
         //    the first failure.
         let mut bindings: Vec<Binding> = Vec::with_capacity(planned.len());
         for (fabric, target_ep, _resource_hint, size, kind) in planned {
-            let initiator = node
-                .endpoints
-                .get(&fabric)
-                .expect("planned only on reachable fabrics")
-                .clone();
+            let Some(initiator) = node.endpoints.get(&fabric).cloned() else {
+                // Planner invariant broken (fabric dropped mid-compose):
+                // compensate before surfacing.
+                self.unbind_all(&bindings);
+                return Err(RedfishError::Internal(format!(
+                    "node {} lost its endpoint on fabric {fabric} mid-compose",
+                    node.system
+                )));
+            };
             let qos = match kind {
                 BindingKind::Memory => request.memory_bandwidth_gbps,
                 BindingKind::Storage => request.storage_bandwidth_gbps,
@@ -275,8 +279,11 @@ impl Composer {
             match self.bind(&fabric, &initiator, &target_ep, size, kind, qos) {
                 Ok(b) => bindings.push(b),
                 Err(e) => {
+                    // Compensation: unwind every binding already made on the
+                    // surviving fabrics, then name the fabric that failed so
+                    // the 503 is actionable.
                     self.unbind_all(&bindings);
-                    return Err(e);
+                    return Err(name_failed_fabric(e, &fabric));
                 }
             }
         }
@@ -648,5 +655,18 @@ impl Composer {
             }
         }
         (repaired, lost)
+    }
+}
+
+/// Attribute an availability error to the fabric whose bind failed, so a
+/// mid-compose agent loss surfaces as an actionable 503.
+/// `CircuitOpen` already names its fabric; bare `AgentUnavailable` messages
+/// get the fabric prefixed.
+fn name_failed_fabric(e: RedfishError, fabric: &str) -> RedfishError {
+    match e {
+        RedfishError::AgentUnavailable(m) if !m.contains(fabric) => {
+            RedfishError::AgentUnavailable(format!("fabric {fabric}: {m}"))
+        }
+        other => other,
     }
 }

@@ -51,6 +51,17 @@ impl Clock {
             self.ms.fetch_add(delta_ms, Ordering::AcqRel);
         }
     }
+
+    /// Wait `delta_ms` of service time: sleeps on wall clocks, advances the
+    /// counter on manual clocks. Retry backoffs use this so simulated runs
+    /// are instantaneous yet observe the same timeline as real ones.
+    pub fn wait_ms(&self, delta_ms: u64) {
+        if self.wall_driven {
+            std::thread::sleep(std::time::Duration::from_millis(delta_ms));
+        } else {
+            self.ms.fetch_add(delta_ms, Ordering::AcqRel);
+        }
+    }
 }
 
 impl Default for Clock {

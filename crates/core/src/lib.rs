@@ -25,6 +25,9 @@
 //!   generation and threshold alerting.
 //! * [`tasks`] — long-running operations exposed as Redfish `Task`s.
 //! * [`sessions`] — token-authenticated sessions.
+//! * [`supervisor`] — per-agent circuit breakers, deadline/retry dispatch
+//!   and the teardown replay journal that keep one flaky Agent from taking
+//!   the manager down.
 //! * [`ofmf`] — the [`ofmf::Ofmf`] facade tying everything together; this is
 //!   the object the REST layer and the Composability Manager program
 //!   against.
@@ -37,6 +40,7 @@ pub mod clock;
 pub mod events;
 pub mod ofmf;
 pub mod sessions;
+pub mod supervisor;
 pub mod tasks;
 pub mod telemetry;
 pub mod tree;
@@ -45,5 +49,6 @@ pub use agent::{Agent, AgentEvent, AgentInfo, AgentOp, AgentResponse};
 pub use clock::Clock;
 pub use events::EventService;
 pub use ofmf::Ofmf;
+pub use supervisor::{AgentSupervisor, BreakerState, SupervisorConfig};
 pub use tasks::TaskService;
 pub use telemetry::TelemetryService;

@@ -11,6 +11,7 @@ use crate::agent::{Agent, AgentInfo, AgentOp, AgentResponse};
 use crate::clock::Clock;
 use crate::events::EventService;
 use crate::sessions::SessionService;
+use crate::supervisor::{self, AgentSupervisor, BreakerState, SupervisorConfig};
 use crate::tasks::TaskService;
 use crate::telemetry::TelemetryService;
 use crate::tree;
@@ -51,6 +52,12 @@ struct AgentEntry {
     info: AgentInfo,
     alive: bool,
     missed: u32,
+    /// The resilience layer every op to this agent goes through.
+    supervisor: Arc<AgentSupervisor>,
+    /// Every id the agent mounted at registration — the subtree degraded to
+    /// `Health=Critical` while the agent is down (including devices mounted
+    /// outside `/Fabrics/{id}`, e.g. under `/Systems` or `/Chassis`).
+    mounted: Vec<ODataId>,
 }
 
 /// The OpenFabrics Management Framework.
@@ -69,6 +76,8 @@ pub struct Ofmf {
     pub sessions: Arc<SessionService>,
     agents: RwLock<HashMap<String, AgentEntry>>,
     member_seq: AtomicU64,
+    seed: u64,
+    sup_cfg: SupervisorConfig,
     /// Internal journal subscription: every published event is drained into
     /// the Redfish event log by [`Ofmf::flush_event_log`].
     journal: crossbeam::channel::Receiver<redfish_model::resources::events::Event>,
@@ -93,6 +102,22 @@ impl Ofmf {
         Self::with_clock(uuid, credentials, seed, Arc::new(Clock::wall()))
     }
 
+    /// Boot with an explicit supervisor policy (chaos suites shrink the
+    /// cooldown/retry budget to keep scenarios short).
+    pub fn new_with_supervisor(
+        uuid: &str,
+        credentials: HashMap<String, String>,
+        seed: u64,
+        sup_cfg: SupervisorConfig,
+    ) -> Arc<Self> {
+        let mut o = Self::with_clock(uuid, credentials, seed, Arc::new(Clock::manual()));
+        // Fresh Arc, no other handles yet: safe to adjust the policy.
+        if let Some(inner) = Arc::get_mut(&mut o) {
+            inner.sup_cfg = sup_cfg;
+        }
+        o
+    }
+
     fn with_clock(uuid: &str, credentials: HashMap<String, String>, seed: u64, clock: Arc<Clock>) -> Arc<Self> {
         let registry = Arc::new(Registry::new());
         tree::bootstrap(&registry, uuid).expect("bootstrap on fresh registry cannot fail");
@@ -112,6 +137,8 @@ impl Ofmf {
             sessions,
             agents: RwLock::new(HashMap::new()),
             member_seq: AtomicU64::new(1),
+            seed,
+            sup_cfg: SupervisorConfig::default(),
             journal,
             journal_seq: AtomicU64::new(1),
         })
@@ -178,8 +205,17 @@ impl Ofmf {
                 ));
             }
         }
-        let inventory = agent.discover();
+        let inventory = catch_unwind(AssertUnwindSafe(|| agent.discover())).map_err(|_| {
+            RedfishError::AgentUnavailable(format!("agent for fabric {} panicked during discovery", info.fabric_id))
+        })?;
         tree::mount_subtree(&self.registry, &inventory)?;
+        let mounted: Vec<ODataId> = inventory.iter().map(|(id, _)| id.clone()).collect();
+        let sup = Arc::new(AgentSupervisor::new(
+            &info.fabric_id,
+            Arc::clone(&self.clock),
+            self.sup_cfg,
+            supervisor::derive_seed(self.seed, &info.fabric_id),
+        ));
         self.agents.write().insert(
             info.fabric_id.clone(),
             AgentEntry {
@@ -187,6 +223,8 @@ impl Ofmf {
                 info: info.clone(),
                 alive: true,
                 missed: 0,
+                supervisor: sup,
+                mounted,
             },
         );
         self.events.publish(
@@ -233,25 +271,83 @@ impl Ofmf {
         self.agents.read().get(fabric_id).is_some_and(|e| e.alive)
     }
 
-    /// Forward an operation to the agent owning `fabric_id`, then commit the
-    /// response (upserts/removals) to the tree and announce changes.
+    /// Forward an operation to the agent owning `fabric_id` through its
+    /// supervisor (breaker admission, bounded retry, panic containment),
+    /// then commit the response (upserts/removals) to the tree and announce
+    /// changes.
+    ///
+    /// While the agent is down, teardown ops (`DeleteZone`/`Disconnect`)
+    /// are journaled for replay on recovery before the error is returned,
+    /// so compensation work is never lost.
     pub fn apply(&self, fabric_id: &str, op: &AgentOp) -> RedfishResult<AgentResponse> {
-        let agent = {
+        let (agent, sup, alive) = {
             let agents = self.agents.read();
             let entry = agents
                 .get(fabric_id)
                 .ok_or_else(|| RedfishError::NotFound(ODataId::new(top::FABRICS).child(fabric_id)))?;
-            if !entry.alive {
-                return Err(RedfishError::AgentUnavailable(format!(
-                    "agent for fabric {fabric_id} is not responding"
-                )));
-            }
-            Arc::clone(&entry.agent)
+            (Arc::clone(&entry.agent), Arc::clone(&entry.supervisor), entry.alive)
         };
+        if !alive {
+            if supervisor::is_teardown(op) {
+                sup.journal_teardown(op);
+            }
+            return Err(sup.circuit_open_error());
+        }
         // Never hold the agents lock across the agent call.
-        let resp = agent.apply(op)?;
-        self.commit_response(&resp)?;
-        Ok(resp)
+        let result = sup.dispatch(&agent, op);
+        self.publish_breaker_transitions(fabric_id, &sup);
+        match result {
+            Ok(resp) => {
+                self.commit_response(&resp)?;
+                Ok(resp)
+            }
+            Err(e) => {
+                if supervisor::is_teardown(op)
+                    && matches!(e, RedfishError::AgentUnavailable(_) | RedfishError::CircuitOpen { .. })
+                {
+                    sup.journal_teardown(op);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Breaker state for a fabric's agent, if registered.
+    pub fn breaker_state(&self, fabric_id: &str) -> Option<BreakerState> {
+        self.agents.read().get(fabric_id).map(|e| e.supervisor.breaker_state())
+    }
+
+    /// Full breaker transition log for a fabric's agent (one formatted line
+    /// per transition). Two runs with the same seed and schedule produce
+    /// identical logs.
+    pub fn breaker_log(&self, fabric_id: &str) -> Vec<String> {
+        self.agents
+            .read()
+            .get(fabric_id)
+            .map(|e| e.supervisor.transition_log())
+            .unwrap_or_default()
+    }
+
+    /// Teardown ops journaled for a fabric, awaiting replay on recovery.
+    pub fn journal_len(&self, fabric_id: &str) -> usize {
+        self.agents
+            .read()
+            .get(fabric_id)
+            .map(|e| e.supervisor.journal_len())
+            .unwrap_or(0)
+    }
+
+    fn publish_breaker_transitions(&self, fabric_id: &str, sup: &AgentSupervisor) {
+        let fabric = ODataId::new(top::FABRICS).child(fabric_id);
+        for t in sup.take_pending_transitions() {
+            let severity = if t.to == BreakerState::Open { "Critical" } else { "OK" };
+            self.events.publish(
+                EventType::StatusChange,
+                &fabric,
+                format!("fabric {fabric_id} circuit breaker: {t}"),
+                severity,
+            );
+        }
     }
 
     fn commit_response(&self, resp: &AgentResponse) -> RedfishResult<()> {
@@ -313,21 +409,40 @@ impl Ofmf {
     }
 
     fn record_missed_heartbeat(&self, fabric_id: &str) {
-        let mut agents = self.agents.write();
-        let Some(entry) = agents.get_mut(fabric_id) else { return };
-        entry.missed += 1;
-        if entry.alive && entry.missed >= MAX_MISSED_HEARTBEATS {
-            entry.alive = false;
-            drop(agents);
-            let fabric = ODataId::new(top::FABRICS).child(fabric_id);
-            let _ = self.registry.patch(
-                &fabric,
-                &json!({"Status": {"State": "UnavailableOffline", "Health": "Critical"}}),
-                None,
-            );
+        let (sup, mounted, shared, died) = {
+            let mut agents = self.agents.write();
+            let Some(entry) = agents.get_mut(fabric_id) else { return };
+            entry.missed += 1;
+            let died = entry.alive && entry.missed >= MAX_MISSED_HEARTBEATS;
+            if died {
+                entry.alive = false;
+            }
+            let sup = Arc::clone(&entry.supervisor);
+            let mounted = entry.mounted.clone();
+            // Resources other agents also mounted (e.g. shared compute
+            // nodes) are not ours alone to degrade.
+            let shared: std::collections::HashSet<ODataId> = if died {
+                agents
+                    .iter()
+                    .filter(|(fid, _)| fid.as_str() != fabric_id)
+                    .flat_map(|(_, e)| e.mounted.iter().cloned())
+                    .collect()
+            } else {
+                Default::default()
+            };
+            (sup, mounted, shared, died)
+        };
+        if died {
+            sup.force_open();
+        } else {
+            sup.on_heartbeat_missed();
+        }
+        self.publish_breaker_transitions(fabric_id, &sup);
+        if died {
+            self.degrade_subtree(fabric_id, &sup, &mounted, &shared);
             self.events.publish(
                 EventType::Alert,
-                &fabric,
+                &ODataId::new(top::FABRICS).child(fabric_id),
                 format!(
                     "agent for fabric {fabric_id} missed {MAX_MISSED_HEARTBEATS} heartbeats; fabric marked unavailable"
                 ),
@@ -337,23 +452,97 @@ impl Ofmf {
     }
 
     fn record_heartbeat_ok(&self, fabric_id: &str) {
-        let mut agents = self.agents.write();
-        let Some(entry) = agents.get_mut(fabric_id) else { return };
-        entry.missed = 0;
-        if !entry.alive {
-            entry.alive = true;
-            drop(agents);
-            let fabric = ODataId::new(top::FABRICS).child(fabric_id);
-            let _ = self
-                .registry
-                .patch(&fabric, &json!({"Status": {"State": "Enabled", "Health": "OK"}}), None);
+        let (agent, sup, recovered) = {
+            let mut agents = self.agents.write();
+            let Some(entry) = agents.get_mut(fabric_id) else { return };
+            entry.missed = 0;
+            let recovered = !entry.alive;
+            if recovered {
+                entry.alive = true;
+            }
+            (Arc::clone(&entry.agent), Arc::clone(&entry.supervisor), recovered)
+        };
+        sup.on_heartbeat_ok();
+        self.publish_breaker_transitions(fabric_id, &sup);
+        if recovered {
+            self.restore_subtree(fabric_id, &sup);
+            self.replay_journal(fabric_id, &agent, &sup);
             self.events.publish(
                 EventType::StatusChange,
-                &fabric,
+                &ODataId::new(top::FABRICS).child(fabric_id),
                 format!("agent for fabric {fabric_id} recovered"),
                 "OK",
             );
         }
+    }
+
+    /// Degraded mode: mark everything the dead agent mounted
+    /// `Health=Critical`/`State=UnavailableOffline`, remembering each
+    /// resource's prior `Status` so recovery restores it verbatim. Documents
+    /// are never deleted — reads keep serving last-known-good state.
+    fn degrade_subtree(
+        &self,
+        fabric_id: &str,
+        sup: &AgentSupervisor,
+        mounted: &[ODataId],
+        shared: &std::collections::HashSet<ODataId>,
+    ) {
+        let fabric = ODataId::new(top::FABRICS).child(fabric_id);
+        let mut ids = self.registry.ids_under(&fabric);
+        for id in mounted {
+            if !id.as_str().starts_with(fabric.as_str()) && !shared.contains(id) && self.registry.exists(id) {
+                ids.push(id.clone());
+            }
+        }
+        let mut prior = Vec::with_capacity(ids.len());
+        for id in ids {
+            let Ok(stored) = self.registry.get(&id) else { continue };
+            prior.push((id.clone(), stored.body.get("Status").cloned().unwrap_or(Value::Null)));
+            let _ = self.registry.patch(
+                &id,
+                &json!({"Status": {"State": "UnavailableOffline", "Health": "Critical"}}),
+                None,
+            );
+        }
+        sup.set_degraded(prior);
+    }
+
+    /// Undo [`Ofmf::degrade_subtree`]: put back the exact pre-outage
+    /// `Status` of every surviving resource (a `null` prior removes the key
+    /// per RFC 7386 merge semantics).
+    fn restore_subtree(&self, fabric_id: &str, sup: &AgentSupervisor) {
+        for (id, prior_status) in sup.take_degraded() {
+            if !self.registry.exists(&id) {
+                continue;
+            }
+            let _ = self.registry.patch(&id, &json!({ "Status": prior_status }), None);
+        }
+        // The fabric root always comes back healthy — the agent just
+        // heartbeated.
+        let fabric = ODataId::new(top::FABRICS).child(fabric_id);
+        let _ = self
+            .registry
+            .patch(&fabric, &json!({"Status": {"State": "Enabled", "Health": "OK"}}), None);
+    }
+
+    /// Replay teardown ops that failed while the agent was down. Ops that
+    /// still fail are re-journaled for the next recovery.
+    fn replay_journal(&self, fabric_id: &str, agent: &Arc<dyn Agent>, sup: &AgentSupervisor) {
+        for op in sup.take_journal() {
+            match sup.dispatch(agent, &op) {
+                Ok(resp) => {
+                    sup.count_replayed();
+                    let _ = self.commit_response(&resp);
+                }
+                // The agent already forgot this resource (e.g. it rebooted):
+                // drop the op and let the tree-side doc go via removal.
+                Err(RedfishError::NotFound(id)) => {
+                    self.registry.delete_subtree(&id);
+                }
+                Err(_) => sup.journal_teardown(&op),
+            }
+        }
+        self.publish_breaker_transitions(fabric_id, sup);
     }
 
     // ------------------------------------------------------------ north-bound
@@ -724,21 +913,40 @@ mod tests {
             o.registry.get(&fabric).unwrap().body["Status"]["State"],
             "UnavailableOffline"
         );
-        // Ops are refused while down.
-        assert!(matches!(
-            o.apply(
+        assert_eq!(o.breaker_state("FLK0"), Some(crate::supervisor::BreakerState::Open));
+        // Mutations are refused while down (breaker open, 503 + Retry-After)…
+        let err = o
+            .apply(
+                "FLK0",
+                &AgentOp::CreateZone {
+                    zone_id: "z9".into(),
+                    endpoints: vec![],
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, RedfishError::CircuitOpen { .. }), "{err}");
+        assert_eq!(err.http_status(), 503);
+        // …but teardown ops are journaled for replay on recovery.
+        let err = o
+            .apply(
                 "FLK0",
                 &AgentOp::DeleteZone {
-                    zone: ODataId::new("/x")
-                }
-            ),
-            Err(RedfishError::AgentUnavailable(_))
-        ));
+                    zone: ODataId::new("/x"),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, RedfishError::CircuitOpen { .. }));
+        assert_eq!(o.journal_len("FLK0"), 1);
 
         flaky.ok.store(true, Ordering::Release);
         o.poll();
         assert!(o.agent_alive("FLK0"));
         assert_eq!(o.registry.get(&fabric).unwrap().body["Status"]["State"], "Enabled");
+        // The journaled teardown was replayed and the breaker re-closed.
+        assert_eq!(o.journal_len("FLK0"), 0);
+        assert_eq!(o.breaker_state("FLK0"), Some(crate::supervisor::BreakerState::Closed));
+        let log = o.breaker_log("FLK0");
+        assert!(!log.is_empty() && log.last().unwrap().contains("->Closed"), "{log:?}");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use redfish_model::path::top;
 use redfish_model::resources::events::EventType;
 use redfish_model::resources::task::{Task, TaskState};
 use redfish_model::resources::Resource;
-use redfish_model::{RedfishResult, Registry};
+use redfish_model::{RedfishError, RedfishResult, Registry};
 use serde_json::{json, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -95,13 +95,13 @@ impl TaskService {
         task_metrics().inflight.add(1);
         let created = std::time::Instant::now();
 
-        let reg = Arc::clone(reg);
-        let events = Arc::clone(events);
+        let worker_reg = Arc::clone(reg);
+        let worker_events = Arc::clone(events);
         let monitor = task_id.clone();
-        let handle = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name(format!("ofmf-task-{tid}"))
             .spawn(move || {
-                let _ = reg.patch(
+                let _ = worker_reg.patch(
                     &monitor,
                     &json!({"TaskState": TaskState::Running, "PercentComplete": 1}),
                     None,
@@ -119,16 +119,29 @@ impl TaskService {
                     }),
                 };
                 let ok = patch["TaskState"] == json!(TaskState::Completed);
-                let _ = reg.patch(&monitor, &patch, None);
+                let _ = worker_reg.patch(&monitor, &patch, None);
                 finish_task(created, ok);
-                events.publish(
+                worker_events.publish(
                     EventType::StatusChange,
                     &monitor,
                     if ok { "task completed" } else { "task failed" },
                     if ok { "OK" } else { "Critical" },
                 );
-            })
-            .expect("spawn task worker");
+            });
+        let handle = match spawned {
+            Ok(h) => h,
+            Err(e) => {
+                // Thread exhaustion must not take the manager down: park the
+                // task resource in Exception and report a service error.
+                finish_task(created, false);
+                let _ = reg.patch(
+                    &task_id,
+                    &json!({"TaskState": TaskState::Exception, "Messages": [format!("worker spawn failed: {e}")]}),
+                    None,
+                );
+                return Err(RedfishError::Internal(format!("cannot spawn task worker: {e}")));
+            }
+        };
         self.handles.lock().push(handle);
         Ok(task_id)
     }

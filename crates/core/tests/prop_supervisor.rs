@@ -1,0 +1,142 @@
+//! Property tests for the circuit-breaker state machine: arbitrary
+//! success/failure/heartbeat sequences never reach an invalid transition,
+//! and a `HalfOpen` probe success always re-closes the breaker.
+
+use ofmf_core::supervisor::{Admission, BreakerConfig, BreakerInput, BreakerState, CircuitBreaker};
+use proptest::prelude::*;
+
+/// One step of a driving schedule: either feed a signal or attempt an
+/// admission (which may itself transition Open → HalfOpen).
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Feed(BreakerInput),
+    Admit,
+    /// Let `ms` elapse before the next step.
+    Wait(u64),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        Just(Step::Feed(BreakerInput::OpSuccess)),
+        Just(Step::Feed(BreakerInput::OpFailure)),
+        Just(Step::Feed(BreakerInput::HeartbeatOk)),
+        Just(Step::Feed(BreakerInput::HeartbeatMissed)),
+        Just(Step::Feed(BreakerInput::ForceOpen)),
+        Just(Step::Admit),
+        (0u64..400).prop_map(Step::Wait),
+    ]
+}
+
+/// Every transition the machine may legally make.
+fn valid_transition(from: BreakerState, to: BreakerState, cause: &str) -> bool {
+    use BreakerState::*;
+    matches!(
+        (from, to, cause),
+        (Closed, Open, "failure-threshold")
+            | (Closed, Open, "heartbeats-lost")
+            | (HalfOpen, Open, "heartbeats-lost")
+            | (Open, HalfOpen, "cooldown-elapsed")
+            | (Open, HalfOpen, "heartbeat-recovered")
+            | (HalfOpen, Closed, "probe-success")
+            | (HalfOpen, Open, "probe-failure")
+            | (HalfOpen, Open, "heartbeat-missed")
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn breaker_never_makes_an_invalid_transition(
+        steps in prop::collection::vec(step_strategy(), 0..120),
+        threshold in 1u32..6,
+        cooldown in 1u64..300,
+    ) {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_ms: cooldown,
+        });
+        let mut now: u64 = 0;
+        for step in &steps {
+            match step {
+                Step::Feed(input) => b.record(*input, now),
+                Step::Admit => {
+                    let admission = b.admit(now);
+                    // Admission decisions agree with the (possibly updated)
+                    // state.
+                    match admission {
+                        Admission::Allowed => prop_assert_eq!(b.state(), BreakerState::Closed),
+                        Admission::Probe => prop_assert_eq!(b.state(), BreakerState::HalfOpen),
+                        Admission::Rejected { retry_after_ms } => {
+                            prop_assert_eq!(b.state(), BreakerState::Open);
+                            prop_assert!(retry_after_ms >= 1 && retry_after_ms <= cooldown,
+                                "retry_after {} outside (0, {}]", retry_after_ms, cooldown);
+                        }
+                    }
+                }
+                Step::Wait(ms) => now += ms,
+            }
+        }
+        // The recorded log is a chain of valid transitions with
+        // monotonically non-decreasing timestamps, starting from Closed.
+        let mut state = BreakerState::Closed;
+        let mut last_ms = 0u64;
+        for t in b.log() {
+            prop_assert_eq!(t.from, state, "log chain broken at {}", t);
+            prop_assert!(valid_transition(t.from, t.to, t.cause), "invalid transition {}", t);
+            prop_assert!(t.at_ms >= last_ms, "time went backwards at {}", t);
+            state = t.to;
+            last_ms = t.at_ms;
+        }
+        prop_assert_eq!(state, b.state(), "log out of sync with live state");
+    }
+
+    #[test]
+    fn probe_success_always_recloses(
+        steps in prop::collection::vec(step_strategy(), 0..80),
+        threshold in 1u32..6,
+        cooldown in 1u64..300,
+    ) {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_ms: cooldown,
+        });
+        let mut now: u64 = 0;
+        for step in &steps {
+            match step {
+                Step::Feed(input) => b.record(*input, now),
+                Step::Admit => { let _ = b.admit(now); }
+                Step::Wait(ms) => now += ms,
+            }
+        }
+        // From wherever the schedule left us, drive to HalfOpen and probe:
+        // the breaker must re-close.
+        b.record(BreakerInput::ForceOpen, now);
+        now += cooldown;
+        prop_assert_eq!(b.admit(now), Admission::Probe);
+        b.record(BreakerInput::OpSuccess, now);
+        prop_assert_eq!(b.state(), BreakerState::Closed);
+        // And a closed breaker admits immediately.
+        prop_assert_eq!(b.admit(now), Admission::Allowed);
+    }
+
+    #[test]
+    fn open_breaker_never_admits_before_cooldown(
+        failures in 1u32..10,
+        cooldown in 2u64..500,
+        elapsed_frac in 0u64..100,
+    ) {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ms: cooldown,
+        });
+        let opened_at = u64::from(failures) * 7;
+        b.record(BreakerInput::OpFailure, opened_at);
+        prop_assert_eq!(b.state(), BreakerState::Open);
+        // Any instant strictly inside the cooldown window rejects.
+        let inside = opened_at + (cooldown - 1) * elapsed_frac / 100;
+        prop_assert!(matches!(b.admit(inside), Admission::Rejected { .. }));
+        // The first instant at/after the boundary probes.
+        prop_assert_eq!(b.admit(opened_at + cooldown), Admission::Probe);
+    }
+}

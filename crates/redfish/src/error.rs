@@ -45,6 +45,14 @@ pub enum RedfishError {
     Unauthorized,
     /// 503 — the responsible agent is not reachable.
     AgentUnavailable(String),
+    /// 503 — the agent's circuit breaker is Open; retry after the cooldown.
+    CircuitOpen {
+        /// Fabric whose breaker is open.
+        fabric: String,
+        /// Milliseconds until the breaker admits a probe (drives the
+        /// `Retry-After` header).
+        retry_after_ms: u64,
+    },
     /// 507 — a composition request cannot be satisfied from available pools.
     InsufficientResources(String),
     /// 500 — internal invariant violation.
@@ -61,7 +69,7 @@ impl RedfishError {
             RedfishError::BadRequest(_) | RedfishError::DanglingLink { .. } => 400,
             RedfishError::MethodNotAllowed(_) => 405,
             RedfishError::Unauthorized => 401,
-            RedfishError::AgentUnavailable(_) => 503,
+            RedfishError::AgentUnavailable(_) | RedfishError::CircuitOpen { .. } => 503,
             RedfishError::InsufficientResources(_) => 507,
             RedfishError::Internal(_) => 500,
         }
@@ -78,9 +86,21 @@ impl RedfishError {
             RedfishError::MethodNotAllowed(_) => "Base.1.0.OperationNotAllowed",
             RedfishError::Conflict(_) => "Base.1.0.ResourceInUse",
             RedfishError::Unauthorized => "Base.1.0.NoValidSession",
-            RedfishError::AgentUnavailable(_) => "Base.1.0.ServiceTemporarilyUnavailable",
+            RedfishError::AgentUnavailable(_) | RedfishError::CircuitOpen { .. } => {
+                "Base.1.0.ServiceTemporarilyUnavailable"
+            }
             RedfishError::InsufficientResources(_) => "Base.1.0.InsufficientResources",
             RedfishError::Internal(_) => "Base.1.0.InternalError",
+        }
+    }
+
+    /// Seconds a client should wait before retrying, for errors where the
+    /// REST layer advertises a `Retry-After` header.
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        match self {
+            RedfishError::CircuitOpen { retry_after_ms, .. } => Some(retry_after_ms.div_ceil(1000).max(1)),
+            RedfishError::AgentUnavailable(_) => Some(1),
+            _ => None,
         }
     }
 
@@ -117,6 +137,12 @@ impl fmt::Display for RedfishError {
             RedfishError::Conflict(m) => write!(f, "conflict: {m}"),
             RedfishError::Unauthorized => write!(f, "missing or invalid session credentials"),
             RedfishError::AgentUnavailable(m) => write!(f, "agent unavailable: {m}"),
+            RedfishError::CircuitOpen { fabric, retry_after_ms } => {
+                write!(
+                    f,
+                    "circuit breaker open for fabric {fabric}; retry in {retry_after_ms} ms"
+                )
+            }
             RedfishError::InsufficientResources(m) => {
                 write!(f, "insufficient resources to satisfy request: {m}")
             }

@@ -260,9 +260,15 @@ impl Router {
     }
 }
 
-/// Render a Redfish error as a response.
+/// Render a Redfish error as a response. Availability errors (open circuit
+/// breakers, unreachable agents) advertise a `Retry-After` header so clients
+/// back off instead of hammering a dead fabric.
 pub fn error_response(e: &RedfishError) -> Response {
-    Response::json(e.http_status(), &e.to_body())
+    let resp = Response::json(e.http_status(), &e.to_body());
+    match e.retry_after_secs() {
+        Some(secs) => resp.with_header("Retry-After", &secs.to_string()),
+        None => resp,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,244 @@
+//! Chaos suite: the supervisor layer under injected agent misbehavior.
+//!
+//! Every scenario drives the full stack (Composer → Ofmf → supervisor →
+//! `ChaosAgent` → `SimAgent`) with seeded faults and asserts the paper's
+//! availability claim holds: the manager keeps composing and serving the
+//! unified tree while agents drop ops, flap heartbeats and crash mid-op.
+
+use composer::{Composer, CompositionRequest, Strategy};
+use ofmf_agents::flavors::{cxl_agent, infiniband_agent, nvmeof_agent, RackShape};
+use ofmf_agents::{ChaosAgent, ChaosConfig};
+use ofmf_core::agent::AgentOp;
+use ofmf_core::ofmf::MAX_MISSED_HEARTBEATS;
+use ofmf_core::supervisor::{BreakerState, SupervisorConfig};
+use ofmf_core::{Agent, Ofmf};
+use ofmf_rest::http::{Method, Request};
+use ofmf_rest::Router;
+use redfish_model::odata::ODataId;
+use redfish_model::RedfishError;
+use serde_json::json;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// The demo rig's three fabrics, each behind a [`ChaosAgent`].
+struct ChaosRig {
+    ofmf: Arc<Ofmf>,
+    cxl: Arc<ChaosAgent>,
+    nvmeof: Arc<ChaosAgent>,
+    infiniband: Arc<ChaosAgent>,
+}
+
+/// Boot the rig; `chaos(fabric_id)` returns the fault schedule per fabric.
+fn chaos_rig(seed: u64, chaos: impl Fn(&str) -> ChaosConfig) -> ChaosRig {
+    let ofmf = Ofmf::new_with_supervisor("ofmf-chaos-rig", HashMap::new(), seed, SupervisorConfig::default());
+    let shape = RackShape::default();
+    let wrap = |inner: Arc<dyn Agent>, fid: &str| {
+        Arc::new(ChaosAgent::new(inner, chaos(fid)).with_clock(Arc::clone(&ofmf.clock)))
+    };
+    let cxl = wrap(Arc::new(cxl_agent("CXL0", &shape, 1 << 20, seed ^ 1)), "CXL0");
+    let nvmeof = wrap(Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, seed ^ 2)), "NVME0");
+    let infiniband = wrap(Arc::new(infiniband_agent("IB0", &shape, "A100", seed ^ 3)), "IB0");
+    for a in [&cxl, &nvmeof, &infiniband] {
+        ofmf.register_agent(Arc::clone(a) as Arc<dyn Agent>).expect("fresh rig");
+    }
+    ChaosRig {
+        ofmf,
+        cxl,
+        nvmeof,
+        infiniband,
+    }
+}
+
+/// The acceptance scenario: 5% op-drop everywhere plus one forced agent
+/// crash mid-compose. No composition may be left half-bound; the dead
+/// agent's subtree must read `Health=Critical` while down; recovery +
+/// `reconcile` must restore it with zero stale links.
+#[test]
+fn crash_mid_compose_leaves_no_half_bound_composition() {
+    let rig = chaos_rig(2001, |fid| {
+        let cfg = ChaosConfig::quiet(2001 ^ fid.len() as u64).with_drop_rate(0.05);
+        if fid == "CXL0" {
+            // Two warm-up ops succeed; the crash lands inside the next
+            // compose's bind sequence (zone created, connect panics).
+            cfg.with_crash_after_ops(3)
+        } else {
+            cfg
+        }
+    });
+    let composer = Composer::new(Arc::clone(&rig.ofmf), Strategy::FirstFit);
+
+    // Warm-up: a healthy composition (2 CXL ops: CreateZone + Connect).
+    let warm = composer
+        .compose(&CompositionRequest::compute_only("warm", 8, 8).with_fabric_memory_mib(1024))
+        .unwrap();
+    assert_eq!(warm.bound_memory_mib(), 1024);
+
+    // Doomed: the CXL agent crashes mid-bind. The error names the fabric.
+    let err = composer
+        .compose(&CompositionRequest::compute_only("doomed", 8, 8).with_fabric_memory_mib(1024))
+        .unwrap_err();
+    assert_eq!(err.http_status(), 503, "{err}");
+    assert!(
+        err.to_string().contains("CXL0"),
+        "503 must name the failed fabric: {err}"
+    );
+    // The half-created zone's teardown was journaled, not lost.
+    assert!(rig.ofmf.journal_len("CXL0") >= 1, "teardown journaled for replay");
+    // No half-bound composition: the doomed system does not exist and holds
+    // no bindings.
+    assert!(composer.find(&ODataId::new("/redfish/v1/Systems/doomed")).is_none());
+
+    // Heartbeats now fail; the fabric subtree degrades after the threshold.
+    for _ in 0..MAX_MISSED_HEARTBEATS {
+        rig.ofmf.poll();
+    }
+    assert!(!rig.ofmf.agent_alive("CXL0"));
+    assert_eq!(rig.ofmf.breaker_state("CXL0"), Some(BreakerState::Open));
+    let fabric = ODataId::new("/redfish/v1/Fabrics/CXL0");
+    let root = rig.ofmf.registry.get(&fabric).unwrap().body;
+    assert_eq!(root["Status"]["Health"], "Critical");
+    assert_eq!(root["Status"]["State"], "UnavailableOffline");
+    // …including children of the mounted subtree.
+    let endpoints = rig.ofmf.registry.get(&fabric.child("Endpoints")).unwrap().body;
+    assert_eq!(endpoints["Status"]["Health"], "Critical");
+    // Reads keep serving last-known-good state (warm's binding is visible).
+    assert!(rig.ofmf.get(&warm.bindings[0].connection).is_ok());
+    // Mutations are rejected while the breaker is open.
+    let refused = rig
+        .ofmf
+        .apply(
+            "CXL0",
+            &AgentOp::CreateZone {
+                zone_id: "nope".into(),
+                endpoints: vec![],
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(refused, RedfishError::CircuitOpen { .. }), "{refused}");
+    // Other fabrics keep composing.
+    composer
+        .compose(&CompositionRequest::compute_only("survivor", 8, 8).with_storage_bytes(1 << 30))
+        .unwrap();
+
+    // Recovery: the agent heartbeats back; the journal replays, the subtree
+    // restores, and reconcile finds nothing broken.
+    rig.cxl.revive();
+    rig.ofmf.poll();
+    assert!(rig.ofmf.agent_alive("CXL0"));
+    assert_eq!(rig.ofmf.journal_len("CXL0"), 0, "journal fully replayed");
+    assert_eq!(rig.ofmf.breaker_state("CXL0"), Some(BreakerState::Closed));
+    let root = rig.ofmf.registry.get(&fabric).unwrap().body;
+    assert_eq!(root["Status"]["Health"], "OK");
+    let endpoints = rig.ofmf.registry.get(&fabric.child("Endpoints")).unwrap().body;
+    assert_ne!(endpoints["Status"]["Health"], "Critical", "prior status restored");
+    // The doomed compose's half-created zone is gone after replay.
+    let zones = rig.ofmf.registry.members(&fabric.child("Zones")).unwrap();
+    assert_eq!(zones.len(), 1, "only warm's zone survives: {zones:?}");
+    let (repaired, lost) = composer.reconcile();
+    assert_eq!((repaired, lost), (0, 0), "nothing was stale after replay");
+    assert!(rig.ofmf.registry.dangling_links().is_empty(), "zero stale links");
+    // And the fabric serves new compositions again.
+    composer
+        .compose(&CompositionRequest::compute_only("recovered", 8, 8).with_fabric_memory_mib(512))
+        .unwrap();
+}
+
+/// Retries absorb a 5% op-drop rate: a burst of compositions all succeed.
+#[test]
+fn five_percent_drop_rate_is_absorbed_by_retries() {
+    let rig = chaos_rig(2002, |fid| {
+        ChaosConfig::quiet(2002 ^ fid.len() as u64).with_drop_rate(0.05)
+    });
+    let composer = Composer::new(Arc::clone(&rig.ofmf), Strategy::FirstFit);
+    for i in 0..16 {
+        let req = CompositionRequest::compute_only(&format!("burst{i}"), 8, 8)
+            .with_fabric_memory_mib(256)
+            .with_storage_bytes(1 << 20);
+        let c = composer.compose(&req).unwrap();
+        composer.decompose(&c.system).unwrap();
+    }
+    let dropped = rig.cxl.dropped_ops() + rig.nvmeof.dropped_ops() + rig.infiniband.dropped_ops();
+    assert!(dropped > 0, "the schedule actually dropped ops");
+    assert!(rig.ofmf.registry.dangling_links().is_empty());
+    // Every breaker ended the run closed.
+    for fid in ["CXL0", "NVME0", "IB0"] {
+        assert_eq!(rig.ofmf.breaker_state(fid), Some(BreakerState::Closed), "{fid}");
+    }
+}
+
+/// While a breaker is open, REST surfaces 503 + `Retry-After`.
+#[test]
+fn open_breaker_surfaces_503_with_retry_after_over_rest() {
+    let rig = chaos_rig(2003, |_| ChaosConfig::quiet(2003));
+    rig.cxl.set_down(true);
+    for _ in 0..MAX_MISSED_HEARTBEATS {
+        rig.ofmf.poll();
+    }
+    assert_eq!(rig.ofmf.breaker_state("CXL0"), Some(BreakerState::Open));
+
+    let router = Router::new(Arc::clone(&rig.ofmf), false);
+    let body = json!({
+        "Id": "z-denied",
+        "Links": {"Endpoints": [{"@odata.id": "/redfish/v1/Fabrics/CXL0/Endpoints/cn00.cxl"}]}
+    });
+    let resp = router.handle(&Request {
+        method: Method::Post,
+        path: "/redfish/v1/Fabrics/CXL0/Zones".into(),
+        query: None,
+        headers: BTreeMap::new(),
+        body: serde_json::to_vec(&body).unwrap(),
+    });
+    assert_eq!(resp.status, 503);
+    let retry_after = resp
+        .headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("retry-after"))
+        .map(|(_, v)| v.clone());
+    let secs: u64 = retry_after.expect("Retry-After present").parse().unwrap();
+    assert!(secs >= 1);
+    // Reads of the degraded subtree still serve (last-known-good).
+    let read = router.handle(&Request {
+        method: Method::Get,
+        path: "/redfish/v1/Fabrics/CXL0".into(),
+        query: None,
+        headers: BTreeMap::new(),
+        body: Vec::new(),
+    });
+    assert_eq!(read.status, 200);
+}
+
+/// Acceptance: two runs with the same seed produce identical
+/// breaker-transition logs (timestamps, states and causes all match).
+#[test]
+fn same_seed_produces_identical_breaker_transition_logs() {
+    fn scenario(seed: u64) -> Vec<String> {
+        let rig = chaos_rig(seed, |fid| {
+            ChaosConfig::quiet(seed ^ fid.len() as u64)
+                .with_drop_rate(0.4)
+                .with_flap_rate(0.5)
+        });
+        let probe = AgentOp::ProbeRoute {
+            initiator: ODataId::new("/redfish/v1/Fabrics/CXL0/Endpoints/cn00.cxl"),
+            target: ODataId::new("/redfish/v1/Fabrics/CXL0/Endpoints/mem00"),
+        };
+        for round in 0..40 {
+            rig.ofmf.poll();
+            if round % 3 == 0 {
+                let _ = rig.ofmf.apply("CXL0", &probe);
+            }
+            rig.ofmf.clock.advance_ms(50);
+        }
+        let mut log = Vec::new();
+        for fid in ["CXL0", "NVME0", "IB0"] {
+            for line in rig.ofmf.breaker_log(fid) {
+                log.push(format!("{fid} {line}"));
+            }
+        }
+        log
+    }
+    let a = scenario(777);
+    let b = scenario(777);
+    assert!(!a.is_empty(), "the schedule caused breaker transitions");
+    assert_eq!(a, b, "identical seeds must replay identically");
+    assert_ne!(scenario(778), a, "a different seed (almost surely) diverges");
+}
