@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 fn bench_rest(c: &mut Criterion) {
     let ofmf = bench_rig(8, 2, 3);
-    let router = Arc::new(Router::new(ofmf, false));
+    let router = Arc::new(Router::new(Arc::clone(&ofmf), false));
     let server = RestServer::start("127.0.0.1:0", router, 4).expect("bind");
     let addr = server.addr();
 
@@ -64,6 +64,19 @@ fn bench_rest(c: &mut Criterion) {
             assert_eq!(r.status, 200);
         });
         ofmf_obs::set_enabled(true);
+    });
+
+    // Wire-cache ablation: the same hot GET with the registry's ETag-keyed
+    // serialized-body cache disabled, so every request re-clones and
+    // re-serializes the document (the pre-cache behaviour).
+    group.bench_function("get_system_cache_off", |b| {
+        ofmf.registry.set_wire_cache(false);
+        let mut client = HttpClient::new(addr);
+        b.iter(|| {
+            let r = client.get("/redfish/v1/Systems/cn00").unwrap();
+            assert_eq!(r.status, 200);
+        });
+        ofmf.registry.set_wire_cache(true);
     });
 
     group.finish();

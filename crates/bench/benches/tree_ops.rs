@@ -71,6 +71,123 @@ fn bench_tree_ops(c: &mut Criterion) {
     group.finish();
 }
 
+/// A tree with `n` systems spread across several top-level collections, on
+/// a registry with the given stripe count — the shape where sharding pays.
+fn striped_tree(n: usize, shards: usize) -> (Registry, Vec<ODataId>) {
+    const TOPS: &[&str] = &["Systems", "Chassis", "Fabrics", "StorageServices"];
+    let reg = Registry::with_shards(shards);
+    let root = ODataId::new("/redfish/v1");
+    reg.create(&root, json!({"Name": "root"})).unwrap();
+    for t in TOPS {
+        reg.create_collection(&root.child(t), "#Collection.Collection", t)
+            .unwrap();
+    }
+    let ids: Vec<ODataId> = (0..n)
+        .map(|i| {
+            let id = root.child(TOPS[i % TOPS.len()]).child(&format!("r{i:06}"));
+            reg.create(
+                &id,
+                json!({
+                    "@odata.type": "#Resource.v1_0_0.Resource",
+                    "Id": format!("r{i:06}"),
+                    "Name": format!("resource {i}"),
+                    "Status": {"State": "Enabled", "Health": "OK"},
+                }),
+            )
+            .unwrap();
+            id
+        })
+        .collect();
+    (reg, ids)
+}
+
+/// The GET wire path under concurrent mixed read/write load, old design vs
+/// new: `global_uncached` is one lock stripe with the wire cache disabled
+/// (the previous single-`RwLock` registry), `sharded_cached` is 16 stripes
+/// with the ETag-keyed cache. Two background writer threads continuously
+/// mount/tear down 32-resource subtrees under `Systems` while the measured
+/// thread serves hot GETs of other collections — agents churning inventory
+/// while managers browse.
+fn bench_sharded_vs_global(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    const BATCH: usize = 1_000;
+    let mut group = c.benchmark_group("tree_ops_mixed_rw");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for &(shards, cache, name) in &[(1usize, false, "global_uncached"), (16usize, true, "sharded_cached")] {
+        let (reg, ids) = striped_tree(10_000, shards);
+        reg.set_wire_cache(cache);
+        let reg = std::sync::Arc::new(reg);
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..2usize)
+            .map(|t| {
+                let reg = std::sync::Arc::clone(&reg);
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let col = ODataId::new("/redfish/v1/Systems");
+                    let mut i = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let base = col.child(&format!("eph{t}-{i}"));
+                        reg.create(&base, json!({"Name": "ephemeral"})).unwrap();
+                        for k in 0..32 {
+                            reg.create(&base.child(&format!("sub{k}")), json!({"Name": "sub"}))
+                                .unwrap();
+                        }
+                        reg.delete_subtree(&base);
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        group.bench_function(name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    // A 64-resource hot set off the churned Systems
+                    // collection (index ≡ 0 mod 4 stripes into Systems).
+                    let mut k = (i * 13) % 64;
+                    if k.is_multiple_of(4) {
+                        k += 1;
+                    }
+                    i += 1;
+                    std::hint::black_box(reg.wire_bytes(&ids[k]).unwrap());
+                }
+            });
+        });
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+    }
+    group.finish();
+}
+
+/// Serialized-bytes GET with the ETag-keyed wire cache on vs off (every GET
+/// pays a clone + `serde_json::to_vec` when off — the pre-cache behaviour).
+/// Each iteration sweeps a 64-resource hot set many times, the
+/// hot-collection traffic shape of telemetry consumers.
+fn bench_wire_cache(c: &mut Criterion) {
+    const BATCH: usize = 1_024;
+    let (reg, ids) = striped_tree(10_000, 16);
+    let mut group = c.benchmark_group("tree_ops_wire_cache");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for &on in &[true, false] {
+        reg.set_wire_cache(on);
+        let name = if on { "cache_on" } else { "cache_off" };
+        group.bench_function(name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    let id = &ids[i % 64]; // hot working set
+                    i += 1;
+                    std::hint::black_box(reg.wire_bytes(id).unwrap());
+                }
+            });
+        });
+    }
+    reg.set_wire_cache(true);
+    group.finish();
+}
+
 fn bench_concurrent_readers(c: &mut Criterion) {
     let (reg, ids) = tree_with(10_000);
     let reg = std::sync::Arc::new(reg);
@@ -96,5 +213,11 @@ fn bench_concurrent_readers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tree_ops, bench_concurrent_readers);
+criterion_group!(
+    benches,
+    bench_tree_ops,
+    bench_concurrent_readers,
+    bench_sharded_vs_global,
+    bench_wire_cache
+);
 criterion_main!(benches);

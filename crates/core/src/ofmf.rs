@@ -404,6 +404,7 @@ impl Ofmf {
                 self.telemetry.ingest(&metrics, &self.events);
             }
         }
+        self.sessions.sweep_expired(&self.registry);
         self.flush_event_log();
         processed
     }
@@ -552,6 +553,14 @@ impl Ofmf {
         let _span = ofmf_obs::Trace::begin(&tree_metrics().get);
         let stored = self.registry.get(path)?;
         Ok((stored.wire_body(), stored.etag))
+    }
+
+    /// `GET` a resource as pre-serialized wire bytes, served from the
+    /// registry's ETag-keyed cache when hot. The REST layer sends these
+    /// straight to the socket without touching `serde_json`.
+    pub fn get_raw(&self, path: &ODataId) -> RedfishResult<(std::sync::Arc<[u8]>, ETag)> {
+        let _span = ofmf_obs::Trace::begin(&tree_metrics().get);
+        self.registry.wire_bytes(path)
     }
 
     /// `PATCH` a resource. Publishes a `ResourceUpdated` event on success.

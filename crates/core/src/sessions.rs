@@ -72,6 +72,10 @@ impl SessionService {
         if !ok {
             return Err(RedfishError::Unauthorized);
         }
+        // Login is the natural churn point: reap anything already expired so
+        // the Sessions collection cannot grow without bound under clients
+        // that log in and vanish.
+        self.sweep_expired(reg);
         let n = self.next.fetch_add(1, Ordering::AcqRel);
         let token = self.mint_token(n);
         let sid = n.to_string();
@@ -114,6 +118,30 @@ impl SessionService {
         };
         reg.delete(&ODataId::new(top::SESSIONS).child(&live.session_id))?;
         Ok(())
+    }
+
+    /// Reap every session idle past the timeout, deleting its resource from
+    /// the tree. Called on each login and from the daemon's poll loop, so
+    /// abandoned sessions disappear without their token ever being
+    /// re-presented. Returns the number of sessions reaped.
+    pub fn sweep_expired(&self, reg: &Registry) -> usize {
+        let now = self.clock.now_ms();
+        let doomed: Vec<(String, String)> = {
+            let mut tokens = self.tokens.write();
+            let expired: Vec<String> = tokens
+                .iter()
+                .filter(|(_, live)| now.saturating_sub(live.last_used_ms) > self.timeout_ms)
+                .map(|(t, _)| t.clone())
+                .collect();
+            expired
+                .into_iter()
+                .filter_map(|t| tokens.remove(&t).map(|live| (t, live.session_id)))
+                .collect()
+        };
+        for (_, sid) in &doomed {
+            let _ = reg.delete(&ODataId::new(top::SESSIONS).child(sid));
+        }
+        doomed.len()
     }
 
     /// Live session count (expired-but-unreaped sessions included).
@@ -181,6 +209,34 @@ mod tests {
             Err(RedfishError::Unauthorized)
         ));
         assert!(matches!(svc.logout(&reg, &token), Err(RedfishError::Unauthorized)));
+    }
+
+    #[test]
+    fn sweep_reaps_all_expired_sessions() {
+        let (reg, svc, clock) = setup(1000);
+        let (_t1, s1) = svc.login(&reg, "admin", "hunter2").unwrap();
+        let (_t2, s2) = svc.login(&reg, "admin", "hunter2").unwrap();
+        clock.advance_ms(500);
+        let (t3, s3) = svc.login(&reg, "admin", "hunter2").unwrap();
+        clock.advance_ms(700); // s1/s2 idle 1200ms (expired), s3 idle 700ms
+        assert_eq!(svc.sweep_expired(&reg), 2);
+        assert!(!reg.exists(&s1) && !reg.exists(&s2), "expired resources reaped");
+        assert!(reg.exists(&s3));
+        assert!(svc.authenticate(&reg, &t3).is_ok());
+        assert_eq!(svc.session_count(), 1);
+    }
+
+    #[test]
+    fn login_sweeps_abandoned_sessions() {
+        let (reg, svc, clock) = setup(1000);
+        let (_t1, s1) = svc.login(&reg, "admin", "hunter2").unwrap();
+        clock.advance_ms(2000);
+        // The abandoned session's token is never re-presented; a fresh
+        // login alone reclaims it.
+        let (_t2, s2) = svc.login(&reg, "admin", "hunter2").unwrap();
+        assert!(!reg.exists(&s1));
+        assert!(reg.exists(&s2));
+        assert_eq!(svc.session_count(), 1);
     }
 
     #[test]

@@ -28,6 +28,14 @@ pub enum RedfishError {
     },
     /// 400 — the request body is not acceptable for the target.
     BadRequest(String),
+    /// 400 — a query parameter carried a value of the wrong type
+    /// (e.g. `$top=abc`), per DSP0266.
+    QueryParameterValueTypeError {
+        /// The offending query parameter, e.g. `$top`.
+        parameter: String,
+        /// The value the caller supplied.
+        value: String,
+    },
     /// 400 — a referenced resource link points at nothing.
     DanglingLink {
         /// The resource holding the bad link.
@@ -66,7 +74,9 @@ impl RedfishError {
             RedfishError::NotFound(_) => 404,
             RedfishError::AlreadyExists(_) | RedfishError::Conflict(_) => 409,
             RedfishError::PreconditionFailed { .. } => 412,
-            RedfishError::BadRequest(_) | RedfishError::DanglingLink { .. } => 400,
+            RedfishError::BadRequest(_)
+            | RedfishError::DanglingLink { .. }
+            | RedfishError::QueryParameterValueTypeError { .. } => 400,
             RedfishError::MethodNotAllowed(_) => 405,
             RedfishError::Unauthorized => 401,
             RedfishError::AgentUnavailable(_) | RedfishError::CircuitOpen { .. } => 503,
@@ -82,6 +92,7 @@ impl RedfishError {
             RedfishError::AlreadyExists(_) => "Base.1.0.ResourceAlreadyExists",
             RedfishError::PreconditionFailed { .. } => "Base.1.0.PreconditionFailed",
             RedfishError::BadRequest(_) => "Base.1.0.MalformedJSON",
+            RedfishError::QueryParameterValueTypeError { .. } => "Base.1.0.QueryParameterValueTypeError",
             RedfishError::DanglingLink { .. } => "Base.1.0.ResourceMissingAtURI",
             RedfishError::MethodNotAllowed(_) => "Base.1.0.OperationNotAllowed",
             RedfishError::Conflict(_) => "Base.1.0.ResourceInUse",
@@ -130,6 +141,9 @@ impl fmt::Display for RedfishError {
                 write!(f, "etag {supplied} does not match current version of {id}")
             }
             RedfishError::BadRequest(m) => write!(f, "bad request: {m}"),
+            RedfishError::QueryParameterValueTypeError { parameter, value } => {
+                write!(f, "the value '{value}' for query parameter {parameter} is of a different type than the parameter can accept")
+            }
             RedfishError::DanglingLink { from, to } => {
                 write!(f, "resource {from} links to missing resource {to}")
             }

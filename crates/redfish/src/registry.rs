@@ -6,27 +6,61 @@
 //! JSON resource documents with ETag versioning, Redfish collection
 //! semantics, merge-PATCH and link-integrity checking.
 //!
-//! Concurrency model (see *Rust Atomics and Locks*): a single
-//! `parking_lot::RwLock` over an ordered map. OFMF transactions are small
-//! and stateless, so reader-writer locking on the whole tree keeps the
-//! invariants trivial to state (each operation is atomic) while supporting
-//! many concurrent readers; write critical sections never allocate
-//! unboundedly or call out to agents.
+//! # Concurrency model
+//!
+//! The tree is **lock-striped by subtree**: every resource hashes to a shard
+//! by its top-level collection segment (`Systems`, `Chassis`, `Fabrics`,
+//! `StorageServices`, `TaskService`, …), each shard guarded by its own
+//! `parking_lot::RwLock` over an ordered map. An agent mounting or tearing
+//! down its fabric subtree therefore never blocks readers of other subtrees.
+//! Because a resource and all of its descendants share the same top-level
+//! segment, subtree scans (delete-subtree, `ids_under`) stay single-shard;
+//! only the handful of root documents (`/redfish/v1` itself) span shards.
+//!
+//! Cross-shard operations — linking a new resource into a parent collection
+//! that lives in another shard, link-integrity sweeps, whole-tree iteration
+//! — acquire the shards they need in ascending shard-index order, which
+//! keeps the registry deadlock-free and every operation linearizable (all
+//! locks are held for the full critical section).
+//!
+//! # ETags and the wire-body cache
+//!
+//! ETags are allocated from a single registry-wide monotonic counter, so a
+//! `(resource id, ETag)` pair uniquely identifies one immutable document
+//! state — even across delete/recreate cycles. That uniqueness is what makes
+//! the **wire-body cache** safe: the serialized bytes of `wire_body()` are
+//! memoized per resource keyed by ETag, and a cached entry is served only
+//! when its ETag equals the ETag read under the shard lock. Hot GETs
+//! (service root, collections, telemetry consumers) skip the deep clone and
+//! re-serialization entirely; any mutation allocates a new ETag and thereby
+//! invalidates the stale bytes.
 
 use crate::error::{RedfishError, RedfishResult};
 use crate::odata::{ETag, ODataId};
 use crate::patch::{first_read_only_violation, merge_patch};
 use crate::path::valid_member_id;
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use serde_json::{json, Map, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default number of lock stripes. Top-level Redfish collections are few
+/// (a dozen or so), so 16 stripes keep collisions rare without bloating the
+/// lock table.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Per-shard cap on cached wire bodies. When full, the shard's cache is
+/// flushed wholesale (epoch-style) — simple, bounded, and hot entries are
+/// re-admitted on the next read.
+const WIRE_CACHE_CAP: usize = 4096;
 
 /// A resource document plus its registry metadata.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoredResource {
     /// The JSON document, including `@odata.*` members.
     pub body: Value,
-    /// Current version tag; bumped on every mutation.
+    /// Current version tag; a fresh registry-unique value on every mutation.
     pub etag: ETag,
     /// Whether the resource is a Redfish collection (maintains `Members`).
     pub is_collection: bool,
@@ -70,24 +104,154 @@ impl Tree {
     }
 }
 
+/// Cached wire entry: (etag value, serialized wire body).
+type WireEntry = (u64, Arc<[u8]>);
+
+/// One lock stripe: a slice of the tree plus its serialized-body cache.
+#[derive(Debug, Default)]
+struct Shard {
+    tree: RwLock<Tree>,
+    /// resource id → cached wire entry. Entries are only served when the
+    /// etag matches the live one; stale entries are overwritten on the
+    /// next cache fill or dropped on delete.
+    wire: RwLock<HashMap<ODataId, WireEntry>>,
+}
+
+/// The shard key of a path: the first segment below the service root
+/// (`Systems`, `Fabrics`, …). Root documents (`/redfish/v1`, `/redfish`,
+/// `/`) key to the empty string; paths outside the service tree key by
+/// their first segment so a subtree always shares one shard.
+fn shard_key(path: &str) -> &str {
+    if let Some(rest) = path.strip_prefix("/redfish/v1/") {
+        rest.split('/').next().unwrap_or("")
+    } else if path == "/redfish/v1" || path == "/redfish" || path == "/" {
+        ""
+    } else {
+        path.trim_start_matches('/').split('/').next().unwrap_or("")
+    }
+}
+
+/// FNV-1a over the shard key — deterministic across runs and platforms.
+fn key_hash(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// True if descendants of `id` may live in *any* shard (only the root
+/// documents above the top-level collections qualify).
+fn spans_all_shards(id: &ODataId) -> bool {
+    shard_key(id.as_str()).is_empty()
+}
+
 /// The concurrent Redfish resource tree.
 ///
-/// All operations are linearizable; mutations bump the target's ETag and,
-/// for membership changes, the parent collection's ETag as well.
-#[derive(Debug, Default)]
+/// All operations are linearizable; mutations give the target a fresh
+/// registry-unique ETag and, for membership changes, the parent collection
+/// as well.
+#[derive(Debug)]
 pub struct Registry {
-    tree: RwLock<Tree>,
+    shards: Vec<Shard>,
+    /// Next ETag value; registry-unique and monotonically increasing.
+    etag_seq: AtomicU64,
+    cache_enabled: AtomicBool,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_shards(DEFAULT_SHARDS)
+    }
 }
 
 impl Registry {
-    /// An empty registry (no service root; see `ofmf-core` for bootstrap).
+    /// An empty registry with the default stripe count (no service root;
+    /// see `ofmf-core` for bootstrap).
     pub fn new() -> Self {
         Registry::default()
     }
 
+    /// An empty registry with an explicit stripe count (`1` degenerates to
+    /// the old single-global-lock behaviour; used by benchmarks to measure
+    /// the sharding win).
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.max(1);
+        Registry {
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            etag_seq: AtomicU64::new(1),
+            cache_enabled: AtomicBool::new(true),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Enable or disable the serialized wire-body cache (benchmarks ablate
+    /// it; disabling also drops all cached bytes).
+    pub fn set_wire_cache(&self, enabled: bool) {
+        self.cache_enabled.store(enabled, Ordering::Release);
+        if !enabled {
+            for s in &self.shards {
+                s.wire.write().clear();
+            }
+        }
+    }
+
+    /// `(hits, misses)` of the wire-body cache since boot.
+    pub fn wire_cache_stats(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn shard_of(&self, id: &ODataId) -> usize {
+        (key_hash(shard_key(id.as_str())) as usize) % self.shards.len()
+    }
+
+    fn next_etag(&self) -> ETag {
+        ETag(self.etag_seq.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Write-lock the given shard indices in ascending order (deadlock-free
+    /// against every other multi-shard acquisition, which also ascends).
+    fn write_span(&self, mut idx: Vec<usize>) -> WriteSpan<'_> {
+        idx.sort_unstable();
+        idx.dedup();
+        WriteSpan {
+            guards: idx.into_iter().map(|i| (i, self.shards[i].tree.write())).collect(),
+        }
+    }
+
+    /// Write-lock every shard (root-spanning subtree operations).
+    fn write_all(&self) -> WriteSpan<'_> {
+        self.write_span((0..self.shards.len()).collect())
+    }
+
+    /// Read-lock every shard in ascending order: a consistent snapshot for
+    /// whole-tree reads (link sweeps, type scans, iteration).
+    fn read_all(&self) -> Vec<RwLockReadGuard<'_, Tree>> {
+        self.shards.iter().map(|s| s.tree.read()).collect()
+    }
+
+    /// Drop the cached wire body of `id` (after delete; mutations in place
+    /// are already invalidated by the ETag bump, but dropping keeps the
+    /// cache tight).
+    fn uncache(&self, id: &ODataId) {
+        self.shards[self.shard_of(id)].wire.write().remove(id);
+    }
+
     /// Number of resources currently stored.
     pub fn len(&self) -> usize {
-        self.tree.read().nodes.len()
+        self.shards.iter().map(|s| s.tree.read().nodes.len()).sum()
     }
 
     /// True if no resources are stored.
@@ -110,19 +274,7 @@ impl Registry {
         body.as_object_mut()
             .expect("checked object")
             .insert("@odata.id".to_string(), Value::String(id.as_str().to_string()));
-
-        let mut t = self.tree.write();
-        if t.nodes.contains_key(id) {
-            return Err(RedfishError::AlreadyExists(id.clone()));
-        }
-        let stored = StoredResource {
-            body,
-            etag: ETag::INITIAL,
-            is_collection: false,
-        };
-        t.nodes.insert(id.clone(), stored);
-        Self::link_into_parent(&mut t, id);
-        Ok(ETag::INITIAL)
+        self.insert_new(id, body, false)
     }
 
     /// Insert a Redfish collection resource at `id`.
@@ -137,25 +289,37 @@ impl Registry {
             "Members": [],
             "Members@odata.count": 0,
         });
-        let mut t = self.tree.write();
-        if t.nodes.contains_key(id) {
+        self.insert_new(id, body, true)
+    }
+
+    fn insert_new(&self, id: &ODataId, body: Value, is_collection: bool) -> RedfishResult<ETag> {
+        let me = self.shard_of(id);
+        let mut span = match id.parent() {
+            Some(p) => self.write_span(vec![me, self.shard_of(&p)]),
+            None => self.write_span(vec![me]),
+        };
+        if span.tree(me).nodes.contains_key(id) {
             return Err(RedfishError::AlreadyExists(id.clone()));
         }
-        t.nodes.insert(
+        let etag = self.next_etag();
+        span.tree(me).nodes.insert(
             id.clone(),
             StoredResource {
                 body,
-                etag: ETag::INITIAL,
-                is_collection: true,
+                etag,
+                is_collection,
             },
         );
-        Self::link_into_parent(&mut t, id);
-        Ok(ETag::INITIAL)
+        self.link_into_parent(&mut span, id);
+        Ok(etag)
     }
 
-    fn link_into_parent(t: &mut Tree, id: &ODataId) {
+    fn link_into_parent(&self, span: &mut WriteSpan<'_>, id: &ODataId) {
         let Some(parent) = id.parent() else { return };
-        let Some(p) = t.nodes.get_mut(&parent) else { return };
+        let pshard = self.shard_of(&parent);
+        let Some(p) = span.tree(pshard).nodes.get_mut(&parent) else {
+            return;
+        };
         if !p.is_collection {
             return;
         }
@@ -167,12 +331,15 @@ impl Registry {
         members.push(json!({"@odata.id": id.as_str()}));
         let count = members.len();
         p.body["Members@odata.count"] = json!(count);
-        p.etag = p.etag.bumped();
+        p.etag = self.next_etag();
     }
 
-    fn unlink_from_parent(t: &mut Tree, id: &ODataId) {
+    fn unlink_from_parent(&self, span: &mut WriteSpan<'_>, id: &ODataId) {
         let Some(parent) = id.parent() else { return };
-        let Some(p) = t.nodes.get_mut(&parent) else { return };
+        let pshard = self.shard_of(&parent);
+        let Some(p) = span.tree(pshard).nodes.get_mut(&parent) else {
+            return;
+        };
         if !p.is_collection {
             return;
         }
@@ -184,12 +351,13 @@ impl Registry {
         members.retain(|m| m["@odata.id"].as_str() != Some(id.as_str()));
         let count = members.len();
         p.body["Members@odata.count"] = json!(count);
-        p.etag = p.etag.bumped();
+        p.etag = self.next_etag();
     }
 
     /// Fetch a resource (clone of its stored form).
     pub fn get(&self, id: &ODataId) -> RedfishResult<StoredResource> {
-        self.tree
+        self.shards[self.shard_of(id)]
+            .tree
             .read()
             .nodes
             .get(id)
@@ -197,9 +365,48 @@ impl Registry {
             .ok_or_else(|| RedfishError::NotFound(id.clone()))
     }
 
+    /// The serialized wire body of `id` (the bytes a GET returns) plus its
+    /// current ETag, served from the per-shard cache when the cached ETag
+    /// matches the live one. ETags are registry-unique, so a cached entry
+    /// can never alias a different document state — not even across a
+    /// delete/recreate of the same path.
+    pub fn wire_bytes(&self, id: &ODataId) -> RedfishResult<(Arc<[u8]>, ETag)> {
+        let shard = &self.shards[self.shard_of(id)];
+        let cache_on = self.cache_enabled.load(Ordering::Acquire);
+        let (bytes, etag) = {
+            let t = shard.tree.read();
+            let node = t.nodes.get(id).ok_or_else(|| RedfishError::NotFound(id.clone()))?;
+            let etag = node.etag;
+            if cache_on {
+                if let Some((v, cached)) = shard.wire.read().get(id) {
+                    if *v == etag.0 {
+                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok((Arc::clone(cached), etag));
+                    }
+                }
+            }
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            let bytes: Arc<[u8]> = serde_json::to_vec(&node.wire_body())
+                .map_err(|e| RedfishError::Internal(format!("serialize {id}: {e}")))?
+                .into();
+            (bytes, etag)
+        };
+        if cache_on {
+            // Serialized outside the write lock; a racing mutation simply
+            // leaves a stale (etag-mismatched) entry that the next read
+            // replaces — never served, because hits require etag equality.
+            let mut wire = shard.wire.write();
+            if wire.len() >= WIRE_CACHE_CAP && !wire.contains_key(id) {
+                wire.clear();
+            }
+            wire.insert(id.clone(), (etag.0, Arc::clone(&bytes)));
+        }
+        Ok((bytes, etag))
+    }
+
     /// True if a resource exists at `id`.
     pub fn exists(&self, id: &ODataId) -> bool {
-        self.tree.read().nodes.contains_key(id)
+        self.shards[self.shard_of(id)].tree.read().nodes.contains_key(id)
     }
 
     /// Apply an RFC 7386 merge patch to the resource at `id`.
@@ -215,7 +422,7 @@ impl Registry {
         if let Some(m) = first_read_only_violation(patch) {
             return Err(RedfishError::BadRequest(format!("member '{m}' is read-only")));
         }
-        let mut t = self.tree.write();
+        let mut t = self.shards[self.shard_of(id)].tree.write();
         let node = t.nodes.get_mut(id).ok_or_else(|| RedfishError::NotFound(id.clone()))?;
         if let Some(tag) = if_match {
             if tag != node.etag {
@@ -226,23 +433,23 @@ impl Registry {
             }
         }
         merge_patch(&mut node.body, patch);
-        node.etag = node.etag.bumped();
+        node.etag = self.next_etag();
         Ok(node.etag)
     }
 
     /// Replace the whole body (used by agents re-publishing a resource).
-    /// Read-only identity members are preserved. Bumps the ETag.
+    /// Read-only identity members are preserved. Allocates a fresh ETag.
     pub fn replace(&self, id: &ODataId, mut body: Value) -> RedfishResult<ETag> {
         if !body.is_object() {
             return Err(RedfishError::BadRequest("resource body must be a JSON object".into()));
         }
-        let mut t = self.tree.write();
+        let mut t = self.shards[self.shard_of(id)].tree.write();
         let node = t.nodes.get_mut(id).ok_or_else(|| RedfishError::NotFound(id.clone()))?;
         body.as_object_mut()
             .expect("checked object")
             .insert("@odata.id".to_string(), Value::String(id.as_str().to_string()));
         node.body = body;
-        node.etag = node.etag.bumped();
+        node.etag = self.next_etag();
         Ok(node.etag)
     }
 
@@ -251,42 +458,82 @@ impl Registry {
     /// Collections may only be deleted when empty; deleting a non-collection
     /// resource that still has children fails with `Conflict`.
     pub fn delete(&self, id: &ODataId) -> RedfishResult<()> {
-        let mut t = self.tree.write();
-        let node = t.nodes.get(id).ok_or_else(|| RedfishError::NotFound(id.clone()))?;
-        if node.is_collection {
-            let n = node.body["Members@odata.count"].as_u64().unwrap_or(0);
-            if n > 0 {
-                return Err(RedfishError::Conflict(format!("collection {id} is not empty")));
+        let me = self.shard_of(id);
+        let mut span = if spans_all_shards(id) {
+            self.write_all()
+        } else {
+            match id.parent() {
+                Some(p) => self.write_span(vec![me, self.shard_of(&p)]),
+                None => self.write_span(vec![me]),
+            }
+        };
+        {
+            let t = span.tree(me);
+            let node = t.nodes.get(id).ok_or_else(|| RedfishError::NotFound(id.clone()))?;
+            if node.is_collection {
+                let n = node.body["Members@odata.count"].as_u64().unwrap_or(0);
+                if n > 0 {
+                    return Err(RedfishError::Conflict(format!("collection {id} is not empty")));
+                }
             }
         }
-        if t.has_descendants(id) {
+        let has_children = if spans_all_shards(id) {
+            span.trees().any(|t| t.has_descendants(id))
+        } else {
+            span.tree(me).has_descendants(id)
+        };
+        if has_children {
             return Err(RedfishError::Conflict(format!("resource {id} has child resources")));
         }
-        t.nodes.remove(id);
-        Self::unlink_from_parent(&mut t, id);
+        span.tree(me).nodes.remove(id);
+        self.unlink_from_parent(&mut span, id);
+        drop(span);
+        self.uncache(id);
         Ok(())
     }
 
     /// Delete `id` and every resource underneath it (agent unmount).
-    /// Returns the number of resources removed.
+    /// Returns the number of resources removed. Atomic: the subtree's
+    /// shard(s) stay write-locked for the whole removal.
     pub fn delete_subtree(&self, id: &ODataId) -> usize {
-        let mut t = self.tree.write();
-        let mut doomed: Vec<ODataId> = t.descendants(id).map(|(k, _)| k.clone()).collect();
-        if t.nodes.contains_key(id) {
+        let me = self.shard_of(id);
+        let mut span = if spans_all_shards(id) {
+            self.write_all()
+        } else {
+            match id.parent() {
+                Some(p) => self.write_span(vec![me, self.shard_of(&p)]),
+                None => self.write_span(vec![me]),
+            }
+        };
+        let mut doomed: Vec<ODataId> = if spans_all_shards(id) {
+            let mut v: Vec<ODataId> = Vec::new();
+            for t in span.trees() {
+                v.extend(t.descendants(id).map(|(k, _)| k.clone()));
+            }
+            v
+        } else {
+            span.tree(me).descendants(id).map(|(k, _)| k.clone()).collect()
+        };
+        if span.tree(me).nodes.contains_key(id) {
             doomed.push(id.clone());
         }
         for d in &doomed {
-            t.nodes.remove(d);
+            let s = self.shard_of(d);
+            span.tree(s).nodes.remove(d);
         }
         if !doomed.is_empty() {
-            Self::unlink_from_parent(&mut t, id);
+            self.unlink_from_parent(&mut span, id);
+        }
+        drop(span);
+        for d in &doomed {
+            self.uncache(d);
         }
         doomed.len()
     }
 
     /// Ids of the direct members of the collection at `id`.
     pub fn members(&self, id: &ODataId) -> RedfishResult<Vec<ODataId>> {
-        let t = self.tree.read();
+        let t = self.shards[self.shard_of(id)].tree.read();
         let node = t.nodes.get(id).ok_or_else(|| RedfishError::NotFound(id.clone()))?;
         if !node.is_collection {
             return Err(RedfishError::MethodNotAllowed(format!("{id} is not a collection")));
@@ -301,83 +548,115 @@ impl Registry {
 
     /// All resource ids under `prefix` (inclusive), in path order.
     pub fn ids_under(&self, prefix: &ODataId) -> Vec<ODataId> {
-        let t = self.tree.read();
         let mut out = Vec::new();
-        if t.nodes.contains_key(prefix) {
-            out.push(prefix.clone());
+        if spans_all_shards(prefix) {
+            let guards = self.read_all();
+            if guards.iter().any(|t| t.nodes.contains_key(prefix)) {
+                out.push(prefix.clone());
+            }
+            for t in &guards {
+                out.extend(t.descendants(prefix).map(|(k, _)| k.clone()));
+            }
+        } else {
+            let t = self.shards[self.shard_of(prefix)].tree.read();
+            if t.nodes.contains_key(prefix) {
+                out.push(prefix.clone());
+            }
+            out.extend(t.descendants(prefix).map(|(k, _)| k.clone()));
         }
-        out.extend(t.descendants(prefix).map(|(k, _)| k.clone()));
+        out.sort();
         out
     }
 
     /// All ids whose `@odata.type` starts with `type_prefix`
-    /// (e.g. `#Endpoint.` matches every Endpoint version).
+    /// (e.g. `#Endpoint.` matches every Endpoint version), in path order.
     pub fn ids_of_type(&self, type_prefix: &str) -> Vec<ODataId> {
-        self.tree
-            .read()
-            .nodes
+        let guards = self.read_all();
+        let mut out: Vec<ODataId> = guards
             .iter()
-            .filter(|(_, n)| n.odata_type().is_some_and(|t| t.starts_with(type_prefix)))
-            .map(|(k, _)| k.clone())
-            .collect()
+            .flat_map(|t| {
+                t.nodes
+                    .iter()
+                    .filter(|(_, n)| n.odata_type().is_some_and(|ty| ty.starts_with(type_prefix)))
+                    .map(|(k, _)| k.clone())
+            })
+            .collect();
+        out.sort();
+        out
     }
 
     /// Verify that every `{"@odata.id": ...}` reference anywhere in the tree
     /// points at an existing resource. Returns the list of dangling links.
+    /// Takes a consistent read snapshot of every shard.
     ///
     /// `LogEntry` resources are exempt: log entries are historical records
     /// whose `OriginOfCondition` may legitimately outlive the resource it
     /// described (a lost connection, a deleted zone).
     pub fn dangling_links(&self) -> Vec<(ODataId, ODataId)> {
-        let t = self.tree.read();
+        let guards = self.read_all();
+        let contains = |target: &ODataId| {
+            let idx = (key_hash(shard_key(target.as_str())) as usize) % guards.len();
+            guards[idx].nodes.contains_key(target)
+        };
         let mut dangling = Vec::new();
-        for (id, node) in &t.nodes {
-            if node.odata_type().is_some_and(|ty| ty.starts_with("#LogEntry.")) {
-                continue;
-            }
-            let mut stack = vec![&node.body];
-            while let Some(v) = stack.pop() {
-                match v {
-                    Value::Object(m) => {
-                        if m.len() == 1 {
-                            if let Some(Value::String(target)) = m.get("@odata.id") {
-                                let target_id = ODataId::new(target.as_str());
-                                if &target_id != id && !t.nodes.contains_key(&target_id) {
-                                    dangling.push((id.clone(), target_id));
+        for t in &guards {
+            for (id, node) in &t.nodes {
+                if node.odata_type().is_some_and(|ty| ty.starts_with("#LogEntry.")) {
+                    continue;
+                }
+                let mut stack = vec![&node.body];
+                while let Some(v) = stack.pop() {
+                    match v {
+                        Value::Object(m) => {
+                            if m.len() == 1 {
+                                if let Some(Value::String(target)) = m.get("@odata.id") {
+                                    let target_id = ODataId::new(target.as_str());
+                                    if &target_id != id && !contains(&target_id) {
+                                        dangling.push((id.clone(), target_id));
+                                    }
+                                    continue;
                                 }
-                                continue;
+                            }
+                            for (k, child) in m {
+                                // Skip the resource's own identity member.
+                                if k == "@odata.id" {
+                                    continue;
+                                }
+                                stack.push(child);
                             }
                         }
-                        for (k, child) in m {
-                            // Skip the resource's own identity member.
-                            if k == "@odata.id" {
-                                continue;
-                            }
-                            stack.push(child);
-                        }
+                        Value::Array(a) => stack.extend(a.iter()),
+                        _ => {}
                     }
-                    Value::Array(a) => stack.extend(a.iter()),
-                    _ => {}
                 }
             }
         }
+        dangling.sort();
         dangling
     }
 
-    /// Run `f` over every stored resource (read lock held for the duration;
-    /// `f` must be fast and must not reenter the registry).
+    /// Run `f` over every stored resource in path order (all shard read
+    /// locks held for the duration; `f` must be fast and must not reenter
+    /// the registry).
     pub fn for_each<F: FnMut(&ODataId, &StoredResource)>(&self, mut f: F) {
-        let t = self.tree.read();
-        for (id, node) in &t.nodes {
+        let guards = self.read_all();
+        let mut all: Vec<(&ODataId, &StoredResource)> = guards.iter().flat_map(|t| t.nodes.iter()).collect();
+        all.sort_by(|a, b| a.0.cmp(b.0));
+        for (id, node) in all {
             f(id, node);
         }
     }
 
     /// Produce an expanded view of a collection: the collection body with
-    /// each member's body inlined (the `$expand` query option).
+    /// each member's body inlined (the `$expand` query option). Members may
+    /// live in any shard, so this takes a whole-tree read snapshot.
     pub fn expand(&self, id: &ODataId) -> RedfishResult<Value> {
-        let t = self.tree.read();
-        let node = t.nodes.get(id).ok_or_else(|| RedfishError::NotFound(id.clone()))?;
+        let guards = self.read_all();
+        let lookup = |rid: &ODataId| {
+            let idx = (key_hash(shard_key(rid.as_str())) as usize) % guards.len();
+            guards[idx].nodes.get(rid)
+        };
+        let node = lookup(id).ok_or_else(|| RedfishError::NotFound(id.clone()))?;
         if !node.is_collection {
             return Ok(node.wire_body());
         }
@@ -386,7 +665,7 @@ impl Registry {
         if let Some(members) = node.body["Members"].as_array() {
             for m in members {
                 if let Some(mid) = m["@odata.id"].as_str() {
-                    if let Some(child) = t.nodes.get(&ODataId::new(mid)) {
+                    if let Some(child) = lookup(&ODataId::new(mid)) {
                         expanded.push(child.wire_body());
                     }
                 }
@@ -394,6 +673,28 @@ impl Registry {
         }
         body["Members"] = Value::Array(expanded);
         Ok(body)
+    }
+}
+
+/// An ordered set of write-locked shards (ascending shard index).
+struct WriteSpan<'a> {
+    guards: Vec<(usize, RwLockWriteGuard<'a, Tree>)>,
+}
+
+impl WriteSpan<'_> {
+    /// The locked tree for shard `idx` (must be part of the span).
+    fn tree(&mut self, idx: usize) -> &mut Tree {
+        let pos = self
+            .guards
+            .iter()
+            .position(|(i, _)| *i == idx)
+            .expect("shard is part of the write span");
+        &mut self.guards[pos].1
+    }
+
+    /// Iterate all locked trees.
+    fn trees(&self) -> impl Iterator<Item = &Tree> {
+        self.guards.iter().map(|(_, g)| &**g)
     }
 }
 
@@ -469,7 +770,7 @@ mod tests {
             Err(RedfishError::BadRequest(_))
         ));
         assert!(matches!(
-            r.patch(&id, &json!({"Name": "b"}), Some(ETag(e.0 + 5))),
+            r.patch(&id, &json!({"Name": "b"}), Some(ETag(e.0 + 5000))),
             Err(RedfishError::PreconditionFailed { .. })
         ));
         // Correct etag applies.
@@ -562,5 +863,133 @@ mod tests {
         .unwrap();
         let ids = r.ids_of_type("#ComputerSystem.");
         assert_eq!(ids.len(), 1);
+    }
+
+    // ---------------------------------------------------- sharding + cache
+
+    #[test]
+    fn shard_key_groups_subtrees() {
+        assert_eq!(shard_key("/redfish/v1/Systems"), "Systems");
+        assert_eq!(shard_key("/redfish/v1/Systems/cn01/Processors/p0"), "Systems");
+        assert_eq!(shard_key("/redfish/v1/Fabrics/CXL0/Endpoints/ep0"), "Fabrics");
+        assert_eq!(shard_key("/redfish/v1"), "");
+        assert_eq!(shard_key("/redfish"), "");
+        assert_eq!(shard_key("/"), "");
+        assert_eq!(shard_key("/x/y"), "x");
+        assert_eq!(shard_key("/x"), "x");
+    }
+
+    #[test]
+    fn single_shard_registry_still_works() {
+        let r = Registry::with_shards(1);
+        let root = ODataId::new("/redfish/v1");
+        r.create(&root, json!({"Name": "root"})).unwrap();
+        let col = root.child("Systems");
+        r.create_collection(&col, "#C.C", "Systems").unwrap();
+        r.create(&col.child("a"), json!({"Name": "a"})).unwrap();
+        assert_eq!(r.members(&col).unwrap().len(), 1);
+        assert_eq!(r.shard_count(), 1);
+    }
+
+    #[test]
+    fn wire_bytes_hits_cache_until_mutation() {
+        let (r, col) = reg_with_collection();
+        let id = col.child("cn01");
+        r.create(&id, json!({"Name": "a"})).unwrap();
+        let (b1, e1) = r.wire_bytes(&id).unwrap();
+        let (b2, e2) = r.wire_bytes(&id).unwrap();
+        assert_eq!(e1, e2);
+        assert!(Arc::ptr_eq(&b1, &b2), "second read must be served from cache");
+        let (hits, _) = r.wire_cache_stats();
+        assert!(hits >= 1);
+
+        // A mutation allocates a new etag → cache miss, fresh bytes.
+        r.patch(&id, &json!({"Name": "b"}), None).unwrap();
+        let (b3, e3) = r.wire_bytes(&id).unwrap();
+        assert!(e3.0 > e2.0);
+        assert!(!Arc::ptr_eq(&b2, &b3));
+        let v: Value = serde_json::from_slice(&b3).unwrap();
+        assert_eq!(v["Name"], "b");
+        assert_eq!(v["@odata.etag"], e3.to_header());
+    }
+
+    #[test]
+    fn recreate_after_delete_never_serves_stale_bytes() {
+        let (r, col) = reg_with_collection();
+        let id = col.child("cn01");
+        r.create(&id, json!({"Name": "old"})).unwrap();
+        let _ = r.wire_bytes(&id).unwrap(); // populate cache
+        r.delete(&id).unwrap();
+        r.create(&id, json!({"Name": "new"})).unwrap();
+        let (bytes, _) = r.wire_bytes(&id).unwrap();
+        let v: Value = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(v["Name"], "new");
+    }
+
+    #[test]
+    fn wire_cache_can_be_disabled() {
+        let (r, col) = reg_with_collection();
+        let id = col.child("cn01");
+        r.create(&id, json!({"Name": "a"})).unwrap();
+        r.set_wire_cache(false);
+        let (b1, _) = r.wire_bytes(&id).unwrap();
+        let (b2, _) = r.wire_bytes(&id).unwrap();
+        assert!(!Arc::ptr_eq(&b1, &b2), "cache disabled → fresh serialization");
+        r.set_wire_cache(true);
+    }
+
+    #[test]
+    fn etags_are_registry_unique_across_resources() {
+        let (r, col) = reg_with_collection();
+        let e1 = r.create(&col.child("a"), json!({"Name": "a"})).unwrap();
+        let e2 = r.create(&col.child("b"), json!({"Name": "b"})).unwrap();
+        let e3 = r.patch(&col.child("a"), &json!({"X": 1}), None).unwrap();
+        assert!(e1.0 < e2.0 && e2.0 < e3.0, "{e1:?} {e2:?} {e3:?}");
+    }
+
+    #[test]
+    fn cross_shard_membership_stays_consistent() {
+        // Top-level collections live in different shards than the root;
+        // creating them links them into nothing (root is not a collection),
+        // but fabric children link into the Fabrics collection.
+        let r = Registry::new();
+        let root = ODataId::new("/redfish/v1");
+        r.create(&root, json!({"Name": "root"})).unwrap();
+        for top in ["Systems", "Chassis", "Fabrics", "StorageServices", "Tasks"] {
+            r.create_collection(&root.child(top), "#C.C", top).unwrap();
+        }
+        let fabrics = root.child("Fabrics");
+        r.create(&fabrics.child("F0"), json!({"Name": "F0"})).unwrap();
+        r.create(&fabrics.child("F1"), json!({"Name": "F1"})).unwrap();
+        assert_eq!(r.members(&fabrics).unwrap().len(), 2);
+        assert_eq!(r.delete_subtree(&fabrics.child("F0")), 1);
+        assert_eq!(r.members(&fabrics).unwrap().len(), 1);
+        assert!(r.dangling_links().is_empty());
+        assert_eq!(r.len(), 7);
+    }
+
+    #[test]
+    fn root_subtree_delete_spans_all_shards() {
+        let (r, col) = reg_with_collection();
+        r.create(&col.child("cn01"), json!({"Name": "a"})).unwrap();
+        // Deleting the service root's subtree wipes everything.
+        let n = r.delete_subtree(&ODataId::new("/redfish/v1"));
+        assert_eq!(n, 3);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn for_each_iterates_in_path_order() {
+        let (r, col) = reg_with_collection();
+        r.create(&col.child("b"), json!({"Name": "b"})).unwrap();
+        r.create(&col.child("a"), json!({"Name": "a"})).unwrap();
+        let chassis = ODataId::new("/redfish/v1/Chassis");
+        r.create_collection(&chassis, "#C.C", "Chassis").unwrap();
+        let mut seen = Vec::new();
+        r.for_each(|id, _| seen.push(id.clone()));
+        let mut sorted = seen.clone();
+        sorted.sort();
+        assert_eq!(seen, sorted);
+        assert_eq!(seen.len(), 5);
     }
 }

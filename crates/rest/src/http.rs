@@ -186,6 +186,16 @@ impl Response {
         }
     }
 
+    /// A JSON response from pre-serialized bytes (the registry's wire-body
+    /// cache hands these out; no re-serialization on the hot GET path).
+    pub fn json_bytes(status: u16, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json; charset=utf-8".into())],
+            body,
+        }
+    }
+
     /// An empty response.
     pub fn empty(status: u16) -> Response {
         Response {

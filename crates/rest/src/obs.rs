@@ -52,6 +52,9 @@ pub(crate) struct RestMetrics {
     pub connections: Arc<Gauge>,
     /// `ofmf.rest.parse_errors.total` — requests rejected by the parser.
     pub parse_errors: Arc<Counter>,
+    /// `ofmf.rest.sub_events.dropped` — subscriber events dropped because
+    /// they failed to serialize at drain time (no-panic-at-dispatch).
+    pub sub_events_dropped: Arc<Counter>,
     /// `ofmf.rest.status.<class>` — responses by status class, index 0 = 1xx.
     pub status: [Arc<Counter>; 5],
     pub get: MethodMetrics,
@@ -86,6 +89,7 @@ pub(crate) fn metrics() -> &'static RestMetrics {
         queue_depth: ofmf_obs::gauge("ofmf.rest.accept_queue.depth"),
         connections: ofmf_obs::gauge("ofmf.rest.connections.active"),
         parse_errors: ofmf_obs::counter("ofmf.rest.parse_errors.total"),
+        sub_events_dropped: ofmf_obs::counter("ofmf.rest.sub_events.dropped"),
         status: std::array::from_fn(|i| ofmf_obs::counter(&format!("ofmf.rest.status.{}xx", i + 1))),
         get: MethodMetrics::new("get"),
         post: MethodMetrics::new("post"),

@@ -2,8 +2,13 @@
 //!
 //! Redfish clients use these to trim payloads: `$select` projects members,
 //! `$top`/`$skip` paginate collection `Members`, `$expand` inlines them.
+//! Pagination rewrites `Members@odata.count` to the page size and emits a
+//! `Members@odata.nextLink` pointing at the next page when members remain,
+//! per DSP0266; malformed values are a 400
+//! `QueryParameterValueTypeError`, not silently ignored.
 
-use serde_json::{Map, Value};
+use redfish_model::{RedfishError, RedfishResult};
+use serde_json::{json, Map, Value};
 
 /// Parsed query options.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -18,14 +23,29 @@ pub struct QueryOptions {
     pub skip: Option<usize>,
 }
 
+fn bad_value(parameter: &str, value: &str) -> RedfishError {
+    RedfishError::QueryParameterValueTypeError {
+        parameter: parameter.to_string(),
+        value: value.to_string(),
+    }
+}
+
 impl QueryOptions {
     /// Parse a raw query string (already stripped of `?`).
-    pub fn parse(raw: &str) -> QueryOptions {
+    ///
+    /// `$expand` accepts only the DSP0266 levels `.` and `*`; `$top` and
+    /// `$skip` must be non-negative integers. Anything else fails with
+    /// [`RedfishError::QueryParameterValueTypeError`] (HTTP 400). Unknown
+    /// options are ignored per the spec.
+    pub fn parse(raw: &str) -> RedfishResult<QueryOptions> {
         let mut q = QueryOptions::default();
         for pair in raw.split('&') {
             let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
             match k {
-                "$expand" => q.expand = true,
+                "$expand" => match v {
+                    "." | "*" => q.expand = true,
+                    _ => return Err(bad_value("$expand", v)),
+                },
                 "$select" => {
                     q.select = Some(
                         v.split(',')
@@ -35,12 +55,12 @@ impl QueryOptions {
                             .collect(),
                     )
                 }
-                "$top" => q.top = v.parse().ok(),
-                "$skip" => q.skip = v.parse().ok(),
+                "$top" => q.top = Some(v.parse().map_err(|_| bad_value("$top", v))?),
+                "$skip" => q.skip = Some(v.parse().map_err(|_| bad_value("$skip", v))?),
                 _ => {} // unknown options are ignored per the spec
             }
         }
-        q
+        Ok(q)
     }
 
     /// Whether anything must be applied at all.
@@ -50,13 +70,37 @@ impl QueryOptions {
 
     /// Apply pagination and projection to a response body, in the spec's
     /// order: paginate `Members` first, then project.
+    ///
+    /// After pagination, `Members@odata.count` reports the number of
+    /// members actually returned, and `Members@odata.nextLink` is set when
+    /// more members remain beyond this page.
     pub fn apply(&self, mut body: Value) -> Value {
         if self.skip.is_some() || self.top.is_some() {
+            let self_id = body.get("@odata.id").and_then(Value::as_str).map(str::to_string);
+            let mut page_info = None;
             if let Some(members) = body.get_mut("Members").and_then(Value::as_array_mut) {
+                let total = members.len();
                 let skip = self.skip.unwrap_or(0);
                 let top = self.top.unwrap_or(usize::MAX);
                 let page: Vec<Value> = members.iter().skip(skip).take(top).cloned().collect();
+                let shown = page.len();
                 *members = page;
+                page_info = Some((shown, skip.saturating_add(shown) < total));
+            }
+            if let (Some((shown, more)), Some(obj)) = (page_info, body.as_object_mut()) {
+                if obj.contains_key("Members@odata.count") {
+                    obj.insert("Members@odata.count".to_string(), json!(shown));
+                }
+                if more {
+                    if let Some(id) = self_id {
+                        let skipped = self.skip.unwrap_or(0) + shown;
+                        let mut link = format!("{id}?$skip={skipped}");
+                        if let Some(t) = self.top {
+                            link.push_str(&format!("&$top={t}"));
+                        }
+                        obj.insert("Members@odata.nextLink".to_string(), Value::String(link));
+                    }
+                }
             }
         }
         if let Some(select) = &self.select {
@@ -79,9 +123,13 @@ mod tests {
     use super::*;
     use serde_json::json;
 
+    fn parse(raw: &str) -> QueryOptions {
+        QueryOptions::parse(raw).expect("valid query")
+    }
+
     #[test]
     fn parses_all_options() {
-        let q = QueryOptions::parse("$expand=.&$select=Name,Status&$top=5&$skip=10");
+        let q = parse("$expand=.&$select=Name,Status&$top=5&$skip=10");
         assert!(q.expand);
         assert_eq!(
             q.select.as_deref(),
@@ -89,13 +137,36 @@ mod tests {
         );
         assert_eq!(q.top, Some(5));
         assert_eq!(q.skip, Some(10));
-        assert!(QueryOptions::parse("").is_noop());
-        assert!(QueryOptions::parse("unknown=1").is_noop());
+        assert!(parse("").is_noop());
+        assert!(parse("unknown=1").is_noop());
+    }
+
+    #[test]
+    fn expand_accepts_only_spec_levels() {
+        assert!(parse("$expand=*").expand);
+        assert!(parse("$expand=.").expand);
+        for bad in ["$expand", "$expand=", "$expand=yes", "$expand=~"] {
+            let err = QueryOptions::parse(bad).unwrap_err();
+            assert!(
+                matches!(err, RedfishError::QueryParameterValueTypeError { ref parameter, .. } if parameter == "$expand"),
+                "{bad}: {err:?}"
+            );
+            assert_eq!(err.http_status(), 400);
+        }
+    }
+
+    #[test]
+    fn malformed_top_and_skip_are_rejected() {
+        for bad in ["$top=abc", "$top=-1", "$top=", "$skip=1.5", "$skip=x"] {
+            let err = QueryOptions::parse(bad).unwrap_err();
+            assert_eq!(err.http_status(), 400, "{bad}");
+            assert_eq!(err.message_id(), "Base.1.0.QueryParameterValueTypeError");
+        }
     }
 
     #[test]
     fn select_projects_but_keeps_odata_control_data() {
-        let q = QueryOptions::parse("$select=Name");
+        let q = parse("$select=Name");
         let out = q.apply(json!({
             "@odata.id": "/redfish/v1/Systems/x",
             "@odata.type": "#ComputerSystem.v1.ComputerSystem",
@@ -110,9 +181,10 @@ mod tests {
     }
 
     #[test]
-    fn pagination_slices_members() {
-        let q = QueryOptions::parse("$top=2&$skip=1");
+    fn pagination_slices_members_and_updates_count() {
+        let q = parse("$top=2&$skip=1");
         let out = q.apply(json!({
+            "@odata.id": "/redfish/v1/Systems",
             "Members": [{"n": 0}, {"n": 1}, {"n": 2}, {"n": 3}],
             "Members@odata.count": 4,
         }));
@@ -120,20 +192,48 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert_eq!(m[0]["n"], 1);
         assert_eq!(m[1]["n"], 2);
-        // The total count member is untouched (it reports the full size).
-        assert_eq!(out["Members@odata.count"], 4);
+        // The count reports the page size, and a nextLink points at the rest.
+        assert_eq!(out["Members@odata.count"], 2);
+        assert_eq!(out["Members@odata.nextLink"], "/redfish/v1/Systems?$skip=3&$top=2");
+    }
+
+    #[test]
+    fn last_page_has_no_next_link() {
+        let q = parse("$top=2&$skip=2");
+        let out = q.apply(json!({
+            "@odata.id": "/redfish/v1/Systems",
+            "Members": [{"n": 0}, {"n": 1}, {"n": 2}, {"n": 3}],
+            "Members@odata.count": 4,
+        }));
+        assert_eq!(out["Members@odata.count"], 2);
+        assert!(out.get("Members@odata.nextLink").is_none());
+    }
+
+    #[test]
+    fn skip_only_returns_rest_without_next_link() {
+        let q = parse("$skip=1");
+        let out = q.apply(json!({
+            "@odata.id": "/redfish/v1/Systems",
+            "Members": [{"n": 0}, {"n": 1}, {"n": 2}],
+            "Members@odata.count": 3,
+        }));
+        // Without $top the rest of the collection is returned; no nextLink.
+        assert_eq!(out["Members@odata.count"], 2);
+        assert!(out.get("Members@odata.nextLink").is_none());
     }
 
     #[test]
     fn skip_past_end_is_empty() {
-        let q = QueryOptions::parse("$skip=99");
-        let out = q.apply(json!({"Members": [{"n": 0}]}));
+        let q = parse("$skip=99");
+        let out = q.apply(json!({"@odata.id": "/x", "Members": [{"n": 0}], "Members@odata.count": 1}));
         assert!(out["Members"].as_array().unwrap().is_empty());
+        assert_eq!(out["Members@odata.count"], 0);
+        assert!(out.get("Members@odata.nextLink").is_none());
     }
 
     #[test]
     fn noop_passthrough() {
-        let q = QueryOptions::parse("");
+        let q = parse("");
         let body = json!({"a": 1, "Members": [1, 2, 3]});
         assert_eq!(q.apply(body.clone()), body);
     }

@@ -93,17 +93,34 @@ impl Router {
                 return self.drain_subscription(parent.leaf());
             }
         }
-        let opts = crate::query::QueryOptions::parse(req.query.as_deref().unwrap_or(""));
+        let opts = match crate::query::QueryOptions::parse(req.query.as_deref().unwrap_or("")) {
+            Ok(o) => o,
+            Err(e) => return error_response(&e),
+        };
         if opts.expand {
             return match self.ofmf.registry.expand(path) {
                 Ok(body) => Response::json(200, &opts.apply(body)),
                 Err(e) => error_response(&e),
             };
         }
+        if opts.is_noop() {
+            // Hot path: pre-serialized bytes straight from the registry's
+            // ETag-keyed wire cache — no clone, no re-serialization.
+            return match self.ofmf.get_raw(path) {
+                Ok((bytes, etag)) => {
+                    let body = if req.method == Method::Head {
+                        Vec::new()
+                    } else {
+                        bytes.to_vec()
+                    };
+                    Response::json_bytes(200, body).with_header("ETag", &etag.to_header())
+                }
+                Err(e) => error_response(&e),
+            };
+        }
         match self.ofmf.get(path) {
             Ok((body, etag)) => {
-                let body = if opts.is_noop() { body } else { opts.apply(body) };
-                let mut resp = Response::json(200, &body).with_header("ETag", &etag.to_header());
+                let mut resp = Response::json(200, &opts.apply(body)).with_header("ETag", &etag.to_header());
                 if req.method == Method::Head {
                     resp.body.clear();
                 }
@@ -254,7 +271,19 @@ impl Router {
         };
         let mut batches = Vec::new();
         while let Ok(ev) = rx.try_recv() {
-            batches.push(serde_json::to_value(&ev).expect("events serialize"));
+            match serde_json::to_value(&ev) {
+                Ok(v) => batches.push(v),
+                Err(e) => {
+                    // No-panic-at-dispatch: a malformed event is dropped and
+                    // counted, never allowed to kill a worker thread.
+                    crate::obs::metrics().sub_events_dropped.inc();
+                    ofmf_obs::global().ring().emit(
+                        ofmf_obs::Severity::Warning,
+                        "ofmf.rest",
+                        format!("dropped unserializable event for subscription {sub_id}: {e}"),
+                    );
+                }
+            }
         }
         Response::json(200, &json!({"Events": batches, "Count": batches.len()}))
     }
@@ -494,6 +523,67 @@ mod tests {
             r#"{"ResetType":"On"}"#,
         ));
         assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn pagination_updates_count_and_next_link() {
+        let r = open_router();
+        for id in ["a", "b", "c", "d"] {
+            r.handle(&req(
+                Method::Post,
+                "/redfish/v1/Systems",
+                &format!(r#"{{"Id":"{id}","Name":"{id}"}}"#),
+            ));
+        }
+        let mut g = req(Method::Get, "/redfish/v1/Systems", "");
+        g.query = Some("$top=2&$skip=1".to_string());
+        let resp = r.handle(&g);
+        assert_eq!(resp.status, 200);
+        let v: Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["Members"].as_array().unwrap().len(), 2);
+        assert_eq!(v["Members@odata.count"], 2);
+        assert_eq!(v["Members@odata.nextLink"], "/redfish/v1/Systems?$skip=3&$top=2");
+
+        // Follow the nextLink: the final page has no further link.
+        let mut g = req(Method::Get, "/redfish/v1/Systems", "");
+        g.query = Some("$skip=3&$top=2".to_string());
+        let v: Value = serde_json::from_slice(&r.handle(&g).body).unwrap();
+        assert_eq!(v["Members"].as_array().unwrap().len(), 1);
+        assert_eq!(v["Members@odata.count"], 1);
+        assert!(v.get("Members@odata.nextLink").is_none());
+    }
+
+    #[test]
+    fn malformed_query_params_are_400() {
+        let r = open_router();
+        for bad in ["$top=abc", "$skip=-3", "$expand=yes", "$expand="] {
+            let mut g = req(Method::Get, "/redfish/v1/Systems", "");
+            g.query = Some(bad.to_string());
+            let resp = r.handle(&g);
+            assert_eq!(resp.status, 400, "{bad}");
+            let v: Value = serde_json::from_slice(&resp.body).unwrap();
+            assert_eq!(v["error"]["code"], "Base.1.0.QueryParameterValueTypeError", "{bad}");
+        }
+    }
+
+    #[test]
+    fn hot_get_serves_cached_bytes_with_etag() {
+        let r = open_router();
+        r.handle(&req(Method::Post, "/redfish/v1/Systems", r#"{"Id":"cn0","Name":"a"}"#));
+        let first = r.handle(&req(Method::Get, "/redfish/v1/Systems/cn0", ""));
+        let second = r.handle(&req(Method::Get, "/redfish/v1/Systems/cn0", ""));
+        assert_eq!(first.status, 200);
+        assert_eq!(first.body, second.body);
+        let etag1 = first.headers.iter().find(|(k, _)| k == "ETag").cloned().unwrap();
+        let etag2 = second.headers.iter().find(|(k, _)| k == "ETag").cloned().unwrap();
+        assert_eq!(etag1, etag2);
+        // Mutation invalidates: body and ETag both change.
+        r.handle(&req(Method::Patch, "/redfish/v1/Systems/cn0", r#"{"Name":"b"}"#));
+        let third = r.handle(&req(Method::Get, "/redfish/v1/Systems/cn0", ""));
+        assert_ne!(third.body, second.body);
+        let v: Value = serde_json::from_slice(&third.body).unwrap();
+        assert_eq!(v["Name"], "b");
+        assert_ne!(third.headers.iter().find(|(k, _)| k == "ETag").cloned().unwrap(), etag2);
     }
 
     #[test]
