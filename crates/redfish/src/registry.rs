@@ -373,28 +373,29 @@ impl Registry {
     pub fn wire_bytes(&self, id: &ODataId) -> RedfishResult<(Arc<[u8]>, ETag)> {
         let shard = &self.shards[self.shard_of(id)];
         let cache_on = self.cache_enabled.load(Ordering::Acquire);
-        let (bytes, etag) = {
-            let t = shard.tree.read();
-            let node = t.nodes.get(id).ok_or_else(|| RedfishError::NotFound(id.clone()))?;
-            let etag = node.etag;
-            if cache_on {
-                if let Some((v, cached)) = shard.wire.read().get(id) {
-                    if *v == etag.0 {
-                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                        return Ok((Arc::clone(cached), etag));
-                    }
+        let t = shard.tree.read();
+        let node = t.nodes.get(id).ok_or_else(|| RedfishError::NotFound(id.clone()))?;
+        let etag = node.etag;
+        if cache_on {
+            if let Some((v, cached)) = shard.wire.read().get(id) {
+                if *v == etag.0 {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((Arc::clone(cached), etag));
                 }
             }
-            self.cache_misses.fetch_add(1, Ordering::Relaxed);
-            let bytes: Arc<[u8]> = serde_json::to_vec(&node.wire_body())
-                .map_err(|e| RedfishError::Internal(format!("serialize {id}: {e}")))?
-                .into();
-            (bytes, etag)
-        };
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let bytes: Arc<[u8]> = serde_json::to_vec(&node.wire_body())
+            .map_err(|e| RedfishError::Internal(format!("serialize {id}: {e}")))?
+            .into();
         if cache_on {
-            // Serialized outside the write lock; a racing mutation simply
-            // leaves a stale (etag-mismatched) entry that the next read
-            // replaces — never served, because hits require etag equality.
+            // Inserted while still holding the tree read lock: delete and
+            // delete_subtree take the tree write lock before they uncache(),
+            // so they cannot interleave between the existence check above
+            // and this insert — the cache never accumulates entries for
+            // deleted ids. Lock order (tree before wire) matches the hit
+            // path above; no path acquires the tree lock while holding the
+            // wire lock.
             let mut wire = shard.wire.write();
             if wire.len() >= WIRE_CACHE_CAP && !wire.contains_key(id) {
                 wire.clear();

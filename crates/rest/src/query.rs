@@ -2,13 +2,14 @@
 //!
 //! Redfish clients use these to trim payloads: `$select` projects members,
 //! `$top`/`$skip` paginate collection `Members`, `$expand` inlines them.
-//! Pagination rewrites `Members@odata.count` to the page size and emits a
-//! `Members@odata.nextLink` pointing at the next page when members remain,
-//! per DSP0266; malformed values are a 400
-//! `QueryParameterValueTypeError`, not silently ignored.
+//! Pagination leaves `Members@odata.count` at the TOTAL collection size
+//! (DSP0266: the count is unaffected by `$top`/`$skip`) and emits a
+//! `Members@odata.nextLink` pointing at the next page when members remain;
+//! malformed values are a 400 `QueryParameterValueTypeError`, not silently
+//! ignored.
 
 use redfish_model::{RedfishError, RedfishResult};
-use serde_json::{json, Map, Value};
+use serde_json::{Map, Value};
 
 /// Parsed query options.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -30,11 +31,29 @@ fn bad_value(parameter: &str, value: &str) -> RedfishError {
     }
 }
 
+/// Whether `v` is a well-formed DSP0266 `$expand` value: one of the levels
+/// `.` (subordinate), `~` (dependent links), or `*` (both), optionally
+/// followed by a `($levels=N)` clause with N ≥ 1.
+fn valid_expand(v: &str) -> bool {
+    let mut chars = v.chars();
+    if !matches!(chars.next(), Some('.' | '*' | '~')) {
+        return false;
+    }
+    let rest = chars.as_str();
+    rest.is_empty()
+        || rest
+            .strip_prefix("($levels=")
+            .and_then(|s| s.strip_suffix(')'))
+            .is_some_and(|n| n.parse::<usize>().is_ok_and(|n| n >= 1))
+}
+
 impl QueryOptions {
     /// Parse a raw query string (already stripped of `?`).
     ///
-    /// `$expand` accepts only the DSP0266 levels `.` and `*`; `$top` and
-    /// `$skip` must be non-negative integers. Anything else fails with
+    /// `$expand` accepts the DSP0266 levels `.`, `*`, and `~`, each with an
+    /// optional `($levels=N)` clause; this service approximates them all as
+    /// one-level member expansion. `$top` and `$skip` must be non-negative
+    /// integers. Anything else fails with
     /// [`RedfishError::QueryParameterValueTypeError`] (HTTP 400). Unknown
     /// options are ignored per the spec.
     pub fn parse(raw: &str) -> RedfishResult<QueryOptions> {
@@ -42,10 +61,12 @@ impl QueryOptions {
         for pair in raw.split('&') {
             let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
             match k {
-                "$expand" => match v {
-                    "." | "*" => q.expand = true,
-                    _ => return Err(bad_value("$expand", v)),
-                },
+                "$expand" => {
+                    if !valid_expand(v) {
+                        return Err(bad_value("$expand", v));
+                    }
+                    q.expand = true;
+                }
                 "$select" => {
                     q.select = Some(
                         v.split(',')
@@ -71,9 +92,13 @@ impl QueryOptions {
     /// Apply pagination and projection to a response body, in the spec's
     /// order: paginate `Members` first, then project.
     ///
-    /// After pagination, `Members@odata.count` reports the number of
-    /// members actually returned, and `Members@odata.nextLink` is set when
-    /// more members remain beyond this page.
+    /// After pagination, `Members@odata.count` still reports the TOTAL
+    /// number of members in the collection (per DSP0266 it is unaffected by
+    /// `$top`/`$skip` — nextLink plus total count is how clients size the
+    /// collection), and `Members@odata.nextLink` is set when more members
+    /// remain beyond this page. An empty page (e.g. `$top=0`) never emits a
+    /// nextLink: its paging state would be identical to the request that
+    /// produced it, looping link-following clients forever.
     pub fn apply(&self, mut body: Value) -> Value {
         if self.skip.is_some() || self.top.is_some() {
             let self_id = body.get("@odata.id").and_then(Value::as_str).map(str::to_string);
@@ -85,12 +110,9 @@ impl QueryOptions {
                 let page: Vec<Value> = members.iter().skip(skip).take(top).cloned().collect();
                 let shown = page.len();
                 *members = page;
-                page_info = Some((shown, skip.saturating_add(shown) < total));
+                page_info = Some((shown, shown > 0 && skip.saturating_add(shown) < total));
             }
             if let (Some((shown, more)), Some(obj)) = (page_info, body.as_object_mut()) {
-                if obj.contains_key("Members@odata.count") {
-                    obj.insert("Members@odata.count".to_string(), json!(shown));
-                }
                 if more {
                     if let Some(id) = self_id {
                         let skipped = self.skip.unwrap_or(0) + shown;
@@ -143,9 +165,24 @@ mod tests {
 
     #[test]
     fn expand_accepts_only_spec_levels() {
-        assert!(parse("$expand=*").expand);
-        assert!(parse("$expand=.").expand);
-        for bad in ["$expand", "$expand=", "$expand=yes", "$expand=~"] {
+        for good in [
+            "$expand=*",
+            "$expand=.",
+            "$expand=~",
+            "$expand=.($levels=2)",
+            "$expand=*($levels=1)",
+        ] {
+            assert!(parse(good).expand, "{good}");
+        }
+        for bad in [
+            "$expand",
+            "$expand=",
+            "$expand=yes",
+            "$expand=.($levels=0)",
+            "$expand=.($levels=)",
+            "$expand=.(levels=2)",
+            "$expand=.($levels=2",
+        ] {
             let err = QueryOptions::parse(bad).unwrap_err();
             assert!(
                 matches!(err, RedfishError::QueryParameterValueTypeError { ref parameter, .. } if parameter == "$expand"),
@@ -181,7 +218,7 @@ mod tests {
     }
 
     #[test]
-    fn pagination_slices_members_and_updates_count() {
+    fn pagination_slices_members_and_keeps_total_count() {
         let q = parse("$top=2&$skip=1");
         let out = q.apply(json!({
             "@odata.id": "/redfish/v1/Systems",
@@ -192,8 +229,9 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert_eq!(m[0]["n"], 1);
         assert_eq!(m[1]["n"], 2);
-        // The count reports the page size, and a nextLink points at the rest.
-        assert_eq!(out["Members@odata.count"], 2);
+        // DSP0266: the count stays at the TOTAL collection size, unaffected
+        // by $top/$skip; a nextLink points at the rest.
+        assert_eq!(out["Members@odata.count"], 4);
         assert_eq!(out["Members@odata.nextLink"], "/redfish/v1/Systems?$skip=3&$top=2");
     }
 
@@ -205,7 +243,7 @@ mod tests {
             "Members": [{"n": 0}, {"n": 1}, {"n": 2}, {"n": 3}],
             "Members@odata.count": 4,
         }));
-        assert_eq!(out["Members@odata.count"], 2);
+        assert_eq!(out["Members@odata.count"], 4);
         assert!(out.get("Members@odata.nextLink").is_none());
     }
 
@@ -218,7 +256,7 @@ mod tests {
             "Members@odata.count": 3,
         }));
         // Without $top the rest of the collection is returned; no nextLink.
-        assert_eq!(out["Members@odata.count"], 2);
+        assert_eq!(out["Members@odata.count"], 3);
         assert!(out.get("Members@odata.nextLink").is_none());
     }
 
@@ -227,7 +265,22 @@ mod tests {
         let q = parse("$skip=99");
         let out = q.apply(json!({"@odata.id": "/x", "Members": [{"n": 0}], "Members@odata.count": 1}));
         assert!(out["Members"].as_array().unwrap().is_empty());
-        assert_eq!(out["Members@odata.count"], 0);
+        assert_eq!(out["Members@odata.count"], 1);
+        assert!(out.get("Members@odata.nextLink").is_none());
+    }
+
+    #[test]
+    fn top_zero_never_emits_next_link() {
+        // An empty page must not link to itself — a client following
+        // nextLink until absent would otherwise loop forever.
+        let q = parse("$top=0&$skip=1");
+        let out = q.apply(json!({
+            "@odata.id": "/redfish/v1/Systems",
+            "Members": [{"n": 0}, {"n": 1}, {"n": 2}],
+            "Members@odata.count": 3,
+        }));
+        assert!(out["Members"].as_array().unwrap().is_empty());
+        assert_eq!(out["Members@odata.count"], 3);
         assert!(out.get("Members@odata.nextLink").is_none());
     }
 

@@ -526,7 +526,7 @@ mod tests {
     }
 
     #[test]
-    fn pagination_updates_count_and_next_link() {
+    fn pagination_keeps_total_count_and_adds_next_link() {
         let r = open_router();
         for id in ["a", "b", "c", "d"] {
             r.handle(&req(
@@ -541,7 +541,9 @@ mod tests {
         assert_eq!(resp.status, 200);
         let v: Value = serde_json::from_slice(&resp.body).unwrap();
         assert_eq!(v["Members"].as_array().unwrap().len(), 2);
-        assert_eq!(v["Members@odata.count"], 2);
+        // DSP0266: the count stays at the total collection size so clients
+        // can size the collection; nextLink carries the paging state.
+        assert_eq!(v["Members@odata.count"], 4);
         assert_eq!(v["Members@odata.nextLink"], "/redfish/v1/Systems?$skip=3&$top=2");
 
         // Follow the nextLink: the final page has no further link.
@@ -549,7 +551,7 @@ mod tests {
         g.query = Some("$skip=3&$top=2".to_string());
         let v: Value = serde_json::from_slice(&r.handle(&g).body).unwrap();
         assert_eq!(v["Members"].as_array().unwrap().len(), 1);
-        assert_eq!(v["Members@odata.count"], 1);
+        assert_eq!(v["Members@odata.count"], 4);
         assert!(v.get("Members@odata.nextLink").is_none());
     }
 

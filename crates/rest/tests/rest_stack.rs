@@ -141,11 +141,13 @@ fn odata_query_options_over_the_wire() {
     assert_eq!(r["Name"], "cn00");
     assert!(r.get("ProcessorSummary").is_none());
     assert!(r["@odata.id"].is_string());
-    // $top/$skip paginate collections; per DSP0266 the count reports the
-    // returned page and a nextLink points at the remainder.
+    // $top/$skip paginate collections; per DSP0266 Members@odata.count
+    // stays at the TOTAL collection size and a nextLink points at the
+    // remainder.
+    let total = c.get("/redfish/v1/Systems").unwrap().json().unwrap()["Members@odata.count"].clone();
     let page = c.get("/redfish/v1/Systems?$top=2&$skip=1").unwrap().json().unwrap();
     assert_eq!(page["Members"].as_array().unwrap().len(), 2);
-    assert_eq!(page["Members@odata.count"], 2);
+    assert_eq!(page["Members@odata.count"], total);
     assert_eq!(page["Members@odata.nextLink"], "/redfish/v1/Systems?$skip=3&$top=2");
     // Combined with $expand the members are full documents.
     let expanded = c
