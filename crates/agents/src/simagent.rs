@@ -42,6 +42,9 @@ struct Inner {
     zones: BTreeMap<ODataId, ZoneId>,
     /// Tree connection id → artifacts.
     connections: BTreeMap<ODataId, ConnectionArtifacts>,
+    /// Interned metric names: each distinct name is allocated once and every
+    /// sample of it shares the `Arc<str>`.
+    metric_names: BTreeMap<&'static str, std::sync::Arc<str>>,
 }
 
 /// A technology-specific agent backed by one [`FabricSim`].
@@ -71,6 +74,7 @@ impl SimAgent {
                 endpoints: BTreeMap::new(),
                 zones: BTreeMap::new(),
                 connections: BTreeMap::new(),
+                metric_names: BTreeMap::new(),
             }),
             healthy: AtomicBool::new(true),
         }
@@ -666,8 +670,14 @@ impl Agent for SimAgent {
                     Source::Link(l) => self.port_doc_id(l, &inner),
                     Source::Device(d) => self.device_doc_id(d, &inner),
                 };
+                let metric_id = std::sync::Arc::clone(
+                    inner
+                        .metric_names
+                        .entry(s.metric)
+                        .or_insert_with(|| std::sync::Arc::from(s.metric)),
+                );
                 AgentMetric {
-                    metric_id: s.metric.to_string(),
+                    metric_id,
                     origin,
                     value: s.value,
                 }

@@ -217,7 +217,7 @@ fn switch_failure_propagates_alert_and_failover() {
     assert_eq!(o.registry.get(&spine).unwrap().body["Status"]["Health"], "Critical");
     let mut saw_alert = false;
     while let Ok(batch) = rx.try_recv() {
-        for e in &batch.events {
+        for e in batch.events.iter() {
             if e.severity == "Critical" || e.severity == "Warning" {
                 saw_alert = true;
             }

@@ -117,10 +117,14 @@ pub struct AgentEvent {
 }
 
 /// One telemetry point pushed north by an agent.
+///
+/// The metric name is an interned `Arc<str>`: agents intern each distinct
+/// name once and every sample shares it, so the telemetry hot path never
+/// clones a `String` per sample.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AgentMetric {
     /// Metric name, e.g. `PortRxBandwidthGbps`.
-    pub metric_id: String,
+    pub metric_id: std::sync::Arc<str>,
     /// The resource the sample describes (unified-tree id).
     pub origin: ODataId,
     /// Sampled value.

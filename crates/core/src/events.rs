@@ -3,8 +3,29 @@
 //! Clients subscribe by creating an `EventDestination`; the service fans
 //! published records out to every matching subscription's bounded delivery
 //! queue. Bounded queues (crossbeam) protect the OFMF from slow consumers:
-//! when a queue is full the oldest batch is dropped and a drop counter is
-//! bumped — the subscriber can detect gaps from event ids.
+//! when a queue is full the new batch is dropped (after one retry against a
+//! racing consumer) and a drop counter is bumped — the subscriber can detect
+//! gaps from event ids.
+//!
+//! # Fan-out at scale
+//!
+//! Two structures keep `publish` fast when subscriptions number in the
+//! hundreds:
+//!
+//! * **Routing index.** Subscriptions are bucketed by `EventType` and by the
+//!   top-level collection segment of their origin filters (the same keying
+//!   scheme the sharded registry uses), so a publish visits only candidate
+//!   subscribers instead of scanning every subscription. Subscriptions with
+//!   no origin filter (or a filter at/above the service root) land in a
+//!   per-type wildcard list. The index is maintained incrementally on
+//!   subscribe/unsubscribe; [`EventService::with_linear_matching`] restores
+//!   the old full-scan behavior for A/B benchmarking.
+//! * **Shared zero-copy batches.** One fan-out allocates a single
+//!   `Arc<[EventRecord]>` plus a single lazily-serialized wire body
+//!   ([`SharedEventBody`]); every subscriber's queue receives a cheap
+//!   [`EventEnvelope`] (three `Arc` clones) carrying its own per-delivery
+//!   batch id. No per-subscriber deep clone, no per-subscriber
+//!   re-serialization.
 
 use crate::clock::Clock;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
@@ -12,7 +33,7 @@ use ofmf_obs::{Counter, Histogram};
 use parking_lot::RwLock;
 use redfish_model::odata::ODataId;
 use redfish_model::path::top;
-use redfish_model::resources::events::{Event, EventDestination, EventRecord, EventType};
+use redfish_model::resources::events::{EventDestination, EventEnvelope, EventRecord, EventType, SharedEventBody};
 use redfish_model::resources::Resource;
 use redfish_model::{RedfishError, RedfishResult, Registry};
 use std::collections::HashMap;
@@ -25,7 +46,7 @@ pub const DEFAULT_QUEUE_DEPTH: usize = 256;
 struct Subscription {
     id: String,
     dest: EventDestination,
-    tx: Sender<Event>,
+    tx: Sender<EventEnvelope>,
     dropped: AtomicU64,
     /// Set once the subscriber's losses have been announced as an `Alert`
     /// (fires a single time per subscription).
@@ -41,6 +62,12 @@ struct EventMetrics {
     delivered: Arc<Counter>,
     /// `ofmf.events.dropped.total` — batches lost to slow/dead subscribers.
     dropped: Arc<Counter>,
+    /// `ofmf.events.index.candidates.total` — subscriptions visited by
+    /// indexed fan-outs (match checks actually performed).
+    index_candidates: Arc<Counter>,
+    /// `ofmf.events.index.skipped.total` — subscriptions the index proved
+    /// irrelevant without a match check (the scan work saved vs linear).
+    index_skipped: Arc<Counter>,
 }
 
 fn event_metrics() -> &'static EventMetrics {
@@ -50,16 +77,141 @@ fn event_metrics() -> &'static EventMetrics {
         published: ofmf_obs::counter("ofmf.events.published.total"),
         delivered: ofmf_obs::counter("ofmf.events.delivered.total"),
         dropped: ofmf_obs::counter("ofmf.events.dropped.total"),
+        index_candidates: ofmf_obs::counter("ofmf.events.index.candidates.total"),
+        index_skipped: ofmf_obs::counter("ofmf.events.index.skipped.total"),
     })
+}
+
+/// Position of an event type in the routing index's bucket array.
+fn type_index(t: EventType) -> usize {
+    match t {
+        EventType::StatusChange => 0,
+        EventType::ResourceAdded => 1,
+        EventType::ResourceRemoved => 2,
+        EventType::ResourceUpdated => 3,
+        EventType::Alert => 4,
+        EventType::MetricReport => 5,
+    }
+}
+
+/// The routing key of an origin path: its top-level collection segment
+/// (`Systems`, `Fabrics`, …) — the same scheme the registry shards on.
+/// Root documents key to the empty string (they span every segment).
+fn origin_key(path: &str) -> &str {
+    if let Some(rest) = path.strip_prefix("/redfish/v1/") {
+        rest.split('/').next().unwrap_or("")
+    } else if path == "/redfish/v1" || path == "/redfish" || path == "/" {
+        ""
+    } else {
+        path.trim_start_matches('/').split('/').next().unwrap_or("")
+    }
+}
+
+/// Bucket indices a subscription's type filter occupies (all six for a
+/// wildcard filter).
+fn type_slots(dest: &EventDestination) -> Vec<usize> {
+    if dest.event_types.is_empty() {
+        (0..EventType::ALL.len()).collect()
+    } else {
+        let mut v: Vec<usize> = dest.event_types.iter().map(|t| type_index(*t)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Distinct routing keys of a subscription's origin filters; `None` means
+/// the subscription is a candidate for every origin (no filter, or a filter
+/// at/above the service root whose subtree spans every top-level segment).
+fn origin_keys(dest: &EventDestination) -> Option<Vec<String>> {
+    if dest.origin_resources.is_empty() {
+        return None;
+    }
+    let mut keys: Vec<String> = Vec::with_capacity(dest.origin_resources.len());
+    for l in &dest.origin_resources {
+        let k = origin_key(l.odata_id.as_str());
+        if k.is_empty() {
+            return None;
+        }
+        if !keys.iter().any(|x| x == k) {
+            keys.push(k.to_string());
+        }
+    }
+    Some(keys)
+}
+
+/// One `EventType`'s slice of the routing index.
+#[derive(Default)]
+struct TypeBucket {
+    /// origin routing key → subscriptions whose filters live under it.
+    by_origin: HashMap<String, Vec<Arc<Subscription>>>,
+    /// Subscriptions that are candidates for every origin.
+    any_origin: Vec<Arc<Subscription>>,
+}
+
+/// `EventType`-bucketed, origin-prefix-mapped subscription index. A
+/// subscription appears in every type bucket it can match, and within a
+/// bucket in exactly one list per routing key — so the candidate set for a
+/// publish (`by_origin[key] ∪ any_origin`) never yields a duplicate.
+#[derive(Default)]
+struct RoutingIndex {
+    buckets: [TypeBucket; 6],
+}
+
+impl RoutingIndex {
+    fn insert(&mut self, sub: &Arc<Subscription>) {
+        let keys = origin_keys(&sub.dest);
+        for ti in type_slots(&sub.dest) {
+            let bucket = &mut self.buckets[ti];
+            match &keys {
+                None => bucket.any_origin.push(Arc::clone(sub)),
+                Some(ks) => {
+                    for k in ks {
+                        bucket.by_origin.entry(k.clone()).or_default().push(Arc::clone(sub));
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, sub: &Subscription) {
+        let keys = origin_keys(&sub.dest);
+        for ti in type_slots(&sub.dest) {
+            let bucket = &mut self.buckets[ti];
+            match &keys {
+                None => bucket.any_origin.retain(|s| s.id != sub.id),
+                Some(ks) => {
+                    for k in ks {
+                        if let Some(v) = bucket.by_origin.get_mut(k.as_str()) {
+                            v.retain(|s| s.id != sub.id);
+                            if v.is_empty() {
+                                bucket.by_origin.remove(k.as_str());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The subscription table: id map plus the routing index, mutated together
+/// under one lock so the two views never diverge.
+#[derive(Default)]
+struct SubTable {
+    by_id: HashMap<String, Arc<Subscription>>,
+    index: RoutingIndex,
 }
 
 /// The subscription-based event service.
 pub struct EventService {
     clock: Arc<Clock>,
-    subs: RwLock<HashMap<String, Arc<Subscription>>>,
+    subs: RwLock<SubTable>,
     next_sub: AtomicU64,
     next_event: AtomicU64,
     queue_depth: usize,
+    /// Ablation switch: scan every subscription instead of the index.
+    linear: bool,
 }
 
 impl EventService {
@@ -67,10 +219,11 @@ impl EventService {
     pub fn new(clock: Arc<Clock>) -> Self {
         EventService {
             clock,
-            subs: RwLock::new(HashMap::new()),
+            subs: RwLock::new(SubTable::default()),
             next_sub: AtomicU64::new(1),
             next_event: AtomicU64::new(1),
             queue_depth: DEFAULT_QUEUE_DEPTH,
+            linear: false,
         }
     }
 
@@ -80,15 +233,25 @@ impl EventService {
         self
     }
 
+    /// Disable the routing index: fan-out scans every subscription, exactly
+    /// as before the index existed. For A/B benchmarking and equivalence
+    /// tests; delivery semantics are identical.
+    pub fn with_linear_matching(mut self) -> Self {
+        self.linear = true;
+        self
+    }
+
     /// Create a subscription. Registers the `EventDestination` resource in
-    /// `reg` and returns `(subscription id, delivery receiver)`.
+    /// `reg` and returns `(subscription id, delivery receiver)`. Atomic with
+    /// respect to the registry: if resource creation fails, the service's
+    /// subscription table is left untouched.
     pub fn subscribe(
         &self,
         reg: &Registry,
         destination: &str,
         event_types: Vec<EventType>,
         origin_resources: Vec<ODataId>,
-    ) -> RedfishResult<(String, Receiver<Event>)> {
+    ) -> RedfishResult<(String, Receiver<EventEnvelope>)> {
         let id = self.next_sub.fetch_add(1, Ordering::AcqRel).to_string();
         let subs_col = ODataId::new(top::SUBSCRIPTIONS);
         let dest = EventDestination::new(&subs_col, &id, destination, event_types, origin_resources);
@@ -101,31 +264,66 @@ impl EventService {
             dropped: AtomicU64::new(0),
             drop_alerted: AtomicBool::new(false),
         });
-        self.subs.write().insert(id.clone(), sub);
+        let mut subs = self.subs.write();
+        subs.index.insert(&sub);
+        subs.by_id.insert(id.clone(), sub);
         Ok((id, rx))
     }
 
     /// Delete a subscription (client unsubscribes or its queue is dead).
+    /// Atomic with respect to the registry: if the `EventDestination`
+    /// resource cannot be deleted (other than already being gone), the
+    /// subscription is restored and keeps delivering.
     pub fn unsubscribe(&self, reg: &Registry, id: &str) -> RedfishResult<()> {
-        let removed = self.subs.write().remove(id);
-        if removed.is_none() {
-            return Err(RedfishError::NotFound(ODataId::new(top::SUBSCRIPTIONS).child(id)));
+        let removed = {
+            let mut subs = self.subs.write();
+            match subs.by_id.remove(id) {
+                Some(sub) => {
+                    subs.index.remove(&sub);
+                    sub
+                }
+                None => return Err(RedfishError::NotFound(ODataId::new(top::SUBSCRIPTIONS).child(id))),
+            }
+        };
+        match reg.delete(&ODataId::new(top::SUBSCRIPTIONS).child(id)) {
+            Ok(()) => Ok(()),
+            // The resource is already gone: both views agree, call it done.
+            Err(RedfishError::NotFound(_)) => Ok(()),
+            Err(e) => {
+                let mut subs = self.subs.write();
+                subs.index.insert(&removed);
+                subs.by_id.insert(id.to_string(), removed);
+                Err(e)
+            }
         }
-        reg.delete(&ODataId::new(top::SUBSCRIPTIONS).child(id))?;
-        Ok(())
     }
 
     /// Number of live subscriptions.
     pub fn subscription_count(&self) -> usize {
-        self.subs.read().len()
+        self.subs.read().by_id.len()
     }
 
     /// Batches dropped for subscription `id` due to a full queue.
     pub fn dropped_count(&self, id: &str) -> u64 {
         self.subs
             .read()
+            .by_id
             .get(id)
             .map_or(0, |s| s.dropped.load(Ordering::Acquire))
+    }
+
+    /// Build a service-stamped record (fresh event id, service clock).
+    /// Pair with [`EventService::publish_batch`] to forward many agent
+    /// events as one fan-out.
+    pub fn record(
+        &self,
+        event_type: EventType,
+        origin: &ODataId,
+        message: impl Into<String>,
+        severity: &str,
+    ) -> EventRecord {
+        let event_id = self.next_event.fetch_add(1, Ordering::AcqRel);
+        EventRecord::new(event_type, event_id, origin, message, severity, self.clock.now_ms())
     }
 
     /// Publish one record: build the batch and fan it out to every matching
@@ -137,8 +335,7 @@ impl EventService {
         message: impl Into<String>,
         severity: &str,
     ) -> usize {
-        let event_id = self.next_event.fetch_add(1, Ordering::AcqRel);
-        let record = EventRecord::new(event_type, event_id, origin, message, severity, self.clock.now_ms());
+        let record = self.record(event_type, origin, message, severity);
         self.fan_out(event_type, origin, vec![record])
     }
 
@@ -152,48 +349,85 @@ impl EventService {
         let metrics = event_metrics();
         metrics.published.inc();
         let _span = ofmf_obs::Trace::begin(&metrics.fanout_latency);
+        // One shared allocation + one (lazy) serialization for the whole
+        // fan-out, however many subscribers match.
+        let records: Arc<[EventRecord]> = records.into();
+        let shared = SharedEventBody::new();
         let subs = self.subs.read();
         let mut delivered = 0;
         // Subscribers whose accumulated losses crossed the alert threshold
         // during this fan-out; announced after the read lock is released.
         let mut newly_lossy: Vec<String> = Vec::new();
-        for sub in subs.values() {
-            if !sub.dest.matches(event_type, origin) {
-                continue;
-            }
-            let batch_id = self.next_event.fetch_add(1, Ordering::AcqRel);
-            let mut ev = Event::batch(batch_id, records.clone());
-            loop {
-                match sub.tx.try_send(ev) {
-                    Ok(()) => {
-                        delivered += 1;
-                        metrics.delivered.inc();
-                        break;
-                    }
-                    Err(TrySendError::Full(back)) => {
-                        // Drop the oldest batch to make room; count the loss.
-                        let _ = sub.tx.try_send(back.clone()); // racing consumers may have freed space
-                        if sub.tx.is_full() {
-                            // Still full: discard oldest from the receiver side is
-                            // impossible here (we only hold the sender), so drop
-                            // the new batch and record it.
-                            self.count_drop(sub, &mut newly_lossy);
-                            break;
-                        }
-                        ev = back;
-                    }
-                    Err(TrySendError::Disconnected(_)) => {
-                        self.count_drop(sub, &mut newly_lossy);
-                        break;
-                    }
+        if self.linear {
+            for sub in subs.by_id.values() {
+                if !sub.dest.matches(event_type, origin) {
+                    continue;
                 }
+                self.deliver(sub, &records, &shared, &mut delivered, &mut newly_lossy);
             }
+        } else {
+            let bucket = &subs.index.buckets[type_index(event_type)];
+            let keyed = bucket
+                .by_origin
+                .get(origin_key(origin.as_str()))
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            let mut candidates = 0u64;
+            for sub in keyed.iter().chain(bucket.any_origin.iter()) {
+                candidates += 1;
+                if !sub.dest.matches(event_type, origin) {
+                    continue;
+                }
+                self.deliver(sub, &records, &shared, &mut delivered, &mut newly_lossy);
+            }
+            metrics.index_candidates.add(candidates);
+            metrics.index_skipped.add(subs.by_id.len() as u64 - candidates);
         }
         drop(subs);
         for id in newly_lossy {
             self.alert_lossy_subscriber(&id);
         }
         delivered
+    }
+
+    /// Enqueue one delivery: a fresh per-delivery batch id around the shared
+    /// record batch. A full queue gets exactly one retry (a racing consumer
+    /// may have freed space); a successful retry counts as delivered, a
+    /// still-full queue drops the new batch exactly once — a batch id is
+    /// never enqueued twice.
+    fn deliver(
+        &self,
+        sub: &Subscription,
+        records: &Arc<[EventRecord]>,
+        shared: &SharedEventBody,
+        delivered: &mut usize,
+        newly_lossy: &mut Vec<String>,
+    ) {
+        let metrics = event_metrics();
+        let batch_id = self.next_event.fetch_add(1, Ordering::AcqRel);
+        let mut ev = EventEnvelope::new(batch_id, Arc::clone(records), shared.clone());
+        let mut retried = false;
+        loop {
+            match sub.tx.try_send(ev) {
+                Ok(()) => {
+                    *delivered += 1;
+                    metrics.delivered.inc();
+                    break;
+                }
+                Err(TrySendError::Full(back)) => {
+                    if retried {
+                        self.count_drop(sub, newly_lossy);
+                        break;
+                    }
+                    retried = true;
+                    ev = back;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.count_drop(sub, newly_lossy);
+                    break;
+                }
+            }
+        }
     }
 
     /// Record one lost batch; when the subscription's total losses first
@@ -300,6 +534,97 @@ mod tests {
     }
 
     #[test]
+    fn root_origin_filter_matches_every_segment() {
+        // A filter at the service root spans every top-level collection —
+        // the index must treat it as a wildcard, not key it to "".
+        let (reg, svc) = setup();
+        let (_, rx) = svc
+            .subscribe(&reg, "channel://root", vec![], vec![ODataId::new("/redfish/v1")])
+            .unwrap();
+        svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/Systems/cn0"), "a", "OK");
+        svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/Fabrics/F0"), "b", "OK");
+        assert_eq!(rx.len(), 2);
+    }
+
+    #[test]
+    fn multi_origin_filter_subscription_delivers_once_per_event() {
+        // Two filters under the same top-level segment must not double-index
+        // (and thus double-deliver) the subscription.
+        let (reg, svc) = setup();
+        let (_, rx) = svc
+            .subscribe(
+                &reg,
+                "channel://multi",
+                vec![],
+                vec![
+                    ODataId::new("/redfish/v1/Fabrics/CXL0"),
+                    ODataId::new("/redfish/v1/Fabrics/CXL1"),
+                    ODataId::new("/redfish/v1/Systems/cn0"),
+                ],
+            )
+            .unwrap();
+        svc.publish(
+            EventType::Alert,
+            &ODataId::new("/redfish/v1/Fabrics/CXL0/Switches/s"),
+            "x",
+            "OK",
+        );
+        assert_eq!(rx.len(), 1, "exactly one delivery");
+        svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/Systems/cn0"), "y", "OK");
+        assert_eq!(rx.len(), 2);
+        svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/Chassis/c0"), "z", "OK");
+        assert_eq!(rx.len(), 2, "unrelated segment filtered out");
+    }
+
+    #[test]
+    fn linear_matching_is_equivalent() {
+        let reg = Registry::new();
+        bootstrap(&reg, "u").unwrap();
+        let svc = EventService::new(Arc::new(Clock::manual())).with_linear_matching();
+        let (_, rx_f) = svc
+            .subscribe(
+                &reg,
+                "channel://f",
+                vec![EventType::Alert],
+                vec![ODataId::new("/redfish/v1/Fabrics/CXL0")],
+            )
+            .unwrap();
+        let (_, rx_all) = svc.subscribe(&reg, "channel://all", vec![], vec![]).unwrap();
+        svc.publish(
+            EventType::Alert,
+            &ODataId::new("/redfish/v1/Fabrics/CXL0/Switches/s"),
+            "m",
+            "OK",
+        );
+        svc.publish(
+            EventType::ResourceAdded,
+            &ODataId::new("/redfish/v1/Systems/x"),
+            "n",
+            "OK",
+        );
+        assert_eq!(rx_f.len(), 1);
+        assert_eq!(rx_all.len(), 2);
+    }
+
+    #[test]
+    fn fanout_shares_one_record_batch_across_subscribers() {
+        let (reg, svc) = setup();
+        let (_, rx1) = svc.subscribe(&reg, "channel://a", vec![], vec![]).unwrap();
+        let (_, rx2) = svc.subscribe(&reg, "channel://b", vec![], vec![]).unwrap();
+        svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/x"), "m", "OK");
+        let b1 = rx1.try_recv().unwrap();
+        let b2 = rx2.try_recv().unwrap();
+        // Zero-copy: both subscribers hold the same allocation…
+        assert!(Arc::ptr_eq(&b1.events, &b2.events));
+        // …and the wire body is serialized once and spliced per delivery.
+        let w1: serde_json::Value = serde_json::from_str(&b1.wire_json().unwrap()).unwrap();
+        let w2: serde_json::Value = serde_json::from_str(&b2.wire_json().unwrap()).unwrap();
+        assert_eq!(w1["Events"], w2["Events"]);
+        // …while the batch ids stay per-delivery.
+        assert_ne!(b1.id, b2.id);
+    }
+
+    #[test]
     fn unsubscribe_removes_resource_and_stops_delivery() {
         let (reg, svc) = setup();
         let (id, _rx) = svc.subscribe(&reg, "channel://c", vec![], vec![]).unwrap();
@@ -314,6 +639,66 @@ mod tests {
     }
 
     #[test]
+    fn subscribe_failure_leaves_table_untouched() {
+        let (reg, svc) = setup();
+        let (first, _rx) = svc.subscribe(&reg, "channel://ok", vec![], vec![]).unwrap();
+        // Squat on the id the service will allocate next, so reg.create fails.
+        let next: u64 = first.parse::<u64>().unwrap() + 1;
+        let squatted = ODataId::new(top::SUBSCRIPTIONS).child(&next.to_string());
+        reg.create(
+            &squatted,
+            serde_json::json!({"Id": next.to_string(), "Name": "squatter"}),
+        )
+        .unwrap();
+        let err = match svc.subscribe(&reg, "channel://fails", vec![], vec![]) {
+            Err(e) => e,
+            Ok(_) => panic!("subscribe over a squatted id must fail"),
+        };
+        assert!(matches!(err, RedfishError::AlreadyExists(_)), "{err}");
+        assert_eq!(svc.subscription_count(), 1, "failed subscribe left no entry");
+        // The failed attempt consumed an id but delivery still works.
+        assert_eq!(
+            svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/x"), "m", "OK"),
+            1
+        );
+    }
+
+    #[test]
+    fn unsubscribe_tolerates_already_deleted_resource() {
+        let (reg, svc) = setup();
+        let (id, _rx) = svc.subscribe(&reg, "channel://c", vec![], vec![]).unwrap();
+        // The resource vanishes behind the service's back.
+        reg.delete(&ODataId::new(top::SUBSCRIPTIONS).child(&id)).unwrap();
+        // Unsubscribe still succeeds and both views agree.
+        svc.unsubscribe(&reg, &id).unwrap();
+        assert_eq!(svc.subscription_count(), 0);
+    }
+
+    #[test]
+    fn unsubscribe_restores_subscription_when_delete_fails() {
+        let (reg, svc) = setup();
+        let (id, rx) = svc.subscribe(&reg, "channel://c", vec![], vec![]).unwrap();
+        // A child resource under the EventDestination makes reg.delete
+        // refuse with Conflict.
+        let sub_path = ODataId::new(top::SUBSCRIPTIONS).child(&id);
+        reg.create(&sub_path.child("pin"), serde_json::json!({"Name": "pin"}))
+            .unwrap();
+        let err = svc.unsubscribe(&reg, &id).unwrap_err();
+        assert!(matches!(err, RedfishError::Conflict(_)), "{err}");
+        // Consistent state: the subscription survived and still delivers.
+        assert_eq!(svc.subscription_count(), 1);
+        assert_eq!(
+            svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/x"), "m", "OK"),
+            1
+        );
+        assert!(rx.try_recv().is_ok());
+        // Unpin and the unsubscribe goes through.
+        reg.delete(&sub_path.child("pin")).unwrap();
+        svc.unsubscribe(&reg, &id).unwrap();
+        assert_eq!(svc.subscription_count(), 0);
+    }
+
+    #[test]
     fn full_queue_drops_and_counts() {
         let reg = Registry::new();
         bootstrap(&reg, "u").unwrap();
@@ -324,6 +709,92 @@ mod tests {
         }
         assert!(svc.dropped_count(&id) >= 1, "drops recorded");
         assert_eq!(rx.len(), 2, "queue bounded");
+    }
+
+    #[test]
+    fn racing_consumer_never_sees_a_batch_id_twice() {
+        // Regression for the full-queue duplicate-delivery bug: the old
+        // retry path could enqueue the same batch twice when a consumer
+        // freed space mid-retry (and never counted the successful retry).
+        let reg = Registry::new();
+        bootstrap(&reg, "u").unwrap();
+        let svc = Arc::new(EventService::new(Arc::new(Clock::manual())).with_queue_depth(2));
+        let (_, rx) = svc.subscribe(&reg, "channel://racer", vec![], vec![]).unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let consumer = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut seen = std::collections::HashSet::new();
+                let mut dup = None;
+                loop {
+                    match rx.try_recv() {
+                        Ok(batch) => {
+                            if !seen.insert(batch.id) {
+                                dup = Some(batch.id);
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            if stop.load(Ordering::Acquire) && rx.is_empty() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                dup
+            })
+        };
+
+        let publishers: Vec<_> = (0..2)
+            .map(|t| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    for i in 0..2000 {
+                        svc.publish(
+                            EventType::Alert,
+                            &ODataId::new("/redfish/v1/x"),
+                            format!("t{t}-m{i}"),
+                            "OK",
+                        );
+                    }
+                })
+            })
+            .collect();
+        for p in publishers {
+            p.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        let dup = consumer.join().unwrap();
+        assert_eq!(dup, None, "a batch id was observed twice");
+    }
+
+    #[test]
+    fn delivered_metric_counts_successful_retry() {
+        // The retry that squeezes into a freed slot must count as delivered,
+        // not silently succeed (or worse, be recorded as a drop).
+        let reg = Registry::new();
+        bootstrap(&reg, "u").unwrap();
+        let svc = EventService::new(Arc::new(Clock::manual())).with_queue_depth(1);
+        let (id, rx) = svc.subscribe(&reg, "channel://tight", vec![], vec![]).unwrap();
+        assert_eq!(
+            svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/x"), "a", "OK"),
+            1
+        );
+        // Queue full now: this one drops (retry also fails, no consumer).
+        assert_eq!(
+            svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/x"), "b", "OK"),
+            0
+        );
+        assert_eq!(svc.dropped_count(&id), 1);
+        // Drain and the next publish is delivered (and counted) again.
+        rx.try_recv().unwrap();
+        assert_eq!(
+            svc.publish(EventType::Alert, &ODataId::new("/redfish/v1/x"), "c", "OK"),
+            1
+        );
+        assert_eq!(svc.dropped_count(&id), 1);
     }
 
     #[test]

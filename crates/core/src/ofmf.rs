@@ -80,7 +80,7 @@ pub struct Ofmf {
     sup_cfg: SupervisorConfig,
     /// Internal journal subscription: every published event is drained into
     /// the Redfish event log by [`Ofmf::flush_event_log`].
-    journal: crossbeam::channel::Receiver<redfish_model::resources::events::Event>,
+    journal: crossbeam::channel::Receiver<redfish_model::resources::events::EventEnvelope>,
     journal_seq: AtomicU64,
 }
 
@@ -153,7 +153,7 @@ impl Ofmf {
         let entries_col = ODataId::new(top::EVENT_LOG_ENTRIES);
         let mut written = 0;
         while let Ok(batch) = self.journal.try_recv() {
-            for rec in batch.events {
+            for rec in batch.events.iter() {
                 let seq = self.journal_seq.fetch_add(1, Ordering::AcqRel);
                 let entry = LogEntry::event(
                     &entries_col,
@@ -387,6 +387,10 @@ impl Ofmf {
             self.record_heartbeat_ok(&fabric_id);
 
             let events = catch_unwind(AssertUnwindSafe(|| agent.drain_events())).unwrap_or_default();
+            // Coalesce adjacent events sharing (type, origin) into one
+            // fan-out: chatty agents (N link flaps on one port) cost one
+            // publish instead of N.
+            let mut pending: Option<(EventType, ODataId, Vec<_>)> = None;
             for ev in events {
                 processed += 1;
                 for (id, patch) in &ev.patches {
@@ -395,8 +399,21 @@ impl Ofmf {
                 for id in &ev.removals {
                     self.registry.delete_subtree(id);
                 }
-                self.events
-                    .publish(ev.event_type, &ev.origin, ev.message.clone(), &ev.severity);
+                let rec = self
+                    .events
+                    .record(ev.event_type, &ev.origin, ev.message.clone(), &ev.severity);
+                match &mut pending {
+                    Some((t, o, recs)) if *t == ev.event_type && *o == ev.origin => recs.push(rec),
+                    _ => {
+                        if let Some((t, o, recs)) = pending.take() {
+                            self.events.publish_batch(t, &o, recs);
+                        }
+                        pending = Some((ev.event_type, ev.origin.clone(), vec![rec]));
+                    }
+                }
+            }
+            if let Some((t, o, recs)) = pending.take() {
+                self.events.publish_batch(t, &o, recs);
             }
 
             let metrics = catch_unwind(AssertUnwindSafe(|| agent.sample_telemetry())).unwrap_or_default();

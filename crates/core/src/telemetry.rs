@@ -5,10 +5,24 @@
 //! `(metric, origin)` series, materializes `MetricReport` resources into the
 //! tree on demand (or on a cadence driven by the caller), and raises
 //! `MetricReport`/`Alert` events when thresholds trip.
+//!
+//! # Ingest at scale
+//!
+//! The series store is lock-striped: metric ids hash (FNV-1a, the same
+//! function the sharded registry uses) to one of N shards, each an
+//! independent `RwLock` over a two-level `metric → origin → Series` map.
+//! Concurrent ingesting threads carrying different metrics proceed without
+//! contending; [`TelemetryService::with_shards`]`(1)` reproduces the old
+//! single-lock behavior for A/B benchmarking. Metric ids are interned
+//! `Arc<str>` end-to-end (agents sample them as `Arc<str>`), so a sample's
+//! journey from agent to series costs refcount bumps, not `String` +
+//! `ODataId` clones. Threshold rules are pre-grouped by metric id, so the
+//! per-sample check is one hash lookup instead of a scan of every rule.
 
 use crate::agent::AgentMetric;
 use crate::clock::Clock;
 use crate::events::EventService;
+use ofmf_obs::Counter;
 use parking_lot::RwLock;
 use redfish_model::odata::ODataId;
 use redfish_model::path::top;
@@ -18,10 +32,13 @@ use redfish_model::resources::Resource;
 use redfish_model::{RedfishResult, Registry};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Samples kept per series.
 pub const WINDOW: usize = 128;
+
+/// Default number of lock stripes in the series store.
+pub const DEFAULT_SHARDS: usize = 16;
 
 /// A threshold rule: alert when `metric` at any origin crosses `limit`.
 #[derive(Debug, Clone)]
@@ -32,6 +49,22 @@ pub struct Threshold {
     pub upper: f64,
     /// Severity attached to the alert.
     pub severity: String,
+}
+
+struct TelemetryMetrics {
+    /// `ofmf.telemetry.ingest.samples.total`
+    samples: Arc<Counter>,
+    /// `ofmf.telemetry.shard.contention` — ingest calls that found their
+    /// shard's lock held and had to wait.
+    contention: Arc<Counter>,
+}
+
+fn telemetry_metrics() -> &'static TelemetryMetrics {
+    static METRICS: OnceLock<TelemetryMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| TelemetryMetrics {
+        samples: ofmf_obs::counter("ofmf.telemetry.ingest.samples.total"),
+        contention: ofmf_obs::counter("ofmf.telemetry.shard.contention"),
+    })
 }
 
 #[derive(Debug, Default)]
@@ -105,11 +138,28 @@ pub struct ReportDefinition {
     pub aggregate: Aggregate,
 }
 
+/// One lock stripe: interned metric id → origin → series. The two-level
+/// shape means one `Arc<str>` key per metric (not per `(metric, origin)`
+/// pair) and metric-scoped scans (reports, thresholds) touch one entry.
+type Shard = RwLock<HashMap<Arc<str>, HashMap<ODataId, Series>>>;
+
+/// FNV-1a — the registry's shard hash, reused for metric ids.
+fn metric_hash(metric: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in metric.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// The telemetry service.
 pub struct TelemetryService {
     clock: Arc<Clock>,
-    series: RwLock<HashMap<(String, ODataId), Series>>,
-    thresholds: RwLock<Vec<Threshold>>,
+    shards: Box<[Shard]>,
+    /// Threshold rules pre-grouped by metric id: the per-sample check is a
+    /// single hash lookup, not a scan of every installed rule.
+    thresholds: RwLock<HashMap<String, Vec<Threshold>>>,
     definitions: RwLock<Vec<ReportDefinition>>,
     next_report: AtomicU64,
 }
@@ -117,13 +167,30 @@ pub struct TelemetryService {
 impl TelemetryService {
     /// New service using `clock` for sample timestamps.
     pub fn new(clock: Arc<Clock>) -> Self {
+        Self::with_shards_and_clock(DEFAULT_SHARDS, clock)
+    }
+
+    /// New service with an explicit stripe count. `with_shards(1)` is the
+    /// compat escape hatch: it keeps the pre-striping ingest pipeline —
+    /// one global lock, a freshly-cloned key per sample, a linear scan of
+    /// every threshold rule — as the measured A/B baseline (the telemetry
+    /// counterpart of [`EventService::with_linear_matching`]).
+    pub fn with_shards(self, n: usize) -> Self {
+        Self::with_shards_and_clock(n.max(1), self.clock)
+    }
+
+    fn with_shards_and_clock(n: usize, clock: Arc<Clock>) -> Self {
         TelemetryService {
             clock,
-            series: RwLock::new(HashMap::new()),
-            thresholds: RwLock::new(Vec::new()),
+            shards: (0..n.max(1)).map(|_| Shard::default()).collect(),
+            thresholds: RwLock::new(HashMap::new()),
             definitions: RwLock::new(Vec::new()),
             next_report: AtomicU64::new(1),
         }
+    }
+
+    fn shard_of(&self, metric: &str) -> &Shard {
+        &self.shards[(metric_hash(metric) % self.shards.len() as u64) as usize]
     }
 
     /// Install a report definition. Reports for it are generated by
@@ -142,11 +209,12 @@ impl TelemetryService {
         for d in defs {
             let seq = self.next_report.fetch_add(1, Ordering::AcqRel);
             let values: Vec<MetricValue> = {
-                let series = self.series.read();
-                let mut v: Vec<MetricValue> = series
-                    .iter()
-                    .filter(|((metric, _), _)| metric == &d.metric_id)
-                    .filter_map(|((_, origin), s)| {
+                let shard = self.shard_of(&d.metric_id).read();
+                let mut v: Vec<MetricValue> = shard
+                    .get(d.metric_id.as_str())
+                    .into_iter()
+                    .flatten()
+                    .filter_map(|(origin, s)| {
                         let (t, val) = match d.aggregate {
                             Aggregate::Latest => s.last()?,
                             Aggregate::Average => (self.clock.now_ms(), s.mean()),
@@ -181,27 +249,42 @@ impl TelemetryService {
 
     /// Install a threshold rule.
     pub fn add_threshold(&self, t: Threshold) {
-        self.thresholds.write().push(t);
+        self.thresholds.write().entry(t.metric_id.clone()).or_default().push(t);
     }
 
     /// Ingest a batch of agent samples. Threshold violations are published
     /// as `Alert` events on `events`. Returns the number of alerts raised.
+    ///
+    /// Samples are bucketed per shard so each stripe is locked exactly once
+    /// per batch, however large the batch; batches carrying disjoint metrics
+    /// ingest fully in parallel.
     pub fn ingest(&self, samples: &[AgentMetric], events: &EventService) -> usize {
+        let metrics = telemetry_metrics();
+        metrics.samples.add(samples.len() as u64);
         let now = self.clock.now_ms();
-        let mut alerts = 0;
-        {
-            let mut series = self.series.write();
-            for s in samples {
-                series
-                    .entry((s.metric_id.clone(), s.origin.clone()))
-                    .or_default()
-                    .push(now, s.value);
+        if self.shards.len() == 1 {
+            return self.ingest_compat(samples, events, now);
+        }
+        let mut buckets: Vec<Vec<&AgentMetric>> = vec![Vec::new(); self.shards.len()];
+        for s in samples {
+            buckets[(metric_hash(&s.metric_id) % self.shards.len() as u64) as usize].push(s);
+        }
+        for (i, bucket) in buckets.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                self.write_shard(&self.shards[i], bucket, now);
             }
         }
+        let mut alerts = 0;
         let thresholds = self.thresholds.read();
+        if thresholds.is_empty() {
+            return 0;
+        }
         for s in samples {
-            for t in thresholds.iter() {
-                if t.metric_id == s.metric_id && s.value > t.upper {
+            let Some(rules) = thresholds.get(&*s.metric_id) else {
+                continue;
+            };
+            for t in rules {
+                if s.value > t.upper {
                     events.publish(
                         EventType::Alert,
                         &s.origin,
@@ -215,25 +298,93 @@ impl TelemetryService {
         alerts
     }
 
-    /// Number of distinct series being tracked.
+    /// The pre-striping ingest pipeline, selected by `with_shards(1)`:
+    /// every sample allocates a fresh key into the (single) map — the old
+    /// store was keyed by cloned `(String, ODataId)` pairs — and every
+    /// sample is checked against every installed threshold rule. Observable
+    /// behavior is identical to the striped path; only the cost profile
+    /// differs, which is the point of keeping it.
+    fn ingest_compat(&self, samples: &[AgentMetric], events: &EventService, now: u64) -> usize {
+        {
+            let mut guard = self.shards[0].write();
+            for s in samples {
+                let key: Arc<str> = Arc::from(&*s.metric_id);
+                guard
+                    .entry(key)
+                    .or_default()
+                    .entry(s.origin.clone())
+                    .or_default()
+                    .push(now, s.value);
+            }
+        }
+        let mut alerts = 0;
+        let thresholds = self.thresholds.read();
+        for s in samples {
+            for t in thresholds.values().flatten() {
+                if t.metric_id.as_str() == &*s.metric_id && s.value > t.upper {
+                    events.publish(
+                        EventType::Alert,
+                        &s.origin,
+                        format!("{} = {:.2} exceeds limit {:.2}", s.metric_id, s.value, t.upper),
+                        &t.severity,
+                    );
+                    alerts += 1;
+                }
+            }
+        }
+        alerts
+    }
+
+    /// Push one bucket of samples under a single shard lock, counting the
+    /// acquisition as contended if the stripe was already held.
+    fn write_shard(&self, shard: &Shard, bucket: Vec<&AgentMetric>, now: u64) {
+        let mut guard = match shard.try_write() {
+            Some(g) => g,
+            None => {
+                telemetry_metrics().contention.inc();
+                shard.write()
+            }
+        };
+        for s in bucket {
+            let by_origin = match guard.get_mut(&*s.metric_id) {
+                Some(m) => m,
+                // First sighting of this metric id: intern it (one Arc
+                // refcount bump — the agent already holds it as Arc<str>).
+                None => guard.entry(Arc::clone(&s.metric_id)).or_default(),
+            };
+            // Origins are few and stable per metric; clone only on first
+            // sighting via the entry API.
+            match by_origin.get_mut(&s.origin) {
+                Some(series) => series.push(now, s.value),
+                None => by_origin.entry(s.origin.clone()).or_default().push(now, s.value),
+            }
+        }
+    }
+
+    /// Number of distinct `(metric, origin)` series being tracked.
     pub fn series_count(&self) -> usize {
-        self.series.read().len()
+        self.shards
+            .iter()
+            .map(|sh| sh.read().values().map(HashMap::len).sum::<usize>())
+            .sum()
     }
 
     /// Latest value of a series, if any.
     pub fn latest(&self, metric_id: &str, origin: &ODataId) -> Option<f64> {
-        self.series
+        self.shard_of(metric_id)
             .read()
-            .get(&(metric_id.to_string(), origin.clone()))
+            .get(metric_id)
+            .and_then(|m| m.get(origin))
             .and_then(|s| s.last())
             .map(|(_, v)| v)
     }
 
     /// Window mean of a series, if tracked.
     pub fn mean(&self, metric_id: &str, origin: &ODataId) -> Option<f64> {
-        self.series
+        self.shard_of(metric_id)
             .read()
-            .get(&(metric_id.to_string(), origin.clone()))
+            .get(metric_id)
+            .and_then(|m| m.get(origin))
             .map(Series::mean)
     }
 
@@ -243,22 +394,25 @@ impl TelemetryService {
         let seq = self.next_report.fetch_add(1, Ordering::AcqRel);
         let col = ODataId::new(top::METRIC_REPORTS);
         let id = format!("report{seq}");
-        let values: Vec<MetricValue> = {
-            let series = self.series.read();
-            let mut v: Vec<MetricValue> = series
-                .iter()
-                .filter_map(|((metric, origin), s)| {
-                    s.last().map(|(t, val)| MetricValue {
-                        metric_id: metric.clone(),
-                        metric_value: format!("{val}"),
-                        metric_property: origin.as_str().to_string(),
-                        timestamp_ms: t,
-                    })
-                })
-                .collect();
-            v.sort_by_key(|m| (m.metric_property.clone(), m.metric_id.clone()));
-            v
-        };
+        let mut values: Vec<MetricValue> = Vec::new();
+        for sh in self.shards.iter() {
+            let shard = sh.read();
+            for (metric, by_origin) in shard.iter() {
+                for (origin, s) in by_origin {
+                    if let Some((t, val)) = s.last() {
+                        values.push(MetricValue {
+                            metric_id: metric.to_string(),
+                            metric_value: format!("{val}"),
+                            metric_property: origin.as_str().to_string(),
+                            timestamp_ms: t,
+                        });
+                    }
+                }
+            }
+        }
+        values.sort_by(|a, b| {
+            (a.metric_property.as_str(), a.metric_id.as_str()).cmp(&(b.metric_property.as_str(), b.metric_id.as_str()))
+        });
         let report = MetricReport::new(&col, &id, seq, values);
         let rid = col.child(&id);
         reg.create(&rid, report.to_value())?;
@@ -283,7 +437,7 @@ mod tests {
 
     fn metric(id: &str, origin: &str, value: f64) -> AgentMetric {
         AgentMetric {
-            metric_id: id.to_string(),
+            metric_id: id.into(),
             origin: ODataId::new(origin),
             value,
         }
@@ -298,6 +452,25 @@ mod tests {
         assert_eq!(tel.series_count(), 1);
         assert_eq!(tel.latest("Temp", &ODataId::new("/redfish/v1/Chassis/c0")), Some(70.0));
         assert_eq!(tel.mean("Temp", &ODataId::new("/redfish/v1/Chassis/c0")), Some(60.0));
+    }
+
+    #[test]
+    fn single_shard_compat_behaves_identically() {
+        let (_reg, ev, tel, _clock) = setup();
+        let tel = tel.with_shards(1);
+        tel.ingest(
+            &[
+                metric("Temp", "/redfish/v1/Chassis/c0", 50.0),
+                metric("Power", "/redfish/v1/Chassis/c0", 120.0),
+                metric("Temp", "/redfish/v1/Chassis/c1", 40.0),
+            ],
+            &ev,
+        );
+        assert_eq!(tel.series_count(), 3);
+        assert_eq!(
+            tel.latest("Power", &ODataId::new("/redfish/v1/Chassis/c0")),
+            Some(120.0)
+        );
     }
 
     #[test]
@@ -317,6 +490,13 @@ mod tests {
         assert!(batch.events[0].message.contains("exceeds limit"));
         // Below threshold: no alert.
         assert_eq!(tel.ingest(&[metric("Temp", "/redfish/v1/Chassis/c0", 75.0)], &ev), 0);
+        // A rule on a different metric never fires for Temp samples.
+        tel.add_threshold(Threshold {
+            metric_id: "Power".into(),
+            upper: 0.0,
+            severity: "Warning".into(),
+        });
+        assert_eq!(tel.ingest(&[metric("Temp", "/redfish/v1/Chassis/c0", 79.0)], &ev), 0);
     }
 
     #[test]
@@ -387,10 +567,11 @@ mod tests {
             metric_id: "Temp".into(),
             aggregate: Aggregate::Minimum,
         });
-        tel.series.write().insert(
-            ("Temp".into(), ODataId::new("/redfish/v1/Chassis/c0")),
-            Series::default(),
-        );
+        tel.shard_of("Temp")
+            .write()
+            .entry(Arc::from("Temp"))
+            .or_default()
+            .insert(ODataId::new("/redfish/v1/Chassis/c0"), Series::default());
         let reports = tel.generate_defined_reports(&reg, &ev).unwrap();
         let body = reg.get(&reports[0]).unwrap().body;
         assert!(
@@ -409,5 +590,31 @@ mod tests {
         let mean = tel.mean("X", &ODataId::new("/redfish/v1/a")).unwrap();
         let expect: f64 = (50..WINDOW + 50).map(|i| i as f64).sum::<f64>() / WINDOW as f64;
         assert!((mean - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_ingest_across_metrics_is_consistent() {
+        let (_reg, ev, tel, _clock) = setup();
+        let tel = Arc::new(tel);
+        let ev = Arc::new(ev);
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let tel = Arc::clone(&tel);
+                let ev = Arc::clone(&ev);
+                std::thread::spawn(move || {
+                    let samples: Vec<AgentMetric> = (0..100)
+                        .map(|i| metric(&format!("M{t}"), "/redfish/v1/a", i as f64))
+                        .collect();
+                    tel.ingest(&samples, &ev);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(tel.series_count(), 8);
+        for t in 0..8 {
+            assert_eq!(tel.latest(&format!("M{t}"), &ODataId::new("/redfish/v1/a")), Some(99.0));
+        }
     }
 }

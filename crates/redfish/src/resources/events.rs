@@ -8,6 +8,7 @@
 use crate::odata::{Link, ODataId, ResourceHeader};
 use crate::resources::Resource;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
 
 /// Redfish event categories.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -123,6 +124,65 @@ impl Event {
     }
 }
 
+/// The serialized `Events` array of one fan-out, computed at most once and
+/// shared by every delivery of that fan-out (subscribers re-use the same
+/// bytes instead of each re-serializing the records).
+#[derive(Debug, Clone, Default)]
+pub struct SharedEventBody(Arc<OnceLock<Result<Arc<str>, String>>>);
+
+impl SharedEventBody {
+    /// A fresh, not-yet-serialized body cell.
+    pub fn new() -> Self {
+        SharedEventBody::default()
+    }
+
+    /// The records serialized as a JSON array, computing them on first use.
+    /// Every clone of this cell observes the same result.
+    fn get_or_serialize(&self, events: &[EventRecord]) -> Result<Arc<str>, String> {
+        self.0
+            .get_or_init(|| serde_json::to_string(events).map(Arc::from).map_err(|e| e.to_string()))
+            .clone()
+    }
+}
+
+/// The payload actually placed on a subscriber's delivery queue: one
+/// immutable batch of records shared (never deep-cloned) across every
+/// subscriber of a fan-out, plus a per-delivery batch id kept *out* of the
+/// shared body so each subscriber still sees a unique `Id`.
+#[derive(Debug, Clone)]
+pub struct EventEnvelope {
+    /// Per-delivery batch id (unique per subscriber per fan-out).
+    pub id: u64,
+    /// The records; an `Arc` slice so N subscribers share one allocation.
+    pub events: Arc<[EventRecord]>,
+    /// Serialized `Events` array, shared across the whole fan-out.
+    shared: SharedEventBody,
+}
+
+impl EventEnvelope {
+    /// Wrap a shared record batch for one delivery.
+    pub fn new(id: u64, events: Arc<[EventRecord]>, shared: SharedEventBody) -> Self {
+        EventEnvelope { id, events, shared }
+    }
+
+    /// The full Redfish `Event` wire document as a JSON string. The records
+    /// array is serialized once per fan-out and spliced in; only the tiny
+    /// envelope (type/id/name) is formatted per call.
+    pub fn wire_json(&self) -> Result<String, String> {
+        let records = self.shared.get_or_serialize(&self.events)?;
+        Ok(format!(
+            "{{\"@odata.type\":\"#Event.v1_7_0.Event\",\"Id\":\"{}\",\"Name\":\"OFMF Event Batch\",\"Events\":{records}}}",
+            self.id
+        ))
+    }
+
+    /// Materialize an owned [`Event`] (deep-clones the records; compat path
+    /// for consumers that need the serde struct).
+    pub fn to_event(&self) -> Event {
+        Event::batch(self.id, self.events.to_vec())
+    }
+}
+
 /// A subscription registered by a client.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EventDestination {
@@ -210,6 +270,32 @@ mod tests {
         for t in EventType::ALL {
             assert!(d.matches(t, &ODataId::new("/redfish/v1/Anything/x")));
         }
+    }
+
+    #[test]
+    fn envelope_wire_json_matches_owned_event() {
+        let rec = EventRecord::new(
+            EventType::Alert,
+            3,
+            &ODataId::new("/redfish/v1/Fabrics/CXL0"),
+            "link down",
+            "Critical",
+            99,
+        );
+        let records: Arc<[EventRecord]> = vec![rec.clone()].into();
+        let shared = SharedEventBody::new();
+        let e1 = EventEnvelope::new(41, Arc::clone(&records), shared.clone());
+        let e2 = EventEnvelope::new(42, records, shared);
+        let w1: serde_json::Value = serde_json::from_str(&e1.wire_json().unwrap()).unwrap();
+        let w2: serde_json::Value = serde_json::from_str(&e2.wire_json().unwrap()).unwrap();
+        // Same shared body, per-delivery ids.
+        assert_eq!(w1["Id"], "41");
+        assert_eq!(w2["Id"], "42");
+        assert_eq!(w1["Events"], w2["Events"]);
+        // Identical to the serde wire form of the owned Event.
+        let owned = serde_json::to_value(e1.to_event()).unwrap();
+        assert_eq!(w1, owned);
+        assert_eq!(w1["Events"][0]["Severity"], "Critical");
     }
 
     #[test]

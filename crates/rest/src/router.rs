@@ -6,7 +6,7 @@ use ofmf_core::Ofmf;
 use parking_lot::Mutex;
 use redfish_model::odata::{ETag, ODataId};
 use redfish_model::path::{in_service_tree, top};
-use redfish_model::resources::events::{Event, EventType};
+use redfish_model::resources::events::{EventEnvelope, EventType};
 use redfish_model::RedfishError;
 use serde_json::{json, Value};
 use std::collections::HashMap;
@@ -19,8 +19,10 @@ pub struct Router {
     /// must carry a valid `X-Auth-Token`.
     require_auth: bool,
     /// Delivery queues of REST-created subscriptions, drained via
-    /// `GET …/Subscriptions/{id}/Events`.
-    sub_queues: Mutex<HashMap<String, Receiver<Event>>>,
+    /// `GET …/Subscriptions/{id}/Events`. Receivers are `Arc`-shared so a
+    /// long-polling drain can block on its queue without holding the map
+    /// lock (other subscriptions keep draining concurrently).
+    sub_queues: Mutex<HashMap<String, Arc<Receiver<EventEnvelope>>>>,
 }
 
 impl Router {
@@ -88,9 +90,18 @@ impl Router {
             return resp;
         }
         // Subscription event drain: GET …/Subscriptions/{id}/Events
+        // (`?wait=<ms>` long-polls up to 10 s for the first batch).
         if let Some(parent) = path.parent() {
             if path.leaf() == "Events" && parent.as_str().starts_with(top::SUBSCRIPTIONS) {
-                return self.drain_subscription(parent.leaf());
+                let wait_ms = req
+                    .query
+                    .as_deref()
+                    .unwrap_or("")
+                    .split('&')
+                    .find_map(|kv| kv.strip_prefix("wait="))
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map(|ms| ms.min(10_000));
+                return self.drain_subscription(parent.leaf(), wait_ms);
             }
         }
         let opts = match crate::query::QueryOptions::parse(req.query.as_deref().unwrap_or("")) {
@@ -253,7 +264,7 @@ impl Router {
             .subscribe(&self.ofmf.registry, destination, event_types, origins)
         {
             Ok((id, rx)) => {
-                self.sub_queues.lock().insert(id.clone(), rx);
+                self.sub_queues.lock().insert(id.clone(), Arc::new(rx));
                 let sid = ODataId::new(top::SUBSCRIPTIONS).child(&id);
                 let (doc, _) = self.ofmf.get(&sid).unwrap_or((json!({}), ETag::INITIAL));
                 Response::json(201, &doc).with_header("Location", sid.as_str())
@@ -262,17 +273,25 @@ impl Router {
         }
     }
 
-    fn drain_subscription(&self, sub_id: &str) -> Response {
-        let queues = self.sub_queues.lock();
-        let Some(rx) = queues.get(sub_id) else {
-            return error_response(&RedfishError::NotFound(
-                ODataId::new(top::SUBSCRIPTIONS).child(sub_id).child("Events"),
-            ));
+    fn drain_subscription(&self, sub_id: &str, wait_ms: Option<u64>) -> Response {
+        // Clone the Arc and release the map lock immediately: a long-polling
+        // drain must never block other subscriptions (or new subscribes).
+        let rx = {
+            let queues = self.sub_queues.lock();
+            match queues.get(sub_id) {
+                Some(rx) => Arc::clone(rx),
+                None => {
+                    return error_response(&RedfishError::NotFound(
+                        ODataId::new(top::SUBSCRIPTIONS).child(sub_id).child("Events"),
+                    ))
+                }
+            }
         };
-        let mut batches = Vec::new();
-        while let Ok(ev) = rx.try_recv() {
-            match serde_json::to_value(&ev) {
-                Ok(v) => batches.push(v),
+        // The wire body was serialized once at fan-out; every subscriber of
+        // the batch (and every drain of it) splices the same bytes.
+        fn push(batches: &mut Vec<String>, sub_id: &str, ev: EventEnvelope) {
+            match ev.wire_json() {
+                Ok(json) => batches.push(json),
                 Err(e) => {
                     // No-panic-at-dispatch: a malformed event is dropped and
                     // counted, never allowed to kill a worker thread.
@@ -285,7 +304,33 @@ impl Router {
                 }
             }
         }
-        Response::json(200, &json!({"Events": batches, "Count": batches.len()}))
+        let mut batches: Vec<String> = Vec::new();
+        while let Ok(ev) = rx.try_recv() {
+            push(&mut batches, sub_id, ev);
+        }
+        // SSE-style long-poll: nothing queued yet — block (off the map lock)
+        // for the first batch, then sweep up whatever arrived with it.
+        if batches.is_empty() {
+            if let Some(ms) = wait_ms {
+                if let Ok(ev) = rx.recv_timeout(std::time::Duration::from_millis(ms)) {
+                    push(&mut batches, sub_id, ev);
+                    while let Ok(ev) = rx.try_recv() {
+                        push(&mut batches, sub_id, ev);
+                    }
+                }
+            }
+        }
+        // Splice the pre-serialized batches straight into the response body.
+        let mut body = Vec::with_capacity(batches.iter().map(String::len).sum::<usize>() + 32);
+        body.extend_from_slice(b"{\"Events\":[");
+        for (i, b) in batches.iter().enumerate() {
+            if i > 0 {
+                body.push(b',');
+            }
+            body.extend_from_slice(b.as_bytes());
+        }
+        body.extend_from_slice(format!("],\"Count\":{}}}", batches.len()).as_bytes());
+        Response::json_bytes(200, body)
     }
 }
 

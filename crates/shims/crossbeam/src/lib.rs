@@ -75,6 +75,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Why `recv_timeout` returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with the channel still empty.
+        Timeout,
+        /// Channel empty and all senders disconnected.
+        Disconnected,
+    }
+
     impl<T> fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("sending on a disconnected channel")
@@ -142,6 +151,28 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 shared = self.inner.not_empty.wait(shared).unwrap();
+            }
+        }
+
+        /// Receive, blocking up to `timeout` while the queue is empty and
+        /// senders remain.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut shared = self.inner.queue.lock().unwrap();
+            loop {
+                if let Some(v) = shared.items.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if shared.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero()) else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self.inner.not_empty.wait_timeout(shared, remaining).unwrap();
+                shared = guard;
             }
         }
 
@@ -245,6 +276,22 @@ pub mod channel {
             drop(rx);
             assert!(matches!(tx.try_send(5), Err(TrySendError::Disconnected(5))));
             assert!(tx.send(6).is_err());
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = bounded(1);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(10)), Ok(7));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]

@@ -55,7 +55,7 @@ fn main() {
     // The events the dashboard saw:
     println!("\nevents observed by the subscribed client:");
     while let Ok(batch) = events.try_recv() {
-        for e in batch.events {
+        for e in batch.events.iter() {
             if e.message.contains("grew") {
                 println!("  [{}] {} ({})", e.severity, e.message, e.origin_of_condition.odata_id);
             }

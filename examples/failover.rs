@@ -56,7 +56,7 @@ fn main() {
 
     println!("\nalerts delivered to the pager:");
     while let Ok(batch) = alerts.try_recv() {
-        for e in batch.events {
+        for e in batch.events.iter() {
             println!("  [{:8}] {}", e.severity, e.message);
         }
     }

@@ -206,6 +206,20 @@ fn stats(client: &mut HttpClient) -> Result<(), String> {
         metric("ofmf.events.dropped.total") as u64,
         p99_ms("ofmf.events.fanout.latency_ns.p99"),
     );
+    let candidates = metric("ofmf.events.index.candidates.total");
+    let skipped = metric("ofmf.events.index.skipped.total");
+    let scanned = candidates + skipped;
+    println!(
+        "               routing index: {} candidates visited, {} skipped ({:.0}% of subscriptions pruned)",
+        candidates as u64,
+        skipped as u64,
+        if scanned > 0.0 { 100.0 * skipped / scanned } else { 0.0 },
+    );
+    println!(
+        "telemetry:     {} samples ingested, {} contended shard acquisitions",
+        metric("ofmf.telemetry.ingest.samples.total") as u64,
+        metric("ofmf.telemetry.shard.contention") as u64,
+    );
     println!(
         "composer:      {} composed, {} rejected",
         metric("ofmf.composer.composed.total") as u64,

@@ -135,8 +135,8 @@ fn event_log_of_a_full_composition_lifecycle() {
 
     let mut messages = Vec::new();
     while let Ok(batch) = rx.try_recv() {
-        for e in batch.events {
-            messages.push(e.message);
+        for e in batch.events.iter() {
+            messages.push(e.message.clone());
         }
     }
     // The audit trail tells the whole story in order.
