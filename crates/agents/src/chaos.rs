@@ -191,6 +191,7 @@ impl Agent for ChaosAgent {
         let n = self.delivered.fetch_add(1, Ordering::AcqRel) + 1;
         if !self.crash_disarmed.load(Ordering::Acquire) && self.cfg.crash_after_ops.is_some_and(|limit| n > limit) {
             self.down.store(true, Ordering::Release);
+            // ofmf-lint: allow(no-panic-path, "deliberate fault injection: the chaos agent crashes on purpose")
             panic!("chaos: scheduled crash mid-op after {} delivered ops", n - 1);
         }
         if self.cfg.delay_ms > 0 {

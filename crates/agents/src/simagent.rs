@@ -226,6 +226,7 @@ impl SimAgent {
     /// Tree ids of switch / link / device resources (used in events and
     /// telemetry translation).
     fn switch_doc_id(&self, s: SwitchId, inner: &Inner) -> ODataId {
+        // ofmf-lint: allow(no-panic-path, "SwitchId was minted by this topology; ids are dense indices")
         let name = &inner.sim.topology().switches[s.index()].name;
         self.fabric_root().child("Switches").child(name)
     }
@@ -233,6 +234,7 @@ impl SimAgent {
     fn port_doc_id(&self, l: LinkId, inner: &Inner) -> ODataId {
         // A link's port doc lives under the first switch it touches.
         let topo = inner.sim.topology();
+        // ofmf-lint: allow(no-panic-path, "LinkId was minted by this topology; ids are dense indices")
         let edge = &topo.links[l.index()];
         let sw = match (edge.a, edge.b) {
             (fabric_sim::topology::Attach::Switch(s), _) => s,
@@ -243,6 +245,7 @@ impl SimAgent {
     }
 
     fn device_doc_id(&self, d: DeviceId, inner: &Inner) -> ODataId {
+        // ofmf-lint: allow(no-panic-path, "DeviceId was minted by this topology; ids are dense indices")
         let dev = &inner.sim.topology().devices[d.index()];
         match dev.kind {
             DeviceKind::ComputeNode { .. } => ODataId::new(top::SYSTEMS).child(&dev.name),
@@ -448,7 +451,11 @@ impl Agent for SimAgent {
                         }
                         other => RedfishError::Conflict(other.to_string()),
                     })?;
-                let handle = inner.sim.connection(cid).expect("just created").allocation;
+                let handle = inner
+                    .sim
+                    .connection(cid)
+                    .map_err(|e| RedfishError::Conflict(format!("connection {cid:?} vanished after create: {e}")))?
+                    .allocation;
                 let (mut aux_docs, payload) = self.materialize_payload(&inner, tep, handle, *size);
                 let cons_col = fabric_root.child("Connections");
                 let tree_id = cons_col.child(connection_id);

@@ -1,0 +1,197 @@
+//! # ofmf-analysis
+//!
+//! `ofmf-lint`: a dependency-free static-analysis pass that machine-checks
+//! the repo invariants the OFMF's concurrency and reliability work relies
+//! on. See [`rules`] for the rule set and the README's "Static analysis &
+//! concurrency checking" section for the operational story.
+//!
+//! The library surface exists so the fixture tests can lint snippets
+//! under controlled virtual paths; the binary walks the real workspace:
+//!
+//! ```text
+//! cargo run -p ofmf-analysis            # lint the workspace, exit 1 on findings
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod scan;
+
+use scan::FileScan;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// A whole-workspace lint run, fed file by file.
+#[derive(Default)]
+pub struct Analysis {
+    files: Vec<(String, FileScan)>,
+    readme_refs: Vec<(String, usize, String)>,
+}
+
+impl Analysis {
+    /// Empty analysis.
+    pub fn new() -> Analysis {
+        Analysis::default()
+    }
+
+    /// Add a Rust source file under its repo-relative `path` (the path
+    /// decides which rules apply).
+    pub fn add_rust_file(&mut self, path: &str, source: &str) {
+        self.files.push((path.to_string(), FileScan::new(source)));
+    }
+
+    /// Add the README; its backticked `ofmf.…` ids become references the
+    /// definitions must cover.
+    pub fn add_readme(&mut self, path: &str, content: &str) {
+        rules::collect_readme_refs(path, content, &mut self.readme_refs);
+    }
+
+    /// Run every rule, apply `allow` escapes, and return the surviving
+    /// diagnostics sorted by file and line.
+    pub fn finish(self) -> Vec<Diagnostic> {
+        let mut raw: Vec<Diagnostic> = Vec::new();
+        let mut defs = Vec::new();
+        let mut refs = self.readme_refs.clone();
+        for (path, scan) in &self.files {
+            rules::file_rules(path, scan, &mut raw);
+            rules::collect_metric_defs(path, scan, &mut defs);
+            rules::collect_cli_refs(path, scan, &mut refs);
+        }
+        rules::obs_name_convention(&defs, &refs, &mut raw);
+
+        // Apply allow escapes: an allow with a valid rule and reason on the
+        // diagnostic's line (or the line above) suppresses it.
+        let mut out: Vec<Diagnostic> = Vec::new();
+        let mut used = std::collections::HashSet::new(); // (file, allow line)
+        for d in raw {
+            let allows = self
+                .files
+                .iter()
+                .find(|(p, _)| *p == d.file)
+                .map(|(_, s)| &s.allows[..])
+                .unwrap_or(&[]);
+            let suppressed = allows.iter().any(|a| {
+                let applies = a.line == d.line || a.line + 1 == d.line;
+                let valid = a.problem.is_none() && a.rule == d.rule;
+                if applies && valid {
+                    used.insert((d.file.clone(), a.line));
+                    true
+                } else {
+                    false
+                }
+            });
+            if !suppressed {
+                out.push(d);
+            }
+        }
+        // Directive hygiene: malformed, unknown-rule, or unused escapes are
+        // themselves diagnostics — escapes must stay justified and live.
+        for (path, scan) in &self.files {
+            for a in &scan.allows {
+                if let Some(problem) = &a.problem {
+                    out.push(Diagnostic {
+                        file: path.clone(),
+                        line: a.line,
+                        rule: "bad-allow",
+                        message: problem.clone(),
+                    });
+                } else if !rules::RULES.contains(&a.rule.as_str()) {
+                    out.push(Diagnostic {
+                        file: path.clone(),
+                        line: a.line,
+                        rule: "bad-allow",
+                        message: format!("unknown rule \"{}\" in allow escape", a.rule),
+                    });
+                } else if !used.contains(&(path.clone(), a.line)) {
+                    out.push(Diagnostic {
+                        file: path.clone(),
+                        line: a.line,
+                        rule: "unused-allow",
+                        message: format!("allow({}) suppresses nothing; remove it", a.rule),
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        out
+    }
+}
+
+/// Lint the workspace rooted at `root`: every `src/` file of the umbrella
+/// crate and of `crates/*` (the shims are vendored API stand-ins, not OFMF
+/// code), plus the README's metric references.
+///
+/// Returns `(diagnostics, files_scanned)`.
+pub fn run_repo(root: &Path) -> Result<(Vec<Diagnostic>, usize), String> {
+    let mut analysis = Analysis::new();
+    let mut sources: Vec<PathBuf> = Vec::new();
+    collect_rs(&root.join("src"), &mut sources)?;
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir).map_err(|e| format!("{}: {e}", crates_dir.display()))?;
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.is_dir() && path.file_name().map(|n| n != "shims").unwrap_or(false) {
+            crate_dirs.push(path);
+        }
+    }
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), &mut sources)?;
+    }
+    sources.sort();
+    let count = sources.len();
+    for path in sources {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|e| e.to_string())?
+            .to_string_lossy()
+            .replace('\\', "/");
+        analysis.add_rust_file(&rel, &text);
+    }
+    let readme = root.join("README.md");
+    if readme.is_file() {
+        let text = std::fs::read_to_string(&readme).map_err(|e| format!("{}: {e}", readme.display()))?;
+        analysis.add_readme("README.md", &text);
+    }
+    Ok((analysis.finish(), count))
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! `ofmf-lint` — deny-by-default repo-invariant linting for the OFMF
+//! workspace. Exit codes: 0 clean, 1 diagnostics found, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("ofmf-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "ofmf-lint [--root <workspace dir>]\n\n\
+                     Enforces the OFMF repo invariants (deny-by-default):\n\
+                     no-panic-path, no-std-sync, obs-name-convention, atomic-ordering-audit.\n\
+                     Escape hatch: // ofmf-lint: allow(<rule>, \"<reason>\")"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ofmf-lint: unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match ofmf_analysis::run_repo(&root) {
+        Ok((diags, files)) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("ofmf-lint: {files} files scanned, {} diagnostic(s)", diags.len());
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("ofmf-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Source scanning: comment/string masking, `#[cfg(test)]` region
+//! detection and `ofmf-lint: allow(...)` directive parsing.
+//!
+//! The scanner is deliberately token-free: it walks the source once with a
+//! small state machine, replacing comment and string-literal *contents*
+//! with spaces (delimiters and line structure are preserved, so every
+//! diagnostic keeps its original `line:column`). Rules then run over the
+//! masked text, where `.unwrap()` inside a string or a doc example can no
+//! longer produce a false positive, while the collected literal table
+//! still carries the real string contents for the naming rules.
+
+/// A string literal collected during masking.
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// 1-based line of the opening quote.
+    pub line: usize,
+    /// Byte offset of the opening quote within the whole masked text.
+    pub start: usize,
+    /// The literal's (unescaped-enough) content. Escape sequences are kept
+    /// verbatim; metric names never contain escapes.
+    pub content: String,
+}
+
+/// One `// ofmf-lint: allow(<rule>, "<reason>")` directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 1-based line the directive appears on.
+    pub line: usize,
+    /// Rule name inside `allow(...)`.
+    pub rule: String,
+    /// The quoted reason, if present and non-empty.
+    pub reason: Option<String>,
+    /// Parse problem, if any (missing reason, bad syntax).
+    pub problem: Option<String>,
+}
+
+/// The scan of one source file.
+#[derive(Debug)]
+pub struct FileScan {
+    /// Masked source: comments and string contents blanked, structure kept.
+    pub masked: String,
+    /// Per-line masked text (1-based access via `line - 1`).
+    pub masked_lines: Vec<String>,
+    /// String literals with their positions.
+    pub strings: Vec<StrLit>,
+    /// `test_lines[i]` is true when line `i + 1` is inside a
+    /// `#[cfg(test)]` item.
+    pub test_lines: Vec<bool>,
+    /// Allow directives found in the file.
+    pub allows: Vec<Allow>,
+}
+
+impl FileScan {
+    /// Scan `source`.
+    pub fn new(source: &str) -> FileScan {
+        let (masked, strings, comments) = mask(source);
+        let masked_lines: Vec<String> = masked.split('\n').map(str::to_string).collect();
+        let test_lines = test_regions(&masked, masked_lines.len());
+        let allows = parse_allows(source, &comments);
+        FileScan {
+            masked,
+            masked_lines,
+            strings,
+            test_lines,
+            allows,
+        }
+    }
+
+    /// True when 1-based `line` lies inside a `#[cfg(test)]` region.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.get(line.saturating_sub(1)).copied().unwrap_or(false)
+    }
+}
+
+/// Mask comments and string contents with spaces; returns the masked text,
+/// the collected string literals, and `(line, column)` of every real line
+/// comment (so directives embedded in doc prose or string literals are not
+/// mistaken for live `allow` escapes).
+fn mask(source: &str) -> (String, Vec<StrLit>, Vec<(usize, usize)>) {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut strings = Vec::new();
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut line_start = 0usize; // offset of the current line within `out`
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            out.push(b'\n');
+            line += 1;
+            line_start = out.len();
+            i += 1;
+        } else if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            // Line comment: mask to end of line.
+            comments.push((line, out.len() - line_start));
+            while i < bytes.len() && bytes[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+        } else if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            // Block comment, nested.
+            let mut depth = 1usize;
+            out.push(b' ');
+            out.push(b' ');
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'\n' {
+                    out.push(b'\n');
+                    line += 1;
+                    line_start = out.len();
+                    i += 1;
+                } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        } else if c == b'"' {
+            let (content, next, lines_crossed) = scan_string(bytes, i + 1, 0);
+            strings.push(StrLit {
+                line,
+                start: out.len(),
+                content,
+            });
+            out.push(b'"');
+            mask_span(bytes, i + 1, next, &mut out);
+            line += lines_crossed;
+            if lines_crossed > 0 {
+                line_start = out.iter().rposition(|&b| b == b'\n').map(|p| p + 1).unwrap_or(0);
+            }
+            i = next;
+        } else if (c == b'r' || c == b'b') && is_raw_or_byte_string(bytes, i) {
+            // r"..", r#".."#, b"..", br".." — find the opening quote.
+            let mut j = i;
+            while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') {
+                out.push(bytes[j]);
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while j < bytes.len() && bytes[j] == b'#' {
+                out.push(b'#');
+                hashes += 1;
+                j += 1;
+            }
+            // `bytes[j]` is the opening quote (guaranteed by the guard).
+            let raw = source.as_bytes()[i] == b'r' || (bytes[i] == b'b' && i + 1 < bytes.len() && bytes[i + 1] == b'r');
+            let (content, next, lines_crossed) = if raw {
+                scan_raw_string(bytes, j + 1, hashes)
+            } else {
+                scan_string(bytes, j + 1, 0)
+            };
+            strings.push(StrLit {
+                line,
+                start: out.len(),
+                content,
+            });
+            out.push(b'"');
+            mask_span(bytes, j + 1, next, &mut out);
+            line += lines_crossed;
+            if lines_crossed > 0 {
+                line_start = out.iter().rposition(|&b| b == b'\n').map(|p| p + 1).unwrap_or(0);
+            }
+            i = next;
+        } else if c == b'\'' {
+            // Char literal vs lifetime.
+            if let Some(next) = char_literal_end(bytes, i) {
+                out.push(b'\'');
+                mask_span(bytes, i + 1, next, &mut out);
+                i = next;
+            } else {
+                out.push(b'\'');
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    (String::from_utf8_lossy(&out).into_owned(), strings, comments)
+}
+
+/// Copy the span `[from, to)` into `out` as spaces (newlines preserved),
+/// keeping a closing quote if the span ends with one.
+fn mask_span(bytes: &[u8], from: usize, to: usize, out: &mut Vec<u8>) {
+    for (k, &b) in bytes.iter().enumerate().take(to).skip(from) {
+        if b == b'\n' {
+            out.push(b'\n');
+        } else if b == b'"' && k + 1 == to {
+            out.push(b'"');
+        } else if k + 1 == to && b == b'#' {
+            out.push(b'#');
+        } else {
+            out.push(b' ');
+        }
+    }
+}
+
+/// Scan an escaped string from just past the opening quote; returns
+/// `(content, index past closing quote, newlines crossed)`.
+fn scan_string(bytes: &[u8], mut i: usize, _hashes: usize) -> (String, usize, usize) {
+    let start = i;
+    let mut lines = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                let content = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+                return (content, i + 1, lines);
+            }
+            b'\n' => {
+                lines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (
+        String::from_utf8_lossy(&bytes[start..]).into_owned(),
+        bytes.len(),
+        lines,
+    )
+}
+
+/// Scan a raw string (`hashes` trailing `#`s close it).
+fn scan_raw_string(bytes: &[u8], mut i: usize, hashes: usize) -> (String, usize, usize) {
+    let start = i;
+    let mut lines = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if i + 1 + k >= bytes.len() || bytes[i + 1 + k] != b'#' {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                let content = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+                return (content, i + 1 + hashes, lines);
+            }
+        }
+        if bytes[i] == b'\n' {
+            lines += 1;
+        }
+        i += 1;
+    }
+    (
+        String::from_utf8_lossy(&bytes[start..]).into_owned(),
+        bytes.len(),
+        lines,
+    )
+}
+
+/// Does `bytes[i..]` start a raw/byte string literal (`r"`, `r#`, `b"`,
+/// `br"`, `br#`)? Guards against identifiers ending in `r`/`b` by the
+/// caller checking the *preceding* character — here we only check shape.
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    // Reject when part of an identifier, e.g. `for`, `attr"` never occurs.
+    if i > 0 {
+        let p = bytes[i - 1];
+        if p.is_ascii_alphanumeric() || p == b'_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'r' {
+        j += 1;
+    }
+    if j == i {
+        return false;
+    }
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"' && j > i
+}
+
+/// If `bytes[i] == '\''` begins a char literal, return the index just past
+/// its closing quote; `None` when it is a lifetime.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j >= bytes.len() {
+        return None;
+    }
+    if bytes[j] == b'\\' {
+        // Escape: skip the backslash and the escape body up to the quote.
+        j += 2;
+        while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+            j += 1;
+        }
+        return if j < bytes.len() && bytes[j] == b'\'' {
+            Some(j + 1)
+        } else {
+            None
+        };
+    }
+    // Multi-byte UTF-8 chars: advance one char.
+    let width = utf8_width(bytes[j]);
+    j += width;
+    if j < bytes.len() && bytes[j] == b'\'' {
+        Some(j + 1)
+    } else {
+        None
+    }
+}
+
+fn utf8_width(b: u8) -> usize {
+    if b < 0x80 {
+        1
+    } else if b >> 5 == 0b110 {
+        2
+    } else if b >> 4 == 0b1110 {
+        3
+    } else {
+        4
+    }
+}
+
+/// Mark every line belonging to a `#[cfg(test)]` item.
+fn test_regions(masked: &str, n_lines: usize) -> Vec<bool> {
+    let mut flags = vec![false; n_lines];
+    let bytes = masked.as_bytes();
+    let mut search = 0usize;
+    while let Some(pos) = find_from(masked, "#[cfg(test)]", search) {
+        search = pos + 1;
+        let start_line = line_of(bytes, pos);
+        // Skip any further attributes, then find the item's extent.
+        let mut i = pos + "#[cfg(test)]".len();
+        loop {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'#' {
+                // Another attribute: skip to its closing bracket.
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // The item runs to the first `;` at depth 0 or the matching `}` of
+        // its first `{`.
+        let mut depth = 0usize;
+        let mut end = bytes.len();
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = i;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end = i;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let end_line = line_of(bytes, end.min(bytes.len().saturating_sub(1)));
+        for l in start_line..=end_line.min(n_lines) {
+            if l >= 1 {
+                flags[l - 1] = true;
+            }
+        }
+    }
+    flags
+}
+
+fn find_from(haystack: &str, needle: &str, from: usize) -> Option<usize> {
+    haystack.get(from..).and_then(|h| h.find(needle)).map(|p| p + from)
+}
+
+fn line_of(bytes: &[u8], pos: usize) -> usize {
+    1 + bytes.iter().take(pos).filter(|&&b| b == b'\n').count()
+}
+
+/// Parse `ofmf-lint: allow(rule, "reason")` directives. Only a directive
+/// that *starts* a real line comment counts — the comment positions come
+/// from the masking state machine, so directive text quoted in doc prose
+/// or string literals is never parsed.
+fn parse_allows(source: &str, comments: &[(usize, usize)]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = source.split('\n').collect();
+    for &(line, col) in comments {
+        let Some(raw) = lines.get(line - 1) else { continue };
+        let Some(comment) = raw.get(col..) else { continue };
+        // Strip the comment opener and any doc-comment sigils.
+        let text = comment.trim_start_matches(['/', '!']).trim_start();
+        let Some(rest) = text.strip_prefix("ofmf-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            out.push(Allow {
+                line,
+                rule: String::new(),
+                reason: None,
+                problem: Some("directive must be `allow(<rule>, \"<reason>\")`".to_string()),
+            });
+            continue;
+        };
+        let Some(close) = args.rfind(')') else {
+            out.push(Allow {
+                line,
+                rule: String::new(),
+                reason: None,
+                problem: Some("unclosed allow(...) directive".to_string()),
+            });
+            continue;
+        };
+        let inner = &args[..close];
+        let (rule, reason, problem) = match inner.find(',') {
+            Some(comma) => {
+                let rule = inner[..comma].trim().to_string();
+                let rtext = inner[comma + 1..].trim();
+                if rtext.len() >= 2 && rtext.starts_with('"') && rtext.ends_with('"') && rtext.len() > 2 {
+                    (rule, Some(rtext[1..rtext.len() - 1].to_string()), None)
+                } else {
+                    (
+                        rule,
+                        None,
+                        Some("allow escape must carry a non-empty quoted reason".to_string()),
+                    )
+                }
+            }
+            None => (
+                inner.trim().to_string(),
+                None,
+                Some("allow escape must carry a non-empty quoted reason".to_string()),
+            ),
+        };
+        out.push(Allow {
+            line,
+            rule,
+            reason,
+            problem,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let s = FileScan::new("let x = \"a.unwrap()\"; // .unwrap()\nlet y = 1;\n");
+        assert!(!s.masked.contains("unwrap"));
+        assert_eq!(s.strings.len(), 1);
+        assert_eq!(s.strings[0].content, "a.unwrap()");
+    }
+
+    #[test]
+    fn detects_test_mod_extent() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let s = FileScan::new(src);
+        assert!(!s.is_test_line(1));
+        assert!(s.is_test_line(2));
+        assert!(s.is_test_line(4));
+        assert!(s.is_test_line(5));
+        assert!(!s.is_test_line(6));
+    }
+
+    #[test]
+    fn parses_allow_directives() {
+        let src =
+            "x(); // ofmf-lint: allow(no-panic-path, \"provably in bounds\")\ny(); // ofmf-lint: allow(no-std-sync)\n";
+        let s = FileScan::new(src);
+        assert_eq!(s.allows.len(), 2);
+        assert_eq!(s.allows[0].rule, "no-panic-path");
+        assert_eq!(s.allows[0].reason.as_deref(), Some("provably in bounds"));
+        assert!(s.allows[0].problem.is_none());
+        assert!(s.allows[1].problem.is_some());
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes() {
+        let s = FileScan::new("let c = '\\n'; let l: &'static str = \"x\"; let q = 'a';\n");
+        // Lifetime survives, char contents masked — most importantly the
+        // scan terminates and the string is collected.
+        assert_eq!(s.strings.len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_collected() {
+        let s = FileScan::new("let r = r#\"panic!(\"inner\")\"#;\n");
+        assert!(!s.masked.contains("panic!"));
+        assert_eq!(s.strings.len(), 1);
+        assert!(s.strings[0].content.contains("panic!"));
+    }
+}

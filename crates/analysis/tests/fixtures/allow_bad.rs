@@ -1,0 +1,7 @@
+// Fixture: malformed escapes are diagnostics themselves and suppress nothing.
+pub fn f(o: Option<u32>) -> u32 {
+    // ofmf-lint: allow(no-panic-path)
+    let a = o.unwrap();
+    // ofmf-lint: allow(not-a-rule, "reason text")
+    a
+}

@@ -1,0 +1,5 @@
+// Fixture: a valid allow escape suppresses the finding.
+pub fn f(o: Option<u32>) -> u32 {
+    // ofmf-lint: allow(no-panic-path, "fixture: value is always Some")
+    o.unwrap()
+}

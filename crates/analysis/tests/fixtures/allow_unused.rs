@@ -1,0 +1,5 @@
+// Fixture: an escape that suppresses nothing must be reported as dead.
+// ofmf-lint: allow(no-std-sync, "nothing here touches std sync")
+pub fn f() -> u32 {
+    41 + 1
+}

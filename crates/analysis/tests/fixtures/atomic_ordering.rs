@@ -1,0 +1,7 @@
+// Fixture: Relaxed load/store flagged as cross-thread handoff hazards.
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn f(flag: &AtomicBool) -> bool {
+    flag.store(true, Ordering::Relaxed);
+    flag.load(Ordering::Relaxed)
+}

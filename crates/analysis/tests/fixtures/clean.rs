@@ -1,0 +1,22 @@
+// Fixture: clean production code; the test module below may panic freely.
+use parking_lot::Mutex;
+
+pub fn add(a: u32, b: u32) -> u32 {
+    a.saturating_add(b)
+}
+
+pub fn guarded() -> u32 {
+    static CELL: Mutex<u32> = Mutex::new(3);
+    *CELL.lock()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let xs = [1, 2, 3];
+        assert_eq!(xs[0], 1);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: every panic path the rule must catch, one per line.
+pub fn f(xs: &[u32], o: Option<u32>) -> u32 {
+    let a = o.unwrap();
+    let b = o.expect("present");
+    if a > b {
+        panic!("boom");
+    }
+    xs[0] + a
+}

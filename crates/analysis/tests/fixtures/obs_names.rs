@@ -1,0 +1,7 @@
+// Fixture: metric-name convention violations.
+pub fn setup() {
+    let _a = ofmf_obs::counter("Bad.Name.Total");
+    let _b = ofmf_obs::counter("ofmf.short");
+    let _c = ofmf_obs::gauge("ofmf.demo.value");
+    let _d = ofmf_obs::counter("ofmf.demo.value");
+}

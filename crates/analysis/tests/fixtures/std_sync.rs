@@ -1,0 +1,10 @@
+// Fixture: std::sync primitives bypassing the parking_lot shim.
+use std::sync::Mutex;
+
+pub fn f() -> u32 {
+    let l = std::sync::RwLock::new(1u32);
+    let g = Mutex::new(2u32);
+    let a = *l.read().unwrap_or_else(|e| e.into_inner());
+    let b = *g.lock().unwrap_or_else(|e| e.into_inner());
+    a + b
+}

@@ -1,0 +1,146 @@
+//! Fixture tests: each known-bad snippet under `tests/fixtures/` must
+//! trigger exactly its rule, valid `allow` escapes must suppress, and
+//! malformed or dead escapes must themselves be reported.
+
+use ofmf_analysis::{Analysis, Diagnostic};
+
+/// Lint a single fixture under a virtual repo path.
+fn lint_one(path: &str, source: &str) -> Vec<Diagnostic> {
+    let mut a = Analysis::new();
+    a.add_rust_file(path, source);
+    a.finish()
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn no_panic_path_fixture_triggers_only_that_rule() {
+    let diags = lint_one("crates/core/src/fixture.rs", include_str!("fixtures/no_panic_path.rs"));
+    assert_eq!(diags.len(), 4, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "no-panic-path"), "{diags:?}");
+    let lines: Vec<usize> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![3, 4, 6, 8], "unwrap, expect, panic!, xs[0]");
+}
+
+#[test]
+fn no_panic_path_only_applies_to_production_crates() {
+    // Same panicking source outside the production-crate scope: clean.
+    let diags = lint_one("crates/bench/src/fixture.rs", include_str!("fixtures/no_panic_path.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn std_sync_fixture_triggers_only_that_rule() {
+    let diags = lint_one("crates/fabric/src/fixture.rs", include_str!("fixtures/std_sync.rs"));
+    assert_eq!(rules_of(&diags), vec!["no-std-sync", "no-std-sync"], "{diags:?}");
+    assert_eq!(diags[0].line, 2, "use std::sync::Mutex import");
+    assert_eq!(diags[1].line, 5, "direct std::sync::RwLock use");
+}
+
+#[test]
+fn obs_names_fixture_triggers_only_that_rule() {
+    let diags = lint_one("crates/obs/src/fixture.rs", include_str!("fixtures/obs_names.rs"));
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "obs-name-convention"), "{diags:?}");
+    assert!(diags[0].message.contains("ofmf."), "bad prefix: {}", diags[0].message);
+    assert!(diags[1].message.contains("segment"), "too short: {}", diags[1].message);
+    assert!(
+        diags[2].message.contains("already defined"),
+        "dup: {}",
+        diags[2].message
+    );
+}
+
+#[test]
+fn atomic_ordering_fixture_triggers_only_that_rule() {
+    let diags = lint_one(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/atomic_ordering.rs"),
+    );
+    assert_eq!(
+        rules_of(&diags),
+        vec!["atomic-ordering-audit", "atomic-ordering-audit"],
+        "{diags:?}"
+    );
+    assert_eq!(diags[0].line, 5, "store");
+    assert_eq!(diags[1].line, 6, "load");
+}
+
+#[test]
+fn valid_allow_suppresses_the_finding() {
+    let diags = lint_one("crates/core/src/fixture.rs", include_str!("fixtures/allow_ok.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn malformed_and_unknown_allows_are_reported_and_suppress_nothing() {
+    let diags = lint_one("crates/core/src/fixture.rs", include_str!("fixtures/allow_bad.rs"));
+    let mut rules = rules_of(&diags);
+    rules.sort_unstable();
+    assert_eq!(rules, vec!["bad-allow", "bad-allow", "no-panic-path"], "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.rule == "no-panic-path" && d.line == 4),
+        "reason-less allow must not suppress the unwrap: {diags:?}"
+    );
+}
+
+#[test]
+fn dead_allow_is_reported_as_unused() {
+    let diags = lint_one("crates/core/src/fixture.rs", include_str!("fixtures/allow_unused.rs"));
+    assert_eq!(rules_of(&diags), vec!["unused-allow"], "{diags:?}");
+}
+
+#[test]
+fn clean_fixture_has_no_findings_and_test_code_is_exempt() {
+    let diags = lint_one("crates/core/src/fixture.rs", include_str!("fixtures/clean.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn cli_and_readme_references_must_resolve_against_definitions() {
+    let mut a = Analysis::new();
+    a.add_rust_file(
+        "crates/obs/src/defs.rs",
+        r#"
+pub fn setup() {
+    let _c = ofmf_obs::counter("ofmf.demo.requests.total");
+    let _h = ofmf_obs::histogram("ofmf.demo.latency_ns");
+    let _t = ofmf_obs::counter(&format!("ofmf.demo.{kind}.errors"));
+}
+"#,
+    );
+    a.add_rust_file(
+        "src/bin/ofmf_cli.rs",
+        r#"
+fn stats() {
+    metric("ofmf.demo.requests.total");
+    metric("ofmf.demo.latency_ns.p99");
+    metric("ofmf.demo.timeout.errors");
+    metric("ofmf.demo.requests.missing");
+}
+"#,
+    );
+    a.add_readme(
+        "README.md",
+        "The `ofmf.demo.latency_ns` histogram and `ofmf.nothing.defines.this` id.\n",
+    );
+    let diags = a.finish();
+    // Exactly the two unresolvable references: literal + histogram-suffix +
+    // template references all resolve; the missing CLI and README ids fail.
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "obs-name-convention"), "{diags:?}");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.file == "src/bin/ofmf_cli.rs" && d.message.contains("ofmf.demo.requests.missing")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.file == "README.md" && d.message.contains("ofmf.nothing.defines.this")),
+        "{diags:?}"
+    );
+}

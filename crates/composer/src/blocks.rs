@@ -48,6 +48,7 @@ fn block_doc(id: &str, kind: BlockKind, backing: &ODataId, composed: bool, capac
         "Oem": {"OFMF": {"Backing": {"@odata.id": backing.as_str()}}},
     });
     if let Some((member, v)) = capacity {
+        // ofmf-lint: allow(no-panic-path, "Value str indexing is total: index_or_insert auto-vivifies objects")
         doc["Oem"]["OFMF"][member] = json!(v);
     }
     doc

@@ -65,6 +65,7 @@ fn composer_metrics() -> &'static ComposerMetrics {
         compose_latency: std::array::from_fn(|i| {
             ofmf_obs::histogram(&format!(
                 "ofmf.composer.compose.{}.latency_ns",
+                // ofmf-lint: allow(no-panic-path, "from_fn passes i < N and Strategy::ALL has N entries")
                 Strategy::ALL[i].label()
             ))
         }),
@@ -137,6 +138,7 @@ impl Composer {
     /// cannot cover it. All-or-nothing: partial bindings are rolled back.
     pub fn compose(&self, request: &CompositionRequest) -> RedfishResult<ComposedSystem> {
         let metrics = composer_metrics();
+        // ofmf-lint: allow(no-panic-path, "strategy.index() enumerates Strategy::ALL, the array's length")
         let _span = ofmf_obs::Trace::begin(&metrics.compose_latency[self.strategy.index()]);
         let result = self.compose_inner(request);
         match &result {
@@ -184,6 +186,7 @@ impl Composer {
                         ))
                     })?;
                 for (idx, size) in plan {
+                    // ofmf-lint: allow(no-panic-path, "spread_plan yields indices into the eligible slice it was given")
                     let p = eligible[idx];
                     planned.push((
                         p.fabric.clone(),
@@ -376,8 +379,10 @@ impl Composer {
         };
         // The materialized resource is what the connection references.
         let conn_body = self.ofmf.registry.get(&connection)?.body;
+        // ofmf-lint: allow(no-panic-path, "Value usize indexing is total; out-of-range yields Null")
         let resource = conn_body["MemoryChunkInfo"][0]["Resource"]["@odata.id"]
             .as_str()
+            // ofmf-lint: allow(no-panic-path, "Value usize indexing is total; out-of-range yields Null")
             .or_else(|| conn_body["VolumeInfo"][0]["Resource"]["@odata.id"].as_str())
             .or_else(|| conn_body["Oem"]["OFMF"]["Resource"]["@odata.id"].as_str())
             .map(ODataId::new)

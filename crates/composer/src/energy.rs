@@ -174,6 +174,7 @@ pub fn wake_backing(composer: &Composer, target_endpoint: &ODataId) -> bool {
         .get(target_endpoint)
         .ok()
         .and_then(|s| {
+            // ofmf-lint: allow(no-panic-path, "Value usize indexing is total; out-of-range yields Null")
             s.body["ConnectedEntities"][0]["EntityLink"]["@odata.id"]
                 .as_str()
                 .map(ODataId::new)

@@ -162,6 +162,7 @@ impl RoutingIndex {
     fn insert(&mut self, sub: &Arc<Subscription>) {
         let keys = origin_keys(&sub.dest);
         for ti in type_slots(&sub.dest) {
+            // ofmf-lint: allow(no-panic-path, "type_slots maps the 6 EventType variants to 0..6, the bucket count")
             let bucket = &mut self.buckets[ti];
             match &keys {
                 None => bucket.any_origin.push(Arc::clone(sub)),
@@ -177,6 +178,7 @@ impl RoutingIndex {
     fn remove(&mut self, sub: &Subscription) {
         let keys = origin_keys(&sub.dest);
         for ti in type_slots(&sub.dest) {
+            // ofmf-lint: allow(no-panic-path, "type_slots maps the 6 EventType variants to 0..6, the bucket count")
             let bucket = &mut self.buckets[ti];
             match &keys {
                 None => bucket.any_origin.retain(|s| s.id != sub.id),
@@ -366,6 +368,7 @@ impl EventService {
                 self.deliver(sub, &records, &shared, &mut delivered, &mut newly_lossy);
             }
         } else {
+            // ofmf-lint: allow(no-panic-path, "type_index maps the 6 EventType variants to 0..6, the bucket count")
             let bucket = &subs.index.buckets[type_index(event_type)];
             let keyed = bucket
                 .by_origin

@@ -120,6 +120,7 @@ impl Ofmf {
 
     fn with_clock(uuid: &str, credentials: HashMap<String, String>, seed: u64, clock: Arc<Clock>) -> Arc<Self> {
         let registry = Arc::new(Registry::new());
+        // ofmf-lint: allow(no-panic-path, "bootstrap of an empty registry only inserts fresh ids; Conflict is impossible")
         tree::bootstrap(&registry, uuid).expect("bootstrap on fresh registry cannot fail");
         let events = Arc::new(EventService::new(Arc::clone(&clock)));
         let telemetry = Arc::new(TelemetryService::new(Arc::clone(&clock)));
@@ -127,6 +128,7 @@ impl Ofmf {
         let sessions = Arc::new(SessionService::new(Arc::clone(&clock), credentials, seed));
         let (_journal_id, journal) = events
             .subscribe(&registry, "internal://event-log", vec![], vec![])
+            // ofmf-lint: allow(no-panic-path, "first subscription on a freshly bootstrapped tree cannot collide")
             .expect("journal subscription on a fresh tree");
         Arc::new(Ofmf {
             registry,
@@ -176,6 +178,7 @@ impl Ofmf {
         if written > 0 {
             if let Ok(members) = self.registry.members(&entries_col) {
                 if members.len() > EVENT_LOG_CAP {
+                    // ofmf-lint: allow(no-panic-path, "guard above ensures len > EVENT_LOG_CAP, so the range end is in bounds")
                     for old in &members[..members.len() - EVENT_LOG_CAP] {
                         let _ = self.registry.delete(old);
                     }

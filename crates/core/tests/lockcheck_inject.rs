@@ -1,0 +1,44 @@
+//! Deliberately acquires two locks in opposite orders — sequentially, so
+//! the process never hangs — and asserts the lockcheck graph reports the
+//! A→B→A cycle with both acquisition sites named.
+//!
+//! This lives in its own integration-test binary on purpose: the lock
+//! graph is process-global, and the injected cycle must not contaminate
+//! the zero-cycle assertions the other suites make.
+
+#![cfg(feature = "lockcheck")]
+
+use parking_lot::Mutex;
+
+#[test]
+fn opposite_order_is_reported_as_cycle_from_a_single_clean_run() {
+    let a = Mutex::new(0u32);
+    let b = Mutex::new(0u32);
+
+    // Path 1: A then B.
+    let site_ab = line!() + 2;
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    // Path 2: B then A. Runs after path 1 released everything, so there is
+    // no deadlock — but the order inversion is now witnessed in the graph.
+    let site_ba = line!() + 2;
+    {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }
+
+    let report = parking_lot::lock_order_report();
+    assert!(
+        !report.cycles.is_empty(),
+        "AB/BA acquisition order must surface as a potential deadlock:\n{}",
+        report.render()
+    );
+    let rendered = report.render();
+    // Both inverted acquisition sites must be named in the report.
+    let ab = format!("lockcheck_inject.rs:{site_ab}");
+    let ba = format!("lockcheck_inject.rs:{site_ba}");
+    assert!(rendered.contains(&ab), "missing site {ab} in:\n{rendered}");
+    assert!(rendered.contains(&ba), "missing site {ba} in:\n{rendered}");
+}

@@ -1,0 +1,46 @@
+//! Lock-order discipline check for the striped telemetry store: concurrent
+//! ingest over many stripes must leave the lockcheck graph acyclic (each
+//! stripe is locked on its own, never nested inside another stripe).
+
+#![cfg(feature = "lockcheck")]
+
+use ofmf_core::clock::Clock;
+use ofmf_core::events::EventService;
+use ofmf_core::telemetry::TelemetryService;
+use redfish_model::ODataId;
+use std::sync::Arc;
+
+#[test]
+fn concurrent_striped_ingest_is_cycle_free() {
+    let clock = Arc::new(Clock::manual());
+    let events = Arc::new(EventService::new(Arc::clone(&clock)));
+    let tel = Arc::new(TelemetryService::new(Arc::clone(&clock)));
+
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let tel = Arc::clone(&tel);
+        let events = Arc::clone(&events);
+        handles.push(std::thread::spawn(move || {
+            for round in 0..50 {
+                let samples: Vec<ofmf_core::agent::AgentMetric> = (0..32)
+                    .map(|i| ofmf_core::agent::AgentMetric {
+                        metric_id: format!("Metric{}", (t * 31 + i * 7 + round) % 64).into(),
+                        origin: ODataId::new(format!("/redfish/v1/Chassis/c{i}")),
+                        value: i as f64,
+                    })
+                    .collect();
+                tel.ingest(&samples, &events);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("ingest thread");
+    }
+
+    let report = parking_lot::lock_order_report();
+    assert!(
+        report.cycles.is_empty(),
+        "telemetry stripe discipline must be acyclic:\n{}",
+        report.render()
+    );
+}

@@ -11,8 +11,10 @@
 //! 1. **Negligible hot-path cost.** Every instrument is lock-free on the
 //!    update path (a handful of relaxed/acq-rel atomic ops); name lookup
 //!    happens once at call-site initialization, never per operation.
-//! 2. **No dependencies.** The crate uses only `std`, so every other crate
-//!    in the workspace can depend on it without cycles or feature drift.
+//! 2. **No dependencies.** The crate uses only `std` plus the in-tree
+//!    `parking_lot` shim (itself std-only), so every other crate in the
+//!    workspace can depend on it without cycles or feature drift — and so
+//!    `lockcheck` observes the registry's own locks.
 //! 3. **Redfish-friendly export.** [`Registry::snapshot`] produces a plain
 //!    data [`Snapshot`] that the REST layer renders as `MetricReport` and
 //!    `LogEntry` resources, and [`Snapshot::to_json`] renders the same data
@@ -50,17 +52,19 @@ pub fn set_enabled(on: bool) {
 
 /// Whether instrumentation is currently enabled.
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    // Acquire pairs with the Release store in `set_enabled`: a reader that
+    // observes the flip also observes everything recorded before it.
+    ENABLED.load(Ordering::Acquire)
 }
 
 /// Serializes tests that record against tests that toggle [`set_enabled`],
 /// since the flag is process-global.
 #[cfg(test)]
-pub(crate) static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+pub(crate) static TEST_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
 
 #[cfg(test)]
-pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
-    TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+pub(crate) fn test_guard() -> parking_lot::MutexGuard<'static, ()> {
+    TEST_LOCK.lock()
 }
 
 /// Milliseconds since the Unix epoch (wall clock), for event timestamps.

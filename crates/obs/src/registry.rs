@@ -2,8 +2,9 @@
 
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 use crate::ring::EventRing;
+use parking_lot::RwLock;
 use std::collections::BTreeMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// A named collection of instruments plus the event ring.
@@ -38,10 +39,10 @@ impl Registry {
     }
 
     fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
-        if let Some(v) = map.read().unwrap_or_else(std::sync::PoisonError::into_inner).get(name) {
+        if let Some(v) = map.read().get(name) {
             return Arc::clone(v);
         }
-        let mut w = map.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut w = map.write();
         Arc::clone(w.entry(name.to_string()).or_default())
     }
 
@@ -73,24 +74,11 @@ impl Registry {
 
     /// Materialize every instrument into a plain-data snapshot.
     pub fn snapshot(&self) -> Snapshot {
-        let counters = self
-            .counters
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .iter()
-            .map(|(k, v)| (k.clone(), v.get()))
-            .collect();
-        let gauges = self
-            .gauges
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .iter()
-            .map(|(k, v)| (k.clone(), v.get()))
-            .collect();
+        let counters = self.counters.read().iter().map(|(k, v)| (k.clone(), v.get())).collect();
+        let gauges = self.gauges.read().iter().map(|(k, v)| (k.clone(), v.get())).collect();
         let histograms = self
             .histograms
             .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();

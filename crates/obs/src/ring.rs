@@ -1,8 +1,8 @@
 //! A bounded ring buffer of recent structured observability events.
 
+use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Default capacity of the global event ring.
 pub const RING_CAPACITY: usize = 256;
@@ -86,6 +86,8 @@ impl EventRing {
         if !crate::enabled() {
             return 0;
         }
+        // Relaxed: the sequence only needs per-event uniqueness; the ring's
+        // mutex orders the enqueue itself.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         let ev = RingEvent {
             seq,
@@ -95,7 +97,7 @@ impl EventRing {
             message: message.into(),
             request_id,
         };
-        let mut q = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut q = self.inner.lock();
         if q.len() == self.cap {
             q.pop_front();
         }
@@ -105,20 +107,12 @@ impl EventRing {
 
     /// Clone out the buffered events, oldest first.
     pub fn recent(&self) -> Vec<RingEvent> {
-        self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .iter()
-            .cloned()
-            .collect()
+        self.inner.lock().iter().cloned().collect()
     }
 
     /// Number of events currently buffered.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .len()
+        self.inner.lock().len()
     }
 
     /// Whether the ring is empty.
@@ -128,6 +122,7 @@ impl EventRing {
 
     /// Total events ever emitted (including evicted ones).
     pub fn total_emitted(&self) -> u64 {
+        // ofmf-lint: allow(atomic-ordering-audit, "statistics read; no cross-thread handoff depends on it")
         self.seq.load(Ordering::Relaxed)
     }
 }

@@ -47,6 +47,7 @@ impl ODataId {
             }
             return None;
         }
+        // ofmf-lint: allow(no-panic-path, "idx is the byte offset of a '/' found in this string; slicing at it is valid")
         Some(ODataId::new(&self.0[..idx]))
     }
 

@@ -13,7 +13,9 @@ pub fn merge_patch(target: &mut Value, patch: &Value) {
             if !target.is_object() {
                 *target = Value::Object(Map::new());
             }
-            let target_map = target.as_object_mut().expect("target coerced to object");
+            let Some(target_map) = target.as_object_mut() else {
+                return; // unreachable: target was just coerced to an object
+            };
             for (k, v) in patch_map {
                 if v.is_null() {
                     target_map.remove(k);

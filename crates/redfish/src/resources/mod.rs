@@ -32,6 +32,7 @@ pub trait Resource: Serialize {
 
     /// Serialize to the registry/wire JSON document.
     fn to_value(&self) -> Value {
+        // ofmf-lint: allow(no-panic-path, "the vendored serde_json::to_value wraps to_json and is Ok-infallible")
         serde_json::to_value(self).expect("schema types always serialize")
     }
 }

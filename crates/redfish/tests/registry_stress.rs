@@ -237,3 +237,20 @@ fn concurrent_load_on_single_shard_registry_matches() {
         );
     }
 }
+
+/// With `--features lockcheck`, assert the stress suite leaves the
+/// process-global lock-acquisition graph acyclic. The graph only ever
+/// accumulates edges, so re-driving the mixed workload here and then
+/// checking covers this binary's full locking surface regardless of the
+/// order the harness ran the other tests in.
+#[cfg(feature = "lockcheck")]
+#[test]
+fn lock_order_graph_is_cycle_free_after_stress() {
+    concurrent_mixed_load_preserves_invariants();
+    let report = parking_lot::lock_order_report();
+    assert!(
+        report.cycles.is_empty(),
+        "potential deadlock witnessed by registry stress:\n{}",
+        report.render()
+    );
+}

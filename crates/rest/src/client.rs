@@ -66,8 +66,12 @@ impl HttpClient {
             s.set_nodelay(true)?;
             self.stream = Some(s);
         }
+        // ofmf-lint: allow(no-panic-path, "stream was set to Some three lines up; no await/return between")
         let stream = self.stream.as_mut().expect("just connected");
-        let payload = body.map(|b| serde_json::to_vec(b).expect("serializable"));
+        let payload = match body {
+            Some(b) => Some(serde_json::to_vec(b).map_err(std::io::Error::other)?),
+            None => None,
+        };
         let mut req = format!("{method} {path} HTTP/1.1\r\nHost: ofmf\r\n");
         if let Some(t) = &self.token {
             req.push_str(&format!("X-Auth-Token: {t}\r\n"));

@@ -176,13 +176,21 @@ pub struct Response {
 }
 
 impl Response {
-    /// A JSON response.
+    /// A JSON response. Serialization of an in-memory `Value` tree cannot
+    /// fail under the vendored serde_json, but rather than panic a worker
+    /// thread on a future regression we degrade to a plain 500.
     pub fn json(status: u16, body: &serde_json::Value) -> Response {
-        let body = serde_json::to_vec(body).expect("serializable");
-        Response {
-            status,
-            headers: vec![("Content-Type".into(), "application/json; charset=utf-8".into())],
-            body,
+        match serde_json::to_vec(body) {
+            Ok(body) => Response {
+                status,
+                headers: vec![("Content-Type".into(), "application/json; charset=utf-8".into())],
+                body,
+            },
+            Err(_) => Response {
+                status: 500,
+                headers: vec![("Content-Type".into(), "text/plain; charset=utf-8".into())],
+                body: b"response serialization failed".to_vec(),
+            },
         }
     }
 

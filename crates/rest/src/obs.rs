@@ -77,6 +77,7 @@ impl RestMetrics {
     /// Count a response toward its status class.
     pub fn record_status(&self, status: u16) {
         let class = (status / 100).clamp(1, 5) as usize - 1;
+        // ofmf-lint: allow(no-panic-path, "class is clamped to 0..=4 and status has 5 slots")
         self.status[class].inc();
     }
 }

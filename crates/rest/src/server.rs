@@ -53,8 +53,7 @@ impl RestServer {
                             break;
                         }
                     }
-                })
-                .expect("spawn rest worker");
+                })?;
             worker_handles.push(handle);
         }
 
@@ -81,8 +80,7 @@ impl RestServer {
                     }
                 }
                 // Dropping tx closes the worker channel.
-            })
-            .expect("spawn rest acceptor");
+            })?;
 
         Ok(RestServer {
             addr,

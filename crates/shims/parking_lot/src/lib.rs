@@ -4,101 +4,295 @@
 //! `read()` and `write()` return guards directly, recovering the inner data
 //! if a holder panicked (parking_lot has no poisoning at all; swallowing the
 //! poison flag reproduces that behavior).
+//!
+//! # Lock-order checking (`--features lockcheck`)
+//!
+//! Because every lock in the workspace comes through this shim, it is the
+//! natural place to *instrument* locking. With the `lockcheck` feature
+//! enabled, every blocking acquisition records, per thread, the set of locks
+//! already held and adds **order edges** `held → acquired` (tagged with the
+//! `file:line` of both acquisition sites) into a process-global graph. A
+//! cycle in that graph is a *potential deadlock*: two code paths that take
+//! the same locks in opposite orders will produce the cycle from a single,
+//! non-deadlocking run — no hang required. [`lock_order_report`] runs the
+//! cycle detection and returns the witnessed sites.
+//!
+//! Successful `try_lock`/`try_read`/`try_write` acquisitions join the
+//! per-thread held set (so later blocking acquisitions record edges from
+//! them) but do not themselves add edges: a failed try cannot block, so
+//! try-and-backoff deadlock-avoidance patterns are not false positives.
+//!
+//! Without the feature the shim compiles to the exact std-backed locks it
+//! always was — guards are type aliases, zero added cost.
 
 use std::sync::PoisonError;
 
+#[cfg(feature = "lockcheck")]
+pub mod lockcheck;
+
+#[cfg(feature = "lockcheck")]
+pub use lockcheck::{lock_order_report, lock_order_reset, LockCycle, LockEdge, LockOrderReport};
+
+#[cfg(feature = "lockcheck")]
+use std::sync::atomic::AtomicU64;
+
 /// Guard type returned by [`Mutex::lock`].
+#[cfg(not(feature = "lockcheck"))]
 pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
 /// Guard type returned by [`RwLock::read`].
+#[cfg(not(feature = "lockcheck"))]
 pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
 /// Guard type returned by [`RwLock::write`].
+#[cfg(not(feature = "lockcheck"))]
 pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+macro_rules! tracking_guard {
+    ($name:ident, $inner:ident) => {
+        /// Guard that releases its lockcheck held-set entry on drop.
+        #[cfg(feature = "lockcheck")]
+        pub struct $name<'a, T: ?Sized> {
+            // Held only for its Drop impl, which pops the lockcheck held set.
+            #[allow(dead_code)]
+            token: lockcheck::HeldToken,
+            inner: std::sync::$inner<'a, T>,
+        }
+
+        #[cfg(feature = "lockcheck")]
+        impl<T: ?Sized> std::ops::Deref for $name<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                &self.inner
+            }
+        }
+
+        #[cfg(feature = "lockcheck")]
+        impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for $name<'_, T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+
+        #[cfg(feature = "lockcheck")]
+        impl<T: ?Sized + std::fmt::Display> std::fmt::Display for $name<'_, T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+    };
+}
+
+tracking_guard!(MutexGuard, MutexGuard);
+tracking_guard!(RwLockReadGuard, RwLockReadGuard);
+tracking_guard!(RwLockWriteGuard, RwLockWriteGuard);
+
+#[cfg(feature = "lockcheck")]
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(feature = "lockcheck")]
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 /// A mutual-exclusion lock that never poisons.
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lockcheck")]
+    lc_id: AtomicU64,
+    inner: std::sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
     /// Create a new lock holding `value`.
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            #[cfg(feature = "lockcheck")]
+            lc_id: AtomicU64::new(0),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
+    #[cfg(not(feature = "lockcheck"))]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire the lock, blocking until available (lockcheck-instrumented).
+    #[cfg(feature = "lockcheck")]
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let id = lockcheck::lock_id(&self.lc_id);
+        lockcheck::before_blocking(id, lockcheck::Mode::Lock);
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            token: lockcheck::acquired(id, lockcheck::Mode::Lock),
+            inner,
+        }
     }
 
     /// Try to acquire the lock without blocking.
+    #[cfg(not(feature = "lockcheck"))]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
+        match self.inner.try_lock() {
             Ok(g) => Some(g),
             Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
 
+    /// Try to acquire the lock without blocking (lockcheck-instrumented).
+    #[cfg(feature = "lockcheck")]
+    #[track_caller]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        let id = lockcheck::lock_id(&self.lc_id);
+        Some(MutexGuard {
+            token: lockcheck::acquired(id, lockcheck::Mode::Lock),
+            inner,
+        })
+    }
+
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 /// A reader-writer lock that never poisons.
 #[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lockcheck")]
+    lc_id: AtomicU64,
+    inner: std::sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
     /// Create a new lock holding `value`.
     pub const fn new(value: T) -> RwLock<T> {
-        RwLock(std::sync::RwLock::new(value))
+        RwLock {
+            #[cfg(feature = "lockcheck")]
+            lc_id: AtomicU64::new(0),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared read guard.
+    #[cfg(not(feature = "lockcheck"))]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire a shared read guard (lockcheck-instrumented).
+    #[cfg(feature = "lockcheck")]
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let id = lockcheck::lock_id(&self.lc_id);
+        lockcheck::before_blocking(id, lockcheck::Mode::Read);
+        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        RwLockReadGuard {
+            token: lockcheck::acquired(id, lockcheck::Mode::Read),
+            inner,
+        }
     }
 
     /// Acquire an exclusive write guard.
+    #[cfg(not(feature = "lockcheck"))]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire an exclusive write guard (lockcheck-instrumented).
+    #[cfg(feature = "lockcheck")]
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let id = lockcheck::lock_id(&self.lc_id);
+        lockcheck::before_blocking(id, lockcheck::Mode::Write);
+        let inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        RwLockWriteGuard {
+            token: lockcheck::acquired(id, lockcheck::Mode::Write),
+            inner,
+        }
     }
 
     /// Try to acquire a read guard without blocking.
+    #[cfg(not(feature = "lockcheck"))]
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.0.try_read() {
+        match self.inner.try_read() {
             Ok(g) => Some(g),
             Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
 
+    /// Try to acquire a read guard without blocking (lockcheck-instrumented).
+    #[cfg(feature = "lockcheck")]
+    #[track_caller]
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let inner = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        let id = lockcheck::lock_id(&self.lc_id);
+        Some(RwLockReadGuard {
+            token: lockcheck::acquired(id, lockcheck::Mode::Read),
+            inner,
+        })
+    }
+
     /// Try to acquire a write guard without blocking.
+    #[cfg(not(feature = "lockcheck"))]
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.0.try_write() {
+        match self.inner.try_write() {
             Ok(g) => Some(g),
             Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
+    }
+
+    /// Try to acquire a write guard without blocking (lockcheck-instrumented).
+    #[cfg(feature = "lockcheck")]
+    #[track_caller]
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let inner = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        let id = lockcheck::lock_id(&self.lc_id);
+        Some(RwLockWriteGuard {
+            token: lockcheck::acquired(id, lockcheck::Mode::Write),
+            inner,
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -124,5 +318,17 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn try_locks() {
+        let m = Mutex::new(1);
+        {
+            let g = m.try_lock();
+            assert!(g.is_some());
+        }
+        let l = RwLock::new(2);
+        assert!(l.try_read().is_some());
+        assert!(l.try_write().is_some());
     }
 }

@@ -1,0 +1,6 @@
+/root/repo/crates/shims/parking_lot/target/debug/deps/parking_lot-046586cf3b0087fe.d: src/lib.rs src/lockcheck.rs
+
+/root/repo/crates/shims/parking_lot/target/debug/deps/parking_lot-046586cf3b0087fe: src/lib.rs src/lockcheck.rs
+
+src/lib.rs:
+src/lockcheck.rs:

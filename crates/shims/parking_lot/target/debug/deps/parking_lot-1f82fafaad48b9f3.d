@@ -1,0 +1,8 @@
+/root/repo/crates/shims/parking_lot/target/debug/deps/parking_lot-1f82fafaad48b9f3.d: src/lib.rs src/lockcheck.rs
+
+/root/repo/crates/shims/parking_lot/target/debug/deps/libparking_lot-1f82fafaad48b9f3.rlib: src/lib.rs src/lockcheck.rs
+
+/root/repo/crates/shims/parking_lot/target/debug/deps/libparking_lot-1f82fafaad48b9f3.rmeta: src/lib.rs src/lockcheck.rs
+
+src/lib.rs:
+src/lockcheck.rs:

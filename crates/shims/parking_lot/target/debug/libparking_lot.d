@@ -1,0 +1,1 @@
+/root/repo/crates/shims/parking_lot/target/debug/libparking_lot.rlib: /root/repo/crates/shims/parking_lot/src/lib.rs /root/repo/crates/shims/parking_lot/src/lockcheck.rs

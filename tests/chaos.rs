@@ -242,3 +242,19 @@ fn same_seed_produces_identical_breaker_transition_logs() {
     assert_eq!(a, b, "identical seeds must replay identically");
     assert_ne!(scenario(778), a, "a different seed (almost surely) diverges");
 }
+
+/// With `--features lockcheck`, assert the chaos suite leaves the
+/// process-global lock-acquisition graph acyclic. Cycles only accumulate,
+/// so re-driving a crash/recovery scenario and then checking covers this
+/// binary's locking surface regardless of test execution order.
+#[cfg(feature = "lockcheck")]
+#[test]
+fn lock_order_graph_is_cycle_free_after_chaos() {
+    crash_mid_compose_leaves_no_half_bound_composition();
+    let report = parking_lot::lock_order_report();
+    assert!(
+        report.cycles.is_empty(),
+        "potential deadlock witnessed by chaos suite:\n{}",
+        report.render()
+    );
+}
