@@ -385,6 +385,9 @@ impl Agent for SimAgent {
     }
 
     fn apply(&self, op: &AgentOp) -> RedfishResult<AgentResponse> {
+        let mut ospan = ofmf_obs::child_span("ofmf.agents.op");
+        ospan.annotate("fabric", self.info.fabric_id.as_str());
+        ospan.annotate("op", op.kind());
         let mut inner = self.inner.lock();
         let fabric_root = self.fabric_root();
         match op {

@@ -71,13 +71,16 @@ impl Analysis {
     pub fn finish(self) -> Vec<Diagnostic> {
         let mut raw: Vec<Diagnostic> = Vec::new();
         let mut defs = Vec::new();
+        let mut span_defs = Vec::new();
         let mut refs = self.readme_refs.clone();
         for (path, scan) in &self.files {
             rules::file_rules(path, scan, &mut raw);
             rules::collect_metric_defs(path, scan, &mut defs);
+            rules::collect_span_defs(path, scan, &mut span_defs);
             rules::collect_cli_refs(path, scan, &mut refs);
         }
-        rules::obs_name_convention(&defs, &refs, &mut raw);
+        rules::obs_name_convention(&defs, &span_defs, &refs, &mut raw);
+        rules::span_name_convention(&span_defs, &mut raw);
 
         // Apply allow escapes: an allow with a valid rule and reason on the
         // diagnostic's line (or the line above) suppresses it.

@@ -24,16 +24,22 @@
 //!   `.store(…)` outside the obs counter internals is flagged: relaxed
 //!   RMW counters are fine, relaxed flag publication across threads is
 //!   not.
+//! * **`span-name-convention`** — every span name passed to
+//!   `root_span/enter_span/child_span("…")` must match
+//!   `ofmf.<subsystem>.<op>` (lowercase, ≥ 3 segments) and be opened at
+//!   exactly one call site, so a name in a rendered trace always pins one
+//!   place in the code.
 
 use crate::scan::FileScan;
 use crate::Diagnostic;
 
 /// Rule identifiers (the names accepted by `allow(...)`).
-pub const RULES: [&str; 4] = [
+pub const RULES: [&str; 5] = [
     "no-panic-path",
     "no-std-sync",
     "obs-name-convention",
     "atomic-ordering-audit",
+    "span-name-convention",
 ];
 
 /// Crates whose non-test code must never panic.
@@ -234,6 +240,100 @@ fn defining_call(masked: &str, start: usize) -> Option<&'static str> {
     None
 }
 
+// ---------------------------------------------------------------------------
+// span-name-convention (cross-file)
+// ---------------------------------------------------------------------------
+
+/// One span-opening site.
+#[derive(Debug, Clone)]
+pub(crate) struct SpanDef {
+    pub file: String,
+    pub line: usize,
+    /// The constructor used (`root_span` / `enter_span` / `child_span`).
+    pub kind: &'static str,
+    pub name: String,
+}
+
+/// Collect `root_span/enter_span/child_span("…")` sites from a scanned file.
+pub(crate) fn collect_span_defs(path: &str, scan: &FileScan, defs: &mut Vec<SpanDef>) {
+    if path == CLI_FILE {
+        return; // the CLI renders recorded names; it opens no spans
+    }
+    for lit in &scan.strings {
+        if scan.is_test_line(lit.line) {
+            continue;
+        }
+        let Some(kind) = span_call(&scan.masked, lit.start) else {
+            continue;
+        };
+        defs.push(SpanDef {
+            file: path.to_string(),
+            line: lit.line,
+            kind,
+            name: lit.content.clone(),
+        });
+    }
+}
+
+/// If the string starting at `start` is the first argument of a span
+/// constructor, return which one.
+fn span_call(masked: &str, start: usize) -> Option<&'static str> {
+    let prefix = masked.get(..start)?.trim_end();
+    for kind in ["root_span", "enter_span", "child_span"] {
+        if let Some(head) = prefix.strip_suffix(&format!("{kind}(")) {
+            // Require a non-identifier char (or start) before, so e.g. a
+            // method merely ending in `_child_span(` does not count.
+            let ok = head
+                .as_bytes()
+                .last()
+                .map(|&b| !(b.is_ascii_alphanumeric() || b == b'_'))
+                .unwrap_or(true);
+            if ok {
+                return Some(match kind {
+                    "root_span" => "root_span",
+                    "enter_span" => "enter_span",
+                    _ => "child_span",
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Validate span names: pattern conformance plus one-call-site uniqueness
+/// (a span name in a rendered trace must pin exactly one place in code).
+pub(crate) fn span_name_convention(defs: &[SpanDef], out: &mut Vec<Diagnostic>) {
+    for d in defs {
+        if let Some(problem) = name_pattern_problem(&d.name) {
+            out.push(Diagnostic {
+                file: d.file.clone(),
+                line: d.line,
+                rule: "span-name-convention",
+                message: format!("span name \"{}\" {problem} (want ofmf.<subsystem>.<op>)", d.name),
+            });
+        }
+    }
+    let mut first_site: std::collections::BTreeMap<&str, &SpanDef> = std::collections::BTreeMap::new();
+    for d in defs {
+        match first_site.get(d.name.as_str()) {
+            None => {
+                first_site.insert(&d.name, d);
+            }
+            Some(first) => {
+                out.push(Diagnostic {
+                    file: d.file.clone(),
+                    line: d.line,
+                    rule: "span-name-convention",
+                    message: format!(
+                        "span \"{}\" already opened via {} at {}:{}; span names must be globally unique",
+                        d.name, first.kind, first.file, first.line
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Collect metric references from the CLI source.
 pub(crate) fn collect_cli_refs(path: &str, scan: &FileScan, refs: &mut Vec<(String, usize, String)>) {
     if path != CLI_FILE {
@@ -269,7 +369,14 @@ pub(crate) fn collect_readme_refs(path: &str, content: &str, refs: &mut Vec<(Str
 }
 
 /// Validate definitions (pattern + uniqueness) and resolve references.
-pub(crate) fn obs_name_convention(defs: &[MetricDef], refs: &[(String, usize, String)], out: &mut Vec<Diagnostic>) {
+/// Span names count as definitions for reference resolution: the README and
+/// CLI may name `ofmf.<subsystem>.<op>` spans as well as metric ids.
+pub(crate) fn obs_name_convention(
+    defs: &[MetricDef],
+    span_defs: &[SpanDef],
+    refs: &[(String, usize, String)],
+    out: &mut Vec<Diagnostic>,
+) {
     // Pattern conformance.
     for d in defs {
         if let Some(problem) = name_pattern_problem(&d.name) {
@@ -307,7 +414,7 @@ pub(crate) fn obs_name_convention(defs: &[MetricDef], refs: &[(String, usize, St
     }
     // Reference resolution.
     for (file, line, r) in refs {
-        if !reference_resolves(r, defs) {
+        if !reference_resolves(r, defs) && !span_defs.iter().any(|s| s.name == *r) {
             out.push(Diagnostic {
                 file: file.clone(),
                 line: *line,

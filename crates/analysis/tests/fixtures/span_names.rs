@@ -1,0 +1,17 @@
+pub fn handler() {
+    let _a = ofmf_obs::root_span("request");
+    let _b = ofmf_obs::enter_span("ofmf.compose");
+    let _c = ofmf_obs::child_span("ofmf.demo.bind");
+}
+
+pub fn other_handler() {
+    let _d = ofmf_obs::child_span("ofmf.demo.bind");
+    let _e = my_child_span("not.a.span.name");
+}
+
+#[cfg(test)]
+mod tests {
+    fn exempt() {
+        let _t = ofmf_obs::root_span("test spans are exempt");
+    }
+}

@@ -54,6 +54,30 @@ fn obs_names_fixture_triggers_only_that_rule() {
 }
 
 #[test]
+fn span_names_fixture_triggers_only_that_rule() {
+    let diags = lint_one("crates/demo/src/fixture.rs", include_str!("fixtures/span_names.rs"));
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "span-name-convention"), "{diags:?}");
+    assert!(diags[0].message.contains("ofmf."), "bad prefix: {}", diags[0].message);
+    assert!(diags[1].message.contains("segment"), "too short: {}", diags[1].message);
+    assert!(diags[2].message.contains("already opened"), "dup: {}", diags[2].message);
+    // `my_child_span(` and the #[cfg(test)] span trigger nothing.
+    assert_eq!(diags[2].line, 8, "{diags:?}");
+}
+
+#[test]
+fn readme_references_resolve_against_span_names_too() {
+    let mut a = Analysis::new();
+    a.add_rust_file(
+        "crates/demo/src/spans.rs",
+        "pub fn f() { let _s = ofmf_obs::root_span(\"ofmf.demo.request\"); }\n",
+    );
+    a.add_readme("README.md", "Every request runs under an `ofmf.demo.request` span.\n");
+    let diags = a.finish();
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn atomic_ordering_fixture_triggers_only_that_rule() {
     let diags = lint_one(
         "crates/core/src/fixture.rs",

@@ -1,0 +1,42 @@
+//! OFMF-B7: tracing-overhead ablation without socket noise.
+//!
+//! The socket-level `rest_throughput` ablation compares ~60 µs round trips
+//! whose run-to-run scatter exceeds the instrumentation budget being
+//! measured. This harness drives `Router::handle` in-process, so the
+//! on/off delta is the cost of the observability layer itself: root span,
+//! per-layer child spans, latency histograms + exemplars, and the flight
+//! recorder's completion path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofmf_bench::bench_rig;
+use ofmf_rest::http::{Method, Request};
+use ofmf_rest::Router;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn probe(c: &mut Criterion) {
+    let ofmf = bench_rig(8, 2, 3);
+    let router = Router::new(Arc::clone(&ofmf), false);
+    let req = Request {
+        method: Method::Get,
+        path: "/redfish/v1/Systems/cn00".into(),
+        query: None,
+        headers: BTreeMap::new(),
+        body: Vec::new(),
+    };
+    let mut group = c.benchmark_group("span_probe");
+    group.sample_size(50);
+    group.bench_function("handle_obs_on", |b| {
+        ofmf_obs::set_enabled(true);
+        b.iter(|| assert_eq!(router.handle(&req).status, 200));
+    });
+    group.bench_function("handle_obs_off", |b| {
+        ofmf_obs::set_enabled(false);
+        b.iter(|| assert_eq!(router.handle(&req).status, 200));
+        ofmf_obs::set_enabled(true);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, probe);
+criterion_main!(benches);

@@ -140,10 +140,20 @@ impl Composer {
         let metrics = composer_metrics();
         // ofmf-lint: allow(no-panic-path, "strategy.index() enumerates Strategy::ALL, the array's length")
         let _span = ofmf_obs::Trace::begin(&metrics.compose_latency[self.strategy.index()]);
+        // Composes are rare control-plane transactions: always retain their
+        // trace tree in the flight recorder, regardless of latency.
+        let mut tspan = ofmf_obs::enter_span("ofmf.composer.compose");
+        tspan.force_sample();
+        tspan.annotate("request", request.name.as_str());
+        tspan.annotate("strategy", self.strategy.label());
         let result = self.compose_inner(request);
         match &result {
             Ok(_) => metrics.composed.inc(),
-            Err(e) => metrics.count_rejection(e),
+            Err(e) => {
+                metrics.count_rejection(e);
+                tspan.set_error();
+                tspan.annotate("error", e.to_string());
+            }
         }
         result
     }
@@ -343,6 +353,9 @@ impl Composer {
         kind: BindingKind,
         qos_gbps: f64,
     ) -> RedfishResult<Binding> {
+        let mut bspan = ofmf_obs::child_span("ofmf.composer.bind");
+        bspan.annotate("fabric", fabric);
+        bspan.annotate("kind", kind.label());
         // Power-gated pool devices are woken on demand before binding.
         crate::energy::wake_backing(self, target_ep);
         let fabric_root = ODataId::new(top::FABRICS).child(fabric);
@@ -398,6 +411,8 @@ impl Composer {
     }
 
     fn unbind_all(&self, bindings: &[Binding]) {
+        let mut uspan = ofmf_obs::child_span("ofmf.composer.unbind_all");
+        uspan.annotate("bindings", bindings.len().to_string());
         for b in bindings {
             let _ = self.ofmf.delete(&b.connection);
             let _ = self.ofmf.delete(&b.zone);
@@ -415,6 +430,9 @@ impl Composer {
     /// Tear a composition down, returning every resource to its pool.
     pub fn decompose(&self, system: &ODataId) -> RedfishResult<()> {
         let _span = ofmf_obs::Trace::begin(&composer_metrics().decompose_latency);
+        let mut tspan = ofmf_obs::enter_span("ofmf.composer.decompose");
+        tspan.force_sample();
+        tspan.annotate("system", system.as_str());
         let composed = self
             .state
             .lock()

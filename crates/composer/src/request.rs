@@ -119,6 +119,17 @@ pub enum BindingKind {
     Gpu,
 }
 
+impl BindingKind {
+    /// Stable lowercase label (span annotations, CLI output).
+    pub fn label(self) -> &'static str {
+        match self {
+            BindingKind::Memory => "memory",
+            BindingKind::Storage => "storage",
+            BindingKind::Gpu => "gpu",
+        }
+    }
+}
+
 /// The record of a live composition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ComposedSystem {

@@ -82,6 +82,20 @@ pub enum AgentOp {
     },
 }
 
+impl AgentOp {
+    /// Short static name of the operation, for span annotations and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AgentOp::CreateZone { .. } => "CreateZone",
+            AgentOp::DeleteZone { .. } => "DeleteZone",
+            AgentOp::Connect { .. } => "Connect",
+            AgentOp::Disconnect { .. } => "Disconnect",
+            AgentOp::InjectFault { .. } => "InjectFault",
+            AgentOp::ProbeRoute { .. } => "ProbeRoute",
+        }
+    }
+}
+
 /// What an agent returns from a successful operation.
 #[derive(Debug, Clone, Default)]
 pub struct AgentResponse {

@@ -571,6 +571,8 @@ impl Ofmf {
     /// `GET` a resource (wire body with fresh ETag).
     pub fn get(&self, path: &ODataId) -> RedfishResult<(Value, ETag)> {
         let _span = ofmf_obs::Trace::begin(&tree_metrics().get);
+        let mut tspan = ofmf_obs::child_span("ofmf.tree.get");
+        tspan.annotate("path", path.as_str());
         let stored = self.registry.get(path)?;
         Ok((stored.wire_body(), stored.etag))
     }
@@ -580,12 +582,16 @@ impl Ofmf {
     /// straight to the socket without touching `serde_json`.
     pub fn get_raw(&self, path: &ODataId) -> RedfishResult<(std::sync::Arc<[u8]>, ETag)> {
         let _span = ofmf_obs::Trace::begin(&tree_metrics().get);
+        let mut tspan = ofmf_obs::child_span("ofmf.tree.get_raw");
+        tspan.annotate("path", path.as_str());
         self.registry.wire_bytes(path)
     }
 
     /// `PATCH` a resource. Publishes a `ResourceUpdated` event on success.
     pub fn patch(&self, path: &ODataId, body: &Value, if_match: Option<ETag>) -> RedfishResult<ETag> {
         let _span = ofmf_obs::Trace::begin(&tree_metrics().patch);
+        let mut tspan = ofmf_obs::child_span("ofmf.tree.patch");
+        tspan.annotate("path", path.as_str());
         let etag = self.registry.patch(path, body, if_match)?;
         self.events
             .publish(EventType::ResourceUpdated, path, "resource patched", "OK");
@@ -602,6 +608,8 @@ impl Ofmf {
     /// Returns the id of the created resource.
     pub fn post(&self, collection: &ODataId, body: &Value) -> RedfishResult<ODataId> {
         let _span = ofmf_obs::Trace::begin(&tree_metrics().post);
+        let mut tspan = ofmf_obs::child_span("ofmf.tree.post");
+        tspan.annotate("path", collection.as_str());
         let path = collection.as_str();
         if let Some(fid) = fabric_id_of(path) {
             let fid = fid.to_string();
@@ -721,6 +729,8 @@ impl Ofmf {
     /// anything else deletes from the tree directly.
     pub fn delete(&self, path: &ODataId) -> RedfishResult<()> {
         let _span = ofmf_obs::Trace::begin(&tree_metrics().delete);
+        let mut tspan = ofmf_obs::child_span("ofmf.tree.delete");
+        tspan.annotate("path", path.as_str());
         if let Some(fid) = fabric_id_of(path.as_str()) {
             let fid = fid.to_string();
             let parent = path.parent();

@@ -177,7 +177,7 @@ impl CircuitBreaker {
         std::mem::take(&mut self.pending)
     }
 
-    fn transition(&mut self, to: BreakerState, now_ms: u64, cause: &'static str) {
+    fn transition(&mut self, to: BreakerState, now_ms: u64, cause: &'static str) -> BreakerTransition {
         let rec = BreakerTransition {
             at_ms: now_ms,
             from: self.state,
@@ -192,7 +192,8 @@ impl CircuitBreaker {
             self.consecutive_failures = 0;
         }
         self.log.push(rec.clone());
-        self.pending.push(rec);
+        self.pending.push(rec.clone());
+        rec
     }
 
     /// Milliseconds until the breaker would admit a probe (0 when not Open).
@@ -215,7 +216,7 @@ impl CircuitBreaker {
             BreakerState::HalfOpen => Admission::Probe,
             BreakerState::Open => {
                 if now_ms.saturating_sub(self.opened_at_ms) >= self.cfg.cooldown_ms {
-                    self.transition(BreakerState::HalfOpen, now_ms, "cooldown-elapsed");
+                    let _ = self.transition(BreakerState::HalfOpen, now_ms, "cooldown-elapsed");
                     Admission::Probe
                 } else {
                     Admission::Rejected {
@@ -226,39 +227,46 @@ impl CircuitBreaker {
         }
     }
 
-    /// Feed one signal into the state machine.
-    pub fn record(&mut self, input: BreakerInput, now_ms: u64) {
+    /// Feed one signal into the state machine. Returns the transition it
+    /// caused, if any, so callers can annotate the active dispatch span.
+    pub fn record(&mut self, input: BreakerInput, now_ms: u64) -> Option<BreakerTransition> {
         match (self.state, input) {
             (BreakerState::Closed, BreakerInput::OpSuccess | BreakerInput::HeartbeatOk) => {
                 self.consecutive_failures = 0;
+                None
             }
             (BreakerState::Closed, BreakerInput::OpFailure | BreakerInput::HeartbeatMissed) => {
                 self.consecutive_failures += 1;
                 if self.consecutive_failures >= self.cfg.failure_threshold {
-                    self.transition(BreakerState::Open, now_ms, "failure-threshold");
+                    Some(self.transition(BreakerState::Open, now_ms, "failure-threshold"))
+                } else {
+                    None
                 }
             }
             (_, BreakerInput::ForceOpen) => {
                 if self.state != BreakerState::Open {
-                    self.transition(BreakerState::Open, now_ms, "heartbeats-lost");
+                    Some(self.transition(BreakerState::Open, now_ms, "heartbeats-lost"))
+                } else {
+                    None
                 }
             }
             (BreakerState::HalfOpen, BreakerInput::OpSuccess) => {
-                self.transition(BreakerState::Closed, now_ms, "probe-success");
+                Some(self.transition(BreakerState::Closed, now_ms, "probe-success"))
             }
             (BreakerState::HalfOpen, BreakerInput::OpFailure) => {
-                self.transition(BreakerState::Open, now_ms, "probe-failure");
+                Some(self.transition(BreakerState::Open, now_ms, "probe-failure"))
             }
             (BreakerState::HalfOpen, BreakerInput::HeartbeatMissed) => {
-                self.transition(BreakerState::Open, now_ms, "heartbeat-missed");
+                Some(self.transition(BreakerState::Open, now_ms, "heartbeat-missed"))
             }
-            (BreakerState::HalfOpen, BreakerInput::HeartbeatOk) => {}
+            (BreakerState::HalfOpen, BreakerInput::HeartbeatOk) => None,
             (BreakerState::Open, BreakerInput::HeartbeatOk) => {
-                self.transition(BreakerState::HalfOpen, now_ms, "heartbeat-recovered");
+                Some(self.transition(BreakerState::HalfOpen, now_ms, "heartbeat-recovered"))
             }
             // Results of ops already in flight when the breaker opened; the
             // heartbeat/probe paths own recovery, so these are inert.
             (BreakerState::Open, BreakerInput::OpSuccess | BreakerInput::OpFailure | BreakerInput::HeartbeatMissed) => {
+                None
             }
         }
     }
@@ -410,25 +418,26 @@ impl AgentSupervisor {
         self.breaker.lock().take_pending()
     }
 
-    fn record(&self, input: BreakerInput, now_ms: u64) {
+    fn record(&self, input: BreakerInput, now_ms: u64) -> Option<BreakerTransition> {
         let mut b = self.breaker.lock();
-        b.record(input, now_ms);
+        let transition = b.record(input, now_ms);
         self.state_gauge.set(b.state().gauge_value());
+        transition
     }
 
     /// Feed a successful heartbeat (Open breakers go HalfOpen).
     pub fn on_heartbeat_ok(&self) {
-        self.record(BreakerInput::HeartbeatOk, self.clock.now_ms());
+        let _ = self.record(BreakerInput::HeartbeatOk, self.clock.now_ms());
     }
 
     /// Feed a missed heartbeat.
     pub fn on_heartbeat_missed(&self) {
-        self.record(BreakerInput::HeartbeatMissed, self.clock.now_ms());
+        let _ = self.record(BreakerInput::HeartbeatMissed, self.clock.now_ms());
     }
 
     /// The liveness machinery declared the agent dead: open immediately.
     pub fn force_open(&self) {
-        self.record(BreakerInput::ForceOpen, self.clock.now_ms());
+        let _ = self.record(BreakerInput::ForceOpen, self.clock.now_ms());
     }
 
     /// A `CircuitOpen` error for the current breaker state.
@@ -450,12 +459,21 @@ impl AgentSupervisor {
     /// Dispatch one op: breaker admission, then bounded retries with
     /// exponential backoff + seeded jitter against the clock deadline.
     /// Panicking agents are caught and treated as retryable failures.
+    ///
+    /// Under an active trace the dispatch is a span; every retry attempt is
+    /// an annotated child span, and breaker transitions caused by this
+    /// dispatch are annotated where they happen.
     pub fn dispatch(&self, agent: &Arc<dyn Agent>, op: &AgentOp) -> RedfishResult<AgentResponse> {
         let m = metrics();
+        let mut dspan = ofmf_obs::child_span("ofmf.supervisor.dispatch");
+        dspan.annotate("fabric", self.fabric_id.as_str());
+        dspan.annotate("op", op.kind());
         let start = self.clock.now_ms();
         match self.breaker.lock().admit(start) {
             Admission::Rejected { retry_after_ms } => {
                 m.rejected.inc();
+                dspan.annotate("breaker", "rejected: open");
+                dspan.set_error();
                 return Err(RedfishError::CircuitOpen {
                     fabric: self.fabric_id.clone(),
                     retry_after_ms,
@@ -465,17 +483,23 @@ impl AgentSupervisor {
         }
         let mut attempt: u32 = 0;
         loop {
+            let mut aspan = ofmf_obs::child_span("ofmf.supervisor.attempt");
+            aspan.annotate("attempt", (attempt + 1).to_string());
             let outcome = catch_unwind(AssertUnwindSafe(|| agent.apply(op)));
             let now = self.clock.now_ms();
             let err = match outcome {
                 Ok(Ok(resp)) => {
-                    self.record(BreakerInput::OpSuccess, now);
+                    if let Some(t) = self.record(BreakerInput::OpSuccess, now) {
+                        dspan.annotate("breaker", t.to_string());
+                    }
                     return Ok(resp);
                 }
                 // A deterministic business rejection is proof the agent is
                 // responsive — it feeds the breaker as a success.
                 Ok(Err(e)) if !retryable(&e) => {
-                    self.record(BreakerInput::OpSuccess, now);
+                    if let Some(t) = self.record(BreakerInput::OpSuccess, now) {
+                        dspan.annotate("breaker", t.to_string());
+                    }
                     return Err(e);
                 }
                 Ok(Err(e)) => e,
@@ -483,14 +507,21 @@ impl AgentSupervisor {
                     RedfishError::AgentUnavailable(format!("agent for fabric {} panicked mid-op", self.fabric_id))
                 }
             };
-            self.record(BreakerInput::OpFailure, now);
+            aspan.set_error();
+            aspan.annotate("error", err.to_string());
+            if let Some(t) = self.record(BreakerInput::OpFailure, now) {
+                dspan.annotate("breaker", t.to_string());
+            }
+            drop(aspan);
             attempt += 1;
             if self.breaker_state() == BreakerState::Open {
                 m.exhausted.inc();
+                dspan.set_error();
                 return Err(self.circuit_open_error());
             }
             if attempt >= self.cfg.retry.max_attempts {
                 m.exhausted.inc();
+                dspan.set_error();
                 return Err(RedfishError::AgentUnavailable(format!(
                     "fabric {}: gave up after {attempt} attempts: {err}",
                     self.fabric_id
@@ -499,6 +530,7 @@ impl AgentSupervisor {
             let backoff = self.backoff_ms(attempt);
             if now.saturating_sub(start) + backoff > self.cfg.retry.deadline_ms {
                 m.deadline_exceeded.inc();
+                dspan.set_error();
                 return Err(RedfishError::AgentUnavailable(format!(
                     "fabric {}: deadline of {} ms exceeded after {attempt} attempts: {err}",
                     self.fabric_id, self.cfg.retry.deadline_ms

@@ -59,7 +59,9 @@ proptest! {
         let mut now: u64 = 0;
         for step in &steps {
             match step {
-                Step::Feed(input) => b.record(*input, now),
+                Step::Feed(input) => {
+                    b.record(*input, now);
+                }
                 Step::Admit => {
                     let admission = b.admit(now);
                     // Admission decisions agree with the (possibly updated)
@@ -104,7 +106,9 @@ proptest! {
         let mut now: u64 = 0;
         for step in &steps {
             match step {
-                Step::Feed(input) => b.record(*input, now),
+                Step::Feed(input) => {
+                    b.record(*input, now);
+                }
                 Step::Admit => { let _ = b.admit(now); }
                 Step::Wait(ms) => now += ms,
             }

@@ -2,9 +2,10 @@
 //!
 //! Dependency-free observability for the OFMF services: a process-global
 //! [`Registry`] of atomic [`Counter`]s, [`Gauge`]s and log-bucketed
-//! [`Histogram`]s, a lightweight span facility ([`Trace`]) that times a
-//! scope into a histogram, and a bounded [`EventRing`] of recent structured
-//! events.
+//! [`Histogram`]s, a lightweight scope timer ([`Trace`]), hierarchical
+//! request tracing ([`Span`], [`root_span`]/[`enter_span`]/[`child_span`])
+//! with a tail-latency [`FlightRecorder`], and a bounded [`EventRing`] of
+//! recent structured events.
 //!
 //! The design goals, in order:
 //!
@@ -30,13 +31,19 @@
 #![warn(missing_docs)]
 
 mod metrics;
+mod recorder;
 mod registry;
 mod ring;
+mod span;
 mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use recorder::{
+    recorder, FlightRecorder, RecordedTrace, RetainReason, MAX_ROUTES, RECORDER_STRIPES, STRIPE_CAPACITY,
+};
 pub use registry::{counter, gauge, global, histogram, Registry, Snapshot};
 pub use ring::{EventRing, RingEvent, Severity, RING_CAPACITY};
+pub use span::{child_span, current_trace_id, enter_span, root_span, Span, SpanRecord, SpanStatus, SPAN_CAP};
 pub use trace::{next_request_id, Trace};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -86,6 +86,9 @@ pub const BUCKETS: usize = 64;
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
+    /// Last trace id that landed in each bucket (0 = none): exemplars that
+    /// link a latency band to a concrete flight-recorder trace.
+    exemplars: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
@@ -102,6 +105,7 @@ impl Histogram {
     pub fn new() -> Histogram {
         Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
@@ -135,6 +139,43 @@ impl Histogram {
     /// Record an elapsed duration in nanoseconds.
     pub fn record_duration(&self, d: std::time::Duration) {
         self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// [`Histogram::record`] plus an exemplar: the trace id is stored on
+    /// the value's bucket, and samples landing in the top latency band
+    /// (within 2× of the previous maximum) count as exemplar hits
+    /// (`ofmf.trace.exemplar.hits.total`) — the cheap-request path's link
+    /// into the flight recorder.
+    pub fn record_with_exemplar(&self, v: u64, trace_id: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let prior_max = self.max.load(Ordering::Relaxed);
+        self.record(v);
+        if trace_id == 0 {
+            return;
+        }
+        self.exemplars[Self::bucket_of(v)].store(trace_id, Ordering::Relaxed);
+        if v.saturating_mul(2) >= prior_max {
+            crate::span::trace_metrics().exemplar_hits.inc();
+        }
+    }
+
+    /// The exemplar trace ids currently attached to nonempty buckets, as
+    /// `(bucket_midpoint, trace_id)` pairs in ascending value order.
+    pub fn bucket_exemplars(&self) -> Vec<(u64, u64)> {
+        (0..BUCKETS)
+            .filter_map(|i| match self.exemplars[i].load(Ordering::Relaxed) {
+                0 => None,
+                id => Some((Self::bucket_mid(i), id)),
+            })
+            .collect()
+    }
+
+    /// The exemplar from the highest occupied bucket — a trace id for the
+    /// worst latency band seen so far.
+    pub fn top_exemplar(&self) -> Option<u64> {
+        self.bucket_exemplars().last().map(|&(_, id)| id)
     }
 
     /// Number of recorded samples.
@@ -243,6 +284,32 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.p99, 0);
         assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn trace_exemplars_stick_to_buckets_and_count_top_band_hits() {
+        let _g = crate::test_guard();
+        let h = Histogram::new();
+        let hits = || crate::span::trace_metrics().exemplar_hits.get();
+        let before = hits();
+        // First sample always counts as a top-band hit.
+        h.record_with_exemplar(1_000, 7);
+        assert_eq!(hits(), before + 1);
+        // A much slower sample is a hit and owns the top bucket.
+        h.record_with_exemplar(1_000_000, 8);
+        assert_eq!(hits(), before + 2);
+        assert_eq!(h.top_exemplar(), Some(8));
+        // A fast sample (same [512,1024) bucket as the first) updates its
+        // bucket's exemplar but is not a hit.
+        h.record_with_exemplar(900, 9);
+        assert_eq!(hits(), before + 2);
+        let ex = h.bucket_exemplars();
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0].1, 9, "fast bucket now exemplified by trace 9");
+        // Anonymous samples (no trace) leave exemplars untouched.
+        h.record_with_exemplar(1_200, 0);
+        assert_eq!(h.bucket_exemplars(), ex);
+        assert_eq!(h.count(), 4);
     }
 
     #[test]

@@ -1,0 +1,332 @@
+//! The flight recorder: a bounded, lock-striped store of interesting
+//! span trees.
+//!
+//! Most requests are cheap and record only into histograms; the recorder
+//! keeps the complete tree for the ones worth debugging:
+//!
+//! * **errored** — any span in the trace reported failure,
+//! * **sampled** — explicitly marked (the `x-ofmf-trace` request header,
+//!   or control-plane operations like compose that are rare and precious),
+//! * **slow** — the trace's duration reached the rolling p99 of its route,
+//!   tracked by an unregistered per-route histogram (refreshed every few
+//!   completions, armed only after a warm-up so early noise doesn't retain
+//!   everything).
+//!
+//! Memory is strictly bounded: [`RECORDER_STRIPES`] stripes ×
+//! [`STRIPE_CAPACITY`] traces × [`crate::SPAN_CAP`] spans, with per-route
+//! state capped at [`MAX_ROUTES`] distinct keys (overflow shares one
+//! bucket). Stripes are independent mutexes keyed by trace id, and the
+//! route map lock is never held across a stripe lock, so the recorder adds
+//! no edges to the lock-order graph beyond leaf locks.
+
+use crate::metrics::Histogram;
+use crate::span::{trace_metrics, SpanRecord};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Number of independent stripes (trace id modulo stripe count).
+pub const RECORDER_STRIPES: usize = 8;
+
+/// Retained traces per stripe, oldest evicted first.
+pub const STRIPE_CAPACITY: usize = 32;
+
+/// Cap on distinct per-route latency states; further routes share one
+/// overflow bucket so a path-scanning client cannot grow the map.
+pub const MAX_ROUTES: usize = 64;
+
+/// Completions a route must see before the p99 threshold arms.
+const WARMUP_SAMPLES: u64 = 64;
+
+/// The cached p99 refreshes every this many completions.
+const P99_REFRESH: u64 = 16;
+
+const OVERFLOW_ROUTE: &str = "other";
+
+/// Why a trace was retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetainReason {
+    /// A span in the trace reported an error.
+    Errored,
+    /// Explicitly sampled.
+    Sampled,
+    /// Duration reached the route's rolling p99.
+    Slow,
+}
+
+impl RetainReason {
+    /// Human/Redfish-friendly label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RetainReason::Errored => "Errored",
+            RetainReason::Sampled => "Sampled",
+            RetainReason::Slow => "Slow",
+        }
+    }
+}
+
+/// A complete retained span tree.
+#[derive(Debug, Clone)]
+pub struct RecordedTrace {
+    /// The trace id (also the root span's request id).
+    pub trace_id: u64,
+    /// Route key the retention threshold was computed against.
+    pub route: String,
+    /// Wall-clock start, milliseconds since the Unix epoch.
+    pub started_unix_ms: u64,
+    /// Root span duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Whether any span errored.
+    pub errored: bool,
+    /// Why the recorder kept it.
+    pub reason: RetainReason,
+    /// The spans, in completion order (leaves first, root last).
+    pub spans: Vec<SpanRecord>,
+    /// Spans discarded past [`crate::SPAN_CAP`].
+    pub spans_dropped: u64,
+}
+
+/// A finished trace offered to the recorder (crate-internal hand-off from
+/// the root span's drop).
+pub(crate) struct FinishedTrace {
+    pub trace_id: u64,
+    pub route: String,
+    pub started_unix_ms: u64,
+    pub duration_ns: u64,
+    pub errored: bool,
+    pub sampled: bool,
+    pub spans: Vec<SpanRecord>,
+    pub spans_dropped: u64,
+}
+
+/// Rolling latency state for one route.
+struct RouteState {
+    hist: Histogram,
+    completions: AtomicU64,
+    p99_ns: AtomicU64,
+}
+
+impl RouteState {
+    fn new() -> RouteState {
+        RouteState {
+            hist: Histogram::new(),
+            completions: AtomicU64::new(0),
+            p99_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bounded store of retained traces. See the module docs for the
+/// retention policy and memory bound.
+pub struct FlightRecorder {
+    routes: RwLock<HashMap<String, Arc<RouteState>>>,
+    stripes: Vec<Mutex<VecDeque<RecordedTrace>>>,
+}
+
+impl FlightRecorder {
+    fn new() -> FlightRecorder {
+        FlightRecorder {
+            routes: RwLock::new(HashMap::new()),
+            stripes: (0..RECORDER_STRIPES)
+                .map(|_| Mutex::new(VecDeque::with_capacity(STRIPE_CAPACITY)))
+                .collect(),
+        }
+    }
+
+    /// Fetch-or-create the route's rolling state. The map lock is released
+    /// before any stripe lock is taken.
+    fn route_state(&self, route: &str) -> Arc<RouteState> {
+        if let Some(s) = self.routes.read().get(route) {
+            return Arc::clone(s);
+        }
+        let mut w = self.routes.write();
+        if let Some(s) = w.get(route) {
+            return Arc::clone(s);
+        }
+        let key = if w.len() >= MAX_ROUTES && !w.contains_key(route) {
+            OVERFLOW_ROUTE.to_string()
+        } else {
+            route.to_string()
+        };
+        Arc::clone(w.entry(key).or_insert_with(|| Arc::new(RouteState::new())))
+    }
+
+    /// Feed a finished trace: always updates the route's distribution,
+    /// retains the tree only when errored, sampled or slow.
+    pub(crate) fn complete(&self, t: FinishedTrace) {
+        let state = self.route_state(&t.route);
+        state.hist.record(t.duration_ns);
+        let n = state.completions.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(P99_REFRESH) {
+            // ofmf-lint: allow(atomic-ordering-audit, "advisory latency-threshold cache; a stale value only shifts the retention heuristic")
+            state.p99_ns.store(state.hist.snapshot().p99, Ordering::Relaxed);
+        }
+        let reason = if t.errored {
+            RetainReason::Errored
+        } else if t.sampled {
+            RetainReason::Sampled
+        } else {
+            // ofmf-lint: allow(atomic-ordering-audit, "advisory latency-threshold cache; a stale value only shifts the retention heuristic")
+            let p99 = state.p99_ns.load(Ordering::Relaxed);
+            if n < WARMUP_SAMPLES || p99 == 0 || t.duration_ns < p99 {
+                return;
+            }
+            RetainReason::Slow
+        };
+        trace_metrics().retained.inc();
+        let idx = (t.trace_id as usize) % RECORDER_STRIPES;
+        let mut stripe = self.stripes[idx].lock();
+        if stripe.len() >= STRIPE_CAPACITY {
+            stripe.pop_front();
+            trace_metrics().evicted.inc();
+        }
+        stripe.push_back(RecordedTrace {
+            trace_id: t.trace_id,
+            route: t.route,
+            started_unix_ms: t.started_unix_ms,
+            duration_ns: t.duration_ns,
+            errored: t.errored,
+            reason,
+            spans: t.spans,
+            spans_dropped: t.spans_dropped,
+        });
+    }
+
+    /// Look up a retained trace by id.
+    pub fn get(&self, trace_id: u64) -> Option<RecordedTrace> {
+        let stripe = self.stripes[(trace_id as usize) % RECORDER_STRIPES].lock();
+        stripe.iter().find(|t| t.trace_id == trace_id).cloned()
+    }
+
+    /// All retained traces, ordered by trace id (≈ arrival order).
+    pub fn recent(&self) -> Vec<RecordedTrace> {
+        let mut all: Vec<RecordedTrace> = Vec::new();
+        for stripe in &self.stripes {
+            all.extend(stripe.lock().iter().cloned());
+        }
+        all.sort_by_key(|t| t.trace_id);
+        all
+    }
+
+    /// Number of traces currently retained.
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cached rolling p99 (ns) for a route, once armed.
+    pub fn route_p99_ns(&self, route: &str) -> Option<u64> {
+        let state = Arc::clone(self.routes.read().get(route)?);
+        // ofmf-lint: allow(atomic-ordering-audit, "advisory latency-threshold cache; a stale value only shifts the retention heuristic")
+        match state.p99_ns.load(Ordering::Relaxed) {
+            0 => None,
+            p => Some(p),
+        }
+    }
+}
+
+/// The process-wide flight recorder.
+pub fn recorder() -> &'static FlightRecorder {
+    static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
+    RECORDER.get_or_init(FlightRecorder::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finished(trace_id: u64, route: &str, duration_ns: u64, errored: bool, sampled: bool) -> FinishedTrace {
+        FinishedTrace {
+            trace_id,
+            route: route.to_string(),
+            started_unix_ms: 0,
+            duration_ns,
+            errored,
+            sampled,
+            spans: Vec::new(),
+            spans_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn trace_recorder_keeps_errored_and_sampled_only_while_cold() {
+        let _g = crate::test_guard();
+        let r = FlightRecorder::new();
+        r.complete(finished(1, "t1", 1_000, false, false));
+        assert!(r.get(1).is_none(), "cold fast trace not retained");
+        r.complete(finished(2, "t1", 1_000, true, false));
+        assert_eq!(r.get(2).unwrap().reason, RetainReason::Errored);
+        r.complete(finished(3, "t1", 1_000, false, true));
+        assert_eq!(r.get(3).unwrap().reason, RetainReason::Sampled);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn trace_recorder_retains_tail_latency_after_warmup() {
+        let _g = crate::test_guard();
+        let r = FlightRecorder::new();
+        // Warm the route with fast completions, then send one 100× outlier.
+        for i in 0..WARMUP_SAMPLES {
+            r.complete(finished(100 + i, "t2", 10_000, false, false));
+        }
+        assert!(r.route_p99_ns("t2").is_some(), "p99 armed after warm-up");
+        r.complete(finished(999, "t2", 1_000_000, false, false));
+        assert_eq!(r.get(999).unwrap().reason, RetainReason::Slow);
+        // A typical request after warm-up is still not retained.
+        r.complete(finished(1000, "t2", 10_000, false, false));
+        assert!(r.get(1000).is_none());
+    }
+
+    #[test]
+    fn trace_recorder_stripes_are_bounded_and_evict_oldest() {
+        let _g = crate::test_guard();
+        let r = FlightRecorder::new();
+        let stripe0 = |i: u64| i * RECORDER_STRIPES as u64; // all land in stripe 0
+        for i in 1..=(STRIPE_CAPACITY as u64 + 3) {
+            r.complete(finished(stripe0(i), "t3", 1_000, true, false));
+        }
+        assert_eq!(r.len(), STRIPE_CAPACITY);
+        assert!(r.get(stripe0(1)).is_none(), "oldest evicted");
+        assert!(r.get(stripe0(STRIPE_CAPACITY as u64 + 3)).is_some());
+    }
+
+    /// With `--features lockcheck`: drive the full span → recorder path
+    /// (route map, stripes, span buffers, registry) and assert the
+    /// process-global lock-order graph stays acyclic.
+    #[cfg(feature = "lockcheck")]
+    #[test]
+    fn trace_recorder_lock_graph_is_acyclic() {
+        let _g = crate::test_guard();
+        for i in 0..64u64 {
+            let mut root = crate::span::root_span("ofmf.test.span_lockgraph");
+            root.set_route("lockgraph");
+            if i % 2 == 0 {
+                root.set_error();
+            }
+            let _child = crate::span::child_span("ofmf.test.span_lockgraph_child");
+        }
+        let report = parking_lot::lock_order_report();
+        assert!(
+            report.cycles.is_empty(),
+            "recorder locking introduced a potential deadlock:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn trace_recorder_route_cardinality_is_capped() {
+        let _g = crate::test_guard();
+        let r = FlightRecorder::new();
+        let routes: Vec<String> = (0..MAX_ROUTES + 10).map(|i| format!("t4.{i}")).collect();
+        for (i, route) in routes.iter().enumerate() {
+            r.complete(finished(5_000 + i as u64, route, 1_000, false, false));
+        }
+        assert!(r.routes.read().len() <= MAX_ROUTES + 1, "overflow shares one bucket");
+        assert!(r.routes.read().contains_key(OVERFLOW_ROUTE));
+    }
+}

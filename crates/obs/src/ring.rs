@@ -43,8 +43,9 @@ pub struct RingEvent {
     pub target: String,
     /// Human-readable message.
     pub message: String,
-    /// Request ID if the event occurred inside a traced request.
-    pub request_id: Option<u64>,
+    /// Root span (trace) id if the event occurred inside a traced request;
+    /// joins ring entries to flight-recorder traces.
+    pub trace_id: Option<u64>,
 }
 
 /// Fixed-capacity buffer of the most recent [`RingEvent`]s.
@@ -72,16 +73,17 @@ impl EventRing {
     /// sequence number (0 when instrumentation is disabled and the event was
     /// discarded).
     pub fn emit(&self, severity: Severity, target: &str, message: impl Into<String>) -> u64 {
-        self.emit_for_request(severity, target, message, None)
+        self.emit_for_trace(severity, target, message, None)
     }
 
-    /// [`EventRing::emit`] with an originating request ID attached.
-    pub fn emit_for_request(
+    /// [`EventRing::emit`] with the originating trace (root span) id
+    /// attached, so the entry is joinable with the flight recorder.
+    pub fn emit_for_trace(
         &self,
         severity: Severity,
         target: &str,
         message: impl Into<String>,
-        request_id: Option<u64>,
+        trace_id: Option<u64>,
     ) -> u64 {
         if !crate::enabled() {
             return 0;
@@ -95,7 +97,7 @@ impl EventRing {
             severity,
             target: target.to_string(),
             message: message.into(),
-            request_id,
+            trace_id,
         };
         let mut q = self.inner.lock();
         if q.len() == self.cap {
@@ -166,10 +168,10 @@ mod tests {
     }
 
     #[test]
-    fn request_id_is_attached() {
+    fn trace_id_is_attached() {
         let _g = crate::test_guard();
         let ring = EventRing::new(4);
-        ring.emit_for_request(Severity::Warning, "ofmf.rest", "parse error", Some(42));
-        assert_eq!(ring.recent()[0].request_id, Some(42));
+        ring.emit_for_trace(Severity::Warning, "ofmf.rest", "parse error", Some(42));
+        assert_eq!(ring.recent()[0].trace_id, Some(42));
     }
 }

@@ -1,0 +1,472 @@
+//! Hierarchical spans: one request becomes one tree.
+//!
+//! A [`Span`] is a timed scope with a name, a parent, a status and
+//! key-value annotations. Spans belong to a *trace* — the tree of work done
+//! on behalf of one north-bound request — identified by a process-unique
+//! trace id (the same counter that numbers requests, so event-ring entries
+//! and recorded traces join on the same id).
+//!
+//! The active trace propagates through a thread-local: the OFMF serves each
+//! request synchronously on one worker thread, so rest → core → composer →
+//! supervisor → agent all see the same context without plumbing arguments
+//! through every signature. Three entry points cover the call-site shapes:
+//!
+//! * [`root_span`] — always opens a new trace. Used once, at the top of
+//!   REST request handling.
+//! * [`enter_span`] — child of the active trace, or a new root when none is
+//!   active. Used at composer entry points, which are driven both over REST
+//!   and directly (tests, tools).
+//! * [`child_span`] — child of the active trace, or *inert* when none is
+//!   active. Used on interior operations (registry ops, supervisor
+//!   dispatch, agent round-trips) that must cost nothing when nobody is
+//!   tracing.
+//!
+//! When the root span drops, the finished tree is offered to the
+//! [`crate::recorder::FlightRecorder`], which retains it only when the
+//! request was slow, errored or explicitly sampled. Everything is inert
+//! while instrumentation is disabled ([`crate::set_enabled`]).
+
+use crate::metrics::Counter;
+use crate::recorder::FinishedTrace;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Hard cap on buffered spans per trace; beyond it spans are counted as
+/// dropped (`ofmf.trace.spans.dropped.total`) instead of growing the
+/// buffer. A compose over every fabric stays well under this.
+pub const SPAN_CAP: usize = 512;
+
+/// Outcome of a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanStatus {
+    /// The operation completed normally.
+    Ok,
+    /// The operation failed; an errored root retains the whole trace.
+    Error,
+}
+
+impl SpanStatus {
+    /// Redfish-friendly status string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanStatus::Ok => "OK",
+            SpanStatus::Error => "Error",
+        }
+    }
+}
+
+/// One finished span inside a recorded trace.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Id unique within the trace (root is 1).
+    pub id: u64,
+    /// Parent span id; 0 for the root.
+    pub parent_id: u64,
+    /// Static span name, `ofmf.<subsystem>.<op>`.
+    pub name: &'static str,
+    /// Start offset from the trace's start, in nanoseconds.
+    pub start_ns: u64,
+    /// Elapsed nanoseconds.
+    pub duration_ns: u64,
+    /// Outcome.
+    pub status: SpanStatus,
+    /// Key-value annotations attached while the span was open.
+    pub annotations: Vec<(&'static str, String)>,
+}
+
+/// Shared buffer for one in-flight trace.
+pub(crate) struct TraceBuf {
+    trace_id: u64,
+    started_unix_ms: u64,
+    started: Instant,
+    next_span_id: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+    dropped: AtomicU64,
+    sampled: AtomicBool,
+    errored: AtomicBool,
+    route: Mutex<String>,
+}
+
+impl TraceBuf {
+    fn new() -> TraceBuf {
+        TraceBuf {
+            trace_id: crate::trace::next_request_id(),
+            started_unix_ms: crate::unix_ms(),
+            started: Instant::now(),
+            next_span_id: AtomicU64::new(0),
+            spans: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+            sampled: AtomicBool::new(false),
+            errored: AtomicBool::new(false),
+            route: Mutex::new(String::new()),
+        }
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+/// The worker thread's active trace: the shared buffer plus the stack of
+/// open span ids (top = current parent).
+struct ActiveTrace {
+    buf: Arc<TraceBuf>,
+    stack: Vec<u64>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+}
+
+/// The tracing subsystem's own instruments.
+pub(crate) struct TraceMetrics {
+    /// `ofmf.trace.spans.started.total`
+    pub started: Arc<Counter>,
+    /// `ofmf.trace.spans.dropped.total` — spans past [`SPAN_CAP`].
+    pub dropped: Arc<Counter>,
+    /// `ofmf.trace.recorder.retained.total`
+    pub retained: Arc<Counter>,
+    /// `ofmf.trace.recorder.evicted.total`
+    pub evicted: Arc<Counter>,
+    /// `ofmf.trace.exemplar.hits.total` — top-band exemplar recordings.
+    pub exemplar_hits: Arc<Counter>,
+}
+
+/// The process-wide tracing instrument bundle.
+pub(crate) fn trace_metrics() -> &'static TraceMetrics {
+    static METRICS: OnceLock<TraceMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| TraceMetrics {
+        started: crate::registry::counter("ofmf.trace.spans.started.total"),
+        dropped: crate::registry::counter("ofmf.trace.spans.dropped.total"),
+        retained: crate::registry::counter("ofmf.trace.recorder.retained.total"),
+        evicted: crate::registry::counter("ofmf.trace.recorder.evicted.total"),
+        exemplar_hits: crate::registry::counter("ofmf.trace.exemplar.hits.total"),
+    })
+}
+
+struct SpanInner {
+    buf: Arc<TraceBuf>,
+    id: u64,
+    parent_id: u64,
+    name: &'static str,
+    start_ns: u64,
+    start: Instant,
+    status: SpanStatus,
+    annotations: Vec<(&'static str, String)>,
+}
+
+impl SpanInner {
+    fn open(buf: Arc<TraceBuf>, parent_id: u64, name: &'static str) -> SpanInner {
+        let id = buf.next_span_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let start_ns = buf.elapsed_ns();
+        trace_metrics().started.inc();
+        SpanInner {
+            buf,
+            id,
+            parent_id,
+            name,
+            start_ns,
+            start: Instant::now(),
+            status: SpanStatus::Ok,
+            annotations: Vec::new(),
+        }
+    }
+}
+
+/// A live span guard. Records itself into the active trace on drop; the
+/// root span's drop additionally hands the finished tree to the flight
+/// recorder. An inert span (no active trace, or instrumentation disabled)
+/// costs one branch per method call.
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Span {
+    const INERT: Span = Span { inner: None };
+
+    /// Whether this span is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The owning trace's id, or 0 when inert.
+    pub fn trace_id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.buf.trace_id)
+    }
+
+    /// Nanoseconds since this span opened (0 when inert).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.start.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    }
+
+    /// Attach a key-value annotation.
+    pub fn annotate(&mut self, key: &'static str, value: impl Into<String>) {
+        if let Some(i) = self.inner.as_mut() {
+            i.annotations.push((key, value.into()));
+        }
+    }
+
+    /// Mark this span (and therefore the whole trace) as errored; errored
+    /// traces are always retained by the flight recorder.
+    pub fn set_error(&mut self) {
+        if let Some(i) = self.inner.as_mut() {
+            i.status = SpanStatus::Error;
+        }
+    }
+
+    /// Force the trace to be retained regardless of latency.
+    pub fn force_sample(&self) {
+        if let Some(i) = self.inner.as_ref() {
+            // ofmf-lint: allow(atomic-ordering-audit, "written and read on the owning request thread; atomic only because TraceBuf is Sync")
+            i.buf.sampled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Set the trace's route key (the flight recorder keeps a rolling
+    /// latency distribution per route). Defaults to the root span's name.
+    pub fn set_route(&self, route: &str) {
+        if let Some(i) = self.inner.as_ref() {
+            *i.buf.route.lock() = route.to_string();
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else { return };
+        let duration_ns = inner.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if inner.status == SpanStatus::Error {
+            // ofmf-lint: allow(atomic-ordering-audit, "written and read on the owning request thread; atomic only because TraceBuf is Sync")
+            inner.buf.errored.store(true, Ordering::Relaxed);
+        }
+        let record = SpanRecord {
+            id: inner.id,
+            parent_id: inner.parent_id,
+            name: inner.name,
+            start_ns: inner.start_ns,
+            duration_ns,
+            status: inner.status,
+            annotations: inner.annotations,
+        };
+        let is_root = inner.parent_id == 0;
+        {
+            let mut spans = inner.buf.spans.lock();
+            // The root record always lands: a rendered trace needs its root
+            // even when children overflowed the cap.
+            if spans.len() < SPAN_CAP || is_root {
+                spans.push(record);
+            } else {
+                inner.buf.dropped.fetch_add(1, Ordering::Relaxed);
+                trace_metrics().dropped.inc();
+            }
+        }
+        ACTIVE.with(|a| {
+            let mut slot = a.borrow_mut();
+            if let Some(t) = slot.as_mut() {
+                if t.buf.trace_id == inner.buf.trace_id {
+                    if let Some(pos) = t.stack.iter().rposition(|&id| id == inner.id) {
+                        t.stack.remove(pos);
+                    }
+                    if is_root {
+                        *slot = None;
+                    }
+                }
+            }
+        });
+        if is_root {
+            let buf = &inner.buf;
+            let spans = std::mem::take(&mut *buf.spans.lock());
+            let route = {
+                let r = buf.route.lock();
+                if r.is_empty() {
+                    inner.name.to_string()
+                } else {
+                    r.clone()
+                }
+            };
+            crate::recorder::recorder().complete(FinishedTrace {
+                trace_id: buf.trace_id,
+                route,
+                started_unix_ms: buf.started_unix_ms,
+                duration_ns,
+                // ofmf-lint: allow(atomic-ordering-audit, "same-thread reads of flags this thread wrote; atomic only because TraceBuf is Sync")
+                errored: buf.errored.load(Ordering::Relaxed),
+                // ofmf-lint: allow(atomic-ordering-audit, "same-thread reads of flags this thread wrote; atomic only because TraceBuf is Sync")
+                sampled: buf.sampled.load(Ordering::Relaxed),
+                spans,
+                // ofmf-lint: allow(atomic-ordering-audit, "same-thread reads of flags this thread wrote; atomic only because TraceBuf is Sync")
+                spans_dropped: buf.dropped.load(Ordering::Relaxed),
+            });
+        }
+    }
+}
+
+/// Open a new trace with this span as its root. The previous active trace
+/// (if any — there should be none on a well-nested path) is abandoned.
+pub fn root_span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span::INERT;
+    }
+    let buf = Arc::new(TraceBuf::new());
+    let inner = SpanInner::open(Arc::clone(&buf), 0, name);
+    ACTIVE.with(|a| {
+        *a.borrow_mut() = Some(ActiveTrace {
+            buf,
+            stack: vec![inner.id],
+        })
+    });
+    Span { inner: Some(inner) }
+}
+
+/// Open a child of the active trace, or a new root when none is active.
+/// For subsystem entry points that are driven both under a traced request
+/// and directly.
+pub fn enter_span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span::INERT;
+    }
+    match open_child(name) {
+        Some(span) => span,
+        None => root_span(name),
+    }
+}
+
+/// Open a child of the active trace, or an inert span when none is active.
+/// For interior operations that must cost nothing untraced.
+pub fn child_span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span::INERT;
+    }
+    open_child(name).unwrap_or(Span::INERT)
+}
+
+fn open_child(name: &'static str) -> Option<Span> {
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        let t = slot.as_mut()?;
+        let parent = t.stack.last().copied().unwrap_or(0).max(1);
+        let inner = SpanInner::open(Arc::clone(&t.buf), parent, name);
+        t.stack.push(inner.id);
+        Some(Span { inner: Some(inner) })
+    })
+}
+
+/// The active trace's id on this thread, or 0 when nothing is being traced.
+/// Lets event-ring emitters join their entries to the trace.
+pub fn current_trace_id() -> u64 {
+    if !crate::enabled() {
+        return 0;
+    }
+    ACTIVE.with(|a| a.borrow().as_ref().map_or(0, |t| t.buf.trace_id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{recorder, RetainReason};
+
+    fn find_trace(id: u64) -> crate::recorder::RecordedTrace {
+        recorder().get(id).expect("trace retained")
+    }
+
+    #[test]
+    fn trace_tree_parent_child_structure() {
+        let _g = crate::test_guard();
+        let root = root_span("ofmf.test.span_root");
+        let id = root.trace_id();
+        assert!(id > 0);
+        root.force_sample();
+        {
+            let child = child_span("ofmf.test.span_child");
+            assert_eq!(child.trace_id(), id);
+            {
+                let mut grand = child_span("ofmf.test.span_grandchild");
+                grand.annotate("k", "v");
+            }
+        }
+        assert_eq!(current_trace_id(), id);
+        drop(root);
+        assert_eq!(current_trace_id(), 0);
+        let t = find_trace(id);
+        assert_eq!(t.reason, RetainReason::Sampled);
+        assert_eq!(t.spans.len(), 3);
+        // Spans finish leaf-first; the root is last.
+        let root_rec = t.spans.iter().find(|s| s.parent_id == 0).unwrap();
+        assert_eq!(root_rec.name, "ofmf.test.span_root");
+        let child = t.spans.iter().find(|s| s.parent_id == root_rec.id).unwrap();
+        assert_eq!(child.name, "ofmf.test.span_child");
+        let grand = t.spans.iter().find(|s| s.parent_id == child.id).unwrap();
+        assert_eq!(grand.name, "ofmf.test.span_grandchild");
+        assert_eq!(grand.annotations, vec![("k", "v".to_string())]);
+    }
+
+    #[test]
+    fn errored_trace_is_retained() {
+        let _g = crate::test_guard();
+        let mut root = root_span("ofmf.test.span_err");
+        let id = root.trace_id();
+        root.set_error();
+        drop(root);
+        let t = find_trace(id);
+        assert!(t.errored);
+        assert_eq!(t.reason, RetainReason::Errored);
+        assert_eq!(t.spans[0].status, SpanStatus::Error);
+    }
+
+    #[test]
+    fn child_span_is_inert_without_active_trace() {
+        let _g = crate::test_guard();
+        let before = trace_metrics().started.get();
+        let mut orphan = child_span("ofmf.test.span_orphan");
+        assert!(!orphan.is_recording());
+        assert_eq!(orphan.trace_id(), 0);
+        orphan.annotate("ignored", "yes");
+        drop(orphan);
+        assert_eq!(trace_metrics().started.get(), before);
+    }
+
+    #[test]
+    fn enter_span_roots_a_trace_when_none_active() {
+        let _g = crate::test_guard();
+        let span = enter_span("ofmf.test.span_enter");
+        let id = span.trace_id();
+        assert!(id > 0);
+        span.force_sample();
+        drop(span);
+        let t = find_trace(id);
+        assert_eq!(t.route, "ofmf.test.span_enter", "route defaults to root name");
+    }
+
+    #[test]
+    fn disabled_tracing_is_fully_inert() {
+        let _g = crate::test_guard();
+        crate::set_enabled(false);
+        let root = root_span("ofmf.test.span_disabled");
+        let ok = !root.is_recording() && current_trace_id() == 0;
+        drop(root);
+        crate::set_enabled(true);
+        assert!(ok);
+    }
+
+    #[test]
+    fn trace_span_overflow_is_counted_not_buffered() {
+        let _g = crate::test_guard();
+        let root = root_span("ofmf.test.span_overflow");
+        let id = root.trace_id();
+        root.force_sample();
+        for _ in 0..SPAN_CAP + 5 {
+            child_span("ofmf.test.span_filler");
+        }
+        drop(root);
+        let t = find_trace(id);
+        // SPAN_CAP children buffered, 5 dropped, root always appended.
+        assert_eq!(t.spans.len(), SPAN_CAP + 1);
+        assert_eq!(t.spans_dropped, 5);
+        assert!(t.spans.iter().any(|s| s.parent_id == 0), "root record survives");
+    }
+}

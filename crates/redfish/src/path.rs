@@ -48,6 +48,10 @@ pub mod top {
     pub const OBS_METRIC_REPORTS: &str = "/redfish/v1/Managers/OFMF/MetricReports";
     /// Observability log entries (the in-process event ring).
     pub const OBS_LOG_ENTRIES: &str = "/redfish/v1/Managers/OFMF/LogServices/Observability/Entries";
+    /// Flight-recorder trace entries (retained span trees).
+    pub const OBS_TRACE_ENTRIES: &str = "/redfish/v1/Managers/OFMF/LogServices/Tracing/Entries";
+    /// The `CompositionService.Compose` action target.
+    pub const COMPOSE_ACTION: &str = "/redfish/v1/CompositionService/Actions/CompositionService.Compose";
 }
 
 /// Split a path into its segments, ignoring empty segments.

@@ -27,5 +27,5 @@ pub mod router;
 pub mod server;
 
 pub use client::HttpClient;
-pub use router::Router;
+pub use router::{ComposeService, Router};
 pub use server::RestServer;

@@ -114,10 +114,13 @@ pub(crate) fn handle_get(ofmf: &Ofmf, path: &ODataId) -> Option<Response> {
         top::OBS_METRIC_REPORTS => Some(report_collection()),
         _ if p == live_report_id().as_str() => Some(live_report()),
         top::OBS_LOG_ENTRIES => Some(ring_collection()),
+        top::OBS_TRACE_ENTRIES => Some(trace_collection()),
         _ => {
             let parent = path.parent()?;
             if parent.as_str() == top::OBS_LOG_ENTRIES {
                 Some(ring_entry(path.leaf()))
+            } else if parent.as_str() == top::OBS_TRACE_ENTRIES {
+                Some(trace_entry(path.leaf()))
             } else {
                 None
             }
@@ -138,12 +141,24 @@ fn manager_overlay(ofmf: &Ofmf, path: &ODataId) -> Response {
         .iter()
         .map(|mm| mm.requests.get())
         .sum();
+    let exemplar = |mm: &MethodMetrics| match mm.latency.top_exemplar() {
+        Some(id) => json!(id),
+        None => Value::Null,
+    };
     let summary = json!({
         "Enabled": ofmf_obs::enabled(),
         "UptimeMs": reg.uptime_ms(),
         "RestRequests": requests,
         "RingEvents": reg.ring().total_emitted(),
+        "RetainedTraces": ofmf_obs::recorder().len(),
         "MetricReports": {"@odata.id": top::OBS_METRIC_REPORTS},
+        "Tracing": {"@odata.id": top::OBS_TRACE_ENTRIES},
+        "LatencyExemplars": {
+            "Get": exemplar(&m.get),
+            "Post": exemplar(&m.post),
+            "Patch": exemplar(&m.patch),
+            "Delete": exemplar(&m.delete),
+        },
     });
     if let Value::Object(map) = &mut body {
         let oem = map.entry("Oem".to_string()).or_insert_with(|| json!({}));
@@ -231,8 +246,8 @@ fn ring_entry(seq: &str) -> Response {
     else {
         return crate::router::error_response(&redfish_model::RedfishError::NotFound(collection.child(seq)));
     };
-    let message = match ev.request_id {
-        Some(rid) => format!("{}: {} (request {rid})", ev.target, ev.message),
+    let message = match ev.trace_id {
+        Some(tid) => format!("{}: {} (trace {tid})", ev.target, ev.message),
         None => format!("{}: {}", ev.target, ev.message),
     };
     let entry = LogEntry::event(
@@ -244,7 +259,105 @@ fn ring_entry(seq: &str) -> Response {
         &ODataId::new(top::OFMF_MANAGER),
         ev.unix_ms,
     );
-    Response::json(200, &entry.to_value())
+    let mut body = entry.to_value();
+    // Join: when the flight recorder retained the originating trace, the
+    // entry links straight to it.
+    if let Some(tid) = ev.trace_id {
+        if ofmf_obs::recorder().get(tid).is_some() {
+            if let Value::Object(map) = &mut body {
+                map.insert(
+                    "Oem".to_string(),
+                    json!({"OFMF": {"Trace": {
+                        "TraceId": tid,
+                        "@odata.id": ODataId::new(top::OBS_TRACE_ENTRIES).child(&tid.to_string()).as_str(),
+                    }}}),
+                );
+            }
+        }
+    }
+    Response::json(200, &body)
+}
+
+/// `GET …/LogServices/Tracing/Entries`: retained flight-recorder traces.
+fn trace_collection() -> Response {
+    let traces = ofmf_obs::recorder().recent();
+    let members: Vec<Value> = traces
+        .iter()
+        .map(|t| json!({"@odata.id": ODataId::new(top::OBS_TRACE_ENTRIES).child(&t.trace_id.to_string()).as_str()}))
+        .collect();
+    Response::json(
+        200,
+        &json!({
+            "@odata.id": top::OBS_TRACE_ENTRIES,
+            "@odata.type": "#LogEntryCollection.LogEntryCollection",
+            "Name": "Flight Recorder Traces",
+            "Members": members,
+            "Members@odata.count": members.len(),
+        }),
+    )
+}
+
+/// `GET …/Tracing/Entries/{trace_id}`: one retained span tree as a
+/// `LogEntry` whose `Oem.OFMF.Trace` carries the full tree (404 once
+/// evicted).
+fn trace_entry(id: &str) -> Response {
+    let collection = ODataId::new(top::OBS_TRACE_ENTRIES);
+    let Some(t) = id.parse::<u64>().ok().and_then(|n| ofmf_obs::recorder().get(n)) else {
+        return crate::router::error_response(&redfish_model::RedfishError::NotFound(collection.child(id)));
+    };
+    let message = format!(
+        "{}: {:.3} ms, {} spans ({})",
+        t.route,
+        t.duration_ns as f64 / 1e6,
+        t.spans.len(),
+        t.reason.as_str()
+    );
+    let severity = if t.errored { "Critical" } else { "OK" };
+    let entry = LogEntry::event(
+        &collection,
+        id,
+        severity,
+        &message,
+        "OFMF.1.0.TraceRecord",
+        &ODataId::new(top::OFMF_MANAGER),
+        t.started_unix_ms,
+    );
+    let mut body = entry.to_value();
+    if let Value::Object(map) = &mut body {
+        map.insert("Oem".to_string(), json!({"OFMF": {"Trace": trace_json(&t)}}));
+    }
+    Response::json(200, &body)
+}
+
+/// Render a recorded trace as plain JSON (the CLI re-renders this as a
+/// tree with self-time and the critical path).
+fn trace_json(t: &ofmf_obs::RecordedTrace) -> Value {
+    let spans: Vec<Value> = t
+        .spans
+        .iter()
+        .map(|s| {
+            let ann: Vec<Value> = s.annotations.iter().map(|(k, v)| json!([k, v])).collect();
+            json!({
+                "Id": s.id,
+                "ParentId": s.parent_id,
+                "Name": s.name,
+                "StartNs": s.start_ns,
+                "DurationNs": s.duration_ns,
+                "Status": s.status.as_str(),
+                "Annotations": ann,
+            })
+        })
+        .collect();
+    json!({
+        "TraceId": t.trace_id,
+        "Route": t.route,
+        "StartedUnixMs": t.started_unix_ms,
+        "DurationNs": t.duration_ns,
+        "Errored": t.errored,
+        "Reason": t.reason.as_str(),
+        "SpansDropped": t.spans_dropped,
+        "Spans": spans,
+    })
 }
 
 /// Emit a warning event about a rejected (unparseable) request.

@@ -12,12 +12,25 @@ use serde_json::{json, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// South-bound composition hook: the umbrella crate implements this over
+/// `composer::Composer` and attaches it with
+/// [`Router::with_compose_service`], keeping `ofmf-rest` free of a
+/// composer dependency while `CompositionService.Compose` still runs the
+/// real allocation + bind pipeline (and its span tree) in-request.
+pub trait ComposeService: Send + Sync {
+    /// Handle `CompositionService.Compose`: allocate and bind a composed
+    /// system described by `body`, returning the new system's id.
+    fn compose(&self, body: &Value) -> Result<ODataId, RedfishError>;
+}
+
 /// The OFMF request router.
 pub struct Router {
     ofmf: Arc<Ofmf>,
     /// Whether requests (other than the service root and session login)
     /// must carry a valid `X-Auth-Token`.
     require_auth: bool,
+    /// Optional composition backend for `CompositionService.Compose`.
+    compose: Option<Arc<dyn ComposeService>>,
     /// Delivery queues of REST-created subscriptions, drained via
     /// `GET …/Subscriptions/{id}/Events`. Receivers are `Arc`-shared so a
     /// long-polling drain can block on its queue without holding the map
@@ -32,32 +45,52 @@ impl Router {
         Router {
             ofmf,
             require_auth,
+            compose: None,
             sub_queues: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Handle one request.
+    /// Attach a composition backend serving `CompositionService.Compose`.
+    pub fn with_compose_service(mut self, svc: Arc<dyn ComposeService>) -> Self {
+        self.compose = Some(svc);
+        self
+    }
+
+    /// Handle one request. Every request runs under a root span; the
+    /// response carries its trace id in `X-OFMF-TraceId`, and a request
+    /// with an `x-ofmf-trace` header is force-sampled into the flight
+    /// recorder.
     pub fn handle(&self, req: &Request) -> Response {
         let metrics = crate::obs::metrics();
         let method = metrics.method(req.method);
         method.requests.inc();
-        let span = ofmf_obs::Trace::begin(&method.latency);
-        let request_id = ofmf_obs::next_request_id();
-        let resp = self.dispatch(req, request_id);
+        let mut span = ofmf_obs::root_span("ofmf.rest.request");
+        span.set_route(&route_key(req.method, &req.path));
+        if req.header("x-ofmf-trace").is_some() {
+            span.force_sample();
+        }
+        let trace_id = span.trace_id();
+        let mut resp = self.dispatch(req);
         metrics.record_status(resp.status);
         if resp.status >= 500 {
-            ofmf_obs::global().ring().emit_for_request(
+            span.set_error();
+            ofmf_obs::global().ring().emit_for_trace(
                 ofmf_obs::Severity::Critical,
                 "ofmf.rest",
                 format!("{:?} {} -> {}", req.method, req.path, resp.status),
-                Some(request_id),
+                (trace_id != 0).then_some(trace_id),
             );
         }
+        span.annotate("status", resp.status.to_string());
+        method.latency.record_with_exemplar(span.elapsed_ns(), trace_id);
         drop(span);
+        if trace_id != 0 {
+            resp = resp.with_header("X-OFMF-TraceId", &trace_id.to_string());
+        }
         resp
     }
 
-    fn dispatch(&self, req: &Request, _request_id: u64) -> Response {
+    fn dispatch(&self, req: &Request) -> Response {
         if !in_service_tree(&req.path) && req.path != "/redfish" {
             return error_response(&RedfishError::NotFound(ODataId::new(req.path.as_str())));
         }
@@ -152,6 +185,26 @@ impl Router {
         }
         if normalized == top::SUBSCRIPTIONS {
             return self.subscribe(&body);
+        }
+        // Redfish actions: POST …/Actions/CompositionService.Compose
+        if normalized == top::COMPOSE_ACTION {
+            let Some(svc) = &self.compose else {
+                return error_response(&RedfishError::MethodNotAllowed(
+                    "no composition service attached to this endpoint".into(),
+                ));
+            };
+            return match svc.compose(&body) {
+                Ok(rid) => {
+                    let (doc, etag) = match self.ofmf.get(&rid) {
+                        Ok(x) => x,
+                        Err(e) => return error_response(&e),
+                    };
+                    Response::json(201, &doc)
+                        .with_header("Location", rid.as_str())
+                        .with_header("ETag", &etag.to_header())
+                }
+                Err(e) => error_response(&e),
+            };
         }
         // Redfish actions: POST …/Actions/ComputerSystem.Reset
         if normalized.ends_with("/Actions/ComputerSystem.Reset") {
@@ -332,6 +385,22 @@ impl Router {
         body.extend_from_slice(format!("],\"Count\":{}}}", batches.len()).as_bytes());
         Response::json_bytes(200, body)
     }
+}
+
+/// Normalize a request into a bounded route key for the flight recorder's
+/// per-route latency state: member ids and deeper segments collapse to `*`
+/// so a path-scanning client cannot inflate the route map.
+fn route_key(method: Method, path: &str) -> String {
+    let mut segs = path.split('/').filter(|s| !s.is_empty());
+    let (a, b, c, rest) = (segs.next(), segs.next(), segs.next(), segs.next());
+    let key = match (a, b, c, rest) {
+        (Some("redfish"), None, _, _) => "/redfish".to_string(),
+        (Some("redfish"), Some("v1"), None, _) => "/redfish/v1".to_string(),
+        (Some("redfish"), Some("v1"), Some(col), None) => format!("/redfish/v1/{col}"),
+        (Some("redfish"), Some("v1"), Some(col), Some(_)) => format!("/redfish/v1/{col}/*"),
+        _ => "/*".to_string(),
+    };
+    format!("{method:?} {key}")
 }
 
 /// Render a Redfish error as a response. Availability errors (open circuit

@@ -13,7 +13,13 @@
 //!   log [N]                  show the last N event-log entries (default 10)
 //!   tree [PREFIX]            walk collections breadth-first from PREFIX
 //!   stats                    service health summary from the live metrics
+//!   trace ID                 render a flight-recorder span tree (self-time,
+//!                            critical path marked with `*`)
 //! ```
+//!
+//! Trace ids come from the `X-OFMF-TraceId` response header, from exemplar
+//! links in `ofmf_cli stats`, or from the members of
+//! `/redfish/v1/Managers/OFMF/LogServices/Tracing/Entries`.
 
 use ofmf_rest::client::HttpClient;
 use serde_json::Value;
@@ -148,6 +154,7 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "stats" => stats(&mut client),
+        "trace" => trace(&mut client, arg(1)?),
         other => Err(format!("unknown command '{other}'")),
     }
 }
@@ -241,6 +248,117 @@ fn stats(client: &mut HttpClient) -> Result<(), String> {
         metric("ofmf.tasks.completed.total") as u64,
         metric("ofmf.tasks.failed.total") as u64,
     );
+    println!(
+        "tracing:       {} spans started, {} dropped at span cap",
+        metric("ofmf.trace.spans.started.total") as u64,
+        metric("ofmf.trace.spans.dropped.total") as u64,
+    );
+    println!(
+        "               recorder: {} retained now ({} retained / {} evicted all-time), {} exemplar top-band hits",
+        obs["RetainedTraces"].as_u64().unwrap_or(0),
+        metric("ofmf.trace.recorder.retained.total") as u64,
+        metric("ofmf.trace.recorder.evicted.total") as u64,
+        metric("ofmf.trace.exemplar.hits.total") as u64,
+    );
+    for (method, tid) in [
+        ("GET", &obs["LatencyExemplars"]["Get"]),
+        ("POST", &obs["LatencyExemplars"]["Post"]),
+    ] {
+        if let Some(id) = tid.as_u64() {
+            println!("               slowest recent {method}: ofmf_cli trace {id}");
+        }
+    }
+    Ok(())
+}
+
+/// `trace ID`: fetch one flight-recorder entry and render its span tree.
+///
+/// Each line shows total duration, self time (total minus direct children),
+/// a `*` on spans lying on the critical path (greedy descent into the
+/// longest child), and the span's annotations.
+fn trace(client: &mut HttpClient, id: &str) -> Result<(), String> {
+    let r = client
+        .get(&format!("/redfish/v1/Managers/OFMF/LogServices/Tracing/Entries/{id}"))
+        .map_err(stringify)?;
+    check(&r)?;
+    let entry = r.json().ok_or("non-JSON response")?;
+    let t = &entry["Oem"]["OFMF"]["Trace"];
+    if t.is_null() {
+        return Err(format!("entry {id} carries no trace payload"));
+    }
+    let spans = t["Spans"].as_array().ok_or("trace has no Spans array")?;
+    println!(
+        "trace {}: {} — {:.3} ms, {} spans, retained: {}{}",
+        t["TraceId"].as_u64().unwrap_or(0),
+        t["Route"].as_str().unwrap_or("?"),
+        t["DurationNs"].as_u64().unwrap_or(0) as f64 / 1e6,
+        spans.len(),
+        t["Reason"].as_str().unwrap_or("?"),
+        if t["Errored"].as_bool().unwrap_or(false) {
+            " (errored)"
+        } else {
+            ""
+        },
+    );
+    let dropped = t["SpansDropped"].as_u64().unwrap_or(0);
+    if dropped > 0 {
+        println!("({dropped} spans dropped at the per-trace cap; tree is truncated)");
+    }
+
+    // Index the tree: spans arrive in completion order.
+    let sid = |s: &Value| s["Id"].as_u64().unwrap_or(0);
+    let dur = |s: &Value| s["DurationNs"].as_u64().unwrap_or(0);
+    let mut children: std::collections::BTreeMap<u64, Vec<&Value>> = std::collections::BTreeMap::new();
+    for s in spans {
+        children.entry(s["ParentId"].as_u64().unwrap_or(0)).or_default().push(s);
+    }
+    for kids in children.values_mut() {
+        kids.sort_by_key(|s| s["StartNs"].as_u64().unwrap_or(0));
+    }
+
+    // Critical path: greedy descent into the longest child.
+    let mut critical = std::collections::BTreeSet::new();
+    let mut cursor: Vec<&Value> = children.get(&0).cloned().unwrap_or_default();
+    while let Some(longest) = cursor.iter().max_by_key(|s| dur(s)) {
+        critical.insert(sid(longest));
+        cursor = children.get(&sid(longest)).cloned().unwrap_or_default();
+    }
+
+    let mut stack: Vec<(&Value, usize)> = children
+        .get(&0)
+        .map(|roots| roots.iter().rev().map(|s| (*s, 0)).collect())
+        .unwrap_or_default();
+    while let Some((s, depth)) = stack.pop() {
+        let kids = children.get(&sid(s)).cloned().unwrap_or_default();
+        let child_ns: u64 = kids.iter().map(|c| dur(c)).sum();
+        let annos = s["Annotations"]
+            .as_array()
+            .map(|a| {
+                a.iter()
+                    .map(|kv| format!("{}={}", kv[0].as_str().unwrap_or("?"), kv[1].as_str().unwrap_or("?")))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .unwrap_or_default();
+        println!(
+            "{:10.3} ms  self {:8.3} ms {}{}{:indent$}{} {}",
+            dur(s) as f64 / 1e6,
+            dur(s).saturating_sub(child_ns) as f64 / 1e6,
+            if critical.contains(&sid(s)) { "*" } else { " " },
+            if s["Status"].as_str() == Some("Error") {
+                "!"
+            } else {
+                " "
+            },
+            "",
+            s["Name"].as_str().unwrap_or("?"),
+            annos,
+            indent = depth * 2 + 1,
+        );
+        for k in kids.into_iter().rev() {
+            stack.push((k, depth + 1));
+        }
+    }
     Ok(())
 }
 

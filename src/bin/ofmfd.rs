@@ -15,8 +15,10 @@
 //! "1.15.0"
 //! ```
 
+use composer::{Composer, Strategy};
 use ofmf_agents::flavors::{cxl_agent, infiniband_agent, nvmeof_agent, RackShape};
 use ofmf_core::Ofmf;
+use ofmf_repro::ComposerBridge;
 use ofmf_rest::{RestServer, Router};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -99,7 +101,8 @@ fn main() {
     ofmf.register_agent(Arc::new(infiniband_agent("IB0", &shape, "A100", cfg.seed ^ 3)))
         .expect("fresh tree");
 
-    let router = Arc::new(Router::new(Arc::clone(&ofmf), require_auth));
+    let bridge = ComposerBridge::new(Composer::new(Arc::clone(&ofmf), Strategy::TopologyAware));
+    let router = Arc::new(Router::new(Arc::clone(&ofmf), require_auth).with_compose_service(Arc::new(bridge)));
     let server = match RestServer::start(&format!("0.0.0.0:{}", cfg.port), router, cfg.workers) {
         Ok(s) => s,
         Err(e) => {

@@ -29,11 +29,63 @@ pub use ofmf_core;
 pub use ofmf_rest;
 pub use redfish_model;
 
+use composer::{Composer, CompositionRequest};
 use ofmf_agents::flavors::{cxl_agent, infiniband_agent, nvmeof_agent, RackShape};
 use ofmf_agents::SimAgent;
 use ofmf_core::Ofmf;
+use redfish_model::odata::ODataId;
+use redfish_model::{RedfishError, RedfishResult};
+use serde_json::Value;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Adapts [`composer::Composer`] to the REST layer's
+/// [`ofmf_rest::ComposeService`] hook, so `POST
+/// /redfish/v1/CompositionService/Actions/CompositionService.Compose`
+/// runs the real allocation + bind pipeline — and the request's span tree
+/// extends through composer, supervisors and agents.
+pub struct ComposerBridge {
+    composer: Composer,
+}
+
+impl ComposerBridge {
+    /// Wrap a composer for attachment via
+    /// [`ofmf_rest::Router::with_compose_service`].
+    pub fn new(composer: Composer) -> Self {
+        ComposerBridge { composer }
+    }
+
+    fn parse_request(body: &Value) -> RedfishResult<CompositionRequest> {
+        let name = body
+            .get("Name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| RedfishError::BadRequest("Compose requires a Name".into()))?;
+        if !redfish_model::path::valid_member_id(name) {
+            return Err(RedfishError::BadRequest(format!(
+                "invalid composed-system name '{name}'"
+            )));
+        }
+        let u = |key: &str| body.get(key).and_then(Value::as_u64).unwrap_or(0);
+        let f = |key: &str| body.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+        let mut req = CompositionRequest::compute_only(name, u("Cores") as u32, u("LocalMemoryGiB"))
+            .with_fabric_memory_mib(u("FabricMemoryMiB"))
+            .with_gpus(u("Gpus") as u32)
+            .with_storage_bytes(u("StorageBytes"))
+            .with_memory_bandwidth_gbps(f("MemoryBandwidthGbps"))
+            .with_storage_bandwidth_gbps(f("StorageBandwidthGbps"));
+        if body.get("SpreadMemory").and_then(Value::as_bool).unwrap_or(false) {
+            req = req.with_spread_memory();
+        }
+        Ok(req)
+    }
+}
+
+impl ofmf_rest::ComposeService for ComposerBridge {
+    fn compose(&self, body: &Value) -> RedfishResult<ODataId> {
+        let req = Self::parse_request(body)?;
+        Ok(self.composer.compose(&req)?.system)
+    }
+}
 
 /// A booted OFMF with one CXL memory fabric, one NVMe-oF storage fabric and
 /// one InfiniBand accelerator fabric registered.

@@ -143,6 +143,77 @@ fn crash_mid_compose_leaves_no_half_bound_composition() {
         .unwrap();
 }
 
+/// The crash-mid-compose story must be reconstructable from its trace tree
+/// alone: the retained trace shows the compensation (`unbind_all`) running
+/// and the breaker opening, with the failed fabric named on the dispatch.
+#[test]
+fn crash_mid_compose_trace_records_compensation_and_breaker_open() {
+    let rig = chaos_rig(2005, |fid| {
+        let cfg = ChaosConfig::quiet(2005 ^ fid.len() as u64);
+        if fid == "CXL0" {
+            cfg.with_crash_after_ops(3)
+        } else {
+            cfg
+        }
+    });
+    let composer = Composer::new(Arc::clone(&rig.ofmf), Strategy::FirstFit);
+    composer
+        .compose(&CompositionRequest::compute_only("warm-traced", 8, 8).with_fabric_memory_mib(1024))
+        .unwrap();
+    let err = composer
+        .compose(&CompositionRequest::compute_only("doomed-traced", 8, 8).with_fabric_memory_mib(1024))
+        .unwrap_err();
+    assert_eq!(err.http_status(), 503, "{err}");
+
+    // Composes force-sample, so the doomed trace is in the flight recorder.
+    let traces = ofmf_obs::recorder().recent();
+    let trace = traces
+        .iter()
+        .find(|t| {
+            t.spans.iter().any(|s| {
+                s.name == "ofmf.composer.compose"
+                    && s.annotations
+                        .iter()
+                        .any(|(k, v)| *k == "request" && v == "doomed-traced")
+            })
+        })
+        .expect("doomed compose trace retained");
+    assert!(trace.errored, "errored flag set on the trace");
+
+    // Compensation ran and is a span of the same tree.
+    assert!(
+        trace.spans.iter().any(|s| s.name == "ofmf.composer.unbind_all"),
+        "unbind_all span recorded: {:?}",
+        trace.spans.iter().map(|s| s.name).collect::<Vec<_>>()
+    );
+
+    // The dispatch against the crashed agent is errored, names the fabric,
+    // and carries the breaker's Closed->Open transition as an annotation.
+    let dispatch = trace
+        .spans
+        .iter()
+        .find(|s| {
+            s.name == "ofmf.supervisor.dispatch"
+                && s.annotations.iter().any(|(k, v)| *k == "fabric" && v == "CXL0")
+                && s.annotations
+                    .iter()
+                    .any(|(k, v)| *k == "breaker" && v.contains("Closed->Open"))
+        })
+        .expect("breaker-open annotation on the CXL0 dispatch span");
+    assert_eq!(dispatch.status, ofmf_obs::SpanStatus::Error);
+
+    // Every failed attempt is an annotated, errored child of the dispatch.
+    let attempts: Vec<_> = trace
+        .spans
+        .iter()
+        .filter(|s| s.parent_id == dispatch.id && s.name == "ofmf.supervisor.attempt")
+        .collect();
+    assert!(attempts.len() >= 3, "retry attempts recorded: {}", attempts.len());
+    assert!(attempts
+        .iter()
+        .all(|a| a.status == ofmf_obs::SpanStatus::Error && a.annotations.iter().any(|(k, _)| *k == "attempt")));
+}
+
 /// Retries absorb a 5% op-drop rate: a burst of compositions all succeed.
 #[test]
 fn five_percent_drop_rate_is_absorbed_by_retries() {
@@ -251,6 +322,9 @@ fn same_seed_produces_identical_breaker_transition_logs() {
 #[test]
 fn lock_order_graph_is_cycle_free_after_chaos() {
     crash_mid_compose_leaves_no_half_bound_composition();
+    // The tracing path (span buffers, recorder stripes, route map) must not
+    // add a cycle either.
+    crash_mid_compose_trace_records_compensation_and_breaker_open();
     let report = parking_lot::lock_order_report();
     assert!(
         report.cycles.is_empty(),

@@ -1,11 +1,13 @@
 //! Observability over the wire: the full stack (agents → OFMF → REST) runs
 //! in-process, traffic flows over real sockets, and the Redfish-native
 //! export under `/redfish/v1/Managers/OFMF` must report live, non-zero
-//! instruments for that traffic.
+//! instruments for that traffic — including complete span trees in the
+//! flight recorder's `LogServices/Tracing` export.
 
-use ofmf_repro::demo_rig;
+use composer::{Composer, Strategy};
+use ofmf_repro::{demo_rig, ComposerBridge};
 use ofmf_rest::{HttpClient, RestServer, Router};
-use serde_json::Value;
+use serde_json::{json, Value};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -61,6 +63,102 @@ fn manager_reports_live_nonzero_counters() {
     // The GET latency histogram saw every request.
     assert!(metric(&report, "ofmf.rest.get.latency_ns.count").unwrap() >= 4.0);
     assert!(metric(&report, "ofmf.rest.get.latency_ns.p99").unwrap() > 0.0);
+
+    server.shutdown();
+}
+
+/// Acceptance: one composed system over two fabrics yields ONE span tree
+/// covering rest → composer → supervisor → agent, retrievable over Redfish
+/// by the trace id the response handed back.
+#[test]
+fn compose_over_rest_yields_one_span_tree_across_all_layers() {
+    let rig = demo_rig(603);
+    let bridge = ComposerBridge::new(Composer::new(Arc::clone(&rig.ofmf), Strategy::FirstFit));
+    let router = Router::new(Arc::clone(&rig.ofmf), false).with_compose_service(Arc::new(bridge));
+    let server = RestServer::start("127.0.0.1:0", Arc::new(router), 2).unwrap();
+    let mut http = HttpClient::new(server.addr());
+
+    // Memory (CXL0) + storage (NVME0): the composition spans two fabrics.
+    let resp = http
+        .post(
+            "/redfish/v1/CompositionService/Actions/CompositionService.Compose",
+            &json!({
+                "Name": "traced-e2e",
+                "Cores": 8,
+                "LocalMemoryGiB": 8,
+                "FabricMemoryMiB": 512,
+                "StorageBytes": 1u64 << 30,
+            }),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 201, "{}", String::from_utf8_lossy(&resp.body));
+    assert_eq!(resp.header("location").unwrap(), "/redfish/v1/Systems/traced-e2e");
+    let trace_id = resp.header("x-ofmf-traceid").expect("trace id on the response");
+
+    // The flight recorder serves the whole tree as a Redfish LogEntry.
+    let entry = http
+        .get(&format!(
+            "/redfish/v1/Managers/OFMF/LogServices/Tracing/Entries/{trace_id}"
+        ))
+        .unwrap();
+    assert_eq!(entry.status, 200);
+    let entry = entry.json().unwrap();
+    assert_eq!(entry["@odata.type"], "#LogEntry.v1_15_0.LogEntry");
+    let trace = &entry["Oem"]["OFMF"]["Trace"];
+    assert_eq!(trace["TraceId"].as_u64().unwrap().to_string(), trace_id);
+    assert_eq!(trace["Route"], "Post /redfish/v1/CompositionService/*");
+    let spans = trace["Spans"].as_array().unwrap();
+
+    // One tree: exactly one root, and every other span's parent exists.
+    let ids: Vec<u64> = spans.iter().map(|s| s["Id"].as_u64().unwrap()).collect();
+    let roots: Vec<&Value> = spans.iter().filter(|s| s["ParentId"].as_u64() == Some(0)).collect();
+    assert_eq!(roots.len(), 1, "single root");
+    assert_eq!(roots[0]["Name"], "ofmf.rest.request");
+    for s in spans {
+        let p = s["ParentId"].as_u64().unwrap();
+        assert!(p == 0 || ids.contains(&p), "dangling parent in {s}");
+    }
+
+    // All four layers are present in the same tree.
+    let names: Vec<&str> = spans.iter().filter_map(|s| s["Name"].as_str()).collect();
+    for required in [
+        "ofmf.rest.request",
+        "ofmf.composer.compose",
+        "ofmf.composer.bind",
+        "ofmf.supervisor.dispatch",
+        "ofmf.agents.op",
+        "ofmf.tree.post",
+    ] {
+        assert!(names.contains(&required), "{required} missing from {names:?}");
+    }
+
+    // Both fabrics appear as bind children.
+    let bind_fabrics: Vec<&str> = spans
+        .iter()
+        .filter(|s| s["Name"] == "ofmf.composer.bind")
+        .filter_map(|s| s["Annotations"].as_array()?.iter().find(|kv| kv[0] == "fabric")?[1].as_str())
+        .collect();
+    assert!(
+        bind_fabrics.contains(&"CXL0") && bind_fabrics.contains(&"NVME0"),
+        "{bind_fabrics:?}"
+    );
+
+    // The Tracing collection lists the entry.
+    let col = http
+        .get("/redfish/v1/Managers/OFMF/LogServices/Tracing/Entries")
+        .unwrap();
+    assert_eq!(col.status, 200);
+    let col = col.json().unwrap();
+    let members: Vec<&str> = col["Members"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(|m| m["@odata.id"].as_str())
+        .collect();
+    assert!(
+        members.iter().any(|m| m.ends_with(&format!("/{trace_id}"))),
+        "{members:?}"
+    );
 
     server.shutdown();
 }
