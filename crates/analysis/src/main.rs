@@ -20,7 +20,8 @@ fn main() -> ExitCode {
                 println!(
                     "ofmf-lint [--root <workspace dir>]\n\n\
                      Enforces the OFMF repo invariants (deny-by-default):\n\
-                     no-panic-path, no-std-sync, obs-name-convention, atomic-ordering-audit.\n\
+                     no-panic-path, no-std-sync, obs-name-convention, atomic-ordering-audit,\n\
+                     span-name-convention, wal-write-facade.\n\
                      Escape hatch: // ofmf-lint: allow(<rule>, \"<reason>\")"
                 );
                 return ExitCode::SUCCESS;

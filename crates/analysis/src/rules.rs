@@ -29,21 +29,38 @@
 //!   `ofmf.<subsystem>.<op>` (lowercase, ≥ 3 segments) and be opened at
 //!   exactly one call site, so a name in a rendered trace always pins one
 //!   place in the code.
+//! * **`wal-write-facade`** — durable state flows through the `ofmf-wal`
+//!   crate only: direct file writes (`fs::write`, `File::create`,
+//!   `OpenOptions::new`) are forbidden in non-test code of the production
+//!   crates, and inside `crates/wal/` every `sync_all`/`sync_data` call
+//!   must carry a `// ofmf-wal: policy` tag citing the fsync-policy
+//!   decision it implements.
 
 use crate::scan::FileScan;
 use crate::Diagnostic;
 
 /// Rule identifiers (the names accepted by `allow(...)`).
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "no-panic-path",
     "no-std-sync",
     "obs-name-convention",
     "atomic-ordering-audit",
     "span-name-convention",
+    "wal-write-facade",
 ];
 
 /// Crates whose non-test code must never panic.
-const PANIC_PATH_CRATES: [&str; 5] = [
+const PANIC_PATH_CRATES: [&str; 6] = [
+    "crates/core/",
+    "crates/rest/",
+    "crates/redfish/",
+    "crates/composer/",
+    "crates/agents/",
+    "crates/wal/",
+];
+
+/// Crates that must route every durable write through `ofmf-wal`.
+const WAL_FACADE_CRATES: [&str; 5] = [
     "crates/core/",
     "crates/rest/",
     "crates/redfish/",
@@ -65,6 +82,8 @@ const HISTO_SUFFIXES: [&str; 6] = [".count", ".mean", ".p50", ".p95", ".p99", ".
 
 pub(crate) fn file_rules(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
     let panic_scoped = PANIC_PATH_CRATES.iter().any(|c| path.starts_with(c));
+    let facade_scoped = WAL_FACADE_CRATES.iter().any(|c| path.starts_with(c));
+    let wal_crate = path.starts_with("crates/wal/");
     let ordering_exempt = ORDERING_EXEMPT.contains(&path);
     for (idx, line) in scan.masked_lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -74,10 +93,57 @@ pub(crate) fn file_rules(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>)
         if panic_scoped {
             no_panic_path(path, lineno, line, out);
         }
+        if facade_scoped {
+            wal_write_facade(path, lineno, line, out);
+        }
+        if wal_crate {
+            wal_fsync_policy(path, lineno, line, scan, out);
+        }
         no_std_sync(path, lineno, line, out);
         if !ordering_exempt {
             atomic_ordering_audit(path, lineno, line, out);
         }
+    }
+}
+
+/// Direct file I/O in a production crate bypasses the journal: crash
+/// recovery can only replay what went through `ofmf-wal`.
+fn wal_write_facade(path: &str, lineno: usize, line: &str, out: &mut Vec<Diagnostic>) {
+    for (pat, what) in [
+        ("fs::write(", "direct file write"),
+        ("File::create(", "direct file creation"),
+        ("OpenOptions::new", "direct writable file open"),
+    ] {
+        if line.contains(pat) {
+            out.push(Diagnostic {
+                file: path.to_string(),
+                line: lineno,
+                rule: "wal-write-facade",
+                message: format!(
+                    "{what} bypasses the ofmf-wal facade; durable control-plane state must go through the journal"
+                ),
+            });
+            return;
+        }
+    }
+}
+
+/// Inside `crates/wal/`, every fsync call must cite the policy decision it
+/// implements with a `// ofmf-wal: policy` tag on the same or preceding
+/// line — the fsync schedule IS the durability contract.
+fn wal_fsync_policy(path: &str, lineno: usize, line: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    if !(line.contains(".sync_all(") || line.contains(".sync_data(")) {
+        return;
+    }
+    let tagged = scan.policy_tags.contains(&lineno) || (lineno > 1 && scan.policy_tags.contains(&(lineno - 1)));
+    if !tagged {
+        out.push(Diagnostic {
+            file: path.to_string(),
+            line: lineno,
+            rule: "wal-write-facade",
+            message: "fsync site without a `// ofmf-wal: policy` tag; cite the FsyncPolicy decision this implements"
+                .to_string(),
+        });
     }
 }
 

@@ -48,6 +48,9 @@ pub struct FileScan {
     pub test_lines: Vec<bool>,
     /// Allow directives found in the file.
     pub allows: Vec<Allow>,
+    /// Lines carrying a `// ofmf-wal: policy` comment (the fsync-site
+    /// justification tag checked by `wal-write-facade`).
+    pub policy_tags: Vec<usize>,
 }
 
 impl FileScan {
@@ -57,12 +60,20 @@ impl FileScan {
         let masked_lines: Vec<String> = masked.split('\n').map(str::to_string).collect();
         let test_lines = test_regions(&masked, masked_lines.len());
         let allows = parse_allows(source, &comments);
+        let src_lines: Vec<&str> = source.split('\n').collect();
+        let mut policy_tags: Vec<usize> = comments
+            .iter()
+            .filter(|(line, _)| src_lines.get(line - 1).is_some_and(|l| l.contains("ofmf-wal: policy")))
+            .map(|(line, _)| *line)
+            .collect();
+        policy_tags.dedup();
         FileScan {
             masked,
             masked_lines,
             strings,
             test_lines,
             allows,
+            policy_tags,
         }
     }
 

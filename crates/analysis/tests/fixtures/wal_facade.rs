@@ -1,0 +1,32 @@
+//! wal-write-facade fixture: direct file I/O in a production crate, plus
+//! tagged and untagged fsync sites for the wal-crate variant.
+use std::fs::{self, File, OpenOptions};
+
+fn sideload_state(doc: &str) {
+    fs::write("/var/lib/ofmf/state.json", doc).ok();
+}
+
+fn scratch() -> std::io::Result<File> {
+    File::create("/tmp/ofmf-scratch")
+}
+
+fn reopen() -> std::io::Result<File> {
+    OpenOptions::new().append(true).open("/tmp/ofmf-scratch")
+}
+
+fn durable_tagged(f: &File) -> std::io::Result<()> {
+    // ofmf-wal: policy — fixture: the durability point of this fake path
+    f.sync_all()
+}
+
+fn durable_untagged(f: &File) -> std::io::Result<()> {
+    f.sync_data()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_write_files() {
+        std::fs::write("/tmp/fixture-test", b"ok").unwrap();
+    }
+}

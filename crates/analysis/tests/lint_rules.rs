@@ -66,6 +66,33 @@ fn span_names_fixture_triggers_only_that_rule() {
 }
 
 #[test]
+fn wal_facade_fixture_flags_direct_file_io_in_scoped_crates() {
+    let diags = lint_one("crates/core/src/fixture.rs", include_str!("fixtures/wal_facade.rs"));
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "wal-write-facade"), "{diags:?}");
+    let lines: Vec<usize> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![6, 10, 14], "fs::write, File::create, OpenOptions::new");
+    // The #[cfg(test)] fs::write and the fsync sites (out of wal-crate scope)
+    // trigger nothing.
+}
+
+#[test]
+fn wal_crate_fsync_sites_must_carry_a_policy_tag() {
+    let diags = lint_one("crates/wal/src/fixture.rs", include_str!("fixtures/wal_facade.rs"));
+    // Inside crates/wal/ the facade patterns are the implementation, not a
+    // bypass; only the untagged sync_data remains.
+    assert_eq!(rules_of(&diags), vec!["wal-write-facade"], "{diags:?}");
+    assert_eq!(diags[0].line, 23, "untagged sync_data; tagged sync_all at 19 is clean");
+    assert!(diags[0].message.contains("ofmf-wal: policy"), "{}", diags[0].message);
+}
+
+#[test]
+fn wal_facade_only_applies_to_durable_control_plane_crates() {
+    let diags = lint_one("crates/bench/src/fixture.rs", include_str!("fixtures/wal_facade.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn readme_references_resolve_against_span_names_too() {
     let mut a = Analysis::new();
     a.add_rust_file(

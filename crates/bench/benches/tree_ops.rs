@@ -104,18 +104,32 @@ fn striped_tree(n: usize, shards: usize) -> (Registry, Vec<ODataId>) {
 /// The GET wire path under concurrent mixed read/write load, old design vs
 /// new: `global_uncached` is one lock stripe with the wire cache disabled
 /// (the previous single-`RwLock` registry), `sharded_cached` is 16 stripes
-/// with the ETag-keyed cache. Two background writer threads continuously
-/// mount/tear down 32-resource subtrees under `Systems` while the measured
-/// thread serves hot GETs of other collections — agents churning inventory
-/// while managers browse.
+/// with the ETag-keyed cache, and `sharded_cached_wal` is the same layout
+/// with a write-ahead journal attached (group-commit `batch:5` fsync) so
+/// every writer mutation also pays the durability path. Two background
+/// writer threads continuously mount/tear down 32-resource subtrees under
+/// `Systems` while the measured thread serves hot GETs of other
+/// collections — agents churning inventory while managers browse. The
+/// durable-vs-in-memory gap (`sharded_cached_wal` vs `sharded_cached`) is
+/// the EXPERIMENTS.md "WAL overhead" row.
 fn bench_sharded_vs_global(c: &mut Criterion) {
     use std::sync::atomic::{AtomicBool, Ordering};
     const BATCH: usize = 1_000;
     let mut group = c.benchmark_group("tree_ops_mixed_rw");
     group.throughput(Throughput::Elements(BATCH as u64));
-    for &(shards, cache, name) in &[(1usize, false, "global_uncached"), (16usize, true, "sharded_cached")] {
+    for &(shards, cache, wal, name) in &[
+        (1usize, false, false, "global_uncached"),
+        (16usize, true, false, "sharded_cached"),
+        (16usize, true, true, "sharded_cached_wal"),
+    ] {
         let (reg, ids) = striped_tree(10_000, shards);
         reg.set_wire_cache(cache);
+        let wal_dir = std::env::temp_dir().join(format!("ofmf-bench-treeops-wal-{}", std::process::id()));
+        if wal {
+            let _ = std::fs::remove_dir_all(&wal_dir);
+            let journal = ofmf_wal::Wal::open(&wal_dir, ofmf_wal::FsyncPolicy::Batch(5)).expect("temp WAL dir");
+            reg.set_journal(Some(std::sync::Arc::new(journal)));
+        }
         let reg = std::sync::Arc::new(reg);
         let stop = std::sync::Arc::new(AtomicBool::new(false));
         let writers: Vec<_> = (0..2usize)
@@ -156,6 +170,10 @@ fn bench_sharded_vs_global(c: &mut Criterion) {
         stop.store(true, Ordering::Relaxed);
         for w in writers {
             w.join().unwrap();
+        }
+        if wal {
+            reg.set_journal(None);
+            let _ = std::fs::remove_dir_all(&wal_dir);
         }
     }
     group.finish();

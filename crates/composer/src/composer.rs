@@ -12,12 +12,13 @@ use crate::policy::PolicySet;
 use crate::request::{Binding, BindingKind, ComposedSystem, CompositionRequest};
 use crate::strategy::{choose_gpu, choose_memory, choose_storage, Strategy};
 use ofmf_core::Ofmf;
+use ofmf_wal::WalRecord;
 use parking_lot::Mutex;
 use redfish_model::odata::ODataId;
 use redfish_model::path::top;
 use redfish_model::resources::events::EventType;
 use redfish_model::{RedfishError, RedfishResult};
-use serde_json::json;
+use serde_json::{json, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -271,14 +272,55 @@ impl Composer {
             ));
         }
 
-        // 3. Execute: bind each planned resource; roll everything back on
+        // 3. Journal the intent — with zone/connection member ids allocated
+        //    up front — BEFORE any agent mutation, so a crash mid-bind leaves
+        //    a WAL record naming every path recovery must inspect.
+        let sys_col = ODataId::new(top::SYSTEMS);
+        let sys_id = sys_col.child(&request.name);
+        let planned: Vec<(String, ODataId, ODataId, u64, BindingKind, String, String)> = planned
+            .into_iter()
+            .map(|(fabric, target_ep, hint, size, kind)| {
+                let zone_id = self.ofmf.next_member_id("z");
+                let conn_id = self.ofmf.next_member_id("c");
+                (fabric, target_ep, hint, size, kind, zone_id, conn_id)
+            })
+            .collect();
+        self.ofmf.wal_record(WalRecord::ComposeIntent {
+            system: sys_id.as_str().to_string(),
+            node: node.system.as_str().to_string(),
+            request: request.to_value(),
+            planned: Value::Array(
+                planned
+                    .iter()
+                    .map(|(fabric, target_ep, hint, size, kind, zone_id, conn_id)| {
+                        json!({
+                            "Fabric": fabric.as_str(),
+                            "Target": target_ep.as_str(),
+                            "Resource": hint.as_str(),
+                            "Size": *size,
+                            "Kind": kind.label(),
+                            "ZoneId": zone_id.as_str(),
+                            "ConnId": conn_id.as_str(),
+                        })
+                    })
+                    .collect(),
+            ),
+        });
+        let abort = |bindings: &[Binding]| {
+            self.unbind_all(bindings);
+            self.ofmf.wal_record(WalRecord::ComposeAbort {
+                system: sys_id.as_str().to_string(),
+            });
+        };
+
+        // 4. Execute: bind each planned resource; roll everything back on
         //    the first failure.
         let mut bindings: Vec<Binding> = Vec::with_capacity(planned.len());
-        for (fabric, target_ep, _resource_hint, size, kind) in planned {
+        for (fabric, target_ep, _resource_hint, size, kind, zone_id, conn_id) in planned {
             let Some(initiator) = node.endpoints.get(&fabric).cloned() else {
                 // Planner invariant broken (fabric dropped mid-compose):
                 // compensate before surfacing.
-                self.unbind_all(&bindings);
+                abort(&bindings);
                 return Err(RedfishError::Internal(format!(
                     "node {} lost its endpoint on fabric {fabric} mid-compose",
                     node.system
@@ -289,21 +331,25 @@ impl Composer {
                 BindingKind::Storage => request.storage_bandwidth_gbps,
                 BindingKind::Gpu => 0.0,
             };
-            match self.bind(&fabric, &initiator, &target_ep, size, kind, qos) {
-                Ok(b) => bindings.push(b),
+            match self.bind(&fabric, &initiator, &target_ep, size, kind, qos, &zone_id, &conn_id) {
+                Ok(b) => {
+                    self.ofmf.wal_record(WalRecord::BindDone {
+                        system: sys_id.as_str().to_string(),
+                        binding: b.to_value(),
+                    });
+                    bindings.push(b);
+                }
                 Err(e) => {
                     // Compensation: unwind every binding already made on the
                     // surviving fabrics, then name the fabric that failed so
                     // the 503 is actionable.
-                    self.unbind_all(&bindings);
+                    abort(&bindings);
                     return Err(name_failed_fabric(e, &fabric));
                 }
             }
         }
 
-        // 4. Materialize the composed system resource.
-        let sys_col = ODataId::new(top::SYSTEMS);
-        let sys_id = sys_col.child(&request.name);
+        // 5. Materialize the composed system resource.
         let composed = ComposedSystem {
             system: sys_id.clone(),
             node: node.system.clone(),
@@ -322,7 +368,7 @@ impl Composer {
             "Links": {"ResourceBlocks": composed.resource_block_links()},
         });
         if let Err(e) = self.ofmf.registry.create(&sys_id, doc) {
-            self.unbind_all(&composed.bindings);
+            abort(&composed.bindings);
             return Err(e);
         }
         // Mark granted GPUs.
@@ -339,11 +385,18 @@ impl Composer {
             format!("system {} composed on {}", request.name, node.system),
             "OK",
         );
-        self.state.lock().insert(sys_id, composed.clone());
+        // Commit marks the transaction complete: replay treats anything
+        // journaled after the intent but before this record as half-bound.
+        self.state.lock().insert(sys_id.clone(), composed.clone());
+        self.ofmf.wal_record(WalRecord::ComposeCommit {
+            system: sys_id.as_str().to_string(),
+        });
         Ok(composed)
     }
 
-    /// Create the zone + connection for one binding.
+    /// Create the zone + connection for one binding. The member ids are
+    /// allocated by the caller so they can be journaled before any mutation.
+    #[allow(clippy::too_many_arguments)]
     fn bind(
         &self,
         fabric: &str,
@@ -352,6 +405,8 @@ impl Composer {
         size: u64,
         kind: BindingKind,
         qos_gbps: f64,
+        zone_id: &str,
+        conn_id: &str,
     ) -> RedfishResult<Binding> {
         let mut bspan = ofmf_obs::child_span("ofmf.composer.bind");
         bspan.annotate("fabric", fabric);
@@ -359,7 +414,6 @@ impl Composer {
         // Power-gated pool devices are woken on demand before binding.
         crate::energy::wake_backing(self, target_ep);
         let fabric_root = ODataId::new(top::FABRICS).child(fabric);
-        let zone_id = self.ofmf.next_member_id("z");
         let zone = self.ofmf.post(
             &fabric_root.child("Zones"),
             &json!({
@@ -370,7 +424,6 @@ impl Composer {
                 ]}
             }),
         )?;
-        let conn_id = self.ofmf.next_member_id("c");
         let connection = match self.ofmf.post(
             &fabric_root.child("Connections"),
             &json!({
@@ -440,6 +493,9 @@ impl Composer {
             .ok_or_else(|| RedfishError::NotFound(system.clone()))?;
         self.unbind_all(&composed.bindings);
         self.ofmf.registry.delete(system)?;
+        self.ofmf.wal_record(WalRecord::Decompose {
+            system: system.as_str().to_string(),
+        });
         self.ofmf.events.publish(
             EventType::ResourceRemoved,
             system,
@@ -494,6 +550,8 @@ impl Composer {
                 .map(|c| c.request.memory_bandwidth_gbps)
                 .unwrap_or(0.0)
         };
+        let zone_id = self.ofmf.next_member_id("z");
+        let conn_id = self.ofmf.next_member_id("c");
         let binding = self.bind(
             &pool.fabric,
             &initiator,
@@ -501,7 +559,13 @@ impl Composer {
             extra_mib,
             BindingKind::Memory,
             qos,
+            &zone_id,
+            &conn_id,
         )?;
+        self.ofmf.wal_record(WalRecord::BindAdded {
+            system: system.as_str().to_string(),
+            binding: binding.to_value(),
+        });
         let mut state = self.state.lock();
         let c = state
             .get_mut(system)
@@ -557,6 +621,8 @@ impl Composer {
                 .map(|c| c.request.storage_bandwidth_gbps)
                 .unwrap_or(0.0)
         };
+        let zone_id = self.ofmf.next_member_id("z");
+        let conn_id = self.ofmf.next_member_id("c");
         let binding = self.bind(
             &pool.fabric,
             &initiator,
@@ -564,7 +630,13 @@ impl Composer {
             bytes,
             BindingKind::Storage,
             qos,
+            &zone_id,
+            &conn_id,
         )?;
+        self.ofmf.wal_record(WalRecord::BindAdded {
+            system: system.as_str().to_string(),
+            binding: binding.to_value(),
+        });
         let mut state = self.state.lock();
         let c = state
             .get_mut(system)
@@ -678,6 +750,218 @@ impl Composer {
             }
         }
         (repaired, lost)
+    }
+
+    // ------------------------------------------------------------- recovery
+
+    /// Rebuild composer state after a crash-restart from the WAL records the
+    /// OFMF boot replay set aside. Committed compositions are restored
+    /// (bindings validated against the replayed tree); intents with no
+    /// matching commit are half-bound transactions — their confirmed
+    /// bindings are force-unwound, planned-but-unconfirmed zone/connection
+    /// documents deleted, and a `ComposeAbort` journaled so a second restart
+    /// does not re-compensate. Returns `(restored, compensated)` counts.
+    pub fn recover(&self) -> (usize, usize) {
+        let records = self.ofmf.take_recovered_compose();
+        if records.is_empty() {
+            return (0, 0);
+        }
+        struct Pending {
+            node: String,
+            request: Value,
+            planned: Value,
+            bindings: Vec<Binding>,
+        }
+        let mut pending: BTreeMap<String, Pending> = BTreeMap::new();
+        let mut live: BTreeMap<String, (String, Value, Vec<Binding>)> = BTreeMap::new();
+        for rec in records {
+            match rec {
+                WalRecord::ComposeIntent {
+                    system,
+                    node,
+                    request,
+                    planned,
+                } => {
+                    live.remove(&system);
+                    pending.insert(
+                        system,
+                        Pending {
+                            node,
+                            request,
+                            planned,
+                            bindings: Vec::new(),
+                        },
+                    );
+                }
+                WalRecord::BindDone { system, binding } => {
+                    if let (Some(p), Some(b)) = (pending.get_mut(&system), Binding::from_value(&binding)) {
+                        p.bindings.push(b);
+                    }
+                }
+                WalRecord::ComposeCommit { system } => {
+                    if let Some(p) = pending.remove(&system) {
+                        live.insert(system, (p.node, p.request, p.bindings));
+                    }
+                }
+                WalRecord::ComposeAbort { system } => {
+                    pending.remove(&system);
+                }
+                WalRecord::Decompose { system } => {
+                    live.remove(&system);
+                }
+                WalRecord::BindAdded { system, binding } => {
+                    if let (Some(l), Some(b)) = (live.get_mut(&system), Binding::from_value(&binding)) {
+                        l.2.push(b);
+                    }
+                }
+                WalRecord::ComposeLive {
+                    system,
+                    node,
+                    request,
+                    bindings,
+                } => {
+                    let bs = bindings
+                        .as_array()
+                        .map(|a| a.iter().filter_map(Binding::from_value).collect())
+                        .unwrap_or_default();
+                    live.insert(system, (node, request, bs));
+                }
+                _ => {}
+            }
+        }
+
+        let mut restored = 0;
+        for (system, (node, request, bindings)) in live {
+            let sys_id = ODataId::new(&system);
+            if !self.ofmf.registry.exists(&sys_id) {
+                continue; // decomposed (or never materialized) before the crash
+            }
+            let Some(request) = CompositionRequest::from_value(&request) else {
+                continue;
+            };
+            let bindings: Vec<Binding> = bindings
+                .into_iter()
+                .filter(|b| self.ofmf.registry.exists(&b.connection))
+                .collect();
+            self.state.lock().insert(
+                sys_id.clone(),
+                ComposedSystem {
+                    system: sys_id,
+                    node: ODataId::new(&node),
+                    bindings,
+                    request,
+                },
+            );
+            restored += 1;
+        }
+
+        let mut compensated = 0;
+        for (system, p) in pending {
+            let sys_id = ODataId::new(&system);
+            for b in &p.bindings {
+                self.force_unbind(b);
+            }
+            if let Some(planned) = p.planned.as_array() {
+                for entry in planned {
+                    let fabric = entry.get("Fabric").and_then(Value::as_str);
+                    let zone_id = entry.get("ZoneId").and_then(Value::as_str);
+                    let conn_id = entry.get("ConnId").and_then(Value::as_str);
+                    let (Some(fabric), Some(zone_id), Some(conn_id)) = (fabric, zone_id, conn_id) else {
+                        continue;
+                    };
+                    let confirmed = p
+                        .bindings
+                        .iter()
+                        .any(|b| b.zone.leaf() == zone_id || b.connection.leaf() == conn_id);
+                    if confirmed {
+                        continue; // force_unbind already handled it
+                    }
+                    // A half-applied bind may have created the zone (or even
+                    // the connection) without a BindDone reaching the log.
+                    let froot = ODataId::new(top::FABRICS).child(fabric);
+                    self.force_delete(&froot.child("Connections").child(conn_id));
+                    self.force_delete(&froot.child("Zones").child(zone_id));
+                }
+            }
+            // The system document only exists if the crash hit between
+            // create and commit; remove it with everything hanging off it.
+            if self.ofmf.registry.exists(&sys_id) {
+                self.ofmf.registry.delete_subtree(&sys_id);
+            }
+            self.ofmf.wal_record(WalRecord::ComposeAbort { system: system.clone() });
+            self.ofmf.events.publish(
+                EventType::Alert,
+                &sys_id,
+                format!(
+                    "composition {} found half-bound after restart; compensated",
+                    sys_id.leaf()
+                ),
+                "Warning",
+            );
+            compensated += 1;
+        }
+        (restored, compensated)
+    }
+
+    /// Unwind one binding during crash recovery. Freshly re-registered
+    /// agents answer NotFound for pre-crash zones and connections, so when
+    /// the agent path fails the replayed tree documents are dropped directly
+    /// — stale links are worse than a lost disconnect RPC.
+    fn force_unbind(&self, b: &Binding) {
+        self.force_delete(&b.connection);
+        self.force_delete(&b.zone);
+        match b.kind {
+            BindingKind::Gpu => {
+                let _ = self
+                    .ofmf
+                    .registry
+                    .patch(&b.resource, &json!({"Oem": {"OFMF": {"AssignedTo": null}}}), None);
+            }
+            BindingKind::Memory | BindingKind::Storage => {
+                // The carve the dead connection backed: normally the agent's
+                // disconnect response removes it, but a fresh agent never
+                // knew it. Never an endpoint (the fallback resource when the
+                // connection carried no carve info).
+                if let Ok(stored) = self.ofmf.registry.get(&b.resource) {
+                    if stored.odata_type().is_none_or(|t| !t.starts_with("#Endpoint.")) {
+                        self.ofmf.registry.delete_subtree(&b.resource);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delete through the agent when possible, falling back to a direct
+    /// tree prune when the agent disowns the resource.
+    fn force_delete(&self, id: &ODataId) {
+        if self.ofmf.delete(id).is_err() && self.ofmf.registry.exists(id) {
+            self.ofmf.registry.delete_subtree(id);
+        }
+    }
+
+    /// One `ComposeLive` record per live composition — the composer's
+    /// contribution to a WAL snapshot.
+    pub fn snapshot_records(&self) -> Vec<WalRecord> {
+        self.state
+            .lock()
+            .values()
+            .map(|c| WalRecord::ComposeLive {
+                system: c.system.as_str().to_string(),
+                node: c.node.as_str().to_string(),
+                request: c.request.to_value(),
+                bindings: Value::Array(c.bindings.iter().map(Binding::to_value).collect()),
+            })
+            .collect()
+    }
+
+    /// Register this composer as the OFMF's snapshot provider. Held through
+    /// a `Weak` so the OFMF (owned by the composer) never keeps the composer
+    /// alive in a reference cycle.
+    pub fn attach_snapshot_provider(self: &Arc<Self>) {
+        let weak = Arc::downgrade(self);
+        self.ofmf.set_snapshot_provider(Some(Box::new(move || {
+            weak.upgrade().map(|c| c.snapshot_records()).unwrap_or_default()
+        })));
     }
 }
 

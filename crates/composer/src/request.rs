@@ -89,6 +89,37 @@ impl CompositionRequest {
         self.storage_bandwidth_gbps = g;
         self
     }
+
+    /// Encode for the durability journal. Inverse of
+    /// [`CompositionRequest::from_value`].
+    pub fn to_value(&self) -> Value {
+        json!({
+            "Name": self.name.as_str(),
+            "Cores": self.cores as u64,
+            "LocalMemoryGiB": self.local_memory_gib,
+            "FabricMemoryMiB": self.fabric_memory_mib,
+            "Gpus": self.gpus as u64,
+            "StorageBytes": self.storage_bytes,
+            "SpreadMemory": self.spread_memory,
+            "MemoryBandwidthGbps": self.memory_bandwidth_gbps,
+            "StorageBandwidthGbps": self.storage_bandwidth_gbps,
+        })
+    }
+
+    /// Decode a journaled request; `None` on malformed payloads.
+    pub fn from_value(v: &Value) -> Option<Self> {
+        Some(CompositionRequest {
+            name: v.get("Name")?.as_str()?.to_string(),
+            cores: u32::try_from(v.get("Cores")?.as_u64()?).ok()?,
+            local_memory_gib: v.get("LocalMemoryGiB")?.as_u64()?,
+            fabric_memory_mib: v.get("FabricMemoryMiB")?.as_u64()?,
+            gpus: u32::try_from(v.get("Gpus")?.as_u64()?).ok()?,
+            storage_bytes: v.get("StorageBytes")?.as_u64()?,
+            spread_memory: v.get("SpreadMemory")?.as_bool()?,
+            memory_bandwidth_gbps: v.get("MemoryBandwidthGbps")?.as_f64()?,
+            storage_bandwidth_gbps: v.get("StorageBandwidthGbps")?.as_f64()?,
+        })
+    }
 }
 
 /// One resource binding within a composition.
@@ -120,13 +151,49 @@ pub enum BindingKind {
 }
 
 impl BindingKind {
-    /// Stable lowercase label (span annotations, CLI output).
+    /// Stable lowercase label (span annotations, CLI output, journal).
     pub fn label(self) -> &'static str {
         match self {
             BindingKind::Memory => "memory",
             BindingKind::Storage => "storage",
             BindingKind::Gpu => "gpu",
         }
+    }
+
+    /// Inverse of [`BindingKind::label`].
+    pub fn parse(s: &str) -> Option<BindingKind> {
+        match s {
+            "memory" => Some(BindingKind::Memory),
+            "storage" => Some(BindingKind::Storage),
+            "gpu" => Some(BindingKind::Gpu),
+            _ => None,
+        }
+    }
+}
+
+impl Binding {
+    /// Encode for the durability journal. Inverse of [`Binding::from_value`].
+    pub fn to_value(&self) -> Value {
+        json!({
+            "Fabric": self.fabric.as_str(),
+            "Zone": self.zone.as_str(),
+            "Connection": self.connection.as_str(),
+            "Resource": self.resource.as_str(),
+            "Size": self.size,
+            "Kind": self.kind.label(),
+        })
+    }
+
+    /// Decode a journaled binding; `None` on malformed payloads.
+    pub fn from_value(v: &Value) -> Option<Self> {
+        Some(Binding {
+            fabric: v.get("Fabric")?.as_str()?.to_string(),
+            zone: ODataId::new(v.get("Zone")?.as_str()?),
+            connection: ODataId::new(v.get("Connection")?.as_str()?),
+            resource: ODataId::new(v.get("Resource")?.as_str()?),
+            size: v.get("Size")?.as_u64()?,
+            kind: BindingKind::parse(v.get("Kind")?.as_str()?)?,
+        })
     }
 }
 
@@ -189,6 +256,30 @@ mod tests {
         assert_eq!(r.fabric_memory_mib, 65536);
         assert_eq!(r.gpus, 2);
         assert!(r.spread_memory);
+    }
+
+    #[test]
+    fn journal_codecs_roundtrip() {
+        let r = CompositionRequest::compute_only("job1", 56, 128)
+            .with_fabric_memory_mib(65536)
+            .with_gpus(2)
+            .with_storage_bytes(1 << 40)
+            .with_spread_memory()
+            .with_memory_bandwidth_gbps(25.5);
+        assert_eq!(CompositionRequest::from_value(&r.to_value()), Some(r));
+        let b = Binding {
+            fabric: "CXL0".into(),
+            zone: ODataId::new("/redfish/v1/Fabrics/CXL0/Zones/z1"),
+            connection: ODataId::new("/redfish/v1/Fabrics/CXL0/Connections/c1"),
+            resource: ODataId::new("/redfish/v1/Chassis/mem0/MemoryDomains/d0/MemoryChunks/mc1"),
+            size: 4096,
+            kind: BindingKind::Memory,
+        };
+        assert_eq!(Binding::from_value(&b.to_value()), Some(b));
+        assert_eq!(Binding::from_value(&json!({"Fabric": "x"})), None);
+        for k in [BindingKind::Memory, BindingKind::Storage, BindingKind::Gpu] {
+            assert_eq!(BindingKind::parse(k.label()), Some(k));
+        }
     }
 
     #[test]

@@ -96,6 +96,90 @@ impl AgentOp {
     }
 }
 
+/// Encode an [`AgentOp`] as a JSON value for the durability journal
+/// (`WalRecord::Teardown` payloads). Inverse of [`op_from_value`].
+pub fn op_to_value(op: &AgentOp) -> Value {
+    match op {
+        AgentOp::CreateZone { zone_id, endpoints } => serde_json::json!({
+            "Kind": "CreateZone",
+            "ZoneId": zone_id.as_str(),
+            "Endpoints": endpoints.iter().map(|e| serde_json::json!(e.as_str())).collect::<Vec<_>>(),
+        }),
+        AgentOp::DeleteZone { zone } => serde_json::json!({
+            "Kind": "DeleteZone",
+            "Zone": zone.as_str(),
+        }),
+        AgentOp::Connect {
+            connection_id,
+            zone,
+            initiator,
+            target,
+            size,
+            qos_gbps,
+        } => serde_json::json!({
+            "Kind": "Connect",
+            "ConnectionId": connection_id.as_str(),
+            "Zone": zone.as_str(),
+            "Initiator": initiator.as_str(),
+            "Target": target.as_str(),
+            "Size": *size,
+            "QosGbps": *qos_gbps,
+        }),
+        AgentOp::Disconnect { connection } => serde_json::json!({
+            "Kind": "Disconnect",
+            "Connection": connection.as_str(),
+        }),
+        AgentOp::InjectFault { description } => serde_json::json!({
+            "Kind": "InjectFault",
+            "Description": description.as_str(),
+        }),
+        AgentOp::ProbeRoute { initiator, target } => serde_json::json!({
+            "Kind": "ProbeRoute",
+            "Initiator": initiator.as_str(),
+            "Target": target.as_str(),
+        }),
+    }
+}
+
+/// Decode an [`AgentOp`] journaled by [`op_to_value`]. `None` on malformed
+/// or unknown payloads (replay skips the record instead of refusing boot).
+pub fn op_from_value(v: &Value) -> Option<AgentOp> {
+    let s = |k: &str| v.get(k).and_then(Value::as_str).map(str::to_string);
+    let id = |k: &str| s(k).map(ODataId::new);
+    Some(match v.get("Kind")?.as_str()? {
+        "CreateZone" => AgentOp::CreateZone {
+            zone_id: s("ZoneId")?,
+            endpoints: v
+                .get("Endpoints")?
+                .as_array()?
+                .iter()
+                .filter_map(Value::as_str)
+                .map(ODataId::new)
+                .collect(),
+        },
+        "DeleteZone" => AgentOp::DeleteZone { zone: id("Zone")? },
+        "Connect" => AgentOp::Connect {
+            connection_id: s("ConnectionId")?,
+            zone: id("Zone")?,
+            initiator: id("Initiator")?,
+            target: id("Target")?,
+            size: v.get("Size")?.as_u64()?,
+            qos_gbps: v.get("QosGbps")?.as_f64()?,
+        },
+        "Disconnect" => AgentOp::Disconnect {
+            connection: id("Connection")?,
+        },
+        "InjectFault" => AgentOp::InjectFault {
+            description: s("Description")?,
+        },
+        "ProbeRoute" => AgentOp::ProbeRoute {
+            initiator: id("Initiator")?,
+            target: id("Target")?,
+        },
+        _ => return None,
+    })
+}
+
 /// What an agent returns from a successful operation.
 #[derive(Debug, Clone, Default)]
 pub struct AgentResponse {
@@ -248,6 +332,46 @@ mod tests {
         a.apply(&op).unwrap();
         assert_eq!(a.applied_ops(), vec![op]);
         assert!(a.heartbeat());
+    }
+
+    #[test]
+    fn op_codec_roundtrips_every_variant() {
+        let ops = vec![
+            AgentOp::CreateZone {
+                zone_id: "z9".into(),
+                endpoints: vec![
+                    ODataId::new("/redfish/v1/Fabrics/F/Endpoints/a"),
+                    ODataId::new("/redfish/v1/Fabrics/F/Endpoints/b"),
+                ],
+            },
+            AgentOp::DeleteZone {
+                zone: ODataId::new("/redfish/v1/Fabrics/F/Zones/z9"),
+            },
+            AgentOp::Connect {
+                connection_id: "c3".into(),
+                zone: ODataId::new("/redfish/v1/Fabrics/F/Zones/z9"),
+                initiator: ODataId::new("/redfish/v1/Fabrics/F/Endpoints/a"),
+                target: ODataId::new("/redfish/v1/Fabrics/F/Endpoints/b"),
+                size: 4096,
+                qos_gbps: 12.5,
+            },
+            AgentOp::Disconnect {
+                connection: ODataId::new("/redfish/v1/Fabrics/F/Connections/c3"),
+            },
+            AgentOp::InjectFault {
+                description: "link0 down".into(),
+            },
+            AgentOp::ProbeRoute {
+                initiator: ODataId::new("/redfish/v1/Fabrics/F/Endpoints/a"),
+                target: ODataId::new("/redfish/v1/Fabrics/F/Endpoints/b"),
+            },
+        ];
+        for op in ops {
+            let v = op_to_value(&op);
+            assert_eq!(op_from_value(&v), Some(op));
+        }
+        assert_eq!(op_from_value(&serde_json::json!({"Kind": "Nonsense"})), None);
+        assert_eq!(op_from_value(&serde_json::json!({"no": "kind"})), None);
     }
 
     #[test]

@@ -14,6 +14,11 @@ pub struct Clock {
     ms: AtomicU64,
     origin: Instant,
     wall_driven: bool,
+    /// Offset added to every reading. A restarted OFMF resumes its
+    /// timeline from the last `ClockMark` journaled before the crash
+    /// ([`Clock::resume_from`]), so restored session deadlines and event
+    /// timestamps stay on the original axis instead of restarting at 0.
+    base: AtomicU64,
 }
 
 impl Clock {
@@ -23,6 +28,7 @@ impl Clock {
             ms: AtomicU64::new(0),
             origin: Instant::now(),
             wall_driven: false,
+            base: AtomicU64::new(0),
         }
     }
 
@@ -32,16 +38,28 @@ impl Clock {
             ms: AtomicU64::new(0),
             origin: Instant::now(),
             wall_driven: true,
+            base: AtomicU64::new(0),
         }
     }
 
-    /// Current time in milliseconds since service start.
+    /// Current time in milliseconds since service start (plus any resumed
+    /// base).
     pub fn now_ms(&self) -> u64 {
-        if self.wall_driven {
+        let base = self.base.load(Ordering::Acquire);
+        let elapsed = if self.wall_driven {
             u64::try_from(self.origin.elapsed().as_millis()).unwrap_or(u64::MAX)
         } else {
             self.ms.load(Ordering::Acquire)
-        }
+        };
+        base.saturating_add(elapsed)
+    }
+
+    /// Resume the timeline at (at least) `base_ms`: readings never go
+    /// below the highest base ever supplied. Called during WAL replay with
+    /// the last journaled timestamp so the clock continues the pre-crash
+    /// timeline rather than rewinding to zero.
+    pub fn resume_from(&self, base_ms: u64) {
+        self.base.fetch_max(base_ms, Ordering::AcqRel);
     }
 
     /// Advance a manual clock by `delta_ms`. No-op on wall clocks (they
@@ -82,6 +100,19 @@ mod tests {
         assert_eq!(c.now_ms(), 150);
         c.advance_ms(1);
         assert_eq!(c.now_ms(), 151);
+    }
+
+    #[test]
+    fn resume_from_offsets_the_timeline() {
+        let c = Clock::manual();
+        c.advance_ms(10);
+        c.resume_from(5_000);
+        assert_eq!(c.now_ms(), 5_010, "base added to elapsed time");
+        // The base is monotonic: a lower resume never rewinds.
+        c.resume_from(100);
+        assert_eq!(c.now_ms(), 5_010);
+        c.advance_ms(90);
+        assert_eq!(c.now_ms(), 5_100);
     }
 
     #[test]

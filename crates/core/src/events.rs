@@ -30,6 +30,7 @@
 use crate::clock::Clock;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use ofmf_obs::{Counter, Histogram};
+use ofmf_wal::{Wal, WalRecord};
 use parking_lot::RwLock;
 use redfish_model::odata::ODataId;
 use redfish_model::path::top;
@@ -80,6 +81,33 @@ fn event_metrics() -> &'static EventMetrics {
         index_candidates: ofmf_obs::counter("ofmf.events.index.candidates.total"),
         index_skipped: ofmf_obs::counter("ofmf.events.index.skipped.total"),
     })
+}
+
+/// Stable wire name of an event type, used by the durability journal
+/// (`WalRecord::Subscribe` stores type filters as strings).
+pub fn event_type_label(t: EventType) -> &'static str {
+    match t {
+        EventType::StatusChange => "StatusChange",
+        EventType::ResourceAdded => "ResourceAdded",
+        EventType::ResourceRemoved => "ResourceRemoved",
+        EventType::ResourceUpdated => "ResourceUpdated",
+        EventType::Alert => "Alert",
+        EventType::MetricReport => "MetricReport",
+    }
+}
+
+/// Inverse of [`event_type_label`]; `None` for unknown names (a journal
+/// written by a future OFMF — the filter entry is skipped, not fatal).
+pub fn event_type_from_label(s: &str) -> Option<EventType> {
+    match s {
+        "StatusChange" => Some(EventType::StatusChange),
+        "ResourceAdded" => Some(EventType::ResourceAdded),
+        "ResourceRemoved" => Some(EventType::ResourceRemoved),
+        "ResourceUpdated" => Some(EventType::ResourceUpdated),
+        "Alert" => Some(EventType::Alert),
+        "MetricReport" => Some(EventType::MetricReport),
+        _ => None,
+    }
 }
 
 /// Position of an event type in the routing index's bucket array.
@@ -214,6 +242,10 @@ pub struct EventService {
     queue_depth: usize,
     /// Ablation switch: scan every subscription instead of the index.
     linear: bool,
+    /// Durability journal. Subscribe/unsubscribe records are appended while
+    /// the subscription-table lock is held, so replay order matches live
+    /// order. Lock order: subs → WAL file mutex (leaf).
+    journal: RwLock<Option<Arc<Wal>>>,
 }
 
 impl EventService {
@@ -226,6 +258,18 @@ impl EventService {
             next_event: AtomicU64::new(1),
             queue_depth: DEFAULT_QUEUE_DEPTH,
             linear: false,
+            journal: RwLock::new(None),
+        }
+    }
+
+    /// Attach (or detach) the durability journal.
+    pub fn set_journal(&self, wal: Option<Arc<Wal>>) {
+        *self.journal.write() = wal;
+    }
+
+    fn journal_record(&self, rec: WalRecord) {
+        if let Some(w) = self.journal.read().as_ref() {
+            w.record(&rec);
         }
     }
 
@@ -268,8 +312,82 @@ impl EventService {
         });
         let mut subs = self.subs.write();
         subs.index.insert(&sub);
+        self.journal_record(WalRecord::Subscribe {
+            id: id.clone(),
+            destination: sub.dest.destination.clone(),
+            event_types: sub
+                .dest
+                .event_types
+                .iter()
+                .map(|t| event_type_label(*t).to_string())
+                .collect(),
+            origins: sub
+                .dest
+                .origin_resources
+                .iter()
+                .map(|l| l.odata_id.as_str().to_string())
+                .collect(),
+        });
         subs.by_id.insert(id.clone(), sub);
         Ok((id, rx))
+    }
+
+    /// Re-install a subscription during WAL replay. Skips registry resource
+    /// creation (the `EventDestination` resource is rebuilt by
+    /// registry-record replay) and keeps the id allocator above every
+    /// restored id. Returns the fresh delivery receiver — the pre-crash
+    /// consumer is gone, so the queue starts empty.
+    pub fn restore_subscription(
+        &self,
+        id: &str,
+        destination: &str,
+        event_types: Vec<EventType>,
+        origin_resources: Vec<ODataId>,
+    ) -> Receiver<EventEnvelope> {
+        let subs_col = ODataId::new(top::SUBSCRIPTIONS);
+        let dest = EventDestination::new(&subs_col, id, destination, event_types, origin_resources);
+        let (tx, rx) = bounded(self.queue_depth);
+        let sub = Arc::new(Subscription {
+            id: id.to_string(),
+            dest,
+            tx,
+            dropped: AtomicU64::new(0),
+            drop_alerted: AtomicBool::new(false),
+        });
+        if let Ok(n) = id.parse::<u64>() {
+            self.next_sub.fetch_max(n.saturating_add(1), Ordering::AcqRel);
+        }
+        let mut subs = self.subs.write();
+        subs.index.insert(&sub);
+        subs.by_id.insert(id.to_string(), sub);
+        rx
+    }
+
+    /// One `Subscribe` record per live subscription — the compact form a
+    /// snapshot stores instead of the subscribe/unsubscribe history.
+    pub fn snapshot_records(&self) -> Vec<WalRecord> {
+        let subs = self.subs.read();
+        let mut ids: Vec<&String> = subs.by_id.keys().collect();
+        ids.sort();
+        ids.iter()
+            .filter_map(|id| subs.by_id.get(*id))
+            .map(|sub| WalRecord::Subscribe {
+                id: sub.id.clone(),
+                destination: sub.dest.destination.clone(),
+                event_types: sub
+                    .dest
+                    .event_types
+                    .iter()
+                    .map(|t| event_type_label(*t).to_string())
+                    .collect(),
+                origins: sub
+                    .dest
+                    .origin_resources
+                    .iter()
+                    .map(|l| l.odata_id.as_str().to_string())
+                    .collect(),
+            })
+            .collect()
     }
 
     /// Delete a subscription (client unsubscribes or its queue is dead).
@@ -288,9 +406,15 @@ impl EventService {
             }
         };
         match reg.delete(&ODataId::new(top::SUBSCRIPTIONS).child(id)) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.journal_record(WalRecord::Unsubscribe { id: id.to_string() });
+                Ok(())
+            }
             // The resource is already gone: both views agree, call it done.
-            Err(RedfishError::NotFound(_)) => Ok(()),
+            Err(RedfishError::NotFound(_)) => {
+                self.journal_record(WalRecord::Unsubscribe { id: id.to_string() });
+                Ok(())
+            }
             Err(e) => {
                 let mut subs = self.subs.write();
                 subs.index.insert(&removed);

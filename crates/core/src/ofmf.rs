@@ -7,15 +7,16 @@
 //! registration (discover + mount), heartbeat-based liveness, event and
 //! telemetry forwarding, and unregistration (unmount).
 
-use crate::agent::{Agent, AgentInfo, AgentOp, AgentResponse};
+use crate::agent::{op_from_value, op_to_value, Agent, AgentInfo, AgentOp, AgentResponse};
 use crate::clock::Clock;
-use crate::events::EventService;
+use crate::events::{event_type_from_label, EventService};
 use crate::sessions::SessionService;
 use crate::supervisor::{self, AgentSupervisor, BreakerState, SupervisorConfig};
 use crate::tasks::TaskService;
 use crate::telemetry::TelemetryService;
 use crate::tree;
-use parking_lot::RwLock;
+use ofmf_wal::{Wal, WalRecord};
+use parking_lot::{Mutex, RwLock};
 use redfish_model::odata::{ETag, ODataId};
 use redfish_model::path::{fabric_id_of, top};
 use redfish_model::resources::events::EventType;
@@ -82,11 +83,33 @@ pub struct Ofmf {
     /// the Redfish event log by [`Ofmf::flush_event_log`].
     journal: crossbeam::channel::Receiver<redfish_model::resources::events::EventEnvelope>,
     journal_seq: AtomicU64,
+    /// The durability write-ahead log, when this OFMF was booted with one.
+    wal: Option<Arc<Wal>>,
+    /// Whether this boot replayed state from a WAL (vs a fresh bootstrap).
+    recovered: bool,
+    /// Composition records replayed from the WAL, awaiting the Composability
+    /// Layer's [`reconciliation`](Ofmf::take_recovered_compose).
+    recovered_compose: Mutex<Vec<WalRecord>>,
+    /// Teardown ops replayed from the WAL for fabrics whose agents have not
+    /// re-registered yet; handed to each agent's supervisor on registration.
+    recovered_teardowns: Mutex<HashMap<String, Vec<AgentOp>>>,
+    /// Extra snapshot records from higher layers (the composer's live
+    /// compositions); see [`Ofmf::set_snapshot_provider`].
+    snapshot_provider: RwLock<Option<SnapshotProvider>>,
+    /// Clock reading at the last journaled `ClockMark` (rate limit).
+    last_clock_mark: AtomicU64,
 }
+
+/// Callback supplying extra snapshot records from higher layers (the
+/// composer's live compositions); see [`Ofmf::set_snapshot_provider`].
+pub type SnapshotProvider = Box<dyn Fn() -> Vec<WalRecord> + Send + Sync>;
 
 /// Maximum entries retained in the event log (oldest are evicted —
 /// `OverWritePolicy: WrapsWhenFull`).
 pub const EVENT_LOG_CAP: usize = 512;
+
+/// Live-log size past which [`Ofmf::poll`] writes a compacting snapshot.
+pub const WAL_SNAPSHOT_THRESHOLD_BYTES: u64 = 4 * 1024 * 1024;
 
 impl Ofmf {
     /// Boot an OFMF: bootstrap the tree and wire the services together.
@@ -118,19 +141,179 @@ impl Ofmf {
         o
     }
 
+    /// Boot against a durability journal (manual clock). An empty journal
+    /// behaves exactly like [`Ofmf::new`] except every control-plane
+    /// mutation is journaled; a non-empty one is replayed: the tree,
+    /// sessions, subscriptions, clock baseline, and pending teardowns all
+    /// resume where the previous process stopped. Call
+    /// [`Ofmf::finish_recovery`] after re-registering agents.
+    pub fn with_wal(
+        uuid: &str,
+        credentials: HashMap<String, String>,
+        seed: u64,
+        wal: Arc<Wal>,
+    ) -> std::io::Result<Arc<Self>> {
+        Self::boot(uuid, credentials, seed, Arc::new(Clock::manual()), Some(wal))
+    }
+
+    /// [`Ofmf::with_wal`] with an explicit clock (wall-driven for daemons).
+    pub fn with_wal_clock(
+        uuid: &str,
+        credentials: HashMap<String, String>,
+        seed: u64,
+        wal: Arc<Wal>,
+        clock: Arc<Clock>,
+    ) -> std::io::Result<Arc<Self>> {
+        Self::boot(uuid, credentials, seed, clock, Some(wal))
+    }
+
     fn with_clock(uuid: &str, credentials: HashMap<String, String>, seed: u64, clock: Arc<Clock>) -> Arc<Self> {
+        // ofmf-lint: allow(no-panic-path, "without a WAL there is no I/O in the boot path; it cannot fail")
+        Self::boot(uuid, credentials, seed, clock, None).expect("boot without a WAL cannot fail")
+    }
+
+    fn boot(
+        uuid: &str,
+        credentials: HashMap<String, String>,
+        seed: u64,
+        clock: Arc<Clock>,
+        wal: Option<Arc<Wal>>,
+    ) -> std::io::Result<Arc<Self>> {
         let registry = Arc::new(Registry::new());
-        // ofmf-lint: allow(no-panic-path, "bootstrap of an empty registry only inserts fresh ids; Conflict is impossible")
-        tree::bootstrap(&registry, uuid).expect("bootstrap on fresh registry cannot fail");
         let events = Arc::new(EventService::new(Arc::clone(&clock)));
         let telemetry = Arc::new(TelemetryService::new(Arc::clone(&clock)));
         let tasks = Arc::new(TaskService::new(Arc::clone(&clock)));
         let sessions = Arc::new(SessionService::new(Arc::clone(&clock), credentials, seed));
-        let (_journal_id, journal) = events
-            .subscribe(&registry, "internal://event-log", vec![], vec![])
-            // ofmf-lint: allow(no-panic-path, "first subscription on a freshly bootstrapped tree cannot collide")
-            .expect("journal subscription on a fresh tree");
-        Arc::new(Ofmf {
+
+        // Replay whatever the journal holds. An empty journal (or no journal
+        // at all) falls through to the fresh-bootstrap path.
+        let replayed: Option<Vec<WalRecord>> = match &wal {
+            Some(w) => {
+                let r = w.replay()?;
+                (!r.records.is_empty()).then_some(r.records)
+            }
+            None => None,
+        };
+
+        let mut recovered_compose: Vec<WalRecord> = Vec::new();
+        let mut recovered_teardowns: HashMap<String, Vec<AgentOp>> = HashMap::new();
+
+        let journal = if let Some(records) = &replayed {
+            // ---- restored boot: rebuild every service from the journal ----
+            redfish_model::replay::apply_all(&registry, records);
+            let mut max_ms = 0u64;
+            // token → (session id, user, last-used); final state wins.
+            let mut live_sessions: HashMap<String, (String, String, u64)> = HashMap::new();
+            // subscription id → (destination, type names, origin paths).
+            let mut live_subs: HashMap<String, (String, Vec<String>, Vec<String>)> = HashMap::new();
+            for rec in records {
+                match rec {
+                    WalRecord::ClockMark { now_ms } => max_ms = max_ms.max(*now_ms),
+                    WalRecord::SessionLogin {
+                        token,
+                        session_id,
+                        user,
+                        last_used_ms,
+                    } => {
+                        max_ms = max_ms.max(*last_used_ms);
+                        live_sessions.insert(token.clone(), (session_id.clone(), user.clone(), *last_used_ms));
+                    }
+                    WalRecord::SessionTouch { token, last_used_ms } => {
+                        max_ms = max_ms.max(*last_used_ms);
+                        if let Some(live) = live_sessions.get_mut(token) {
+                            live.2 = *last_used_ms;
+                        }
+                    }
+                    WalRecord::SessionEnd { token } => {
+                        live_sessions.remove(token);
+                    }
+                    WalRecord::Subscribe {
+                        id,
+                        destination,
+                        event_types,
+                        origins,
+                    } => {
+                        live_subs.insert(id.clone(), (destination.clone(), event_types.clone(), origins.clone()));
+                    }
+                    WalRecord::Unsubscribe { id } => {
+                        live_subs.remove(id);
+                    }
+                    WalRecord::Teardown { fabric, op } => {
+                        if let Some(op) = op_from_value(op) {
+                            recovered_teardowns.entry(fabric.clone()).or_default().push(op);
+                        }
+                    }
+                    WalRecord::TeardownDrained { fabric } => {
+                        recovered_teardowns.remove(fabric);
+                    }
+                    WalRecord::ComposeIntent { .. }
+                    | WalRecord::BindDone { .. }
+                    | WalRecord::ComposeCommit { .. }
+                    | WalRecord::ComposeAbort { .. }
+                    | WalRecord::Decompose { .. }
+                    | WalRecord::BindAdded { .. }
+                    | WalRecord::ComposeLive { .. } => recovered_compose.push(rec.clone()),
+                    // Registry records were applied by `apply_all` above.
+                    _ => {}
+                }
+            }
+            // Resume the pre-crash timeline before any service reads the
+            // clock, so restored session deadlines stay meaningful.
+            clock.resume_from(max_ms);
+            let mut tokens: Vec<&String> = live_sessions.keys().collect();
+            tokens.sort();
+            for token in tokens {
+                // ofmf-lint: allow(no-panic-path, "key came from live_sessions.keys() above")
+                let (sid, user, ms) = &live_sessions[token];
+                sessions.restore_session(token, sid, user, *ms);
+            }
+            let mut journal_rx = None;
+            let mut sub_ids: Vec<&String> = live_subs.keys().collect();
+            sub_ids.sort_by_key(|s| s.parse::<u64>().unwrap_or(u64::MAX));
+            for id in sub_ids {
+                // ofmf-lint: allow(no-panic-path, "key came from live_subs.keys() above")
+                let (dest, types, origins) = &live_subs[id];
+                let rx = events.restore_subscription(
+                    id,
+                    dest,
+                    types.iter().filter_map(|s| event_type_from_label(s)).collect(),
+                    origins.iter().map(ODataId::new).collect(),
+                );
+                if dest == "internal://event-log" && journal_rx.is_none() {
+                    journal_rx = Some(rx);
+                }
+            }
+            // The internal event-log subscription is created on every fresh
+            // boot, so it is always in the journal; the fallback covers only
+            // hand-built journals (tests, tooling).
+            journal_rx.unwrap_or_else(|| events.restore_subscription("0", "internal://event-log", vec![], vec![]))
+        } else {
+            // ---- fresh boot: journal from the very first create, so the
+            // bootstrap itself is replayable ----
+            registry.set_journal(wal.clone());
+            sessions.set_journal(wal.clone());
+            events.set_journal(wal.clone());
+            // ofmf-lint: allow(no-panic-path, "bootstrap of an empty registry only inserts fresh ids; Conflict is impossible")
+            tree::bootstrap(&registry, uuid).expect("bootstrap on fresh registry cannot fail");
+            let (_journal_id, journal) = events
+                .subscribe(&registry, "internal://event-log", vec![], vec![])
+                // ofmf-lint: allow(no-panic-path, "first subscription on a freshly bootstrapped tree cannot collide")
+                .expect("journal subscription on a fresh tree");
+            journal
+        };
+
+        let recovered = replayed.is_some();
+        if recovered {
+            // Journaling was off during replay (records must not re-journal
+            // themselves); attach now that the tree is rebuilt.
+            registry.set_journal(wal.clone());
+            sessions.set_journal(wal.clone());
+            events.set_journal(wal.clone());
+        }
+        let member_floor = if recovered { member_seq_floor(&registry) } else { 1 };
+        let journal_floor = if recovered { journal_seq_floor(&registry) } else { 1 };
+
+        Ok(Arc::new(Ofmf {
             registry,
             clock,
             events,
@@ -138,12 +321,130 @@ impl Ofmf {
             tasks,
             sessions,
             agents: RwLock::new(HashMap::new()),
-            member_seq: AtomicU64::new(1),
+            member_seq: AtomicU64::new(member_floor),
             seed,
             sup_cfg: SupervisorConfig::default(),
             journal,
-            journal_seq: AtomicU64::new(1),
-        })
+            journal_seq: AtomicU64::new(journal_floor),
+            wal,
+            recovered,
+            recovered_compose: Mutex::new(recovered_compose),
+            recovered_teardowns: Mutex::new(recovered_teardowns),
+            snapshot_provider: RwLock::new(None),
+            last_clock_mark: AtomicU64::new(0),
+        }))
+    }
+
+    /// Whether this boot replayed state from a WAL.
+    pub fn was_recovered(&self) -> bool {
+        self.recovered
+    }
+
+    /// The attached durability journal, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Append a record to the durability journal, if one is attached.
+    /// Infallible: I/O errors are absorbed into `ofmf.wal.errors.total`
+    /// (the in-memory mutation the record describes has already happened).
+    pub fn wal_record(&self, rec: WalRecord) {
+        if let Some(w) = &self.wal {
+            w.record(&rec);
+        }
+    }
+
+    /// Composition records replayed from the WAL, in journal order. The
+    /// Composability Layer drains these once on boot to rebuild its state
+    /// and compensate half-bound compositions.
+    pub fn take_recovered_compose(&self) -> Vec<WalRecord> {
+        std::mem::take(&mut *self.recovered_compose.lock())
+    }
+
+    /// Install the higher-layer snapshot hook: called (under the WAL's
+    /// snapshot lock) to collect extra records — the composer's live
+    /// compositions — into each snapshot.
+    pub fn set_snapshot_provider(&self, provider: Option<SnapshotProvider>) {
+        *self.snapshot_provider.write() = provider;
+    }
+
+    /// Write a compacted snapshot of the full control-plane state and
+    /// truncate the live log. Returns the number of records written (0
+    /// without a WAL).
+    pub fn write_snapshot(&self) -> std::io::Result<usize> {
+        match &self.wal {
+            Some(w) => w.snapshot_with(|| self.collect_snapshot_records()),
+            None => Ok(0),
+        }
+    }
+
+    fn collect_snapshot_records(&self) -> Vec<WalRecord> {
+        let mut recs = vec![WalRecord::ClockMark {
+            now_ms: self.clock.now_ms(),
+        }];
+        recs.extend(self.registry.snapshot_records());
+        recs.extend(self.sessions.snapshot_records());
+        recs.extend(self.events.snapshot_records());
+        // Undrained teardown compensation survives compaction: ops held by
+        // live supervisors, plus ops recovered for still-absent agents.
+        for (fid, entry) in self.agents.read().iter() {
+            for op in entry.supervisor.peek_journal() {
+                recs.push(WalRecord::Teardown {
+                    fabric: fid.clone(),
+                    op: op_to_value(&op),
+                });
+            }
+        }
+        for (fid, ops) in self.recovered_teardowns.lock().iter() {
+            for op in ops {
+                recs.push(WalRecord::Teardown {
+                    fabric: fid.clone(),
+                    op: op_to_value(op),
+                });
+            }
+        }
+        if let Some(provider) = self.snapshot_provider.read().as_ref() {
+            recs.extend(provider());
+        }
+        // Compose records nobody reconciled yet pass through verbatim.
+        recs.extend(self.recovered_compose.lock().iter().cloned());
+        recs
+    }
+
+    /// Post-replay reconciliation, called after agents have re-registered:
+    /// every fabric in the replayed tree whose agent did NOT come back is
+    /// degraded (`UnavailableOffline`/`Critical`, the same posture a
+    /// heartbeat loss produces) and announced with a Critical alert.
+    pub fn finish_recovery(&self) {
+        let fabrics_col = ODataId::new(top::FABRICS);
+        let Ok(members) = self.registry.members(&fabrics_col) else {
+            return;
+        };
+        let dead: Vec<ODataId> = {
+            let agents = self.agents.read();
+            members
+                .into_iter()
+                .filter(|m| {
+                    let fid = m.as_str().rsplit('/').next().unwrap_or("");
+                    !agents.contains_key(fid)
+                })
+                .collect()
+        };
+        for fabric in dead {
+            for id in self.registry.ids_under(&fabric) {
+                let _ = self.registry.patch(
+                    &id,
+                    &json!({"Status": {"State": "UnavailableOffline", "Health": "Critical"}}),
+                    None,
+                );
+            }
+            self.events.publish(
+                EventType::Alert,
+                &fabric,
+                format!("fabric {} has no agent after recovery; marked unavailable", fabric),
+                "Critical",
+            );
+        }
     }
 
     /// Drain the internal journal into `LogEntry` resources under the OFMF
@@ -236,6 +537,24 @@ impl Ofmf {
             format!("fabric {} registered ({})", info.fabric_id, info.technology),
             "OK",
         );
+        // Teardown compensation recovered from the WAL for this fabric:
+        // hand it to the fresh supervisor and replay it against the
+        // newly-registered (live) agent right away.
+        let pending = self.recovered_teardowns.lock().remove(&info.fabric_id);
+        if let Some(ops) = pending {
+            let handles = {
+                let agents = self.agents.read();
+                agents
+                    .get(&info.fabric_id)
+                    .map(|e| (Arc::clone(&e.agent), Arc::clone(&e.supervisor)))
+            };
+            if let Some((agent, sup)) = handles {
+                for op in &ops {
+                    sup.journal_teardown(op);
+                }
+                self.replay_journal(&info.fabric_id, &agent, &sup);
+            }
+        }
         Ok(info)
     }
 
@@ -293,6 +612,10 @@ impl Ofmf {
         if !alive {
             if supervisor::is_teardown(op) {
                 sup.journal_teardown(op);
+                self.wal_record(WalRecord::Teardown {
+                    fabric: fabric_id.to_string(),
+                    op: op_to_value(op),
+                });
             }
             return Err(sup.circuit_open_error());
         }
@@ -309,6 +632,10 @@ impl Ofmf {
                     && matches!(e, RedfishError::AgentUnavailable(_) | RedfishError::CircuitOpen { .. })
                 {
                     sup.journal_teardown(op);
+                    self.wal_record(WalRecord::Teardown {
+                        fabric: fabric_id.to_string(),
+                        op: op_to_value(op),
+                    });
                 }
                 Err(e)
             }
@@ -426,6 +753,23 @@ impl Ofmf {
         }
         self.sessions.sweep_expired(&self.registry);
         self.flush_event_log();
+        if let Some(w) = &self.wal {
+            // Stamp the clock about once a second of service time, so a
+            // crash replays to within a second of the pre-crash timeline.
+            let now = self.clock.now_ms();
+            let last = self.last_clock_mark.load(Ordering::Acquire);
+            if now.saturating_sub(last) >= 1000
+                && self
+                    .last_clock_mark
+                    .compare_exchange(last, now, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                w.record(&WalRecord::ClockMark { now_ms: now });
+            }
+            if w.log_bytes() > WAL_SNAPSHOT_THRESHOLD_BYTES {
+                let _ = self.write_snapshot();
+            }
+        }
         processed
     }
 
@@ -549,7 +893,16 @@ impl Ofmf {
     /// Replay teardown ops that failed while the agent was down. Ops that
     /// still fail are re-journaled for the next recovery.
     fn replay_journal(&self, fabric_id: &str, agent: &Arc<dyn Agent>, sup: &AgentSupervisor) {
-        for op in sup.take_journal() {
+        let ops = sup.take_journal();
+        if !ops.is_empty() {
+            // Drained-then-re-journaled ordering: the WAL fold (Teardown
+            // appends, Drained clears) reproduces exactly the set that is
+            // still pending after this replay.
+            self.wal_record(WalRecord::TeardownDrained {
+                fabric: fabric_id.to_string(),
+            });
+        }
+        for op in ops {
             match sup.dispatch(agent, &op) {
                 Ok(resp) => {
                     sup.count_replayed();
@@ -560,7 +913,13 @@ impl Ofmf {
                 Err(RedfishError::NotFound(id)) => {
                     self.registry.delete_subtree(&id);
                 }
-                Err(_) => sup.journal_teardown(&op),
+                Err(_) => {
+                    sup.journal_teardown(&op);
+                    self.wal_record(WalRecord::Teardown {
+                        fabric: fabric_id.to_string(),
+                        op: op_to_value(&op),
+                    });
+                }
             }
         }
         self.publish_breaker_transitions(fabric_id, sup);
@@ -758,6 +1117,41 @@ impl Ofmf {
             .publish(EventType::ResourceRemoved, path, "resource deleted", "OK");
         Ok(())
     }
+}
+
+/// Resume floor for the member-id allocator after replay: one above the
+/// highest numeric suffix of any `zone*`/`conn*`/`res*`/`z*`/`c*` member id
+/// in the tree, so fresh allocations never collide with replayed resources.
+fn member_seq_floor(registry: &Registry) -> u64 {
+    let mut max = 0u64;
+    registry.for_each(|id, _| {
+        let leaf = id.as_str().rsplit('/').next().unwrap_or("");
+        // Longest prefixes first: "zone5" must parse as zone+5, not z+"one5".
+        for prefix in ["zone", "conn", "res", "z", "c"] {
+            if let Some(suffix) = leaf.strip_prefix(prefix) {
+                if !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit()) {
+                    if let Ok(n) = suffix.parse::<u64>() {
+                        max = max.max(n);
+                    }
+                    break;
+                }
+            }
+        }
+    });
+    max.saturating_add(1)
+}
+
+/// Resume floor for the event-log sequence after replay.
+fn journal_seq_floor(registry: &Registry) -> u64 {
+    let mut max = 0u64;
+    if let Ok(members) = registry.members(&ODataId::new(top::EVENT_LOG_ENTRIES)) {
+        for m in members {
+            if let Ok(n) = m.as_str().rsplit('/').next().unwrap_or("").parse::<u64>() {
+                max = max.max(n);
+            }
+        }
+    }
+    max.saturating_add(1)
 }
 
 /// Extract `Links.{key}` (or top-level `{key}`) as a list of ids.

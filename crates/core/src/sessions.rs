@@ -6,6 +6,7 @@
 //! are deterministic); sessions idle past the timeout are reaped lazily.
 
 use crate::clock::Clock;
+use ofmf_wal::{Wal, WalRecord};
 use parking_lot::RwLock;
 use redfish_model::odata::ODataId;
 use redfish_model::path::top;
@@ -36,6 +37,10 @@ pub struct SessionService {
     next: AtomicU64,
     seed: u64,
     timeout_ms: u64,
+    /// Durability journal. Session lifecycle records are appended while the
+    /// token-table lock is held, so per-token ordering (login → touches →
+    /// end) is exact on replay. Lock order: tokens → WAL file mutex (leaf).
+    journal: RwLock<Option<Arc<Wal>>>,
 }
 
 impl SessionService {
@@ -48,6 +53,7 @@ impl SessionService {
             next: AtomicU64::new(1),
             seed,
             timeout_ms: DEFAULT_TIMEOUT_MS,
+            journal: RwLock::new(None),
         }
     }
 
@@ -55,6 +61,23 @@ impl SessionService {
     pub fn with_timeout_ms(mut self, t: u64) -> Self {
         self.timeout_ms = t;
         self
+    }
+
+    /// The idle window after which unused sessions are evicted.
+    pub fn timeout_ms(&self) -> u64 {
+        self.timeout_ms
+    }
+
+    /// Attach (or detach) the durability journal. Attached before any login
+    /// on a fresh boot; after replay on a restored boot.
+    pub fn set_journal(&self, wal: Option<Arc<Wal>>) {
+        *self.journal.write() = wal;
+    }
+
+    fn journal_record(&self, rec: WalRecord) {
+        if let Some(w) = self.journal.read().as_ref() {
+            w.record(&rec);
+        }
     }
 
     fn mint_token(&self, n: u64) -> String {
@@ -82,7 +105,8 @@ impl SessionService {
         let col = ODataId::new(top::SESSIONS);
         let now = self.clock.now_ms();
         reg.create(&col.child(&sid), Session::new(&col, &sid, user, now).to_value())?;
-        self.tokens.write().insert(
+        let mut tokens = self.tokens.write();
+        tokens.insert(
             token.clone(),
             Live {
                 session_id: sid.clone(),
@@ -90,6 +114,13 @@ impl SessionService {
                 last_used_ms: now,
             },
         );
+        self.journal_record(WalRecord::SessionLogin {
+            token: token.clone(),
+            session_id: sid.clone(),
+            user: user.to_string(),
+            last_used_ms: now,
+        });
+        drop(tokens);
         Ok((token, col.child(&sid)))
     }
 
@@ -103,19 +134,32 @@ impl SessionService {
         if now.saturating_sub(live.last_used_ms) > self.timeout_ms {
             let sid = live.session_id.clone();
             tokens.remove(token);
+            self.journal_record(WalRecord::SessionEnd {
+                token: token.to_string(),
+            });
             drop(tokens);
             let _ = reg.delete(&ODataId::new(top::SESSIONS).child(&sid));
             return Err(RedfishError::Unauthorized);
         }
         live.last_used_ms = now;
-        Ok(live.user.clone())
+        let user = live.user.clone();
+        self.journal_record(WalRecord::SessionTouch {
+            token: token.to_string(),
+            last_used_ms: now,
+        });
+        Ok(user)
     }
 
     /// Log out (DELETE on the session resource).
     pub fn logout(&self, reg: &Registry, token: &str) -> RedfishResult<()> {
-        let Some(live) = self.tokens.write().remove(token) else {
+        let mut tokens = self.tokens.write();
+        let Some(live) = tokens.remove(token) else {
             return Err(RedfishError::Unauthorized);
         };
+        self.journal_record(WalRecord::SessionEnd {
+            token: token.to_string(),
+        });
+        drop(tokens);
         reg.delete(&ODataId::new(top::SESSIONS).child(&live.session_id))?;
         Ok(())
     }
@@ -133,15 +177,63 @@ impl SessionService {
                 .filter(|(_, live)| now.saturating_sub(live.last_used_ms) > self.timeout_ms)
                 .map(|(t, _)| t.clone())
                 .collect();
-            expired
+            let doomed: Vec<(String, String)> = expired
                 .into_iter()
                 .filter_map(|t| tokens.remove(&t).map(|live| (t, live.session_id)))
-                .collect()
+                .collect();
+            for (t, _) in &doomed {
+                self.journal_record(WalRecord::SessionEnd { token: t.clone() });
+            }
+            doomed
         };
         for (_, sid) in &doomed {
             let _ = reg.delete(&ODataId::new(top::SESSIONS).child(sid));
         }
         doomed.len()
+    }
+
+    /// Re-install a session during WAL replay, preserving its original
+    /// identity and idle timer. The restored session expires exactly
+    /// `timeout_ms` after its pre-crash `last_used_ms` — neither immortal
+    /// nor instantly reaped. Does not touch the registry (the session
+    /// resource is rebuilt by registry-record replay).
+    pub fn restore_session(&self, token: &str, session_id: &str, user: &str, last_used_ms: u64) {
+        self.tokens.write().insert(
+            token.to_string(),
+            Live {
+                session_id: session_id.to_string(),
+                user: user.to_string(),
+                last_used_ms,
+            },
+        );
+        // Keep the id/token allocator above every restored session so new
+        // logins never collide with replayed ones.
+        if let Ok(n) = session_id.parse::<u64>() {
+            self.next.fetch_max(n.saturating_add(1), Ordering::AcqRel);
+        }
+    }
+
+    /// One `SessionLogin` record per live session — the compact form a
+    /// snapshot stores instead of the login/touch/end history.
+    pub fn snapshot_records(&self) -> Vec<WalRecord> {
+        let tokens = self.tokens.read();
+        let mut recs: Vec<WalRecord> = tokens
+            .iter()
+            .map(|(t, live)| WalRecord::SessionLogin {
+                token: t.clone(),
+                session_id: live.session_id.clone(),
+                user: live.user.clone(),
+                last_used_ms: live.last_used_ms,
+            })
+            .collect();
+        recs.sort_by(|a, b| {
+            let key = |r: &WalRecord| match r {
+                WalRecord::SessionLogin { session_id, .. } => session_id.clone(),
+                _ => String::new(),
+            };
+            key(a).cmp(&key(b))
+        });
+        recs
     }
 
     /// Live session count (expired-but-unreaped sessions included).
@@ -237,6 +329,113 @@ mod tests {
         assert!(!reg.exists(&s1));
         assert!(reg.exists(&s2));
         assert_eq!(svc.session_count(), 1);
+    }
+
+    #[test]
+    fn restored_sessions_expire_at_their_original_deadline() {
+        // Satellite 2 regression: a session restored from the WAL must
+        // re-enter the expiry sweep with its ORIGINAL deadline — not be
+        // immortal (timer reset) and not be instantly reaped (timer zeroed).
+        let (reg, svc, clock) = setup(1000);
+        let (token, sid) = svc.login(&reg, "admin", "hunter2").unwrap();
+        clock.advance_ms(400);
+        svc.authenticate(&reg, &token).unwrap(); // last_used_ms = 400
+
+        // "Restart": fresh service on a fresh clock resumed to the
+        // pre-crash timeline, session re-installed from its journal record.
+        let (reg2, svc2, clock2) = setup(1000);
+        clock2.resume_from(clock.now_ms());
+        svc2.restore_session(&token, "1", "admin", 400);
+        reg2.create(
+            &sid,
+            Session::new(&ODataId::new(top::SESSIONS), "1", "admin", 400).to_value(),
+        )
+        .unwrap();
+
+        clock2.advance_ms(900); // idle 900ms < 1000ms: still valid
+        assert_eq!(
+            svc2.authenticate(&reg2, &token).unwrap(),
+            "admin",
+            "not instantly reaped"
+        );
+        clock2.advance_ms(1001); // idle past the (refreshed) deadline
+        assert!(
+            matches!(svc2.authenticate(&reg2, &token), Err(RedfishError::Unauthorized)),
+            "not immortal"
+        );
+        assert!(!reg2.exists(&sid));
+    }
+
+    #[test]
+    fn restored_sessions_do_not_collide_with_new_logins() {
+        let (reg, svc, _clock) = setup(DEFAULT_TIMEOUT_MS);
+        svc.restore_session("ofmf-restored", "7", "admin", 0);
+        let (_token, sid) = svc.login(&reg, "admin", "hunter2").unwrap();
+        assert_eq!(sid.as_str(), "/redfish/v1/SessionService/Sessions/8");
+        assert_eq!(svc.session_count(), 2);
+    }
+
+    #[test]
+    fn session_lifecycle_is_journaled_and_replayable() {
+        let dir = std::env::temp_dir().join(format!("ofmf-sess-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = Arc::new(Wal::open(&dir, ofmf_wal::FsyncPolicy::Off).unwrap());
+        let (reg, svc, clock) = setup(1000);
+        svc.set_journal(Some(Arc::clone(&wal)));
+
+        let (t1, _) = svc.login(&reg, "admin", "hunter2").unwrap();
+        let (t2, _) = svc.login(&reg, "admin", "hunter2").unwrap();
+        clock.advance_ms(500);
+        svc.authenticate(&reg, &t1).unwrap();
+        svc.logout(&reg, &t2).unwrap();
+
+        let recs = wal.replay().unwrap().records;
+        // Fold the journal the way boot does: login → map insert,
+        // touch → timer update, end → remove.
+        let mut live: HashMap<String, u64> = HashMap::new();
+        for r in &recs {
+            match r {
+                WalRecord::SessionLogin {
+                    token, last_used_ms, ..
+                } => {
+                    live.insert(token.clone(), *last_used_ms);
+                }
+                WalRecord::SessionTouch { token, last_used_ms } => {
+                    live.insert(token.clone(), *last_used_ms);
+                }
+                WalRecord::SessionEnd { token } => {
+                    live.remove(token);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(live.len(), 1);
+        assert_eq!(live.get(&t1), Some(&500), "touch refreshed the journaled timer");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_records_capture_live_sessions() {
+        let (reg, svc, clock) = setup(1000);
+        let (t1, _) = svc.login(&reg, "admin", "hunter2").unwrap();
+        clock.advance_ms(100);
+        let (_t2, _) = svc.login(&reg, "admin", "hunter2").unwrap();
+        let recs = svc.snapshot_records();
+        assert_eq!(recs.len(), 2);
+        match &recs[0] {
+            WalRecord::SessionLogin {
+                token,
+                session_id,
+                user,
+                last_used_ms,
+            } => {
+                assert_eq!(token, &t1);
+                assert_eq!(session_id, "1");
+                assert_eq!(user, "admin");
+                assert_eq!(*last_used_ms, 0);
+            }
+            other => panic!("unexpected record {other:?}"),
+        }
     }
 
     #[test]

@@ -580,6 +580,13 @@ impl AgentSupervisor {
         self.journal.lock().len()
     }
 
+    /// Copy of the pending journal without draining it (snapshot path: the
+    /// WAL snapshot persists undrained teardowns, so a crash between
+    /// snapshot and replay loses nothing).
+    pub fn peek_journal(&self) -> Vec<AgentOp> {
+        self.journal.lock().clone()
+    }
+
     /// Count a successful journal replay.
     pub fn count_replayed(&self) {
         metrics().replayed.inc();

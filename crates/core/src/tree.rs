@@ -188,7 +188,29 @@ pub fn mount_subtree(reg: &Registry, inventory: &[(ODataId, Value)]) -> RedfishR
     for (id, body) in sorted {
         let is_collection = body.get("Members").is_some();
         if reg.exists(id) {
-            reg.replace(id, body.clone())?;
+            let mut body = body.clone();
+            if is_collection {
+                // Re-registration over a recovered tree: the fresh discovery
+                // does not know about dynamically created members (zones,
+                // connections, carves) replayed from the journal. Union the
+                // member lists so replayed children stay reachable.
+                if let Ok(existing) = reg.get(id) {
+                    let mut members: Vec<Value> = body["Members"].as_array().cloned().unwrap_or_default();
+                    for m in existing.body["Members"].as_array().into_iter().flatten() {
+                        let known = m["@odata.id"]
+                            .as_str()
+                            .is_some_and(|p| members.iter().any(|n| n["@odata.id"].as_str() == Some(p)));
+                        if !known {
+                            members.push(m.clone());
+                        }
+                    }
+                    if let Some(obj) = body.as_object_mut() {
+                        obj.insert("Members@odata.count".into(), serde_json::json!(members.len() as u64));
+                        obj.insert("Members".into(), Value::Array(members));
+                    }
+                }
+            }
+            reg.replace(id, body)?;
         } else if is_collection {
             // Collections arrive with their Members pre-listed; create the
             // shell then replace to preserve the agent's member list.

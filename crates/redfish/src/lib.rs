@@ -37,6 +37,7 @@ pub mod odata;
 pub mod patch;
 pub mod path;
 pub mod registry;
+pub mod replay;
 pub mod resources;
 pub mod status;
 

@@ -91,7 +91,7 @@ impl From<String> for ODataId {
 ///
 /// The registry bumps a monotonically increasing version on every mutation;
 /// the wire form is the Redfish weak-validator style `W/"<n>"`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ETag(pub u64);
 

@@ -39,6 +39,7 @@ use crate::error::{RedfishError, RedfishResult};
 use crate::odata::{ETag, ODataId};
 use crate::patch::{first_read_only_violation, merge_patch};
 use crate::path::valid_member_id;
+use ofmf_wal::{Wal, WalRecord};
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use serde_json::{json, Map, Value};
 use std::collections::{BTreeMap, HashMap};
@@ -160,6 +161,11 @@ pub struct Registry {
     cache_enabled: AtomicBool,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// Optional write-ahead journal. Mutations append their logical record
+    /// while still holding the stripe write lock, so the journal preserves
+    /// per-stripe mutation order. Lock order: stripe → journal → WAL file
+    /// mutex (the WAL mutex is a leaf).
+    journal: RwLock<Option<Arc<Wal>>>,
 }
 
 impl Default for Registry {
@@ -186,6 +192,23 @@ impl Registry {
             cache_enabled: AtomicBool::new(true),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            journal: RwLock::new(None),
+        }
+    }
+
+    /// Attach (or detach) the write-ahead journal. Attach *after* replay:
+    /// replayed mutations go through the raw install paths and are never
+    /// re-journaled.
+    pub fn set_journal(&self, wal: Option<Arc<Wal>>) {
+        *self.journal.write() = wal;
+    }
+
+    /// Append a record to the attached journal, if any. Called with the
+    /// relevant stripe write lock held so the journal observes mutations
+    /// to one stripe in their true order.
+    fn journal_record(&self, rec: &WalRecord) {
+        if let Some(w) = self.journal.read().as_ref() {
+            w.record(rec);
         }
     }
 
@@ -315,18 +338,30 @@ impl Registry {
                 is_collection,
             },
         );
-        self.link_into_parent(&mut span, id);
+        let parent_etag = self.link_into_parent(&mut span, id);
+        if self.journal.read().is_some() {
+            if let Some(node) = span.tree(me).nodes.get(id) {
+                self.journal_record(&WalRecord::Create {
+                    id: id.as_str().to_string(),
+                    body: node.body.clone(),
+                    etag: etag.0,
+                    is_collection,
+                    parent_etag: parent_etag.map(|e| e.0),
+                });
+            }
+        }
         Ok(etag)
     }
 
-    fn link_into_parent(&self, span: &mut WriteSpan<'_>, id: &ODataId) {
-        let Some(parent) = id.parent() else { return };
+    /// Append `id` to its parent collection's `Members`, when the parent is
+    /// a collection. Returns the parent's freshly allocated ETag, if one
+    /// was bumped.
+    fn link_into_parent(&self, span: &mut WriteSpan<'_>, id: &ODataId) -> Option<ETag> {
+        let parent = id.parent()?;
         let pshard = self.shard_of(&parent);
-        let Some(p) = span.tree(pshard).nodes.get_mut(&parent) else {
-            return;
-        };
+        let p = span.tree(pshard).nodes.get_mut(&parent)?;
         if !p.is_collection {
-            return;
+            return None;
         }
         let members = p
             .body
@@ -338,16 +373,17 @@ impl Registry {
         let count = members.len();
         p.body["Members@odata.count"] = json!(count);
         p.etag = self.next_etag();
+        Some(p.etag)
     }
 
-    fn unlink_from_parent(&self, span: &mut WriteSpan<'_>, id: &ODataId) {
-        let Some(parent) = id.parent() else { return };
+    /// Remove `id` from its parent collection's `Members`. Returns the
+    /// parent's freshly allocated ETag, if one was bumped.
+    fn unlink_from_parent(&self, span: &mut WriteSpan<'_>, id: &ODataId) -> Option<ETag> {
+        let parent = id.parent()?;
         let pshard = self.shard_of(&parent);
-        let Some(p) = span.tree(pshard).nodes.get_mut(&parent) else {
-            return;
-        };
+        let p = span.tree(pshard).nodes.get_mut(&parent)?;
         if !p.is_collection {
-            return;
+            return None;
         }
         let members = p
             .body
@@ -359,6 +395,7 @@ impl Registry {
         let count = members.len();
         p.body["Members@odata.count"] = json!(count);
         p.etag = self.next_etag();
+        Some(p.etag)
     }
 
     /// Fetch a resource (clone of its stored form).
@@ -446,6 +483,11 @@ impl Registry {
         }
         merge_patch(&mut node.body, patch);
         node.etag = self.next_etag();
+        self.journal_record(&WalRecord::Patch {
+            id: id.as_str().to_string(),
+            delta: patch.clone(),
+            etag: node.etag.0,
+        });
         Ok(node.etag)
     }
 
@@ -464,6 +506,11 @@ impl Registry {
             .insert("@odata.id".to_string(), Value::String(id.as_str().to_string()));
         node.body = body;
         node.etag = self.next_etag();
+        self.journal_record(&WalRecord::Replace {
+            id: id.as_str().to_string(),
+            body: node.body.clone(),
+            etag: node.etag.0,
+        });
         Ok(node.etag)
     }
 
@@ -500,7 +547,11 @@ impl Registry {
             return Err(RedfishError::Conflict(format!("resource {id} has child resources")));
         }
         span.tree(me).nodes.remove(id);
-        self.unlink_from_parent(&mut span, id);
+        let parent_etag = self.unlink_from_parent(&mut span, id);
+        self.journal_record(&WalRecord::Delete {
+            id: id.as_str().to_string(),
+            parent_etag: parent_etag.map(|e| e.0),
+        });
         drop(span);
         self.uncache(id);
         Ok(())
@@ -536,7 +587,11 @@ impl Registry {
             span.tree(s).nodes.remove(d);
         }
         if !doomed.is_empty() {
-            self.unlink_from_parent(&mut span, id);
+            let parent_etag = self.unlink_from_parent(&mut span, id);
+            self.journal_record(&WalRecord::DeleteSubtree {
+                id: id.as_str().to_string(),
+                parent_etag: parent_etag.map(|e| e.0),
+            });
         }
         drop(span);
         for d in &doomed {
@@ -692,6 +747,154 @@ impl Registry {
         }
         body["Members"] = Value::Array(expanded);
         Ok(body)
+    }
+
+    // ------------------------------------------------------------------
+    // Replay API — raw installs used by WAL/snapshot recovery. These
+    // bypass validation, never allocate ETags (records carry the ETag the
+    // live mutation allocated) and never journal. They are idempotent so
+    // a record that lands both in a snapshot and in the live segment
+    // replays to the same state. See `crate::replay`.
+    // ------------------------------------------------------------------
+
+    /// Install (or overwrite) a resource verbatim with a recorded ETag.
+    /// No parent linking: snapshot installs carry each parent's `Members`
+    /// in its own body, and create-replay links explicitly.
+    pub fn install(&self, id: &ODataId, body: Value, etag: ETag, is_collection: bool) {
+        let me = self.shard_of(id);
+        let mut span = self.write_span(vec![me]);
+        span.tree(me).nodes.insert(
+            id.clone(),
+            StoredResource {
+                body,
+                etag,
+                is_collection,
+            },
+        );
+    }
+
+    /// Remove a resource (optionally with its whole subtree) without
+    /// emptiness/child checks, unlinking or journaling.
+    pub fn remove_raw(&self, id: &ODataId, subtree: bool) {
+        let mut span = if spans_all_shards(id) {
+            self.write_all()
+        } else {
+            self.write_span(vec![self.shard_of(id)])
+        };
+        let mut doomed: Vec<ODataId> = Vec::new();
+        if subtree {
+            for t in span.trees() {
+                doomed.extend(t.descendants(id).map(|(k, _)| k.clone()));
+            }
+        }
+        doomed.push(id.clone());
+        for d in &doomed {
+            let s = self.shard_of(d);
+            span.tree(s).nodes.remove(d);
+        }
+        drop(span);
+        for d in &doomed {
+            self.uncache(d);
+        }
+    }
+
+    /// Re-apply a recorded parent-membership change: append `id` to
+    /// (`link=true`) or remove it from (`link=false`) its parent's
+    /// `Members`, and pin the parent's ETag to the recorded value. A
+    /// `None` ETag means the live mutation bumped no parent (the parent
+    /// was not a collection), so membership is left untouched.
+    ///
+    /// The recorded ETag doubles as the idempotency token: a parent whose
+    /// current ETag is already at or past it holds a body that reflects
+    /// this mutation (it arrived via a snapshot install or an earlier
+    /// pass over the same journal), so the record is skipped outright.
+    /// That replaces the old per-record `Members` scan — which made
+    /// replaying n creates into one collection O(n²) and blew the
+    /// boot-time budget at 100k records — with an O(1) check, and it
+    /// stops overlap records from regressing the parent's ETag.
+    pub fn set_parent_link_raw(&self, id: &ODataId, link: bool, parent_etag: Option<ETag>) {
+        let Some(petag) = parent_etag else { return };
+        let Some(parent) = id.parent() else { return };
+        let pshard = self.shard_of(&parent);
+        let mut span = self.write_span(vec![pshard]);
+        let Some(p) = span.tree(pshard).nodes.get_mut(&parent) else {
+            return;
+        };
+        if p.etag >= petag {
+            return;
+        }
+        let Some(members) = p.body.get_mut("Members").and_then(Value::as_array_mut) else {
+            return;
+        };
+        if link {
+            members.push(json!({"@odata.id": id.as_str()}));
+        } else {
+            members.retain(|m| m["@odata.id"].as_str() != Some(id.as_str()));
+        }
+        let count = members.len();
+        p.body["Members@odata.count"] = json!(count);
+        p.etag = petag;
+    }
+
+    /// Re-apply a recorded merge patch, pinning the recorded ETag.
+    pub fn patch_raw(&self, id: &ODataId, delta: &Value, etag: ETag) {
+        let me = self.shard_of(id);
+        let mut span = self.write_span(vec![me]);
+        if let Some(node) = span.tree(me).nodes.get_mut(id) {
+            merge_patch(&mut node.body, delta);
+            node.etag = etag;
+        }
+    }
+
+    /// Re-apply a recorded body replacement, pinning the recorded ETag and
+    /// preserving the resource's collection flag.
+    pub fn replace_raw(&self, id: &ODataId, body: Value, etag: ETag) {
+        let me = self.shard_of(id);
+        let mut span = self.write_span(vec![me]);
+        match span.tree(me).nodes.get_mut(id) {
+            Some(node) => {
+                node.body = body;
+                node.etag = etag;
+            }
+            None => {
+                let is_collection = body.get("Members").is_some();
+                span.tree(me).nodes.insert(
+                    id.clone(),
+                    StoredResource {
+                        body,
+                        etag,
+                        is_collection,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Raise the ETag allocator so the next allocation is at least `floor`.
+    pub fn ensure_etag_floor(&self, floor: u64) {
+        self.etag_seq.fetch_max(floor, Ordering::AcqRel);
+    }
+
+    /// The next ETag value the allocator would hand out.
+    pub fn etag_seq(&self) -> u64 {
+        self.etag_seq.load(Ordering::Acquire)
+    }
+
+    /// The compacted snapshot of the whole tree: one install record per
+    /// resource (path order) plus the allocator floor. Taken under a
+    /// consistent all-shard read snapshot.
+    pub fn snapshot_records(&self) -> Vec<WalRecord> {
+        let mut out = Vec::with_capacity(self.len() + 1);
+        self.for_each(|id, node| {
+            out.push(WalRecord::InstallResource {
+                id: id.as_str().to_string(),
+                body: node.body.clone(),
+                etag: node.etag.0,
+                is_collection: node.is_collection,
+            });
+        });
+        out.push(WalRecord::EtagFloor { seq: self.etag_seq() });
+        out
     }
 }
 

@@ -1,0 +1,175 @@
+//! On-disk framing: `[u32 payload-len LE][u32 crc32 LE][payload]`.
+//!
+//! The CRC covers the payload bytes only; the length field is implicitly
+//! validated by the CRC check (a corrupted length either points past the
+//! end of the file, exceeds [`MAX_FRAME_PAYLOAD`], or frames a byte run
+//! whose checksum cannot match). A scan stops at the first frame that
+//! fails any of those checks, so the valid prefix of a torn file is
+//! always recoverable.
+
+/// Upper bound on a single frame's payload. A length field above this is
+/// treated as corruption rather than an instruction to allocate gigabytes.
+pub const MAX_FRAME_PAYLOAD: usize = 64 * 1024 * 1024;
+
+/// Bytes of framing overhead per record (length + checksum).
+pub const FRAME_HEADER: usize = 8;
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        // ofmf-lint: allow(no-panic-path, "const-eval index bounded by the 0..256 loop")
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 (the zlib/PNG polynomial), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        // ofmf-lint: allow(no-panic-path, "index is masked to 0..256; the table has 256 entries")
+        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// Append one framed payload to `out`.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// One structurally valid frame located by [`scan_frames`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameInfo {
+    /// Byte offset of the frame header within the scanned buffer.
+    pub offset: usize,
+    /// Byte offset of the payload.
+    pub payload_start: usize,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl FrameInfo {
+    /// Offset one past the end of this frame (the next frame's header).
+    pub fn end(&self) -> usize {
+        self.payload_start + self.payload_len
+    }
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let slice = bytes.get(at..at + 4)?;
+    let arr: [u8; 4] = slice.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
+}
+
+/// Walk `bytes` frame by frame. Returns the structurally valid frames and
+/// the length of the valid prefix; scanning stops at the first frame with
+/// a short header, an absurd length, a short payload, or a CRC mismatch.
+pub fn scan_frames(bytes: &[u8]) -> (Vec<FrameInfo>, usize) {
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let Some(len) = read_u32(bytes, pos) else { break };
+        let Some(crc) = read_u32(bytes, pos + 4) else { break };
+        let len = len as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            break;
+        }
+        let start = pos + FRAME_HEADER;
+        let Some(payload) = bytes.get(start..start + len) else {
+            break;
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        frames.push(FrameInfo {
+            offset: pos,
+            payload_start: start,
+            payload_len: len,
+        });
+        pos = start + len;
+    }
+    (frames, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789" under IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_frames() {
+        let mut buf = Vec::new();
+        encode_frame(b"hello", &mut buf);
+        encode_frame(b"", &mut buf);
+        encode_frame(b"world!", &mut buf);
+        let (frames, valid) = scan_frames(&buf);
+        assert_eq!(valid, buf.len());
+        assert_eq!(frames.len(), 3);
+        assert_eq!(&buf[frames[0].payload_start..frames[0].end()], b"hello");
+        assert_eq!(frames[1].payload_len, 0);
+        assert_eq!(&buf[frames[2].payload_start..frames[2].end()], b"world!");
+    }
+
+    #[test]
+    fn scan_stops_at_corruption() {
+        let mut buf = Vec::new();
+        encode_frame(b"keep me", &mut buf);
+        let keep = buf.len();
+        encode_frame(b"corrupt me", &mut buf);
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let (frames, valid) = scan_frames(&buf);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(valid, keep);
+    }
+
+    #[test]
+    fn scan_rejects_absurd_length() {
+        let mut buf = Vec::new();
+        encode_frame(b"ok", &mut buf);
+        let keep = buf.len();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(b"garbage");
+        let (frames, valid) = scan_frames(&buf);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(valid, keep);
+    }
+
+    #[test]
+    fn every_truncation_yields_a_prefix() {
+        let mut buf = Vec::new();
+        for i in 0..4 {
+            encode_frame(format!("record-{i}").as_bytes(), &mut buf);
+        }
+        let (full, _) = scan_frames(&buf);
+        let ends: Vec<usize> = full.iter().map(|f| f.end()).collect();
+        for cut in 0..buf.len() {
+            let (frames, valid) = scan_frames(&buf[..cut]);
+            // The valid prefix must be exactly the frames that end at or
+            // before the cut.
+            let expect = ends.iter().filter(|&&e| e <= cut).count();
+            assert_eq!(frames.len(), expect, "cut at {cut}");
+            assert!(valid <= cut);
+        }
+    }
+}

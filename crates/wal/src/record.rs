@@ -1,0 +1,632 @@
+//! The logical journal records and their JSON codec.
+//!
+//! Records are encoded as single JSON objects with a `"k"` discriminant,
+//! hand-rolled in both directions so the on-disk format is a stable,
+//! inspectable contract rather than an artifact of derive internals.
+//! Payload fields use plain `String` paths and `u64` ETags — the WAL sits
+//! below the Redfish data model and must not depend on it.
+
+use serde_json::{Map, Number, Value};
+
+/// One durable control-plane mutation (or snapshot install record).
+///
+/// Registry records carry the ETag the live mutation allocated (and the
+/// parent collection's bumped ETag, when linking/unlinking touched one),
+/// so replay reproduces the exact tree — including ETags — regardless of
+/// how concurrent writers interleaved across stripes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A resource (or collection) was created and linked into its parent.
+    Create {
+        /// Resource path.
+        id: String,
+        /// Full body as stored.
+        body: Value,
+        /// ETag allocated for the new resource.
+        etag: u64,
+        /// Whether the resource is a Members collection.
+        is_collection: bool,
+        /// New ETag of the parent collection, when linking bumped one.
+        parent_etag: Option<u64>,
+    },
+    /// A resource was merge-patched.
+    Patch {
+        /// Resource path.
+        id: String,
+        /// The merge-patch delta that was applied.
+        delta: Value,
+        /// ETag allocated by the patch.
+        etag: u64,
+    },
+    /// A resource body was replaced wholesale.
+    Replace {
+        /// Resource path.
+        id: String,
+        /// The replacement body.
+        body: Value,
+        /// ETag allocated by the replace.
+        etag: u64,
+    },
+    /// A single resource was deleted and unlinked.
+    Delete {
+        /// Resource path.
+        id: String,
+        /// New ETag of the parent collection, when unlinking bumped one.
+        parent_etag: Option<u64>,
+    },
+    /// A whole subtree was deleted and its root unlinked.
+    DeleteSubtree {
+        /// Subtree root path.
+        id: String,
+        /// New ETag of the parent collection, when unlinking bumped one.
+        parent_etag: Option<u64>,
+    },
+    /// Snapshot record: install a resource verbatim (no linking — the
+    /// parent's Members are part of its own installed body).
+    InstallResource {
+        /// Resource path.
+        id: String,
+        /// Full stored body.
+        body: Value,
+        /// Stored ETag.
+        etag: u64,
+        /// Whether the resource is a Members collection.
+        is_collection: bool,
+    },
+    /// Snapshot record: the ETag allocator must resume at or above `seq`.
+    EtagFloor {
+        /// Next ETag sequence value.
+        seq: u64,
+    },
+    /// Periodic stamp of the control-plane clock, so sessions and other
+    /// deadline state resume against monotonic time after a restart.
+    ClockMark {
+        /// Clock reading in milliseconds.
+        now_ms: u64,
+    },
+    /// An event subscription was created.
+    Subscribe {
+        /// Subscription id (the member id under the Subscriptions collection).
+        id: String,
+        /// Delivery destination URI.
+        destination: String,
+        /// Subscribed event type names (empty = all).
+        event_types: Vec<String>,
+        /// Origin-resource path filters (empty = all).
+        origins: Vec<String>,
+    },
+    /// An event subscription was removed.
+    Unsubscribe {
+        /// Subscription id.
+        id: String,
+    },
+    /// A session was created.
+    SessionLogin {
+        /// The bearer token.
+        token: String,
+        /// Session member id.
+        session_id: String,
+        /// Authenticated user name.
+        user: String,
+        /// Clock reading at login.
+        last_used_ms: u64,
+    },
+    /// A session's idle deadline was refreshed.
+    SessionTouch {
+        /// The bearer token.
+        token: String,
+        /// Clock reading at the touch.
+        last_used_ms: u64,
+    },
+    /// A session ended (logout or expiry).
+    SessionEnd {
+        /// The bearer token.
+        token: String,
+    },
+    /// A teardown op was journaled for a dead agent (PR-2 teardown journal).
+    Teardown {
+        /// Fabric the op targets.
+        fabric: String,
+        /// Encoded `AgentOp`.
+        op: Value,
+    },
+    /// A fabric's journaled teardowns were drained (replayed or dropped).
+    TeardownDrained {
+        /// Fabric whose journal drained.
+        fabric: String,
+    },
+    /// Composition intent, written *before* any agent bind executes. The
+    /// planned bindings carry pre-allocated zone/connection member ids so
+    /// recovery can find (and remove) half-applied state by exact path.
+    ComposeIntent {
+        /// Composed system path.
+        system: String,
+        /// Backing compute node path.
+        node: String,
+        /// Encoded `CompositionRequest`.
+        request: Value,
+        /// Array of planned bindings.
+        planned: Value,
+    },
+    /// One planned binding completed against the agent.
+    BindDone {
+        /// Composed system path.
+        system: String,
+        /// Encoded `Binding`.
+        binding: Value,
+    },
+    /// The composition completed and is live.
+    ComposeCommit {
+        /// Composed system path.
+        system: String,
+    },
+    /// The composition was abandoned and compensated.
+    ComposeAbort {
+        /// Composed system path.
+        system: String,
+    },
+    /// A live composition was decomposed.
+    Decompose {
+        /// Composed system path.
+        system: String,
+    },
+    /// A binding was added to a live composition (grow/attach).
+    BindAdded {
+        /// Composed system path.
+        system: String,
+        /// Encoded `Binding`.
+        binding: Value,
+    },
+    /// Snapshot record: a live committed composition.
+    ComposeLive {
+        /// Composed system path.
+        system: String,
+        /// Backing compute node path.
+        node: String,
+        /// Encoded `CompositionRequest`.
+        request: Value,
+        /// Array of encoded `Binding`s.
+        bindings: Value,
+    },
+}
+
+fn s(v: &str) -> Value {
+    Value::String(v.to_string())
+}
+
+fn n(v: u64) -> Value {
+    Value::Number(Number::from_u64(v))
+}
+
+fn strings(vs: &[String]) -> Value {
+    Value::Array(vs.iter().map(|v| s(v)).collect())
+}
+
+fn obj(kind: &str) -> Map {
+    let mut m = Map::new();
+    m.insert("k".to_string(), s(kind));
+    m
+}
+
+fn get_str(m: &Map, key: &str) -> Option<String> {
+    m.get(key)?.as_str().map(|v| v.to_string())
+}
+
+fn get_u64(m: &Map, key: &str) -> Option<u64> {
+    m.get(key)?.as_u64()
+}
+
+fn get_bool(m: &Map, key: &str) -> Option<bool> {
+    m.get(key)?.as_bool()
+}
+
+fn get_val(m: &Map, key: &str) -> Option<Value> {
+    m.get(key).cloned()
+}
+
+fn get_strings(m: &Map, key: &str) -> Option<Vec<String>> {
+    let arr = m.get(key)?.as_array()?;
+    let mut out = Vec::with_capacity(arr.len());
+    for v in arr {
+        out.push(v.as_str()?.to_string());
+    }
+    Some(out)
+}
+
+impl WalRecord {
+    /// A short stable name for the record kind (the `"k"` discriminant).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WalRecord::Create { .. } => "create",
+            WalRecord::Patch { .. } => "patch",
+            WalRecord::Replace { .. } => "replace",
+            WalRecord::Delete { .. } => "delete",
+            WalRecord::DeleteSubtree { .. } => "delete_subtree",
+            WalRecord::InstallResource { .. } => "install",
+            WalRecord::EtagFloor { .. } => "etag_floor",
+            WalRecord::ClockMark { .. } => "clock_mark",
+            WalRecord::Subscribe { .. } => "subscribe",
+            WalRecord::Unsubscribe { .. } => "unsubscribe",
+            WalRecord::SessionLogin { .. } => "session_login",
+            WalRecord::SessionTouch { .. } => "session_touch",
+            WalRecord::SessionEnd { .. } => "session_end",
+            WalRecord::Teardown { .. } => "teardown",
+            WalRecord::TeardownDrained { .. } => "teardown_drained",
+            WalRecord::ComposeIntent { .. } => "compose_intent",
+            WalRecord::BindDone { .. } => "bind_done",
+            WalRecord::ComposeCommit { .. } => "compose_commit",
+            WalRecord::ComposeAbort { .. } => "compose_abort",
+            WalRecord::Decompose { .. } => "decompose",
+            WalRecord::BindAdded { .. } => "bind_added",
+            WalRecord::ComposeLive { .. } => "compose_live",
+        }
+    }
+
+    /// Encode as the on-disk JSON object.
+    pub fn to_value(&self) -> Value {
+        let mut m = obj(self.kind());
+        match self {
+            WalRecord::Create {
+                id,
+                body,
+                etag,
+                is_collection,
+                parent_etag,
+            } => {
+                m.insert("id".to_string(), s(id));
+                m.insert("body".to_string(), body.clone());
+                m.insert("etag".to_string(), n(*etag));
+                m.insert("coll".to_string(), Value::Bool(*is_collection));
+                if let Some(p) = parent_etag {
+                    m.insert("parent_etag".to_string(), n(*p));
+                }
+            }
+            WalRecord::Patch { id, delta, etag } => {
+                m.insert("id".to_string(), s(id));
+                m.insert("delta".to_string(), delta.clone());
+                m.insert("etag".to_string(), n(*etag));
+            }
+            WalRecord::Replace { id, body, etag } => {
+                m.insert("id".to_string(), s(id));
+                m.insert("body".to_string(), body.clone());
+                m.insert("etag".to_string(), n(*etag));
+            }
+            WalRecord::Delete { id, parent_etag } => {
+                m.insert("id".to_string(), s(id));
+                if let Some(p) = parent_etag {
+                    m.insert("parent_etag".to_string(), n(*p));
+                }
+            }
+            WalRecord::DeleteSubtree { id, parent_etag } => {
+                m.insert("id".to_string(), s(id));
+                if let Some(p) = parent_etag {
+                    m.insert("parent_etag".to_string(), n(*p));
+                }
+            }
+            WalRecord::InstallResource {
+                id,
+                body,
+                etag,
+                is_collection,
+            } => {
+                m.insert("id".to_string(), s(id));
+                m.insert("body".to_string(), body.clone());
+                m.insert("etag".to_string(), n(*etag));
+                m.insert("coll".to_string(), Value::Bool(*is_collection));
+            }
+            WalRecord::EtagFloor { seq } => {
+                m.insert("seq".to_string(), n(*seq));
+            }
+            WalRecord::ClockMark { now_ms } => {
+                m.insert("now_ms".to_string(), n(*now_ms));
+            }
+            WalRecord::Subscribe {
+                id,
+                destination,
+                event_types,
+                origins,
+            } => {
+                m.insert("id".to_string(), s(id));
+                m.insert("dest".to_string(), s(destination));
+                m.insert("types".to_string(), strings(event_types));
+                m.insert("origins".to_string(), strings(origins));
+            }
+            WalRecord::Unsubscribe { id } => {
+                m.insert("id".to_string(), s(id));
+            }
+            WalRecord::SessionLogin {
+                token,
+                session_id,
+                user,
+                last_used_ms,
+            } => {
+                m.insert("token".to_string(), s(token));
+                m.insert("sid".to_string(), s(session_id));
+                m.insert("user".to_string(), s(user));
+                m.insert("used_ms".to_string(), n(*last_used_ms));
+            }
+            WalRecord::SessionTouch { token, last_used_ms } => {
+                m.insert("token".to_string(), s(token));
+                m.insert("used_ms".to_string(), n(*last_used_ms));
+            }
+            WalRecord::SessionEnd { token } => {
+                m.insert("token".to_string(), s(token));
+            }
+            WalRecord::Teardown { fabric, op } => {
+                m.insert("fabric".to_string(), s(fabric));
+                m.insert("op".to_string(), op.clone());
+            }
+            WalRecord::TeardownDrained { fabric } => {
+                m.insert("fabric".to_string(), s(fabric));
+            }
+            WalRecord::ComposeIntent {
+                system,
+                node,
+                request,
+                planned,
+            } => {
+                m.insert("system".to_string(), s(system));
+                m.insert("node".to_string(), s(node));
+                m.insert("request".to_string(), request.clone());
+                m.insert("planned".to_string(), planned.clone());
+            }
+            WalRecord::BindDone { system, binding } => {
+                m.insert("system".to_string(), s(system));
+                m.insert("binding".to_string(), binding.clone());
+            }
+            WalRecord::ComposeCommit { system }
+            | WalRecord::ComposeAbort { system }
+            | WalRecord::Decompose { system } => {
+                m.insert("system".to_string(), s(system));
+            }
+            WalRecord::BindAdded { system, binding } => {
+                m.insert("system".to_string(), s(system));
+                m.insert("binding".to_string(), binding.clone());
+            }
+            WalRecord::ComposeLive {
+                system,
+                node,
+                request,
+                bindings,
+            } => {
+                m.insert("system".to_string(), s(system));
+                m.insert("node".to_string(), s(node));
+                m.insert("request".to_string(), request.clone());
+                m.insert("bindings".to_string(), bindings.clone());
+            }
+        }
+        Value::Object(m)
+    }
+
+    /// Decode from the on-disk JSON object. `None` on any structural
+    /// mismatch — the caller treats an undecodable frame as a torn tail.
+    pub fn from_value(v: &Value) -> Option<WalRecord> {
+        let m = v.as_object()?;
+        let kind = m.get("k")?.as_str()?;
+        Some(match kind {
+            "create" => WalRecord::Create {
+                id: get_str(m, "id")?,
+                body: get_val(m, "body")?,
+                etag: get_u64(m, "etag")?,
+                is_collection: get_bool(m, "coll")?,
+                parent_etag: get_u64(m, "parent_etag"),
+            },
+            "patch" => WalRecord::Patch {
+                id: get_str(m, "id")?,
+                delta: get_val(m, "delta")?,
+                etag: get_u64(m, "etag")?,
+            },
+            "replace" => WalRecord::Replace {
+                id: get_str(m, "id")?,
+                body: get_val(m, "body")?,
+                etag: get_u64(m, "etag")?,
+            },
+            "delete" => WalRecord::Delete {
+                id: get_str(m, "id")?,
+                parent_etag: get_u64(m, "parent_etag"),
+            },
+            "delete_subtree" => WalRecord::DeleteSubtree {
+                id: get_str(m, "id")?,
+                parent_etag: get_u64(m, "parent_etag"),
+            },
+            "install" => WalRecord::InstallResource {
+                id: get_str(m, "id")?,
+                body: get_val(m, "body")?,
+                etag: get_u64(m, "etag")?,
+                is_collection: get_bool(m, "coll")?,
+            },
+            "etag_floor" => WalRecord::EtagFloor {
+                seq: get_u64(m, "seq")?,
+            },
+            "clock_mark" => WalRecord::ClockMark {
+                now_ms: get_u64(m, "now_ms")?,
+            },
+            "subscribe" => WalRecord::Subscribe {
+                id: get_str(m, "id")?,
+                destination: get_str(m, "dest")?,
+                event_types: get_strings(m, "types")?,
+                origins: get_strings(m, "origins")?,
+            },
+            "unsubscribe" => WalRecord::Unsubscribe { id: get_str(m, "id")? },
+            "session_login" => WalRecord::SessionLogin {
+                token: get_str(m, "token")?,
+                session_id: get_str(m, "sid")?,
+                user: get_str(m, "user")?,
+                last_used_ms: get_u64(m, "used_ms")?,
+            },
+            "session_touch" => WalRecord::SessionTouch {
+                token: get_str(m, "token")?,
+                last_used_ms: get_u64(m, "used_ms")?,
+            },
+            "session_end" => WalRecord::SessionEnd {
+                token: get_str(m, "token")?,
+            },
+            "teardown" => WalRecord::Teardown {
+                fabric: get_str(m, "fabric")?,
+                op: get_val(m, "op")?,
+            },
+            "teardown_drained" => WalRecord::TeardownDrained {
+                fabric: get_str(m, "fabric")?,
+            },
+            "compose_intent" => WalRecord::ComposeIntent {
+                system: get_str(m, "system")?,
+                node: get_str(m, "node")?,
+                request: get_val(m, "request")?,
+                planned: get_val(m, "planned")?,
+            },
+            "bind_done" => WalRecord::BindDone {
+                system: get_str(m, "system")?,
+                binding: get_val(m, "binding")?,
+            },
+            "compose_commit" => WalRecord::ComposeCommit {
+                system: get_str(m, "system")?,
+            },
+            "compose_abort" => WalRecord::ComposeAbort {
+                system: get_str(m, "system")?,
+            },
+            "decompose" => WalRecord::Decompose {
+                system: get_str(m, "system")?,
+            },
+            "bind_added" => WalRecord::BindAdded {
+                system: get_str(m, "system")?,
+                binding: get_val(m, "binding")?,
+            },
+            "compose_live" => WalRecord::ComposeLive {
+                system: get_str(m, "system")?,
+                node: get_str(m, "node")?,
+                request: get_val(m, "request")?,
+                bindings: get_val(m, "bindings")?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn roundtrip(r: WalRecord) {
+        let v = r.to_value();
+        let back = WalRecord::from_value(&v).expect("roundtrip decode");
+        assert_eq!(back, r);
+        // And through the serializer, as the file does it.
+        let text = serde_json::to_string(&v).expect("serialize");
+        let parsed: Value = serde_json::from_str(&text).expect("parse");
+        assert_eq!(WalRecord::from_value(&parsed), Some(r));
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(WalRecord::Create {
+            id: "/redfish/v1/Systems/s1".to_string(),
+            body: json!({"Id": "s1", "Name": "S1"}),
+            etag: 42,
+            is_collection: false,
+            parent_etag: Some(43),
+        });
+        roundtrip(WalRecord::Create {
+            id: "/redfish/v1/Systems".to_string(),
+            body: json!({"Members": []}),
+            etag: 2,
+            is_collection: true,
+            parent_etag: None,
+        });
+        roundtrip(WalRecord::Patch {
+            id: "/redfish/v1/Systems/s1".to_string(),
+            delta: json!({"Status": {"Health": "OK"}}),
+            etag: 44,
+        });
+        roundtrip(WalRecord::Replace {
+            id: "/redfish/v1/Systems/s1".to_string(),
+            body: json!({"Id": "s1"}),
+            etag: 45,
+        });
+        roundtrip(WalRecord::Delete {
+            id: "/redfish/v1/Systems/s1".to_string(),
+            parent_etag: Some(46),
+        });
+        roundtrip(WalRecord::DeleteSubtree {
+            id: "/redfish/v1/Fabrics/CXL0".to_string(),
+            parent_etag: None,
+        });
+        roundtrip(WalRecord::InstallResource {
+            id: "/redfish/v1".to_string(),
+            body: json!({"Id": "RootService"}),
+            etag: 1,
+            is_collection: false,
+        });
+        roundtrip(WalRecord::EtagFloor { seq: 1000 });
+        roundtrip(WalRecord::ClockMark { now_ms: 123456 });
+        roundtrip(WalRecord::Subscribe {
+            id: "1".to_string(),
+            destination: "http://sink/events".to_string(),
+            event_types: vec!["Alert".to_string()],
+            origins: vec!["/redfish/v1/Fabrics".to_string()],
+        });
+        roundtrip(WalRecord::Unsubscribe { id: "1".to_string() });
+        roundtrip(WalRecord::SessionLogin {
+            token: "ofmf-abc".to_string(),
+            session_id: "7".to_string(),
+            user: "admin".to_string(),
+            last_used_ms: 99,
+        });
+        roundtrip(WalRecord::SessionTouch {
+            token: "ofmf-abc".to_string(),
+            last_used_ms: 100,
+        });
+        roundtrip(WalRecord::SessionEnd {
+            token: "ofmf-abc".to_string(),
+        });
+        roundtrip(WalRecord::Teardown {
+            fabric: "CXL0".to_string(),
+            op: json!({"kind": "delete_zone", "zone": "/redfish/v1/Fabrics/CXL0/Zones/z1"}),
+        });
+        roundtrip(WalRecord::TeardownDrained {
+            fabric: "CXL0".to_string(),
+        });
+        roundtrip(WalRecord::ComposeIntent {
+            system: "/redfish/v1/Systems/c1".to_string(),
+            node: "/redfish/v1/Systems/n1".to_string(),
+            request: json!({"name": "c1"}),
+            planned: json!([{"fabric": "CXL0", "zone_id": "z9", "conn_id": "c9"}]),
+        });
+        roundtrip(WalRecord::BindDone {
+            system: "/redfish/v1/Systems/c1".to_string(),
+            binding: json!({"fabric": "CXL0"}),
+        });
+        roundtrip(WalRecord::ComposeCommit {
+            system: "/redfish/v1/Systems/c1".to_string(),
+        });
+        roundtrip(WalRecord::ComposeAbort {
+            system: "/redfish/v1/Systems/c1".to_string(),
+        });
+        roundtrip(WalRecord::Decompose {
+            system: "/redfish/v1/Systems/c1".to_string(),
+        });
+        roundtrip(WalRecord::BindAdded {
+            system: "/redfish/v1/Systems/c1".to_string(),
+            binding: json!({"fabric": "NVME0"}),
+        });
+        roundtrip(WalRecord::ComposeLive {
+            system: "/redfish/v1/Systems/c1".to_string(),
+            node: "/redfish/v1/Systems/n1".to_string(),
+            request: json!({"name": "c1"}),
+            bindings: json!([]),
+        });
+    }
+
+    #[test]
+    fn unknown_kind_decodes_to_none() {
+        assert_eq!(WalRecord::from_value(&json!({"k": "time_travel"})), None);
+        assert_eq!(WalRecord::from_value(&json!({"no_k": true})), None);
+        assert_eq!(WalRecord::from_value(&json!(42)), None);
+    }
+
+    #[test]
+    fn missing_field_decodes_to_none() {
+        assert_eq!(WalRecord::from_value(&json!({"k": "create", "id": "/x"})), None);
+        assert_eq!(WalRecord::from_value(&json!({"k": "etag_floor"})), None);
+    }
+}

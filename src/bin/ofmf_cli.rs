@@ -13,6 +13,8 @@
 //!   log [N]                  show the last N event-log entries (default 10)
 //!   tree [PREFIX]            walk collections breadth-first from PREFIX
 //!   stats                    service health summary from the live metrics
+//!   wal-status               durability journal counters (appends, fsyncs,
+//!                            replays, torn tails, snapshots)
 //!   trace ID                 render a flight-recorder span tree (self-time,
 //!                            critical path marked with `*`)
 //! ```
@@ -154,9 +156,65 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "stats" => stats(&mut client),
+        "wal-status" => wal_status(&mut client),
         "trace" => trace(&mut client, arg(1)?),
         other => Err(format!("unknown command '{other}'")),
     }
+}
+
+/// `wal-status`: the durability journal's counters from the live metric
+/// report. All-zero appends with no replay means the daemon runs without a
+/// WAL (`ofmfd --wal-dir` not set).
+fn wal_status(client: &mut HttpClient) -> Result<(), String> {
+    let r = client
+        .get("/redfish/v1/Managers/OFMF/MetricReports/live")
+        .map_err(stringify)?;
+    check(&r)?;
+    let report = r.json().ok_or("non-JSON response")?;
+    let empty = Vec::new();
+    let vals = report["MetricValues"].as_array().unwrap_or(&empty);
+    let metric = |id: &str| -> Option<f64> {
+        vals.iter()
+            .find(|v| v["MetricId"] == id)
+            .and_then(|v| v["MetricValue"].as_str())
+            .and_then(|s| s.parse().ok())
+    };
+    let present = [
+        "ofmf.wal.appends.total",
+        "ofmf.wal.bytes.total",
+        "ofmf.wal.fsyncs.total",
+        "ofmf.wal.replayed.total",
+        "ofmf.wal.torn_tail.total",
+        "ofmf.wal.snapshot.total",
+        "ofmf.wal.errors.total",
+    ]
+    .iter()
+    .any(|id| metric(id).is_some());
+    if !present {
+        println!("durability: disabled (no WAL metrics exported; start ofmfd with --wal-dir)");
+        return Ok(());
+    }
+    let get = |id: &str| metric(id).unwrap_or(0.0);
+    println!("durability:    enabled");
+    println!(
+        "appends:       {:.0} records ({:.0} bytes)",
+        get("ofmf.wal.appends.total"),
+        get("ofmf.wal.bytes.total")
+    );
+    println!("fsyncs:        {:.0}", get("ofmf.wal.fsyncs.total"));
+    println!("replayed:      {:.0} records at boot", get("ofmf.wal.replayed.total"));
+    println!("torn tails:    {:.0} truncated", get("ofmf.wal.torn_tail.total"));
+    println!("snapshots:     {:.0} written", get("ofmf.wal.snapshot.total"));
+    let errors = get("ofmf.wal.errors.total");
+    println!(
+        "errors:        {errors:.0}{}",
+        if errors > 0.0 {
+            "  <-- journal writes failing!"
+        } else {
+            ""
+        }
+    );
+    Ok(())
 }
 
 /// `stats`: summarize service health from the observability export.

@@ -5,7 +5,12 @@
 //! ```text
 //! Usage: ofmfd [--port N] [--nodes N] [--targets N] [--seed N]
 //!              [--auth USER:PASSWORD] [--poll-ms N] [--workers N]
+//!              [--wal-dir PATH] [--fsync always|batch:<ms>|off]
 //! ```
+//!
+//! With `--wal-dir`, every control-plane mutation is journaled to a
+//! write-ahead log and the daemon resumes from it after a restart
+//! (`--fsync` trades durability for latency; default `batch:5`).
 //!
 //! Example session:
 //!
@@ -17,9 +22,10 @@
 
 use composer::{Composer, Strategy};
 use ofmf_agents::flavors::{cxl_agent, infiniband_agent, nvmeof_agent, RackShape};
-use ofmf_core::Ofmf;
+use ofmf_core::{Clock, Ofmf};
 use ofmf_repro::ComposerBridge;
 use ofmf_rest::{RestServer, Router};
+use ofmf_wal::{FsyncPolicy, Wal};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -31,6 +37,8 @@ struct Config {
     auth: Option<(String, String)>,
     poll_ms: u64,
     workers: usize,
+    wal_dir: Option<std::path::PathBuf>,
+    fsync: FsyncPolicy,
 }
 
 fn parse_args() -> Result<Config, String> {
@@ -42,6 +50,8 @@ fn parse_args() -> Result<Config, String> {
         auth: None,
         poll_ms: 500,
         workers: 8,
+        wal_dir: None,
+        fsync: FsyncPolicy::Batch(5),
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -60,9 +70,16 @@ fn parse_args() -> Result<Config, String> {
                     .ok_or_else(|| "--auth expects USER:PASSWORD".to_string())?;
                 cfg.auth = Some((u.to_string(), p.to_string()));
             }
+            "--wal-dir" => cfg.wal_dir = Some(std::path::PathBuf::from(value("--wal-dir")?)),
+            "--fsync" => {
+                let v = value("--fsync")?;
+                cfg.fsync = FsyncPolicy::parse(&v)
+                    .ok_or_else(|| format!("--fsync expects always|batch:<ms>|off, got '{v}'"))?;
+            }
             "--help" | "-h" => {
                 return Err("usage: ofmfd [--port N] [--nodes N] [--targets N] [--seed N] \
-                            [--auth USER:PASSWORD] [--poll-ms N] [--workers N]"
+                            [--auth USER:PASSWORD] [--poll-ms N] [--workers N] \
+                            [--wal-dir PATH] [--fsync always|batch:<ms>|off]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other}")),
@@ -85,7 +102,26 @@ fn main() {
     if let Some((u, p)) = &cfg.auth {
         creds.insert(u.clone(), p.clone());
     }
-    let ofmf = Ofmf::new_wall("ofmfd", creds, cfg.seed);
+    let ofmf = match &cfg.wal_dir {
+        Some(dir) => {
+            let wal = match Wal::open(dir, cfg.fsync) {
+                Ok(w) => Arc::new(w),
+                Err(e) => {
+                    eprintln!("cannot open WAL at {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            };
+            match Ofmf::with_wal_clock("ofmfd", creds, cfg.seed, wal, Arc::new(Clock::wall())) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("cannot replay WAL at {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => Ofmf::new_wall("ofmfd", creds, cfg.seed),
+    };
+    let recovered = ofmf.was_recovered();
 
     let shape = RackShape {
         compute_nodes: cfg.nodes,
@@ -95,13 +131,20 @@ fn main() {
         ..RackShape::default()
     };
     ofmf.register_agent(Arc::new(cxl_agent("CXL0", &shape, 1 << 20, cfg.seed ^ 1)))
-        .expect("fresh tree");
+        .expect("fabric id free at boot");
     ofmf.register_agent(Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, cfg.seed ^ 2)))
-        .expect("fresh tree");
+        .expect("fabric id free at boot");
     ofmf.register_agent(Arc::new(infiniband_agent("IB0", &shape, "A100", cfg.seed ^ 3)))
-        .expect("fresh tree");
+        .expect("fabric id free at boot");
 
-    let bridge = ComposerBridge::new(Composer::new(Arc::clone(&ofmf), Strategy::TopologyAware));
+    let composer = Arc::new(Composer::new(Arc::clone(&ofmf), Strategy::TopologyAware));
+    composer.attach_snapshot_provider();
+    if recovered {
+        ofmf.finish_recovery();
+        let (restored, compensated) = composer.recover();
+        println!("ofmfd: resumed from WAL ({restored} composition(s) restored, {compensated} compensated)");
+    }
+    let bridge = ComposerBridge::shared(Arc::clone(&composer));
     let router = Arc::new(Router::new(Arc::clone(&ofmf), require_auth).with_compose_service(Arc::new(bridge)));
     let server = match RestServer::start(&format!("0.0.0.0:{}", cfg.port), router, cfg.workers) {
         Ok(s) => s,
@@ -122,6 +165,14 @@ fn main() {
         if require_auth { "required" } else { "open" },
         cfg.poll_ms
     );
+    match &cfg.wal_dir {
+        Some(dir) => println!(
+            "ofmfd: durability on, journal at {} (fsync {:?})",
+            dir.display(),
+            cfg.fsync
+        ),
+        None => println!("ofmfd: durability off (no --wal-dir); state is lost on exit"),
+    }
 
     // Poll loop on the main thread; the server owns its own threads.
     loop {

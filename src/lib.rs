@@ -45,13 +45,19 @@ use std::sync::Arc;
 /// runs the real allocation + bind pipeline — and the request's span tree
 /// extends through composer, supervisors and agents.
 pub struct ComposerBridge {
-    composer: Composer,
+    composer: Arc<Composer>,
 }
 
 impl ComposerBridge {
     /// Wrap a composer for attachment via
     /// [`ofmf_rest::Router::with_compose_service`].
     pub fn new(composer: Composer) -> Self {
+        Self::shared(Arc::new(composer))
+    }
+
+    /// Wrap an already-shared composer (daemons keep their own handle for
+    /// crash recovery and snapshot wiring).
+    pub fn shared(composer: Arc<Composer>) -> Self {
         ComposerBridge { composer }
     }
 

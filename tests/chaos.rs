@@ -143,6 +143,140 @@ fn crash_mid_compose_leaves_no_half_bound_composition() {
         .unwrap();
 }
 
+/// Hard-stop durability: the process dies mid-compose (simulated by cutting
+/// the live WAL right after the first confirmed bind), restarts from
+/// snapshot + journal, and recovery compensates the half-bound transaction.
+/// After restart: no half-bound composition, zero stale links, committed
+/// compositions restored, ETags still monotonic, and the rig composes again.
+#[test]
+fn hard_stop_mid_compose_recovers_from_wal_and_snapshot() {
+    use ofmf_wal::{FsyncPolicy, Wal};
+
+    let dir = std::env::temp_dir().join(format!("ofmf-chaos-hard-stop-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let shape = RackShape::default();
+    let agents = |seed: u64| -> [Arc<dyn Agent>; 3] {
+        [
+            Arc::new(cxl_agent("CXL0", &shape, 1 << 20, seed ^ 1)),
+            Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, seed ^ 2)),
+            Arc::new(infiniband_agent("IB0", &shape, "A100", seed ^ 3)),
+        ]
+    };
+
+    // ---- Epoch 1: compose one committed system, snapshot, then start a
+    // second compose whose tail we tear off.
+    let (etag_before, warm_binding_count) = {
+        let wal = Arc::new(Wal::open(&dir, FsyncPolicy::Always).expect("open wal"));
+        let ofmf = Ofmf::with_wal("ofmf-hard-stop", HashMap::new(), 4001, wal).expect("fresh boot");
+        assert!(!ofmf.was_recovered());
+        for a in agents(4001) {
+            ofmf.register_agent(a).expect("fresh rig");
+        }
+        let composer = Arc::new(Composer::new(Arc::clone(&ofmf), Strategy::FirstFit));
+        composer.attach_snapshot_provider();
+        let warm = composer
+            .compose(&CompositionRequest::compute_only("warm", 8, 8).with_fabric_memory_mib(1024))
+            .unwrap();
+        // Snapshot now, so the restart exercises snapshot + live-log replay.
+        ofmf.write_snapshot().expect("snapshot");
+        // The victim spans two fabrics: memory (CXL0) then storage (NVME0).
+        composer
+            .compose(
+                &CompositionRequest::compute_only("victim", 8, 8)
+                    .with_fabric_memory_mib(512)
+                    .with_storage_bytes(1 << 30),
+            )
+            .unwrap();
+        (ofmf.registry.etag_seq(), warm.bindings.len())
+    };
+
+    // ---- Hard stop: keep the log only up to the end of the victim's first
+    // confirmed bind. Everything after (second bind, system doc, commit) is
+    // lost, exactly as if the process had been killed there.
+    let log = dir.join("wal.log");
+    let bytes = std::fs::read(&log).expect("read live log");
+    let (frames, valid) = ofmf_wal::scan_frames(&bytes);
+    assert_eq!(valid, bytes.len(), "epoch-1 log is fully valid");
+    let cut = frames
+        .iter()
+        .find(|f| {
+            serde_json::from_slice::<serde_json::Value>(&bytes[f.payload_start..f.payload_start + f.payload_len])
+                .ok()
+                .and_then(|v| v.get("k").and_then(|k| k.as_str().map(|s| s == "bind_done")))
+                .unwrap_or(false)
+        })
+        .expect("victim confirmed at least one bind")
+        .end();
+    assert!(cut < bytes.len(), "the cut actually discards a tail");
+    std::fs::write(&log, &bytes[..cut]).expect("truncate live log");
+
+    // ---- Epoch 2: restart from the journal, re-register fresh agents,
+    // reconcile.
+    let wal = Arc::new(Wal::open(&dir, FsyncPolicy::Always).expect("reopen wal"));
+    let ofmf = Ofmf::with_wal("ofmf-hard-stop", HashMap::new(), 4001, wal).expect("recovery boot");
+    assert!(ofmf.was_recovered(), "journal was replayed");
+    for a in agents(4001) {
+        ofmf.register_agent(a).expect("re-register");
+    }
+    ofmf.finish_recovery();
+    let composer = Arc::new(Composer::new(Arc::clone(&ofmf), Strategy::FirstFit));
+    let (restored, compensated) = composer.recover();
+    assert_eq!(restored, 1, "warm came back");
+    assert_eq!(compensated, 1, "victim was compensated");
+
+    // No half-bound composition survives the restart.
+    let victim = ODataId::new("/redfish/v1/Systems/victim");
+    assert!(composer.find(&victim).is_none());
+    assert!(!ofmf.registry.exists(&victim), "half-created system doc removed");
+    let zones = ofmf
+        .registry
+        .members(&ODataId::new("/redfish/v1/Fabrics/CXL0").child("Zones"))
+        .unwrap();
+    assert_eq!(zones.len(), 1, "only warm's zone survives: {zones:?}");
+
+    // The committed composition is intact: state, bindings and tree agree.
+    let warm = composer
+        .find(&ODataId::new("/redfish/v1/Systems/warm"))
+        .expect("warm restored");
+    assert_eq!(warm.bindings.len(), warm_binding_count);
+    assert_eq!(warm.bound_memory_mib(), 1024);
+    for b in &warm.bindings {
+        assert!(ofmf.registry.exists(&b.connection), "{:?}", b.connection);
+        assert!(ofmf.registry.exists(&b.zone), "{:?}", b.zone);
+    }
+
+    // Zero stale links anywhere in the recovered tree.
+    assert!(ofmf.registry.dangling_links().is_empty(), "zero stale links");
+
+    // ETags keep increasing across the restart: a cached validator from
+    // epoch 1 can never collide with a fresh epoch-2 write.
+    assert!(
+        ofmf.registry.etag_seq() >= etag_before,
+        "etag floor honored: {} < {etag_before}",
+        ofmf.registry.etag_seq()
+    );
+    let touched = ofmf
+        .registry
+        .patch(
+            &ODataId::new("/redfish/v1/Systems/warm"),
+            &json!({"Name": "warm"}),
+            None,
+        )
+        .unwrap();
+    assert!(touched.0 > etag_before, "fresh writes sort after the crash");
+
+    // And the rig still serves new compositions.
+    let again = composer
+        .compose(
+            &CompositionRequest::compute_only("victim", 8, 8)
+                .with_fabric_memory_mib(512)
+                .with_storage_bytes(1 << 30),
+        )
+        .expect("same request succeeds after compensation");
+    assert_eq!(again.bindings.len(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The crash-mid-compose story must be reconstructable from its trace tree
 /// alone: the retained trace shows the compensation (`unbind_all`) running
 /// and the breaker opening, with the failed fabric named on the dispatch.

@@ -1,0 +1,223 @@
+//! End-to-end durability: a full OFMF stack journals every control-plane
+//! mutation, writes a compacted snapshot, hard-stops, and a fresh process
+//! resumes — tree, sessions, subscriptions, clock baseline and live
+//! compositions all where the previous process left them.
+
+use composer::{Composer, CompositionRequest, Strategy};
+use ofmf_agents::flavors::{cxl_agent, infiniband_agent, nvmeof_agent, RackShape};
+use ofmf_core::{Agent, Ofmf};
+use ofmf_wal::{FsyncPolicy, Wal};
+use redfish_model::odata::ODataId;
+use redfish_model::resources::events::EventType;
+use serde_json::json;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ofmf-wal-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn credentials() -> HashMap<String, String> {
+    HashMap::from([("admin".to_string(), "hunter2".to_string())])
+}
+
+fn register_rig(ofmf: &Arc<Ofmf>, seed: u64) {
+    let shape = RackShape::default();
+    let agents: [Arc<dyn Agent>; 3] = [
+        Arc::new(cxl_agent("CXL0", &shape, 1 << 20, seed ^ 1)),
+        Arc::new(nvmeof_agent("NVME0", &shape, 1 << 40, seed ^ 2)),
+        Arc::new(infiniband_agent("IB0", &shape, "A100", seed ^ 3)),
+    ];
+    for a in agents {
+        ofmf.register_agent(a).expect("register");
+    }
+}
+
+/// The acceptance walk: mutate every journaled service, snapshot midway,
+/// stop, restart, and verify each service resumed.
+#[test]
+fn full_stack_survives_a_restart() {
+    let dir = fresh_dir("full-stack");
+
+    // ---- Epoch 1 ----
+    let (token, sub_id, t_crash, etag_before) = {
+        let wal = Arc::new(Wal::open(&dir, FsyncPolicy::Batch(5)).expect("open"));
+        let ofmf = Ofmf::with_wal("ofmf-e2e", credentials(), 7001, wal).expect("fresh boot");
+        assert!(!ofmf.was_recovered());
+        register_rig(&ofmf, 7001);
+
+        // A session, a subscription, a composition, and a custom document.
+        let (token, _sid) = ofmf.sessions.login(&ofmf.registry, "admin", "hunter2").expect("login");
+        let (sub_id, _rx) = ofmf
+            .events
+            .subscribe(
+                &ofmf.registry,
+                "https://listener.example/events",
+                vec![EventType::Alert, EventType::StatusChange],
+                vec![ODataId::new("/redfish/v1/Fabrics/CXL0")],
+            )
+            .expect("subscribe");
+        let composer = Arc::new(Composer::new(Arc::clone(&ofmf), Strategy::FirstFit));
+        composer.attach_snapshot_provider();
+        composer
+            .compose(
+                &CompositionRequest::compute_only("resilient", 8, 8)
+                    .with_fabric_memory_mib(2048)
+                    .with_storage_bytes(1 << 30),
+            )
+            .expect("compose");
+
+        // A composition created and torn down again must NOT come back.
+        let gone = composer
+            .compose(&CompositionRequest::compute_only("ephemeral", 8, 8))
+            .expect("compose ephemeral");
+        composer.decompose(&gone.system).expect("decompose");
+
+        // Snapshot midway: the restart must stitch snapshot + rotated log +
+        // live log back together.
+        ofmf.write_snapshot().expect("snapshot");
+        ofmf.registry
+            .patch(
+                &ODataId::new("/redfish/v1/Systems/resilient"),
+                &json!({"AssetTag": "post-snapshot-write"}),
+                None,
+            )
+            .expect("patch after snapshot");
+
+        // Clock marks let the next process resume the timeline.
+        ofmf.clock.advance_ms(1500);
+        ofmf.poll();
+        (token, sub_id, ofmf.clock.now_ms(), ofmf.registry.etag_seq())
+    };
+
+    // ---- Epoch 2 ----
+    let replayed_before = ofmf_obs::counter("ofmf.wal.replayed.total").get();
+    let wal = Arc::new(Wal::open(&dir, FsyncPolicy::Batch(5)).expect("reopen"));
+    let ofmf = Ofmf::with_wal("ofmf-e2e", credentials(), 7001, wal).expect("recovery boot");
+    assert!(ofmf.was_recovered());
+    assert!(
+        ofmf_obs::counter("ofmf.wal.replayed.total").get() > replayed_before,
+        "replay counted its records"
+    );
+    register_rig(&ofmf, 7001);
+    ofmf.finish_recovery();
+    let composer = Arc::new(Composer::new(Arc::clone(&ofmf), Strategy::FirstFit));
+    composer.attach_snapshot_provider();
+    let (restored, compensated) = composer.recover();
+    assert_eq!((restored, compensated), (1, 0), "one committed composition, no debris");
+
+    // The clock resumed at or after the crash point: no time travel.
+    assert!(ofmf.clock.now_ms() >= t_crash - 1000, "clock baseline resumed");
+
+    // The session still authenticates — same token, original deadline rules.
+    let user = ofmf
+        .sessions
+        .authenticate(&ofmf.registry, &token)
+        .expect("session survived");
+    assert_eq!(user, "admin");
+    assert_eq!(ofmf.sessions.session_count(), 1);
+
+    // The subscription is back (plus the internal event-log tap) and its
+    // document is in the tree.
+    assert_eq!(ofmf.events.subscription_count(), 2);
+    let sub_doc = ofmf
+        .registry
+        .get(&ODataId::new("/redfish/v1/EventService/Subscriptions").child(&sub_id))
+        .expect("subscription doc replayed")
+        .body;
+    assert_eq!(sub_doc["Destination"], "https://listener.example/events");
+
+    // The composition is live again; the decomposed one stayed dead.
+    let resilient = ODataId::new("/redfish/v1/Systems/resilient");
+    let c = composer.find(&resilient).expect("composition restored");
+    assert_eq!(c.bound_memory_mib(), 2048);
+    assert_eq!(c.bound_storage_bytes(), 1 << 30);
+    assert!(composer.find(&ODataId::new("/redfish/v1/Systems/ephemeral")).is_none());
+    assert!(!ofmf.registry.exists(&ODataId::new("/redfish/v1/Systems/ephemeral")));
+
+    // The post-snapshot patch made it: replay = snapshot + live tail.
+    let body = ofmf.registry.get(&resilient).expect("doc").body;
+    assert_eq!(body["AssetTag"], "post-snapshot-write");
+
+    // No stale links, monotonic validators, and the stack still mutates.
+    assert!(ofmf.registry.dangling_links().is_empty());
+    assert!(ofmf.registry.etag_seq() >= etag_before);
+    composer
+        .grow_memory(&resilient, 512)
+        .expect("reprovision still works after recovery");
+    assert_eq!(
+        composer.find(&resilient).map(|c| c.bound_memory_mib()),
+        Some(2048 + 512)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sessions restored from the journal keep their ORIGINAL idle deadline:
+/// the sweep evicts them relative to the resumed clock, not a reset one.
+#[test]
+fn restored_sessions_rejoin_the_expiry_sweep() {
+    let dir = fresh_dir("session-sweep");
+    let token = {
+        let wal = Arc::new(Wal::open(&dir, FsyncPolicy::Always).expect("open"));
+        let ofmf = Ofmf::with_wal("ofmf-sess", credentials(), 7002, wal).expect("boot");
+        let (token, _) = ofmf.sessions.login(&ofmf.registry, "admin", "hunter2").expect("login");
+        // Burn most of the idle budget before the crash; the poll loop's
+        // periodic ClockMark is what lets the next process resume time.
+        ofmf.clock.advance_ms(ofmf.sessions.timeout_ms() - 100);
+        ofmf.poll();
+        token
+    };
+    let wal = Arc::new(Wal::open(&dir, FsyncPolicy::Always).expect("reopen"));
+    let ofmf = Ofmf::with_wal("ofmf-sess", credentials(), 7002, wal).expect("recovery boot");
+    assert!(ofmf.was_recovered());
+    assert_eq!(ofmf.sessions.session_count(), 1, "session replayed");
+    // 100ms of budget left on the original deadline: 101ms past the restart
+    // the sweep must evict it, NOT timeout_ms past the restart.
+    ofmf.clock.advance_ms(101);
+    assert_eq!(
+        ofmf.sessions.sweep_expired(&ofmf.registry),
+        1,
+        "original deadline enforced"
+    );
+    assert!(ofmf.sessions.authenticate(&ofmf.registry, &token).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Snapshots compact: after `write_snapshot` the live log restarts near
+/// empty, and a reboot replays snapshot + tail identically.
+#[test]
+fn snapshot_compacts_the_live_log() {
+    let dir = fresh_dir("compaction");
+    {
+        let wal = Arc::new(Wal::open(&dir, FsyncPolicy::Off).expect("open"));
+        let ofmf = Ofmf::with_wal("ofmf-compact", HashMap::new(), 7003, wal).expect("boot");
+        register_rig(&ofmf, 7003);
+        for i in 0..50 {
+            ofmf.registry
+                .patch(
+                    &ODataId::new("/redfish/v1/Fabrics/CXL0"),
+                    &json!({"Oem": {"OFMF": {"Churn": i}}}),
+                    None,
+                )
+                .expect("patch");
+        }
+        let before = ofmf.wal().expect("wal attached").log_bytes();
+        assert!(before > 0);
+        ofmf.write_snapshot().expect("snapshot");
+        let after = ofmf.wal().expect("wal attached").log_bytes();
+        assert!(after < before, "live log compacted: {after} !< {before}");
+    }
+    let wal = Arc::new(Wal::open(&dir, FsyncPolicy::Off).expect("reopen"));
+    let ofmf = Ofmf::with_wal("ofmf-compact", HashMap::new(), 7003, wal).expect("recovery boot");
+    assert!(ofmf.was_recovered());
+    let body = ofmf
+        .registry
+        .get(&ODataId::new("/redfish/v1/Fabrics/CXL0"))
+        .expect("doc")
+        .body;
+    assert_eq!(body["Oem"]["OFMF"]["Churn"], 49, "last write wins through the snapshot");
+    let _ = std::fs::remove_dir_all(&dir);
+}
