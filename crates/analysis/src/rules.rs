@@ -35,19 +35,29 @@
 //!   crates, and inside `crates/wal/` every `sync_all`/`sync_data` call
 //!   must carry a `// ofmf-wal: policy` tag citing the fsync-policy
 //!   decision it implements.
+//! * **`syscall-facade`** — raw kernel access (`unsafe`, inline `asm!`, or
+//!   an `allow(unsafe_code)` attribute) is confined to the event loop's
+//!   audited syscall facade (`crates/rest/src/event_loop/sys.rs`); the
+//!   rest of the workspace stays safe Rust, so there is exactly one file
+//!   to audit for memory-safety.
 
 use crate::scan::FileScan;
 use crate::Diagnostic;
 
 /// Rule identifiers (the names accepted by `allow(...)`).
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "no-panic-path",
     "no-std-sync",
     "obs-name-convention",
     "atomic-ordering-audit",
     "span-name-convention",
     "wal-write-facade",
+    "syscall-facade",
 ];
+
+/// The single file allowed to contain `unsafe` code and inline assembly:
+/// the event loop's epoll syscall wrappers.
+const SYSCALL_FACADE_FILE: &str = "crates/rest/src/event_loop/sys.rs";
 
 /// Crates whose non-test code must never panic.
 const PANIC_PATH_CRATES: [&str; 6] = [
@@ -103,6 +113,34 @@ pub(crate) fn file_rules(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>)
         if !ordering_exempt {
             atomic_ordering_audit(path, lineno, line, out);
         }
+        if path != SYSCALL_FACADE_FILE {
+            syscall_facade(path, lineno, line, out);
+        }
+    }
+}
+
+/// Raw kernel access anywhere but the audited facade file: the point of
+/// hand-rolling epoll without libc is that the unsafety has exactly one
+/// address.
+fn syscall_facade(path: &str, lineno: usize, line: &str, out: &mut Vec<Diagnostic>) {
+    let what = if line.contains("allow(unsafe_code)") {
+        Some("`allow(unsafe_code)` attribute")
+    } else if line.contains("asm!(") {
+        Some("inline assembly")
+    } else if contains_word(line, "unsafe") && !line.contains("unsafe_code") {
+        Some("`unsafe` code")
+    } else {
+        None
+    };
+    if let Some(what) = what {
+        out.push(Diagnostic {
+            file: path.to_string(),
+            line: lineno,
+            rule: "syscall-facade",
+            message: format!(
+                "{what} outside the audited syscall facade; raw kernel access lives only in {SYSCALL_FACADE_FILE}"
+            ),
+        });
     }
 }
 

@@ -120,6 +120,25 @@ fn atomic_ordering_fixture_triggers_only_that_rule() {
 }
 
 #[test]
+fn syscall_facade_fixture_triggers_only_that_rule() {
+    let diags = lint_one("crates/core/src/fixture.rs", include_str!("fixtures/syscall_facade.rs"));
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "syscall-facade"), "{diags:?}");
+    let lines: Vec<usize> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![2, 6, 7], "allow(unsafe_code), unsafe block, asm!");
+    // The #[cfg(test)] unsafe block triggers nothing.
+}
+
+#[test]
+fn syscall_facade_file_itself_is_exempt() {
+    let diags = lint_one(
+        "crates/rest/src/event_loop/sys.rs",
+        include_str!("fixtures/syscall_facade.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn valid_allow_suppresses_the_finding() {
     let diags = lint_one("crates/core/src/fixture.rs", include_str!("fixtures/allow_ok.rs"));
     assert!(diags.is_empty(), "{diags:?}");

@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ofmf_bench::bench_rig;
-use ofmf_rest::http::{Method, Request};
+use ofmf_rest::http::{HttpVersion, Method, Request};
 use ofmf_rest::Router;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -23,6 +23,7 @@ fn probe(c: &mut Criterion) {
         query: None,
         headers: BTreeMap::new(),
         body: Vec::new(),
+        version: HttpVersion::Http11,
     };
     let mut group = c.benchmark_group("span_probe");
     group.sample_size(50);

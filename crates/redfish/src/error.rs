@@ -61,6 +61,13 @@ pub enum RedfishError {
         /// `Retry-After` header).
         retry_after_ms: u64,
     },
+    /// 503 — the REST front end is at its connection cap and is shedding
+    /// load; retry after the advertised interval.
+    Busy {
+        /// Seconds the client should wait before reconnecting (drives the
+        /// `Retry-After` header).
+        retry_after_secs: u64,
+    },
     /// 507 — a composition request cannot be satisfied from available pools.
     InsufficientResources(String),
     /// 500 — internal invariant violation.
@@ -79,7 +86,7 @@ impl RedfishError {
             | RedfishError::QueryParameterValueTypeError { .. } => 400,
             RedfishError::MethodNotAllowed(_) => 405,
             RedfishError::Unauthorized => 401,
-            RedfishError::AgentUnavailable(_) | RedfishError::CircuitOpen { .. } => 503,
+            RedfishError::AgentUnavailable(_) | RedfishError::CircuitOpen { .. } | RedfishError::Busy { .. } => 503,
             RedfishError::InsufficientResources(_) => 507,
             RedfishError::Internal(_) => 500,
         }
@@ -97,7 +104,7 @@ impl RedfishError {
             RedfishError::MethodNotAllowed(_) => "Base.1.0.OperationNotAllowed",
             RedfishError::Conflict(_) => "Base.1.0.ResourceInUse",
             RedfishError::Unauthorized => "Base.1.0.NoValidSession",
-            RedfishError::AgentUnavailable(_) | RedfishError::CircuitOpen { .. } => {
+            RedfishError::AgentUnavailable(_) | RedfishError::CircuitOpen { .. } | RedfishError::Busy { .. } => {
                 "Base.1.0.ServiceTemporarilyUnavailable"
             }
             RedfishError::InsufficientResources(_) => "Base.1.0.InsufficientResources",
@@ -111,6 +118,7 @@ impl RedfishError {
         match self {
             RedfishError::CircuitOpen { retry_after_ms, .. } => Some(retry_after_ms.div_ceil(1000).max(1)),
             RedfishError::AgentUnavailable(_) => Some(1),
+            RedfishError::Busy { retry_after_secs } => Some((*retry_after_secs).max(1)),
             _ => None,
         }
     }
@@ -156,6 +164,9 @@ impl fmt::Display for RedfishError {
                     f,
                     "circuit breaker open for fabric {fabric}; retry in {retry_after_ms} ms"
                 )
+            }
+            RedfishError::Busy { retry_after_secs } => {
+                write!(f, "server at connection capacity; retry in {retry_after_secs} s")
             }
             RedfishError::InsufficientResources(m) => {
                 write!(f, "insufficient resources to satisfy request: {m}")

@@ -119,7 +119,9 @@ impl HttpClient {
                 headers.push((k, v));
             }
         }
-        let mut body = vec![0u8; content_length];
+        // HEAD responses advertise the entity's Content-Length but carry no
+        // body bytes.
+        let mut body = vec![0u8; if method == "HEAD" { 0 } else { content_length }];
         reader.read_exact(&mut body)?;
         if close {
             self.stream = None;
@@ -130,6 +132,11 @@ impl HttpClient {
     /// `GET path`.
     pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
         self.request("GET", path, None)
+    }
+
+    /// `HEAD path` — headers only; `content-length` advertises the entity.
+    pub fn head(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("HEAD", path, None)
     }
 
     /// `POST path` with a JSON body.

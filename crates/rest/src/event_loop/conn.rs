@@ -1,0 +1,227 @@
+//! Per-connection state machine: reading → routing → writing.
+//!
+//! Each connection owns a nonblocking socket, an accumulation buffer of
+//! unparsed request bytes, and a queue of encoded responses. Readiness
+//! events drive it:
+//!
+//! * **readable** — drain the socket into the buffer, parse as many
+//!   complete requests as arrived (HTTP/1.1 pipelining), route each one,
+//!   and append its encoded response to the write queue.
+//! * **writable** — flush the queue with vectored writes; response bodies
+//!   served from the registry's wire cache are written straight from the
+//!   shared `Arc<[u8]>`, never copied.
+//!
+//! A slow or idle client simply leaves its buffers parked here — no thread
+//! is pinned, no timeout polling runs. Bounds are enforced by the parser
+//! (`MAX_HEADER_BYTES`/`MAX_BODY`), so a slowloris peer can hold open at
+//! most one connection slot and 64 KiB of buffered bytes.
+
+use crate::http::{parse_request, Body, Response};
+use crate::router::Router;
+use std::collections::VecDeque;
+use std::io::{IoSlice, Read, Write};
+use std::net::TcpStream;
+
+/// Stop reading more bytes in one tick once this much is buffered; the
+/// level-triggered loop re-delivers readiness so pipelining floods cannot
+/// starve other connections.
+const READ_CAP_PER_TICK: usize = 64 * 1024;
+
+/// Max buffers gathered into one vectored write.
+const MAX_IOSLICES: usize = 16;
+
+/// What a readiness tick left behind.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub(crate) enum Tick {
+    /// Keep the connection registered.
+    Open,
+    /// Close and drop the connection.
+    Closed,
+}
+
+/// One encoded response awaiting transmission.
+struct OutBuf {
+    head: Vec<u8>,
+    /// `None` for empty bodies and HEAD responses (the head still
+    /// advertises the entity's real `Content-Length`).
+    body: Option<Body>,
+}
+
+impl OutBuf {
+    fn len(&self) -> usize {
+        self.head.len() + self.body.as_deref().map_or(0, <[u8]>::len)
+    }
+}
+
+/// A connection owned by one event-loop worker.
+pub(crate) struct Connection {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    out: VecDeque<OutBuf>,
+    /// Bytes of the front `OutBuf` already written.
+    front_pos: usize,
+    /// Close once the write queue drains (Connection: close, parse error,
+    /// or peer EOF).
+    close_after_flush: bool,
+    /// The worker's current epoll interest includes EPOLLOUT.
+    pub(crate) armed_for_write: bool,
+}
+
+impl Connection {
+    pub(crate) fn new(stream: TcpStream) -> Connection {
+        Connection {
+            stream,
+            read_buf: Vec::new(),
+            out: VecDeque::new(),
+            front_pos: 0,
+            close_after_flush: false,
+            armed_for_write: false,
+        }
+    }
+
+    pub(crate) fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Unflushed response bytes remain queued.
+    pub(crate) fn wants_write(&self) -> bool {
+        !self.out.is_empty()
+    }
+
+    /// Readable readiness: drain the socket, parse, route, enqueue, flush.
+    pub(crate) fn on_readable(&mut self, router: &Router) -> Tick {
+        let mut scratch = [0u8; 16 * 1024];
+        let mut peer_closed = false;
+        loop {
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(scratch.get(..n).unwrap_or_default());
+                    if self.read_buf.len() >= READ_CAP_PER_TICK {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Tick::Closed,
+            }
+        }
+        let tick = self.process(router, peer_closed);
+        if tick == Tick::Closed {
+            return Tick::Closed;
+        }
+        if peer_closed && !self.wants_write() {
+            // Clean EOF with nothing left to send.
+            return Tick::Closed;
+        }
+        self.flush()
+    }
+
+    /// Parse every complete request buffered so far and route it.
+    fn process(&mut self, router: &Router, peer_closed: bool) -> Tick {
+        let metrics = crate::obs::metrics();
+        let mut consumed_total = 0usize;
+        let mut parsed_in_tick = 0usize;
+        while !self.close_after_flush {
+            match parse_request(self.read_buf.get(consumed_total..).unwrap_or_default()) {
+                Ok(Some((req, consumed))) => {
+                    consumed_total += consumed;
+                    parsed_in_tick += 1;
+                    if parsed_in_tick > 1 {
+                        metrics.pipelined.inc();
+                    }
+                    let keep = req.keep_alive();
+                    let resp = router.handle(&req);
+                    self.enqueue(resp, keep);
+                    if !keep {
+                        self.close_after_flush = true;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    crate::obs::note_parse_error(&format!("{e:?}"));
+                    metrics.record_status(e.status());
+                    self.enqueue(e.response(), false);
+                    self.close_after_flush = true;
+                    break;
+                }
+            }
+        }
+        self.read_buf.drain(..consumed_total);
+        if peer_closed {
+            // Whatever is buffered now is all there will ever be; anything
+            // unparsed is an incomplete request the peer abandoned.
+            self.close_after_flush = true;
+        }
+        Tick::Open
+    }
+
+    fn enqueue(&mut self, resp: Response, keep_alive: bool) {
+        let head = resp.encode_head(keep_alive && !self.close_after_flush);
+        let body = if resp.head_only || resp.body.is_empty() {
+            None
+        } else {
+            Some(resp.body)
+        };
+        self.out.push_back(OutBuf { head, body });
+    }
+
+    /// Writable readiness (or post-read): flush queued responses with
+    /// vectored writes until the socket is full or the queue is empty.
+    pub(crate) fn flush(&mut self) -> Tick {
+        loop {
+            if self.out.is_empty() {
+                return if self.close_after_flush {
+                    Tick::Closed
+                } else {
+                    Tick::Open
+                };
+            }
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_IOSLICES);
+            for (i, buf) in self.out.iter().enumerate() {
+                if slices.len() >= MAX_IOSLICES {
+                    break;
+                }
+                let skip = if i == 0 { self.front_pos } else { 0 };
+                if let Some(rest) = buf.head.get(skip..) {
+                    if !rest.is_empty() {
+                        slices.push(IoSlice::new(rest));
+                    }
+                    if let Some(body) = &buf.body {
+                        slices.push(IoSlice::new(body));
+                    }
+                } else if let Some(body) = buf.body.as_deref().and_then(|b| b.get(skip - buf.head.len()..)) {
+                    if !body.is_empty() {
+                        slices.push(IoSlice::new(body));
+                    }
+                }
+            }
+            match self.stream.write_vectored(&slices) {
+                Ok(0) => return Tick::Closed,
+                Ok(n) => self.advance(n),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Tick::Open,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Mid-response disconnect (EPIPE / reset): drop quietly.
+                Err(_) => return Tick::Closed,
+            }
+        }
+    }
+
+    /// Account `n` written bytes against the queue front.
+    fn advance(&mut self, mut n: usize) {
+        while n > 0 {
+            let Some(front) = self.out.front() else { return };
+            let remaining = front.len() - self.front_pos;
+            if n < remaining {
+                self.front_pos += n;
+                return;
+            }
+            n -= remaining;
+            self.front_pos = 0;
+            self.out.pop_front();
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! The epoll readiness event loop behind [`crate::server::RestServer`].
+//!
+//! Architecture (shared-acceptor / worker-core):
+//!
+//! * One **acceptor** thread blocks in `accept`, applies the connection cap
+//!   (over-cap connections get a canned `503` + `Retry-After` and are
+//!   closed — load-shedding, never hangs), and hands each admitted socket
+//!   to the least-loaded worker's inbox, then pokes that worker's wake
+//!   socket.
+//! * N **worker** threads each own one [`sys::Epoll`] instance and a slab
+//!   of [`conn::Connection`] state machines. A worker sleeps in
+//!   `epoll_wait` until a socket turns readable/writable or the acceptor
+//!   wakes it, then drives the affected connections: incremental parse →
+//!   route → vectored write, with HTTP/1.1 pipelining.
+//!
+//! There is no cross-worker migration: a connection lives and dies on the
+//! worker that adopted it, so connection state needs no locking at all.
+//! The wake channel is a loopback TCP socketpair (the workspace vendors no
+//! libc, so `pipe(2)` is out of easy reach; a byte on loopback does the
+//! same job).
+
+pub(crate) mod conn;
+pub(crate) mod sys;
+
+use crate::http::Response;
+use crate::router::Router;
+use conn::{Connection, Tick};
+use parking_lot::Mutex;
+use redfish_model::RedfishError;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+/// Token reserved for a worker's wake socket.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Events drained per `epoll_wait` call.
+const MAX_EVENTS: usize = 256;
+
+/// `Retry-After` seconds advertised when shedding load at the cap.
+const SHED_RETRY_AFTER_SECS: u64 = 1;
+
+/// State one worker shares with the acceptor.
+struct WorkerShared {
+    /// Admitted sockets awaiting adoption by the worker.
+    inbox: Mutex<VecDeque<TcpStream>>,
+    /// Connections assigned to this worker (queued + live); the acceptor
+    /// balances on this.
+    load: AtomicUsize,
+    /// Write half of the worker's wake socketpair.
+    waker: Mutex<TcpStream>,
+}
+
+impl WorkerShared {
+    /// Poke the worker out of `epoll_wait`. A short or failed write is
+    /// fine — it means a wake byte is already queued.
+    fn wake(&self) {
+        let _ = self.waker.lock().write(&[1u8]);
+    }
+}
+
+/// A running epoll REST server.
+pub(crate) struct EventLoopServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<(Arc<WorkerShared>, Option<JoinHandle<()>>)>,
+}
+
+impl EventLoopServer {
+    /// Bind `bind_addr` and serve `router` on `workers` event-loop threads,
+    /// shedding load past `max_connections` concurrently open sockets.
+    pub(crate) fn start(
+        bind_addr: &str,
+        router: Arc<Router>,
+        workers: usize,
+        max_connections: usize,
+    ) -> io::Result<EventLoopServer> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let max_connections = max_connections.max(1);
+
+        let mut worker_handles = Vec::with_capacity(workers.max(1));
+        for i in 0..workers.max(1) {
+            let (wake_tx, wake_rx) = wake_pair()?;
+            let ep = Epoll::new()?;
+            let shared = Arc::new(WorkerShared {
+                inbox: Mutex::new(VecDeque::new()),
+                load: AtomicUsize::new(0),
+                waker: Mutex::new(wake_tx),
+            });
+            let mut state = WorkerState {
+                ep,
+                wake_rx,
+                shared: Arc::clone(&shared),
+                router: Arc::clone(&router),
+                shutdown: Arc::clone(&shutdown),
+                active: Arc::clone(&active),
+                slots: Vec::new(),
+                free: Vec::new(),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("ofmf-epoll-worker-{i}"))
+                .spawn(move || state.run())?;
+            worker_handles.push((shared, Some(handle)));
+        }
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_workers: Vec<Arc<WorkerShared>> = worker_handles.iter().map(|(s, _)| Arc::clone(s)).collect();
+        let canned_503 = shed_response_bytes();
+        let acceptor = std::thread::Builder::new()
+            .name("ofmf-epoll-acceptor".to_string())
+            .spawn(move || {
+                let metrics = crate::obs::metrics();
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(s) = stream else { continue };
+                    metrics.accepted.inc();
+                    if active.load(Ordering::Acquire) >= max_connections {
+                        shed(s, &canned_503);
+                        continue;
+                    }
+                    active.fetch_add(1, Ordering::AcqRel);
+                    // Least-loaded assignment; ties go to the first worker.
+                    let Some(target) = accept_workers.iter().min_by_key(|w| w.load.load(Ordering::Acquire)) else {
+                        active.fetch_sub(1, Ordering::AcqRel);
+                        continue;
+                    };
+                    target.load.fetch_add(1, Ordering::AcqRel);
+                    metrics.queue_depth.add(1);
+                    target.inbox.lock().push_back(s);
+                    target.wake();
+                }
+            })?;
+
+        Ok(EventLoopServer {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address.
+    pub(crate) fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, close every connection, join all threads.
+    pub(crate) fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for (shared, _) in &self.workers {
+            shared.wake();
+        }
+        for (_, handle) in self.workers.iter_mut() {
+            if let Some(h) = handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for EventLoopServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The canned load-shed response: `503` + `Retry-After`, `Connection:
+/// close`, encoded once at startup and written verbatim past the cap.
+fn shed_response_bytes() -> Vec<u8> {
+    let resp = crate::router::error_response(&RedfishError::Busy {
+        retry_after_secs: SHED_RETRY_AFTER_SECS,
+    });
+    encode_whole(&resp)
+}
+
+/// Serialize head + body into one buffer (startup-time only).
+fn encode_whole(resp: &Response) -> Vec<u8> {
+    let mut out = resp.encode_head(false);
+    out.extend_from_slice(&resp.body);
+    out
+}
+
+/// Refuse a connection at the cap: best-effort canned 503, then close.
+/// The write happens on the acceptor thread, but the response is a single
+/// pre-encoded buffer into an empty send buffer — it cannot stall accept.
+fn shed(mut stream: TcpStream, canned: &[u8]) {
+    let metrics = crate::obs::metrics();
+    metrics.shed.inc();
+    metrics.record_status(503);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.write_all(canned);
+}
+
+/// A nonblocking loopback socketpair used to wake a worker out of
+/// `epoll_wait` (the workspace has no `pipe(2)` wrapper).
+fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let local = tx.local_addr()?;
+    // Accept until our own connection arrives; a stray connect to the
+    // ephemeral port must not be adopted as the waker.
+    for _ in 0..16 {
+        let (rx, peer) = listener.accept()?;
+        if peer == local {
+            tx.set_nonblocking(true)?;
+            tx.set_nodelay(true)?;
+            rx.set_nonblocking(true)?;
+            return Ok((tx, rx));
+        }
+    }
+    Err(io::Error::other("wake socketpair: own connection never arrived"))
+}
+
+/// One worker's event loop state.
+struct WorkerState {
+    ep: Epoll,
+    wake_rx: TcpStream,
+    shared: Arc<WorkerShared>,
+    router: Arc<Router>,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    /// Slab of connections, indexed by epoll token.
+    slots: Vec<Option<Connection>>,
+    free: Vec<usize>,
+}
+
+impl WorkerState {
+    fn run(&mut self) {
+        if self.ep.add(self.wake_rx.as_raw_fd(), WAKE_TOKEN, EPOLLIN).is_err() {
+            return;
+        }
+        let mut events = vec![EpollEvent::default(); MAX_EVENTS];
+        while let Ok(n) = self.ep.wait(&mut events, -1) {
+            for ev in events.iter().take(n) {
+                let (token, mask) = (ev.token(), ev.mask());
+                if token == WAKE_TOKEN {
+                    drain_wake(&self.wake_rx);
+                    self.adopt();
+                } else {
+                    self.handle_event(token as usize, mask);
+                }
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+        }
+        self.teardown();
+    }
+
+    /// Move admitted sockets from the inbox into the slab.
+    fn adopt(&mut self) {
+        let metrics = crate::obs::metrics();
+        loop {
+            let stream = self.shared.inbox.lock().pop_front();
+            let Some(stream) = stream else { break };
+            metrics.queue_depth.sub(1);
+            if stream.set_nonblocking(true).is_err() {
+                self.unassign();
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let idx = self.free.pop().unwrap_or_else(|| {
+                self.slots.push(None);
+                self.slots.len() - 1
+            });
+            if self
+                .ep
+                .add(stream.as_raw_fd(), idx as u64, EPOLLIN | EPOLLRDHUP)
+                .is_ok()
+            {
+                metrics.connections.add(1);
+                if let Some(slot) = self.slots.get_mut(idx) {
+                    *slot = Some(Connection::new(stream));
+                }
+            } else {
+                self.free.push(idx);
+                self.unassign();
+            }
+        }
+    }
+
+    /// Drive one connection through a readiness event.
+    fn handle_event(&mut self, idx: usize, mask: u32) {
+        // Take the connection out of its slot for the duration of the tick
+        // (sidesteps split borrows of the slab vs. the router/epoll).
+        let Some(mut c) = self.slots.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        let router = Arc::clone(&self.router);
+        let mut tick = Tick::Open;
+        if mask & (EPOLLIN | EPOLLRDHUP) != 0 {
+            tick = c.on_readable(&router);
+        }
+        if tick == Tick::Open && mask & EPOLLOUT != 0 {
+            tick = c.flush();
+        }
+        if tick == Tick::Open && mask & (EPOLLERR | EPOLLHUP) != 0 && mask & EPOLLIN == 0 {
+            tick = Tick::Closed;
+        }
+        if tick == Tick::Closed {
+            self.close_conn(c, idx);
+            return;
+        }
+        // Arm EPOLLOUT only while response bytes remain queued; a
+        // permanently-armed EPOLLOUT would spin the level-triggered loop.
+        let want_out = c.wants_write();
+        if want_out != c.armed_for_write {
+            let interest = EPOLLIN | EPOLLRDHUP | if want_out { EPOLLOUT } else { 0 };
+            if self.ep.modify(c.stream().as_raw_fd(), idx as u64, interest).is_ok() {
+                c.armed_for_write = want_out;
+            }
+        }
+        if let Some(slot) = self.slots.get_mut(idx) {
+            *slot = Some(c);
+        }
+    }
+
+    fn close_conn(&mut self, c: Connection, idx: usize) {
+        let _ = self.ep.delete(c.stream().as_raw_fd());
+        self.free.push(idx);
+        crate::obs::metrics().connections.sub(1);
+        self.unassign();
+    }
+
+    /// Return one connection's worth of cap + load accounting.
+    fn unassign(&self) {
+        self.shared.load.fetch_sub(1, Ordering::AcqRel);
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Shutdown: release every live and queued connection so the gauges and
+    /// the global cap return to zero.
+    fn teardown(&mut self) {
+        let metrics = crate::obs::metrics();
+        for slot in std::mem::take(&mut self.slots) {
+            if slot.is_some() {
+                metrics.connections.sub(1);
+                self.unassign();
+            }
+        }
+        loop {
+            let stream = self.shared.inbox.lock().pop_front();
+            if stream.is_none() {
+                break;
+            }
+            metrics.queue_depth.sub(1);
+            self.unassign();
+        }
+    }
+}
+
+/// Swallow queued wake bytes.
+fn drain_wake(mut rx: &TcpStream) {
+    let mut buf = [0u8; 64];
+    while matches!(rx.read(&mut buf), Ok(n) if n > 0) {}
+}

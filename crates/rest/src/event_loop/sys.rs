@@ -1,0 +1,296 @@
+//! The event loop's syscall facade: raw Linux `epoll` via inline assembly.
+//!
+//! The workspace vendors no `libc`, and `std` exposes no readiness API, so
+//! the four syscalls the event loop needs are issued directly. This file
+//! is the **only** place in the production crates where `unsafe` is legal
+//! (the `syscall-facade` lint rule enforces that), and the unsafety is
+//! tightly scoped: every wrapper passes kernel-owned integers plus
+//! pointers derived from live Rust references, and no wrapper retains a
+//! pointer past the call.
+//!
+//! Everything else the server does with sockets — nonblocking accept,
+//! reads, vectored writes, `FIONBIO`, `TCP_NODELAY` — goes through safe
+//! `std::net` APIs; only readiness *notification* needs the kernel
+//! interface `std` does not wrap.
+
+#![allow(unsafe_code)] // the one audited exception to the crate-wide deny
+
+use std::io;
+
+/// Readiness: the fd has bytes to read (or a peer to accept).
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: the fd's send buffer has room.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, never requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup: the peer closed (always reported, never requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// The peer shut down its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: usize = 1;
+const EPOLL_CTL_DEL: usize = 2;
+const EPOLL_CTL_MOD: usize = 3;
+const EPOLL_CLOEXEC: usize = 0o2000000;
+
+/// One readiness event, kernel ABI layout. x86_64 packs the struct
+/// (12 bytes); every other architecture uses natural alignment.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Ready event mask (`EPOLLIN` | …).
+    pub events: u32,
+    /// The token registered with the fd.
+    pub data: u64,
+}
+
+/// One readiness event, kernel ABI layout (naturally aligned variant).
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Ready event mask (`EPOLLIN` | …).
+    pub events: u32,
+    _pad: u32,
+    /// The token registered with the fd.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// An event record for registration.
+    #[cfg(target_arch = "x86_64")]
+    fn with(events: u32, data: u64) -> EpollEvent {
+        EpollEvent { events, data }
+    }
+
+    /// An event record for registration (padded variant).
+    #[cfg(not(target_arch = "x86_64"))]
+    fn with(events: u32, data: u64) -> EpollEvent {
+        EpollEvent { events, _pad: 0, data }
+    }
+
+    /// The registered token, read through an unaligned-safe copy.
+    pub fn token(&self) -> u64 {
+        let e = *self;
+        e.data
+    }
+
+    /// The ready mask, read through an unaligned-safe copy.
+    pub fn mask(&self) -> u32 {
+        let e = *self;
+        e.events
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod nr {
+    pub const CLOSE: usize = 3;
+    pub const EPOLL_WAIT: usize = 232;
+    pub const EPOLL_CTL: usize = 233;
+    pub const EPOLL_CREATE1: usize = 291;
+}
+
+#[cfg(target_arch = "aarch64")]
+mod nr {
+    pub const CLOSE: usize = 57;
+    pub const EPOLL_PWAIT: usize = 22;
+    pub const EPOLL_CTL: usize = 21;
+    pub const EPOLL_CREATE1: usize = 20;
+}
+
+/// Issue a raw syscall with up to five arguments, returning the kernel's
+/// raw result (negative errno on failure).
+///
+/// Safety: the caller must pass argument values that are valid for the
+/// specific syscall — for the wrappers below that means live fds and
+/// pointers to memory owned by the caller for the duration of the call.
+#[cfg(target_arch = "x86_64")]
+unsafe fn syscall5(nr: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize) -> isize {
+    let ret: isize;
+    // SAFETY: `syscall` clobbers rcx/r11 (declared) and returns in rax; all
+    // argument registers follow the x86_64 Linux syscall ABI.
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// Issue a raw syscall with up to five arguments (aarch64 `svc 0` ABI).
+///
+/// Safety: as for the x86_64 variant — arguments must be valid for the
+/// syscall being issued.
+#[cfg(target_arch = "aarch64")]
+unsafe fn syscall5(nr: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize) -> isize {
+    let ret: isize;
+    // SAFETY: aarch64 Linux syscall ABI: number in x8, args in x0..x4,
+    // result in x0.
+    unsafe {
+        core::arch::asm!(
+            "svc 0",
+            in("x8") nr,
+            inlateout("x0") a1 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// Map a raw kernel return into `io::Result<usize>`.
+fn check(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// An owned epoll instance; the fd is closed on drop.
+pub struct Epoll {
+    fd: i32,
+}
+
+impl Epoll {
+    /// `epoll_create1(EPOLL_CLOEXEC)`.
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: no pointers; the kernel allocates and returns a fresh fd.
+        let fd = check(unsafe { syscall5(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0) })?;
+        Ok(Epoll { fd: fd as i32 })
+    }
+
+    /// Register `fd` for `interest`, tagging events with `token`.
+    pub fn add(&self, fd: i32, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Change the interest mask of an already-registered `fd`.
+    pub fn modify(&self, fd: i32, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Deregister `fd`.
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    fn ctl(&self, op: usize, fd: i32, token: u64, interest: u32) -> io::Result<()> {
+        let ev = EpollEvent::with(interest, token);
+        // SAFETY: `ev` lives on the stack for the duration of the call; the
+        // kernel copies it before returning. DEL ignores the event pointer.
+        check(unsafe {
+            syscall5(
+                nr::EPOLL_CTL,
+                self.fd as usize,
+                op,
+                fd as usize,
+                std::ptr::addr_of!(ev) as usize,
+                0,
+            )
+        })?;
+        Ok(())
+    }
+
+    /// Block until at least one registered fd is ready (or `timeout_ms`
+    /// elapses; negative waits forever). Returns the number of events
+    /// written into `events`. `EINTR` is reported as zero events.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        if events.is_empty() {
+            return Ok(0);
+        }
+        // SAFETY: `events` is a live, writable slice for the duration of
+        // the call; `maxevents` is its exact length, so the kernel never
+        // writes out of bounds.
+        let ret = unsafe {
+            #[cfg(target_arch = "x86_64")]
+            {
+                syscall5(
+                    nr::EPOLL_WAIT,
+                    self.fd as usize,
+                    events.as_mut_ptr() as usize,
+                    events.len(),
+                    timeout_ms as usize,
+                    0,
+                )
+            }
+            #[cfg(target_arch = "aarch64")]
+            {
+                // epoll_pwait with a null sigmask is epoll_wait.
+                syscall5(
+                    nr::EPOLL_PWAIT,
+                    self.fd as usize,
+                    events.as_mut_ptr() as usize,
+                    events.len(),
+                    timeout_ms as usize,
+                    0,
+                )
+            }
+        };
+        match check(ret) {
+            Ok(n) => Ok(n),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: `self.fd` is the epoll fd this struct owns; nothing else
+        // closes it.
+        let _ = unsafe { syscall5(nr::CLOSE, self.fd as usize, 0, 0, 0, 0) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn epoll_reports_readable_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+
+        let ep = Epoll::new().unwrap();
+        ep.add(rx.as_raw_fd(), 7, EPOLLIN).unwrap();
+
+        let mut events = [EpollEvent::default(); 4];
+        // Nothing readable yet.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        tx.write_all(b"x").unwrap();
+        tx.flush().unwrap();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 7);
+        assert_ne!(events[0].mask() & EPOLLIN, 0);
+
+        // Modify to writable interest; an idle socket is writable.
+        ep.modify(rx.as_raw_fd(), 9, EPOLLOUT).unwrap();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 9);
+        assert_ne!(events[0].mask() & EPOLLOUT, 0);
+
+        ep.delete(rx.as_raw_fd()).unwrap();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+}

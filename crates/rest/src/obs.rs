@@ -55,6 +55,12 @@ pub(crate) struct RestMetrics {
     /// `ofmf.rest.sub_events.dropped` — subscriber events dropped because
     /// they failed to serialize at drain time (no-panic-at-dispatch).
     pub sub_events_dropped: Arc<Counter>,
+    /// `ofmf.rest.pipelined.total` — requests parsed behind another request
+    /// in the same readiness tick (HTTP/1.1 pipelining in action).
+    pub pipelined: Arc<Counter>,
+    /// `ofmf.rest.shed.total` — connections refused with 503 + `Retry-After`
+    /// because the event loop was at its connection cap.
+    pub shed: Arc<Counter>,
     /// `ofmf.rest.status.<class>` — responses by status class, index 0 = 1xx.
     pub status: [Arc<Counter>; 5],
     pub get: MethodMetrics,
@@ -91,6 +97,8 @@ pub(crate) fn metrics() -> &'static RestMetrics {
         connections: ofmf_obs::gauge("ofmf.rest.connections.active"),
         parse_errors: ofmf_obs::counter("ofmf.rest.parse_errors.total"),
         sub_events_dropped: ofmf_obs::counter("ofmf.rest.sub_events.dropped"),
+        pipelined: ofmf_obs::counter("ofmf.rest.pipelined.total"),
+        shed: ofmf_obs::counter("ofmf.rest.shed.total"),
         status: std::array::from_fn(|i| ofmf_obs::counter(&format!("ofmf.rest.status.{}xx", i + 1))),
         get: MethodMetrics::new("get"),
         post: MethodMetrics::new("post"),

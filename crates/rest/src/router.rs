@@ -71,6 +71,11 @@ impl Router {
         }
         let trace_id = span.trace_id();
         let mut resp = self.dispatch(req);
+        if req.method == Method::Head {
+            // HEAD advertises the entity's real Content-Length and headers
+            // (ETag included) but transmits no body.
+            resp = resp.into_head();
+        }
         metrics.record_status(resp.status);
         if resp.status >= 500 {
             span.set_error();
@@ -148,28 +153,17 @@ impl Router {
             };
         }
         if opts.is_noop() {
-            // Hot path: pre-serialized bytes straight from the registry's
-            // ETag-keyed wire cache — no clone, no re-serialization.
+            // Hot path: pre-serialized bytes shared straight from the
+            // registry's ETag-keyed wire cache — no clone, no
+            // re-serialization; the event loop writes the `Arc<[u8]>`
+            // directly to the socket.
             return match self.ofmf.get_raw(path) {
-                Ok((bytes, etag)) => {
-                    let body = if req.method == Method::Head {
-                        Vec::new()
-                    } else {
-                        bytes.to_vec()
-                    };
-                    Response::json_bytes(200, body).with_header("ETag", &etag.to_header())
-                }
+                Ok((bytes, etag)) => Response::json_bytes(200, bytes).with_header("ETag", &etag.to_header()),
                 Err(e) => error_response(&e),
             };
         }
         match self.ofmf.get(path) {
-            Ok((body, etag)) => {
-                let mut resp = Response::json(200, &opts.apply(body)).with_header("ETag", &etag.to_header());
-                if req.method == Method::Head {
-                    resp.body.clear();
-                }
-                resp
-            }
+            Ok((body, etag)) => Response::json(200, &opts.apply(body)).with_header("ETag", &etag.to_header()),
             Err(e) => error_response(&e),
         }
     }
@@ -426,6 +420,7 @@ mod tests {
             query: None,
             headers: BTreeMap::new(),
             body: body.as_bytes().to_vec(),
+            version: crate::http::HttpVersion::Http11,
         }
     }
 
@@ -703,10 +698,19 @@ mod tests {
     }
 
     #[test]
-    fn head_returns_no_body() {
+    fn head_reports_entity_length_and_etag_without_body() {
         let r = open_router();
-        let resp = r.handle(&req(Method::Head, "/redfish/v1", ""));
-        assert_eq!(resp.status, 200);
-        assert!(resp.body.is_empty());
+        let get = r.handle(&req(Method::Get, "/redfish/v1", ""));
+        let head = r.handle(&req(Method::Head, "/redfish/v1", ""));
+        assert_eq!(head.status, 200);
+        assert!(head.head_only, "HEAD must not transmit a body");
+        assert_eq!(head.body.len(), get.body.len(), "HEAD advertises the entity length");
+        assert!(head.headers.iter().any(|(k, _)| k == "ETag"), "HEAD keeps the ETag");
+        let encoded = head.encode_head(true);
+        let text = String::from_utf8(encoded).unwrap();
+        assert!(
+            text.contains(&format!("Content-Length: {}\r\n", get.body.len())),
+            "{text}"
+        );
     }
 }

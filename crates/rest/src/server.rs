@@ -1,12 +1,21 @@
-//! The REST server: a bounded worker pool over `std::net::TcpListener`.
+//! The REST server facade over two interchangeable wire backends.
 //!
-//! Connections are accepted on a dedicated thread and handed to workers via
-//! a bounded crossbeam channel (back-pressure instead of unbounded thread
-//! spawn). Each worker serves its connection's requests until the client
-//! closes or asks `Connection: close`. Shutdown is cooperative: a flag plus
-//! a self-connection to unblock `accept`.
+//! * [`Backend::Epoll`] (default on Linux) — the readiness event loop in
+//!   [`crate::event_loop`]: a shared acceptor, per-worker epoll instances,
+//!   per-connection state machines, incremental parsing, pipelining, and a
+//!   connection cap with 503 load-shedding. Thousands of idle keep-alive
+//!   connections cost nothing but memory.
+//! * [`Backend::ThreadPool`] — the original bounded worker pool: one
+//!   blocking thread per in-flight connection, a bounded crossbeam channel
+//!   for backpressure, and a 200 ms read-timeout poll so idle connections
+//!   can observe shutdown. Kept as the measured baseline for
+//!   `rest_throughput` and as the fallback on platforms without the raw
+//!   epoll facade.
+//!
+//! Both backends serve the same [`Router`] and record the same metrics, so
+//! everything above the socket layer is backend-agnostic.
 
-use crate::http::{read_request, ParseError, Response};
+use crate::http::read_request;
 use crate::router::Router;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::io::BufReader;
@@ -15,21 +24,135 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Maximum queued-but-unserved connections.
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+use crate::event_loop::EventLoopServer;
+
+/// Maximum queued-but-unserved connections (thread-pool backend).
 const ACCEPT_BACKLOG: usize = 64;
+
+/// Which wire backend serves the sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Nonblocking readiness event loop (Linux; falls back to the thread
+    /// pool where the raw epoll facade is unavailable).
+    Epoll,
+    /// Blocking bounded worker pool.
+    ThreadPool,
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads (event-loop workers or pool threads).
+    pub workers: usize,
+    /// Concurrently open connections before the epoll backend sheds load
+    /// with `503` + `Retry-After` (ignored by the thread pool, which
+    /// back-pressures through its bounded accept queue instead).
+    pub max_connections: usize,
+    /// The wire backend.
+    pub backend: Backend,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            max_connections: 4096,
+            backend: Backend::Epoll,
+        }
+    }
+}
+
+enum Inner {
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    Epoll(EventLoopServer),
+    ThreadPool(ThreadPoolServer),
+}
 
 /// A running REST server.
 pub struct RestServer {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    inner: Inner,
 }
 
 impl RestServer {
     /// Bind `bind_addr` (use port 0 for an ephemeral port) and serve
-    /// `router` on `workers` worker threads.
+    /// `router` on `workers` threads over the default (epoll) backend.
     pub fn start(bind_addr: &str, router: Arc<Router>, workers: usize) -> std::io::Result<RestServer> {
+        RestServer::start_with(
+            bind_addr,
+            router,
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// Bind and serve with explicit backend + tuning.
+    pub fn start_with(bind_addr: &str, router: Arc<Router>, config: ServerConfig) -> std::io::Result<RestServer> {
+        match config.backend {
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            Backend::Epoll => {
+                let s = EventLoopServer::start(bind_addr, router, config.workers, config.max_connections)?;
+                Ok(RestServer { inner: Inner::Epoll(s) })
+            }
+            #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+            Backend::Epoll => Self::start_pool(bind_addr, router, config.workers),
+            Backend::ThreadPool => Self::start_pool(bind_addr, router, config.workers),
+        }
+    }
+
+    /// Bind and serve over the blocking thread-pool backend (the measured
+    /// baseline in `rest_throughput`).
+    pub fn start_thread_pool(bind_addr: &str, router: Arc<Router>, workers: usize) -> std::io::Result<RestServer> {
+        Self::start_pool(bind_addr, router, workers)
+    }
+
+    fn start_pool(bind_addr: &str, router: Arc<Router>, workers: usize) -> std::io::Result<RestServer> {
+        let s = ThreadPoolServer::start(bind_addr, router, workers)?;
+        Ok(RestServer {
+            inner: Inner::ThreadPool(s),
+        })
+    }
+
+    /// The bound address (for clients when port 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        match &self.inner {
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            Inner::Epoll(s) => s.addr(),
+            Inner::ThreadPool(s) => s.addr,
+        }
+    }
+
+    /// Base URL, e.g. `http://127.0.0.1:8421`.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.addr())
+    }
+
+    /// Stop accepting, drain workers, join threads.
+    pub fn shutdown(mut self) {
+        match &mut self.inner {
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            Inner::Epoll(s) => s.shutdown(),
+            Inner::ThreadPool(s) => s.do_shutdown(),
+        }
+    }
+}
+
+/// The blocking bounded-worker-pool backend.
+struct ThreadPoolServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Kept so shutdown can drain connections still queued when the
+    /// workers exit (each drained stream gives its `queue_depth` increment
+    /// back — the gauge must return to zero).
+    queue: Receiver<TcpStream>,
+}
+
+impl ThreadPoolServer {
+    fn start(bind_addr: &str, router: Arc<Router>, workers: usize) -> std::io::Result<ThreadPoolServer> {
         let listener = TcpListener::bind(bind_addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -71,8 +194,11 @@ impl RestServer {
                             metrics.accepted.inc();
                             metrics.queue_depth.add(1);
                             // Blocking send applies back-pressure when all
-                            // workers are busy and the backlog is full.
+                            // workers are busy and the backlog is full. A
+                            // failed send drops the connection, so its
+                            // gauge increment comes straight back.
                             if tx.send(s).is_err() {
+                                metrics.queue_depth.sub(1);
                                 break;
                             }
                         }
@@ -82,27 +208,13 @@ impl RestServer {
                 // Dropping tx closes the worker channel.
             })?;
 
-        Ok(RestServer {
+        Ok(ThreadPoolServer {
             addr,
             shutdown,
             acceptor: Some(acceptor),
             workers: worker_handles,
+            queue: rx,
         })
-    }
-
-    /// The bound address (for clients when port 0 was requested).
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Base URL, e.g. `http://127.0.0.1:8421`.
-    pub fn base_url(&self) -> String {
-        format!("http://{}", self.addr)
-    }
-
-    /// Stop accepting, drain workers, join threads.
-    pub fn shutdown(mut self) {
-        self.do_shutdown();
     }
 
     fn do_shutdown(&mut self) {
@@ -117,10 +229,16 @@ impl RestServer {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Connections accepted but never served: each still carries its
+        // `queue_depth` increment, which dropping alone would leak.
+        while let Ok(s) = self.queue.try_recv() {
+            crate::obs::metrics().queue_depth.sub(1);
+            drop(s);
+        }
     }
 }
 
-impl Drop for RestServer {
+impl Drop for ThreadPoolServer {
     fn drop(&mut self) {
         self.do_shutdown();
     }
@@ -146,26 +264,17 @@ fn serve_connection(stream: TcpStream, router: &Router, shutdown: &AtomicBool) {
                     return;
                 }
             }
-            Err(ParseError::ConnectionClosed) => return,
-            Err(ParseError::IdleTimeout) => {
+            Err(crate::http::ParseError::ConnectionClosed) => return,
+            Err(crate::http::ParseError::IdleTimeout) => {
                 if shutdown.load(Ordering::Acquire) {
                     return;
                 }
                 continue;
             }
             Err(e) => {
-                let status = match e {
-                    ParseError::TooLarge => 413,
-                    ParseError::HeaderTooLarge => 431,
-                    ParseError::BadMethod => 405,
-                    _ => 400,
-                };
                 crate::obs::note_parse_error(&format!("{e:?}"));
-                crate::obs::metrics().record_status(status);
-                let body = serde_json::json!({
-                    "error": {"code": "Base.1.0.MalformedJSON", "message": format!("{e:?}")}
-                });
-                let _ = Response::json(status, &body).write_to(&mut writer, false);
+                crate::obs::metrics().record_status(e.status());
+                let _ = e.response().write_to(&mut writer, false);
                 return;
             }
         }

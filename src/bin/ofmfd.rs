@@ -5,6 +5,7 @@
 //! ```text
 //! Usage: ofmfd [--port N] [--nodes N] [--targets N] [--seed N]
 //!              [--auth USER:PASSWORD] [--poll-ms N] [--workers N]
+//!              [--max-conns N] [--rest-backend epoll|threads]
 //!              [--wal-dir PATH] [--fsync always|batch:<ms>|off]
 //! ```
 //!
@@ -24,7 +25,7 @@ use composer::{Composer, Strategy};
 use ofmf_agents::flavors::{cxl_agent, infiniband_agent, nvmeof_agent, RackShape};
 use ofmf_core::{Clock, Ofmf};
 use ofmf_repro::ComposerBridge;
-use ofmf_rest::{RestServer, Router};
+use ofmf_rest::{Backend, RestServer, Router, ServerConfig};
 use ofmf_wal::{FsyncPolicy, Wal};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -37,6 +38,8 @@ struct Config {
     auth: Option<(String, String)>,
     poll_ms: u64,
     workers: usize,
+    max_conns: usize,
+    backend: Backend,
     wal_dir: Option<std::path::PathBuf>,
     fsync: FsyncPolicy,
 }
@@ -50,6 +53,8 @@ fn parse_args() -> Result<Config, String> {
         auth: None,
         poll_ms: 500,
         workers: 8,
+        max_conns: 4096,
+        backend: Backend::Epoll,
         wal_dir: None,
         fsync: FsyncPolicy::Batch(5),
     };
@@ -63,6 +68,14 @@ fn parse_args() -> Result<Config, String> {
             "--seed" => cfg.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--poll-ms" => cfg.poll_ms = value("--poll-ms")?.parse().map_err(|e| format!("--poll-ms: {e}"))?,
             "--workers" => cfg.workers = value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?,
+            "--max-conns" => cfg.max_conns = value("--max-conns")?.parse().map_err(|e| format!("--max-conns: {e}"))?,
+            "--rest-backend" => {
+                cfg.backend = match value("--rest-backend")?.as_str() {
+                    "epoll" => Backend::Epoll,
+                    "threads" => Backend::ThreadPool,
+                    other => return Err(format!("--rest-backend expects epoll|threads, got '{other}'")),
+                }
+            }
             "--auth" => {
                 let v = value("--auth")?;
                 let (u, p) = v
@@ -79,6 +92,7 @@ fn parse_args() -> Result<Config, String> {
             "--help" | "-h" => {
                 return Err("usage: ofmfd [--port N] [--nodes N] [--targets N] [--seed N] \
                             [--auth USER:PASSWORD] [--poll-ms N] [--workers N] \
+                            [--max-conns N] [--rest-backend epoll|threads] \
                             [--wal-dir PATH] [--fsync always|batch:<ms>|off]"
                     .to_string())
             }
@@ -146,7 +160,12 @@ fn main() {
     }
     let bridge = ComposerBridge::shared(Arc::clone(&composer));
     let router = Arc::new(Router::new(Arc::clone(&ofmf), require_auth).with_compose_service(Arc::new(bridge)));
-    let server = match RestServer::start(&format!("0.0.0.0:{}", cfg.port), router, cfg.workers) {
+    let server_config = ServerConfig {
+        workers: cfg.workers,
+        max_connections: cfg.max_conns,
+        backend: cfg.backend,
+    };
+    let server = match RestServer::start_with(&format!("0.0.0.0:{}", cfg.port), router, server_config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot bind port {}: {e}", cfg.port);
@@ -164,6 +183,10 @@ fn main() {
         "ofmfd: auth {}, polling agents every {} ms",
         if require_auth { "required" } else { "open" },
         cfg.poll_ms
+    );
+    println!(
+        "ofmfd: rest backend {:?}, {} worker(s), shedding load past {} connections",
+        cfg.backend, cfg.workers, cfg.max_conns
     );
     match &cfg.wal_dir {
         Some(dir) => println!(

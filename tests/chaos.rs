@@ -12,7 +12,7 @@ use ofmf_core::agent::AgentOp;
 use ofmf_core::ofmf::MAX_MISSED_HEARTBEATS;
 use ofmf_core::supervisor::{BreakerState, SupervisorConfig};
 use ofmf_core::{Agent, Ofmf};
-use ofmf_rest::http::{Method, Request};
+use ofmf_rest::http::{HttpVersion, Method, Request};
 use ofmf_rest::Router;
 use redfish_model::odata::ODataId;
 use redfish_model::RedfishError;
@@ -392,6 +392,7 @@ fn open_breaker_surfaces_503_with_retry_after_over_rest() {
         query: None,
         headers: BTreeMap::new(),
         body: serde_json::to_vec(&body).unwrap(),
+        version: HttpVersion::Http11,
     });
     assert_eq!(resp.status, 503);
     let retry_after = resp
@@ -408,6 +409,7 @@ fn open_breaker_surfaces_503_with_retry_after_over_rest() {
         query: None,
         headers: BTreeMap::new(),
         body: Vec::new(),
+        version: HttpVersion::Http11,
     });
     assert_eq!(read.status, 200);
 }
