@@ -105,6 +105,13 @@ impl SimAgent {
         self.inner.lock().sim.inject(fault)
     }
 
+    /// Run a read against the underlying simulator (benches/tests inspect
+    /// fabric-side state — e.g. aggregate effective bandwidth — that the
+    /// Redfish tree does not surface).
+    pub fn with_sim<R>(&self, f: impl FnOnce(&FabricSim) -> R) -> R {
+        f(&self.inner.lock().sim)
+    }
+
     /// Remaining capacity behind a device's endpoint.
     pub fn free_capacity_of(&self, device_name: &str) -> Option<u64> {
         let inner = self.inner.lock();
@@ -530,18 +537,55 @@ impl Agent for SimAgent {
             AgentOp::ProbeRoute { initiator, target } => {
                 let iep = Self::lookup_endpoint(&inner, initiator)?;
                 let tep = Self::lookup_endpoint(&inner, target)?;
-                let path = inner
+                let probe = inner
                     .sim
-                    .probe_route(iep, tep)
+                    .probe_route_detailed(iep, tep)
                     .ok_or_else(|| RedfishError::Conflict(format!("no healthy route {initiator} → {target}")))?;
                 Ok(AgentResponse {
                     upserts: vec![],
                     removals: vec![],
                     primary: None,
                     payload: Some(json!({
-                        "Hops": path.hops(),
-                        "LatencyNs": path.latency_ns,
-                        "BandwidthGbps": path.bandwidth_gbps,
+                        "Hops": probe.path.hops(),
+                        "LatencyNs": probe.path.latency_ns,
+                        "BandwidthGbps": probe.path.bandwidth_gbps,
+                        "ResidualGbps": finite_or_max(probe.min_residual_gbps),
+                        "BlastRadius": probe.blast_radius,
+                        "TopologyGeneration": inner.sim.generation(),
+                    })),
+                })
+            }
+            AgentOp::ProbeRoutes { pairs } => {
+                ospan.annotate("pairs", pairs.len().to_string());
+                let generation = inner.sim.generation();
+                let results: Vec<Value> = pairs
+                    .iter()
+                    .map(|(initiator, target)| {
+                        let resolved = Self::lookup_endpoint(&inner, initiator)
+                            .and_then(|i| Self::lookup_endpoint(&inner, target).map(|t| (i, t)));
+                        let (iep, tep) = match resolved {
+                            Ok(pair) => pair,
+                            Err(e) => return json!({"Error": e.to_string()}),
+                        };
+                        match inner.sim.probe_route_detailed(iep, tep) {
+                            Some(probe) => json!({
+                                "Hops": probe.path.hops(),
+                                "LatencyNs": probe.path.latency_ns,
+                                "BandwidthGbps": probe.path.bandwidth_gbps,
+                                "ResidualGbps": finite_or_max(probe.min_residual_gbps),
+                                "BlastRadius": probe.blast_radius,
+                            }),
+                            None => json!({"Error": format!("no healthy route {initiator} → {target}")}),
+                        }
+                    })
+                    .collect();
+                Ok(AgentResponse {
+                    upserts: vec![],
+                    removals: vec![],
+                    primary: None,
+                    payload: Some(json!({
+                        "TopologyGeneration": generation,
+                        "Results": results,
                     })),
                 })
             }
@@ -722,6 +766,17 @@ fn agent_metrics() -> &'static AgentMetrics {
         heartbeat_missed: ofmf_obs::counter("ofmf.agents.heartbeat.missed"),
         discover_latency: ofmf_obs::histogram("ofmf.agents.discover.latency_ns"),
     })
+}
+
+/// Clamp a residual-bandwidth value to something JSON can carry: zero-hop
+/// (same-endpoint) routes report `f64::INFINITY`, which serde_json would
+/// encode as `null` and clients would misread as "no data".
+fn finite_or_max(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        f64::MAX
+    }
 }
 
 /// Parse `"link:3 down"`, `"switch:0 up"`, `"device:2 down"`.

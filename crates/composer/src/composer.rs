@@ -9,8 +9,9 @@
 
 use crate::inventory::Inventory;
 use crate::policy::PolicySet;
+use crate::probe::Prober;
 use crate::request::{Binding, BindingKind, ComposedSystem, CompositionRequest};
-use crate::strategy::{choose_gpu, choose_memory, choose_storage, Strategy};
+use crate::strategy::{choose_gpu_with, choose_memory_with, choose_storage_with, Strategy};
 use ofmf_core::Ofmf;
 use ofmf_wal::WalRecord;
 use parking_lot::Mutex;
@@ -86,6 +87,7 @@ pub struct Composer {
     strategy: Strategy,
     policy: PolicySet,
     state: Mutex<BTreeMap<ODataId, ComposedSystem>>,
+    prober: Prober,
 }
 
 impl Composer {
@@ -97,6 +99,7 @@ impl Composer {
             strategy,
             policy: PolicySet::default(),
             state: Mutex::new(BTreeMap::new()),
+            prober: Prober::new(),
         }
     }
 
@@ -105,6 +108,28 @@ impl Composer {
     pub fn with_policy(mut self, policy: PolicySet) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Use the sequential per-candidate probing baseline instead of batched
+    /// parallel probing. Kept for A/B comparison in benches and property
+    /// tests, mirroring `EventService::with_linear_matching`.
+    #[must_use]
+    pub fn with_sequential_probing(mut self) -> Self {
+        self.prober = self.prober.with_sequential_probing();
+        self
+    }
+
+    /// Override the probing engine wholesale (benches swap in hop-count-only
+    /// scoring here).
+    #[must_use]
+    pub fn with_prober(mut self, prober: Prober) -> Self {
+        self.prober = prober;
+        self
+    }
+
+    /// The probing engine (test/bench observation).
+    pub fn prober(&self) -> &Prober {
+        &self.prober
     }
 
     /// The strategy in use.
@@ -214,14 +239,16 @@ impl Composer {
                     .filter(|p| self.policy.allows_carve(p, request.fabric_memory_mib))
                     .cloned()
                     .collect();
-                let p = choose_memory(
+                let (chosen, skipped) = choose_memory_with(
+                    &self.prober,
                     self.strategy,
                     &eligible,
                     request.fabric_memory_mib,
                     &self.ofmf,
                     &node.endpoints,
-                )
-                .ok_or_else(|| {
+                );
+                note_skipped_fabrics(&skipped);
+                let p = chosen.ok_or_else(|| {
                     RedfishError::InsufficientResources(format!(
                         "no memory pool with {} MiB free under policy",
                         request.fabric_memory_mib
@@ -239,7 +266,9 @@ impl Composer {
 
         let mut gpus = inv.gpus.clone();
         for _ in 0..request.gpus {
-            let chosen = choose_gpu(self.strategy, &gpus, &self.ofmf, &node.endpoints)
+            let (picked, skipped) = choose_gpu_with(&self.prober, self.strategy, &gpus, &self.ofmf, &node.endpoints);
+            note_skipped_fabrics(&skipped);
+            let chosen = picked
                 .ok_or_else(|| RedfishError::InsufficientResources("no free GPU".into()))?
                 .clone();
             gpus.iter_mut()
@@ -250,14 +279,16 @@ impl Composer {
         }
 
         if request.storage_bytes > 0 {
-            let p = choose_storage(
+            let (chosen, skipped) = choose_storage_with(
+                &self.prober,
                 self.strategy,
                 &inv.storage,
                 request.storage_bytes,
                 &self.ofmf,
                 &node.endpoints,
-            )
-            .ok_or_else(|| {
+            );
+            note_skipped_fabrics(&skipped);
+            let p = chosen.ok_or_else(|| {
                 RedfishError::InsufficientResources(format!(
                     "no storage pool with {} bytes free",
                     request.storage_bytes
@@ -329,7 +360,7 @@ impl Composer {
             let qos = match kind {
                 BindingKind::Memory => request.memory_bandwidth_gbps,
                 BindingKind::Storage => request.storage_bandwidth_gbps,
-                BindingKind::Gpu => 0.0,
+                BindingKind::Gpu => request.gpu_bandwidth_gbps,
             };
             match self.bind(&fabric, &initiator, &target_ep, size, kind, qos, &zone_id, &conn_id) {
                 Ok(b) => {
@@ -453,6 +484,9 @@ impl Composer {
             .or_else(|| conn_body["Oem"]["OFMF"]["Resource"]["@odata.id"].as_str())
             .map(ODataId::new)
             .unwrap_or_else(|| target_ep.clone());
+        // The new reservation moved this fabric's residuals: cached probe
+        // scores for it are stale.
+        self.prober.invalidate_fabric(fabric);
         Ok(Binding {
             fabric: fabric.to_string(),
             zone,
@@ -469,6 +503,8 @@ impl Composer {
         for b in bindings {
             let _ = self.ofmf.delete(&b.connection);
             let _ = self.ofmf.delete(&b.zone);
+            // Decomposition credits bandwidth back: drop stale probe scores.
+            self.prober.invalidate_fabric(&b.fabric);
             if b.kind == BindingKind::Gpu {
                 let _ = self
                     .ofmf
@@ -536,7 +572,16 @@ impl Composer {
             .filter(|p| self.policy.allows_carve(p, extra_mib))
             .cloned()
             .collect();
-        let pool = choose_memory(self.strategy, &eligible, extra_mib, &self.ofmf, &node_endpoints)
+        let (chosen, skipped) = choose_memory_with(
+            &self.prober,
+            self.strategy,
+            &eligible,
+            extra_mib,
+            &self.ofmf,
+            &node_endpoints,
+        );
+        note_skipped_fabrics(&skipped);
+        let pool = chosen
             .ok_or_else(|| RedfishError::InsufficientResources(format!("no pool can grow by {extra_mib} MiB")))?
             .clone();
         let initiator = node_endpoints
@@ -607,7 +652,16 @@ impl Composer {
         };
         let node_endpoints = Self::endpoints_of(&self.ofmf, &node);
         let inv = Inventory::scan(&self.ofmf, &[]);
-        let pool = choose_storage(self.strategy, &inv.storage, bytes, &self.ofmf, &node_endpoints)
+        let (chosen, skipped) = choose_storage_with(
+            &self.prober,
+            self.strategy,
+            &inv.storage,
+            bytes,
+            &self.ofmf,
+            &node_endpoints,
+        );
+        note_skipped_fabrics(&skipped);
+        let pool = chosen
             .ok_or_else(|| RedfishError::InsufficientResources(format!("no storage pool with {bytes} bytes")))?
             .clone();
         let initiator = node_endpoints
@@ -963,6 +1017,18 @@ impl Composer {
             weak.upgrade().map(|c| c.snapshot_records()).unwrap_or_default()
         })));
     }
+}
+
+/// Record fabrics whose probe batches failed during placement on the live
+/// trace: the candidates degraded to unprobed scoring instead of being
+/// silently dropped, and the span names exactly which fabrics went dark.
+fn note_skipped_fabrics(skipped: &[String]) {
+    if skipped.is_empty() {
+        return;
+    }
+    let mut span = ofmf_obs::child_span("ofmf.composer.probe");
+    span.annotate("skipped_fabrics", skipped.join(","));
+    span.set_error();
 }
 
 /// Attribute an availability error to the fabric whose bind failed, so a

@@ -33,6 +33,7 @@ pub mod composer;
 pub mod energy;
 pub mod inventory;
 pub mod policy;
+pub mod probe;
 pub mod request;
 pub mod strategy;
 

@@ -30,6 +30,10 @@ pub struct CompositionRequest {
     pub memory_bandwidth_gbps: f64,
     /// Bandwidth to reserve on each storage binding's path (Gbit/s).
     pub storage_bandwidth_gbps: f64,
+    /// Bandwidth to reserve on each GPU binding's path (Gbit/s) — peer
+    /// traffic to a pooled accelerator contends on cascade trunks, so
+    /// congestion-aware placement needs GPU bindings to debit links too.
+    pub gpu_bandwidth_gbps: f64,
 }
 
 impl CompositionRequest {
@@ -45,6 +49,7 @@ impl CompositionRequest {
             spread_memory: false,
             memory_bandwidth_gbps: 0.0,
             storage_bandwidth_gbps: 0.0,
+            gpu_bandwidth_gbps: 0.0,
         }
     }
 
@@ -90,6 +95,13 @@ impl CompositionRequest {
         self
     }
 
+    /// Builder: reserve bandwidth on GPU bindings (QoS).
+    #[must_use]
+    pub fn with_gpu_bandwidth_gbps(mut self, g: f64) -> Self {
+        self.gpu_bandwidth_gbps = g;
+        self
+    }
+
     /// Encode for the durability journal. Inverse of
     /// [`CompositionRequest::from_value`].
     pub fn to_value(&self) -> Value {
@@ -103,6 +115,7 @@ impl CompositionRequest {
             "SpreadMemory": self.spread_memory,
             "MemoryBandwidthGbps": self.memory_bandwidth_gbps,
             "StorageBandwidthGbps": self.storage_bandwidth_gbps,
+            "GpuBandwidthGbps": self.gpu_bandwidth_gbps,
         })
     }
 
@@ -118,6 +131,9 @@ impl CompositionRequest {
             spread_memory: v.get("SpreadMemory")?.as_bool()?,
             memory_bandwidth_gbps: v.get("MemoryBandwidthGbps")?.as_f64()?,
             storage_bandwidth_gbps: v.get("StorageBandwidthGbps")?.as_f64()?,
+            // Absent in journals written before GPU QoS existed: default to
+            // best-effort instead of refusing replay.
+            gpu_bandwidth_gbps: v.get("GpuBandwidthGbps").and_then(Value::as_f64).unwrap_or(0.0),
         })
     }
 }

@@ -6,14 +6,21 @@
 //! * **BestFit** — minimizes leftover fragments (least free capacity that
 //!   still fits), slower, keeps large pools intact for large requests.
 //! * **TopologyAware** — probes the fabric route from the compute node to
-//!   each candidate and picks the fewest-hops target that fits; pays one
-//!   agent round-trip per candidate for lower data-plane latency.
+//!   each candidate and picks by `(residual bandwidth, hops, blast radius)`
+//!   through the shared scored-candidate pipeline in [`crate::probe`]:
+//!   uncached candidates are probed in one batched round-trip per fabric,
+//!   fabrics in parallel, behind a generation-keyed result cache.
+//!
+//! The three `choose_*` entry points here keep their original signatures and
+//! run against an ephemeral prober (no cache reuse across calls); the
+//! composer itself holds a long-lived [`Prober`] and calls the `*_with`
+//! variants so repeated composes hit the cache.
 
 use crate::inventory::{GpuPool, MemoryPool, StoragePoolView};
-use ofmf_core::agent::AgentOp;
+use crate::probe::{choose_probed, Candidate, Prober};
 use ofmf_core::Ofmf;
 use redfish_model::odata::ODataId;
-use serde_json::Value;
+use std::collections::BTreeMap;
 
 /// Strategy selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -23,7 +30,8 @@ pub enum Strategy {
     FirstFit,
     /// Tightest candidate that fits.
     BestFit,
-    /// Fewest fabric hops from the initiator; ties broken by tightest fit.
+    /// Congestion-aware: widest residual bandwidth, then fewest hops, then
+    /// smallest blast radius; ties broken by tightest fit.
     TopologyAware,
 }
 
@@ -50,21 +58,6 @@ impl Strategy {
     }
 }
 
-/// Probe the hop count between two endpoints on `fabric`; `None` when the
-/// route is unavailable or the agent refuses.
-fn probe_hops(ofmf: &Ofmf, fabric: &str, initiator: &ODataId, target: &ODataId) -> Option<u64> {
-    let resp = ofmf
-        .apply(
-            fabric,
-            &AgentOp::ProbeRoute {
-                initiator: initiator.clone(),
-                target: target.clone(),
-            },
-        )
-        .ok()?;
-    resp.payload?.get("Hops").and_then(Value::as_u64)
-}
-
 /// Choose a memory pool for `size_mib`, honoring the strategy. `initiator`
 /// maps fabric id → the compute node's endpoint on that fabric.
 pub fn choose_memory<'a>(
@@ -72,22 +65,41 @@ pub fn choose_memory<'a>(
     pools: &'a [MemoryPool],
     size_mib: u64,
     ofmf: &Ofmf,
-    initiator_by_fabric: &std::collections::BTreeMap<String, ODataId>,
+    initiator_by_fabric: &BTreeMap<String, ODataId>,
 ) -> Option<&'a MemoryPool> {
+    choose_memory_with(&Prober::new(), strategy, pools, size_mib, ofmf, initiator_by_fabric).0
+}
+
+/// [`choose_memory`] against a caller-owned [`Prober`] (cache reuse across
+/// composes). Also reports fabrics skipped because their probe batch failed.
+pub fn choose_memory_with<'a>(
+    prober: &Prober,
+    strategy: Strategy,
+    pools: &'a [MemoryPool],
+    size_mib: u64,
+    ofmf: &Ofmf,
+    initiator_by_fabric: &BTreeMap<String, ODataId>,
+) -> (Option<&'a MemoryPool>, Vec<String>) {
     let fits = |p: &&MemoryPool| p.free_mib >= size_mib && initiator_by_fabric.contains_key(&p.fabric);
     match strategy {
-        Strategy::FirstFit => pools.iter().find(fits),
-        Strategy::BestFit => pools.iter().filter(fits).min_by_key(|p| p.free_mib),
-        Strategy::TopologyAware => pools
-            .iter()
-            .filter(fits)
-            .filter_map(|p| {
-                let ini = initiator_by_fabric.get(&p.fabric)?;
-                let hops = probe_hops(ofmf, &p.fabric, ini, &p.endpoint)?;
-                Some((hops, p.free_mib, p))
-            })
-            .min_by_key(|(hops, free, _)| (*hops, *free))
-            .map(|(_, _, p)| p),
+        Strategy::FirstFit => (pools.iter().find(fits), Vec::new()),
+        Strategy::BestFit => (pools.iter().filter(fits).min_by_key(|p| p.free_mib), Vec::new()),
+        Strategy::TopologyAware => {
+            let candidates: Vec<Candidate> = pools
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| fits(p))
+                .map(|(i, p)| Candidate {
+                    index: i,
+                    fabric: p.fabric.clone(),
+                    endpoint: p.endpoint.clone(),
+                    free: p.free_mib,
+                })
+                .collect();
+            let sel = choose_probed(prober, ofmf, initiator_by_fabric, &candidates);
+            // ofmf-lint: allow(no-panic-path, "Selection.index came from enumerate() over these same pools")
+            (sel.index.map(|i| &pools[i]), sel.skipped_fabrics)
+        }
     }
 }
 
@@ -97,22 +109,40 @@ pub fn choose_storage<'a>(
     pools: &'a [StoragePoolView],
     bytes: u64,
     ofmf: &Ofmf,
-    initiator_by_fabric: &std::collections::BTreeMap<String, ODataId>,
+    initiator_by_fabric: &BTreeMap<String, ODataId>,
 ) -> Option<&'a StoragePoolView> {
+    choose_storage_with(&Prober::new(), strategy, pools, bytes, ofmf, initiator_by_fabric).0
+}
+
+/// [`choose_storage`] against a caller-owned [`Prober`].
+pub fn choose_storage_with<'a>(
+    prober: &Prober,
+    strategy: Strategy,
+    pools: &'a [StoragePoolView],
+    bytes: u64,
+    ofmf: &Ofmf,
+    initiator_by_fabric: &BTreeMap<String, ODataId>,
+) -> (Option<&'a StoragePoolView>, Vec<String>) {
     let fits = |p: &&StoragePoolView| p.free_bytes >= bytes && initiator_by_fabric.contains_key(&p.fabric);
     match strategy {
-        Strategy::FirstFit => pools.iter().find(fits),
-        Strategy::BestFit => pools.iter().filter(fits).min_by_key(|p| p.free_bytes),
-        Strategy::TopologyAware => pools
-            .iter()
-            .filter(fits)
-            .filter_map(|p| {
-                let ini = initiator_by_fabric.get(&p.fabric)?;
-                let hops = probe_hops(ofmf, &p.fabric, ini, &p.endpoint)?;
-                Some((hops, p.free_bytes, p))
-            })
-            .min_by_key(|(hops, free, _)| (*hops, *free))
-            .map(|(_, _, p)| p),
+        Strategy::FirstFit => (pools.iter().find(fits), Vec::new()),
+        Strategy::BestFit => (pools.iter().filter(fits).min_by_key(|p| p.free_bytes), Vec::new()),
+        Strategy::TopologyAware => {
+            let candidates: Vec<Candidate> = pools
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| fits(p))
+                .map(|(i, p)| Candidate {
+                    index: i,
+                    fabric: p.fabric.clone(),
+                    endpoint: p.endpoint.clone(),
+                    free: p.free_bytes,
+                })
+                .collect();
+            let sel = choose_probed(prober, ofmf, initiator_by_fabric, &candidates);
+            // ofmf-lint: allow(no-panic-path, "Selection.index came from enumerate() over these same pools")
+            (sel.index.map(|i| &pools[i]), sel.skipped_fabrics)
+        }
     }
 }
 
@@ -121,21 +151,40 @@ pub fn choose_gpu<'a>(
     strategy: Strategy,
     pools: &'a [GpuPool],
     ofmf: &Ofmf,
-    initiator_by_fabric: &std::collections::BTreeMap<String, ODataId>,
+    initiator_by_fabric: &BTreeMap<String, ODataId>,
 ) -> Option<&'a GpuPool> {
+    choose_gpu_with(&Prober::new(), strategy, pools, ofmf, initiator_by_fabric).0
+}
+
+/// [`choose_gpu`] against a caller-owned [`Prober`].
+pub fn choose_gpu_with<'a>(
+    prober: &Prober,
+    strategy: Strategy,
+    pools: &'a [GpuPool],
+    ofmf: &Ofmf,
+    initiator_by_fabric: &BTreeMap<String, ODataId>,
+) -> (Option<&'a GpuPool>, Vec<String>) {
     let fits = |p: &&GpuPool| !p.assigned && initiator_by_fabric.contains_key(&p.fabric);
     match strategy {
-        Strategy::FirstFit | Strategy::BestFit => pools.iter().find(fits),
-        Strategy::TopologyAware => pools
-            .iter()
-            .filter(fits)
-            .filter_map(|p| {
-                let ini = initiator_by_fabric.get(&p.fabric)?;
-                let hops = probe_hops(ofmf, &p.fabric, ini, &p.endpoint)?;
-                Some((hops, p))
-            })
-            .min_by_key(|(hops, _)| *hops)
-            .map(|(_, p)| p),
+        // Whole-device grants have no "tightness", so BestFit degenerates to
+        // FirstFit (unchanged from the pre-pipeline behavior).
+        Strategy::FirstFit | Strategy::BestFit => (pools.iter().find(fits), Vec::new()),
+        Strategy::TopologyAware => {
+            let candidates: Vec<Candidate> = pools
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| fits(p))
+                .map(|(i, p)| Candidate {
+                    index: i,
+                    fabric: p.fabric.clone(),
+                    endpoint: p.endpoint.clone(),
+                    free: 0,
+                })
+                .collect();
+            let sel = choose_probed(prober, ofmf, initiator_by_fabric, &candidates);
+            // ofmf-lint: allow(no-panic-path, "Selection.index came from enumerate() over these same pools")
+            (sel.index.map(|i| &pools[i]), sel.skipped_fabrics)
+        }
     }
 }
 
@@ -220,5 +269,19 @@ mod tests {
         let o = no_ofmf();
         let chosen = choose_gpu(Strategy::FirstFit, &pools, &o, &ini_map("F")).unwrap();
         assert_eq!(chosen.processor.as_str(), "/p/g1");
+    }
+
+    #[test]
+    fn topology_aware_degrades_to_first_fit_when_fabric_unreachable() {
+        // No agent is registered for fabric F, so the probe batch fails
+        // outright. Placement must degrade to unprobed scoring (first
+        // candidate in input order) and name the skipped fabric, instead of
+        // silently returning None as the pre-pipeline code did.
+        let pools = vec![pool("F", "a", 100, 90), pool("F", "b", 100, 50)];
+        let o = no_ofmf();
+        let prober = Prober::new();
+        let (chosen, skipped) = choose_memory_with(&prober, Strategy::TopologyAware, &pools, 40, &o, &ini_map("F"));
+        assert_eq!(chosen.unwrap().domain, pools[0].domain);
+        assert_eq!(skipped, vec!["F".to_string()]);
     }
 }

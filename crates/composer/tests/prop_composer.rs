@@ -98,9 +98,58 @@ proptest! {
     }
 }
 
+/// Three memory fabrics plus GPUs: one topology-aware choose fans a probe
+/// batch out across all three in parallel.
+fn ab_rig(seed: u64) -> Arc<ofmf_core::Ofmf> {
+    let ofmf = ofmf_core::Ofmf::new("prop-ab-rig", std::collections::HashMap::new(), seed);
+    let shape = RackShape::default();
+    for (fid, salt) in [("CXL0", 1u64), ("CXL1", 2), ("CXL2", 3)] {
+        ofmf.register_agent(Arc::new(cxl_agent(fid, &shape, 1 << 20, seed ^ salt)))
+            .unwrap();
+    }
+    ofmf.register_agent(Arc::new(infiniband_agent("IB0", &shape, "A100", seed ^ 4)))
+        .unwrap();
+    ofmf
+}
+
 proptest! {
     // The live-stack property is expensive; fewer cases.
     #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Batched parallel probing is a pure performance optimization: for any
+    /// request mix against twin rigs under the same (uniform) congestion,
+    /// the batched composer and the sequential per-candidate baseline make
+    /// identical placement decisions and leave identical fabric state.
+    #[test]
+    fn batched_probing_places_like_sequential_baseline(
+        mems in prop::collection::vec(64u64..2048, 1..5),
+        bw in 0.0f64..32.0,
+        gpus in 0u32..2,
+    ) {
+        let batched = Composer::new(ab_rig(4242), Strategy::TopologyAware);
+        let sequential = Composer::new(ab_rig(4242), Strategy::TopologyAware).with_sequential_probing();
+        prop_assert!(!batched.prober().is_sequential());
+        prop_assert!(sequential.prober().is_sequential());
+        for (i, &m) in mems.iter().enumerate() {
+            let mut req = CompositionRequest::compute_only(&format!("ab{i}"), 8, 8)
+                .with_fabric_memory_mib(m)
+                .with_memory_bandwidth_gbps(bw);
+            if i == 0 {
+                req = req.with_gpus(gpus).with_gpu_bandwidth_gbps(bw);
+            }
+            let key = |c: &composer::ComposedSystem| {
+                c.bindings
+                    .iter()
+                    .map(|b| (b.fabric.clone(), b.resource.as_str().to_string(), b.size))
+                    .collect::<Vec<_>>()
+            };
+            match (batched.compose(&req), sequential.compose(&req)) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(key(&a), key(&b), "request {}", i),
+                (Err(a), Err(b)) => prop_assert_eq!(a.http_status(), b.http_status()),
+                (a, b) => prop_assert!(false, "divergent outcomes: {:?} vs {:?}", a.map(|c| key(&c)), b.map(|c| key(&c))),
+            }
+        }
+    }
 
     /// Conservation: for any satisfiable request mix, composing then
     /// decomposing everything restores the exact inventory.

@@ -80,6 +80,17 @@ pub enum AgentOp {
         /// Target endpoint resource id.
         target: ODataId,
     },
+    /// Query many candidate routes in one supervised round-trip. The
+    /// response payload carries `{"TopologyGeneration": g, "Results": [...]}`
+    /// with one entry per pair, in order: either `{"Hops", "LatencyNs",
+    /// "BandwidthGbps", "ResidualGbps", "BlastRadius"}` or `{"Error": msg}`
+    /// for unroutable pairs (a per-pair failure never fails the batch).
+    /// Used by congestion-aware placement to amortize supervisor overhead
+    /// across candidates.
+    ProbeRoutes {
+        /// `(initiator, target)` endpoint resource id pairs to probe.
+        pairs: Vec<(ODataId, ODataId)>,
+    },
 }
 
 impl AgentOp {
@@ -92,6 +103,7 @@ impl AgentOp {
             AgentOp::Disconnect { .. } => "Disconnect",
             AgentOp::InjectFault { .. } => "InjectFault",
             AgentOp::ProbeRoute { .. } => "ProbeRoute",
+            AgentOp::ProbeRoutes { .. } => "ProbeRoutes",
         }
     }
 }
@@ -138,6 +150,13 @@ pub fn op_to_value(op: &AgentOp) -> Value {
             "Initiator": initiator.as_str(),
             "Target": target.as_str(),
         }),
+        AgentOp::ProbeRoutes { pairs } => serde_json::json!({
+            "Kind": "ProbeRoutes",
+            "Pairs": pairs
+                .iter()
+                .map(|(i, t)| serde_json::json!({"Initiator": i.as_str(), "Target": t.as_str()}))
+                .collect::<Vec<_>>(),
+        }),
     }
 }
 
@@ -175,6 +194,18 @@ pub fn op_from_value(v: &Value) -> Option<AgentOp> {
         "ProbeRoute" => AgentOp::ProbeRoute {
             initiator: id("Initiator")?,
             target: id("Target")?,
+        },
+        "ProbeRoutes" => AgentOp::ProbeRoutes {
+            pairs: v
+                .get("Pairs")?
+                .as_array()?
+                .iter()
+                .filter_map(|p| {
+                    let i = p.get("Initiator")?.as_str()?;
+                    let t = p.get("Target")?.as_str()?;
+                    Some((ODataId::new(i), ODataId::new(t)))
+                })
+                .collect(),
         },
         _ => return None,
     })
@@ -365,6 +396,19 @@ mod tests {
                 initiator: ODataId::new("/redfish/v1/Fabrics/F/Endpoints/a"),
                 target: ODataId::new("/redfish/v1/Fabrics/F/Endpoints/b"),
             },
+            AgentOp::ProbeRoutes {
+                pairs: vec![
+                    (
+                        ODataId::new("/redfish/v1/Fabrics/F/Endpoints/a"),
+                        ODataId::new("/redfish/v1/Fabrics/F/Endpoints/b"),
+                    ),
+                    (
+                        ODataId::new("/redfish/v1/Fabrics/F/Endpoints/a"),
+                        ODataId::new("/redfish/v1/Fabrics/F/Endpoints/c"),
+                    ),
+                ],
+            },
+            AgentOp::ProbeRoutes { pairs: vec![] },
         ];
         for op in ops {
             let v = op_to_value(&op);

@@ -642,6 +642,62 @@ impl Ofmf {
         }
     }
 
+    /// Forward many operations concurrently, one result per input op in
+    /// input order. Each op still goes through [`Ofmf::apply`] — per-agent
+    /// supervisor admission, retries, breakers and deadlines all apply
+    /// unchanged — but ops to *different* agents overlap in time, which is
+    /// what makes batched route probing across 1k fabrics tractable.
+    ///
+    /// Work is distributed over scoped threads (capped at the host's
+    /// parallelism, max 16) via an atomic work-stealing index, so results
+    /// are deterministic in content and order regardless of interleaving.
+    pub fn apply_parallel(&self, ops: &[(String, AgentOp)]) -> Vec<RedfishResult<AgentResponse>> {
+        if ops.len() <= 1 {
+            return ops.iter().map(|(f, op)| self.apply(f, op)).collect();
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(ops.len())
+            .min(16);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut collected: Vec<Vec<(usize, RedfishResult<AgentResponse>)>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= ops.len() {
+                                break;
+                            }
+                            // ofmf-lint: allow(no-panic-path, "the break above guarantees i < ops.len()")
+                            let (fabric, op) = &ops[i];
+                            out.push((i, self.apply(fabric, op)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Ok(part) = h.join() {
+                    collected.push(part);
+                }
+            }
+        });
+        let mut results: Vec<Option<RedfishResult<AgentResponse>>> = (0..ops.len()).map(|_| None).collect();
+        for (i, r) in collected.into_iter().flatten() {
+            // ofmf-lint: allow(no-panic-path, "workers only emit i < ops.len(), and results was sized to ops.len()")
+            results[i] = Some(r);
+        }
+        results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|| Err(RedfishError::Internal("parallel dispatch worker died".to_string()))))
+            .collect()
+    }
+
     /// Breaker state for a fabric's agent, if registered.
     pub fn breaker_state(&self, fabric_id: &str) -> Option<BreakerState> {
         self.agents.read().get(fabric_id).map(|e| e.supervisor.breaker_state())

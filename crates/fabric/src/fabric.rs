@@ -9,7 +9,7 @@
 use crate::device::{Device, DeviceError};
 use crate::failure::{apply, Fault};
 use crate::ids::{ConnectionId, DeviceId, EndpointId, LinkId, SwitchId, ZoneId};
-use crate::routing::{path_healthy, route, route_filtered, Path};
+use crate::routing::{path_healthy, route, route_filtered, route_widest, Path};
 use crate::telemetry::{Sample, Sampler};
 use crate::topology::Topology;
 use crate::zoning::{ConnectionState, ZoneState, ZoningError, ZoningTable};
@@ -145,6 +145,24 @@ pub struct FabricSim {
     events: Vec<FabricEvent>,
     /// Bandwidth reserved per link (Gbit/s), indexed by `LinkId`.
     reserved: Vec<f64>,
+    /// Monotonic topology generation: bumped whenever links, routes or
+    /// reservations change. Placement probe caches key on this, so a quiet
+    /// fabric is never re-probed while a changed one invalidates itself.
+    generation: u64,
+}
+
+/// What a placement probe learns about one candidate route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteProbe {
+    /// The widest-shortest route currently available.
+    pub path: Path,
+    /// Bottleneck *unreserved* bandwidth along that route (Gbit/s) — the
+    /// congestion signal. `f64::INFINITY` for zero-hop (same-endpoint) routes.
+    pub min_residual_gbps: f64,
+    /// How many live connections share at least one link with this route —
+    /// a proxy for how much established traffic a new binding here would
+    /// contend with (and how many workloads a fault on this route hits).
+    pub blast_radius: usize,
 }
 
 impl FabricSim {
@@ -159,7 +177,14 @@ impl FabricSim {
             sampler,
             events: Vec::new(),
             reserved,
+            generation: 0,
         }
+    }
+
+    /// Current topology generation (see [`RouteProbe`]): changes whenever a
+    /// link, route or bandwidth reservation changes.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Bandwidth currently reserved on a link (Gbit/s).
@@ -276,6 +301,7 @@ impl FabricSim {
         ) {
             Ok(id) => {
                 self.reserve_path(&path, reserve_gbps);
+                self.generation += 1;
                 self.events.push(FabricEvent::Connected { connection: id });
                 Ok(id)
             }
@@ -293,6 +319,7 @@ impl FabricSim {
         let st = self.zoning.disconnect(id)?;
         let _ = self.topo.device_of_mut(st.target).release(st.allocation);
         self.release_path(&st.path, st.reserved_gbps);
+        self.generation += 1;
         self.events.push(FabricEvent::Disconnected { connection: id });
         Ok(())
     }
@@ -316,6 +343,7 @@ impl FabricSim {
         if !apply(&mut self.topo, fault) {
             return (0, 0);
         }
+        self.generation += 1;
         self.events.push(match fault {
             Fault::LinkDown(l) => FabricEvent::LinkHealth {
                 link: l,
@@ -409,6 +437,60 @@ impl FabricSim {
     /// topology-aware placement to score candidates).
     pub fn probe_route(&self, from: EndpointId, to: EndpointId) -> Option<Path> {
         route(&self.topo, from, to)
+    }
+
+    /// Congestion-aware route lookup: the widest-shortest route plus its
+    /// bottleneck residual bandwidth and blast radius. This is what a
+    /// batched `ProbeRoutes` agent op reports per candidate pair.
+    pub fn probe_route_detailed(&self, from: EndpointId, to: EndpointId) -> Option<RouteProbe> {
+        if from.index() >= self.topo.endpoints.len() || to.index() >= self.topo.endpoints.len() {
+            return None;
+        }
+        let path = route_widest(&self.topo, from, to, |l| self.residual_gbps(l))?;
+        let min_residual_gbps = path
+            .links
+            .iter()
+            .map(|l| self.residual_gbps(*l))
+            .fold(f64::INFINITY, f64::min);
+        let path_links: BTreeSet<LinkId> = path.links.iter().copied().collect();
+        let blast_radius = self
+            .zoning
+            .connections()
+            .filter(|(_, c)| c.path.links.iter().any(|l| path_links.contains(l)))
+            .count();
+        Some(RouteProbe {
+            path,
+            min_residual_gbps,
+            blast_radius,
+        })
+    }
+
+    /// Aggregate bandwidth the live connections would actually achieve if
+    /// every link's capacity were shared fairly among the connections
+    /// crossing it: each connection gets `min` over its links of
+    /// `capacity / crossing-flows`. This is the placement-quality metric the
+    /// contention benchmarks compare — better placement spreads flows, so
+    /// fewer share a bottleneck and the sum is higher.
+    pub fn aggregate_effective_gbps(&self) -> f64 {
+        let mut flows = vec![0usize; self.topo.links.len()];
+        for (_, c) in self.zoning.connections() {
+            for l in &c.path.links {
+                flows[l.index()] += 1;
+            }
+        }
+        let mut total = 0.0;
+        for (_, c) in self.zoning.connections() {
+            let eff = c
+                .path
+                .links
+                .iter()
+                .map(|l| self.topo.links[l.index()].bandwidth_gbps / flows[l.index()] as f64)
+                .fold(f64::INFINITY, f64::min);
+            if eff.is_finite() {
+                total += eff;
+            }
+        }
+        total
     }
 
     /// Free capacity of the device behind `ep`.
@@ -512,6 +594,79 @@ mod tests {
         assert!(s.endpoint_by_device_name("cn00").is_some());
         assert!(s.endpoint_by_device_name("mem00").is_some());
         assert!(s.endpoint_by_device_name("nope").is_none());
+    }
+
+    #[test]
+    fn generation_tracks_topology_and_reservation_changes() {
+        let mut s = sim();
+        let g0 = s.generation();
+        let z = zone_all(&mut s);
+        assert_eq!(s.generation(), g0, "zoning alone does not move routes");
+        let cn = s.topology().initiator_endpoints()[0];
+        let mem = s.topology().target_endpoints()[0];
+        let c = s.connect("c1", z, cn, mem, 64).unwrap();
+        let g1 = s.generation();
+        assert!(g1 > g0, "connect bumps the generation");
+        s.disconnect(c).unwrap();
+        let g2 = s.generation();
+        assert!(g2 > g1, "disconnect bumps the generation");
+        s.inject(Fault::SwitchDown(SwitchId(0)));
+        assert!(s.generation() > g2, "faults bump the generation");
+        // An ignored fault (unknown entity) is generation-neutral.
+        let g3 = s.generation();
+        s.inject(Fault::SwitchDown(SwitchId(99)));
+        assert_eq!(s.generation(), g3);
+    }
+
+    #[test]
+    fn detailed_probe_reports_residual_and_blast_radius() {
+        let mut s = sim();
+        let z = zone_all(&mut s);
+        // cn01 (leaf1) -> mem00 (leaf0) crosses access + trunk links.
+        let cn = s.topology().initiator_endpoints()[1];
+        let mem = s.topology().target_endpoints()[0];
+        let before = s.probe_route_detailed(cn, mem).expect("routable");
+        assert!(before.min_residual_gbps >= 100.0);
+        assert_eq!(before.blast_radius, 0, "no live connections yet");
+        // Reserve bandwidth on that route and re-probe: the residual must
+        // drop on the shared access link and the connection must show up in
+        // the blast radius.
+        s.connect_qos("c1", z, cn, mem, 64, 40.0).unwrap();
+        let after = s.probe_route_detailed(cn, mem).expect("still routable");
+        assert!(
+            after.min_residual_gbps <= before.min_residual_gbps - 40.0 + 1e-9,
+            "residual must reflect the reservation: {} vs {}",
+            after.min_residual_gbps,
+            before.min_residual_gbps
+        );
+        assert_eq!(after.blast_radius, 1);
+        // Out-of-range endpoints probe as None instead of panicking.
+        assert!(s.probe_route_detailed(EndpointId(999), mem).is_none());
+    }
+
+    #[test]
+    fn aggregate_effective_bandwidth_prefers_spread_flows() {
+        // Two connections on the same appliance share its access link and
+        // halve each other; spread across two appliances they don't.
+        let mut devs = presets::compute_nodes(2, 8, 16);
+        devs.extend(presets::memory_appliances(2, 1024));
+        let topo = TopologyBuilder::new().leaf_spine(2, 2, devs);
+        let mut packed = FabricSim::new(FabricConfig::new("CXL0", "CXL", 7), topo.clone());
+        let z = zone_all(&mut packed);
+        let cns = packed.topology().initiator_endpoints();
+        let mems = packed.topology().target_endpoints();
+        packed.connect("c1", z, cns[0], mems[0], 64).unwrap();
+        packed.connect("c2", z, cns[1], mems[0], 64).unwrap();
+        let mut spread = FabricSim::new(FabricConfig::new("CXL0", "CXL", 7), topo);
+        let z = zone_all(&mut spread);
+        spread.connect("c1", z, cns[0], mems[0], 64).unwrap();
+        spread.connect("c2", z, cns[1], mems[1], 64).unwrap();
+        assert!(
+            spread.aggregate_effective_gbps() > packed.aggregate_effective_gbps(),
+            "spread {} must beat packed {}",
+            spread.aggregate_effective_gbps(),
+            packed.aggregate_effective_gbps()
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod topology;
 pub mod zoning;
 
 pub use device::{Device, DeviceKind};
-pub use fabric::{FabricConfig, FabricEvent, FabricSim};
+pub use fabric::{FabricConfig, FabricEvent, FabricSim, RouteProbe};
 pub use ids::{ConnectionId, DeviceId, EndpointId, LinkId, SwitchId, ZoneId};
 pub use routing::Path;
 pub use topology::{Topology, TopologyBuilder};

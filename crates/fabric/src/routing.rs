@@ -107,6 +107,117 @@ where
     None
 }
 
+/// Widest-shortest path: among all minimum-hop routes from `from` to `to`,
+/// pick the one maximizing the bottleneck value reported by `width_of`
+/// (typically residual bandwidth). Used by congestion-aware placement
+/// probes so a probe reports the route the fabric would actually prefer —
+/// in a two-spine pod with one congested spine, plain BFS may return the
+/// congested path while the fabric routes QoS traffic around it.
+pub fn route_widest<F>(topo: &Topology, from: EndpointId, to: EndpointId, width_of: F) -> Option<Path>
+where
+    F: Fn(LinkId) -> f64,
+{
+    if from == to {
+        return Some(Path {
+            links: Vec::new(),
+            latency_ns: 0,
+            bandwidth_gbps: f64::INFINITY,
+        });
+    }
+    if !topo.attach_healthy(Attach::Endpoint(from)) || !topo.attach_healthy(Attach::Endpoint(to)) {
+        return None;
+    }
+    let start = Attach::Endpoint(from);
+    let goal = Attach::Endpoint(to);
+    // Label-correcting search over (hops, -width): a node is improved when a
+    // same-hop path with a wider bottleneck reaches it. Widths only increase
+    // per node at a fixed hop count, so the re-queueing terminates.
+    struct Label {
+        at: Attach,
+        hops: usize,
+        width: f64,
+        parent: usize,
+        via: LinkId,
+    }
+    let mut labels: Vec<Label> = vec![Label {
+        at: start,
+        hops: 0,
+        width: f64::INFINITY,
+        parent: usize::MAX,
+        via: LinkId(u32::MAX),
+    }];
+    // Best (hops, width) seen per attach point, indexed into `labels`.
+    let mut best: Vec<(Attach, usize)> = vec![(start, 0)];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(0);
+
+    while let Some(li) = queue.pop_front() {
+        let (at, hops, width) = (labels[li].at, labels[li].hops, labels[li].width);
+        // Stale entry: a better label for this node was queued later.
+        if best.iter().any(|(a, b)| *a == at && labels[*b].hops < hops) {
+            continue;
+        }
+        let nexts: Vec<(LinkId, Attach)> = topo
+            .incident_links(at)
+            .map(|(lid, _)| (lid, topo.far_side(lid, at)))
+            .collect();
+        for (lid, far) in nexts {
+            if !topo.attach_healthy(far) {
+                continue;
+            }
+            if matches!(far, Attach::Endpoint(_)) && far != goal {
+                continue;
+            }
+            let cand_width = width.min(width_of(lid));
+            let cand_hops = hops + 1;
+            let existing = best.iter().position(|(a, _)| *a == far);
+            let improves = match existing {
+                None => true,
+                Some(pos) => {
+                    let cur = &labels[best[pos].1];
+                    cand_hops < cur.hops || (cand_hops == cur.hops && cand_width > cur.width)
+                }
+            };
+            if !improves {
+                continue;
+            }
+            labels.push(Label {
+                at: far,
+                hops: cand_hops,
+                width: cand_width,
+                parent: li,
+                via: lid,
+            });
+            let new_idx = labels.len() - 1;
+            match existing {
+                Some(pos) => best[pos].1 = new_idx,
+                None => best.push((far, new_idx)),
+            }
+            if far != goal {
+                queue.push_back(new_idx);
+            }
+        }
+    }
+    let goal_idx = best.iter().find(|(a, _)| *a == goal).map(|(_, i)| *i)?;
+    let mut links = Vec::new();
+    let mut cur = goal_idx;
+    while labels[cur].parent != usize::MAX {
+        links.push(labels[cur].via);
+        cur = labels[cur].parent;
+    }
+    links.reverse();
+    let latency_ns = links.iter().map(|l| topo.links[l.index()].latency_ns).sum();
+    let bandwidth_gbps = links
+        .iter()
+        .map(|l| topo.links[l.index()].bandwidth_gbps)
+        .fold(f64::INFINITY, f64::min);
+    Some(Path {
+        links,
+        latency_ns,
+        bandwidth_gbps,
+    })
+}
+
 /// True if `path` only traverses healthy links and switches in the current
 /// topology (used to decide whether an established connection must fail
 /// over).
@@ -209,6 +320,51 @@ mod tests {
         let t = TopologyBuilder::new().star(devs);
         let p = route(&t, t.initiator_endpoints()[0], t.target_endpoints()[0]).unwrap();
         assert_eq!(p.hops(), 2); // access up, access down
+    }
+
+    #[test]
+    fn widest_matches_bfs_when_uncongested() {
+        let t = two_tier();
+        let cn = t.initiator_endpoints()[0];
+        let mem = t.target_endpoints()[0];
+        let bfs = route(&t, cn, mem).unwrap();
+        let widest = route_widest(&t, cn, mem, |l| t.links[l.index()].bandwidth_gbps).unwrap();
+        assert_eq!(widest.hops(), bfs.hops());
+        assert_eq!(widest.bandwidth_gbps, bfs.bandwidth_gbps);
+    }
+
+    #[test]
+    fn widest_routes_around_a_congested_spine() {
+        // cn01 sits on leaf1, mem00 on leaf0, so the route must cross one of
+        // the two spines (SwitchId 0 and 1). Mark every trunk through spine 0
+        // as nearly exhausted and check the widest route avoids it.
+        let t = two_tier();
+        let cn = t.initiator_endpoints()[1];
+        let mem = t.target_endpoints()[0];
+        let congested: Vec<LinkId> = t
+            .links
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                matches!((e.a, e.b), (Attach::Switch(a), Attach::Switch(b)) if a.index() == 0 || b.index() == 0)
+            })
+            .map(|(i, _)| LinkId(i as u32))
+            .collect();
+        assert!(!congested.is_empty(), "expected trunks through first spine");
+        let residual = |l: LinkId| {
+            if congested.contains(&l) {
+                1.0
+            } else {
+                t.links[l.index()].bandwidth_gbps
+            }
+        };
+        let p = route_widest(&t, cn, mem, residual).expect("route exists");
+        assert!(
+            p.links.iter().all(|l| !congested.contains(l)),
+            "widest path must avoid the congested spine: {:?}",
+            p.links
+        );
+        assert_eq!(p.hops(), route(&t, cn, mem).unwrap().hops(), "still a shortest path");
     }
 
     #[test]

@@ -249,6 +249,49 @@ impl TopologyBuilder {
         self.topo
     }
 
+    /// Build a cascaded multi-appliance fabric, the shape of stacked PCIe
+    /// expansion chassis: one head switch carrying every initiator, plus
+    /// `appliances` appliance switches. Each appliance trunks to the head
+    /// (star uplink) and to the next appliance in the chain (cascade hop),
+    /// and target devices are distributed round-robin across appliances.
+    /// Initiator devices always land on the head. The chain links give
+    /// equal-hop alternatives for adjacent appliances, so congestion-aware
+    /// routing has real choices to make.
+    pub fn cascade(mut self, appliances: usize, devices: Vec<Device>) -> Topology {
+        assert!(appliances >= 1, "a cascade needs at least 1 appliance");
+        let head = self.topo.add_switch("head", 96);
+        let app_ids: Vec<SwitchId> = (0..appliances)
+            .map(|i| self.topo.add_switch(format!("app{i}"), 48))
+            .collect();
+        for &a in &app_ids {
+            self.topo.add_link(
+                Attach::Switch(head),
+                Attach::Switch(a),
+                self.trunk_gbps,
+                self.latency_ns,
+            );
+        }
+        for w in app_ids.windows(2) {
+            self.topo.add_link(
+                Attach::Switch(w[0]),
+                Attach::Switch(w[1]),
+                self.trunk_gbps,
+                self.latency_ns,
+            );
+        }
+        let mut next_app = 0usize;
+        for d in devices {
+            if d.kind.is_initiator() {
+                self.topo.attach_device(head, d, self.access_gbps, self.latency_ns);
+            } else {
+                let app = app_ids[next_app % app_ids.len()];
+                next_app += 1;
+                self.topo.attach_device(app, d, self.access_gbps, self.latency_ns);
+            }
+        }
+        self.topo
+    }
+
     /// Build a ring of `n` switches with devices round-robin attached.
     /// Rings exercise multi-hop routing and fail-over (two disjoint paths).
     pub fn ring(mut self, n: usize, devices: Vec<Device>) -> Topology {
@@ -352,6 +395,32 @@ mod tests {
             .filter(|l| matches!((l.a, l.b), (Attach::Switch(_), Attach::Switch(_))))
             .count();
         assert_eq!(trunks, 5);
+    }
+
+    #[test]
+    fn cascade_wiring() {
+        let mut devs = compute_nodes(2, 56, 128);
+        devs.extend(gpus(6, "A100", 40));
+        let t = TopologyBuilder::new().cascade(3, devs);
+        // head + 3 appliance switches
+        assert_eq!(t.switches.len(), 4);
+        // 3 uplinks + 2 chain trunks + 8 access links
+        assert_eq!(t.links.len(), 3 + 2 + 8);
+        assert_eq!(t.initiator_endpoints().len(), 2);
+        assert_eq!(t.target_endpoints().len(), 6);
+        // Initiators attach to the head switch; targets never do.
+        for ep in t.initiator_endpoints() {
+            let at = Attach::Endpoint(ep);
+            let (_, link) = t.incident_links(at).next().unwrap();
+            let far = if link.a == at { link.b } else { link.a };
+            assert_eq!(far, Attach::Switch(SwitchId(0)));
+        }
+        for ep in t.target_endpoints() {
+            let at = Attach::Endpoint(ep);
+            let (_, link) = t.incident_links(at).next().unwrap();
+            let far = if link.a == at { link.b } else { link.a };
+            assert_ne!(far, Attach::Switch(SwitchId(0)));
+        }
     }
 
     #[test]

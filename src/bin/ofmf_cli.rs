@@ -294,6 +294,22 @@ fn stats(client: &mut HttpClient) -> Result<(), String> {
             + metric("ofmf.composer.reject.storage")
             + metric("ofmf.composer.reject.other")) as u64,
     );
+    let probe_hits = metric("ofmf.composer.probe.cache_hit.total");
+    let probe_misses = metric("ofmf.composer.probe.cache_miss.total");
+    let probe_lookups = probe_hits + probe_misses;
+    println!(
+        "               probes: {} batches / {} pairs sent, {} failed; cache {} hits / {} misses ({:.0}% hit)",
+        metric("ofmf.composer.probe.batches.total") as u64,
+        metric("ofmf.composer.probe.pairs.total") as u64,
+        metric("ofmf.composer.probe.failed.total") as u64,
+        probe_hits as u64,
+        probe_misses as u64,
+        if probe_lookups > 0.0 {
+            100.0 * probe_hits / probe_lookups
+        } else {
+            0.0
+        },
+    );
     println!(
         "agents:        {} heartbeats (p99 {:.2} ms), {} missed",
         metric("ofmf.agents.heartbeat.rtt_ns.count") as u64,

@@ -450,6 +450,93 @@ fn same_seed_produces_identical_breaker_transition_logs() {
     assert_ne!(scenario(778), a, "a different seed (almost surely) diverges");
 }
 
+/// Probe chaos: `ProbeRoutes` batches are dropped, delayed and duplicated,
+/// yet topology-aware composes still succeed — a failed batch degrades that
+/// fabric to unprobed scoring instead of failing the compose, and no
+/// dispatch hangs past the supervisor's service-clock deadline.
+#[test]
+fn topology_aware_compose_survives_probe_chaos() {
+    let rig = chaos_rig(2007, |fid| {
+        ChaosConfig::quiet(2007 ^ fid.len() as u64)
+            .with_drop_rate(0.3)
+            .with_duplicate_rate(0.3)
+            .with_delay_ms(20)
+    });
+    let composer = Composer::new(Arc::clone(&rig.ofmf), Strategy::TopologyAware);
+    let started = rig.ofmf.clock.now_ms();
+    let mut dispatch_bound_ms = 0;
+    for i in 0..4 {
+        let req = CompositionRequest::compute_only(&format!("probed{i}"), 8, 8)
+            .with_fabric_memory_mib(256)
+            .with_storage_bytes(1 << 20)
+            .with_gpus(1)
+            .with_memory_bandwidth_gbps(5.0);
+        let c = composer.compose(&req).unwrap();
+        assert_eq!(c.bound_memory_mib(), 256);
+        assert_eq!(c.bound_gpus(), 1);
+        // Per cycle: ≤3 probe batches (one per fabric) + 2 agent ops per
+        // binding on compose (zone + connect) and 2 more on decompose,
+        // each bounded by the dispatch deadline.
+        dispatch_bound_ms += (3 + 4 * c.bindings.len() as u64) * 1_000;
+        composer.decompose(&c.system).unwrap();
+    }
+    let perturbed = [&rig.cxl, &rig.nvmeof, &rig.infiniband]
+        .iter()
+        .map(|a| a.dropped_ops() + a.duplicated_ops())
+        .sum::<u64>();
+    assert!(perturbed > 0, "the schedule actually perturbed ops");
+    // The injected 20ms latency advances the manual service clock, so total
+    // elapsed time proves no dispatch (probe batches included) overran its
+    // deadline — a hung probe would blow straight through this bound.
+    let elapsed = rig.ofmf.clock.now_ms() - started;
+    assert!(
+        elapsed < dispatch_bound_ms,
+        "{elapsed}ms vs bound {dispatch_bound_ms}ms"
+    );
+    assert!(rig.ofmf.registry.dangling_links().is_empty());
+}
+
+/// Acceptance: probe batches fan out across fabrics on parallel threads, but
+/// placement decisions stay deterministic — two runs with the same seed pick
+/// identical resources even while probes are being dropped and duplicated.
+#[test]
+fn same_seed_topology_aware_placements_are_identical_despite_parallel_probing() {
+    fn scenario(seed: u64) -> Vec<String> {
+        let ofmf = Ofmf::new_with_supervisor("ofmf-probe-det", HashMap::new(), seed, SupervisorConfig::default());
+        let shape = RackShape::default();
+        // Three memory fabrics: one topology-aware choose probes all three
+        // in a single parallel fan-out.
+        for (fid, salt) in [("CXL0", 1u64), ("CXL1", 2), ("CXL2", 3)] {
+            let chaos = ChaosConfig::quiet(seed ^ salt)
+                .with_drop_rate(0.25)
+                .with_duplicate_rate(0.25);
+            let agent = ChaosAgent::new(Arc::new(cxl_agent(fid, &shape, 1 << 20, seed ^ salt)), chaos)
+                .with_clock(Arc::clone(&ofmf.clock));
+            ofmf.register_agent(Arc::new(agent) as Arc<dyn Agent>)
+                .expect("fresh rig");
+        }
+        let composer = Composer::new(Arc::clone(&ofmf), Strategy::TopologyAware);
+        let mut placements = Vec::new();
+        for i in 0..6 {
+            let req = CompositionRequest::compute_only(&format!("det{i}"), 8, 8)
+                .with_fabric_memory_mib(512)
+                .with_memory_bandwidth_gbps(8.0);
+            match composer.compose(&req) {
+                Ok(c) => {
+                    for b in &c.bindings {
+                        placements.push(format!("det{i} {} {}", b.fabric, b.resource.as_str()));
+                    }
+                }
+                Err(e) => placements.push(format!("det{i} err {}", e.http_status())),
+            }
+        }
+        placements
+    }
+    let a = scenario(3100);
+    assert!(!a.is_empty());
+    assert_eq!(a, scenario(3100), "identical seeds must place identically");
+}
+
 /// With `--features lockcheck`, assert the chaos suite leaves the
 /// process-global lock-acquisition graph acyclic. Cycles only accumulate,
 /// so re-driving a crash/recovery scenario and then checking covers this
@@ -461,6 +548,9 @@ fn lock_order_graph_is_cycle_free_after_chaos() {
     // The tracing path (span buffers, recorder stripes, route map) must not
     // add a cycle either.
     crash_mid_compose_trace_records_compensation_and_breaker_open();
+    // Nor the probe pipeline: its result cache takes a Mutex around the
+    // parallel batch fan-out and must stay acyclic with the agent locks.
+    topology_aware_compose_survives_probe_chaos();
     let report = parking_lot::lock_order_report();
     assert!(
         report.cycles.is_empty(),
