@@ -15,10 +15,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod lockgraph;
 pub mod rules;
 pub mod scan;
 
 use scan::FileScan;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -81,6 +83,7 @@ impl Analysis {
         }
         rules::obs_name_convention(&defs, &span_defs, &refs, &mut raw);
         rules::span_name_convention(&span_defs, &mut raw);
+        lockgraph::lock_rules(&self.files, &mut raw);
 
         // Apply allow escapes: an allow with a valid rule and reason on the
         // diagnostic's line (or the line above) suppresses it.
@@ -180,6 +183,351 @@ pub fn run_repo(root: &Path) -> Result<(Vec<Diagnostic>, usize), String> {
         analysis.add_readme("README.md", &text);
     }
     Ok((analysis.finish(), count))
+}
+
+/// Render diagnostics as a JSON array (machine-readable `--json` output;
+/// the GitHub Actions problem matcher consumes one object per finding).
+pub fn diagnostics_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            d.rule,
+            json_escape(&d.message)
+        ));
+    }
+    out.push_str(if diags.is_empty() { "]" } else { "\n]" });
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// lock audit: static graph vs runtime-observed graph
+// ---------------------------------------------------------------------------
+
+/// The static/dynamic cross-validation verdict.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Static acquisition sites found.
+    pub static_sites: usize,
+    /// Static site-pair edges.
+    pub static_edges: usize,
+    /// Distinct runtime edges read from the dump dir (shim-internal sites
+    /// excluded).
+    pub runtime_edges: usize,
+    /// Runtime edges the static graph does not contain: scanner coverage
+    /// gaps. CI-fail.
+    pub coverage_gaps: Vec<String>,
+    /// Static-only key cycles (after `allow(lock-discipline)` exclusions):
+    /// latent deadlocks. CI-fail.
+    pub latent_cycles: Vec<String>,
+    /// Cycles in the runtime-observed graph projected onto lock keys.
+    /// CI-fail.
+    pub runtime_cycles: Vec<String>,
+    /// Runtime blocking-while-locked violations with no allowed static
+    /// finding in the same function. CI-fail.
+    pub unexcused_blocking: Vec<String>,
+    /// Runtime blocking violations matched to an allowed static finding.
+    pub excused_blocking: usize,
+    /// Site-pair edges excluded by `allow(lock-discipline)` escapes.
+    pub suppressed_edges: usize,
+}
+
+impl AuditReport {
+    /// Does the cross-validation pass?
+    pub fn pass(&self) -> bool {
+        self.coverage_gaps.is_empty()
+            && self.latent_cycles.is_empty()
+            && self.runtime_cycles.is_empty()
+            && self.unexcused_blocking.is_empty()
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "lock-audit: {} static sites, {} static edges ({} suppressed), {} runtime edges\n",
+            self.static_sites, self.static_edges, self.suppressed_edges, self.runtime_edges
+        ));
+        for (title, items) in [
+            (
+                "coverage gap (runtime edge unknown to the static graph)",
+                &self.coverage_gaps,
+            ),
+            ("latent deadlock (static-only cycle)", &self.latent_cycles),
+            ("runtime lock-order cycle", &self.runtime_cycles),
+            ("blocking while locked (unexcused at runtime)", &self.unexcused_blocking),
+        ] {
+            for item in items {
+                out.push_str(&format!("FAIL [{title}] {item}\n"));
+            }
+        }
+        if self.excused_blocking > 0 {
+            out.push_str(&format!(
+                "note: {} runtime blocking violation(s) excused by allowed static findings\n",
+                self.excused_blocking
+            ));
+        }
+        out.push_str(if self.pass() {
+            "lock-audit: PASS\n"
+        } else {
+            "lock-audit: FAIL\n"
+        });
+        out
+    }
+}
+
+/// Cross-validate the static lock graph against runtime dumps collected by
+/// the `lockcheck` shim (`OFMF_LOCKCHECK_DIR`): every runtime edge must be
+/// statically predicted, both graphs must be acyclic over lock keys, and
+/// every runtime blocking violation must match an allowed static finding.
+/// `runtime_dir: None` audits the static graph alone.
+pub fn run_lock_audit(root: &Path, runtime_dir: Option<&Path>) -> Result<AuditReport, String> {
+    let (files, test_files) = collect_workspace(root)?;
+    let model = lockgraph::LockModel::build(&files, &test_files);
+    let allows: HashMap<&str, &[scan::Allow]> = files.iter().map(|(p, s)| (p.as_str(), &s.allows[..])).collect();
+    let allowed_at = |rule: &str, file: &str, line: usize| -> bool {
+        allows.get(file).is_some_and(|list| {
+            list.iter()
+                .any(|a| a.problem.is_none() && a.rule == rule && (a.line == line || a.line + 1 == line))
+        })
+    };
+
+    // Edges excluded by allow(lock-discipline) at either endpoint.
+    let mut suppressed: HashSet<lockgraph::Edge> = HashSet::new();
+    for e in &model.edges {
+        let (f, t) = (&model.sites[e.from], &model.sites[e.to]);
+        if allowed_at("lock-discipline", &f.file, f.line) || allowed_at("lock-discipline", &t.file, t.line) {
+            suppressed.insert(*e);
+        }
+    }
+
+    let mut report = AuditReport {
+        static_sites: model.sites.len(),
+        static_edges: model.edges.len(),
+        suppressed_edges: suppressed.len(),
+        ..AuditReport::default()
+    };
+
+    // Static cycles (latent deadlocks) over non-suppressed edges.
+    for (keys, backing) in model.key_cycles(&suppressed) {
+        let mut lines: Vec<String> = backing
+            .iter()
+            .map(|e| format!("{} -> {}", model.describe(e.from), model.describe(e.to)))
+            .collect();
+        lines.sort();
+        report
+            .latent_cycles
+            .push(format!("[{}] via {}", keys.join(" ⇄ "), lines.join("; ")));
+    }
+
+    // Runtime dumps.
+    let edge_index: HashSet<(usize, usize)> = model.edges.iter().map(|e| (e.from, e.to)).collect();
+    let mut runtime_key_edges: BTreeSet<(String, String)> = BTreeSet::new();
+    if let Some(dir) = runtime_dir {
+        let mut seen_edges: BTreeSet<(String, usize, String, usize)> = BTreeSet::new();
+        let mut seen_blocking: BTreeSet<(String, String, usize, String)> = BTreeSet::new();
+        let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        for entry in entries {
+            let path = entry.map_err(|e| e.to_string())?.path();
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            if name.starts_with("edges-") {
+                for line in text.lines() {
+                    let cols: Vec<&str> = line.split('\t').collect();
+                    if cols.len() < 6 {
+                        continue;
+                    }
+                    let (ff, fl, tf, tl) = (
+                        cols[0].to_string(),
+                        cols[1].parse::<usize>().unwrap_or(0),
+                        cols[3].to_string(),
+                        cols[4].parse::<usize>().unwrap_or(0),
+                    );
+                    if ff.starts_with("crates/shims/") || tf.starts_with("crates/shims/") {
+                        continue; // the measurement layer is not workspace code
+                    }
+                    seen_edges.insert((ff, fl, tf, tl));
+                }
+            } else if name.starts_with("blocking-") {
+                for line in text.lines() {
+                    let cols: Vec<&str> = line.split('\t').collect();
+                    if cols.len() < 4 {
+                        continue;
+                    }
+                    seen_blocking.insert((
+                        cols[0].to_string(),
+                        cols[1].to_string(),
+                        cols[2].parse::<usize>().unwrap_or(0),
+                        cols[3].to_string(),
+                    ));
+                }
+            }
+        }
+        report.runtime_edges = seen_edges.len();
+        for (ff, fl, tf, tl) in &seen_edges {
+            let from = model.site_at(ff, *fl);
+            let to = model.site_at(tf, *tl);
+            match (from, to) {
+                (Some(f), Some(t)) => {
+                    if !edge_index.contains(&(f, t)) {
+                        report.coverage_gaps.push(format!(
+                            "{} -> {} observed at runtime but not statically predicted",
+                            model.describe(f),
+                            model.describe(t)
+                        ));
+                    } else if !suppressed.contains(&lockgraph::Edge { from: f, to: t }) {
+                        let (fk, tk) = (model.sites[f].key.clone(), model.sites[t].key.clone());
+                        if fk != tk {
+                            runtime_key_edges.insert((fk, tk));
+                        }
+                    }
+                }
+                _ => {
+                    let missing = if from.is_none() {
+                        format!("{ff}:{fl}")
+                    } else {
+                        format!("{tf}:{tl}")
+                    };
+                    report.coverage_gaps.push(format!(
+                        "runtime acquisition site {missing} unknown to the static scanner"
+                    ));
+                }
+            }
+        }
+        // Runtime graph acyclicity over keys.
+        let keys: Vec<&str> = {
+            let mut k: Vec<&str> = runtime_key_edges
+                .iter()
+                .flat_map(|(a, b)| [a.as_str(), b.as_str()])
+                .collect();
+            k.sort_unstable();
+            k.dedup();
+            k
+        };
+        let idx: HashMap<&str, usize> = keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+        let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); keys.len()];
+        for (a, b) in &runtime_key_edges {
+            adj[idx[a.as_str()]].insert(idx[b.as_str()]);
+        }
+        for scc in lockgraph::tarjan(&adj) {
+            if scc.len() >= 2 {
+                let mut names: Vec<&str> = scc.iter().map(|&i| keys[i]).collect();
+                names.sort_unstable();
+                report.runtime_cycles.push(format!("[{}]", names.join(" ⇄ ")));
+            }
+        }
+        // Blocking violations: excused when the enclosing function carries
+        // an allowed static no-blocking-while-locked finding.
+        for (kind, file, line, held) in &seen_blocking {
+            if file.starts_with("crates/shims/") || test_files.contains(file) {
+                report.excused_blocking += 1;
+                continue;
+            }
+            let span = model.fn_containing(file, *line);
+            let excused = span.is_some_and(|s| {
+                model.blocking.iter().any(|b| {
+                    b.file == *file
+                        && s.start_line <= b.line
+                        && b.line <= s.end_line
+                        && allowed_at("no-blocking-while-locked", &b.file, b.line)
+                })
+            });
+            if excused {
+                report.excused_blocking += 1;
+            } else {
+                report
+                    .unexcused_blocking
+                    .push(format!("{kind} at {file}:{line} while holding [{held}]"));
+            }
+        }
+    }
+    report.coverage_gaps.sort();
+    report.coverage_gaps.dedup();
+    Ok(report)
+}
+
+/// Scanned workspace: `(relative path, scan)` per file, plus the set of
+/// integration-test paths.
+type ScannedWorkspace = (Vec<(String, FileScan)>, HashSet<String>);
+
+/// Scan src *and* integration-test dirs: runtime edges come from test
+/// targets, so the static graph must model test code too. Returns the
+/// scanned files plus the set of integration-test paths.
+fn collect_workspace(root: &Path) -> Result<ScannedWorkspace, String> {
+    let mut sources: Vec<PathBuf> = Vec::new();
+    let mut test_roots: Vec<PathBuf> = vec![root.join("tests")];
+    collect_rs(&root.join("src"), &mut sources)?;
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir).map_err(|e| format!("{}: {e}", crates_dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.is_dir() && path.file_name().map(|n| n != "shims").unwrap_or(false) {
+            collect_rs(&path.join("src"), &mut sources)?;
+            test_roots.push(path.join("tests"));
+        }
+    }
+    let mut test_files: HashSet<String> = HashSet::new();
+    let mut test_sources: Vec<PathBuf> = Vec::new();
+    for dir in &test_roots {
+        collect_rs(dir, &mut test_sources)?;
+    }
+    sources.sort();
+    test_sources.sort();
+    let mut files: Vec<(String, FileScan)> = Vec::new();
+    for (is_test, list) in [(false, &sources), (true, &test_sources)] {
+        for path in list {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| e.to_string())?
+                .to_string_lossy()
+                .replace('\\', "/");
+            if is_test {
+                test_files.insert(rel.clone());
+            }
+            files.push((rel, FileScan::new(&text)));
+        }
+    }
+    Ok((files, test_files))
+}
+
+/// Debug rendering of the static lock graph the audit builds (sites, keys,
+/// and site-pair edges), for `--dump-lock-graph`.
+pub fn lock_graph_dump(root: &Path) -> Result<String, String> {
+    let (files, test_files) = collect_workspace(root)?;
+    let model = lockgraph::LockModel::build(&files, &test_files);
+    let mut out = String::new();
+    for (i, s) in model.sites.iter().enumerate() {
+        out.push_str(&format!("site {i:3}: {}  key={}\n", model.describe(i), s.key));
+    }
+    out.push_str(&lockgraph::render_edges(&model));
+    Ok(out)
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {

@@ -1,11 +1,16 @@
 //! `ofmf-lint` — deny-by-default repo-invariant linting for the OFMF
-//! workspace. Exit codes: 0 clean, 1 diagnostics found, 2 usage/IO error.
+//! workspace, plus the static/dynamic lock-graph cross-validation.
+//! Exit codes: 0 clean, 1 diagnostics/audit failures, 2 usage/IO error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut lock_audit = false;
+    let mut dump_graph = false;
+    let mut runtime_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -16,13 +21,30 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => json = true,
+            "--lock-audit" => lock_audit = true,
+            "--dump-lock-graph" => dump_graph = true,
+            "--runtime-dir" => match args.next() {
+                Some(dir) => runtime_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("ofmf-lint: --runtime-dir needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "ofmf-lint [--root <workspace dir>]\n\n\
+                    "ofmf-lint [--root <workspace dir>] [--json]\n\
+                     ofmf-lint --lock-audit [--runtime-dir <lockcheck dump dir>] [--root <dir>]\n\n\
                      Enforces the OFMF repo invariants (deny-by-default):\n\
                      no-panic-path, no-std-sync, obs-name-convention, atomic-ordering-audit,\n\
-                     span-name-convention, wal-write-facade.\n\
-                     Escape hatch: // ofmf-lint: allow(<rule>, \"<reason>\")"
+                     span-name-convention, wal-write-facade, syscall-facade, lock-discipline,\n\
+                     no-blocking-while-locked.\n\
+                     Escape hatch: // ofmf-lint: allow(<rule>, \"<reason>\")\n\n\
+                     --lock-audit cross-validates the static lock-order graph against the\n\
+                     runtime graph dumped by `cargo test --workspace --features lockcheck`\n\
+                     with OFMF_LOCKCHECK_DIR set: a runtime edge missing statically is a\n\
+                     scanner coverage gap, a static-only cycle is a latent deadlock, and a\n\
+                     runtime blocking violation needs an allowed static finding."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -32,12 +54,51 @@ fn main() -> ExitCode {
             }
         }
     }
+    if dump_graph {
+        return match ofmf_analysis::lock_graph_dump(&root) {
+            Ok(dump) => {
+                print!("{dump}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("ofmf-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if lock_audit {
+        // Fall back to the same env var the shim dumps through, so CI can
+        // set it once for both the test run and the audit.
+        if runtime_dir.is_none() {
+            if let Ok(dir) = std::env::var("OFMF_LOCKCHECK_DIR") {
+                runtime_dir = Some(PathBuf::from(dir));
+            }
+        }
+        return match ofmf_analysis::run_lock_audit(&root, runtime_dir.as_deref()) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if report.pass() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("ofmf-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     match ofmf_analysis::run_repo(&root) {
         Ok((diags, files)) => {
-            for d in &diags {
-                println!("{d}");
+            if json {
+                println!("{}", ofmf_analysis::diagnostics_json(&diags));
+            } else {
+                for d in &diags {
+                    println!("{d}");
+                }
+                println!("ofmf-lint: {files} files scanned, {} diagnostic(s)", diags.len());
             }
-            println!("ofmf-lint: {files} files scanned, {} diagnostic(s)", diags.len());
             if diags.is_empty() {
                 ExitCode::SUCCESS
             } else {

@@ -40,12 +40,21 @@
 //!   audited syscall facade (`crates/rest/src/event_loop/sys.rs`); the
 //!   rest of the workspace stays safe Rust, so there is exactly one file
 //!   to audit for memory-safety.
+//! * **`lock-discipline`** — the static lock-order graph (see
+//!   [`crate::lockgraph`]) must be acyclic over lock keys, and any site
+//!   that re-acquires its own key inside an iterator closure (multi-shard
+//!   spans) must state the global acquisition order that makes it safe.
+//! * **`no-blocking-while-locked`** — file I/O, `Clock::wait_ms`, channel
+//!   `recv`/`send` and blocking waits are forbidden while a shim lock
+//!   guard is statically live; intentional holds (WAL group-commit fsync)
+//!   carry a reasoned escape, which also excuses the matching runtime
+//!   sanitizer violation during `--lock-audit`.
 
 use crate::scan::FileScan;
 use crate::Diagnostic;
 
 /// Rule identifiers (the names accepted by `allow(...)`).
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 9] = [
     "no-panic-path",
     "no-std-sync",
     "obs-name-convention",
@@ -53,6 +62,8 @@ pub const RULES: [&str; 7] = [
     "span-name-convention",
     "wal-write-facade",
     "syscall-facade",
+    "lock-discipline",
+    "no-blocking-while-locked",
 ];
 
 /// The single file allowed to contain `unsafe` code and inline assembly:

@@ -1,0 +1,322 @@
+//! Static lock-graph tests: the AB/BA fixture pair the runtime `lockcheck`
+//! shim cannot catch when only one order executes, plus the scope- and
+//! resolution-precision rules the whole-workspace graph depends on
+//! (statement-scoped chained guards, explicit `drop`, typed receivers,
+//! closure-argument gating, bare-call restriction).
+
+use ofmf_analysis::lockgraph::LockModel;
+use ofmf_analysis::{Analysis, Diagnostic};
+use std::collections::HashSet;
+
+fn lint_one(path: &str, source: &str) -> Vec<Diagnostic> {
+    let mut a = Analysis::new();
+    a.add_rust_file(path, source);
+    a.finish()
+}
+
+fn model_of(path: &str, source: &str) -> LockModel {
+    let files = vec![(path.to_string(), ofmf_analysis::scan::FileScan::new(source))];
+    LockModel::build(&files, &HashSet::new())
+}
+
+/// `(from-key, to-key)` pairs of every static edge.
+fn edge_keys(m: &LockModel) -> Vec<(String, String)> {
+    m.edges
+        .iter()
+        .map(|e| (m.sites[e.from].key.clone(), m.sites[e.to].key.clone()))
+        .collect()
+}
+
+const FIXTURE_PATH: &str = "crates/fabric/src/fixture.rs";
+
+// ---------------------------------------------------------------------------
+// The acceptance fixture: AB in one function, BA in another. A single test
+// run executes each function on its own thread-interleaving; the runtime
+// graph only ever sees the orders that actually ran, but the static pass
+// must flag the cycle from the source alone.
+// ---------------------------------------------------------------------------
+
+const AB_BA: &str = r#"
+pub struct S {
+    alpha: parking_lot::Mutex<u32>,
+    beta: parking_lot::Mutex<u32>,
+}
+impl S {
+    pub fn forward(&self) -> u32 {
+        let ga = self.alpha.lock();
+        let gb = self.beta.lock();
+        *ga + *gb
+    }
+    pub fn backward(&self) -> u32 {
+        let gb = self.beta.lock();
+        let ga = self.alpha.lock();
+        *ga + *gb
+    }
+}
+"#;
+
+#[test]
+fn ab_ba_in_separate_functions_is_caught_statically() {
+    let diags = lint_one(FIXTURE_PATH, AB_BA);
+    assert!(
+        diags.iter().all(|d| d.rule == "lock-discipline"),
+        "only lock-discipline expected: {diags:?}"
+    );
+    // One diagnostic per backing edge of the cycle, anchored at each
+    // inversion point, naming both sites and both keys.
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.line == 9),
+        "beta-after-alpha inversion: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.line == 14),
+        "alpha-after-beta inversion: {diags:?}"
+    );
+    for d in &diags {
+        assert!(
+            d.message.contains("alpha") && d.message.contains("beta"),
+            "{}",
+            d.message
+        );
+        assert!(d.message.contains("potential-deadlock cycle"), "{}", d.message);
+    }
+}
+
+#[test]
+fn consistent_order_is_clean() {
+    let both_forward = AB_BA.replace(
+        "let gb = self.beta.lock();\n        let ga = self.alpha.lock();",
+        "let ga = self.alpha.lock();\n        let gb = self.beta.lock();",
+    );
+    assert_ne!(both_forward, AB_BA, "replacement must hit");
+    let diags = lint_one(FIXTURE_PATH, &both_forward);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Guard-scope precision
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chained_acquisition_is_statement_scoped() {
+    // `self.alpha.lock().clone()` binds the clone, not the guard: the
+    // temporary dies at the `;`, so the later beta acquisition overlaps
+    // nothing and the reversed pair in `backward` makes no cycle.
+    let src = r#"
+pub struct S { alpha: parking_lot::Mutex<u32>, beta: parking_lot::Mutex<u32> }
+impl S {
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock().clone();
+        let b = self.beta.lock().clone();
+        a + b
+    }
+    pub fn backward(&self) -> u32 {
+        let b = self.beta.lock().clone();
+        let a = self.alpha.lock().clone();
+        a + b
+    }
+}
+"#;
+    let diags = lint_one(FIXTURE_PATH, src);
+    assert!(diags.is_empty(), "{diags:?}");
+    assert!(edge_keys(&model_of(FIXTURE_PATH, src)).is_empty());
+}
+
+#[test]
+fn statement_level_drop_releases_the_guard() {
+    let src = r#"
+pub struct S { alpha: parking_lot::Mutex<u32>, beta: parking_lot::Mutex<u32> }
+impl S {
+    pub fn forward(&self) -> u32 {
+        let ga = self.alpha.lock();
+        let v = *ga;
+        drop(ga);
+        let gb = self.beta.lock();
+        v + *gb
+    }
+    pub fn backward(&self) -> u32 {
+        let gb = self.beta.lock();
+        let ga = self.alpha.lock();
+        *ga + *gb
+    }
+}
+"#;
+    // No alpha→beta edge survives the drop, so BA alone is not a cycle.
+    let diags = lint_one(FIXTURE_PATH, src);
+    assert!(diags.is_empty(), "{diags:?}");
+    let keys = edge_keys(&model_of(FIXTURE_PATH, src));
+    assert_eq!(keys.len(), 1, "only beta→alpha: {keys:?}");
+}
+
+#[test]
+fn conditional_drop_keeps_the_guard_held() {
+    // The drop inside the `if` arm does not run on the fall-through path,
+    // so the conservative scope stands and the AB/BA cycle is still real.
+    let src = r#"
+pub struct S { alpha: parking_lot::Mutex<u32>, beta: parking_lot::Mutex<u32> }
+impl S {
+    pub fn forward(&self, bail: bool) -> u32 {
+        let ga = self.alpha.lock();
+        if bail {
+            drop(ga);
+            return 0;
+        }
+        let gb = self.beta.lock();
+        *ga + *gb
+    }
+    pub fn backward(&self) -> u32 {
+        let gb = self.beta.lock();
+        let ga = self.alpha.lock();
+        *ga + *gb
+    }
+}
+"#;
+    let diags = lint_one(FIXTURE_PATH, src);
+    assert_eq!(diags.len(), 2, "cycle must survive a conditional drop: {diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Call-resolution precision
+// ---------------------------------------------------------------------------
+
+#[test]
+fn interprocedural_blocking_reports_callee_site_with_caller_holds() {
+    // `flush` holds nothing itself; the fsync only becomes a finding
+    // through the caller that invokes it under a lock — reported at the
+    // callee's `sync_data` line.
+    let src = r#"
+pub struct S { alpha: parking_lot::Mutex<std::fs::File> }
+impl S {
+    fn flush(&self, f: &std::fs::File) -> std::io::Result<()> {
+        f.sync_data()
+    }
+    pub fn commit(&self) -> std::io::Result<()> {
+        let g = self.alpha.lock();
+        self.flush(&g)
+    }
+}
+"#;
+    let diags = lint_one(FIXTURE_PATH, src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "no-blocking-while-locked");
+    assert_eq!(diags[0].line, 5, "anchored at the callee's sync_data: {diags:?}");
+    assert!(diags[0].message.contains("alpha"), "{}", diags[0].message);
+}
+
+#[test]
+fn typed_parameter_restricts_resolution_to_that_impl() {
+    // Both types define `poke`; the caller's parameter is declared
+    // `&Quiet`, so only `Quiet::poke` (no acquisition) may be the target —
+    // `Noisy::poke`'s beta acquisition must not leak into the caller's
+    // held-edge set.
+    let src = r#"
+pub struct Quiet { n: u32 }
+impl Quiet {
+    pub fn poke(&self, v: u32) -> u32 { self.n + v }
+}
+pub struct Noisy { beta: parking_lot::Mutex<u32> }
+impl Noisy {
+    pub fn poke(&self, v: u32) -> u32 { *self.beta.lock() + v }
+}
+pub struct S { alpha: parking_lot::Mutex<u32> }
+impl S {
+    pub fn forward(&self, q: &Quiet) -> u32 {
+        let ga = self.alpha.lock();
+        q.poke(*ga)
+    }
+    pub fn backward(&self, n: &Noisy) -> u32 {
+        let gb = n.beta.lock();
+        let ga = self.alpha.lock();
+        *ga + *gb
+    }
+}
+"#;
+    // Resolving `q.poke` to Noisy::poke would fabricate alpha→beta and
+    // close a cycle against `backward`'s beta→alpha.
+    let diags = lint_one(FIXTURE_PATH, src);
+    assert!(diags.is_empty(), "typed param must prevent the false cycle: {diags:?}");
+}
+
+#[test]
+fn closure_argument_calls_need_closure_capable_params() {
+    // `.find(|x| …)` is an iterator adapter; a same-named workspace fn
+    // taking plain data must not become the target (that edge would chain
+    // alpha→beta through `Store::find`).
+    let src = r#"
+pub struct Store { beta: parking_lot::Mutex<Vec<u32>> }
+impl Store {
+    pub fn find(&self, v: u32) -> bool { self.beta.lock().contains(&v) }
+}
+pub struct S { alpha: parking_lot::Mutex<Vec<u32>> }
+impl S {
+    pub fn forward(&self) -> Option<u32> {
+        let ga = self.alpha.lock();
+        ga.iter().find(|x| **x > 1).copied()
+    }
+}
+"#;
+    let m = model_of(FIXTURE_PATH, src);
+    assert!(
+        edge_keys(&m).is_empty(),
+        "iterator adapter resolved into Store::find: {:?}",
+        edge_keys(&m)
+    );
+}
+
+#[test]
+fn bare_call_never_resolves_to_cross_file_method() {
+    // `helper(1, 2)` in file A can only be a free function or a same-file
+    // item; `Other::helper` (a `&self` method in file B, beta-acquiring)
+    // is not in scope under bare-call syntax.
+    let file_a = r#"
+pub struct S { alpha: parking_lot::Mutex<u32> }
+impl S {
+    pub fn forward(&self) -> u32 {
+        let ga = self.alpha.lock();
+        helper(*ga, 1)
+    }
+}
+fn helper(a: u32, b: u32) -> u32 { a + b }
+"#;
+    let file_b = r#"
+pub struct Other { beta: parking_lot::Mutex<u32> }
+impl Other {
+    pub fn helper(&self, v: u32, w: u32) -> u32 { *self.beta.lock() + v + w }
+}
+"#;
+    let files = vec![
+        (
+            "crates/fabric/src/a.rs".to_string(),
+            ofmf_analysis::scan::FileScan::new(file_a),
+        ),
+        (
+            "crates/fabric/src/b.rs".to_string(),
+            ofmf_analysis::scan::FileScan::new(file_b),
+        ),
+    ];
+    let m = LockModel::build(&files, &HashSet::new());
+    assert!(edge_keys(&m).is_empty(), "{:?}", edge_keys(&m));
+}
+
+#[test]
+fn generic_parameter_list_does_not_shadow_the_params() {
+    // `fn for_each<F: FnMut(&u32)>(&self, f: F)` — the `FnMut(…)` inside
+    // the generics must not be taken for the parameter list, or `f` stops
+    // being a parameter and its invocation becomes indirect dispatch.
+    let src = r#"
+pub struct S { alpha: parking_lot::Mutex<Vec<u32>> }
+impl S {
+    pub fn for_each<F: FnMut(&u32)>(&self, mut f: F) {
+        let ga = self.alpha.lock();
+        for v in ga.iter() {
+            f(v);
+        }
+    }
+}
+"#;
+    let m = model_of(FIXTURE_PATH, src);
+    assert_eq!(m.sites.len(), 1);
+    assert!(edge_keys(&m).is_empty(), "{:?}", edge_keys(&m));
+    assert!(m.blocking.is_empty(), "{:?}", m.blocking);
+}

@@ -1,0 +1,118 @@
+//! Property tests for the scanner's comment/string masking: for ANY
+//! concatenation of adversarial segments — raw strings containing `/*`,
+//! nested block comments, strings containing `//` and escaped quotes,
+//! `#[cfg(test)]` item boundaries — masking must blank exactly the
+//! comment/string content (never code), preserve byte-for-byte layout so
+//! every downstream position maps back to the source, and classify test
+//! lines correctly.
+
+use ofmf_analysis::scan::FileScan;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One generated source segment. `kind`:
+/// 0 = plain code (carries the `KEEPME` token, outside any test region),
+/// 1 = a `#[cfg(test)]` module (its body lines must classify as test),
+/// 2 = comment/string content (carries `SECRET`, which must be masked).
+#[derive(Debug, Clone)]
+struct Segment {
+    kind: u8,
+    text: String,
+}
+
+fn segment() -> impl Strategy<Value = Segment> {
+    prop_oneof![
+        // Plain code with a survivor token.
+        (0u32..100).prop_map(|n| Segment {
+            kind: 0,
+            text: format!("let KEEPME_{n} = {n};\n"),
+        }),
+        // A cfg(test) item: every body line is a test line.
+        (0u32..100).prop_map(|n| Segment {
+            kind: 1,
+            text: format!("#[cfg(test)]\nmod t{n} {{\n    fn f{n}() {{ let y = {n}; }}\n}}\n"),
+        }),
+        // Line comment smuggling string/comment openers.
+        Just(Segment {
+            kind: 2,
+            text: "// SECRET /* r#\" \" unterminated\n".to_string(),
+        }),
+        // Nested block comment, multi-line.
+        Just(Segment {
+            kind: 2,
+            text: "/* SECRET /* nested SECRET */\n   still SECRET */\n".to_string(),
+        }),
+        // Plain string containing comment openers and escaped quotes.
+        Just(Segment {
+            kind: 2,
+            text: "let s = \"SECRET // \\\" /* SECRET\";\n".to_string(),
+        }),
+        // Raw string containing `/*` and a bare quote.
+        Just(Segment {
+            kind: 2,
+            text: "let r = r#\"SECRET /* \" SECRET\"#;\n".to_string(),
+        }),
+        // Double-hash raw string that embeds a single-hash terminator.
+        Just(Segment {
+            kind: 2,
+            text: "let r2 = r##\"SECRET \"# SECRET\"##;\n".to_string(),
+        }),
+        // Char literals that look like string openers.
+        Just(Segment {
+            kind: 2,
+            text: "let q = ('\"', '\\''); // SECRET\n".to_string(),
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn masking_blanks_content_and_preserves_layout(segs in vec(segment(), 1..24)) {
+        let source: String = segs.iter().map(|s| s.text.as_str()).collect();
+        let scan = FileScan::new(&source);
+
+        // Byte-for-byte layout: same length, newlines at the same offsets,
+        // so every byte position in the masked text maps to the source.
+        prop_assert_eq!(scan.masked.len(), source.len());
+        for (i, (m, s)) in scan.masked.bytes().zip(source.bytes()).enumerate() {
+            prop_assert_eq!(m == b'\n', s == b'\n', "newline mismatch at byte {}", i);
+        }
+
+        // Comment and string content never survives masking…
+        prop_assert!(!scan.masked.contains("SECRET"), "leaked: {}", scan.masked);
+        // …while code outside strings/comments survives verbatim.
+        let kept = scan.masked.matches("KEEPME_").count();
+        let expected = segs.iter().filter(|s| s.kind == 0).count();
+        prop_assert_eq!(kept, expected);
+
+        // Every plain/raw string literal was collected.
+        let string_segs = segs
+            .iter()
+            .filter(|s| s.kind == 2 && (s.text.contains("let s") || s.text.contains("let r")))
+            .count();
+        prop_assert!(scan.strings.len() >= string_segs,
+            "{} strings collected for {} string segments", scan.strings.len(), string_segs);
+
+        // Test-region classification: a line is a test line iff it falls
+        // inside a cfg(test) segment's item (the attribute line itself is
+        // part of the region).
+        let mut line = 1usize;
+        for seg in &segs {
+            let lines = seg.text.matches('\n').count();
+            for l in line..line + lines {
+                let inside = scan.is_test_line(l);
+                match seg.kind {
+                    0 => prop_assert!(!inside, "code line {} misclassified as test", l),
+                    // The mod body (every line after the attribute) is
+                    // inside the region; the attribute line's own
+                    // classification is an implementation detail.
+                    1 if l > line => {
+                        prop_assert!(inside, "cfg(test) body line {} not classified as test", l);
+                    }
+                    _ => {}
+                }
+            }
+            line += lines;
+        }
+    }
+}

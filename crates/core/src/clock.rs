@@ -73,7 +73,12 @@ impl Clock {
     /// Wait `delta_ms` of service time: sleeps on wall clocks, advances the
     /// counter on manual clocks. Retry backoffs use this so simulated runs
     /// are instantaneous yet observe the same timeline as real ones.
+    #[cfg_attr(feature = "lockcheck", track_caller)]
     pub fn wait_ms(&self, delta_ms: u64) {
+        // Even the manual-clock branch counts: code that waits while holding
+        // a stripe lock is a hazard regardless of which clock backs the run.
+        #[cfg(feature = "lockcheck")]
+        parking_lot::blocking_op("clock.wait_ms");
         if self.wall_driven {
             std::thread::sleep(std::time::Duration::from_millis(delta_ms));
         } else {

@@ -369,7 +369,7 @@ impl TelemetryService {
     pub fn series_count(&self) -> usize {
         self.shards
             .iter()
-            .map(|sh| sh.read().values().map(HashMap::len).sum::<usize>())
+            .map(|sh| sh.read().values().map(HashMap::len).sum::<usize>()) // ofmf-lint: allow(lock-discipline, "stripes are visited in ascending index order on every path")
             .sum()
     }
 

@@ -18,15 +18,15 @@ fn opposite_order_is_reported_as_cycle_from_a_single_clean_run() {
     // Path 1: A then B.
     let site_ab = line!() + 2;
     {
-        let _ga = a.lock();
-        let _gb = b.lock();
+        let _ga = a.lock(); // ofmf-lint: allow(lock-discipline, "deliberate AB half of the injected inversion this fixture asserts on")
+        let _gb = b.lock(); // ofmf-lint: allow(lock-discipline, "deliberate AB half of the injected inversion this fixture asserts on")
     }
     // Path 2: B then A. Runs after path 1 released everything, so there is
     // no deadlock — but the order inversion is now witnessed in the graph.
     let site_ba = line!() + 2;
     {
-        let _gb = b.lock();
-        let _ga = a.lock();
+        let _gb = b.lock(); // ofmf-lint: allow(lock-discipline, "deliberate BA half of the injected inversion this fixture asserts on")
+        let _ga = a.lock(); // ofmf-lint: allow(lock-discipline, "deliberate BA half of the injected inversion this fixture asserts on")
     }
 
     let report = parking_lot::lock_order_report();

@@ -64,6 +64,23 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Acquire)
 }
 
+/// Refresh the `ofmf.lockcheck.*` gauges from the recording shim's hold,
+/// blocking and lock-order reports. Only meaningful under
+/// `--features lockcheck`; the REST export calls it before snapshotting so
+/// the gauges are synthesized per GET like the Redfish overlays.
+#[cfg(feature = "lockcheck")]
+pub fn publish_lockcheck() {
+    let holds = parking_lot::hold_time_report();
+    gauge("ofmf.lockcheck.hold.sites").set(holds.len() as i64);
+    gauge("ofmf.lockcheck.hold.max_ns").set(holds.iter().map(|h| h.max_ns).max().unwrap_or(0) as i64);
+    gauge("ofmf.lockcheck.hold.p99_ns").set(holds.iter().map(|h| h.p99_ns).max().unwrap_or(0) as i64);
+    gauge("ofmf.lockcheck.hold.contended").set(holds.iter().map(|h| h.contended).sum::<u64>() as i64);
+    gauge("ofmf.lockcheck.blocking.witnessed").set(parking_lot::blocking_report().len() as i64);
+    let order = parking_lot::lock_order_report();
+    gauge("ofmf.lockcheck.order.edges").set(order.edges.len() as i64);
+    gauge("ofmf.lockcheck.order.cycles").set(order.cycles.len() as i64);
+}
+
 /// Serializes tests that record against tests that toggle [`set_enabled`],
 /// since the flag is process-global.
 #[cfg(test)]

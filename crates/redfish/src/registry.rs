@@ -253,7 +253,7 @@ impl Registry {
         idx.dedup();
         WriteSpan {
             // ofmf-lint: allow(no-panic-path, "indices come from shard_of, already reduced mod shards.len()")
-            guards: idx.into_iter().map(|i| (i, self.shards[i].tree.write())).collect(),
+            guards: idx.into_iter().map(|i| (i, self.shards[i].tree.write())).collect(), // ofmf-lint: allow(lock-discipline, "idx is sorted ascending above; every multi-shard span ascends")
         }
     }
 
@@ -265,7 +265,7 @@ impl Registry {
     /// Read-lock every shard in ascending order: a consistent snapshot for
     /// whole-tree reads (link sweeps, type scans, iteration).
     fn read_all(&self) -> Vec<RwLockReadGuard<'_, Tree>> {
-        self.shards.iter().map(|s| s.tree.read()).collect()
+        self.shards.iter().map(|s| s.tree.read()).collect() // ofmf-lint: allow(lock-discipline, "shards are visited in ascending index order on every multi-shard path")
     }
 
     /// Drop the cached wire body of `id` (after delete; mutations in place
@@ -278,7 +278,7 @@ impl Registry {
 
     /// Number of resources currently stored.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.tree.read().nodes.len()).sum()
+        self.shards.iter().map(|s| s.tree.read().nodes.len()).sum() // ofmf-lint: allow(lock-discipline, "shards are visited in ascending index order on every multi-shard path")
     }
 
     /// True if no resources are stored.

@@ -208,10 +208,13 @@ impl Epoll {
     /// Block until at least one registered fd is ready (or `timeout_ms`
     /// elapses; negative waits forever). Returns the number of events
     /// written into `events`. `EINTR` is reported as zero events.
+    #[cfg_attr(feature = "lockcheck", track_caller)]
     pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
         if events.is_empty() {
             return Ok(0);
         }
+        #[cfg(feature = "lockcheck")]
+        parking_lot::blocking_op("sys.epoll_wait");
         // SAFETY: `events` is a live, writable slice for the duration of
         // the call; `maxevents` is its exact length, so the kernel never
         // writes out of bounds.

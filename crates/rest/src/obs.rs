@@ -171,10 +171,57 @@ fn manager_overlay(ofmf: &Ofmf, path: &ODataId) -> Response {
     if let Value::Object(map) = &mut body {
         let oem = map.entry("Oem".to_string()).or_insert_with(|| json!({}));
         if let Value::Object(oem) = oem {
-            oem.insert("OFMF".to_string(), json!({"Observability": summary}));
+            #[cfg(feature = "lockcheck")]
+            let payload = json!({"Observability": summary, "Lockcheck": lockcheck_summary()});
+            #[cfg(not(feature = "lockcheck"))]
+            let payload = json!({"Observability": summary});
+            oem.insert("OFMF".to_string(), payload);
         }
     }
     Response::json(200, &body).with_header("ETag", &etag.to_header())
+}
+
+/// `Oem.OFMF.Lockcheck`: the recording shim's live lock health — hottest
+/// hold sites, witnessed blocking-while-locked operations, and the
+/// runtime lock-order graph summary. Present only when the server binary
+/// was built with `--features lockcheck`.
+#[cfg(feature = "lockcheck")]
+fn lockcheck_summary() -> Value {
+    ofmf_obs::publish_lockcheck();
+    let holds = parking_lot::hold_time_report();
+    let top: Vec<Value> = holds
+        .iter()
+        .take(8)
+        .map(|h| {
+            json!({
+                "Site": format!("{}:{}", h.file, h.line),
+                "Mode": h.mode,
+                "Count": h.count,
+                "TotalNs": h.total_ns,
+                "MaxNs": h.max_ns,
+                "P99Ns": h.p99_ns,
+                "Contended": h.contended,
+            })
+        })
+        .collect();
+    let blocking: Vec<Value> = parking_lot::blocking_report()
+        .iter()
+        .map(|v| {
+            json!({
+                "Kind": v.kind,
+                "Site": format!("{}:{}", v.file, v.line),
+                "Held": v.held,
+            })
+        })
+        .collect();
+    let order = parking_lot::lock_order_report();
+    json!({
+        "HoldSites": holds.len(),
+        "TopHolds": top,
+        "BlockingWhileLocked": blocking,
+        "OrderEdges": order.edges.len(),
+        "OrderCycles": order.cycles.len(),
+    })
 }
 
 /// `GET …/MetricReports`: the collection, always listing the live report.
@@ -197,6 +244,8 @@ fn report_collection() -> Response {
 /// `<name>.count/.mean/.p50/.p95/.p99/.max`.
 fn live_report() -> Response {
     let reg = ofmf_obs::global();
+    #[cfg(feature = "lockcheck")]
+    ofmf_obs::publish_lockcheck();
     let snap = reg.snapshot();
     let origin = ODataId::new(top::OFMF_MANAGER);
     let now = ofmf_obs::unix_ms();

@@ -92,7 +92,10 @@ pub mod channel {
 
     impl<T> Sender<T> {
         /// Send, blocking while the queue is full.
+        #[cfg_attr(feature = "lockcheck", track_caller)]
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            #[cfg(feature = "lockcheck")]
+            parking_lot::blocking_op("chan.send");
             let mut shared = self.inner.queue.lock().unwrap();
             loop {
                 if shared.receivers == 0 {
@@ -140,7 +143,10 @@ pub mod channel {
 
     impl<T> Receiver<T> {
         /// Receive, blocking while the queue is empty and senders remain.
+        #[cfg_attr(feature = "lockcheck", track_caller)]
         pub fn recv(&self) -> Result<T, RecvError> {
+            #[cfg(feature = "lockcheck")]
+            parking_lot::blocking_op("chan.recv");
             let mut shared = self.inner.queue.lock().unwrap();
             loop {
                 if let Some(v) = shared.items.pop_front() {
@@ -156,7 +162,10 @@ pub mod channel {
 
         /// Receive, blocking up to `timeout` while the queue is empty and
         /// senders remain.
+        #[cfg_attr(feature = "lockcheck", track_caller)]
         pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            #[cfg(feature = "lockcheck")]
+            parking_lot::blocking_op("chan.recv_timeout");
             let deadline = std::time::Instant::now() + timeout;
             let mut shared = self.inner.queue.lock().unwrap();
             loop {

@@ -31,7 +31,10 @@ use std::sync::PoisonError;
 pub mod lockcheck;
 
 #[cfg(feature = "lockcheck")]
-pub use lockcheck::{lock_order_report, lock_order_reset, LockCycle, LockEdge, LockOrderReport};
+pub use lockcheck::{
+    blocking_op, blocking_report, blocking_reset, hold_time_report, lock_order_report, lock_order_reset,
+    BlockingViolation, LockCycle, LockEdge, LockOrderReport, SiteHold,
+};
 
 #[cfg(feature = "lockcheck")]
 use std::sync::atomic::AtomicU64;
@@ -136,7 +139,15 @@ impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
         let id = lockcheck::lock_id(&self.lc_id);
         lockcheck::before_blocking(id, lockcheck::Mode::Lock);
-        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        // Probe first so contended acquisitions are counted per site.
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                lockcheck::contended(lockcheck::Mode::Lock);
+                self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+            }
+        };
         MutexGuard {
             token: lockcheck::acquired(id, lockcheck::Mode::Lock),
             inner,
@@ -212,7 +223,15 @@ impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         let id = lockcheck::lock_id(&self.lc_id);
         lockcheck::before_blocking(id, lockcheck::Mode::Read);
-        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        // Probe first so contended acquisitions are counted per site.
+        let inner = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                lockcheck::contended(lockcheck::Mode::Read);
+                self.inner.read().unwrap_or_else(PoisonError::into_inner)
+            }
+        };
         RwLockReadGuard {
             token: lockcheck::acquired(id, lockcheck::Mode::Read),
             inner,
@@ -231,7 +250,15 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         let id = lockcheck::lock_id(&self.lc_id);
         lockcheck::before_blocking(id, lockcheck::Mode::Write);
-        let inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        // Probe first so contended acquisitions are counted per site.
+        let inner = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                lockcheck::contended(lockcheck::Mode::Write);
+                self.inner.write().unwrap_or_else(PoisonError::into_inner)
+            }
+        };
         RwLockWriteGuard {
             token: lockcheck::acquired(id, lockcheck::Mode::Write),
             inner,

@@ -15,11 +15,13 @@
 //! instrumentation never observes (or deadlocks on) itself.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::io::Write as _;
 use std::panic::Location;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex as StdMutex, OnceLock, PoisonError};
+use std::time::Instant;
 
 /// How a lock was (or is being) acquired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +143,255 @@ impl LockOrderReport {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Hold-time profiling, contention counting and the blocking sanitizer
+// ---------------------------------------------------------------------------
+
+/// Per-acquisition-site hold statistics: a lock-free struct updated on every
+/// guard drop. Durations land in log2-ns buckets so quantiles come out of a
+/// fixed 48-slot array with no per-sample allocation.
+pub struct SiteStats {
+    file: &'static str,
+    line: u32,
+    mode: Mode,
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+    contended: AtomicU64,
+    buckets: [AtomicU64; HOLD_BUCKETS],
+}
+
+const HOLD_BUCKETS: usize = 48;
+
+/// One row of [`hold_time_report`].
+#[derive(Debug, Clone)]
+pub struct SiteHold {
+    /// Acquisition site (`file:line`), as named by `#[track_caller]`.
+    pub file: String,
+    /// 1-based acquisition line.
+    pub line: u32,
+    /// How the first witnessed acquisition at this site took the lock.
+    pub mode: &'static str,
+    /// Number of completed hold intervals.
+    pub count: u64,
+    /// Sum of all hold durations in nanoseconds.
+    pub total_ns: u64,
+    /// Longest single hold in nanoseconds.
+    pub max_ns: u64,
+    /// Upper bound of the bucket containing the 99th percentile hold.
+    pub p99_ns: u64,
+    /// Acquisitions that found the lock already taken (a `try_*` probe
+    /// failed before the blocking acquisition).
+    pub contended: u64,
+}
+
+/// One witnessed blocking operation executed while at least one shim lock
+/// was held by the same thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockingViolation {
+    /// What blocked: `clock.wait_ms`, `chan.recv`, `wal.append.write`, …
+    pub kind: String,
+    /// Source file of the blocking call (via `#[track_caller]`).
+    pub file: String,
+    /// 1-based line of the blocking call.
+    pub line: u32,
+    /// `file:line (mode)` of every lock held at the moment of the call.
+    pub held: Vec<String>,
+    /// How many times this (kind, site) pair was witnessed.
+    pub count: u64,
+}
+
+type SiteKey = (&'static str, u32);
+
+fn site_registry() -> &'static StdMutex<HashMap<SiteKey, &'static SiteStats>> {
+    static REG: OnceLock<StdMutex<HashMap<SiteKey, &'static SiteStats>>> = OnceLock::new();
+    REG.get_or_init(|| StdMutex::new(HashMap::new()))
+}
+
+thread_local! {
+    static SITE_CACHE: RefCell<HashMap<SiteKey, &'static SiteStats>> = RefCell::new(HashMap::new());
+}
+
+/// Whether hold-time profiling is live. Off only when
+/// `OFMF_LOCKCHECK_HOLD=0`, so the `rest_throughput` ablation can isolate
+/// the profiler's own cost inside an instrumented build.
+fn hold_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var("OFMF_LOCKCHECK_HOLD").map_or(true, |v| v != "0"))
+}
+
+fn site_stats(loc: &'static Location<'static>, mode: Mode) -> &'static SiteStats {
+    let key: SiteKey = (loc.file(), loc.line());
+    SITE_CACHE.with(|cache| {
+        if let Some(s) = cache.borrow().get(&key) {
+            return *s;
+        }
+        let mut reg = site_registry().lock().unwrap_or_else(PoisonError::into_inner);
+        let stats = *reg.entry(key).or_insert_with(|| {
+            Box::leak(Box::new(SiteStats {
+                file: loc.file(),
+                line: loc.line(),
+                mode,
+                count: AtomicU64::new(0),
+                total_ns: AtomicU64::new(0),
+                max_ns: AtomicU64::new(0),
+                contended: AtomicU64::new(0),
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            }))
+        });
+        cache.borrow_mut().insert(key, stats);
+        stats
+    })
+}
+
+impl SiteStats {
+    fn record_hold(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        let bucket = (64 - ns.leading_zeros() as usize).min(HOLD_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn p99_ns(&self) -> u64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let target = count - count / 100;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << i;
+            }
+        }
+        self.max_ns.load(Ordering::Relaxed)
+    }
+}
+
+/// Count a contended acquisition (the `try_*` probe ahead of the blocking
+/// call failed) at the caller's site.
+#[track_caller]
+pub(crate) fn contended(mode: Mode) {
+    site_stats(Location::caller(), mode)
+        .contended
+        .fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot the per-site hold-time statistics, sorted by total hold time
+/// descending so the hottest lock sites lead.
+pub fn hold_time_report() -> Vec<SiteHold> {
+    let reg = site_registry().lock().unwrap_or_else(PoisonError::into_inner);
+    let mut out: Vec<SiteHold> = reg
+        .values()
+        .map(|s| SiteHold {
+            file: s.file.to_string(),
+            line: s.line,
+            mode: s.mode.label(),
+            count: s.count.load(Ordering::Relaxed),
+            total_ns: s.total_ns.load(Ordering::Relaxed),
+            max_ns: s.max_ns.load(Ordering::Relaxed),
+            p99_ns: s.p99_ns(),
+            contended: s.contended.load(Ordering::Relaxed),
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.total_ns
+            .cmp(&a.total_ns)
+            .then(a.file.cmp(&b.file))
+            .then(a.line.cmp(&b.line))
+    });
+    out
+}
+
+struct BlockingLog {
+    /// `(kind, file, line) → (held sites of first witness, count)`.
+    seen: BTreeMap<(String, &'static str, u32), (Vec<String>, u64)>,
+}
+
+fn blocking_log() -> &'static StdMutex<BlockingLog> {
+    static LOG: OnceLock<StdMutex<BlockingLog>> = OnceLock::new();
+    LOG.get_or_init(|| StdMutex::new(BlockingLog { seen: BTreeMap::new() }))
+}
+
+/// The no-blocking-while-locked sanitizer's entry point: call sites that
+/// are about to perform an operation that can block on something other
+/// than a shim lock (file I/O, `Clock::wait_ms`, channel `recv`,
+/// `epoll_wait`) report in here. If the calling thread holds any shim
+/// lock, the (kind, caller site, held sites) triple is recorded as a
+/// violation for [`blocking_report`] and the lock-audit diff.
+#[track_caller]
+pub fn blocking_op(kind: &str) {
+    let loc = Location::caller();
+    let held_sites: Vec<String> = HELD.with(|held| held.borrow().iter().map(|(_, s)| s.render()).collect());
+    if held_sites.is_empty() {
+        return;
+    }
+    let mut log = blocking_log().lock().unwrap_or_else(PoisonError::into_inner);
+    let entry = log
+        .seen
+        .entry((kind.to_string(), loc.file(), loc.line()))
+        .or_insert_with(|| (held_sites.clone(), 0));
+    entry.1 += 1;
+    if entry.1 == 1 {
+        dump_line(
+            "blocking",
+            &format!("{kind}\t{}\t{}\t{}", loc.file(), loc.line(), held_sites.join(",")),
+        );
+    }
+}
+
+/// Every witnessed blocking-while-locked violation (first held-set kept).
+pub fn blocking_report() -> Vec<BlockingViolation> {
+    let log = blocking_log().lock().unwrap_or_else(PoisonError::into_inner);
+    log.seen
+        .iter()
+        .map(|((kind, file, line), (held, count))| BlockingViolation {
+            kind: kind.clone(),
+            file: file.to_string(),
+            line: *line,
+            held: held.clone(),
+            count: *count,
+        })
+        .collect()
+}
+
+/// Clear the blocking-violation log (tests scope assertions with this).
+pub fn blocking_reset() {
+    blocking_log()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .seen
+        .clear();
+}
+
+/// When `OFMF_LOCKCHECK_DIR` is set, witnessed artifacts are appended to
+/// per-process files under it (`edges-<pid>.tsv`, `blocking-<pid>.tsv`)
+/// the first time they occur, so any exit path — including abort — leaves
+/// a complete log for `ofmf-lint --lock-audit`.
+fn dump_line(stream: &str, line: &str) {
+    static DIR: OnceLock<Option<std::path::PathBuf>> = OnceLock::new();
+    let Some(dir) = DIR.get_or_init(|| std::env::var_os("OFMF_LOCKCHECK_DIR").map(std::path::PathBuf::from)) else {
+        return;
+    };
+    static FILES: OnceLock<StdMutex<HashMap<String, std::fs::File>>> = OnceLock::new();
+    let files = FILES.get_or_init(|| StdMutex::new(HashMap::new()));
+    let mut files = files.lock().unwrap_or_else(PoisonError::into_inner);
+    let file = match files.entry(stream.to_string()) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(v) => {
+            let _ = std::fs::create_dir_all(dir);
+            let path = dir.join(format!("{stream}-{}.tsv", std::process::id()));
+            match std::fs::OpenOptions::new().create(true).append(true).open(path) {
+                Ok(f) => v.insert(f),
+                Err(_) => return,
+            }
+        }
+    };
+    let _ = writeln!(file, "{line}");
+}
+
 struct Graph {
     /// `(from, to) → first witnessed sites`.
     edges: HashMap<(u64, u64), (Site, Site)>,
@@ -187,32 +438,63 @@ pub(crate) fn before_blocking(id: u64, mode: Mode) {
         let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
         for (held_id, held_site) in held.iter() {
             if *held_id != id {
-                g.edges.entry((*held_id, id)).or_insert((*held_site, site));
+                if let std::collections::hash_map::Entry::Vacant(e) = g.edges.entry((*held_id, id)) {
+                    e.insert((*held_site, site));
+                    dump_line(
+                        "edges",
+                        &format!(
+                            "{}\t{}\t{}\t{}\t{}\t{}",
+                            held_site.loc.file(),
+                            held_site.loc.line(),
+                            held_site.mode.label(),
+                            site.loc.file(),
+                            site.loc.line(),
+                            site.mode.label()
+                        ),
+                    );
+                }
             }
         }
     });
 }
 
 /// Token holding a lock's membership in the per-thread held set; dropped
-/// by the guard wrapper when the lock is released.
+/// by the guard wrapper when the lock is released. When hold-time
+/// profiling is live it also carries the acquisition instant and the
+/// site's stats slot, so the drop records the hold duration.
 #[derive(Debug)]
 pub struct HeldToken {
     id: u64,
+    since: Option<Instant>,
+    stats: Option<&'static SiteStats>,
+}
+
+impl std::fmt::Debug for SiteStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SiteStats({}:{})", self.file, self.line)
+    }
 }
 
 /// Push the acquired lock onto the thread's held set.
 #[track_caller]
 pub(crate) fn acquired(id: u64, mode: Mode) -> HeldToken {
-    let site = Site {
-        loc: Location::caller(),
-        mode,
-    };
+    let loc = Location::caller();
+    let site = Site { loc, mode };
     HELD.with(|held| held.borrow_mut().push((id, site)));
-    HeldToken { id }
+    let (since, stats) = if hold_enabled() {
+        (Some(Instant::now()), Some(site_stats(loc, mode)))
+    } else {
+        (None, None)
+    };
+    HeldToken { id, since, stats }
 }
 
 impl Drop for HeldToken {
     fn drop(&mut self) {
+        if let (Some(since), Some(stats)) = (self.since, self.stats) {
+            let ns = u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            stats.record_hold(ns);
+        }
         // Guards can be dropped out of acquisition order; remove the most
         // recent entry for this id rather than assuming LIFO.
         let _ = HELD.try_with(|held| {

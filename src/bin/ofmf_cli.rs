@@ -15,6 +15,8 @@
 //!   stats                    service health summary from the live metrics
 //!   wal-status               durability journal counters (appends, fsyncs,
 //!                            replays, torn tails, snapshots)
+//!   lock-report              lockcheck hold-time/contention/blocking summary
+//!                            (ofmfd built with --features lockcheck)
 //!   trace ID                 render a flight-recorder span tree (self-time,
 //!                            critical path marked with `*`)
 //! ```
@@ -157,9 +159,63 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         }
         "stats" => stats(&mut client),
         "wal-status" => wal_status(&mut client),
+        "lock-report" => lock_report(&mut client),
         "trace" => trace(&mut client, arg(1)?),
         other => Err(format!("unknown command '{other}'")),
     }
+}
+
+/// `lock-report`: the recording shim's live lock health from the manager's
+/// `Oem.OFMF.Lockcheck` overlay — hottest hold sites, witnessed
+/// blocking-while-locked operations, and the runtime lock-order graph.
+/// Only populated when `ofmfd` was built with `--features lockcheck`.
+fn lock_report(client: &mut HttpClient) -> Result<(), String> {
+    let r = client.get("/redfish/v1/Managers/OFMF").map_err(stringify)?;
+    check(&r)?;
+    let body = r.json().ok_or("non-JSON response")?;
+    let lc = &body["Oem"]["OFMF"]["Lockcheck"];
+    if lc.is_null() {
+        println!("lockcheck: disabled (build ofmfd with --features lockcheck)");
+        return Ok(());
+    }
+    println!(
+        "hold sites:    {} (order edges: {}, cycles: {})",
+        lc["HoldSites"], lc["OrderEdges"], lc["OrderCycles"]
+    );
+    let empty = Vec::new();
+    let tops = lc["TopHolds"].as_array().unwrap_or(&empty);
+    if !tops.is_empty() {
+        println!("hottest holds (by total held time):");
+        for t in tops {
+            println!(
+                "  {:<52} {:>5} holds  max {:>9} ns  p99 {:>9} ns  contended {}",
+                format!(
+                    "{} ({})",
+                    t["Site"].as_str().unwrap_or("?"),
+                    t["Mode"].as_str().unwrap_or("?")
+                ),
+                t["Count"],
+                t["MaxNs"],
+                t["P99Ns"],
+                t["Contended"],
+            );
+        }
+    }
+    let blocking = lc["BlockingWhileLocked"].as_array().unwrap_or(&empty);
+    if blocking.is_empty() {
+        println!("blocking while locked: none witnessed");
+    } else {
+        println!("blocking while locked ({} witnessed):", blocking.len());
+        for b in blocking {
+            println!(
+                "  {} at {} holding {}",
+                b["Kind"].as_str().unwrap_or("?"),
+                b["Site"].as_str().unwrap_or("?"),
+                b["Held"]
+            );
+        }
+    }
+    Ok(())
 }
 
 /// `wal-status`: the durability journal's counters from the live metric
